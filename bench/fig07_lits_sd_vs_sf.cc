@@ -1,0 +1,10 @@
+// Figure 7: sample deviation vs sample fraction for lits-models on the
+// paper's 1M.20L.1K.4000pats.4patlen dataset at minsup 0.01/0.008/0.006.
+
+#include "bench_common.h"
+
+int main() {
+  focus::bench::RunLitsSdVsSfFigure("Figure 7", /*default_small=*/12000,
+                                    /*paper_full=*/1000000);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 8: same study as Figure 7 on the 0.75M-transaction dataset.
+
+#include "bench_common.h"
+
+int main() {
+  focus::bench::RunLitsSdVsSfFigure("Figure 8", /*default_small=*/9000,
+                                    /*paper_full=*/750000);
+  return 0;
+}

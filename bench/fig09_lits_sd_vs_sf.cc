@@ -1,0 +1,9 @@
+// Figure 9: same study as Figure 7 on the 0.5M-transaction dataset.
+
+#include "bench_common.h"
+
+int main() {
+  focus::bench::RunLitsSdVsSfFigure("Figure 9", /*default_small=*/6000,
+                                    /*paper_full=*/500000);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 10: sample deviation vs sample fraction for dt-models (F1-F4) on
+// the paper's 1M-tuple dataset.
+
+#include "bench_common.h"
+
+int main() {
+  focus::bench::RunDtSdVsSfFigure("Figure 10", /*default_small=*/20000,
+                                  /*paper_full=*/1000000);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 11: same study as Figure 10 on the 0.75M-tuple dataset.
+
+#include "bench_common.h"
+
+int main() {
+  focus::bench::RunDtSdVsSfFigure("Figure 11", /*default_small=*/15000,
+                                  /*paper_full=*/750000);
+  return 0;
+}

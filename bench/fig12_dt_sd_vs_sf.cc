@@ -1,0 +1,9 @@
+// Figure 12: same study as Figure 10 on the 0.5M-tuple dataset.
+
+#include "bench_common.h"
+
+int main() {
+  focus::bench::RunDtSdVsSfFigure("Figure 12", /*default_small=*/10000,
+                                  /*paper_full=*/500000);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 14 (table): dt-model deviations between D = 1M.F1 and seven
+// variants with bootstrap significance. Paper's shape: D(1) (same
+// distribution) sig 10; F2/F3/F4 and every 50K-block extension sig 99.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/significance.h"
+#include "datagen/class_gen.h"
+
+namespace focus::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 14", "dt-models: deviation table vs D",
+              "D(1) same distribution: insignificant; F2-F4 and all "
+              "appended blocks: 99% significant");
+  std::printf(
+      "paper rows (delta, sig%%): D(1) 0.0022/10  D(2) 1.21/99  D(3) 0.81/99"
+      "  D(4) 1.48/99  D+d(5) 0.057/99  D+d(6) 0.037/99  D+d(7) 0.069/99\n\n");
+
+  const int64_t n = ScaledCount(10000, 1000000);
+  const int64_t block = n / 20;
+
+  using datagen::ClassFunction;
+  const data::Dataset base = datagen::GenerateClassification(
+      PaperClassParams(n, ClassFunction::kF1, /*seed=*/1));
+
+  struct RowSpec {
+    std::string label;
+    data::Dataset db;
+    // Set for "D + block" rows: qualified with the snapshot-growth null.
+    std::optional<data::Dataset> block;
+  };
+  std::vector<RowSpec> rows;
+  rows.push_back({"D(1) 0.5N.F1",
+                  datagen::GenerateClassification(
+                      PaperClassParams(n / 2, ClassFunction::kF1, 2)),
+                  std::nullopt});
+  rows.push_back({"D(2) N.F2",
+                  datagen::GenerateClassification(
+                      PaperClassParams(n, ClassFunction::kF2, 3)),
+                  std::nullopt});
+  rows.push_back({"D(3) N.F3",
+                  datagen::GenerateClassification(
+                      PaperClassParams(n, ClassFunction::kF3, 4)),
+                  std::nullopt});
+  rows.push_back({"D(4) N.F4",
+                  datagen::GenerateClassification(
+                      PaperClassParams(n, ClassFunction::kF4, 5)),
+                  std::nullopt});
+  for (const ClassFunction f :
+       {ClassFunction::kF2, ClassFunction::kF3, ClassFunction::kF4}) {
+    data::Dataset delta = datagen::GenerateClassification(
+        PaperClassParams(block, f, /*seed=*/static_cast<uint64_t>(f) + 10));
+    data::Dataset extended = base;
+    extended.Append(delta);
+    char label[32];
+    std::snprintf(label, sizeof(label), "D+d block F%d", static_cast<int>(f));
+    rows.push_back({label, std::move(extended), std::move(delta)});
+  }
+
+  dt::CartOptions cart;
+  cart.max_depth = 8;
+  cart.min_leaf_size = 50;
+  core::DeviationFunction fn;
+  core::SignificanceOptions sig_options;
+  sig_options.num_replicates = BootstrapReplicates();
+
+  common::TablePrinter table({"dataset", "delta", "sig(delta)%"});
+  for (RowSpec& row : rows) {
+    const core::SignificanceResult result =
+        row.block.has_value()
+            ? core::DtBlockSignificance(base, *row.block, cart, fn, sig_options)
+            : core::DtDeviationSignificance(base, row.db, cart, fn,
+                                            sig_options);
+    table.AddRow({row.label, common::FormatDouble(result.deviation, 4),
+                  common::FormatDouble(result.significance_percent, 0)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace focus::bench
+
+int main() {
+  focus::bench::Run();
+  return 0;
+}

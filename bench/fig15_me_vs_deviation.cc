@@ -1,0 +1,81 @@
+// Figure 15: misclassification error of the tree built from D, evaluated
+// against each comparison dataset, plotted against the FOCUS deviation
+// between the datasets. Paper: strong positive correlation.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/dt_deviation.h"
+#include "core/misclassification.h"
+#include "datagen/class_gen.h"
+#include "stats/descriptive.h"
+#include "tree/cart_builder.h"
+
+namespace focus::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 15", "misclassification error vs deviation",
+              "ME and deviation exhibit a strong positive correlation");
+
+  const int64_t n = ScaledCount(12000, 1000000);
+  const int64_t block = n / 20;
+  using datagen::ClassFunction;
+
+  const data::Dataset base = datagen::GenerateClassification(
+      PaperClassParams(n, ClassFunction::kF1, /*seed=*/1));
+
+  dt::CartOptions cart;
+  cart.max_depth = 8;
+  cart.min_leaf_size = 50;
+  const core::DtModel base_model(dt::BuildCart(base, cart), base);
+
+  struct Point {
+    std::string label;
+    data::Dataset db;
+  };
+  std::vector<Point> points;
+  points.push_back({"N.F2", datagen::GenerateClassification(PaperClassParams(
+                                n, ClassFunction::kF2, 3))});
+  points.push_back({"N.F3", datagen::GenerateClassification(PaperClassParams(
+                                n, ClassFunction::kF3, 4))});
+  points.push_back({"N.F4", datagen::GenerateClassification(PaperClassParams(
+                                n, ClassFunction::kF4, 5))});
+  for (const ClassFunction f :
+       {ClassFunction::kF2, ClassFunction::kF3, ClassFunction::kF4}) {
+    data::Dataset extended = base;
+    extended.Append(datagen::GenerateClassification(
+        PaperClassParams(block, f, static_cast<uint64_t>(f) + 10)));
+    char label[32];
+    std::snprintf(label, sizeof(label), "D+block F%d", static_cast<int>(f));
+    points.push_back({label, std::move(extended)});
+  }
+
+  core::DtDeviationOptions options;
+  common::TablePrinter table({"dataset", "deviation", "ME"});
+  std::vector<double> deviations;
+  std::vector<double> errors;
+  for (Point& point : points) {
+    const core::DtModel other(dt::BuildCart(point.db, cart), point.db);
+    const double deviation =
+        core::DtDeviation(base_model, base, other, point.db, options);
+    const double me = core::MisclassificationError(base_model.tree(), point.db);
+    deviations.push_back(deviation);
+    errors.push_back(me);
+    table.AddRow({point.label, common::FormatDouble(deviation, 4),
+                  common::FormatDouble(me, 4)});
+  }
+  table.Print();
+  std::printf("\nPearson correlation(deviation, ME) = %.3f (paper: strongly "
+              "positive)\n",
+              stats::PearsonCorrelation(deviations, errors));
+}
+
+}  // namespace
+}  // namespace focus::bench
+
+int main() {
+  focus::bench::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Microbenchmarks: Apriori mining cost vs minimum support and database
+// size (ablation for the support-counting index described in DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "itemsets/support_counter.h"
+
+namespace focus {
+namespace {
+
+data::TransactionDb MakeDb(int64_t n) {
+  datagen::QuestParams params;
+  params.num_transactions = n;
+  params.avg_transaction_length = 10;
+  params.num_items = 500;
+  params.num_patterns = 500;
+  params.avg_pattern_length = 4;
+  params.seed = 1;
+  return datagen::GenerateQuest(params);
+}
+
+void BM_AprioriByMinSupport(benchmark::State& state) {
+  const data::TransactionDb db = MakeDb(4000);
+  lits::AprioriOptions options;
+  options.min_support = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    const lits::LitsModel model = lits::Apriori(db, options);
+    benchmark::DoNotOptimize(model.size());
+  }
+  state.counters["itemsets"] =
+      static_cast<double>(lits::Apriori(db, options).size());
+}
+BENCHMARK(BM_AprioriByMinSupport)->Arg(40)->Arg(20)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AprioriByDbSize(benchmark::State& state) {
+  const data::TransactionDb db = MakeDb(state.range(0));
+  lits::AprioriOptions options;
+  options.min_support = 0.02;
+  for (auto _ : state) {
+    const lits::LitsModel model = lits::Apriori(db, options);
+    benchmark::DoNotOptimize(model.size());
+  }
+}
+BENCHMARK(BM_AprioriByDbSize)->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SupportCountingScan(benchmark::State& state) {
+  const data::TransactionDb db = MakeDb(8000);
+  lits::AprioriOptions options;
+  options.min_support = 0.02;
+  const lits::LitsModel model = lits::Apriori(db, options);
+  const std::vector<lits::Itemset> itemsets = model.StructuralComponent();
+  for (auto _ : state) {
+    const std::vector<double> supports = lits::CountSupports(db, itemsets);
+    benchmark::DoNotOptimize(supports.data());
+  }
+  state.counters["itemsets"] = static_cast<double>(itemsets.size());
+}
+BENCHMARK(BM_SupportCountingScan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace focus

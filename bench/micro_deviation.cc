@@ -1,0 +1,85 @@
+// Microbenchmarks for the deviation computations themselves: lits GCR
+// extension, dt GCR routing, and the focussed variants.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dt_deviation.h"
+#include "core/focus_region.h"
+#include "core/lits_deviation.h"
+#include "datagen/class_gen.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "tree/cart_builder.h"
+
+namespace focus {
+namespace {
+
+void BM_LitsDeviation(benchmark::State& state) {
+  datagen::QuestParams params;
+  params.num_transactions = state.range(0);
+  params.avg_transaction_length = 10;
+  params.num_items = 500;
+  params.num_patterns = 300;
+  params.seed = 1;
+  const data::TransactionDb d1 = datagen::GenerateQuest(params);
+  params.seed = 2;
+  params.avg_pattern_length = 5;
+  const data::TransactionDb d2 = datagen::GenerateQuest(params);
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.02;
+  const lits::LitsModel m1 = lits::Apriori(d1, apriori);
+  const lits::LitsModel m2 = lits::Apriori(d2, apriori);
+  core::DeviationFunction fn;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::LitsDeviation(m1, d1, m2, d2, fn));
+  }
+}
+BENCHMARK(BM_LitsDeviation)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_DtDeviation(benchmark::State& state) {
+  datagen::ClassGenParams params;
+  params.num_rows = state.range(0);
+  params.function = datagen::ClassFunction::kF2;
+  params.seed = 1;
+  const data::Dataset d1 = datagen::GenerateClassification(params);
+  params.function = datagen::ClassFunction::kF3;
+  params.seed = 2;
+  const data::Dataset d2 = datagen::GenerateClassification(params);
+  dt::CartOptions cart;
+  cart.max_depth = 8;
+  const core::DtModel m1(dt::BuildCart(d1, cart), d1);
+  const core::DtModel m2(dt::BuildCart(d2, cart), d2);
+  core::DtDeviationOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::DtDeviation(m1, d1, m2, d2, options));
+  }
+  state.counters["gcr_cells"] =
+      static_cast<double>(core::DtGcr(m1, m2).num_regions());
+}
+BENCHMARK(BM_DtDeviation)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_DtDeviationFocused(benchmark::State& state) {
+  datagen::ClassGenParams params;
+  params.num_rows = 10000;
+  params.function = datagen::ClassFunction::kF2;
+  params.seed = 1;
+  const data::Dataset d1 = datagen::GenerateClassification(params);
+  params.function = datagen::ClassFunction::kF4;
+  params.seed = 2;
+  const data::Dataset d2 = datagen::GenerateClassification(params);
+  dt::CartOptions cart;
+  cart.max_depth = 8;
+  const core::DtModel m1(dt::BuildCart(d1, cart), d1);
+  const core::DtModel m2(dt::BuildCart(d2, cart), d2);
+  core::DtDeviationOptions options;
+  options.focus = core::NumericPredicate(datagen::ClassGenSchema(),
+                                         datagen::ClassGenColumns::kAge, 20.0,
+                                         40.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::DtDeviation(m1, d1, m2, d2, options));
+  }
+}
+BENCHMARK(BM_DtDeviationFocused)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace focus

@@ -1,0 +1,123 @@
+// Ablation: Apriori (level-wise candidate generation) vs FP-Growth
+// (pattern growth) on sparse and dense workloads, plus the incremental
+// maintainer against full re-mining for growing snapshots.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "itemsets/fp_growth.h"
+#include "itemsets/incremental.h"
+
+namespace focus {
+namespace {
+
+data::TransactionDb SparseDb(int64_t n) {
+  datagen::QuestParams params;
+  params.num_transactions = n;
+  params.avg_transaction_length = 10;
+  params.num_items = 800;
+  params.num_patterns = 2000;
+  params.avg_pattern_length = 4;
+  params.seed = 1;
+  return datagen::GenerateQuest(params);
+}
+
+data::TransactionDb DenseDb(int64_t n) {
+  datagen::QuestParams params;
+  params.num_transactions = n;
+  params.avg_transaction_length = 14;
+  params.num_items = 60;  // few items => heavy co-occurrence
+  params.num_patterns = 30;
+  params.avg_pattern_length = 5;
+  params.seed = 1;
+  return datagen::GenerateQuest(params);
+}
+
+void BM_AprioriSparse(benchmark::State& state) {
+  const data::TransactionDb db = SparseDb(8000);
+  lits::AprioriOptions options;
+  options.min_support = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lits::Apriori(db, options).size());
+  }
+}
+BENCHMARK(BM_AprioriSparse)->Unit(benchmark::kMillisecond);
+
+void BM_FpGrowthSparse(benchmark::State& state) {
+  const data::TransactionDb db = SparseDb(8000);
+  lits::AprioriOptions options;
+  options.min_support = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lits::FpGrowth(db, options).size());
+  }
+}
+BENCHMARK(BM_FpGrowthSparse)->Unit(benchmark::kMillisecond);
+
+void BM_AprioriDense(benchmark::State& state) {
+  const data::TransactionDb db = DenseDb(3000);
+  lits::AprioriOptions options;
+  options.min_support = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lits::Apriori(db, options).size());
+  }
+  state.counters["itemsets"] =
+      static_cast<double>(lits::Apriori(db, options).size());
+}
+BENCHMARK(BM_AprioriDense)->Unit(benchmark::kMillisecond);
+
+void BM_FpGrowthDense(benchmark::State& state) {
+  const data::TransactionDb db = DenseDb(3000);
+  lits::AprioriOptions options;
+  options.min_support = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lits::FpGrowth(db, options).size());
+  }
+}
+BENCHMARK(BM_FpGrowthDense)->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalAppend(benchmark::State& state) {
+  const data::TransactionDb initial = SparseDb(8000);
+  lits::AprioriOptions options;
+  options.min_support = 0.01;
+  datagen::QuestParams block_params;
+  block_params.num_transactions = 400;
+  block_params.avg_transaction_length = 10;
+  block_params.num_items = 800;
+  block_params.num_patterns = 2000;
+  block_params.avg_pattern_length = 4;
+  uint64_t seed = 100;
+  for (auto _ : state) {
+    state.PauseTiming();
+    lits::IncrementalMiner miner(initial, options);
+    block_params.seed = ++seed;
+    const data::TransactionDb block = datagen::GenerateQuest(block_params);
+    state.ResumeTiming();
+    miner.Append(block);
+    benchmark::DoNotOptimize(miner.model().size());
+  }
+}
+BENCHMARK(BM_IncrementalAppend)->Unit(benchmark::kMillisecond);
+
+void BM_FullRemineAfterAppend(benchmark::State& state) {
+  const data::TransactionDb initial = SparseDb(8000);
+  lits::AprioriOptions options;
+  options.min_support = 0.01;
+  datagen::QuestParams block_params;
+  block_params.num_transactions = 400;
+  block_params.avg_transaction_length = 10;
+  block_params.num_items = 800;
+  block_params.num_patterns = 2000;
+  block_params.avg_pattern_length = 4;
+  block_params.seed = 101;
+  const data::TransactionDb block = datagen::GenerateQuest(block_params);
+  data::TransactionDb full = initial;
+  full.Append(block);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lits::Apriori(full, options).size());
+  }
+}
+BENCHMARK(BM_FullRemineAfterAppend)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace focus

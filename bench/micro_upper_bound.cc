@@ -1,0 +1,62 @@
+// Ablation: the delta* upper bound (models only, Theorem 4.2) vs the exact
+// deviation (one scan of each dataset). This is the speed/quality tradeoff
+// behind Figure 13's timing columns.
+
+#include <benchmark/benchmark.h>
+
+#include "core/lits_deviation.h"
+#include "core/lits_upper_bound.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+
+namespace focus {
+namespace {
+
+struct Setup {
+  data::TransactionDb d1;
+  data::TransactionDb d2;
+  lits::LitsModel m1;
+  lits::LitsModel m2;
+};
+
+Setup MakeSetup(int64_t n) {
+  datagen::QuestParams params;
+  params.num_transactions = n;
+  params.avg_transaction_length = 12;
+  params.num_items = 600;
+  params.num_patterns = 1000;
+  params.avg_pattern_length = 4;
+  params.seed = 1;
+  data::TransactionDb d1 = datagen::GenerateQuest(params);
+  params.avg_pattern_length = 5;
+  params.seed = 2;
+  data::TransactionDb d2 = datagen::GenerateQuest(params);
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.01;
+  lits::LitsModel m1 = lits::Apriori(d1, apriori);
+  lits::LitsModel m2 = lits::Apriori(d2, apriori);
+  return {std::move(d1), std::move(d2), std::move(m1), std::move(m2)};
+}
+
+void BM_ExactDeviation(benchmark::State& state) {
+  const Setup setup = MakeSetup(state.range(0));
+  core::DeviationFunction fn;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::LitsDeviation(setup.m1, setup.d1, setup.m2, setup.d2, fn));
+  }
+}
+BENCHMARK(BM_ExactDeviation)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UpperBound(benchmark::State& state) {
+  const Setup setup = MakeSetup(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::LitsUpperBound(setup.m1, setup.m2, core::AggregateKind::kSum));
+  }
+}
+BENCHMARK(BM_UpperBound)->Arg(4000)->Arg(16000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace focus

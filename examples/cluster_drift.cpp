@@ -1,0 +1,92 @@
+// Cluster-model change detection (§2.4): spatial customer data whose
+// cluster structure shifts between two periods. Cluster-models are sets
+// of non-overlapping dense regions; the deviation localizes how much of
+// the probability mass moved, and focussing restricts the question to a
+// district of interest.
+
+#include <cstdio>
+#include <random>
+
+#include "focus/focus.h"
+
+namespace {
+
+focus::data::Schema CitySchema() {
+  return focus::data::Schema(
+      {focus::data::Schema::Numeric("x_km", 0.0, 20.0),
+       focus::data::Schema::Numeric("y_km", 0.0, 20.0)},
+      /*num_classes=*/0);
+}
+
+// Customers concentrated around shopping centers; `new_mall` moves 30% of
+// the traffic from the center at (5,5) to a new site at (15,12).
+focus::data::Dataset Period(uint64_t seed, bool new_mall, int n) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.8);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  focus::data::Dataset dataset(CitySchema());
+  for (int i = 0; i < n; ++i) {
+    double cx;
+    double cy;
+    const double u = unit(rng);
+    if (u < 0.4) {
+      cx = 10.0;  // downtown, stable
+      cy = 10.0;
+    } else if (u < 0.7) {
+      if (new_mall && unit(rng) < 0.8) {
+        cx = 15.0;  // new mall absorbs the old site's traffic
+        cy = 12.0;
+      } else {
+        cx = 5.0;  // old mall
+        cy = 5.0;
+      }
+    } else {
+      cx = 17.0;  // industrial park, stable
+      cy = 3.0;
+    }
+    const double x = std::clamp(cx + noise(rng), 0.0, 19.999);
+    const double y = std::clamp(cy + noise(rng), 0.0, 19.999);
+    dataset.AddRow(std::vector<double>{x, y}, 0);
+  }
+  return dataset;
+}
+
+}  // namespace
+
+int main() {
+  using namespace focus;
+
+  const data::Dataset before = Period(1, false, 8000);
+  const data::Dataset after = Period(2, true, 8000);
+
+  const cluster::Grid grid(CitySchema(), {0, 1}, 20);
+  cluster::GridClusteringOptions clustering;
+  clustering.density_threshold = 0.002;
+  const cluster::ClusterModel m1 =
+      cluster::GridClustering(before, grid, clustering);
+  const cluster::ClusterModel m2 =
+      cluster::GridClustering(after, grid, clustering);
+  std::printf("clusters before: %d (%.0f%% of mass), after: %d (%.0f%%)\n",
+              m1.num_regions(), 100.0 * m1.CoveredSelectivity(),
+              m2.num_regions(), 100.0 * m2.CoveredSelectivity());
+
+  core::ClusterDeviationOptions options;
+  const double total = core::ClusterDeviation(m1, before, m2, after, options);
+  std::printf("city-wide deviation: %.4f\n\n", total);
+
+  struct District {
+    const char* name;
+    double lo_x, hi_x;
+  };
+  for (const District& d : {District{"west (old mall)", 0.0, 8.0},
+                            District{"center (downtown)", 8.0, 13.0},
+                            District{"east (new mall + industry)", 13.0, 20.0}}) {
+    core::ClusterDeviationOptions focused = options;
+    focused.focus = core::NumericPredicate(CitySchema(), 0, d.lo_x, d.hi_x);
+    std::printf("  %-28s delta^R = %.4f\n", d.name,
+                core::ClusterDeviation(m1, before, m2, after, focused));
+  }
+  std::printf("\nexpected: the change concentrates in the west (traffic "
+              "lost) and east (traffic gained); downtown is quiet.\n");
+  return 0;
+}

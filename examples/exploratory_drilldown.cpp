@@ -1,0 +1,72 @@
+// Exploratory analysis over dt-models (§5.1): two customer datasets with a
+// localized change; the analyst uses the structural operators and the
+// Rank/Select operators to find WHERE the datasets differ, then focusses
+// the deviation on a specific region.
+
+#include <cstdio>
+
+#include "focus/focus.h"
+
+int main() {
+  using namespace focus;
+  using Cols = datagen::ClassGenColumns;
+
+  // D1: baseline customer base labeled by F2 (age-banded salary rule).
+  datagen::ClassGenParams params;
+  params.num_rows = 8000;
+  params.function = datagen::ClassFunction::kF2;
+  params.seed = 1;
+  const data::Dataset d1 = datagen::GenerateClassification(params);
+
+  // D2: identical process EXCEPT customers younger than 35 flip class —
+  // a localized change the analyst wants to pinpoint.
+  data::Dataset d2(d1.schema());
+  for (int64_t i = 0; i < d1.num_rows(); ++i) {
+    int label = d1.Label(i);
+    if (d1.At(i, Cols::kAge) < 35.0) label = 1 - label;
+    d2.AddRow(d1.Row(i), label);
+  }
+
+  dt::CartOptions cart;
+  cart.max_depth = 5;
+  cart.min_leaf_size = 100;
+  const core::DtModel m1(dt::BuildCart(d1, cart), d1);
+  const core::DtModel m2(dt::BuildCart(d2, cart), d2);
+  std::printf("tree sizes: %d and %d leaves\n", m1.num_leaves(),
+              m2.num_leaves());
+
+  core::DeviationFunction fn;
+  core::DtDeviationOptions options;
+  const double total = core::DtDeviation(m1, d1, m2, d2, options);
+  std::printf("overall deviation delta = %.4f\n\n", total);
+
+  // sigma_top-n(rho(Gamma_T1 u Gamma_T2)): rank leaf regions of BOTH trees.
+  const core::BoxSet candidates =
+      core::PlainUnion(m1.leaf_boxes(), m2.leaf_boxes());
+  const auto ranked = core::RankDtRegions(candidates, m1, d1, m2, d2, fn);
+  std::printf("top 3 changed regions (of %zu candidates):\n", ranked.size());
+  for (const auto& entry : core::SelectTopN(ranked, 3)) {
+    std::printf("  delta^R = %.4f  where  %s\n", entry.deviation,
+                entry.region.ToString(d1.schema()).c_str());
+  }
+
+  // And the GCR overlay regions (sigma_top(rho(Gamma_T1 ⊔ Gamma_T2))):
+  const core::BoxSet overlay = core::StructuralUnion(
+      d1.schema(), m1.leaf_boxes(), m2.leaf_boxes());
+  const auto overlay_ranked =
+      core::RankDtRegions(overlay, m1, d1, m2, d2, fn);
+  std::printf("\ntop overlay (GCR) region:\n  delta^R = %.4f  where  %s\n",
+              overlay_ranked.front().deviation,
+              overlay_ranked.front().region.ToString(d1.schema()).c_str());
+
+  // Focussed deviation w.r.t. an analyst-chosen predicate region.
+  core::DtDeviationOptions young;
+  young.focus = core::LessThanPredicate(d1.schema(), Cols::kAge, 35.0);
+  core::DtDeviationOptions old;
+  old.focus = core::AtLeastPredicate(d1.schema(), Cols::kAge, 35.0);
+  std::printf("\nfocussed deviations: age<35 -> %.4f, age>=35 -> %.4f\n",
+              core::DtDeviation(m1, d1, m2, d2, young),
+              core::DtDeviation(m1, d1, m2, d2, old));
+  std::printf("(the injected change lives entirely below age 35)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Retail snapshot monitoring (the paper's motivating example): a sales
+// analyst watches weekly snapshots and wants to deep-dive only when the
+// data characteristics actually changed. The cheap delta* upper bound
+// (Theorem 4.2) acts as a first-stage filter — if even the OVERESTIMATE is
+// below the alert threshold, the week is skipped without scanning data;
+// otherwise the exact deviation and its bootstrap significance are
+// computed.
+
+#include <cstdio>
+
+#include "focus/focus.h"
+
+namespace {
+
+focus::data::TransactionDb MakeWeek(int week, bool drifted) {
+  focus::datagen::QuestParams params;
+  params.num_transactions = 3000;
+  params.num_items = 150;
+  params.num_patterns = 60;
+  params.avg_pattern_length = drifted ? 6 : 4;  // drift = longer baskets
+  params.avg_transaction_length = 10;
+  // Weeks of the same regime share a pattern table (same generating
+  // process); each week is an independent sample of it.
+  params.pattern_seed = drifted ? 43 : 42;
+  params.seed = 100 + static_cast<uint64_t>(week);
+  return focus::datagen::GenerateQuest(params);
+}
+
+}  // namespace
+
+int main() {
+  using namespace focus;
+
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.02;
+  core::DeviationFunction fn;
+
+  const data::TransactionDb baseline = MakeWeek(0, false);
+  const lits::LitsModel baseline_model = lits::Apriori(baseline, apriori);
+
+  // Calibrate the alert threshold on a known-quiet reference week: even
+  // between two samples of the SAME process, mining noise produces a
+  // nonzero delta*. Alert only when the bound clearly exceeds that level.
+  const data::TransactionDb reference = MakeWeek(99, false);
+  const double calibration = core::LitsUpperBound(
+      baseline_model, lits::Apriori(reference, apriori),
+      core::AggregateKind::kSum);
+  const double alert_threshold = 2.0 * calibration;
+  std::printf("calibrated delta* alert threshold: %.3f\n\n", alert_threshold);
+
+  std::printf("week | delta* (fast) | action | delta | sig%%\n");
+  std::printf("-----+---------------+--------+-------+-----\n");
+  for (int week = 1; week <= 8; ++week) {
+    const bool drifted = week >= 5;  // regime change at week 5
+    const data::TransactionDb snapshot = MakeWeek(week, drifted);
+    const lits::LitsModel model = lits::Apriori(snapshot, apriori);
+
+    const double fast_bound =
+        core::LitsUpperBound(baseline_model, model, core::AggregateKind::kSum);
+    if (fast_bound < alert_threshold) {
+      // Even the overestimate is small: safe to skip (Theorem 4.2(1)).
+      std::printf("%4d | %13.3f | skip   |   -   |  -\n", week, fast_bound);
+      continue;
+    }
+    const double deviation =
+        core::LitsDeviation(baseline_model, baseline, model, snapshot, fn);
+    core::SignificanceOptions sig_options;
+    sig_options.num_replicates = 9;
+    sig_options.seed = static_cast<uint64_t>(week);
+    const core::SignificanceResult sig = core::LitsDeviationSignificance(
+        baseline, snapshot, apriori, fn, sig_options);
+    std::printf("%4d | %13.3f | ALERT  | %.3f | %.0f\n", week, fast_bound,
+                deviation, sig.significance_percent);
+  }
+  std::printf("\nweeks 5-8 carry the injected drift; the filter should skip"
+              " most quiet weeks and alert on the drifted ones.\n");
+  return 0;
+}

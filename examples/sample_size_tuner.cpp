@@ -1,0 +1,57 @@
+// Sample-size tuning (§6): how big a sample is enough? The sample
+// deviation SD(S) = delta(M, M_S) quantifies how representative a sample
+// is of the full dataset's model. This tool sweeps sample fractions and
+// recommends the smallest one whose mean SD is within a target of the
+// full-data model.
+
+#include <cstdio>
+
+#include "focus/focus.h"
+
+int main() {
+  using namespace focus;
+
+  datagen::QuestParams params;
+  params.num_transactions = 8000;
+  params.num_items = 300;
+  params.num_patterns = 150;
+  params.avg_pattern_length = 4;
+  params.avg_transaction_length = 10;
+  params.seed = 1;
+  const data::TransactionDb db = datagen::GenerateQuest(params);
+
+  core::LitsStudyConfig config;
+  config.apriori.min_support = 0.01;
+  config.fractions = {0.05, 0.1, 0.2, 0.3, 0.5, 0.8};
+  config.samples_per_fraction = 5;
+  config.seed = 3;
+  const auto points = core::LitsSampleStudy(db, config);
+
+  std::printf("SF    mean SD   significance of decrease to next size\n");
+  const auto significances = core::StepSignificances(points);
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::printf("%.2f  %8.4f", points[i].fraction, points[i].mean_sd);
+    if (i < significances.size()) {
+      std::printf("   %.2f%%", significances[i]);
+    }
+    std::printf("\n");
+  }
+
+  // Recommendation: the smallest fraction that eliminates most of the
+  // representativeness gap — mean SD within 35% of the smallest studied
+  // fraction's SD (the paper's "rate of additional information decreases
+  // with increasing sample size" elbow).
+  const double worst_sd = points.front().mean_sd;
+  double recommended = points.back().fraction;
+  for (const auto& point : points) {
+    if (point.mean_sd <= 0.35 * worst_sd) {
+      recommended = point.fraction;
+      break;
+    }
+  }
+  std::printf("\nrecommended sample fraction: %.0f%%\n", 100.0 * recommended);
+  std::printf("(the paper's conclusion: decreases stay statistically "
+              "significant to 70-80%%, but 20-30%% suffices for many "
+              "applications)\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Store comparison (the paper's second motivating example): a marketing
+// analyst compares customer-transaction datasets from several stores and
+// groups stores with similar data characteristics for a shared marketing
+// strategy. delta* satisfies the triangle inequality (Theorem 4.2), so the
+// pairwise matrix is a genuine (pseudo-)metric and simple threshold
+// clustering over it is meaningful.
+
+#include <cstdio>
+#include <vector>
+
+#include "focus/focus.h"
+
+namespace {
+
+// Stores 0-2 share profile A; stores 3-4 share profile B.
+focus::data::TransactionDb MakeStore(int store) {
+  focus::datagen::QuestParams params;
+  params.num_transactions = 2500;
+  params.num_items = 150;
+  params.num_patterns = 60;
+  params.avg_pattern_length = store <= 2 ? 4 : 6;
+  params.avg_transaction_length = 10;
+  // Stores of the same profile share the generating process.
+  params.pattern_seed = store <= 2 ? 7 : 8;
+  params.seed = 1000 + static_cast<uint64_t>(store);
+  return focus::datagen::GenerateQuest(params);
+}
+
+}  // namespace
+
+int main() {
+  using namespace focus;
+  constexpr int kStores = 5;
+
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.02;
+
+  std::vector<data::TransactionDb> stores;
+  std::vector<lits::LitsModel> models;
+  for (int s = 0; s < kStores; ++s) {
+    stores.push_back(MakeStore(s));
+    models.push_back(lits::Apriori(stores.back(), apriori));
+  }
+
+  // Pairwise delta* matrix (models only — no data rescans).
+  std::vector<std::vector<double>> matrix(kStores,
+                                          std::vector<double>(kStores, 0.0));
+  std::printf("pairwise delta* matrix:\n        ");
+  for (int s = 0; s < kStores; ++s) std::printf("store%d  ", s);
+  std::printf("\n");
+  for (int a = 0; a < kStores; ++a) {
+    std::printf("store%d  ", a);
+    for (int b = 0; b < kStores; ++b) {
+      matrix[a][b] =
+          core::LitsUpperBound(models[a], models[b], core::AggregateKind::kSum);
+      std::printf("%6.3f  ", matrix[a][b]);
+    }
+    std::printf("\n");
+  }
+
+  // Single-linkage grouping at a distance threshold.
+  const double threshold = 0.5 * (matrix[0][kStores - 1] + matrix[0][1]);
+  std::vector<int> group(kStores, -1);
+  int next_group = 0;
+  for (int s = 0; s < kStores; ++s) {
+    if (group[s] != -1) continue;
+    group[s] = next_group++;
+    for (int t = s + 1; t < kStores; ++t) {
+      if (group[t] == -1 && matrix[s][t] <= threshold) group[t] = group[s];
+    }
+  }
+  std::printf("\ngrouping at threshold %.3f:\n", threshold);
+  for (int g = 0; g < next_group; ++g) {
+    std::printf("  strategy %d: stores", g);
+    for (int s = 0; s < kStores; ++s) {
+      if (group[s] == g) std::printf(" %d", s);
+    }
+    std::printf("\n");
+  }
+
+  // Because delta* is a (pseudo-)metric, the stores can be embedded in a
+  // plane for visual comparison (§4.1.1) — FastMap over the matrix.
+  const core::FastMapResult embedded = core::FastMapEmbedding(matrix, 2);
+  std::printf("\n2-D FastMap embedding (for plotting):\n");
+  for (int s = 0; s < kStores; ++s) {
+    std::printf("  store%d: (%7.3f, %7.3f)\n", s, embedded.coordinates[s][0],
+                embedded.coordinates[s][1]);
+  }
+  std::printf("\nexpected: stores 0-2 together (profile A), 3-4 together"
+              " (profile B), in both the grouping and the embedding.\n");
+  return 0;
+}

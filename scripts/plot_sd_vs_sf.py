@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Render the SD-vs-SF tables in a bench output file as ASCII charts.
+
+Usage:
+    python3 scripts/plot_sd_vs_sf.py bench_output.txt
+
+Finds every table of the form
+
+    SF   | mean SD | min SD | max SD
+    ---------------------------------
+    0.01 | 1.234   | ...
+
+printed by the fig07-fig12 / ext_cluster binaries (and their captions),
+and draws a log-scale ASCII plot per series so the monotone-decrease and
+elbow shapes of Figures 7-12 can be eyeballed without leaving the
+terminal.
+"""
+
+import math
+import re
+import sys
+
+WIDTH = 60
+
+
+def parse_tables(lines):
+    """Yields (caption, [(sf, mean_sd), ...]) tuples."""
+    caption = ""
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("SF ") and "mean SD" in line:
+            rows = []
+            j = i + 2  # skip the dashed separator
+            while j < len(lines):
+                match = re.match(r"\s*([0-9.]+)\s*\|\s*([0-9.]+)", lines[j])
+                if not match:
+                    break
+                rows.append((float(match.group(1)), float(match.group(2))))
+                j += 1
+            if rows:
+                yield caption.strip(), rows
+            i = j
+        else:
+            if line.strip() and "|" not in line and "---" not in line:
+                caption = line
+            i += 1
+
+
+def draw(caption, rows):
+    print(f"\n{caption}")
+    values = [sd for _, sd in rows]
+    lo = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1e-9
+    hi = max(values) if max(values) > 0 else 1.0
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    span = max(log_hi - log_lo, 1e-9)
+    for sf, sd in rows:
+        bar = 0
+        if sd > 0:
+            bar = int(round((math.log10(sd) - log_lo) / span * WIDTH))
+        print(f"  SF {sf:4.2f} |{'#' * bar:<{WIDTH}}| {sd:.5f}")
+    print(f"  (log scale, {lo:.4g} .. {hi:.4g})")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    with open(sys.argv[1], encoding="utf-8", errors="replace") as handle:
+        lines = handle.read().splitlines()
+    count = 0
+    for caption, rows in parse_tables(lines):
+        draw(caption, rows)
+        count += 1
+    if count == 0:
+        print("no SD-vs-SF tables found — run the fig07..fig12 benches first")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

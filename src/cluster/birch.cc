@@ -1,0 +1,175 @@
+#include "cluster/birch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace focus::cluster {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<double> ClusteringFeature::Centroid() const {
+  FOCUS_CHECK_GT(n, 0);
+  std::vector<double> centroid(linear_sum.size());
+  for (size_t i = 0; i < linear_sum.size(); ++i) {
+    centroid[i] = linear_sum[i] / static_cast<double>(n);
+  }
+  return centroid;
+}
+
+double ClusteringFeature::Radius() const {
+  if (n == 0) return 0.0;
+  // radius^2 = SS/n - ||LS/n||^2, per dimension summed.
+  double radius_sq = 0.0;
+  const double dn = static_cast<double>(n);
+  for (size_t i = 0; i < linear_sum.size(); ++i) {
+    radius_sq += square_sum[i] / dn - (linear_sum[i] / dn) * (linear_sum[i] / dn);
+  }
+  return std::sqrt(std::max(0.0, radius_sq));
+}
+
+double ClusteringFeature::RadiusWith(std::span<const double> point) const {
+  ClusteringFeature trial = *this;
+  trial.Absorb(point);
+  return trial.Radius();
+}
+
+void ClusteringFeature::Absorb(std::span<const double> point) {
+  if (linear_sum.empty()) {
+    linear_sum.assign(point.size(), 0.0);
+    square_sum.assign(point.size(), 0.0);
+  }
+  FOCUS_CHECK_EQ(linear_sum.size(), point.size());
+  ++n;
+  for (size_t i = 0; i < point.size(); ++i) {
+    linear_sum[i] += point[i];
+    square_sum[i] += point[i] * point[i];
+  }
+}
+
+void ClusteringFeature::Merge(const ClusteringFeature& other) {
+  FOCUS_CHECK_EQ(linear_sum.size(), other.linear_sum.size());
+  n += other.n;
+  for (size_t i = 0; i < linear_sum.size(); ++i) {
+    linear_sum[i] += other.linear_sum[i];
+    square_sum[i] += other.square_sum[i];
+  }
+}
+
+ClusterModel BirchClustering(const data::Dataset& dataset, const Grid& grid,
+                             const BirchOptions& options) {
+  FOCUS_CHECK_GT(dataset.num_rows(), 0);
+  FOCUS_CHECK_GT(options.threshold, 0.0);
+  const std::vector<int>& attrs = grid.attributes();
+
+  // Phase 1: sequential CF absorption.
+  std::vector<ClusteringFeature> entries;
+  std::vector<double> point(attrs.size());
+  for (int64_t row = 0; row < dataset.num_rows(); ++row) {
+    const auto values = dataset.Row(row);
+    for (size_t i = 0; i < attrs.size(); ++i) point[i] = values[attrs[i]];
+
+    int best = -1;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (size_t e = 0; e < entries.size(); ++e) {
+      const double d = SquaredDistance(entries[e].Centroid(), point);
+      if (d < best_distance) {
+        best_distance = d;
+        best = static_cast<int>(e);
+      }
+    }
+    if (best >= 0 && entries[best].RadiusWith(point) <= options.threshold) {
+      entries[best].Absorb(point);
+    } else if (static_cast<int>(entries.size()) < options.max_entries) {
+      ClusteringFeature fresh;
+      fresh.Absorb(point);
+      entries.push_back(std::move(fresh));
+    } else {
+      entries[best].Absorb(point);  // valve: absorb anyway
+    }
+  }
+
+  // Phase 2: agglomerative merge of close entries.
+  const double merge_distance_sq =
+      (options.merge_factor * options.threshold) *
+      (options.merge_factor * options.threshold);
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (size_t a = 0; a < entries.size() && !merged; ++a) {
+      for (size_t b = a + 1; b < entries.size(); ++b) {
+        if (SquaredDistance(entries[a].Centroid(), entries[b].Centroid()) <=
+            merge_distance_sq) {
+          entries[a].Merge(entries[b]);
+          entries.erase(entries.begin() + static_cast<ptrdiff_t>(b));
+          merged = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 3: project onto the grid — dense cells are assigned to the
+  // nearest centroid, keeping regions as disjoint cell unions.
+  const std::vector<int64_t> cell_counts = CountCells(dataset, grid);
+  const int64_t min_count = std::max<int64_t>(
+      1, static_cast<int64_t>(options.density_threshold *
+                              static_cast<double>(dataset.num_rows())));
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(entries.size());
+  for (const ClusteringFeature& entry : entries) {
+    centroids.push_back(entry.Centroid());
+  }
+
+  std::vector<std::vector<int64_t>> regions(entries.size());
+  std::vector<double> cell_center(attrs.size());
+  for (int64_t cell = 0; cell < grid.num_cells(); ++cell) {
+    if (cell_counts[cell] < min_count) continue;
+    // Cell center from its box (clip infinities to the attribute domain).
+    const data::Box box = grid.CellBox(cell);
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      const data::Attribute& attr = grid.schema().attribute(attrs[i]);
+      const double lo = std::max(box.bound(attrs[i]).lo, attr.min_value);
+      const double hi = std::min(box.bound(attrs[i]).hi, attr.max_value);
+      cell_center[i] = (lo + hi) / 2.0;
+    }
+    int best = -1;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      const double d = SquaredDistance(centroids[c], cell_center);
+      if (d < best_distance) {
+        best_distance = d;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best >= 0) regions[best].push_back(cell);
+  }
+
+  // Drop empty regions, compute selectivities.
+  std::vector<std::vector<int64_t>> kept;
+  std::vector<double> selectivities;
+  const double n = static_cast<double>(dataset.num_rows());
+  for (auto& region : regions) {
+    if (region.empty()) continue;
+    std::sort(region.begin(), region.end());
+    int64_t total = 0;
+    for (int64_t cell : region) total += cell_counts[cell];
+    kept.push_back(std::move(region));
+    selectivities.push_back(static_cast<double>(total) / n);
+  }
+  return ClusterModel(grid, std::move(kept), std::move(selectivities));
+}
+
+}  // namespace focus::cluster

@@ -1,0 +1,57 @@
+#ifndef FOCUS_CLUSTER_BIRCH_H_
+#define FOCUS_CLUSTER_BIRCH_H_
+
+#include <span>
+#include <vector>
+
+#include "cluster/cluster_model.h"
+#include "data/dataset.h"
+
+namespace focus::cluster {
+
+// BIRCH-style clustering-feature (CF) clustering (Zhang, Ramakrishnan &
+// Livny [38], the clustering substrate the paper cites for
+// cluster-models), reduced to its core: a single sequential scan absorbs
+// each point into the nearest CF entry if that keeps the entry's radius
+// under `threshold`, otherwise opens a new entry; a final agglomerative
+// pass merges entries whose centroids are within `merge_factor *
+// threshold`.
+//
+// The resulting centroids are converted into the library's cluster-model
+// shape: every dense grid cell is assigned to the nearest centroid, so
+// regions stay unions of grid cells (exact refinement, see
+// cluster/cluster_model.h) and all FOCUS machinery applies unchanged —
+// including GCRs against grid-density models over the same grid.
+struct BirchOptions {
+  // Max radius (RMS distance to centroid) a CF entry may reach when
+  // absorbing a point.
+  double threshold = 1.0;
+  // Entries with centroid distance below merge_factor * threshold merge.
+  double merge_factor = 2.0;
+  // Cells holding less than this fraction of the dataset are noise.
+  double density_threshold = 0.001;
+  // Safety valve on the number of CF entries.
+  int max_entries = 4096;
+};
+
+// A clustering feature: sufficient statistics of one sub-cluster.
+struct ClusteringFeature {
+  int64_t n = 0;
+  std::vector<double> linear_sum;   // per grid attribute
+  std::vector<double> square_sum;   // per grid attribute
+
+  std::vector<double> Centroid() const;
+  // RMS distance of the members to the centroid.
+  double Radius() const;
+  // The radius this entry would have after absorbing `point`.
+  double RadiusWith(std::span<const double> point) const;
+  void Absorb(std::span<const double> point);
+  void Merge(const ClusteringFeature& other);
+};
+
+ClusterModel BirchClustering(const data::Dataset& dataset, const Grid& grid,
+                             const BirchOptions& options);
+
+}  // namespace focus::cluster
+
+#endif  // FOCUS_CLUSTER_BIRCH_H_

@@ -1,0 +1,119 @@
+#include "cluster/cluster_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace focus::cluster {
+
+Grid::Grid(data::Schema schema, std::vector<int> attributes, int bins)
+    : schema_(std::move(schema)),
+      attributes_(std::move(attributes)),
+      bins_(bins) {
+  FOCUS_CHECK_GT(bins_, 0);
+  FOCUS_CHECK(!attributes_.empty());
+  num_cells_ = 1;
+  for (int attr : attributes_) {
+    FOCUS_CHECK_GE(attr, 0);
+    FOCUS_CHECK_LT(attr, schema_.num_attributes());
+    const data::Attribute& a = schema_.attribute(attr);
+    FOCUS_CHECK(a.type == data::AttributeType::kNumeric)
+        << "grid attribute must be numeric: " << a.name;
+    FOCUS_CHECK_LT(a.min_value, a.max_value);
+    lo_.push_back(a.min_value);
+    width_.push_back((a.max_value - a.min_value) / static_cast<double>(bins_));
+    num_cells_ *= bins_;
+    FOCUS_CHECK_LT(num_cells_, int64_t{1} << 40) << "grid too fine";
+  }
+}
+
+int64_t Grid::CellOf(std::span<const double> row) const {
+  int64_t cell = 0;
+  for (size_t axis = 0; axis < attributes_.size(); ++axis) {
+    const double v = row[attributes_[axis]];
+    int64_t bin = static_cast<int64_t>(std::floor((v - lo_[axis]) / width_[axis]));
+    bin = std::clamp<int64_t>(bin, 0, bins_ - 1);
+    cell = cell * bins_ + bin;
+  }
+  return cell;
+}
+
+data::Box Grid::CellBox(int64_t cell) const {
+  data::Box box = data::Box::Full(schema_);
+  for (size_t axis = attributes_.size(); axis-- > 0;) {
+    const int64_t bin = cell % bins_;
+    cell /= bins_;
+    const double lo = lo_[axis] + width_[axis] * static_cast<double>(bin);
+    const double hi =
+        bin == bins_ - 1
+            ? std::numeric_limits<double>::infinity()  // top bin is clamped
+            : lo + width_[axis];
+    box.ClampNumeric(attributes_[axis],
+                     bin == 0 ? -std::numeric_limits<double>::infinity() : lo,
+                     hi);
+  }
+  return box;
+}
+
+std::vector<int64_t> Grid::Neighbors(int64_t cell) const {
+  // Decompose into per-axis coordinates.
+  std::vector<int64_t> coords(attributes_.size());
+  int64_t rest = cell;
+  for (size_t axis = attributes_.size(); axis-- > 0;) {
+    coords[axis] = rest % bins_;
+    rest /= bins_;
+  }
+  std::vector<int64_t> neighbors;
+  for (size_t axis = 0; axis < attributes_.size(); ++axis) {
+    for (int delta : {-1, 1}) {
+      const int64_t coord = coords[axis] + delta;
+      if (coord < 0 || coord >= bins_) continue;
+      int64_t neighbor = 0;
+      for (size_t a = 0; a < attributes_.size(); ++a) {
+        neighbor = neighbor * bins_ + (a == axis ? coord : coords[a]);
+      }
+      neighbors.push_back(neighbor);
+    }
+  }
+  return neighbors;
+}
+
+bool Grid::SameShape(const Grid& other) const {
+  return bins_ == other.bins_ && attributes_ == other.attributes_ &&
+         schema_ == other.schema_;
+}
+
+ClusterModel::ClusterModel(Grid grid, std::vector<std::vector<int64_t>> regions,
+                           std::vector<double> selectivities)
+    : grid_(std::move(grid)),
+      regions_(std::move(regions)),
+      selectivities_(std::move(selectivities)) {
+  FOCUS_CHECK_EQ(regions_.size(), selectivities_.size());
+  // Regions must be sorted cell lists, pairwise disjoint.
+  std::vector<int64_t> all_cells;
+  for (auto& region : regions_) {
+    FOCUS_CHECK(std::is_sorted(region.begin(), region.end()));
+    all_cells.insert(all_cells.end(), region.begin(), region.end());
+  }
+  std::sort(all_cells.begin(), all_cells.end());
+  FOCUS_CHECK(std::adjacent_find(all_cells.begin(), all_cells.end()) ==
+              all_cells.end())
+      << "cluster regions overlap";
+}
+
+double ClusterModel::CoveredSelectivity() const {
+  double total = 0.0;
+  for (double s : selectivities_) total += s;
+  return total;
+}
+
+std::vector<int64_t> CountCells(const data::Dataset& dataset, const Grid& grid) {
+  std::vector<int64_t> counts(grid.num_cells(), 0);
+  for (int64_t row = 0; row < dataset.num_rows(); ++row) {
+    ++counts[grid.CellOf(dataset.Row(row))];
+  }
+  return counts;
+}
+
+}  // namespace focus::cluster

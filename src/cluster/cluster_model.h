@@ -1,0 +1,82 @@
+#ifndef FOCUS_CLUSTER_CLUSTER_MODEL_H_
+#define FOCUS_CLUSTER_CLUSTER_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/box.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace focus::cluster {
+
+// A regular grid over a subset of the numeric attributes. Cluster-model
+// regions are unions of grid cells, so two models over the same grid have
+// an exact greatest common refinement at cell granularity (the cluster-
+// model discussion of §2.4 — "a special case of dt-models" with possibly
+// non-exhaustive regions).
+class Grid {
+ public:
+  // `attributes` are indices of numeric attributes in `schema`; each is
+  // divided into `bins` equal-width bins spanning its declared domain.
+  Grid(data::Schema schema, std::vector<int> attributes, int bins);
+
+  const data::Schema& schema() const { return schema_; }
+  const std::vector<int>& attributes() const { return attributes_; }
+  int bins() const { return bins_; }
+  int64_t num_cells() const { return num_cells_; }
+
+  // Flattened cell index of a tuple (values outside the declared domain
+  // clamp into the boundary bins).
+  int64_t CellOf(std::span<const double> row) const;
+
+  // The axis-aligned Box covered by a cell (unconstrained on attributes
+  // not in the grid).
+  data::Box CellBox(int64_t cell) const;
+
+  // Neighboring cells (±1 along each grid axis); used by the clustering
+  // connected-components pass.
+  std::vector<int64_t> Neighbors(int64_t cell) const;
+
+  bool SameShape(const Grid& other) const;
+
+ private:
+  data::Schema schema_;
+  std::vector<int> attributes_;
+  int bins_;
+  int64_t num_cells_;
+  std::vector<double> lo_;     // per grid axis
+  std::vector<double> width_;  // per grid axis (bin width)
+};
+
+// A cluster-model: a set of disjoint regions, each a sorted list of grid
+// cells, with the selectivity of each region w.r.t. the inducing dataset.
+// Cells not covered by any region are "noise" (the structural component
+// need not be exhaustive).
+class ClusterModel {
+ public:
+  ClusterModel(Grid grid, std::vector<std::vector<int64_t>> regions,
+               std::vector<double> selectivities);
+
+  const Grid& grid() const { return grid_; }
+  int num_regions() const { return static_cast<int>(regions_.size()); }
+  const std::vector<int64_t>& region(int i) const { return regions_[i]; }
+  double selectivity(int i) const { return selectivities_[i]; }
+
+  // Total selectivity over all regions (≤ 1; < 1 when noise exists).
+  double CoveredSelectivity() const;
+
+ private:
+  Grid grid_;
+  std::vector<std::vector<int64_t>> regions_;  // each sorted, all disjoint
+  std::vector<double> selectivities_;
+};
+
+// Per-cell tuple counts of a dataset under a grid — the one-scan primitive
+// for computing measure components of cluster regions.
+std::vector<int64_t> CountCells(const data::Dataset& dataset, const Grid& grid);
+
+}  // namespace focus::cluster
+
+#endif  // FOCUS_CLUSTER_CLUSTER_MODEL_H_

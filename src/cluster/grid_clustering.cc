@@ -1,0 +1,64 @@
+#include "cluster/grid_clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace focus::cluster {
+
+ClusterModel GridClustering(const data::Dataset& dataset, const Grid& grid,
+                            const GridClusteringOptions& options) {
+  FOCUS_CHECK_GT(dataset.num_rows(), 0);
+  FOCUS_CHECK_GT(options.density_threshold, 0.0);
+
+  const std::vector<int64_t> counts = CountCells(dataset, grid);
+  const double n = static_cast<double>(dataset.num_rows());
+  const int64_t min_count = std::max<int64_t>(
+      1, static_cast<int64_t>(options.density_threshold * n));
+
+  std::vector<int64_t> dense_cells;
+  for (int64_t cell = 0; cell < grid.num_cells(); ++cell) {
+    if (counts[cell] >= min_count) dense_cells.push_back(cell);
+  }
+
+  // Connected components over dense cells (axis adjacency), iterative DFS.
+  std::unordered_map<int64_t, int> component_of;
+  component_of.reserve(dense_cells.size() * 2);
+  for (int64_t cell : dense_cells) component_of[cell] = -1;
+
+  std::vector<std::vector<int64_t>> regions;
+  std::vector<int64_t> stack;
+  for (int64_t seed : dense_cells) {
+    if (component_of[seed] != -1) continue;
+    const int component = static_cast<int>(regions.size());
+    regions.emplace_back();
+    stack.push_back(seed);
+    component_of[seed] = component;
+    while (!stack.empty()) {
+      const int64_t cell = stack.back();
+      stack.pop_back();
+      regions[component].push_back(cell);
+      for (int64_t neighbor : grid.Neighbors(cell)) {
+        const auto it = component_of.find(neighbor);
+        if (it != component_of.end() && it->second == -1) {
+          it->second = component;
+          stack.push_back(neighbor);
+        }
+      }
+    }
+  }
+
+  std::vector<double> selectivities;
+  selectivities.reserve(regions.size());
+  for (auto& region : regions) {
+    std::sort(region.begin(), region.end());
+    int64_t total = 0;
+    for (int64_t cell : region) total += counts[cell];
+    selectivities.push_back(static_cast<double>(total) / n);
+  }
+  return ClusterModel(grid, std::move(regions), std::move(selectivities));
+}
+
+}  // namespace focus::cluster

@@ -1,0 +1,24 @@
+#ifndef FOCUS_CLUSTER_GRID_CLUSTERING_H_
+#define FOCUS_CLUSTER_GRID_CLUSTERING_H_
+
+#include "cluster/cluster_model.h"
+#include "data/dataset.h"
+
+namespace focus::cluster {
+
+// Grid-density clustering: cells whose tuple fraction is at least
+// `density_threshold` are dense; maximal axis-connected components of
+// dense cells are the clusters. Produces exactly the paper's
+// cluster-model shape (§2.4): a set of non-overlapping regions that need
+// not cover the whole attribute space.
+struct GridClusteringOptions {
+  // Minimum fraction of |D| a cell must hold to be dense.
+  double density_threshold = 0.001;
+};
+
+ClusterModel GridClustering(const data::Dataset& dataset, const Grid& grid,
+                            const GridClusteringOptions& options);
+
+}  // namespace focus::cluster
+
+#endif  // FOCUS_CLUSTER_GRID_CLUSTERING_H_

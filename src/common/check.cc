@@ -1,0 +1,18 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace focus::common {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "FOCUS_CHECK failed at %s:%d: %s", file, line, expr);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+}  // namespace focus::common

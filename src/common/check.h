@@ -1,0 +1,56 @@
+#ifndef FOCUS_COMMON_CHECK_H_
+#define FOCUS_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace focus::common {
+
+// Aborts the process with a diagnostic. Used by the FOCUS_CHECK macros;
+// call directly only for unconditional failures.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace internal {
+
+// Collects an optional streamed message for a failed check and fires
+// CheckFailed when destroyed. The lifetime of one temporary spans exactly
+// one FOCUS_CHECK expansion.
+class CheckMessageSink {
+ public:
+  CheckMessageSink(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageSink() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageSink& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace focus::common
+
+// Always-on invariant check (library correctness conditions, not user
+// input validation). Supports streaming extra context:
+//   FOCUS_CHECK(n > 0) << "empty dataset " << name;
+#define FOCUS_CHECK(condition)                                              \
+  if (condition) {                                                         \
+  } else /* NOLINT */                                                       \
+    ::focus::common::internal::CheckMessageSink(__FILE__, __LINE__, #condition)
+
+#define FOCUS_CHECK_EQ(a, b) FOCUS_CHECK((a) == (b))
+#define FOCUS_CHECK_NE(a, b) FOCUS_CHECK((a) != (b))
+#define FOCUS_CHECK_LT(a, b) FOCUS_CHECK((a) < (b))
+#define FOCUS_CHECK_LE(a, b) FOCUS_CHECK((a) <= (b))
+#define FOCUS_CHECK_GT(a, b) FOCUS_CHECK((a) > (b))
+#define FOCUS_CHECK_GE(a, b) FOCUS_CHECK((a) >= (b))
+
+#endif  // FOCUS_COMMON_CHECK_H_

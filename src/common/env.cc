@@ -1,0 +1,32 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace focus::common {
+
+double GetEnvDouble(const std::string& name, double default_value) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end == value) ? default_value : parsed;
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t default_value) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return default_value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  return (end == value) ? default_value : static_cast<int64_t>(parsed);
+}
+
+bool GetEnvBool(const std::string& name, bool default_value) {
+  return GetEnvInt(name, default_value ? 1 : 0) != 0;
+}
+
+double BenchScale(double full_scale) {
+  if (GetEnvBool("FOCUS_FULL", false)) return full_scale;
+  return GetEnvDouble("FOCUS_SCALE", 1.0);
+}
+
+}  // namespace focus::common

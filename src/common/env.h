@@ -1,0 +1,24 @@
+#ifndef FOCUS_COMMON_ENV_H_
+#define FOCUS_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace focus::common {
+
+// Reads configuration from the process environment, with defaults. Used by
+// the benchmark harness so reproduction scale can be adjusted without
+// recompiling:
+//   FOCUS_SCALE  — multiplier on default workload sizes (default 1.0).
+//   FOCUS_FULL   — if set to 1, approximate the paper's original sizes.
+double GetEnvDouble(const std::string& name, double default_value);
+int64_t GetEnvInt(const std::string& name, int64_t default_value);
+bool GetEnvBool(const std::string& name, bool default_value);
+
+// Workload scale for benches: FOCUS_FULL=1 returns `full_scale`,
+// otherwise FOCUS_SCALE (default 1.0).
+double BenchScale(double full_scale);
+
+}  // namespace focus::common
+
+#endif  // FOCUS_COMMON_ENV_H_

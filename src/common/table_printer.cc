@@ -1,0 +1,65 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace focus::common {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FOCUS_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  FOCUS_CHECK_LE(row.size(), header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : " | ") << row[c]
+          << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c == 0 ? 0 : 3);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string FormatInt(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+  return buffer;
+}
+
+}  // namespace focus::common

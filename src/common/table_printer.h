@@ -1,0 +1,43 @@
+#ifndef FOCUS_COMMON_TABLE_PRINTER_H_
+#define FOCUS_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace focus::common {
+
+// Renders aligned text tables for the benchmark harness, e.g.
+//
+//   Sample Fraction | 0.01  | 0.05  | ...
+//   Significance    | 99.99 | 99.99 | ...
+//
+// Cells are strings; numeric helpers format with fixed precision.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a row; the row is padded with empty cells if shorter than the
+  // header and must not be longer.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table (header, separator, rows) as a single string.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+// Formats an integer count with no decoration.
+std::string FormatInt(int64_t value);
+
+}  // namespace focus::common
+
+#endif  // FOCUS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,29 @@
+#ifndef FOCUS_COMMON_TIMER_H_
+#define FOCUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace focus::common {
+
+// Wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart, in seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace focus::common
+
+#endif  // FOCUS_COMMON_TIMER_H_

@@ -1,0 +1,52 @@
+#include "core/chi_squared_instance.h"
+
+#include <random>
+
+#include "common/check.h"
+#include "core/dt_deviation.h"
+#include "core/functions.h"
+#include "data/sampling.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace focus::core {
+
+ChiSquaredResult ChiSquaredFit(const dt::DecisionTree& tree,
+                               const data::Dataset& d1,
+                               const data::Dataset& d2, double c) {
+  DtDeviationOptions options;
+  options.fn = {ChiSquaredDiff(c), AggregateKind::kSum};
+  ChiSquaredResult result;
+  result.statistic = DtDeviationOverTree(tree, d1, d2, options);
+  result.dof = static_cast<double>(tree.num_leaves()) *
+                   static_cast<double>(tree.schema().num_classes()) -
+               1.0;
+  if (result.dof < 1.0) result.dof = 1.0;
+  result.asymptotic_p_value = stats::ChiSquaredPValue(result.statistic, result.dof);
+  return result;
+}
+
+double ChiSquaredBootstrapPValue(const dt::DecisionTree& tree,
+                                 const data::Dataset& d1,
+                                 const data::Dataset& d2, double c,
+                                 int num_replicates, uint64_t seed) {
+  FOCUS_CHECK_GT(num_replicates, 0);
+  const double observed = ChiSquaredFit(tree, d1, d2, c).statistic;
+
+  std::mt19937_64 rng = stats::MakeRng(seed);
+  int at_least_as_extreme = 0;
+  for (int r = 0; r < num_replicates; ++r) {
+    // Null hypothesis: the new dataset fits the old model, i.e. is drawn
+    // from D1's distribution. Resample |D2| tuples from D1.
+    const data::Dataset replicate = data::TakeRows(
+        d1, data::SampleIndicesWithReplacement(d1.num_rows(), d2.num_rows(),
+                                               rng));
+    const double statistic = ChiSquaredFit(tree, d1, replicate, c).statistic;
+    if (statistic >= observed) ++at_least_as_extreme;
+  }
+  // +1 correction: the observed value is itself one realization.
+  return static_cast<double>(at_least_as_extreme + 1) /
+         static_cast<double>(num_replicates + 1);
+}
+
+}  // namespace focus::core

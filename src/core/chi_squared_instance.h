@@ -1,0 +1,42 @@
+#ifndef FOCUS_CORE_CHI_SQUARED_INSTANCE_H_
+#define FOCUS_CORE_CHI_SQUARED_INSTANCE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "tree/decision_tree.h"
+
+namespace focus::core {
+
+// The chi-squared goodness-of-fit statistic as a FOCUS instance (§5.2.2,
+// Proposition 5.1). The cells are the regions of the decision tree T
+// (leaf × class); expected counts come from D1's measures, observed counts
+// from D2. Cells with zero expected measure contribute the constant c
+// (the standard small-constant correction).
+struct ChiSquaredResult {
+  double statistic = 0.0;
+  // Degrees of freedom used for the asymptotic p-value: #cells - 1.
+  double dof = 0.0;
+  // Asymptotic p-value from the X^2 distribution. Only trustworthy when
+  // expected counts are large (the paper's condition (2)); otherwise use
+  // the bootstrap p-value below.
+  double asymptotic_p_value = 1.0;
+};
+
+ChiSquaredResult ChiSquaredFit(const dt::DecisionTree& tree,
+                               const data::Dataset& d1,
+                               const data::Dataset& d2, double c = 0.5);
+
+// The paper's remedy when the standard X^2 tables don't apply (expected
+// counts below 5 in many tree cells): estimate the null distribution of
+// the statistic by bootstrapping datasets of size |D2| from D1 and return
+// the fraction of bootstrap statistics >= the observed one.
+double ChiSquaredBootstrapPValue(const dt::DecisionTree& tree,
+                                 const data::Dataset& d1,
+                                 const data::Dataset& d2, double c = 0.5,
+                                 int num_replicates = 99,
+                                 uint64_t seed = 0x5eed);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_CHI_SQUARED_INSTANCE_H_

@@ -1,0 +1,104 @@
+#include "core/cluster_deviation.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace focus::core {
+namespace {
+
+// cell -> region index maps for fast pairing.
+std::unordered_map<int64_t, int> CellOwners(const cluster::ClusterModel& m) {
+  std::unordered_map<int64_t, int> owners;
+  for (int r = 0; r < m.num_regions(); ++r) {
+    for (int64_t cell : m.region(r)) owners[cell] = r;
+  }
+  return owners;
+}
+
+}  // namespace
+
+std::vector<ClusterGcrRegion> ClusterGcr(const cluster::ClusterModel& m1,
+                                         const cluster::ClusterModel& m2) {
+  FOCUS_CHECK(m1.grid().SameShape(m2.grid()))
+      << "cluster-models must share a grid to be refined";
+  const std::unordered_map<int64_t, int> owners2 = CellOwners(m2);
+  const std::unordered_map<int64_t, int> owners1 = CellOwners(m1);
+
+  // Key (r1, r2) with -1 encoded as the max index + 1 would collide; use a
+  // map over the pair directly.
+  std::map<std::pair<int, int>, std::vector<int64_t>> parts;
+  for (int r1 = 0; r1 < m1.num_regions(); ++r1) {
+    for (int64_t cell : m1.region(r1)) {
+      const auto it = owners2.find(cell);
+      const int r2 = it == owners2.end() ? -1 : it->second;
+      parts[{r1, r2}].push_back(cell);
+    }
+  }
+  for (int r2 = 0; r2 < m2.num_regions(); ++r2) {
+    for (int64_t cell : m2.region(r2)) {
+      if (owners1.count(cell)) continue;  // already covered above
+      parts[{-1, r2}].push_back(cell);
+    }
+  }
+
+  std::vector<ClusterGcrRegion> gcr;
+  gcr.reserve(parts.size());
+  for (auto& [key, cells] : parts) {
+    std::sort(cells.begin(), cells.end());
+    gcr.push_back({key.first, key.second, std::move(cells)});
+  }
+  return gcr;
+}
+
+double ClusterDeviation(const cluster::ClusterModel& m1,
+                        const data::Dataset& d1,
+                        const cluster::ClusterModel& m2,
+                        const data::Dataset& d2,
+                        const ClusterDeviationOptions& options) {
+  const std::vector<ClusterGcrRegion> gcr = ClusterGcr(m1, m2);
+  const cluster::Grid& grid = m1.grid();
+  const data::Schema& schema = grid.schema();
+
+  // One scan of each dataset: per-cell counts, restricted to the focus
+  // region when present.
+  auto count_cells = [&](const data::Dataset& dataset) {
+    std::vector<int64_t> counts(grid.num_cells(), 0);
+    for (int64_t row = 0; row < dataset.num_rows(); ++row) {
+      const auto values = dataset.Row(row);
+      if (options.focus.has_value() && !options.focus->Contains(schema, values)) {
+        continue;
+      }
+      ++counts[grid.CellOf(values)];
+    }
+    return counts;
+  };
+  const std::vector<int64_t> counts1 = count_cells(d1);
+  const std::vector<int64_t> counts2 = count_cells(d2);
+  const double n1 = static_cast<double>(d1.num_rows());
+  const double n2 = static_cast<double>(d2.num_rows());
+
+  std::vector<double> diffs;
+  diffs.reserve(gcr.size());
+  for (const ClusterGcrRegion& region : gcr) {
+    int64_t c1 = 0;
+    int64_t c2 = 0;
+    bool region_intersects_focus = !options.focus.has_value();
+    for (int64_t cell : region.cells) {
+      c1 += counts1[cell];
+      c2 += counts2[cell];
+      if (!region_intersects_focus &&
+          !grid.CellBox(cell).Intersect(*options.focus).IsEmpty(schema)) {
+        region_intersects_focus = true;
+      }
+    }
+    if (!region_intersects_focus) continue;  // R ∩ region is empty
+    diffs.push_back(options.fn.f(static_cast<double>(c1),
+                                 static_cast<double>(c2), n1, n2));
+  }
+  return AggregateValues(options.fn.g, diffs);
+}
+
+}  // namespace focus::core

@@ -1,0 +1,50 @@
+#ifndef FOCUS_CORE_CLUSTER_DEVIATION_H_
+#define FOCUS_CORE_CLUSTER_DEVIATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster_model.h"
+#include "core/functions.h"
+#include "data/box.h"
+#include "data/dataset.h"
+
+namespace focus::core {
+
+// FOCUS instantiation for cluster-models (§2.4: "the discussion for
+// cluster-models is a special case of dt-models"). Regions are unions of
+// grid cells, so refinement is exact at cell granularity.
+//
+// The GCR of two cluster structural components consists of:
+//   * every non-empty pairwise intersection r1 ∩ r2,
+//   * the remainder r1 \ (∪ regions of M2) of every region of M1,
+//   * the remainder r2 \ (∪ regions of M1) of every region of M2.
+// Each original region is the disjoint union of its GCR parts, which is
+// precisely the refinement property of Definition 3.4.
+struct ClusterGcrRegion {
+  int region1 = -1;  // index in M1, or -1 for an M2-only remainder
+  int region2 = -1;  // index in M2, or -1 for an M1-only remainder
+  std::vector<int64_t> cells;  // sorted
+};
+
+std::vector<ClusterGcrRegion> ClusterGcr(const cluster::ClusterModel& m1,
+                                         const cluster::ClusterModel& m2);
+
+struct ClusterDeviationOptions {
+  DeviationFunction fn;
+  // Optional focussing region R; a GCR region contributes only the cells
+  // whose boxes intersect R, and tuples are counted only inside R.
+  std::optional<data::Box> focus;
+};
+
+// delta_(f,g)(M1, M2) for cluster-models; both datasets are scanned once
+// (cell histograms).
+double ClusterDeviation(const cluster::ClusterModel& m1,
+                        const data::Dataset& d1,
+                        const cluster::ClusterModel& m2,
+                        const data::Dataset& d2,
+                        const ClusterDeviationOptions& options);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_CLUSTER_DEVIATION_H_

@@ -1,0 +1,143 @@
+#include "core/dt_deviation.h"
+
+#include "common/check.h"
+#include "tree/leaf_regions.h"
+
+namespace focus::core {
+
+DtModel::DtModel(dt::DecisionTree tree, const data::Dataset& inducing_dataset)
+    : tree_(std::move(tree)) {
+  FOCUS_CHECK(tree_.schema() == inducing_dataset.schema());
+  leaf_boxes_ = dt::ExtractLeafBoxes(tree_);
+  measures_ = DtMeasuresOverTree(tree_, inducing_dataset);
+  num_rows_ = inducing_dataset.num_rows();
+}
+
+DtGcr::DtGcr(const DtModel& m1, const DtModel& m2)
+    : leaves2_(m2.num_leaves()), num_classes_(m1.num_classes()) {
+  FOCUS_CHECK(m1.tree().schema() == m2.tree().schema())
+      << "dt-models must share an attribute space";
+  const data::Schema& schema = m1.tree().schema();
+  for (int l1 = 0; l1 < m1.num_leaves(); ++l1) {
+    for (int l2 = 0; l2 < m2.num_leaves(); ++l2) {
+      data::Box intersection = m1.leaf_box(l1).Intersect(m2.leaf_box(l2));
+      if (intersection.IsEmpty(schema)) continue;
+      index_[static_cast<int64_t>(l1) * leaves2_ + l2] =
+          static_cast<int>(regions_.size());
+      regions_.push_back({l1, l2, std::move(intersection)});
+    }
+  }
+}
+
+int DtGcr::IndexOf(int leaf1, int leaf2) const {
+  const auto it = index_.find(static_cast<int64_t>(leaf1) * leaves2_ + leaf2);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<double> DtGcr::Measures(const dt::DecisionTree& t1,
+                                    const dt::DecisionTree& t2,
+                                    const data::Dataset& dataset,
+                                    const std::optional<data::Box>& focus) const {
+  std::vector<int64_t> counts(regions_.size() * num_classes_, 0);
+  const data::Schema& schema = t1.schema();
+  for (int64_t row = 0; row < dataset.num_rows(); ++row) {
+    const auto values = dataset.Row(row);
+    if (focus.has_value() && !focus->Contains(schema, values)) continue;
+    const int l1 = t1.LeafIndexOf(values);
+    const int l2 = t2.LeafIndexOf(values);
+    const int region = IndexOf(l1, l2);
+    FOCUS_CHECK_GE(region, 0) << "tuple routed to empty GCR region";
+    ++counts[static_cast<size_t>(region) * num_classes_ + dataset.Label(row)];
+  }
+  std::vector<double> measures(counts.size());
+  const double n = static_cast<double>(dataset.num_rows());
+  FOCUS_CHECK_GT(n, 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    measures[i] = static_cast<double>(counts[i]) / n;
+  }
+  return measures;
+}
+
+namespace {
+
+// Shared aggregation: per-(region, class) differences filtered by class
+// and (for the GCR path) by focus-emptiness of the region box.
+double AggregateDeviation(const std::vector<double>& measures1, double n1,
+                          const std::vector<double>& measures2, double n2,
+                          int num_regions, int num_classes,
+                          const DtDeviationOptions& options,
+                          const std::function<bool(int)>& region_included) {
+  std::vector<double> diffs;
+  diffs.reserve(measures1.size());
+  for (int r = 0; r < num_regions; ++r) {
+    if (!region_included(r)) continue;
+    for (int c = 0; c < num_classes; ++c) {
+      if (options.class_filter >= 0 && c != options.class_filter) continue;
+      const size_t i = static_cast<size_t>(r) * num_classes + c;
+      diffs.push_back(options.fn.f(measures1[i] * n1, measures2[i] * n2, n1, n2));
+    }
+  }
+  return AggregateValues(options.fn.g, diffs);
+}
+
+}  // namespace
+
+double DtDeviation(const DtModel& m1, const data::Dataset& d1,
+                   const DtModel& m2, const data::Dataset& d2,
+                   const DtDeviationOptions& options) {
+  const DtGcr gcr(m1, m2);
+  const std::vector<double> measures1 =
+      gcr.Measures(m1.tree(), m2.tree(), d1, options.focus);
+  const std::vector<double> measures2 =
+      gcr.Measures(m1.tree(), m2.tree(), d2, options.focus);
+  const data::Schema& schema = m1.tree().schema();
+
+  // Under focussing, regions whose intersection with R is empty drop out
+  // of the focussed structural component (Definition 5.1). This matters
+  // for difference functions with nonzero f(0, 0), e.g. chi-squared's c.
+  std::function<bool(int)> region_included = [](int) { return true; };
+  if (options.focus.has_value()) {
+    const data::Box& focus = *options.focus;
+    region_included = [&gcr, &schema, &focus](int r) {
+      return !gcr.regions()[r].box.Intersect(focus).IsEmpty(schema);
+    };
+  }
+  return AggregateDeviation(measures1, static_cast<double>(d1.num_rows()),
+                            measures2, static_cast<double>(d2.num_rows()),
+                            gcr.num_regions(), gcr.num_classes(), options,
+                            region_included);
+}
+
+double DtDeviationOverTree(const dt::DecisionTree& tree,
+                           const data::Dataset& d1, const data::Dataset& d2,
+                           const DtDeviationOptions& options) {
+  FOCUS_CHECK(!options.focus.has_value())
+      << "focus over a single tree: intersect leaf boxes via DtDeviation";
+  const std::vector<double> measures1 = DtMeasuresOverTree(tree, d1);
+  const std::vector<double> measures2 = DtMeasuresOverTree(tree, d2);
+  return AggregateDeviation(measures1, static_cast<double>(d1.num_rows()),
+                            measures2, static_cast<double>(d2.num_rows()),
+                            tree.num_leaves(), tree.schema().num_classes(),
+                            options, [](int) { return true; });
+}
+
+std::vector<double> DtMeasuresOverTree(const dt::DecisionTree& tree,
+                                       const data::Dataset& dataset) {
+  FOCUS_CHECK(tree.schema() == dataset.schema());
+  const int num_classes = tree.schema().num_classes();
+  std::vector<int64_t> counts(
+      static_cast<size_t>(tree.num_leaves()) * num_classes, 0);
+  for (int64_t row = 0; row < dataset.num_rows(); ++row) {
+    const int leaf = tree.LeafIndexOf(dataset.Row(row));
+    ++counts[static_cast<size_t>(leaf) * num_classes + dataset.Label(row)];
+  }
+  std::vector<double> measures(counts.size());
+  const double n = static_cast<double>(dataset.num_rows());
+  FOCUS_CHECK_GT(n, 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    measures[i] = static_cast<double>(counts[i]) / n;
+  }
+  return measures;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,113 @@
+#ifndef FOCUS_CORE_DT_DEVIATION_H_
+#define FOCUS_CORE_DT_DEVIATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/functions.h"
+#include "data/box.h"
+#include "data/dataset.h"
+#include "tree/decision_tree.h"
+
+namespace focus::core {
+
+// FOCUS instantiation for dt-models (§2.1, §4.2). A decision tree over k
+// classes induces, per leaf, k regions (leaf hyper-rectangle × class
+// label); these regions partition A(I) and carry the fraction of tuples
+// mapping into them (the measure component).
+class DtModel {
+ public:
+  // Builds the 2-component model: extracts the leaf partition of `tree`
+  // and computes the measure component w.r.t. the inducing dataset.
+  DtModel(dt::DecisionTree tree, const data::Dataset& inducing_dataset);
+
+  const dt::DecisionTree& tree() const { return tree_; }
+  const data::Box& leaf_box(int leaf) const { return leaf_boxes_[leaf]; }
+  const std::vector<data::Box>& leaf_boxes() const { return leaf_boxes_; }
+  int num_leaves() const { return tree_.num_leaves(); }
+  int num_classes() const { return tree_.schema().num_classes(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  // sigma(region(leaf, cls), D) of the inducing dataset D.
+  double measure(int leaf, int cls) const {
+    return measures_[leaf * num_classes() + cls];
+  }
+
+ private:
+  dt::DecisionTree tree_;
+  std::vector<data::Box> leaf_boxes_;
+  std::vector<double> measures_;  // row-major [leaf][class]
+  int64_t num_rows_ = 0;
+};
+
+// The GCR of two dt structural components (Definition 4.2): the overlay
+// partition whose regions are the non-empty pairwise intersections of
+// leaf boxes ("anding all possible pairs of predicates").
+struct DtGcrRegion {
+  int leaf1 = -1;  // leaf ordinal in the first tree
+  int leaf2 = -1;  // leaf ordinal in the second tree
+  data::Box box;   // geometric intersection
+};
+
+class DtGcr {
+ public:
+  DtGcr(const DtModel& m1, const DtModel& m2);
+
+  const std::vector<DtGcrRegion>& regions() const { return regions_; }
+  int num_regions() const { return static_cast<int>(regions_.size()); }
+
+  // Index of the region (leaf1, leaf2), or -1 if that intersection is
+  // empty (never the case for a pair reached by routing a real tuple).
+  int IndexOf(int leaf1, int leaf2) const;
+
+  // Measure component of the GCR w.r.t. `dataset`, computed in ONE scan
+  // by routing every tuple through both trees. Returns row-major
+  // [region][class] selectivities. If `focus` is set, only tuples inside
+  // the focussing region are counted (still divided by |dataset| — the
+  // focussed model's measures, Definition 5.1).
+  std::vector<double> Measures(const dt::DecisionTree& t1,
+                               const dt::DecisionTree& t2,
+                               const data::Dataset& dataset,
+                               const std::optional<data::Box>& focus) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  std::vector<DtGcrRegion> regions_;
+  std::unordered_map<int64_t, int> index_;  // (leaf1 * L2 + leaf2) -> region
+  int64_t leaves2_ = 0;
+  int num_classes_ = 0;
+};
+
+struct DtDeviationOptions {
+  DeviationFunction fn;
+  // Restrict the deviation to regions of one class label (-1 = all).
+  // The paper's running example computes deviations over the C1 regions.
+  int class_filter = -1;
+  // Focussing region R (Definition 5.2); empty = whole attribute space.
+  std::optional<data::Box> focus;
+};
+
+// delta_(f,g)(M1, M2) over the GCR (Definition 3.6), datasets scanned once
+// each; honors class filtering and focussing.
+double DtDeviation(const DtModel& m1, const data::Dataset& d1,
+                   const DtModel& m2, const data::Dataset& d2,
+                   const DtDeviationOptions& options);
+
+// delta^1_(f,g) over a SINGLE tree's structural component with measures
+// from two datasets (Definition 3.5; both models share Γ_T). This is the
+// "monitoring change" setting of §5.2: how well the old model fits new
+// data. Used by the misclassification and chi-squared instantiations.
+double DtDeviationOverTree(const dt::DecisionTree& tree,
+                           const data::Dataset& d1, const data::Dataset& d2,
+                           const DtDeviationOptions& options);
+
+// Measure component of Γ_T w.r.t. `dataset`: row-major [leaf][class].
+std::vector<double> DtMeasuresOverTree(const dt::DecisionTree& tree,
+                                       const data::Dataset& dataset);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_DT_DEVIATION_H_

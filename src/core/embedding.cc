@@ -1,0 +1,108 @@
+#include "core/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/check.h"
+#include "core/lits_upper_bound.h"
+#include "stats/rng.h"
+
+namespace focus::core {
+namespace {
+
+// Farthest-point heuristic: from a random start, jump to the farthest
+// object twice; the last two stops are the pivot pair.
+std::pair<int, int> ChoosePivots(const std::vector<std::vector<double>>& d,
+                                 std::mt19937_64& rng) {
+  const int n = static_cast<int>(d.size());
+  int a = static_cast<int>(stats::UniformInt(rng, 0, n - 1));
+  int b = a;
+  for (int hop = 0; hop < 2; ++hop) {
+    int farthest = a;
+    double best = -1.0;
+    for (int i = 0; i < n; ++i) {
+      if (d[a][i] > best) {
+        best = d[a][i];
+        farthest = i;
+      }
+    }
+    b = a;
+    a = farthest;
+  }
+  return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
+
+FastMapResult FastMapEmbedding(const std::vector<std::vector<double>>& distances,
+                               int dims, uint64_t seed) {
+  const int n = static_cast<int>(distances.size());
+  FOCUS_CHECK_GT(n, 0);
+  FOCUS_CHECK_GE(dims, 1);
+  for (const auto& row : distances) {
+    FOCUS_CHECK_EQ(static_cast<int>(row.size()), n) << "matrix must be square";
+  }
+
+  // Work on squared distances; deflation subtracts squared coordinate
+  // deltas (the FastMap recurrence).
+  std::vector<std::vector<double>> d2(n, std::vector<double>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) d2[i][j] = distances[i][j] * distances[i][j];
+  }
+
+  std::mt19937_64 rng = stats::MakeRng(seed);
+  FastMapResult result;
+  result.coordinates.assign(n, std::vector<double>(dims, 0.0));
+
+  std::vector<std::vector<double>> d(n, std::vector<double>(n));
+  for (int dim = 0; dim < dims; ++dim) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) d[i][j] = std::sqrt(std::max(0.0, d2[i][j]));
+    }
+    const auto [a, b] = ChoosePivots(d, rng);
+    result.pivots.push_back({a, b});
+    const double dab = d[a][b];
+    if (dab <= 0.0) {
+      // All residual distances are zero: remaining coordinates stay 0.
+      continue;
+    }
+    // Cosine-law projection onto the (a, b) line.
+    std::vector<double> x(n);
+    for (int i = 0; i < n; ++i) {
+      x[i] = (d2[a][i] + d2[a][b] - d2[b][i]) / (2.0 * dab);
+      result.coordinates[i][dim] = x[i];
+    }
+    // Deflate.
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        d2[i][j] = std::max(0.0, d2[i][j] - (x[i] - x[j]) * (x[i] - x[j]));
+      }
+    }
+  }
+  return result;
+}
+
+double EmbeddedDistance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  FOCUS_CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(total);
+}
+
+std::vector<std::vector<double>> LitsUpperBoundMatrix(
+    const std::vector<lits::LitsModel>& models, AggregateKind g) {
+  const int n = static_cast<int>(models.size());
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      matrix[i][j] = matrix[j][i] = LitsUpperBound(models[i], models[j], g);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,48 @@
+#ifndef FOCUS_CORE_EMBEDDING_H_
+#define FOCUS_CORE_EMBEDDING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/functions.h"
+#include "itemsets/apriori.h"
+
+namespace focus::core {
+
+// Embedding a collection of datasets for visual comparison — the use the
+// paper derives from Theorem 4.2(2): delta* satisfies the triangle
+// inequality, "and can therefore be used to embed a collection of
+// datasets in a k-dimensional space for visually comparing their
+// relative differences" (§4.1.1).
+//
+// The embedding is FastMap (Faloutsos & Lin, SIGMOD'95): per output
+// dimension, two far-apart pivot objects are chosen, every object is
+// projected onto the pivot line using the cosine law, and distances are
+// deflated to their residuals before the next dimension.
+
+struct FastMapResult {
+  // coordinates[i] is object i's k-dimensional position.
+  std::vector<std::vector<double>> coordinates;
+  // The pivot pair chosen for each dimension.
+  std::vector<std::pair<int, int>> pivots;
+};
+
+// Embeds N objects given their symmetric NxN distance matrix. `dims`
+// must be >= 1; degenerate dimensions (all remaining distances 0) yield
+// all-zero coordinates.
+FastMapResult FastMapEmbedding(const std::vector<std::vector<double>>& distances,
+                               int dims, uint64_t seed = 1);
+
+// Euclidean distance between two embedded points.
+double EmbeddedDistance(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+// Convenience: the delta* distance matrix of a collection of lits-models
+// (no dataset scans — models only), ready for FastMapEmbedding.
+std::vector<std::vector<double>> LitsUpperBoundMatrix(
+    const std::vector<lits::LitsModel>& models, AggregateKind g);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_EMBEDDING_H_

@@ -1,0 +1,42 @@
+#include "core/focus_region.h"
+
+#include "common/check.h"
+
+namespace focus::core {
+
+data::Box NumericPredicate(const data::Schema& schema, int attribute,
+                           double lo, double hi) {
+  FOCUS_CHECK(schema.attribute(attribute).type == data::AttributeType::kNumeric);
+  data::Box box = data::Box::Full(schema);
+  box.ClampNumeric(attribute, lo, hi);
+  return box;
+}
+
+data::Box LessThanPredicate(const data::Schema& schema, int attribute,
+                            double hi) {
+  return NumericPredicate(schema, attribute,
+                          -std::numeric_limits<double>::infinity(), hi);
+}
+
+data::Box AtLeastPredicate(const data::Schema& schema, int attribute,
+                           double lo) {
+  return NumericPredicate(schema, attribute, lo,
+                          std::numeric_limits<double>::infinity());
+}
+
+data::Box CategoryPredicate(const data::Schema& schema, int attribute,
+                            const std::vector<int>& codes) {
+  const data::Attribute& attr = schema.attribute(attribute);
+  FOCUS_CHECK(attr.type == data::AttributeType::kCategorical);
+  uint64_t mask = 0;
+  for (int code : codes) {
+    FOCUS_CHECK_GE(code, 0);
+    FOCUS_CHECK_LT(code, attr.cardinality);
+    mask |= (1ULL << code);
+  }
+  data::Box box = data::Box::Full(schema);
+  box.ClampCategorical(attribute, mask);
+  return box;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,35 @@
+#ifndef FOCUS_CORE_FOCUS_REGION_H_
+#define FOCUS_CORE_FOCUS_REGION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/box.h"
+#include "data/schema.h"
+
+namespace focus::core {
+
+// Builders for focussing regions (the declarative `Predicate p` operator
+// of §5): convenience constructors of Box predicates over the attribute
+// space. Boxes compose with Box::Intersect, so conjunctions of predicates
+// are intersections of the returned boxes.
+
+// p: lo <= attribute < hi (numeric attribute).
+data::Box NumericPredicate(const data::Schema& schema, int attribute,
+                           double lo, double hi);
+
+// p: attribute < hi.
+data::Box LessThanPredicate(const data::Schema& schema, int attribute,
+                            double hi);
+
+// p: attribute >= lo.
+data::Box AtLeastPredicate(const data::Schema& schema, int attribute,
+                           double lo);
+
+// p: attribute ∈ codes (categorical attribute).
+data::Box CategoryPredicate(const data::Schema& schema, int attribute,
+                            const std::vector<int>& codes);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_FOCUS_REGION_H_

@@ -1,0 +1,57 @@
+#include "core/functions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace focus::core {
+
+DiffFn AbsoluteDiff() {
+  return [](double count1, double count2, double n1, double n2) {
+    return std::fabs(count1 / n1 - count2 / n2);
+  };
+}
+
+DiffFn ScaledDiff() {
+  return [](double count1, double count2, double n1, double n2) {
+    if (count1 + count2 <= 0.0) return 0.0;
+    const double s1 = count1 / n1;
+    const double s2 = count2 / n2;
+    const double mean = (s1 + s2) / 2.0;
+    if (mean == 0.0) return 0.0;
+    return std::fabs(s1 - s2) / mean;
+  };
+}
+
+DiffFn ChiSquaredDiff(double c) {
+  return [c](double count1, double count2, double n1, double n2) {
+    const double s1 = count1 / n1;
+    if (s1 <= 0.0) return c;
+    const double s2 = count2 / n2;
+    return n2 * (s1 - s2) * (s1 - s2) / s1;
+  };
+}
+
+double AggregateValues(AggregateKind kind, std::span<const double> values) {
+  switch (kind) {
+    case AggregateKind::kSum: {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      return sum;
+    }
+    case AggregateKind::kMax: {
+      double best = 0.0;  // g: P(R+) -> R+; empty set aggregates to 0
+      for (double v : values) best = std::max(best, v);
+      return best;
+    }
+  }
+  FOCUS_CHECK(false) << "unknown aggregate";
+  return 0.0;
+}
+
+std::string ToString(AggregateKind kind) {
+  return kind == AggregateKind::kSum ? "g_sum" : "g_max";
+}
+
+}  // namespace focus::core

@@ -1,0 +1,55 @@
+#ifndef FOCUS_CORE_FUNCTIONS_H_
+#define FOCUS_CORE_FUNCTIONS_H_
+
+#include <functional>
+#include <span>
+#include <string>
+
+namespace focus::core {
+
+// The model-independent parameters of the FOCUS framework (§3.3.2).
+//
+// A difference function f compares the measures of one region under the
+// two datasets. Following Definition 3.5 its signature takes the ABSOLUTE
+// tuple counts alongside the dataset sizes (some instantiations — e.g. the
+// chi-squared f of Proposition 5.1 — need absolute measures):
+//
+//   f(count1, count2, |D1|, |D2|) -> R+
+using DiffFn = std::function<double(double count1, double count2, double n1,
+                                    double n2)>;
+
+// f_a — absolute difference of selectivities (Definition 3.7).
+DiffFn AbsoluteDiff();
+
+// f_s — scaled difference: |s1 - s2| / ((s1 + s2) / 2), 0 when both
+// selectivities are 0 (Definition 3.7). Emphasizes relative change, e.g.
+// an itemset appearing for the first time.
+DiffFn ScaledDiff();
+
+// The chi-squared difference function of Proposition 5.1:
+//   |D2| * (s1 - s2)^2 / s1    when s1 > 0 (selectivities s_i = count_i/n_i)
+//   c                          otherwise,
+// whose g_sum aggregate is the X^2 goodness-of-fit statistic of the new
+// dataset D2 against the model induced by D1.
+DiffFn ChiSquaredDiff(double c = 0.5);
+
+// An aggregate function g combines per-region differences (§3.3.2).
+enum class AggregateKind {
+  kSum,  // g_sum
+  kMax,  // g_max
+};
+
+double AggregateValues(AggregateKind kind, std::span<const double> values);
+
+std::string ToString(AggregateKind kind);
+
+// Bundled (f, g) choice — the deviation function delta_(f,g) is fully
+// parameterized by this pair.
+struct DeviationFunction {
+  DiffFn f = AbsoluteDiff();
+  AggregateKind g = AggregateKind::kSum;
+};
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_FUNCTIONS_H_

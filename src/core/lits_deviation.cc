@@ -1,0 +1,141 @@
+#include "core/lits_deviation.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "itemsets/support_counter.h"
+
+namespace focus::core {
+namespace {
+
+// Supports of `regions` w.r.t. a database, reusing the model's stored
+// measure component where available and counting the rest in one scan.
+std::vector<double> ExtendModel(const std::vector<lits::Itemset>& regions,
+                                const lits::LitsModel& model,
+                                const data::TransactionDb& db) {
+  std::vector<double> supports(regions.size(), 0.0);
+  std::vector<lits::Itemset> missing;
+  std::vector<size_t> missing_slots;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const double stored = model.SupportOr(regions[i], -1.0);
+    if (stored >= 0.0) {
+      supports[i] = stored;
+    } else {
+      missing.push_back(regions[i]);
+      missing_slots.push_back(i);
+    }
+  }
+  if (!missing.empty()) {
+    const std::vector<double> counted = lits::CountSupports(db, missing);
+    for (size_t i = 0; i < missing.size(); ++i) {
+      supports[missing_slots[i]] = counted[i];
+    }
+  }
+  return supports;
+}
+
+}  // namespace
+
+std::vector<lits::Itemset> LitsGcr(const lits::LitsModel& m1,
+                                   const lits::LitsModel& m2) {
+  std::vector<lits::Itemset> gcr = m1.StructuralComponent();
+  for (const auto& [itemset, support] : m2.supports()) {
+    if (!m1.Contains(itemset)) gcr.push_back(itemset);
+  }
+  std::sort(gcr.begin(), gcr.end());
+  return gcr;
+}
+
+double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
+                                const data::TransactionDb& d1,
+                                const data::TransactionDb& d2,
+                                const DeviationFunction& fn) {
+  const std::vector<double> s1 = lits::CountSupports(d1, regions);
+  const std::vector<double> s2 = lits::CountSupports(d2, regions);
+  const double n1 = static_cast<double>(d1.num_transactions());
+  const double n2 = static_cast<double>(d2.num_transactions());
+  std::vector<double> diffs(regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    diffs[i] = fn.f(s1[i] * n1, s2[i] * n2, n1, n2);
+  }
+  return AggregateValues(fn.g, diffs);
+}
+
+double LitsDeviation(const lits::LitsModel& m1, const data::TransactionDb& d1,
+                     const lits::LitsModel& m2, const data::TransactionDb& d2,
+                     const DeviationFunction& fn) {
+  const std::vector<lits::Itemset> gcr = LitsGcr(m1, m2);
+  const std::vector<double> s1 = ExtendModel(gcr, m1, d1);
+  const std::vector<double> s2 = ExtendModel(gcr, m2, d2);
+  const double n1 = static_cast<double>(d1.num_transactions());
+  const double n2 = static_cast<double>(d2.num_transactions());
+  std::vector<double> diffs(gcr.size());
+  for (size_t i = 0; i < gcr.size(); ++i) {
+    diffs[i] = fn.f(s1[i] * n1, s2[i] * n2, n1, n2);
+  }
+  return AggregateValues(fn.g, diffs);
+}
+
+double LitsDeviationFocused(const lits::LitsModel& m1,
+                            const data::TransactionDb& d1,
+                            const lits::LitsModel& m2,
+                            const data::TransactionDb& d2,
+                            const ItemsetPredicate& focus,
+                            const DeviationFunction& fn) {
+  std::vector<lits::Itemset> focused;
+  for (lits::Itemset& itemset : LitsGcr(m1, m2)) {
+    if (focus(itemset)) focused.push_back(std::move(itemset));
+  }
+  if (focused.empty()) return 0.0;
+  const std::vector<double> s1 = ExtendModel(focused, m1, d1);
+  const std::vector<double> s2 = ExtendModel(focused, m2, d2);
+  const double n1 = static_cast<double>(d1.num_transactions());
+  const double n2 = static_cast<double>(d2.num_transactions());
+  std::vector<double> diffs(focused.size());
+  for (size_t i = 0; i < focused.size(); ++i) {
+    diffs[i] = fn.f(s1[i] * n1, s2[i] * n2, n1, n2);
+  }
+  return AggregateValues(fn.g, diffs);
+}
+
+ItemsetPredicate WithinItems(std::vector<int32_t> department_items) {
+  auto allowed = std::make_shared<std::unordered_set<int32_t>>(
+      department_items.begin(), department_items.end());
+  return [allowed](const lits::Itemset& itemset) {
+    for (int32_t item : itemset.items()) {
+      if (!allowed->count(item)) return false;
+    }
+    return true;
+  };
+}
+
+ItemsetPredicate ContainsItem(int32_t item) {
+  return [item](const lits::Itemset& itemset) {
+    const auto& items = itemset.items();
+    return std::binary_search(items.begin(), items.end(), item);
+  };
+}
+
+std::vector<LitsRegionDeviation> LitsPerRegionDeviations(
+    const lits::LitsModel& m1, const data::TransactionDb& d1,
+    const lits::LitsModel& m2, const data::TransactionDb& d2,
+    const DiffFn& f) {
+  const std::vector<lits::Itemset> gcr = LitsGcr(m1, m2);
+  const std::vector<double> s1 = ExtendModel(gcr, m1, d1);
+  const std::vector<double> s2 = ExtendModel(gcr, m2, d2);
+  const double n1 = static_cast<double>(d1.num_transactions());
+  const double n2 = static_cast<double>(d2.num_transactions());
+
+  std::vector<LitsRegionDeviation> result(gcr.size());
+  for (size_t i = 0; i < gcr.size(); ++i) {
+    result[i].itemset = gcr[i];
+    result[i].support1 = s1[i];
+    result[i].support2 = s2[i];
+    result[i].deviation = f(s1[i] * n1, s2[i] * n2, n1, n2);
+  }
+  return result;
+}
+
+}  // namespace focus::core

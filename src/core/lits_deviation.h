@@ -1,0 +1,71 @@
+#ifndef FOCUS_CORE_LITS_DEVIATION_H_
+#define FOCUS_CORE_LITS_DEVIATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/functions.h"
+#include "data/transaction_db.h"
+#include "itemsets/apriori.h"
+#include "itemsets/itemset.h"
+
+namespace focus::core {
+
+// FOCUS instantiation for lits-models (§4.1). The refinement relation is
+// the superset relation on sets of frequent itemsets; the GCR of two
+// models is the UNION of their itemsets (Proposition 4.1).
+
+// Structural union Γ(M1) ⊔ Γ(M2): the GCR, sorted deterministically.
+std::vector<lits::Itemset> LitsGcr(const lits::LitsModel& m1,
+                                   const lits::LitsModel& m2);
+
+// Extension of both models to an arbitrary common refinement `regions`:
+// counts the supports of every region in both databases (one scan each —
+// §3.3.1) and aggregates per-region differences. This is
+// delta^1_(f,g) of Definition 3.5 applied after extension.
+double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
+                                const data::TransactionDb& d1,
+                                const data::TransactionDb& d2,
+                                const DeviationFunction& fn);
+
+// delta_(f,g)(M1, M2) of Definition 3.6: extension to the GCR. Models must
+// have been induced by d1/d2 respectively (their stored supports are
+// reused; only the itemsets missing from each model are re-counted).
+double LitsDeviation(const lits::LitsModel& m1, const data::TransactionDb& d1,
+                     const lits::LitsModel& m2, const data::TransactionDb& d2,
+                     const DeviationFunction& fn);
+
+// Focussed deviation delta^R (Definition 5.2) where the focussing region R
+// is expressed as a predicate on itemsets (e.g. "itemsets within the shoe
+// department's items", §5.1). Regions of the GCR not satisfying the
+// predicate are excluded (their intersection with R is empty).
+using ItemsetPredicate = std::function<bool(const lits::Itemset&)>;
+
+double LitsDeviationFocused(const lits::LitsModel& m1,
+                            const data::TransactionDb& d1,
+                            const lits::LitsModel& m2,
+                            const data::TransactionDb& d2,
+                            const ItemsetPredicate& focus,
+                            const DeviationFunction& fn);
+
+// Common focussing predicates.
+ItemsetPredicate WithinItems(std::vector<int32_t> department_items);
+ItemsetPredicate ContainsItem(int32_t item);
+
+// Per-region deviations over the GCR, for the Rank operator (§5). Returns
+// (itemset, support1, support2, difference) tuples.
+struct LitsRegionDeviation {
+  lits::Itemset itemset;
+  double support1 = 0.0;
+  double support2 = 0.0;
+  double deviation = 0.0;
+};
+
+std::vector<LitsRegionDeviation> LitsPerRegionDeviations(
+    const lits::LitsModel& m1, const data::TransactionDb& d1,
+    const lits::LitsModel& m2, const data::TransactionDb& d2,
+    const DiffFn& f);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_LITS_DEVIATION_H_

@@ -1,0 +1,29 @@
+#include "core/lits_upper_bound.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/lits_deviation.h"
+
+namespace focus::core {
+
+double LitsUpperBound(const lits::LitsModel& m1, const lits::LitsModel& m2,
+                      AggregateKind g) {
+  std::vector<double> diffs;
+  diffs.reserve(m1.size() + m2.size());
+  // Regions frequent in M1 (covers the "both" and "only M1" cases of
+  // Definition 4.1: a miss in M2 contributes support 0).
+  for (const auto& [itemset, support1] : m1.supports()) {
+    const double support2 = m2.SupportOr(itemset, 0.0);
+    diffs.push_back(std::fabs(support1 - support2));
+  }
+  // Regions frequent only in M2.
+  for (const auto& [itemset, support2] : m2.supports()) {
+    if (!m1.Contains(itemset)) {
+      diffs.push_back(support2);
+    }
+  }
+  return AggregateValues(g, diffs);
+}
+
+}  // namespace focus::core

@@ -1,0 +1,25 @@
+#ifndef FOCUS_CORE_LITS_UPPER_BOUND_H_
+#define FOCUS_CORE_LITS_UPPER_BOUND_H_
+
+#include "core/functions.h"
+#include "itemsets/apriori.h"
+
+namespace focus::core {
+
+// The upper bound delta* of §4.1.1 (Definition 4.1, Theorem 4.2): an
+// estimate of delta_(f_a,g) computable from the two MODELS alone, without
+// scanning either dataset. When an itemset is frequent in only one model,
+// its unknown support in the other dataset is replaced by 0, which (since
+// the true support is below the minimum support threshold while the known
+// one is above it) can only overestimate the per-region difference.
+//
+// Properties (verified by tests):
+//   (1) delta*(M1, M2) >= delta_(f_a,g)(M1, M2)   for g in {g_sum, g_max}
+//   (2) delta* satisfies the triangle inequality
+//   (3) no dataset scan is required.
+double LitsUpperBound(const lits::LitsModel& m1, const lits::LitsModel& m2,
+                      AggregateKind g);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_LITS_UPPER_BOUND_H_

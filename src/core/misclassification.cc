@@ -1,0 +1,37 @@
+#include "core/misclassification.h"
+
+#include "common/check.h"
+#include "core/dt_deviation.h"
+
+namespace focus::core {
+
+double MisclassificationError(const dt::DecisionTree& tree,
+                              const data::Dataset& d2) {
+  FOCUS_CHECK_GT(d2.num_rows(), 0);
+  int64_t misclassified = 0;
+  for (int64_t row = 0; row < d2.num_rows(); ++row) {
+    if (tree.Predict(d2.Row(row)) != d2.Label(row)) ++misclassified;
+  }
+  return static_cast<double>(misclassified) /
+         static_cast<double>(d2.num_rows());
+}
+
+data::Dataset PredictedDataset(const dt::DecisionTree& tree,
+                               const data::Dataset& d2) {
+  data::Dataset predicted(d2.schema());
+  predicted.Reserve(d2.num_rows());
+  for (int64_t row = 0; row < d2.num_rows(); ++row) {
+    predicted.AddRow(d2.Row(row), tree.Predict(d2.Row(row)));
+  }
+  return predicted;
+}
+
+double MisclassificationErrorViaFocus(const dt::DecisionTree& tree,
+                                      const data::Dataset& d2) {
+  const data::Dataset predicted = PredictedDataset(tree, d2);
+  DtDeviationOptions options;
+  options.fn = {AbsoluteDiff(), AggregateKind::kSum};
+  return 0.5 * DtDeviationOverTree(tree, d2, predicted, options);
+}
+
+}  // namespace focus::core

@@ -1,0 +1,29 @@
+#ifndef FOCUS_CORE_MISCLASSIFICATION_H_
+#define FOCUS_CORE_MISCLASSIFICATION_H_
+
+#include "data/dataset.h"
+#include "tree/decision_tree.h"
+
+namespace focus::core {
+
+// Misclassification error as a special case of FOCUS (§5.2.1).
+
+// Direct definition: fraction of tuples of d2 whose true label differs
+// from tree's prediction.
+double MisclassificationError(const dt::DecisionTree& tree,
+                              const data::Dataset& d2);
+
+// The predicted dataset D2^T: d2 with every label replaced by the tree's
+// prediction.
+data::Dataset PredictedDataset(const dt::DecisionTree& tree,
+                               const data::Dataset& d2);
+
+// Theorem 5.2: ME_T(D2) = 1/2 * delta_(f_a, g_sum) between
+// <Γ_T, Σ(Γ_T, D2)> and <Γ_T, Σ(Γ_T, D2^T)>. Computed through the FOCUS
+// deviation path; equals MisclassificationError (tests assert this).
+double MisclassificationErrorViaFocus(const dt::DecisionTree& tree,
+                                      const data::Dataset& d2);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_MISCLASSIFICATION_H_

@@ -1,0 +1,121 @@
+#include "core/query_estimator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace focus::core {
+
+DtSelectivityEstimator::DtSelectivityEstimator(const DtModel& model)
+    : model_(model) {}
+
+double DtSelectivityEstimator::OverlapFraction(const data::Box& region,
+                                               const data::Box& query) const {
+  const data::Schema& schema = model_.tree().schema();
+  double fraction = 1.0;
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const data::Attribute& attr = schema.attribute(a);
+    const data::AttributeBound& r = region.bound(a);
+    const data::AttributeBound& q = query.bound(a);
+    if (attr.type == data::AttributeType::kNumeric) {
+      // Clip infinite region edges to the declared attribute domain so
+      // widths are finite.
+      const double r_lo = std::max(r.lo, attr.min_value);
+      const double r_hi = std::min(r.hi, attr.max_value);
+      const double width = r_hi - r_lo;
+      if (width <= 0.0) {
+        // Degenerate region slice (can happen when a split lands on a
+        // domain edge): treat as fully inside iff the query admits it.
+        if (q.lo > r_lo || q.hi <= r_lo) return 0.0;
+        continue;
+      }
+      const double overlap =
+          std::min(r_hi, q.hi) - std::max(r_lo, q.lo);
+      if (overlap <= 0.0) return 0.0;
+      fraction *= std::min(overlap / width, 1.0);
+    } else {
+      const uint64_t domain = attr.cardinality >= 64
+                                  ? ~0ULL
+                                  : ((1ULL << attr.cardinality) - 1);
+      const uint64_t region_mask = r.mask & domain;
+      const uint64_t both = region_mask & q.mask;
+      const int region_count = std::popcount(region_mask);
+      if (region_count == 0) return 0.0;
+      const int both_count = std::popcount(both);
+      if (both_count == 0) return 0.0;
+      fraction *= static_cast<double>(both_count) /
+                  static_cast<double>(region_count);
+    }
+  }
+  return fraction;
+}
+
+double DtSelectivityEstimator::EstimateSelectivity(
+    const data::Box& query) const {
+  double estimate = 0.0;
+  for (int leaf = 0; leaf < model_.num_leaves(); ++leaf) {
+    double leaf_measure = 0.0;
+    for (int c = 0; c < model_.num_classes(); ++c) {
+      leaf_measure += model_.measure(leaf, c);
+    }
+    if (leaf_measure == 0.0) continue;
+    estimate += leaf_measure * OverlapFraction(model_.leaf_box(leaf), query);
+  }
+  return estimate;
+}
+
+double DtSelectivityEstimator::EstimateClassSelectivity(const data::Box& query,
+                                                        int cls) const {
+  FOCUS_CHECK_GE(cls, 0);
+  FOCUS_CHECK_LT(cls, model_.num_classes());
+  double estimate = 0.0;
+  for (int leaf = 0; leaf < model_.num_leaves(); ++leaf) {
+    const double measure = model_.measure(leaf, cls);
+    if (measure == 0.0) continue;
+    estimate += measure * OverlapFraction(model_.leaf_box(leaf), query);
+  }
+  return estimate;
+}
+
+double DtSelectivityEstimator::EstimateCount(const data::Box& query,
+                                             int64_t num_rows) const {
+  return EstimateSelectivity(query) * static_cast<double>(num_rows);
+}
+
+double EstimateSupportUpperBound(const lits::LitsModel& model,
+                                 const lits::Itemset& itemset) {
+  if (itemset.empty()) return 1.0;
+  const double stored = model.SupportOr(itemset, -1.0);
+  if (stored >= 0.0) return stored;  // exact
+
+  double bound = 1.0;
+  bool any_subset_found = false;
+  const int k = itemset.size();
+  FOCUS_CHECK_LE(k, 20) << "itemset too large for subset enumeration";
+  // Enumerate proper non-empty subsets; anti-monotonicity gives
+  // sup(X) <= sup(Y) for each Y ⊂ X present in the model.
+  for (uint32_t mask = 1; mask < (1u << k) - 1u; ++mask) {
+    std::vector<int32_t> items;
+    for (int i = 0; i < k; ++i) {
+      if (mask & (1u << i)) items.push_back(itemset.item(i));
+    }
+    const double support = model.SupportOr(lits::Itemset(std::move(items)), -1.0);
+    if (support >= 0.0) {
+      any_subset_found = true;
+      bound = std::min(bound, support);
+    } else if (std::popcount(mask) == 1) {
+      // A single item that is not frequent caps the support below the
+      // mining threshold immediately.
+      return model.min_support();
+    }
+  }
+  // X itself is not frequent, so its support is below the threshold; the
+  // subset bound can only tighten that.
+  bound = std::min(bound, model.min_support());
+  (void)any_subset_found;
+  return bound;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,50 @@
+#ifndef FOCUS_CORE_QUERY_ESTIMATOR_H_
+#define FOCUS_CORE_QUERY_ESTIMATOR_H_
+
+#include "core/dt_deviation.h"
+#include "data/box.h"
+#include "itemsets/apriori.h"
+
+namespace focus::core {
+
+// Approximate query answering from 2-component models — the future-work
+// direction named in §8 of the paper. A model's structural + measure
+// components are exactly a selectivity summary of the inducing dataset:
+// dt-model leaf regions act as a multidimensional histogram; a lits-model
+// is a sparse summary of conjunctive boolean predicates.
+
+// Estimates selectivities of axis-aligned (Box) predicates from a
+// dt-model under the standard uniformity-within-region assumption.
+class DtSelectivityEstimator {
+ public:
+  // The estimator keeps a reference; `model` must outlive it.
+  explicit DtSelectivityEstimator(const DtModel& model);
+
+  // Estimated fraction of tuples satisfying `query` (all classes).
+  double EstimateSelectivity(const data::Box& query) const;
+
+  // Estimated fraction restricted to one class label.
+  double EstimateClassSelectivity(const data::Box& query, int cls) const;
+
+  // Estimated COUNT(*) for a dataset of `num_rows` tuples.
+  double EstimateCount(const data::Box& query, int64_t num_rows) const;
+
+ private:
+  // Fraction of `region`'s volume covered by `query` ∩ `region`,
+  // independently per attribute (infinite edges clip to the schema
+  // domain; categorical attributes use mask cardinalities).
+  double OverlapFraction(const data::Box& region, const data::Box& query) const;
+
+  const DtModel& model_;
+};
+
+// Upper bound on the support of an ARBITRARY itemset from a lits-model,
+// via anti-monotonicity: sup(X) <= min over stored subsets Y ⊆ X of
+// sup(Y); if even some single item of X is not frequent, sup(X) <
+// min_support. Exact when X itself is stored.
+double EstimateSupportUpperBound(const lits::LitsModel& model,
+                                 const lits::Itemset& itemset);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_QUERY_ESTIMATOR_H_

@@ -1,0 +1,172 @@
+#include "core/rank.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "itemsets/support_counter.h"
+
+namespace focus::core {
+namespace {
+
+// Per-(candidate region, GCR cell, class) counts for one dataset:
+// row-major [region][cell][class], flattened.
+std::vector<int64_t> FocusedCounts(const BoxSet& regions, const DtGcr& gcr,
+                                   const DtModel& m1, const DtModel& m2,
+                                   const data::Dataset& dataset) {
+  const data::Schema& schema = m1.tree().schema();
+  const int num_classes = gcr.num_classes();
+  const size_t stride_region =
+      static_cast<size_t>(gcr.num_regions()) * num_classes;
+  std::vector<int64_t> counts(regions.size() * stride_region, 0);
+
+  for (int64_t row = 0; row < dataset.num_rows(); ++row) {
+    const auto values = dataset.Row(row);
+    const int cell = gcr.IndexOf(m1.tree().LeafIndexOf(values),
+                                 m2.tree().LeafIndexOf(values));
+    FOCUS_CHECK_GE(cell, 0);
+    const size_t base = static_cast<size_t>(cell) * num_classes +
+                        static_cast<size_t>(dataset.Label(row));
+    for (size_t r = 0; r < regions.size(); ++r) {
+      if (regions[r].Contains(schema, values)) {
+        ++counts[r * stride_region + base];
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<RankedBox> RankDtRegions(const BoxSet& regions, const DtModel& m1,
+                                     const data::Dataset& d1,
+                                     const DtModel& m2,
+                                     const data::Dataset& d2,
+                                     const DeviationFunction& fn,
+                                     int class_filter) {
+  const DtGcr gcr(m1, m2);
+  const data::Schema& schema = m1.tree().schema();
+  const int num_classes = gcr.num_classes();
+  const size_t stride_region =
+      static_cast<size_t>(gcr.num_regions()) * num_classes;
+
+  const std::vector<int64_t> counts1 = FocusedCounts(regions, gcr, m1, m2, d1);
+  const std::vector<int64_t> counts2 = FocusedCounts(regions, gcr, m1, m2, d2);
+  const double n1 = static_cast<double>(d1.num_rows());
+  const double n2 = static_cast<double>(d2.num_rows());
+
+  std::vector<RankedBox> ranked;
+  ranked.reserve(regions.size());
+  std::vector<double> diffs;
+  for (size_t r = 0; r < regions.size(); ++r) {
+    diffs.clear();
+    for (int cell = 0; cell < gcr.num_regions(); ++cell) {
+      // Cells with empty geometric intersection with the candidate region
+      // are not part of the focussed structural component.
+      if (gcr.regions()[cell].box.Intersect(regions[r]).IsEmpty(schema)) {
+        continue;
+      }
+      for (int c = 0; c < num_classes; ++c) {
+        if (class_filter >= 0 && c != class_filter) continue;
+        const size_t i =
+            r * stride_region + static_cast<size_t>(cell) * num_classes + c;
+        diffs.push_back(fn.f(static_cast<double>(counts1[i]),
+                             static_cast<double>(counts2[i]), n1, n2));
+      }
+    }
+    ranked.push_back({regions[r], AggregateValues(fn.g, diffs)});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedBox& a, const RankedBox& b) {
+                     return a.deviation > b.deviation;
+                   });
+  return ranked;
+}
+
+std::vector<RankedItemset> RankLitsRegions(const ItemsetSet& regions,
+                                           const lits::LitsModel& m1,
+                                           const data::TransactionDb& d1,
+                                           const lits::LitsModel& m2,
+                                           const data::TransactionDb& d2,
+                                           const DiffFn& f) {
+  // Reuse stored supports and count the rest in one scan per dataset.
+  std::vector<lits::Itemset> missing1;
+  std::vector<lits::Itemset> missing2;
+  for (const lits::Itemset& itemset : regions) {
+    if (!m1.Contains(itemset)) missing1.push_back(itemset);
+    if (!m2.Contains(itemset)) missing2.push_back(itemset);
+  }
+  std::unordered_map<lits::Itemset, double, lits::ItemsetHash> counted1;
+  std::unordered_map<lits::Itemset, double, lits::ItemsetHash> counted2;
+  if (!missing1.empty()) {
+    const std::vector<double> supports = lits::CountSupports(d1, missing1);
+    for (size_t i = 0; i < missing1.size(); ++i) {
+      counted1[missing1[i]] = supports[i];
+    }
+  }
+  if (!missing2.empty()) {
+    const std::vector<double> supports = lits::CountSupports(d2, missing2);
+    for (size_t i = 0; i < missing2.size(); ++i) {
+      counted2[missing2[i]] = supports[i];
+    }
+  }
+
+  const double n1 = static_cast<double>(d1.num_transactions());
+  const double n2 = static_cast<double>(d2.num_transactions());
+  std::vector<RankedItemset> ranked;
+  ranked.reserve(regions.size());
+  for (const lits::Itemset& itemset : regions) {
+    RankedItemset entry;
+    entry.itemset = itemset;
+    entry.support1 = m1.Contains(itemset) ? m1.SupportOr(itemset, 0.0)
+                                          : counted1.at(itemset);
+    entry.support2 = m2.Contains(itemset) ? m2.SupportOr(itemset, 0.0)
+                                          : counted2.at(itemset);
+    entry.deviation = f(entry.support1 * n1, entry.support2 * n2, n1, n2);
+    ranked.push_back(std::move(entry));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedItemset& a, const RankedItemset& b) {
+                     return a.deviation > b.deviation;
+                   });
+  return ranked;
+}
+
+std::vector<RankedClusterRegion> RankClusterRegions(
+    const cluster::ClusterModel& m1, const data::Dataset& d1,
+    const cluster::ClusterModel& m2, const data::Dataset& d2,
+    const DiffFn& f) {
+  const std::vector<ClusterGcrRegion> gcr = ClusterGcr(m1, m2);
+  const std::vector<int64_t> counts1 = cluster::CountCells(d1, m1.grid());
+  const std::vector<int64_t> counts2 = cluster::CountCells(d2, m1.grid());
+  const double n1 = static_cast<double>(d1.num_rows());
+  const double n2 = static_cast<double>(d2.num_rows());
+
+  std::vector<RankedClusterRegion> ranked;
+  ranked.reserve(gcr.size());
+  for (const ClusterGcrRegion& region : gcr) {
+    RankedClusterRegion entry;
+    entry.region1 = region.region1;
+    entry.region2 = region.region2;
+    entry.cells = region.cells;
+    int64_t c1 = 0;
+    int64_t c2 = 0;
+    for (int64_t cell : region.cells) {
+      c1 += counts1[cell];
+      c2 += counts2[cell];
+    }
+    entry.selectivity1 = static_cast<double>(c1) / n1;
+    entry.selectivity2 = static_cast<double>(c2) / n2;
+    entry.deviation =
+        f(static_cast<double>(c1), static_cast<double>(c2), n1, n2);
+    ranked.push_back(std::move(entry));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedClusterRegion& a,
+                      const RankedClusterRegion& b) {
+                     return a.deviation > b.deviation;
+                   });
+  return ranked;
+}
+
+}  // namespace focus::core

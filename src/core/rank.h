@@ -1,0 +1,106 @@
+#ifndef FOCUS_CORE_RANK_H_
+#define FOCUS_CORE_RANK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster_deviation.h"
+#include "core/dt_deviation.h"
+#include "core/functions.h"
+#include "core/lits_deviation.h"
+#include "core/region_algebra.h"
+#include "data/dataset.h"
+#include "data/transaction_db.h"
+
+namespace focus::core {
+
+// The Rank (ρ) and Select (σ) operators of §5: order a set of regions by
+// the "interestingness" of change between two datasets (their focussed
+// deviation) and select from the ordered list.
+
+// ---- dt-model regions (boxes) ----
+
+struct RankedBox {
+  data::Box region;
+  double deviation = 0.0;
+};
+
+// ρ(Γ, delta_(f,g), D1, D2) for box regions: computes, for every region R
+// in `regions`, the focussed deviation delta^R(M1, M2), and returns the
+// list sorted by decreasing deviation (ties broken stably). Implementation
+// routes every tuple through both trees once and tests region membership,
+// so the cost is O((|D1|+|D2|) * (depth + |regions| * #attrs)).
+std::vector<RankedBox> RankDtRegions(const BoxSet& regions, const DtModel& m1,
+                                     const data::Dataset& d1,
+                                     const DtModel& m2,
+                                     const data::Dataset& d2,
+                                     const DeviationFunction& fn,
+                                     int class_filter = -1);
+
+// ---- lits-model regions (itemsets) ----
+
+struct RankedItemset {
+  lits::Itemset itemset;
+  double support1 = 0.0;
+  double support2 = 0.0;
+  double deviation = 0.0;
+};
+
+// ρ for itemset regions: the deviation of a single-itemset region is just
+// f applied to its two supports (counted in one scan per dataset for
+// itemsets absent from a model).
+std::vector<RankedItemset> RankLitsRegions(const ItemsetSet& regions,
+                                           const lits::LitsModel& m1,
+                                           const data::TransactionDb& d1,
+                                           const lits::LitsModel& m2,
+                                           const data::TransactionDb& d2,
+                                           const DiffFn& f);
+
+// ---- cluster-model regions (cell sets) ----
+
+struct RankedClusterRegion {
+  // Provenance within the GCR of the two cluster models (see
+  // core/cluster_deviation.h): -1 marks a one-sided remainder.
+  int region1 = -1;
+  int region2 = -1;
+  std::vector<int64_t> cells;
+  double selectivity1 = 0.0;
+  double selectivity2 = 0.0;
+  double deviation = 0.0;
+};
+
+// ρ for cluster GCR regions: each region's deviation is f applied to its
+// measures under the two datasets (one cell-histogram scan per dataset).
+std::vector<RankedClusterRegion> RankClusterRegions(
+    const cluster::ClusterModel& m1, const data::Dataset& d1,
+    const cluster::ClusterModel& m2, const data::Dataset& d2, const DiffFn& f);
+
+// ---- Select operators ----
+// σ_top, σ_n, σ_min, σ_-n over an already-ranked list.
+
+template <typename Ranked>
+const Ranked& SelectTop(const std::vector<Ranked>& ranked) {
+  return ranked.front();
+}
+
+template <typename Ranked>
+std::vector<Ranked> SelectTopN(const std::vector<Ranked>& ranked, size_t n) {
+  return {ranked.begin(),
+          ranked.begin() + static_cast<ptrdiff_t>(std::min(n, ranked.size()))};
+}
+
+template <typename Ranked>
+const Ranked& SelectMin(const std::vector<Ranked>& ranked) {
+  return ranked.back();
+}
+
+template <typename Ranked>
+std::vector<Ranked> SelectBottomN(const std::vector<Ranked>& ranked, size_t n) {
+  const size_t take = std::min(n, ranked.size());
+  return {ranked.end() - static_cast<ptrdiff_t>(take), ranked.end()};
+}
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_RANK_H_

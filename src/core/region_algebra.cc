@@ -1,0 +1,92 @@
+#include "core/region_algebra.h"
+
+#include <algorithm>
+
+namespace focus::core {
+
+ItemsetSet NormalizeItemsets(ItemsetSet itemsets) {
+  std::sort(itemsets.begin(), itemsets.end());
+  itemsets.erase(std::unique(itemsets.begin(), itemsets.end()),
+                 itemsets.end());
+  return itemsets;
+}
+
+ItemsetSet StructuralUnion(const ItemsetSet& g1, const ItemsetSet& g2) {
+  ItemsetSet merged = g1;
+  merged.insert(merged.end(), g2.begin(), g2.end());
+  return NormalizeItemsets(std::move(merged));
+}
+
+ItemsetSet StructuralIntersection(const ItemsetSet& g1, const ItemsetSet& g2) {
+  const ItemsetSet a = NormalizeItemsets(g1);
+  const ItemsetSet b = NormalizeItemsets(g2);
+  ItemsetSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+ItemsetSet StructuralDifference(const ItemsetSet& g1, const ItemsetSet& g2) {
+  const ItemsetSet a = NormalizeItemsets(g1);
+  const ItemsetSet b = NormalizeItemsets(g2);
+  ItemsetSet out;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(out));
+  return out;
+}
+
+namespace {
+
+bool ContainsBox(const BoxSet& set, const data::Box& box) {
+  for (const data::Box& candidate : set) {
+    if (candidate == box) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BoxSet PlainUnion(const BoxSet& g1, const BoxSet& g2) {
+  BoxSet out = g1;
+  for (const data::Box& box : g2) {
+    if (!ContainsBox(out, box)) out.push_back(box);
+  }
+  return out;
+}
+
+BoxSet StructuralUnion(const data::Schema& schema, const BoxSet& g1,
+                       const BoxSet& g2) {
+  BoxSet out;
+  for (const data::Box& b1 : g1) {
+    for (const data::Box& b2 : g2) {
+      data::Box intersection = b1.Intersect(b2);
+      if (!intersection.IsEmpty(schema) && !ContainsBox(out, intersection)) {
+        out.push_back(std::move(intersection));
+      }
+    }
+  }
+  return out;
+}
+
+BoxSet StructuralIntersection(const data::Schema& schema, const BoxSet& g1,
+                              const BoxSet& g2) {
+  BoxSet out;
+  for (const data::Box& box : g1) {
+    if (box.IsEmpty(schema)) continue;
+    if (ContainsBox(g2, box) && !ContainsBox(out, box)) out.push_back(box);
+  }
+  return out;
+}
+
+BoxSet StructuralDifference(const data::Schema& schema, const BoxSet& g1,
+                            const BoxSet& g2) {
+  const BoxSet unioned = StructuralUnion(schema, g1, g2);
+  const BoxSet intersected = StructuralIntersection(schema, g1, g2);
+  BoxSet out;
+  for (const data::Box& box : unioned) {
+    if (!ContainsBox(intersected, box)) out.push_back(box);
+  }
+  return out;
+}
+
+}  // namespace focus::core

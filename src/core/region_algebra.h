@@ -1,0 +1,60 @@
+#ifndef FOCUS_CORE_REGION_ALGEBRA_H_
+#define FOCUS_CORE_REGION_ALGEBRA_H_
+
+#include <vector>
+
+#include "data/box.h"
+#include "data/schema.h"
+#include "itemsets/itemset.h"
+
+namespace focus::core {
+
+// The structural operators of §5, over both carrier kinds of structural
+// components: itemset collections (lits-models) and box collections
+// (dt-models / cluster-models).
+//
+//   Structural Union (⊔)       — the GCR of the two sets of regions
+//   Structural Intersection (⊓) — regions present in both sets
+//   Structural Difference (−)   — (Γ1 ⊔ Γ2) − (Γ1 ⊓ Γ2)
+//   Predicate (p)               — see core/focus_region.h for boxes and
+//                                 core/lits_deviation.h for itemsets.
+
+// ---- lits-models: sets of itemsets (sorted, deduplicated) ----
+
+using ItemsetSet = std::vector<lits::Itemset>;
+
+// Normalizes (sorts, dedupes) a collection.
+ItemsetSet NormalizeItemsets(ItemsetSet itemsets);
+
+// Γ1 ⊔ Γ2 for lits: the union of the two sets (Proposition 4.1's GCR).
+ItemsetSet StructuralUnion(const ItemsetSet& g1, const ItemsetSet& g2);
+
+// Γ1 ⊓ Γ2: standard set intersection.
+ItemsetSet StructuralIntersection(const ItemsetSet& g1, const ItemsetSet& g2);
+
+// Γ1 − Γ2 := (Γ1 ⊔ Γ2) − (Γ1 ⊓ Γ2): symmetric difference.
+ItemsetSet StructuralDifference(const ItemsetSet& g1, const ItemsetSet& g2);
+
+// ---- dt-models / cluster-models: sets of boxes ----
+
+using BoxSet = std::vector<data::Box>;
+
+// Plain set union Γ1 ∪ Γ2 (deduplicated) — used by the paper's first
+// exploratory expression, which ranks regions of BOTH original trees.
+BoxSet PlainUnion(const BoxSet& g1, const BoxSet& g2);
+
+// Γ1 ⊔ Γ2: the overlay GCR — all non-empty pairwise intersections.
+BoxSet StructuralUnion(const data::Schema& schema, const BoxSet& g1,
+                       const BoxSet& g2);
+
+// Γ1 ⊓ Γ2: boxes appearing (geometrically equal) in both sets.
+BoxSet StructuralIntersection(const data::Schema& schema, const BoxSet& g1,
+                              const BoxSet& g2);
+
+// (Γ1 ⊔ Γ2) − (Γ1 ⊓ Γ2).
+BoxSet StructuralDifference(const data::Schema& schema, const BoxSet& g1,
+                            const BoxSet& g2);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_REGION_ALGEBRA_H_

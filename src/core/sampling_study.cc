@@ -1,0 +1,123 @@
+#include "core/sampling_study.h"
+
+#include <random>
+
+#include "common/check.h"
+#include "cluster/grid_clustering.h"
+#include "core/cluster_deviation.h"
+#include "core/dt_deviation.h"
+#include "core/lits_deviation.h"
+#include "data/sampling.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+#include "stats/wilcoxon.h"
+
+namespace focus::core {
+
+std::vector<SampleStudyPoint> LitsSampleStudy(const data::TransactionDb& db,
+                                              const LitsStudyConfig& config) {
+  FOCUS_CHECK_GT(config.samples_per_fraction, 0);
+  const lits::LitsModel full_model = lits::Apriori(db, config.apriori);
+
+  std::vector<SampleStudyPoint> points;
+  points.reserve(config.fractions.size());
+  for (size_t fi = 0; fi < config.fractions.size(); ++fi) {
+    SampleStudyPoint point;
+    point.fraction = config.fractions[fi];
+    for (int s = 0; s < config.samples_per_fraction; ++s) {
+      std::mt19937_64 rng =
+          stats::MakeRng(stats::DeriveSeed(config.seed, fi * 1000 + s));
+      const data::TransactionDb sample =
+          data::SampleTransactions(db, point.fraction, rng);
+      if (sample.num_transactions() == 0) continue;
+      const lits::LitsModel sample_model = lits::Apriori(sample, config.apriori);
+      point.sample_deviations.push_back(
+          LitsDeviation(full_model, db, sample_model, sample, config.fn));
+    }
+    FOCUS_CHECK(!point.sample_deviations.empty())
+        << "fraction " << point.fraction << " produced no samples";
+    point.mean_sd = stats::Mean(point.sample_deviations);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<SampleStudyPoint> DtSampleStudy(const data::Dataset& dataset,
+                                            const DtStudyConfig& config) {
+  FOCUS_CHECK_GT(config.samples_per_fraction, 0);
+  const DtModel full_model(dt::BuildCart(dataset, config.cart), dataset);
+
+  DtDeviationOptions deviation_options;
+  deviation_options.fn = config.fn;
+
+  std::vector<SampleStudyPoint> points;
+  points.reserve(config.fractions.size());
+  for (size_t fi = 0; fi < config.fractions.size(); ++fi) {
+    SampleStudyPoint point;
+    point.fraction = config.fractions[fi];
+    for (int s = 0; s < config.samples_per_fraction; ++s) {
+      std::mt19937_64 rng =
+          stats::MakeRng(stats::DeriveSeed(config.seed, fi * 1000 + s));
+      const data::Dataset sample =
+          data::SampleDataset(dataset, point.fraction, rng);
+      if (sample.num_rows() == 0) continue;
+      const DtModel sample_model(dt::BuildCart(sample, config.cart), sample);
+      point.sample_deviations.push_back(DtDeviation(
+          full_model, dataset, sample_model, sample, deviation_options));
+    }
+    FOCUS_CHECK(!point.sample_deviations.empty())
+        << "fraction " << point.fraction << " produced no samples";
+    point.mean_sd = stats::Mean(point.sample_deviations);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<SampleStudyPoint> ClusterSampleStudy(
+    const data::Dataset& dataset, const ClusterStudyConfig& config) {
+  FOCUS_CHECK_GT(config.samples_per_fraction, 0);
+  const cluster::Grid grid(dataset.schema(), config.grid_attributes,
+                           config.grid_bins);
+  cluster::GridClusteringOptions clustering;
+  clustering.density_threshold = config.density_threshold;
+  const cluster::ClusterModel full_model =
+      cluster::GridClustering(dataset, grid, clustering);
+
+  ClusterDeviationOptions deviation_options;
+  deviation_options.fn = config.fn;
+
+  std::vector<SampleStudyPoint> points;
+  points.reserve(config.fractions.size());
+  for (size_t fi = 0; fi < config.fractions.size(); ++fi) {
+    SampleStudyPoint point;
+    point.fraction = config.fractions[fi];
+    for (int s = 0; s < config.samples_per_fraction; ++s) {
+      std::mt19937_64 rng =
+          stats::MakeRng(stats::DeriveSeed(config.seed, fi * 1000 + s));
+      const data::Dataset sample =
+          data::SampleDataset(dataset, point.fraction, rng);
+      if (sample.num_rows() == 0) continue;
+      const cluster::ClusterModel sample_model =
+          cluster::GridClustering(sample, grid, clustering);
+      point.sample_deviations.push_back(ClusterDeviation(
+          full_model, dataset, sample_model, sample, deviation_options));
+    }
+    FOCUS_CHECK(!point.sample_deviations.empty())
+        << "fraction " << point.fraction << " produced no samples";
+    point.mean_sd = stats::Mean(point.sample_deviations);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<double> StepSignificances(
+    const std::vector<SampleStudyPoint>& points) {
+  std::vector<double> significances;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    significances.push_back(stats::SignificanceOfDecreasePercent(
+        points[i].sample_deviations, points[i + 1].sample_deviations));
+  }
+  return significances;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,78 @@
+#ifndef FOCUS_CORE_SAMPLING_STUDY_H_
+#define FOCUS_CORE_SAMPLING_STUDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_model.h"
+#include "core/functions.h"
+#include "data/dataset.h"
+#include "data/transaction_db.h"
+#include "itemsets/apriori.h"
+#include "tree/cart_builder.h"
+
+namespace focus::core {
+
+// The sample-size study of §6: the sample deviation (SD) of a random
+// sample S ⊆ D is delta(M, M_S) — the deviation between the model induced
+// by all of D and the model induced by S. The study sweeps sample
+// fractions (SF), draws several samples per fraction, and applies the
+// Wilcoxon test between consecutive fractions to decide whether the
+// bigger sample is significantly more representative (Tables 1 and 2).
+
+struct SampleStudyPoint {
+  double fraction = 0.0;
+  std::vector<double> sample_deviations;  // one SD per drawn sample
+  double mean_sd = 0.0;
+};
+
+struct LitsStudyConfig {
+  lits::AprioriOptions apriori;
+  DeviationFunction fn;
+  std::vector<double> fractions = {0.01, 0.05, 0.1, 0.2, 0.3,
+                                   0.4,  0.5,  0.6, 0.7, 0.8};
+  int samples_per_fraction = 10;  // the paper uses 50
+  uint64_t seed = 42;
+};
+
+std::vector<SampleStudyPoint> LitsSampleStudy(const data::TransactionDb& db,
+                                              const LitsStudyConfig& config);
+
+struct DtStudyConfig {
+  dt::CartOptions cart;
+  DeviationFunction fn;
+  std::vector<double> fractions = {0.01, 0.05, 0.1, 0.2, 0.3,
+                                   0.4,  0.5,  0.6, 0.7, 0.8};
+  int samples_per_fraction = 10;  // the paper uses 50
+  uint64_t seed = 42;
+};
+
+std::vector<SampleStudyPoint> DtSampleStudy(const data::Dataset& dataset,
+                                            const DtStudyConfig& config);
+
+// Wilcoxon significance (percent) of the SD decrease from fractions[i] to
+// fractions[i+1]; result[i] corresponds to that step — the rows of
+// Tables 1 and 2.
+std::vector<double> StepSignificances(
+    const std::vector<SampleStudyPoint>& points);
+
+// Extension beyond the paper: the same representativeness study for
+// cluster-models (the paper's §6 covers lits and dt only). The grid is
+// built over the numeric attributes named in `grid_attributes`.
+struct ClusterStudyConfig {
+  std::vector<int> grid_attributes;
+  int grid_bins = 10;
+  double density_threshold = 0.005;
+  DeviationFunction fn;
+  std::vector<double> fractions = {0.01, 0.05, 0.1, 0.2, 0.3,
+                                   0.4,  0.5,  0.6, 0.7, 0.8};
+  int samples_per_fraction = 10;
+  uint64_t seed = 42;
+};
+
+std::vector<SampleStudyPoint> ClusterSampleStudy(
+    const data::Dataset& dataset, const ClusterStudyConfig& config);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_SAMPLING_STUDY_H_

@@ -1,0 +1,161 @@
+#include "core/significance.h"
+
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+#include "core/dt_deviation.h"
+#include "core/lits_deviation.h"
+#include "data/sampling.h"
+#include "stats/bootstrap.h"
+#include "stats/rng.h"
+
+namespace focus::core {
+
+SignificanceResult LitsDeviationSignificance(
+    const data::TransactionDb& d1, const data::TransactionDb& d2,
+    const lits::AprioriOptions& apriori_options, const DeviationFunction& fn,
+    const SignificanceOptions& options) {
+  FOCUS_CHECK_GT(options.num_replicates, 0);
+
+  const lits::LitsModel m1 = lits::Apriori(d1, apriori_options);
+  const lits::LitsModel m2 = lits::Apriori(d2, apriori_options);
+
+  SignificanceResult result;
+  result.deviation = LitsDeviation(m1, d1, m2, d2, fn);
+
+  data::TransactionDb pool = d1;
+  pool.Append(d2);
+
+  std::mt19937_64 rng = stats::MakeRng(options.seed);
+  std::vector<double> null_values;
+  null_values.reserve(options.num_replicates);
+  for (int r = 0; r < options.num_replicates; ++r) {
+    const data::TransactionDb b1 = data::TakeTransactions(
+        pool, data::SampleIndicesWithReplacement(pool.num_transactions(),
+                                                 d1.num_transactions(), rng));
+    const data::TransactionDb b2 = data::TakeTransactions(
+        pool, data::SampleIndicesWithReplacement(pool.num_transactions(),
+                                                 d2.num_transactions(), rng));
+    const lits::LitsModel bm1 = lits::Apriori(b1, apriori_options);
+    const lits::LitsModel bm2 = lits::Apriori(b2, apriori_options);
+    null_values.push_back(LitsDeviation(bm1, b1, bm2, b2, fn));
+  }
+  result.significance_percent =
+      stats::SignificancePercent(result.deviation, null_values);
+  return result;
+}
+
+SignificanceResult DtDeviationSignificance(const data::Dataset& d1,
+                                           const data::Dataset& d2,
+                                           const dt::CartOptions& cart_options,
+                                           const DeviationFunction& fn,
+                                           const SignificanceOptions& options) {
+  FOCUS_CHECK_GT(options.num_replicates, 0);
+
+  const DtModel m1(dt::BuildCart(d1, cart_options), d1);
+  const DtModel m2(dt::BuildCart(d2, cart_options), d2);
+
+  DtDeviationOptions deviation_options;
+  deviation_options.fn = fn;
+
+  SignificanceResult result;
+  result.deviation = DtDeviation(m1, d1, m2, d2, deviation_options);
+
+  data::Dataset pool = d1;
+  pool.Append(d2);
+
+  std::mt19937_64 rng = stats::MakeRng(options.seed);
+  std::vector<double> null_values;
+  null_values.reserve(options.num_replicates);
+  for (int r = 0; r < options.num_replicates; ++r) {
+    const data::Dataset b1 = data::TakeRows(
+        pool,
+        data::SampleIndicesWithReplacement(pool.num_rows(), d1.num_rows(), rng));
+    const data::Dataset b2 = data::TakeRows(
+        pool,
+        data::SampleIndicesWithReplacement(pool.num_rows(), d2.num_rows(), rng));
+    const DtModel bm1(dt::BuildCart(b1, cart_options), b1);
+    const DtModel bm2(dt::BuildCart(b2, cart_options), b2);
+    null_values.push_back(DtDeviation(bm1, b1, bm2, b2, deviation_options));
+  }
+  result.significance_percent =
+      stats::SignificancePercent(result.deviation, null_values);
+  return result;
+}
+
+SignificanceResult LitsBlockSignificance(
+    const data::TransactionDb& base, const data::TransactionDb& block,
+    const lits::AprioriOptions& apriori_options, const DeviationFunction& fn,
+    const SignificanceOptions& options) {
+  FOCUS_CHECK_GT(options.num_replicates, 0);
+  FOCUS_CHECK_GT(block.num_transactions(), 0);
+
+  const lits::LitsModel base_model = lits::Apriori(base, apriori_options);
+  data::TransactionDb extended = base;
+  extended.Append(block);
+  const lits::LitsModel extended_model =
+      lits::Apriori(extended, apriori_options);
+
+  SignificanceResult result;
+  result.deviation =
+      LitsDeviation(base_model, base, extended_model, extended, fn);
+
+  std::mt19937_64 rng = stats::MakeRng(options.seed);
+  std::vector<double> null_values;
+  null_values.reserve(options.num_replicates);
+  for (int r = 0; r < options.num_replicates; ++r) {
+    // Null: the block is more data from base's process.
+    data::TransactionDb null_extended = base;
+    null_extended.Append(data::TakeTransactions(
+        base, data::SampleIndicesWithReplacement(
+                  base.num_transactions(), block.num_transactions(), rng)));
+    const lits::LitsModel null_model =
+        lits::Apriori(null_extended, apriori_options);
+    null_values.push_back(
+        LitsDeviation(base_model, base, null_model, null_extended, fn));
+  }
+  result.significance_percent =
+      stats::SignificancePercent(result.deviation, null_values);
+  return result;
+}
+
+SignificanceResult DtBlockSignificance(const data::Dataset& base,
+                                       const data::Dataset& block,
+                                       const dt::CartOptions& cart_options,
+                                       const DeviationFunction& fn,
+                                       const SignificanceOptions& options) {
+  FOCUS_CHECK_GT(options.num_replicates, 0);
+  FOCUS_CHECK_GT(block.num_rows(), 0);
+
+  const DtModel base_model(dt::BuildCart(base, cart_options), base);
+  data::Dataset extended = base;
+  extended.Append(block);
+  const DtModel extended_model(dt::BuildCart(extended, cart_options), extended);
+
+  DtDeviationOptions deviation_options;
+  deviation_options.fn = fn;
+
+  SignificanceResult result;
+  result.deviation =
+      DtDeviation(base_model, base, extended_model, extended, deviation_options);
+
+  std::mt19937_64 rng = stats::MakeRng(options.seed);
+  std::vector<double> null_values;
+  null_values.reserve(options.num_replicates);
+  for (int r = 0; r < options.num_replicates; ++r) {
+    data::Dataset null_extended = base;
+    null_extended.Append(data::TakeRows(
+        base, data::SampleIndicesWithReplacement(base.num_rows(),
+                                                 block.num_rows(), rng)));
+    const DtModel null_model(dt::BuildCart(null_extended, cart_options),
+                             null_extended);
+    null_values.push_back(DtDeviation(base_model, base, null_model,
+                                      null_extended, deviation_options));
+  }
+  result.significance_percent =
+      stats::SignificancePercent(result.deviation, null_values);
+  return result;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,135 @@
+#include "data/box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace focus::data {
+
+Box Box::Full(const Schema& schema) {
+  Box box;
+  box.bounds_.resize(schema.num_attributes());
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    if (attr.type == AttributeType::kCategorical) {
+      box.bounds_[a].mask = attr.cardinality >= 64
+                                ? ~0ULL
+                                : ((1ULL << attr.cardinality) - 1);
+    }
+  }
+  return box;
+}
+
+bool Box::Contains(const Schema& schema, std::span<const double> row) const {
+  FOCUS_CHECK_EQ(static_cast<int>(row.size()), num_attributes());
+  for (int a = 0; a < num_attributes(); ++a) {
+    const AttributeBound& b = bounds_[a];
+    if (schema.attribute(a).type == AttributeType::kNumeric) {
+      if (row[a] < b.lo || row[a] >= b.hi) return false;
+    } else {
+      const int code = static_cast<int>(row[a]);
+      if ((b.mask & (1ULL << code)) == 0) return false;
+    }
+  }
+  return true;
+}
+
+Box Box::Intersect(const Box& other) const {
+  FOCUS_CHECK_EQ(num_attributes(), other.num_attributes());
+  Box result = *this;
+  for (int a = 0; a < num_attributes(); ++a) {
+    result.bounds_[a].lo = std::max(bounds_[a].lo, other.bounds_[a].lo);
+    result.bounds_[a].hi = std::min(bounds_[a].hi, other.bounds_[a].hi);
+    result.bounds_[a].mask = bounds_[a].mask & other.bounds_[a].mask;
+  }
+  return result;
+}
+
+bool Box::IsEmpty(const Schema& schema) const {
+  for (int a = 0; a < num_attributes(); ++a) {
+    if (schema.attribute(a).type == AttributeType::kNumeric) {
+      if (bounds_[a].lo >= bounds_[a].hi) return true;
+    } else {
+      uint64_t domain = schema.attribute(a).cardinality >= 64
+                            ? ~0ULL
+                            : ((1ULL << schema.attribute(a).cardinality) - 1);
+      if ((bounds_[a].mask & domain) == 0) return true;
+    }
+  }
+  return false;
+}
+
+bool Box::Covers(const Schema& schema, const Box& other) const {
+  FOCUS_CHECK_EQ(num_attributes(), other.num_attributes());
+  if (other.IsEmpty(schema)) return true;
+  for (int a = 0; a < num_attributes(); ++a) {
+    if (schema.attribute(a).type == AttributeType::kNumeric) {
+      if (other.bounds_[a].lo < bounds_[a].lo ||
+          other.bounds_[a].hi > bounds_[a].hi) {
+        return false;
+      }
+    } else {
+      if ((other.bounds_[a].mask & ~bounds_[a].mask) != 0) return false;
+    }
+  }
+  return true;
+}
+
+void Box::ClampNumeric(int attr, double lo, double hi) {
+  bounds_[attr].lo = std::max(bounds_[attr].lo, lo);
+  bounds_[attr].hi = std::min(bounds_[attr].hi, hi);
+}
+
+void Box::ClampCategorical(int attr, uint64_t mask) {
+  bounds_[attr].mask &= mask;
+}
+
+std::string Box::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  bool first = true;
+  for (int a = 0; a < num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    const AttributeBound& b = bounds_[a];
+    if (attr.type == AttributeType::kNumeric) {
+      if (std::isinf(b.lo) && std::isinf(b.hi)) continue;
+      if (!first) out << " & ";
+      first = false;
+      out << attr.name << " in [" << b.lo << "," << b.hi << ")";
+    } else {
+      const uint64_t domain = attr.cardinality >= 64
+                                  ? ~0ULL
+                                  : ((1ULL << attr.cardinality) - 1);
+      if ((b.mask & domain) == domain) continue;
+      if (!first) out << " & ";
+      first = false;
+      out << attr.name << " in {";
+      bool first_code = true;
+      for (int c = 0; c < attr.cardinality; ++c) {
+        if (b.mask & (1ULL << c)) {
+          if (!first_code) out << ',';
+          first_code = false;
+          out << c;
+        }
+      }
+      out << '}';
+    }
+  }
+  if (first) out << "<all>";
+  return out.str();
+}
+
+bool Box::operator==(const Box& other) const {
+  if (num_attributes() != other.num_attributes()) return false;
+  for (int a = 0; a < num_attributes(); ++a) {
+    if (bounds_[a].lo != other.bounds_[a].lo ||
+        bounds_[a].hi != other.bounds_[a].hi ||
+        bounds_[a].mask != other.bounds_[a].mask) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace focus::data

@@ -1,0 +1,70 @@
+#ifndef FOCUS_DATA_BOX_H_
+#define FOCUS_DATA_BOX_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace focus::data {
+
+// Constraint on one attribute inside a Box region.
+struct AttributeBound {
+  // Numeric attributes: the half-open interval [lo, hi).
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  // Categorical attributes: the set of admitted codes as a bitmask.
+  uint64_t mask = ~0ULL;
+};
+
+// An axis-aligned region of the attribute space A(I): the conjunction of
+// one bound per attribute (Definition 3.1's P_sigma for the rectangular
+// predicates produced by decision trees, grid clusters, and user focus
+// regions). A decision-tree leaf corresponds to one Box per class label
+// (§2.1); the class dimension is tracked separately by the model types.
+class Box {
+ public:
+  Box() = default;
+
+  // The unconstrained region over `schema`.
+  static Box Full(const Schema& schema);
+
+  int num_attributes() const { return static_cast<int>(bounds_.size()); }
+  const AttributeBound& bound(int attr) const { return bounds_[attr]; }
+  AttributeBound& mutable_bound(int attr) { return bounds_[attr]; }
+
+  // Membership predicate P_sigma(t).
+  bool Contains(const Schema& schema, std::span<const double> row) const;
+
+  // Geometric intersection. Result may be empty.
+  Box Intersect(const Box& other) const;
+
+  // True iff no tuple can satisfy the predicate (some numeric interval
+  // has lo >= hi, or some categorical mask is 0).
+  bool IsEmpty(const Schema& schema) const;
+
+  // Containment of regions: every point of `other` lies in this box.
+  bool Covers(const Schema& schema, const Box& other) const;
+
+  // Restricts attribute `attr` (numeric) to [lo, hi) intersected with the
+  // current bound.
+  void ClampNumeric(int attr, double lo, double hi);
+
+  // Restricts attribute `attr` (categorical) to `mask` ∩ current mask.
+  void ClampCategorical(int attr, uint64_t mask);
+
+  // Human-readable predicate, e.g. "age in [30,60) & elevel in {0,1}".
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const Box& other) const;
+
+ private:
+  std::vector<AttributeBound> bounds_;
+};
+
+}  // namespace focus::data
+
+#endif  // FOCUS_DATA_BOX_H_

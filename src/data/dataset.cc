@@ -1,0 +1,30 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace focus::data {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+void Dataset::AddRow(std::span<const double> values, int label) {
+  FOCUS_CHECK_EQ(static_cast<int>(values.size()), schema_.num_attributes());
+  if (schema_.num_classes() > 0) {
+    FOCUS_CHECK_GE(label, 0);
+    FOCUS_CHECK_LT(label, schema_.num_classes());
+  }
+  values_.insert(values_.end(), values.begin(), values.end());
+  labels_.push_back(label);
+}
+
+void Dataset::Reserve(int64_t rows) {
+  values_.reserve(rows * schema_.num_attributes());
+  labels_.reserve(rows);
+}
+
+void Dataset::Append(const Dataset& other) {
+  FOCUS_CHECK(schema_ == other.schema_) << "Append requires identical schemas";
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+}
+
+}  // namespace focus::data

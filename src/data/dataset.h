@@ -1,0 +1,56 @@
+#ifndef FOCUS_DATA_DATASET_H_
+#define FOCUS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace focus::data {
+
+// A dataset D: a finite bag of n-tuples over a Schema (Definition 3.1),
+// stored row-major. Categorical values are stored as their integer code
+// (cast to double). Each tuple optionally carries a class label.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return labels_.size(); }
+  int num_attributes() const { return schema_.num_attributes(); }
+
+  // Value of attribute `attr` in row `row`.
+  double At(int64_t row, int attr) const {
+    return values_[row * schema_.num_attributes() + attr];
+  }
+
+  // The full attribute vector of `row`.
+  std::span<const double> Row(int64_t row) const {
+    return {values_.data() + row * schema_.num_attributes(),
+            static_cast<size_t>(schema_.num_attributes())};
+  }
+
+  int Label(int64_t row) const { return labels_[row]; }
+  void SetLabel(int64_t row, int label) { labels_[row] = label; }
+
+  // Appends a tuple. `values.size()` must equal num_attributes(); `label`
+  // must be in [0, num_classes) (use 0 for unlabeled schemas).
+  void AddRow(std::span<const double> values, int label);
+
+  void Reserve(int64_t rows);
+
+  // Concatenates `other` (same schema) onto this dataset; used to model
+  // the paper's "D + block" snapshot-growth experiments (Section 7).
+  void Append(const Dataset& other);
+
+ private:
+  Schema schema_;
+  std::vector<double> values_;  // row-major, num_rows * num_attributes
+  std::vector<int32_t> labels_;
+};
+
+}  // namespace focus::data
+
+#endif  // FOCUS_DATA_DATASET_H_

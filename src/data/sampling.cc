@@ -1,0 +1,65 @@
+#include "data/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace focus::data {
+
+std::vector<int64_t> SampleIndicesWithoutReplacement(int64_t n, double fraction,
+                                                     std::mt19937_64& rng) {
+  FOCUS_CHECK_GE(fraction, 0.0);
+  FOCUS_CHECK_LE(fraction, 1.0);
+  const int64_t k = static_cast<int64_t>(fraction * static_cast<double>(n));
+  std::vector<int64_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  // Partial Fisher–Yates: after i swaps, pool[0..i) is a uniform sample.
+  for (int64_t i = 0; i < k; ++i) {
+    std::uniform_int_distribution<int64_t> pick(i, n - 1);
+    std::swap(pool[i], pool[pick(rng)]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<int64_t> SampleIndicesWithReplacement(int64_t n, int64_t count,
+                                                  std::mt19937_64& rng) {
+  FOCUS_CHECK_GT(n, 0);
+  std::uniform_int_distribution<int64_t> pick(0, n - 1);
+  std::vector<int64_t> indices(count);
+  for (int64_t i = 0; i < count; ++i) indices[i] = pick(rng);
+  return indices;
+}
+
+Dataset TakeRows(const Dataset& dataset, const std::vector<int64_t>& indices) {
+  Dataset out(dataset.schema());
+  out.Reserve(static_cast<int64_t>(indices.size()));
+  for (int64_t row : indices) {
+    out.AddRow(dataset.Row(row), dataset.Label(row));
+  }
+  return out;
+}
+
+TransactionDb TakeTransactions(const TransactionDb& db,
+                               const std::vector<int64_t>& indices) {
+  TransactionDb out(db.num_items());
+  for (int64_t t : indices) {
+    out.AddTransaction(db.Transaction(t));
+  }
+  return out;
+}
+
+Dataset SampleDataset(const Dataset& dataset, double fraction,
+                      std::mt19937_64& rng) {
+  return TakeRows(dataset, SampleIndicesWithoutReplacement(dataset.num_rows(),
+                                                           fraction, rng));
+}
+
+TransactionDb SampleTransactions(const TransactionDb& db, double fraction,
+                                 std::mt19937_64& rng) {
+  return TakeTransactions(
+      db, SampleIndicesWithoutReplacement(db.num_transactions(), fraction, rng));
+}
+
+}  // namespace focus::data

@@ -1,0 +1,39 @@
+#ifndef FOCUS_DATA_SAMPLING_H_
+#define FOCUS_DATA_SAMPLING_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/transaction_db.h"
+
+namespace focus::data {
+
+// Random-sampling primitives used by the sample-size study (Section 6 of
+// the paper) and by the bootstrap qualification procedure (Section 3.4).
+// All functions are deterministic given the std::mt19937_64 state.
+
+// Returns floor(fraction * n) distinct row indices, uniformly without
+// replacement (partial Fisher–Yates).
+std::vector<int64_t> SampleIndicesWithoutReplacement(int64_t n, double fraction,
+                                                     std::mt19937_64& rng);
+
+// Returns `count` row indices uniformly with replacement.
+std::vector<int64_t> SampleIndicesWithReplacement(int64_t n, int64_t count,
+                                                  std::mt19937_64& rng);
+
+// Materializes the rows named by `indices`.
+Dataset TakeRows(const Dataset& dataset, const std::vector<int64_t>& indices);
+TransactionDb TakeTransactions(const TransactionDb& db,
+                               const std::vector<int64_t>& indices);
+
+// Simple-random-sample helpers (without replacement).
+Dataset SampleDataset(const Dataset& dataset, double fraction,
+                      std::mt19937_64& rng);
+TransactionDb SampleTransactions(const TransactionDb& db, double fraction,
+                                 std::mt19937_64& rng);
+
+}  // namespace focus::data
+
+#endif  // FOCUS_DATA_SAMPLING_H_

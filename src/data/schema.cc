@@ -1,0 +1,53 @@
+#include "data/schema.h"
+
+#include "common/check.h"
+
+namespace focus::data {
+
+Schema::Schema(std::vector<Attribute> attributes, int num_classes)
+    : attributes_(std::move(attributes)), num_classes_(num_classes) {
+  FOCUS_CHECK_GE(num_classes_, 0);
+  for (const Attribute& attr : attributes_) {
+    if (attr.type == AttributeType::kCategorical) {
+      FOCUS_CHECK_GE(attr.cardinality, 1) << "attribute " << attr.name;
+      FOCUS_CHECK_LE(attr.cardinality, 64) << "attribute " << attr.name;
+    } else {
+      FOCUS_CHECK_LE(attr.min_value, attr.max_value) << "attribute " << attr.name;
+    }
+  }
+}
+
+Attribute Schema::Numeric(std::string name, double min_value, double max_value) {
+  Attribute attr;
+  attr.name = std::move(name);
+  attr.type = AttributeType::kNumeric;
+  attr.min_value = min_value;
+  attr.max_value = max_value;
+  return attr;
+}
+
+Attribute Schema::Categorical(std::string name, int cardinality) {
+  Attribute attr;
+  attr.name = std::move(name);
+  attr.type = AttributeType::kCategorical;
+  attr.cardinality = cardinality;
+  return attr;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (num_classes_ != other.num_classes_) return false;
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    const Attribute& a = attributes_[i];
+    const Attribute& b = other.attributes_[i];
+    if (a.name != b.name || a.type != b.type) return false;
+    if (a.type == AttributeType::kCategorical) {
+      if (a.cardinality != b.cardinality) return false;
+    } else {
+      if (a.min_value != b.min_value || a.max_value != b.max_value) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace focus::data

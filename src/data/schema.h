@@ -1,0 +1,55 @@
+#ifndef FOCUS_DATA_SCHEMA_H_
+#define FOCUS_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace focus::data {
+
+// Kind of a (non-class) attribute in the attribute space A(I) of the paper
+// (Definition 3.1).
+enum class AttributeType {
+  kNumeric,      // continuous; values are doubles
+  kCategorical,  // finite domain; values are integer codes in [0, cardinality)
+};
+
+// One attribute A_i with its domain D_i.
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kNumeric;
+  // For kCategorical: number of distinct codes (must be in [1, 64] so
+  // category subsets fit in a uint64_t mask). Ignored for kNumeric.
+  int cardinality = 0;
+  // For kNumeric: the (inclusive) domain bounds, used to seed the root
+  // region of decision-tree models and clustering grids.
+  double min_value = 0.0;
+  double max_value = 1.0;
+};
+
+// The attribute space A(I): an ordered list of attributes plus the number
+// of class labels (for classification datasets; 0 for unlabeled data).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<Attribute> attributes, int num_classes);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  int num_classes() const { return num_classes_; }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  // Convenience factories.
+  static Attribute Numeric(std::string name, double min_value, double max_value);
+  static Attribute Categorical(std::string name, int cardinality);
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  int num_classes_ = 0;
+};
+
+}  // namespace focus::data
+
+#endif  // FOCUS_DATA_SCHEMA_H_

@@ -1,0 +1,35 @@
+#include "data/transaction_db.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace focus::data {
+
+void TransactionDb::AddTransaction(std::span<const int32_t> items) {
+  std::vector<int32_t> sorted(items.begin(), items.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (int32_t item : sorted) {
+    FOCUS_CHECK_GE(item, 0);
+    FOCUS_CHECK_LT(item, num_items_);
+  }
+  items_.insert(items_.end(), sorted.begin(), sorted.end());
+  offsets_.push_back(static_cast<int64_t>(items_.size()));
+}
+
+void TransactionDb::Append(const TransactionDb& other) {
+  FOCUS_CHECK_EQ(num_items_, other.num_items_);
+  for (int64_t t = 0; t < other.num_transactions(); ++t) {
+    const auto txn = other.Transaction(t);
+    items_.insert(items_.end(), txn.begin(), txn.end());
+    offsets_.push_back(static_cast<int64_t>(items_.size()));
+  }
+}
+
+void TransactionDb::Reserve(int64_t transactions, int64_t total_items) {
+  offsets_.reserve(transactions + 1);
+  items_.reserve(total_items);
+}
+
+}  // namespace focus::data

@@ -1,0 +1,168 @@
+#include "datagen/class_gen.h"
+
+#include <array>
+#include <random>
+
+#include "common/check.h"
+#include "stats/rng.h"
+
+namespace focus::datagen {
+namespace {
+
+using Cols = ClassGenColumns;
+
+bool Between(double v, double lo, double hi) { return lo <= v && v <= hi; }
+
+// F1: group A iff age < 40 or age >= 60.
+bool F1IsGroupA(std::span<const double> r) {
+  const double age = r[Cols::kAge];
+  return age < 40.0 || age >= 60.0;
+}
+
+// F2: age bands with salary windows.
+bool F2IsGroupA(std::span<const double> r) {
+  const double age = r[Cols::kAge];
+  const double salary = r[Cols::kSalary];
+  if (age < 40.0) return Between(salary, 50000.0, 100000.0);
+  if (age < 60.0) return Between(salary, 75000.0, 125000.0);
+  return Between(salary, 25000.0, 75000.0);
+}
+
+// F3: age bands with education-level windows.
+bool F3IsGroupA(std::span<const double> r) {
+  const double age = r[Cols::kAge];
+  const int elevel = static_cast<int>(r[Cols::kElevel]);
+  if (age < 40.0) return elevel == 0 || elevel == 1;
+  if (age < 60.0) return elevel >= 1 && elevel <= 3;
+  return elevel >= 2 && elevel <= 4;
+}
+
+// F4: age bands where the salary window depends on education level.
+bool F4IsGroupA(std::span<const double> r) {
+  const double age = r[Cols::kAge];
+  const double salary = r[Cols::kSalary];
+  const int elevel = static_cast<int>(r[Cols::kElevel]);
+  if (age < 40.0) {
+    return (elevel >= 0 && elevel <= 1) ? Between(salary, 25000.0, 75000.0)
+                                        : Between(salary, 50000.0, 100000.0);
+  }
+  if (age < 60.0) {
+    return (elevel >= 1 && elevel <= 3) ? Between(salary, 50000.0, 100000.0)
+                                        : Between(salary, 75000.0, 125000.0);
+  }
+  return (elevel >= 2 && elevel <= 4) ? Between(salary, 50000.0, 100000.0)
+                                      : Between(salary, 25000.0, 75000.0);
+}
+
+// F5: age bands where the loan window depends on the salary window.
+bool F5IsGroupA(std::span<const double> r) {
+  const double age = r[Cols::kAge];
+  const double salary = r[Cols::kSalary];
+  const double loan = r[Cols::kLoan];
+  if (age < 40.0) {
+    return Between(salary, 50000.0, 100000.0)
+               ? Between(loan, 100000.0, 300000.0)
+               : Between(loan, 200000.0, 400000.0);
+  }
+  if (age < 60.0) {
+    return Between(salary, 75000.0, 125000.0)
+               ? Between(loan, 200000.0, 400000.0)
+               : Between(loan, 300000.0, 500000.0);
+  }
+  return Between(salary, 25000.0, 75000.0)
+             ? Between(loan, 300000.0, 500000.0)
+             : Between(loan, 100000.0, 300000.0);
+}
+
+// F6: like F2 but on total income (salary + commission).
+bool F6IsGroupA(std::span<const double> r) {
+  const double age = r[Cols::kAge];
+  const double income = r[Cols::kSalary] + r[Cols::kCommission];
+  if (age < 40.0) return Between(income, 50000.0, 100000.0);
+  if (age < 60.0) return Between(income, 75000.0, 125000.0);
+  return Between(income, 25000.0, 75000.0);
+}
+
+// F7: linear disposable-income rule.
+bool F7IsGroupA(std::span<const double> r) {
+  const double disposable = 0.67 * (r[Cols::kSalary] + r[Cols::kCommission]) -
+                            0.2 * r[Cols::kLoan] - 20000.0;
+  return disposable > 0.0;
+}
+
+}  // namespace
+
+std::string ClassGenParams::Name() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3gM.F%d",
+                static_cast<double>(num_rows) / 1e6, static_cast<int>(function));
+  return buffer;
+}
+
+data::Schema ClassGenSchema() {
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Schema::Numeric("salary", 20000.0, 150000.0));
+  attrs.push_back(data::Schema::Numeric("commission", 0.0, 75000.0));
+  attrs.push_back(data::Schema::Numeric("age", 20.0, 80.0));
+  attrs.push_back(data::Schema::Categorical("elevel", 5));
+  attrs.push_back(data::Schema::Categorical("car", 20));
+  attrs.push_back(data::Schema::Categorical("zipcode", 9));
+  attrs.push_back(data::Schema::Numeric("hvalue", 0.0, 1350000.0));
+  attrs.push_back(data::Schema::Numeric("hyears", 1.0, 30.0));
+  attrs.push_back(data::Schema::Numeric("loan", 0.0, 500000.0));
+  return data::Schema(std::move(attrs), /*num_classes=*/2);
+}
+
+int EvaluateClassFunction(ClassFunction f, std::span<const double> row) {
+  bool group_a = false;
+  switch (f) {
+    case ClassFunction::kF1: group_a = F1IsGroupA(row); break;
+    case ClassFunction::kF2: group_a = F2IsGroupA(row); break;
+    case ClassFunction::kF3: group_a = F3IsGroupA(row); break;
+    case ClassFunction::kF4: group_a = F4IsGroupA(row); break;
+    case ClassFunction::kF5: group_a = F5IsGroupA(row); break;
+    case ClassFunction::kF6: group_a = F6IsGroupA(row); break;
+    case ClassFunction::kF7: group_a = F7IsGroupA(row); break;
+  }
+  return group_a ? 0 : 1;
+}
+
+data::Dataset GenerateClassification(const ClassGenParams& params) {
+  FOCUS_CHECK_GT(params.num_rows, 0);
+  FOCUS_CHECK_GE(params.label_noise, 0.0);
+  FOCUS_CHECK_LE(params.label_noise, 1.0);
+
+  std::mt19937_64 rng = stats::MakeRng(params.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  data::Dataset dataset(ClassGenSchema());
+  dataset.Reserve(params.num_rows);
+  std::array<double, 9> row;
+  for (int64_t i = 0; i < params.num_rows; ++i) {
+    row[Cols::kSalary] = stats::UniformVariate(rng, 20000.0, 150000.0);
+    row[Cols::kCommission] =
+        row[Cols::kSalary] >= 75000.0
+            ? 0.0
+            : stats::UniformVariate(rng, 10000.0, 75000.0);
+    row[Cols::kAge] = stats::UniformVariate(rng, 20.0, 80.0);
+    row[Cols::kElevel] = static_cast<double>(stats::UniformInt(rng, 0, 4));
+    row[Cols::kCar] = static_cast<double>(stats::UniformInt(rng, 0, 19));
+    const int64_t zipcode = stats::UniformInt(rng, 0, 8);
+    row[Cols::kZipcode] = static_cast<double>(zipcode);
+    // House value scales with a zipcode-dependent factor k in {1..9}.
+    const double k = static_cast<double>(zipcode + 1);
+    row[Cols::kHvalue] = stats::UniformVariate(rng, 0.5 * k * 100000.0,
+                                               1.5 * k * 100000.0);
+    row[Cols::kHyears] = stats::UniformVariate(rng, 1.0, 30.0);
+    row[Cols::kLoan] = stats::UniformVariate(rng, 0.0, 500000.0);
+
+    int label = EvaluateClassFunction(params.function, row);
+    if (params.label_noise > 0.0 && unit(rng) < params.label_noise) {
+      label = 1 - label;
+    }
+    dataset.AddRow(row, label);
+  }
+  return dataset;
+}
+
+}  // namespace focus::datagen

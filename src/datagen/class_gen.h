@@ -1,0 +1,76 @@
+#ifndef FOCUS_DATAGEN_CLASS_GEN_H_
+#define FOCUS_DATAGEN_CLASS_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace focus::datagen {
+
+// Re-implementation of the synthetic classification-data generator of
+// Agrawal, Imielinski & Swami ("Database mining: a performance
+// perspective", TKDE 1993), used by the paper for all dt-model
+// experiments (datasets "NM.Fnum", Sections 6.1.2 and 7.2).
+//
+// Nine predictor attributes:
+//   salary      numeric     uniform [20000, 150000]
+//   commission  numeric     0 if salary >= 75000, else uniform [10000, 75000]
+//   age         numeric     uniform [20, 80]
+//   elevel      categorical {0..4}      (education level)
+//   car         categorical {0..19}    (make of car)
+//   zipcode     categorical {0..8}
+//   hvalue      numeric     uniform [0.5, 1.5] * k * 100000, k from zipcode
+//   hyears      numeric     uniform [1, 30]
+//   loan        numeric     uniform [0, 500000]
+//
+// Classification functions F1..F7 assign class A (label 0) or B (label 1).
+// The paper uses F1-F4; F5-F7 are provided for completeness.
+
+enum class ClassFunction {
+  kF1 = 1,
+  kF2 = 2,
+  kF3 = 3,
+  kF4 = 4,
+  kF5 = 5,
+  kF6 = 6,
+  kF7 = 7,
+};
+
+// Column indices in the generated schema, for building regions/predicates.
+struct ClassGenColumns {
+  static constexpr int kSalary = 0;
+  static constexpr int kCommission = 1;
+  static constexpr int kAge = 2;
+  static constexpr int kElevel = 3;
+  static constexpr int kCar = 4;
+  static constexpr int kZipcode = 5;
+  static constexpr int kHvalue = 6;
+  static constexpr int kHyears = 7;
+  static constexpr int kLoan = 8;
+};
+
+struct ClassGenParams {
+  int64_t num_rows = 100000;
+  ClassFunction function = ClassFunction::kF1;
+  // Fraction of rows whose class label is flipped (the generator's
+  // "perturbation factor"); 0 reproduces the noise-free setting.
+  double label_noise = 0.0;
+  uint64_t seed = 1;
+
+  // Paper naming, e.g. "0.1M.F1".
+  std::string Name() const;
+};
+
+// The (fixed) schema produced by the generator. Two classes: A=0, B=1.
+data::Schema ClassGenSchema();
+
+// Evaluates function `f` on one attribute vector (schema order above).
+// Returns 0 for group A, 1 for group B.
+int EvaluateClassFunction(ClassFunction f, std::span<const double> row);
+
+data::Dataset GenerateClassification(const ClassGenParams& params);
+
+}  // namespace focus::datagen
+
+#endif  // FOCUS_DATAGEN_CLASS_GEN_H_

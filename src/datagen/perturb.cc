@@ -1,0 +1,81 @@
+#include "datagen/perturb.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+#include "stats/rng.h"
+
+namespace focus::datagen {
+
+data::Dataset FlipLabels(const data::Dataset& dataset, double p, uint64_t seed) {
+  FOCUS_CHECK_GE(p, 0.0);
+  FOCUS_CHECK_LE(p, 1.0);
+  FOCUS_CHECK_GE(dataset.schema().num_classes(), 2);
+  std::mt19937_64 rng = stats::MakeRng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  data::Dataset out(dataset.schema());
+  out.Reserve(dataset.num_rows());
+  const int num_classes = dataset.schema().num_classes();
+  for (int64_t row = 0; row < dataset.num_rows(); ++row) {
+    int label = dataset.Label(row);
+    if (unit(rng) < p) {
+      // Pick a different class uniformly.
+      const int shift =
+          static_cast<int>(stats::UniformInt(rng, 1, num_classes - 1));
+      label = (label + shift) % num_classes;
+    }
+    out.AddRow(dataset.Row(row), label);
+  }
+  return out;
+}
+
+data::Dataset JitterNumeric(const data::Dataset& dataset, double relative_sd,
+                            uint64_t seed) {
+  FOCUS_CHECK_GE(relative_sd, 0.0);
+  std::mt19937_64 rng = stats::MakeRng(seed);
+
+  data::Dataset out(dataset.schema());
+  out.Reserve(dataset.num_rows());
+  std::vector<double> row(dataset.num_attributes());
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    const auto src = dataset.Row(r);
+    std::copy(src.begin(), src.end(), row.begin());
+    for (int a = 0; a < dataset.num_attributes(); ++a) {
+      const data::Attribute& attr = dataset.schema().attribute(a);
+      if (attr.type != data::AttributeType::kNumeric) continue;
+      const double sd = relative_sd * (attr.max_value - attr.min_value);
+      if (sd <= 0.0) continue;
+      row[a] = std::clamp(row[a] + sd * stats::NormalVariate(rng),
+                          attr.min_value, attr.max_value);
+    }
+    out.AddRow(row, dataset.Label(r));
+  }
+  return out;
+}
+
+data::TransactionDb ReplaceItems(const data::TransactionDb& db, double p,
+                                 uint64_t seed) {
+  FOCUS_CHECK_GE(p, 0.0);
+  FOCUS_CHECK_LE(p, 1.0);
+  std::mt19937_64 rng = stats::MakeRng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  data::TransactionDb out(db.num_items());
+  std::vector<int32_t> txn;
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    const auto src = db.Transaction(t);
+    txn.assign(src.begin(), src.end());
+    for (int32_t& item : txn) {
+      if (unit(rng) < p) {
+        item = static_cast<int32_t>(stats::UniformInt(rng, 0, db.num_items() - 1));
+      }
+    }
+    out.AddTransaction(txn);
+  }
+  return out;
+}
+
+}  // namespace focus::datagen

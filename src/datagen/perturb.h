@@ -1,0 +1,31 @@
+#ifndef FOCUS_DATAGEN_PERTURB_H_
+#define FOCUS_DATAGEN_PERTURB_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/transaction_db.h"
+
+namespace focus::datagen {
+
+// Controlled dataset perturbations used to exercise change detection: they
+// create "the same data except …" variants without regenerating from a
+// different process.
+
+// Flips the class label of each row independently with probability `p`.
+data::Dataset FlipLabels(const data::Dataset& dataset, double p, uint64_t seed);
+
+// Adds zero-mean Gaussian noise with standard deviation
+// `relative_sd * (max - min)` to every numeric attribute, clamped to the
+// attribute domain. Categorical attributes and labels are untouched.
+data::Dataset JitterNumeric(const data::Dataset& dataset, double relative_sd,
+                            uint64_t seed);
+
+// For each transaction, independently replaces each item with a uniformly
+// random item with probability `p` (duplicates collapse).
+data::TransactionDb ReplaceItems(const data::TransactionDb& db, double p,
+                                 uint64_t seed);
+
+}  // namespace focus::datagen
+
+#endif  // FOCUS_DATAGEN_PERTURB_H_

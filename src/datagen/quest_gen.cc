@@ -1,0 +1,169 @@
+#include "datagen/quest_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+#include "stats/rng.h"
+
+namespace focus::datagen {
+namespace {
+
+struct Pattern {
+  std::vector<int32_t> items;
+  double weight = 0.0;      // normalized selection probability
+  double corruption = 0.0;  // per-pattern item-drop level
+};
+
+std::vector<Pattern> GeneratePatterns(const QuestParams& params,
+                                      std::mt19937_64& rng) {
+  std::uniform_int_distribution<int32_t> item_dist(0, params.num_items - 1);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::normal_distribution<double> corruption_dist(params.corruption_mean,
+                                                   params.corruption_sd);
+
+  std::vector<Pattern> patterns(params.num_patterns);
+  double weight_sum = 0.0;
+  for (int32_t p = 0; p < params.num_patterns; ++p) {
+    Pattern& pattern = patterns[p];
+    int64_t size =
+        std::max<int64_t>(1, stats::PoissonVariate(rng, params.avg_pattern_length));
+    size = std::min<int64_t>(size, params.num_items);
+
+    // Correlation: an exponentially distributed fraction of items is
+    // inherited from the previous pattern.
+    std::vector<int32_t> inherited;
+    if (p > 0) {
+      double corr = stats::ExponentialVariate(rng, params.correlation_mean);
+      corr = std::min(corr, 1.0);
+      const auto& prev = patterns[p - 1].items;
+      int64_t take = std::min<int64_t>(
+          static_cast<int64_t>(std::llround(corr * static_cast<double>(size))),
+          static_cast<int64_t>(prev.size()));
+      std::vector<int32_t> shuffled = prev;
+      std::shuffle(shuffled.begin(), shuffled.end(), rng);
+      inherited.assign(shuffled.begin(), shuffled.begin() + take);
+    }
+
+    std::vector<int32_t> items = inherited;
+    while (static_cast<int64_t>(items.size()) < size) {
+      const int32_t candidate = item_dist(rng);
+      if (std::find(items.begin(), items.end(), candidate) == items.end()) {
+        items.push_back(candidate);
+      }
+    }
+    std::sort(items.begin(), items.end());
+    pattern.items = std::move(items);
+
+    pattern.weight = stats::ExponentialVariate(rng, 1.0);
+    weight_sum += pattern.weight;
+    pattern.corruption = std::clamp(corruption_dist(rng), 0.0, 1.0);
+  }
+  for (Pattern& pattern : patterns) pattern.weight /= weight_sum;
+  return patterns;
+}
+
+// Weighted pattern sampling via cumulative distribution + binary search.
+class PatternPicker {
+ public:
+  explicit PatternPicker(const std::vector<Pattern>& patterns) {
+    cumulative_.reserve(patterns.size());
+    double acc = 0.0;
+    for (const Pattern& p : patterns) {
+      acc += p.weight;
+      cumulative_.push_back(acc);
+    }
+    // Guard against floating-point undershoot at the top end.
+    if (!cumulative_.empty()) cumulative_.back() = 1.0;
+  }
+
+  int32_t Pick(std::mt19937_64& rng) const {
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    const double u = unit(rng);
+    const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<int32_t>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+std::string QuestParams::Name() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%.3gM.%.0fL.%gK.%dpats.%gpatlen",
+                static_cast<double>(num_transactions) / 1e6,
+                avg_transaction_length, static_cast<double>(num_items) / 1e3,
+                num_patterns, avg_pattern_length);
+  return buffer;
+}
+
+data::TransactionDb GenerateQuest(const QuestParams& params) {
+  FOCUS_CHECK_GT(params.num_transactions, 0);
+  FOCUS_CHECK_GT(params.num_items, 0);
+  FOCUS_CHECK_GT(params.num_patterns, 0);
+  FOCUS_CHECK_GT(params.avg_pattern_length, 0.0);
+  FOCUS_CHECK_GT(params.avg_transaction_length, 0.0);
+
+  // Patterns define the generating process; transactions sample from it.
+  std::mt19937_64 pattern_rng = stats::MakeRng(
+      params.pattern_seed != 0 ? params.pattern_seed : params.seed);
+  const std::vector<Pattern> patterns = GeneratePatterns(params, pattern_rng);
+  std::mt19937_64 rng = stats::MakeRng(stats::DeriveSeed(params.seed, 1));
+  const PatternPicker picker(patterns);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  data::TransactionDb db(params.num_items);
+  db.Reserve(params.num_transactions,
+             static_cast<int64_t>(static_cast<double>(params.num_transactions) *
+                                  params.avg_transaction_length));
+
+  // A pattern that overflowed the previous transaction and was deferred.
+  std::vector<int32_t> carried;
+  std::vector<int32_t> txn;
+  for (int64_t t = 0; t < params.num_transactions; ++t) {
+    const int64_t target_size = std::max<int64_t>(
+        1, stats::PoissonVariate(rng, params.avg_transaction_length));
+    txn.clear();
+
+    if (!carried.empty()) {
+      txn.insert(txn.end(), carried.begin(), carried.end());
+      carried.clear();
+    }
+
+    // Cap the number of pattern draws so a degenerate weight distribution
+    // cannot stall generation.
+    int attempts = 0;
+    while (static_cast<int64_t>(txn.size()) < target_size && attempts < 64) {
+      ++attempts;
+      const Pattern& pattern = patterns[picker.Pick(rng)];
+      std::vector<int32_t> instance;
+      instance.reserve(pattern.items.size());
+      for (int32_t item : pattern.items) {
+        // Corrupt (drop) items: keep while u >= corruption level.
+        if (unit(rng) >= pattern.corruption) instance.push_back(item);
+      }
+      if (instance.empty()) continue;
+      if (static_cast<int64_t>(txn.size() + instance.size()) <= target_size ||
+          txn.empty()) {
+        txn.insert(txn.end(), instance.begin(), instance.end());
+      } else if (unit(rng) < 0.5) {
+        // Overflowing pattern: half the time add it anyway...
+        txn.insert(txn.end(), instance.begin(), instance.end());
+      } else {
+        // ...otherwise defer it to the next transaction and close this one.
+        carried = std::move(instance);
+        break;
+      }
+    }
+    if (txn.empty()) txn.push_back(static_cast<int32_t>(
+        stats::UniformInt(rng, 0, params.num_items - 1)));
+    db.AddTransaction(txn);
+  }
+  return db;
+}
+
+}  // namespace focus::datagen

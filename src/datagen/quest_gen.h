@@ -1,0 +1,53 @@
+#ifndef FOCUS_DATAGEN_QUEST_GEN_H_
+#define FOCUS_DATAGEN_QUEST_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/transaction_db.h"
+
+namespace focus::datagen {
+
+// Re-implementation of the IBM Quest / Almaden synthetic market-basket
+// generator of Agrawal & Srikant (VLDB'94), the generator behind the
+// paper's datasets named "NM.tlL.|I|I.Np pats.p patlen" (Sections 6.1.1
+// and 7.1). The original binary is no longer distributed; the algorithm
+// is implemented from its published description:
+//
+//   * Np maximal potentially-large itemsets are generated; the size of
+//     each is Poisson with mean `pattern_length`; a fraction of the items
+//     of each pattern (exponentially distributed "correlation level") is
+//     taken from the previous pattern, the rest are picked uniformly.
+//   * Each pattern has a weight (exponential, normalized to sum 1) giving
+//     the probability it seeds a transaction, and a corruption level
+//     (normal, mean 0.5, sd 0.1, clamped to [0,1]).
+//   * A transaction's size is Poisson with mean `avg_transaction_length`;
+//     patterns are drawn by weight and inserted after per-item corruption;
+//     a pattern that overflows the transaction is added anyway in half the
+//     cases and deferred to the next transaction otherwise.
+struct QuestParams {
+  int64_t num_transactions = 100000;  // N
+  double avg_transaction_length = 20; // tl
+  int32_t num_items = 1000;           // |I|
+  int32_t num_patterns = 4000;        // Np
+  double avg_pattern_length = 4;      // p
+  double correlation_mean = 0.5;
+  double corruption_mean = 0.5;
+  double corruption_sd = 0.1;
+  uint64_t seed = 1;
+  // Seed for the pattern table alone. Two generations with the same
+  // pattern_seed but different `seed`s come from the SAME generating
+  // process (same potentially-large itemsets) and model independent
+  // samples of it — the paper's "same distribution" datasets (D(1) in
+  // Figure 13). 0 means "derive from seed".
+  uint64_t pattern_seed = 0;
+
+  // The paper's naming convention, e.g. "0.1M.20L.1K.4000pats.4patlen".
+  std::string Name() const;
+};
+
+data::TransactionDb GenerateQuest(const QuestParams& params);
+
+}  // namespace focus::datagen
+
+#endif  // FOCUS_DATAGEN_QUEST_GEN_H_

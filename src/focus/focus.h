@@ -1,0 +1,58 @@
+#ifndef FOCUS_FOCUS_H_
+#define FOCUS_FOCUS_H_
+
+// Umbrella header for the FOCUS change-measurement library — everything a
+// downstream application needs to quantify, localize, and qualify
+// differences between two datasets through the models they induce.
+//
+// Reproduction of Ganti, Gehrke, Ramakrishnan & Loh, "A Framework for
+// Measuring Changes in Data Characteristics", PODS 1999.
+
+// Substrates.
+#include "cluster/birch.h"             // IWYU pragma: export
+#include "cluster/cluster_model.h"     // IWYU pragma: export
+#include "cluster/grid_clustering.h"   // IWYU pragma: export
+#include "data/box.h"                  // IWYU pragma: export
+#include "data/dataset.h"              // IWYU pragma: export
+#include "data/sampling.h"             // IWYU pragma: export
+#include "data/schema.h"               // IWYU pragma: export
+#include "data/transaction_db.h"       // IWYU pragma: export
+#include "datagen/class_gen.h"         // IWYU pragma: export
+#include "datagen/perturb.h"           // IWYU pragma: export
+#include "datagen/quest_gen.h"         // IWYU pragma: export
+#include "itemsets/apriori.h"          // IWYU pragma: export
+#include "itemsets/fp_growth.h"        // IWYU pragma: export
+#include "itemsets/incremental.h"      // IWYU pragma: export
+#include "itemsets/itemset.h"          // IWYU pragma: export
+#include "itemsets/rules.h"            // IWYU pragma: export
+#include "io/model_io.h"               // IWYU pragma: export
+#include "itemsets/support_counter.h"  // IWYU pragma: export
+#include "stats/bootstrap.h"           // IWYU pragma: export
+#include "stats/descriptive.h"         // IWYU pragma: export
+#include "stats/distributions.h"       // IWYU pragma: export
+#include "stats/wilcoxon.h"            // IWYU pragma: export
+#include "tree/cart_builder.h"         // IWYU pragma: export
+#include "tree/decision_tree.h"        // IWYU pragma: export
+#include "tree/leaf_regions.h"         // IWYU pragma: export
+#include "tree/presorted_builder.h"    // IWYU pragma: export
+#include "tree/pruning.h"              // IWYU pragma: export
+
+// The FOCUS framework.
+#include "core/chi_squared_instance.h"  // IWYU pragma: export
+#include "core/cluster_deviation.h"     // IWYU pragma: export
+#include "core/drift_series.h"          // IWYU pragma: export
+#include "core/dt_deviation.h"          // IWYU pragma: export
+#include "core/embedding.h"             // IWYU pragma: export
+#include "core/focus_region.h"          // IWYU pragma: export
+#include "core/functions.h"             // IWYU pragma: export
+#include "core/lits_deviation.h"        // IWYU pragma: export
+#include "core/lits_upper_bound.h"      // IWYU pragma: export
+#include "core/misclassification.h"     // IWYU pragma: export
+#include "core/monitor.h"               // IWYU pragma: export
+#include "core/query_estimator.h"       // IWYU pragma: export
+#include "core/rank.h"                  // IWYU pragma: export
+#include "core/region_algebra.h"        // IWYU pragma: export
+#include "core/sampling_study.h"        // IWYU pragma: export
+#include "core/significance.h"          // IWYU pragma: export
+
+#endif  // FOCUS_FOCUS_H_

@@ -1,0 +1,141 @@
+#include "io/data_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "io/model_io.h"
+
+namespace focus::io {
+namespace {
+
+constexpr char kTxnsMagic[] = "focus-txns-v1";
+constexpr char kDataMagic[] = "focus-data-v1";
+
+bool NextLine(std::istream& in, std::istringstream* line) {
+  std::string text;
+  if (!std::getline(in, text)) return false;
+  line->clear();
+  line->str(text);
+  return true;
+}
+
+}  // namespace
+
+void SaveTransactionDb(const data::TransactionDb& db, std::ostream& out) {
+  out << kTxnsMagic << '\n';
+  out << db.num_items() << ' ' << db.num_transactions() << '\n';
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    const auto txn = db.Transaction(t);
+    for (size_t i = 0; i < txn.size(); ++i) {
+      out << (i == 0 ? "" : " ") << txn[i];
+    }
+    out << '\n';
+  }
+}
+
+std::optional<data::TransactionDb> LoadTransactionDb(std::istream& in) {
+  std::istringstream line;
+  if (!NextLine(in, &line)) return std::nullopt;
+  std::string magic;
+  line >> magic;
+  if (magic != kTxnsMagic) return std::nullopt;
+
+  if (!NextLine(in, &line)) return std::nullopt;
+  int32_t num_items = 0;
+  int64_t num_transactions = 0;
+  if (!(line >> num_items >> num_transactions)) return std::nullopt;
+  if (num_items <= 0 || num_transactions < 0) return std::nullopt;
+
+  data::TransactionDb db(num_items);
+  std::vector<int32_t> items;
+  for (int64_t t = 0; t < num_transactions; ++t) {
+    if (!NextLine(in, &line)) return std::nullopt;
+    items.clear();
+    int32_t item = 0;
+    while (line >> item) {
+      if (item < 0 || item >= num_items) return std::nullopt;
+      items.push_back(item);
+    }
+    db.AddTransaction(items);
+  }
+  return db;
+}
+
+void SaveDataset(const data::Dataset& dataset, std::ostream& out) {
+  out << kDataMagic << '\n';
+  SaveSchema(dataset.schema(), out);
+  out << std::setprecision(17);
+  out << dataset.num_rows() << '\n';
+  for (int64_t row = 0; row < dataset.num_rows(); ++row) {
+    out << dataset.Label(row);
+    for (double value : dataset.Row(row)) out << ' ' << value;
+    out << '\n';
+  }
+}
+
+std::optional<data::Dataset> LoadDataset(std::istream& in) {
+  std::istringstream line;
+  if (!NextLine(in, &line)) return std::nullopt;
+  std::string magic;
+  line >> magic;
+  if (magic != kDataMagic) return std::nullopt;
+
+  std::optional<data::Schema> schema = LoadSchema(in);
+  if (!schema.has_value()) return std::nullopt;
+
+  if (!NextLine(in, &line)) return std::nullopt;
+  int64_t num_rows = 0;
+  if (!(line >> num_rows) || num_rows < 0) return std::nullopt;
+
+  data::Dataset dataset(*schema);
+  dataset.Reserve(num_rows);
+  std::vector<double> values(schema->num_attributes());
+  for (int64_t row = 0; row < num_rows; ++row) {
+    if (!NextLine(in, &line)) return std::nullopt;
+    int label = 0;
+    if (!(line >> label)) return std::nullopt;
+    if (schema->num_classes() > 0 &&
+        (label < 0 || label >= schema->num_classes())) {
+      return std::nullopt;
+    }
+    for (int a = 0; a < schema->num_attributes(); ++a) {
+      if (!(line >> values[a])) return std::nullopt;
+    }
+    dataset.AddRow(values, label);
+  }
+  return dataset;
+}
+
+bool SaveTransactionDbToFile(const data::TransactionDb& db,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  SaveTransactionDb(db, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<data::TransactionDb> LoadTransactionDbFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return LoadTransactionDb(in);
+}
+
+bool SaveDatasetToFile(const data::Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  SaveDataset(dataset, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<data::Dataset> LoadDatasetFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return LoadDataset(in);
+}
+
+}  // namespace focus::io

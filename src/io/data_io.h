@@ -1,0 +1,39 @@
+#ifndef FOCUS_IO_DATA_IO_H_
+#define FOCUS_IO_DATA_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/transaction_db.h"
+
+namespace focus::io {
+
+// Line-oriented text formats for the data substrates, used by the CLI
+// tool and for interchange with external systems.
+//
+//   transactions v1:  "focus-txns-v1", "<num_items> <num_transactions>",
+//                     then one space-separated item list per line.
+//   dataset v1:       "focus-data-v1", an embedded schema, the row count,
+//                     then "<label> v1 v2 …" per row.
+//
+// Attribute names must not contain whitespace. Load functions return
+// std::nullopt on malformed input.
+
+void SaveTransactionDb(const data::TransactionDb& db, std::ostream& out);
+std::optional<data::TransactionDb> LoadTransactionDb(std::istream& in);
+
+void SaveDataset(const data::Dataset& dataset, std::ostream& out);
+std::optional<data::Dataset> LoadDataset(std::istream& in);
+
+bool SaveTransactionDbToFile(const data::TransactionDb& db,
+                             const std::string& path);
+std::optional<data::TransactionDb> LoadTransactionDbFromFile(
+    const std::string& path);
+bool SaveDatasetToFile(const data::Dataset& dataset, const std::string& path);
+std::optional<data::Dataset> LoadDatasetFromFile(const std::string& path);
+
+}  // namespace focus::io
+
+#endif  // FOCUS_IO_DATA_IO_H_

@@ -1,0 +1,242 @@
+#include "io/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace focus::io {
+namespace {
+
+constexpr char kLitsMagic[] = "focus-lits-v1";
+constexpr char kSchemaMagic[] = "focus-schema-v1";
+constexpr char kTreeMagic[] = "focus-dt-v1";
+
+// Reads one whole line and parses it with a stringstream; returns false
+// on EOF.
+bool NextLine(std::istream& in, std::istringstream* line) {
+  std::string text;
+  if (!std::getline(in, text)) return false;
+  line->clear();
+  line->str(text);
+  return true;
+}
+
+}  // namespace
+
+void SaveLitsModel(const lits::LitsModel& model, std::ostream& out) {
+  out << kLitsMagic << '\n';
+  out << std::setprecision(17);
+  out << model.min_support() << ' ' << model.num_transactions() << ' '
+      << model.num_items() << ' ' << model.size() << '\n';
+  for (const lits::Itemset& itemset : model.StructuralComponent()) {
+    out << model.SupportOr(itemset, 0.0);
+    for (int32_t item : itemset.items()) out << ' ' << item;
+    out << '\n';
+  }
+}
+
+std::optional<lits::LitsModel> LoadLitsModel(std::istream& in) {
+  std::istringstream line;
+  if (!NextLine(in, &line)) return std::nullopt;
+  std::string magic;
+  line >> magic;
+  if (magic != kLitsMagic) return std::nullopt;
+
+  if (!NextLine(in, &line)) return std::nullopt;
+  double min_support = 0.0;
+  int64_t num_transactions = 0;
+  int32_t num_items = 0;
+  int64_t count = 0;
+  if (!(line >> min_support >> num_transactions >> num_items >> count)) {
+    return std::nullopt;
+  }
+  if (min_support <= 0.0 || min_support > 1.0 || num_transactions <= 0 ||
+      num_items <= 0 || count < 0) {
+    return std::nullopt;
+  }
+
+  lits::LitsModel model(min_support, num_transactions, num_items);
+  for (int64_t i = 0; i < count; ++i) {
+    if (!NextLine(in, &line)) return std::nullopt;
+    double support = 0.0;
+    if (!(line >> support)) return std::nullopt;
+    if (support < 0.0 || support > 1.0) return std::nullopt;
+    std::vector<int32_t> items;
+    int32_t item = 0;
+    while (line >> item) {
+      if (item < 0 || item >= num_items) return std::nullopt;
+      items.push_back(item);
+    }
+    model.Add(lits::Itemset(std::move(items)), support);
+  }
+  return model;
+}
+
+void SaveSchema(const data::Schema& schema, std::ostream& out) {
+  out << kSchemaMagic << '\n';
+  out << std::setprecision(17);
+  out << schema.num_attributes() << ' ' << schema.num_classes() << '\n';
+  for (const data::Attribute& attr : schema.attributes()) {
+    if (attr.type == data::AttributeType::kNumeric) {
+      out << "numeric " << attr.min_value << ' ' << attr.max_value << ' '
+          << attr.name << '\n';
+    } else {
+      out << "categorical " << attr.cardinality << ' ' << attr.name << '\n';
+    }
+  }
+}
+
+std::optional<data::Schema> LoadSchema(std::istream& in) {
+  std::istringstream line;
+  if (!NextLine(in, &line)) return std::nullopt;
+  std::string magic;
+  line >> magic;
+  if (magic != kSchemaMagic) return std::nullopt;
+
+  if (!NextLine(in, &line)) return std::nullopt;
+  int num_attributes = 0;
+  int num_classes = 0;
+  if (!(line >> num_attributes >> num_classes)) return std::nullopt;
+  if (num_attributes < 0 || num_classes < 0) return std::nullopt;
+
+  std::vector<data::Attribute> attributes;
+  for (int a = 0; a < num_attributes; ++a) {
+    if (!NextLine(in, &line)) return std::nullopt;
+    std::string kind;
+    if (!(line >> kind)) return std::nullopt;
+    if (kind == "numeric") {
+      double lo = 0.0;
+      double hi = 0.0;
+      std::string name;
+      if (!(line >> lo >> hi >> name)) return std::nullopt;
+      if (lo > hi) return std::nullopt;
+      attributes.push_back(data::Schema::Numeric(name, lo, hi));
+    } else if (kind == "categorical") {
+      int cardinality = 0;
+      std::string name;
+      if (!(line >> cardinality >> name)) return std::nullopt;
+      if (cardinality < 1 || cardinality > 64) return std::nullopt;
+      attributes.push_back(data::Schema::Categorical(name, cardinality));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return data::Schema(std::move(attributes), num_classes);
+}
+
+void SaveDecisionTree(const dt::DecisionTree& tree, std::ostream& out) {
+  out << kTreeMagic << '\n';
+  SaveSchema(tree.schema(), out);
+  out << std::setprecision(17);
+  out << tree.num_nodes() << '\n';
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    const dt::DecisionTree::Node& node = tree.node(i);
+    if (node.attribute < 0) {
+      out << "leaf";
+      for (int64_t count : node.class_counts) out << ' ' << count;
+      out << '\n';
+    } else {
+      out << "split " << node.attribute << ' ' << node.threshold << ' '
+          << node.left_mask << ' ' << node.left << ' ' << node.right << '\n';
+    }
+  }
+}
+
+std::optional<dt::DecisionTree> LoadDecisionTree(std::istream& in) {
+  std::istringstream line;
+  if (!NextLine(in, &line)) return std::nullopt;
+  std::string magic;
+  line >> magic;
+  if (magic != kTreeMagic) return std::nullopt;
+
+  std::optional<data::Schema> schema = LoadSchema(in);
+  if (!schema.has_value()) return std::nullopt;
+
+  if (!NextLine(in, &line)) return std::nullopt;
+  int num_nodes = 0;
+  if (!(line >> num_nodes) || num_nodes < 0) return std::nullopt;
+
+  dt::DecisionTree tree(*schema);
+  struct PendingChildren {
+    int node = -1;
+    int left = -1;
+    int right = -1;
+  };
+  std::vector<PendingChildren> pending;
+  for (int i = 0; i < num_nodes; ++i) {
+    if (!NextLine(in, &line)) return std::nullopt;
+    std::string kind;
+    if (!(line >> kind)) return std::nullopt;
+    if (kind == "leaf") {
+      std::vector<int64_t> counts;
+      int64_t count = 0;
+      while (line >> count) {
+        if (count < 0) return std::nullopt;
+        counts.push_back(count);
+      }
+      if (static_cast<int>(counts.size()) != schema->num_classes()) {
+        return std::nullopt;
+      }
+      const int index = tree.AddLeafNode(std::move(counts));
+      if (index != i) return std::nullopt;
+    } else if (kind == "split") {
+      int attribute = 0;
+      double threshold = 0.0;
+      uint64_t left_mask = 0;
+      int left = -1;
+      int right = -1;
+      if (!(line >> attribute >> threshold >> left_mask >> left >> right)) {
+        return std::nullopt;
+      }
+      if (attribute < 0 || attribute >= schema->num_attributes()) {
+        return std::nullopt;
+      }
+      if (left < 0 || left >= num_nodes || right < 0 || right >= num_nodes) {
+        return std::nullopt;
+      }
+      const int index = tree.AddInternalNode(attribute, threshold, left_mask);
+      if (index != i) return std::nullopt;
+      pending.push_back({index, left, right});
+    } else {
+      return std::nullopt;
+    }
+  }
+  for (const PendingChildren& p : pending) {
+    tree.SetChildren(p.node, p.left, p.right);
+  }
+  return tree;
+}
+
+bool SaveLitsModelToFile(const lits::LitsModel& model,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  SaveLitsModel(model, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<lits::LitsModel> LoadLitsModelFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return LoadLitsModel(in);
+}
+
+bool SaveDecisionTreeToFile(const dt::DecisionTree& tree,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  SaveDecisionTree(tree, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<dt::DecisionTree> LoadDecisionTreeFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return LoadDecisionTree(in);
+}
+
+}  // namespace focus::io

@@ -1,0 +1,45 @@
+#ifndef FOCUS_IO_MODEL_IO_H_
+#define FOCUS_IO_MODEL_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "data/schema.h"
+#include "itemsets/apriori.h"
+#include "tree/decision_tree.h"
+
+namespace focus::io {
+
+// Plain-text, versioned serialization for models, so deviations can be
+// monitored across process restarts without re-mining (the paper's
+// change-monitoring setting keeps the OLD model around; these routines
+// are how a deployment would persist it).
+//
+// Formats are line-oriented and human-inspectable:
+//   lits v1:  header (minsup, |D|, |I|, count), then "<support> i1 i2 …"
+//   schema v1 + dt v1: attributes, then a preorder node list.
+//
+// Load functions return std::nullopt on malformed input (never abort on
+// user data).
+
+void SaveLitsModel(const lits::LitsModel& model, std::ostream& out);
+std::optional<lits::LitsModel> LoadLitsModel(std::istream& in);
+
+void SaveSchema(const data::Schema& schema, std::ostream& out);
+std::optional<data::Schema> LoadSchema(std::istream& in);
+
+void SaveDecisionTree(const dt::DecisionTree& tree, std::ostream& out);
+std::optional<dt::DecisionTree> LoadDecisionTree(std::istream& in);
+
+// File wrappers; return false / nullopt on I/O failure.
+bool SaveLitsModelToFile(const lits::LitsModel& model, const std::string& path);
+std::optional<lits::LitsModel> LoadLitsModelFromFile(const std::string& path);
+bool SaveDecisionTreeToFile(const dt::DecisionTree& tree,
+                            const std::string& path);
+std::optional<dt::DecisionTree> LoadDecisionTreeFromFile(
+    const std::string& path);
+
+}  // namespace focus::io
+
+#endif  // FOCUS_IO_MODEL_IO_H_

@@ -1,0 +1,163 @@
+#include "itemsets/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "itemsets/support_counter.h"
+
+namespace focus::lits {
+namespace {
+
+// Apriori-gen: joins pairs of frequent (k-1)-itemsets sharing their first
+// k-2 items, then prunes candidates with an infrequent (k-1)-subset.
+std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent) {
+  std::vector<Itemset> candidates;
+  if (frequent.empty()) return candidates;
+  const int k_minus_1 = frequent[0].size();
+
+  // `frequent` is sorted lexicographically, so joinable prefixes are
+  // contiguous.
+  std::unordered_map<Itemset, bool, ItemsetHash> frequent_lookup;
+  frequent_lookup.reserve(frequent.size() * 2);
+  for (const Itemset& itemset : frequent) frequent_lookup[itemset] = true;
+
+  for (size_t i = 0; i < frequent.size(); ++i) {
+    for (size_t j = i + 1; j < frequent.size(); ++j) {
+      const auto& a = frequent[i].items();
+      const auto& b = frequent[j].items();
+      bool shared_prefix = true;
+      for (int p = 0; p < k_minus_1 - 1; ++p) {
+        if (a[p] != b[p]) {
+          shared_prefix = false;
+          break;
+        }
+      }
+      if (!shared_prefix) break;  // prefixes are contiguous in sorted order
+
+      std::vector<int32_t> joined = a;
+      joined.push_back(b[k_minus_1 - 1]);
+      Itemset candidate(std::move(joined));
+
+      // Prune: all (k-1)-subsets must be frequent.
+      bool all_subsets_frequent = true;
+      for (int32_t item : candidate.items()) {
+        if (!frequent_lookup.count(candidate.Without(item))) {
+          all_subsets_frequent = false;
+          break;
+        }
+      }
+      if (all_subsets_frequent) candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+LitsModel::LitsModel(double min_support, int64_t num_transactions,
+                     int32_t num_items)
+    : min_support_(min_support),
+      num_transactions_(num_transactions),
+      num_items_(num_items) {}
+
+void LitsModel::Add(Itemset itemset, double support) {
+  FOCUS_CHECK_GE(support, 0.0);
+  FOCUS_CHECK_LE(support, 1.0);
+  supports_[std::move(itemset)] = support;
+}
+
+double LitsModel::SupportOr(const Itemset& itemset, double fallback) const {
+  const auto it = supports_.find(itemset);
+  return it == supports_.end() ? fallback : it->second;
+}
+
+bool LitsModel::Contains(const Itemset& itemset) const {
+  return supports_.count(itemset) > 0;
+}
+
+std::vector<Itemset> LitsModel::StructuralComponent() const {
+  std::vector<Itemset> itemsets;
+  itemsets.reserve(supports_.size());
+  for (const auto& [itemset, support] : supports_) itemsets.push_back(itemset);
+  std::sort(itemsets.begin(), itemsets.end());
+  return itemsets;
+}
+
+LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options) {
+  FOCUS_CHECK_GT(options.min_support, 0.0);
+  FOCUS_CHECK_LE(options.min_support, 1.0);
+  FOCUS_CHECK_GT(db.num_transactions(), 0);
+
+  LitsModel model(options.min_support, db.num_transactions(), db.num_items());
+  const double n = static_cast<double>(db.num_transactions());
+  // Count threshold: the support cutoff, floored by min_absolute_count.
+  const int64_t threshold = std::max<int64_t>(
+      options.min_absolute_count,
+      static_cast<int64_t>(std::ceil(options.min_support * n - 1e-9)));
+
+  // L1: one scan of per-item counts.
+  std::vector<int64_t> item_counts(db.num_items(), 0);
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    for (int32_t item : db.Transaction(t)) ++item_counts[item];
+  }
+  std::vector<Itemset> frequent;
+  for (int32_t item = 0; item < db.num_items(); ++item) {
+    const double support = static_cast<double>(item_counts[item]) / n;
+    if (item_counts[item] >= threshold) {
+      Itemset single({item});
+      model.Add(single, support);
+      frequent.push_back(std::move(single));
+    }
+  }
+  std::sort(frequent.begin(), frequent.end());
+
+  // Level-wise passes.
+  int k = 2;
+  while (!frequent.empty() &&
+         (options.max_itemset_size == 0 || k <= options.max_itemset_size)) {
+    const std::vector<Itemset> candidates = GenerateCandidates(frequent);
+    if (candidates.empty()) break;
+    const SupportCounter counter(candidates, db.num_items());
+    const std::vector<int64_t> counts = counter.CountAbsolute(db);
+
+    std::vector<Itemset> next_frequent;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const double support = static_cast<double>(counts[i]) / n;
+      if (counts[i] >= threshold) {
+        model.Add(candidates[i], support);
+        next_frequent.push_back(candidates[i]);
+      }
+    }
+    std::sort(next_frequent.begin(), next_frequent.end());
+    frequent = std::move(next_frequent);
+    ++k;
+  }
+  return model;
+}
+
+LitsModel BruteForceFrequentItemsets(const data::TransactionDb& db,
+                                     double min_support, int max_size) {
+  FOCUS_CHECK_LE(db.num_items(), 24) << "brute force is for tiny universes";
+  LitsModel model(min_support, db.num_transactions(), db.num_items());
+  const double n = static_cast<double>(db.num_transactions());
+
+  const uint32_t universe = 1u << db.num_items();
+  for (uint32_t mask = 1; mask < universe; ++mask) {
+    if (max_size > 0 && __builtin_popcount(mask) > max_size) continue;
+    std::vector<int32_t> items;
+    for (int32_t i = 0; i < db.num_items(); ++i) {
+      if (mask & (1u << i)) items.push_back(i);
+    }
+    Itemset itemset(std::move(items));
+    int64_t count = 0;
+    for (int64_t t = 0; t < db.num_transactions(); ++t) {
+      if (itemset.IsSubsetOfSorted(db.Transaction(t))) ++count;
+    }
+    const double support = static_cast<double>(count) / n;
+    if (support >= min_support) model.Add(std::move(itemset), support);
+  }
+  return model;
+}
+
+}  // namespace focus::lits

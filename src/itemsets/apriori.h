@@ -1,0 +1,73 @@
+#ifndef FOCUS_ITEMSETS_APRIORI_H_
+#define FOCUS_ITEMSETS_APRIORI_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/transaction_db.h"
+#include "itemsets/itemset.h"
+
+namespace focus::lits {
+
+// A lits-model (§2.2, §4.1): the set of frequent itemsets L^ms_D together
+// with their supports. Structural component = the itemsets; measure
+// component = the supports. This is the 2-component decomposition the
+// FOCUS framework operates on.
+class LitsModel {
+ public:
+  LitsModel() = default;
+  LitsModel(double min_support, int64_t num_transactions, int32_t num_items);
+
+  double min_support() const { return min_support_; }
+  int64_t num_transactions() const { return num_transactions_; }
+  int32_t num_items() const { return num_items_; }
+
+  int64_t size() const { return static_cast<int64_t>(supports_.size()); }
+
+  // Adds a frequent itemset with its relative support.
+  void Add(Itemset itemset, double support);
+
+  // Support of `itemset`, or `fallback` if it is not in the model.
+  double SupportOr(const Itemset& itemset, double fallback) const;
+
+  bool Contains(const Itemset& itemset) const;
+
+  // The structural component Γ(M) in a deterministic (sorted) order.
+  std::vector<Itemset> StructuralComponent() const;
+
+  const std::unordered_map<Itemset, double, ItemsetHash>& supports() const {
+    return supports_;
+  }
+
+ private:
+  double min_support_ = 0.0;
+  int64_t num_transactions_ = 0;
+  int32_t num_items_ = 0;
+  std::unordered_map<Itemset, double, ItemsetHash> supports_;
+};
+
+struct AprioriOptions {
+  double min_support = 0.01;
+  // Upper bound on frequent-itemset size; 0 means unbounded.
+  int max_itemset_size = 0;
+  // Floor on the absolute occurrence count an itemset needs, regardless
+  // of min_support. Protects degenerate small databases (e.g. a 1%-of-D
+  // sample in the Section 6 study, where min_support * |S| < 1 would make
+  // every subset of every transaction "frequent" — a combinatorial
+  // explosion the paper's 1M-transaction datasets never hit).
+  int64_t min_absolute_count = 2;
+};
+
+// Classic Apriori (Agrawal & Srikant [5]): level-wise candidate
+// generation with subset pruning, one counting scan per level.
+LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options);
+
+// Reference miner for tests: enumerates and counts every itemset up to
+// `max_size` by brute force. Exponential; only for tiny databases.
+LitsModel BruteForceFrequentItemsets(const data::TransactionDb& db,
+                                     double min_support, int max_size);
+
+}  // namespace focus::lits
+
+#endif  // FOCUS_ITEMSETS_APRIORI_H_

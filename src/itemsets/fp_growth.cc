@@ -1,0 +1,193 @@
+#include "itemsets/fp_growth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace focus::lits {
+namespace {
+
+// A weighted transaction: items (in global frequency-rank order) plus the
+// number of original transactions it stands for.
+struct WeightedPath {
+  std::vector<int32_t> items;
+  int64_t weight = 1;
+};
+
+// Prefix tree over rank-ordered item lists. Node 0 is the root.
+class FpTree {
+ public:
+  struct Node {
+    int32_t item = -1;
+    int64_t count = 0;
+    int parent = -1;
+    // Children keyed by item id (few per node in practice).
+    std::unordered_map<int32_t, int> children;
+  };
+
+  FpTree() { nodes_.push_back(Node{}); }
+
+  void Insert(const std::vector<int32_t>& items, int64_t weight) {
+    int current = 0;
+    for (int32_t item : items) {
+      Node& node = nodes_[current];
+      const auto it = node.children.find(item);
+      int child;
+      if (it == node.children.end()) {
+        child = static_cast<int>(nodes_.size());
+        node.children.emplace(item, child);
+        Node fresh;
+        fresh.item = item;
+        fresh.parent = current;
+        nodes_.push_back(std::move(fresh));
+        item_nodes_[item].push_back(child);
+      } else {
+        child = it->second;
+      }
+      nodes_[child].count += weight;
+      current = child;
+    }
+  }
+
+  bool empty() const { return nodes_.size() == 1; }
+
+  // Items present in the tree with their total counts.
+  const std::unordered_map<int32_t, std::vector<int>>& item_nodes() const {
+    return item_nodes_;
+  }
+
+  const Node& node(int index) const { return nodes_[index]; }
+
+  // Total occurrence count of `item` in this tree.
+  int64_t CountOf(int32_t item) const {
+    const auto it = item_nodes_.find(item);
+    if (it == item_nodes_.end()) return 0;
+    int64_t total = 0;
+    for (int node_index : it->second) total += nodes_[node_index].count;
+    return total;
+  }
+
+  // The conditional pattern base of `item`: for every node holding it,
+  // the path of ancestor items (rank order preserved) weighted by the
+  // node's count.
+  std::vector<WeightedPath> ConditionalPaths(int32_t item) const {
+    std::vector<WeightedPath> paths;
+    const auto it = item_nodes_.find(item);
+    if (it == item_nodes_.end()) return paths;
+    for (int node_index : it->second) {
+      WeightedPath path;
+      path.weight = nodes_[node_index].count;
+      int current = nodes_[node_index].parent;
+      while (current != 0) {
+        path.items.push_back(nodes_[current].item);
+        current = nodes_[current].parent;
+      }
+      if (path.items.empty()) continue;
+      std::reverse(path.items.begin(), path.items.end());
+      paths.push_back(std::move(path));
+    }
+    return paths;
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::unordered_map<int32_t, std::vector<int>> item_nodes_;
+};
+
+// Builds an FP-tree from weighted paths, keeping only items whose
+// conditional count reaches the threshold.
+FpTree BuildConditionalTree(const std::vector<WeightedPath>& paths,
+                            int64_t threshold) {
+  std::unordered_map<int32_t, int64_t> counts;
+  for (const WeightedPath& path : paths) {
+    for (int32_t item : path.items) counts[item] += path.weight;
+  }
+  FpTree tree;
+  std::vector<int32_t> filtered;
+  for (const WeightedPath& path : paths) {
+    filtered.clear();
+    for (int32_t item : path.items) {
+      if (counts[item] >= threshold) filtered.push_back(item);
+    }
+    if (!filtered.empty()) tree.Insert(filtered, path.weight);
+  }
+  return tree;
+}
+
+// Recursive FP-Growth: emit (suffix + item) for every item frequent in
+// `tree`, then recurse into the item's conditional tree.
+void Mine(const FpTree& tree, const std::vector<int32_t>& suffix,
+          int64_t threshold, int max_size, double n, LitsModel* model) {
+  for (const auto& [item, nodes] : tree.item_nodes()) {
+    const int64_t count = tree.CountOf(item);
+    if (count < threshold) continue;
+    std::vector<int32_t> itemset = suffix;
+    itemset.push_back(item);
+    model->Add(Itemset(itemset), static_cast<double>(count) / n);
+    if (max_size > 0 && static_cast<int>(itemset.size()) >= max_size) continue;
+    const FpTree conditional =
+        BuildConditionalTree(tree.ConditionalPaths(item), threshold);
+    if (!conditional.empty()) {
+      Mine(conditional, itemset, threshold, max_size, n, model);
+    }
+  }
+}
+
+}  // namespace
+
+LitsModel FpGrowth(const data::TransactionDb& db,
+                   const AprioriOptions& options) {
+  FOCUS_CHECK_GT(options.min_support, 0.0);
+  FOCUS_CHECK_LE(options.min_support, 1.0);
+  FOCUS_CHECK_GT(db.num_transactions(), 0);
+
+  const double n = static_cast<double>(db.num_transactions());
+  const int64_t threshold = std::max<int64_t>(
+      options.min_absolute_count,
+      static_cast<int64_t>(std::ceil(options.min_support * n - 1e-9)));
+
+  // Pass 1: item counts; derive the global frequency rank.
+  std::vector<int64_t> item_counts(db.num_items(), 0);
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    for (int32_t item : db.Transaction(t)) ++item_counts[item];
+  }
+  std::vector<int32_t> rank_of(db.num_items(), -1);
+  {
+    std::vector<int32_t> frequent_items;
+    for (int32_t item = 0; item < db.num_items(); ++item) {
+      if (item_counts[item] >= threshold) frequent_items.push_back(item);
+    }
+    std::sort(frequent_items.begin(), frequent_items.end(),
+              [&](int32_t a, int32_t b) {
+                if (item_counts[a] != item_counts[b]) {
+                  return item_counts[a] > item_counts[b];
+                }
+                return a < b;
+              });
+    for (size_t r = 0; r < frequent_items.size(); ++r) {
+      rank_of[frequent_items[r]] = static_cast<int32_t>(r);
+    }
+  }
+
+  // Pass 2: insert rank-ordered frequent projections of all transactions.
+  FpTree tree;
+  std::vector<int32_t> projected;
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    projected.clear();
+    for (int32_t item : db.Transaction(t)) {
+      if (rank_of[item] >= 0) projected.push_back(item);
+    }
+    std::sort(projected.begin(), projected.end(),
+              [&](int32_t a, int32_t b) { return rank_of[a] < rank_of[b]; });
+    if (!projected.empty()) tree.Insert(projected, 1);
+  }
+
+  LitsModel model(options.min_support, db.num_transactions(), db.num_items());
+  Mine(tree, {}, threshold, options.max_itemset_size, n, &model);
+  return model;
+}
+
+}  // namespace focus::lits

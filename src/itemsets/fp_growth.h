@@ -1,0 +1,24 @@
+#ifndef FOCUS_ITEMSETS_FP_GROWTH_H_
+#define FOCUS_ITEMSETS_FP_GROWTH_H_
+
+#include "data/transaction_db.h"
+#include "itemsets/apriori.h"
+
+namespace focus::lits {
+
+// FP-Growth (Han, Pei & Yin, SIGMOD 2000): frequent-itemset mining
+// without candidate generation. Transactions are compressed into a
+// prefix tree (FP-tree) ordered by descending item frequency; frequent
+// itemsets are enumerated by recursively building conditional trees.
+//
+// Produces exactly the same LitsModel as Apriori (tests assert this);
+// included as the production-grade miner for dense databases where
+// Apriori's candidate sets explode. AprioriOptions is reused so the
+// two miners are drop-in interchangeable:
+//   * min_support / min_absolute_count — same count threshold semantics
+//   * max_itemset_size                 — bounds the recursion depth
+LitsModel FpGrowth(const data::TransactionDb& db, const AprioriOptions& options);
+
+}  // namespace focus::lits
+
+#endif  // FOCUS_ITEMSETS_FP_GROWTH_H_

@@ -1,0 +1,101 @@
+#include "itemsets/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "itemsets/support_counter.h"
+
+namespace focus::lits {
+
+IncrementalMiner::IncrementalMiner(const data::TransactionDb& initial,
+                                   const AprioriOptions& options)
+    : options_(options), database_(initial) {
+  const LitsModel seed = Apriori(database_, options_);
+  const double n = static_cast<double>(database_.num_transactions());
+  for (const auto& [itemset, support] : seed.supports()) {
+    counts_[itemset] = static_cast<int64_t>(std::llround(support * n));
+  }
+  RebuildModel();
+}
+
+int64_t IncrementalMiner::CurrentThreshold() const {
+  const double n = static_cast<double>(database_.num_transactions());
+  return std::max<int64_t>(
+      options_.min_absolute_count,
+      static_cast<int64_t>(std::ceil(options_.min_support * n - 1e-9)));
+}
+
+void IncrementalMiner::Append(const data::TransactionDb& block) {
+  FOCUS_CHECK_EQ(block.num_items(), database_.num_items());
+  FOCUS_CHECK_GT(block.num_transactions(), 0);
+  const int64_t old_threshold = CurrentThreshold();
+
+  // (1) Update tracked counts with one scan of the block.
+  std::vector<Itemset> tracked;
+  tracked.reserve(counts_.size());
+  for (const auto& [itemset, count] : counts_) tracked.push_back(itemset);
+  if (!tracked.empty()) {
+    const SupportCounter counter(tracked, block.num_items());
+    const std::vector<int64_t> block_counts = counter.CountAbsolute(block);
+    for (size_t i = 0; i < tracked.size(); ++i) {
+      counts_[tracked[i]] += block_counts[i];
+    }
+  }
+
+  database_.Append(block);
+  const int64_t new_threshold = CurrentThreshold();
+
+  // (2) Winner candidates: itemsets not tracked before can only be
+  // frequent now if their block count reaches this floor.
+  const int64_t winner_floor =
+      std::max<int64_t>(1, new_threshold - (old_threshold - 1));
+  AprioriOptions block_mining = options_;
+  block_mining.min_support = 1e-12;  // threshold driven by the floor below
+  block_mining.min_absolute_count = winner_floor;
+  const LitsModel block_model = Apriori(block, block_mining);
+
+  std::vector<Itemset> candidates;
+  for (const auto& [itemset, support] : block_model.supports()) {
+    if (counts_.count(itemset)) continue;  // already tracked
+    candidates.push_back(itemset);
+  }
+
+  // (3) Exact accumulated counts for the candidates: one scan of the
+  // grown database, only when there are candidates at all.
+  if (!candidates.empty()) {
+    const SupportCounter counter(candidates, database_.num_items());
+    const std::vector<int64_t> totals = counter.CountAbsolute(database_);
+    ++old_database_scans_;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (totals[i] >= new_threshold) {
+        counts_[candidates[i]] = totals[i];
+      }
+    }
+  }
+
+  // Drop losers (frequent before, below the new threshold now). NOTE:
+  // anti-monotonicity keeps the tracked set downward closed — a subset
+  // always has a count >= its superset's, so it can only be dropped if
+  // the superset is dropped too.
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    if (it->second < new_threshold) {
+      it = counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  RebuildModel();
+}
+
+void IncrementalMiner::RebuildModel() {
+  model_ = LitsModel(options_.min_support, database_.num_transactions(),
+                     database_.num_items());
+  const double n = static_cast<double>(database_.num_transactions());
+  for (const auto& [itemset, count] : counts_) {
+    model_.Add(itemset, static_cast<double>(count) / n);
+  }
+}
+
+}  // namespace focus::lits

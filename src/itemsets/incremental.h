@@ -1,0 +1,63 @@
+#ifndef FOCUS_ITEMSETS_INCREMENTAL_H_
+#define FOCUS_ITEMSETS_INCREMENTAL_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "data/transaction_db.h"
+#include "itemsets/apriori.h"
+#include "itemsets/itemset.h"
+
+namespace focus::lits {
+
+// Incremental maintenance of a lits-model as the database grows by
+// appended blocks — the FUP idea of Cheung et al. (ICDE'96), one of the
+// incremental-maintenance works the paper's motivation builds on
+// ("successive database snapshots overlap considerably").
+//
+// Invariant maintained after every Append: model() is EXACTLY the model
+// Apriori would mine from the full database (tests assert equality).
+//
+// Per Append the work is:
+//   1. one scan of the BLOCK to update the counts of tracked itemsets;
+//   2. mining the BLOCK alone for "winner" candidates — an itemset that
+//      was not frequent before can only become frequent overall if its
+//      block count is at least (threshold_new - threshold_old + 1), so
+//      mining the small block at that absolute floor yields a complete
+//      candidate set (the classic FUP pruning);
+//   3. one scan of the grown database restricted to the (usually few)
+//      new candidates, to obtain their exact accumulated counts.
+// No full re-MINING of the accumulated database ever happens;
+// old_database_scans() reports how many candidate-count scans (step 3)
+// were needed — 0 for appends that produce no new winner candidates.
+class IncrementalMiner {
+ public:
+  IncrementalMiner(const data::TransactionDb& initial,
+                   const AprioriOptions& options);
+
+  // Appends `block` (same item universe) and updates the model.
+  void Append(const data::TransactionDb& block);
+
+  // The maintained model over everything appended so far.
+  const LitsModel& model() const { return model_; }
+
+  // The accumulated database (kept for GCR extension / deviation use).
+  const data::TransactionDb& database() const { return database_; }
+
+  int64_t old_database_scans() const { return old_database_scans_; }
+
+ private:
+  int64_t CurrentThreshold() const;
+  void RebuildModel();
+
+  AprioriOptions options_;
+  data::TransactionDb database_;
+  // Absolute occurrence counts of all currently frequent itemsets.
+  std::unordered_map<Itemset, int64_t, ItemsetHash> counts_;
+  LitsModel model_;
+  int64_t old_database_scans_ = 0;
+};
+
+}  // namespace focus::lits
+
+#endif  // FOCUS_ITEMSETS_INCREMENTAL_H_

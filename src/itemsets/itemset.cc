@@ -1,0 +1,85 @@
+#include "itemsets/itemset.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace focus::lits {
+
+Itemset::Itemset(std::vector<int32_t> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+Itemset::Itemset(std::initializer_list<int32_t> items)
+    : Itemset(std::vector<int32_t>(items)) {}
+
+bool Itemset::IsSubsetOfSorted(std::span<const int32_t> sorted_items) const {
+  size_t j = 0;
+  for (int32_t needed : items_) {
+    while (j < sorted_items.size() && sorted_items[j] < needed) ++j;
+    if (j == sorted_items.size() || sorted_items[j] != needed) return false;
+    ++j;
+  }
+  return true;
+}
+
+bool Itemset::Contains(const Itemset& other) const {
+  return other.IsSubsetOfSorted(items_);
+}
+
+Itemset Itemset::Union(const Itemset& other) const {
+  std::vector<int32_t> merged;
+  merged.reserve(items_.size() + other.items_.size());
+  std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                 other.items_.end(), std::back_inserter(merged));
+  Itemset result;
+  result.items_ = std::move(merged);
+  return result;
+}
+
+bool Itemset::WithinUniverse(int32_t num_items) const {
+  for (int32_t item : items_) {
+    if (item < 0 || item >= num_items) return false;
+  }
+  return true;
+}
+
+Itemset Itemset::Without(int32_t item) const {
+  Itemset result = *this;
+  auto it = std::find(result.items_.begin(), result.items_.end(), item);
+  FOCUS_CHECK(it != result.items_.end());
+  result.items_.erase(it);
+  return result;
+}
+
+std::string Itemset::ToString() const {
+  std::ostringstream out;
+  out << '{';
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out << ',';
+    out << items_[i];
+  }
+  out << '}';
+  return out.str();
+}
+
+bool Itemset::operator<(const Itemset& other) const {
+  if (items_.size() != other.items_.size()) {
+    return items_.size() < other.items_.size();
+  }
+  return items_ < other.items_;
+}
+
+size_t ItemsetHash::operator()(const Itemset& itemset) const {
+  // FNV-1a over the item ids.
+  uint64_t h = 1469598103934665603ULL;
+  for (int32_t item : itemset.items()) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(item));
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace focus::lits

@@ -1,0 +1,56 @@
+#ifndef FOCUS_ITEMSETS_ITEMSET_H_
+#define FOCUS_ITEMSETS_ITEMSET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace focus::lits {
+
+// An itemset X ⊆ I: a sorted vector of distinct item ids. In the FOCUS
+// framework an itemset identifies a region of the attribute space (the
+// transactions containing X) whose measure is the support of X (§2.2).
+class Itemset {
+ public:
+  Itemset() = default;
+  // `items` need not be sorted; duplicates are removed.
+  explicit Itemset(std::vector<int32_t> items);
+  Itemset(std::initializer_list<int32_t> items);
+
+  int size() const { return static_cast<int>(items_.size()); }
+  bool empty() const { return items_.empty(); }
+  const std::vector<int32_t>& items() const { return items_; }
+  int32_t item(int i) const { return items_[i]; }
+
+  // True iff every item of this set appears in `sorted_items` (ascending).
+  bool IsSubsetOfSorted(std::span<const int32_t> sorted_items) const;
+
+  // True iff every item of `other` is in this itemset.
+  bool Contains(const Itemset& other) const;
+
+  // Set union (used for region algebra over itemset collections).
+  Itemset Union(const Itemset& other) const;
+
+  // True iff all items are < `num_items` — i.e. drawn from the universe.
+  bool WithinUniverse(int32_t num_items) const;
+
+  // The itemset with item `i` removed (precondition: present).
+  Itemset Without(int32_t item) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Itemset& other) const { return items_ == other.items_; }
+  bool operator<(const Itemset& other) const;  // size-then-lexicographic
+
+ private:
+  std::vector<int32_t> items_;
+};
+
+struct ItemsetHash {
+  size_t operator()(const Itemset& itemset) const;
+};
+
+}  // namespace focus::lits
+
+#endif  // FOCUS_ITEMSETS_ITEMSET_H_

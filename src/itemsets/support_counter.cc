@@ -1,0 +1,71 @@
+#include "itemsets/support_counter.h"
+
+#include "common/check.h"
+
+namespace focus::lits {
+
+SupportCounter::SupportCounter(std::span<const Itemset> itemsets,
+                               int32_t num_items)
+    : num_items_(num_items), buckets_(num_items) {
+  itemsets_.reserve(itemsets.size());
+  for (size_t i = 0; i < itemsets.size(); ++i) {
+    const Itemset& itemset = itemsets[i];
+    FOCUS_CHECK(itemset.WithinUniverse(num_items))
+        << "itemset " << itemset.ToString() << " outside universe of "
+        << num_items << " items";
+    itemsets_.push_back(&itemset);
+    if (itemset.empty()) {
+      empty_itemsets_.push_back(static_cast<int32_t>(i));
+    } else {
+      buckets_[itemset.item(0)].push_back(static_cast<int32_t>(i));
+    }
+  }
+}
+
+std::vector<int64_t> SupportCounter::CountAbsolute(
+    const data::TransactionDb& db) const {
+  FOCUS_CHECK_EQ(db.num_items(), num_items_);
+  std::vector<int64_t> counts(itemsets_.size(), 0);
+  // The empty itemset holds in every transaction.
+  for (int32_t i : empty_itemsets_) counts[i] = db.num_transactions();
+
+  std::vector<uint8_t> present(num_items_, 0);
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    const auto txn = db.Transaction(t);
+    for (int32_t item : txn) present[item] = 1;
+    for (int32_t item : txn) {
+      for (int32_t candidate_index : buckets_[item]) {
+        const Itemset& candidate = *itemsets_[candidate_index];
+        bool all_present = true;
+        for (int32_t member : candidate.items()) {
+          if (!present[member]) {
+            all_present = false;
+            break;
+          }
+        }
+        if (all_present) ++counts[candidate_index];
+      }
+    }
+    for (int32_t item : txn) present[item] = 0;
+  }
+  return counts;
+}
+
+std::vector<double> SupportCounter::CountRelative(
+    const data::TransactionDb& db) const {
+  const std::vector<int64_t> absolute = CountAbsolute(db);
+  std::vector<double> relative(absolute.size());
+  const double n = static_cast<double>(db.num_transactions());
+  FOCUS_CHECK_GT(n, 0.0);
+  for (size_t i = 0; i < absolute.size(); ++i) {
+    relative[i] = static_cast<double>(absolute[i]) / n;
+  }
+  return relative;
+}
+
+std::vector<double> CountSupports(const data::TransactionDb& db,
+                                  std::span<const Itemset> itemsets) {
+  return SupportCounter(itemsets, db.num_items()).CountRelative(db);
+}
+
+}  // namespace focus::lits

@@ -1,0 +1,46 @@
+#ifndef FOCUS_ITEMSETS_SUPPORT_COUNTER_H_
+#define FOCUS_ITEMSETS_SUPPORT_COUNTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/transaction_db.h"
+#include "itemsets/itemset.h"
+
+namespace focus::lits {
+
+// Counts the supports of an arbitrary collection of itemsets in ONE scan
+// of the database — the primitive needed both by Apriori's counting passes
+// and by the extension of a lits-model to a GCR (§3.3.1 of the paper:
+// "both the datasets need to be scanned once").
+//
+// Index structure: candidates are bucketed by their smallest item; a scan
+// marks the items of each transaction in a presence bitmap and probes only
+// the buckets of items that occur in the transaction.
+class SupportCounter {
+ public:
+  SupportCounter(std::span<const Itemset> itemsets, int32_t num_items);
+
+  // Absolute occurrence counts, aligned with the constructor's itemsets.
+  std::vector<int64_t> CountAbsolute(const data::TransactionDb& db) const;
+
+  // Relative supports (counts / |D|).
+  std::vector<double> CountRelative(const data::TransactionDb& db) const;
+
+ private:
+  int32_t num_items_;
+  std::vector<const Itemset*> itemsets_;
+  // buckets_[item] lists indices of itemsets whose smallest item == item.
+  std::vector<std::vector<int32_t>> buckets_;
+  // Indices of empty itemsets (support 1 by definition).
+  std::vector<int32_t> empty_itemsets_;
+};
+
+// One-call convenience wrapper.
+std::vector<double> CountSupports(const data::TransactionDb& db,
+                                  std::span<const Itemset> itemsets);
+
+}  // namespace focus::lits
+
+#endif  // FOCUS_ITEMSETS_SUPPORT_COUNTER_H_

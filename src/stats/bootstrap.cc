@@ -1,0 +1,45 @@
+#include "stats/bootstrap.h"
+
+#include <random>
+
+#include "common/check.h"
+#include "stats/rng.h"
+
+namespace focus::stats {
+
+std::vector<double> BootstrapNullDistribution(
+    int64_t n1, int64_t n2,
+    const std::function<double(std::span<const int64_t>,
+                               std::span<const int64_t>)>& statistic,
+    const BootstrapOptions& options) {
+  FOCUS_CHECK_GT(n1, 0);
+  FOCUS_CHECK_GT(n2, 0);
+  FOCUS_CHECK_GT(options.num_replicates, 0);
+  const int64_t pool_size = n1 + n2;
+  std::mt19937_64 rng = MakeRng(options.seed);
+  std::uniform_int_distribution<int64_t> pick(0, pool_size - 1);
+
+  std::vector<double> null_values;
+  null_values.reserve(options.num_replicates);
+  std::vector<int64_t> sample1(n1);
+  std::vector<int64_t> sample2(n2);
+  for (int r = 0; r < options.num_replicates; ++r) {
+    for (int64_t i = 0; i < n1; ++i) sample1[i] = pick(rng);
+    for (int64_t i = 0; i < n2; ++i) sample2[i] = pick(rng);
+    null_values.push_back(statistic(sample1, sample2));
+  }
+  return null_values;
+}
+
+double SignificancePercent(double observed,
+                           std::span<const double> null_distribution) {
+  FOCUS_CHECK(!null_distribution.empty());
+  int64_t below = 0;
+  for (double v : null_distribution) {
+    if (v < observed) ++below;
+  }
+  return 100.0 * static_cast<double>(below) /
+         static_cast<double>(null_distribution.size());
+}
+
+}  // namespace focus::stats

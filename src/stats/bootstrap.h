@@ -1,0 +1,43 @@
+#ifndef FOCUS_STATS_BOOTSTRAP_H_
+#define FOCUS_STATS_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace focus::stats {
+
+// Generic two-sample pooled bootstrap (Efron & Tibshirani [14]), the
+// technique the paper's qualification procedure (Section 3.4) relies on.
+//
+// Under the null hypothesis that D1 and D2 come from the same generating
+// process, the pooled bag D1 ∪ D2 is an estimate of that process. Each
+// bootstrap replicate draws |D1| and |D2| elements with replacement from
+// the pool and recomputes the statistic; the observed statistic is then
+// located within that null distribution.
+
+struct BootstrapOptions {
+  int num_replicates = 99;
+  uint64_t seed = 0x5eed;
+};
+
+// `statistic(sample1_indices, sample2_indices)` evaluates the deviation on
+// a resampled pair, where indices refer to a pooled collection of
+// n1 + n2 elements. Returns the null-distribution values.
+std::vector<double> BootstrapNullDistribution(
+    int64_t n1, int64_t n2,
+    const std::function<double(std::span<const int64_t>,
+                               std::span<const int64_t>)>& statistic,
+    const BootstrapOptions& options);
+
+// Percentile of `observed` within `null_distribution`: the fraction of
+// null values strictly below `observed`, in percent (0..100). This is the
+// paper's sig(d) — high values mean the deviation is unlikely under the
+// null hypothesis.
+double SignificancePercent(double observed,
+                           std::span<const double> null_distribution);
+
+}  // namespace focus::stats
+
+#endif  // FOCUS_STATS_BOOTSTRAP_H_

@@ -1,0 +1,68 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace focus::stats {
+
+double Mean(std::span<const double> values) {
+  FOCUS_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return ss / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(std::span<const double> values) {
+  return std::sqrt(Variance(values));
+}
+
+double Min(std::span<const double> values) {
+  FOCUS_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  FOCUS_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Quantile(std::span<const double> values, double q) {
+  FOCUS_CHECK(!values.empty());
+  FOCUS_CHECK_GE(q, 0.0);
+  FOCUS_CHECK_LE(q, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y) {
+  FOCUS_CHECK_EQ(x.size(), y.size());
+  FOCUS_CHECK(!x.empty());
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace focus::stats

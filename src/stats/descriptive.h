@@ -1,0 +1,27 @@
+#ifndef FOCUS_STATS_DESCRIPTIVE_H_
+#define FOCUS_STATS_DESCRIPTIVE_H_
+
+#include <span>
+
+namespace focus::stats {
+
+double Mean(std::span<const double> values);
+
+// Sample variance (n-1 denominator); 0 for fewer than two values.
+double Variance(std::span<const double> values);
+
+double StdDev(std::span<const double> values);
+
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+
+// Linear-interpolated quantile, q in [0, 1].
+double Quantile(std::span<const double> values, double q);
+
+// Pearson correlation coefficient of paired samples (NaN-free input,
+// equal non-zero lengths). Returns 0 when either side is constant.
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace focus::stats
+
+#endif  // FOCUS_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,71 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace focus::stats {
+namespace {
+
+// Series expansion of P(a, x), valid and quickly convergent for x < a + 1.
+double GammaPSeries(double a, double x) {
+  const double gln = std::lgamma(a);
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - gln);
+}
+
+// Continued-fraction expansion of Q(a, x) = 1 - P(a, x), for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double gln = std::lgamma(a);
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - gln) * h;
+}
+
+}  // namespace
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double RegularizedGammaP(double a, double x) {
+  FOCUS_CHECK_GT(a, 0.0);
+  FOCUS_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double ChiSquaredCdf(double x, double dof) {
+  FOCUS_CHECK_GT(dof, 0.0);
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+double ChiSquaredPValue(double x, double dof) {
+  return 1.0 - ChiSquaredCdf(x, dof);
+}
+
+}  // namespace focus::stats

@@ -1,0 +1,25 @@
+#ifndef FOCUS_STATS_DISTRIBUTIONS_H_
+#define FOCUS_STATS_DISTRIBUTIONS_H_
+
+namespace focus::stats {
+
+// Cumulative distribution functions needed by the qualification procedure
+// (Section 3.4) and the chi-squared instantiation (Section 5.2.2).
+
+// Standard normal CDF, Phi(z).
+double NormalCdf(double z);
+
+// Regularized lower incomplete gamma function P(a, x) = gamma(a, x)/Gamma(a),
+// a > 0, x >= 0. Series for x < a + 1, continued fraction otherwise
+// (Numerical Recipes style, implemented from the standard formulas).
+double RegularizedGammaP(double a, double x);
+
+// Chi-squared CDF with `dof` degrees of freedom evaluated at x >= 0.
+double ChiSquaredCdf(double x, double dof);
+
+// Upper-tail p-value for a chi-squared statistic.
+double ChiSquaredPValue(double x, double dof);
+
+}  // namespace focus::stats
+
+#endif  // FOCUS_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,44 @@
+#include "stats/rng.h"
+
+#include "common/check.h"
+
+namespace focus::stats {
+
+std::mt19937_64 MakeRng(uint64_t seed) { return std::mt19937_64(seed); }
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  // SplitMix64 finalizer over (seed, stream); decorrelates nearby inputs.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double ExponentialVariate(std::mt19937_64& rng, double mean) {
+  FOCUS_CHECK_GT(mean, 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(rng);
+}
+
+int64_t PoissonVariate(std::mt19937_64& rng, double mean) {
+  FOCUS_CHECK_GT(mean, 0.0);
+  std::poisson_distribution<int64_t> dist(mean);
+  return dist(rng);
+}
+
+double UniformVariate(std::mt19937_64& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(rng);
+}
+
+int64_t UniformInt(std::mt19937_64& rng, int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(rng);
+}
+
+double NormalVariate(std::mt19937_64& rng) {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(rng);
+}
+
+}  // namespace focus::stats

@@ -1,0 +1,35 @@
+#ifndef FOCUS_STATS_RNG_H_
+#define FOCUS_STATS_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace focus::stats {
+
+// Deterministic RNG factory. All experiment harnesses derive their
+// generators from an explicit seed so every reported number is
+// reproducible run-to-run.
+std::mt19937_64 MakeRng(uint64_t seed);
+
+// Derives an independent child seed (SplitMix64 step), so parallel
+// experiment arms can have decorrelated streams from one master seed.
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+
+// Exponential variate with the given mean.
+double ExponentialVariate(std::mt19937_64& rng, double mean);
+
+// Poisson variate with the given mean.
+int64_t PoissonVariate(std::mt19937_64& rng, double mean);
+
+// Uniform double in [lo, hi).
+double UniformVariate(std::mt19937_64& rng, double lo, double hi);
+
+// Uniform integer in [lo, hi] (inclusive).
+int64_t UniformInt(std::mt19937_64& rng, int64_t lo, int64_t hi);
+
+// Standard normal variate.
+double NormalVariate(std::mt19937_64& rng);
+
+}  // namespace focus::stats
+
+#endif  // FOCUS_STATS_RNG_H_

@@ -1,0 +1,54 @@
+#ifndef FOCUS_STATS_WILCOXON_H_
+#define FOCUS_STATS_WILCOXON_H_
+
+#include <span>
+
+namespace focus::stats {
+
+// Result of a Wilcoxon rank-sum (Mann–Whitney) two-sample test, as used in
+// Section 6 of the paper to decide whether sample deviations at size
+// s_{i+1} are stochastically smaller than at size s_i.
+struct WilcoxonResult {
+  double rank_sum_a = 0.0;  // rank sum of the first sample
+  double u_statistic = 0.0; // Mann–Whitney U of the first sample
+  double z = 0.0;           // normal approximation (tie-corrected, with
+                            // continuity correction)
+  // One-sided p-value for the alternative "values in `a` tend to be
+  // LARGER than values in `b`".
+  double p_greater = 1.0;
+  // One-sided p-value for the alternative "values in `a` tend to be
+  // SMALLER than values in `b`".
+  double p_less = 1.0;
+  double p_two_sided = 1.0;
+};
+
+// Runs the test on two independent samples. Requires both samples
+// non-empty. Normal approximation is used (appropriate for the paper's
+// sets of 50 deviations per sample size).
+WilcoxonResult WilcoxonRankSum(std::span<const double> a,
+                               std::span<const double> b);
+
+// Exact version for small tie-free samples: the one-sided p-values are
+// computed from the exact null distribution of the rank sum (dynamic
+// programming over subset rank sums, feasible for na + nb <= 30). The
+// samples must contain no tied values across the pool; use the normal
+// approximation otherwise.
+WilcoxonResult WilcoxonRankSumExact(std::span<const double> a,
+                                    std::span<const double> b);
+
+// True when the pooled samples are small and tie-free, i.e.
+// WilcoxonRankSumExact is applicable.
+bool WilcoxonExactApplicable(std::span<const double> a,
+                             std::span<const double> b);
+
+// The paper's Table 1/2 entry: the percentage confidence 100(1-alpha)%
+// with which "samples of the larger size are equally representative" is
+// rejected in favor of "deviations decreased". `smaller_size_sds` are SD
+// values at size s_i, `larger_size_sds` at s_{i+1} (> s_i). Returns a
+// value in [0, 100), capped at 99.99 like the paper's table.
+double SignificanceOfDecreasePercent(std::span<const double> smaller_size_sds,
+                                     std::span<const double> larger_size_sds);
+
+}  // namespace focus::stats
+
+#endif  // FOCUS_STATS_WILCOXON_H_

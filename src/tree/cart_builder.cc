@@ -1,0 +1,237 @@
+#include "tree/cart_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace focus::dt {
+
+namespace internal {
+
+double Impurity(const std::vector<int64_t>& counts, int64_t total,
+                SplitCriterion criterion) {
+  if (total == 0) return 0.0;
+  if (criterion == SplitCriterion::kGini) {
+    double sum_sq = 0.0;
+    for (int64_t c : counts) {
+      const double p = static_cast<double>(c) / static_cast<double>(total);
+      sum_sq += p * p;
+    }
+    return 1.0 - sum_sq;
+  }
+  double entropy = 0.0;
+  for (int64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace internal
+
+namespace {
+
+struct Split {
+  bool valid = false;
+  int attribute = -1;
+  double threshold = 0.0;  // numeric
+  uint64_t left_mask = 0;  // categorical
+  double gain = 0.0;
+};
+
+class CartBuilder {
+ public:
+  CartBuilder(const data::Dataset& dataset, const CartOptions& options)
+      : dataset_(dataset),
+        options_(options),
+        num_classes_(dataset.schema().num_classes()),
+        tree_(dataset.schema()) {}
+
+  DecisionTree Build() {
+    std::vector<int64_t> rows(dataset_.num_rows());
+    std::iota(rows.begin(), rows.end(), 0);
+    BuildNode(std::move(rows), /*depth=*/0);
+    return std::move(tree_);
+  }
+
+ private:
+  std::vector<int64_t> ClassCounts(const std::vector<int64_t>& rows) const {
+    std::vector<int64_t> counts(num_classes_, 0);
+    for (int64_t row : rows) ++counts[dataset_.Label(row)];
+    return counts;
+  }
+
+  // Best numeric split on `attr` via a sorted sweep over distinct values.
+  Split BestNumericSplit(const std::vector<int64_t>& rows, int attr,
+                         const std::vector<int64_t>& total_counts,
+                         double parent_gini) const {
+    Split best;
+    std::vector<int64_t> sorted = rows;
+    std::sort(sorted.begin(), sorted.end(), [&](int64_t a, int64_t b) {
+      return dataset_.At(a, attr) < dataset_.At(b, attr);
+    });
+
+    std::vector<int64_t> left_counts(num_classes_, 0);
+    std::vector<int64_t> right_counts = total_counts;
+    const int64_t n = static_cast<int64_t>(sorted.size());
+    for (int64_t i = 0; i + 1 < n; ++i) {
+      const int label = dataset_.Label(sorted[i]);
+      ++left_counts[label];
+      --right_counts[label];
+      const double v = dataset_.At(sorted[i], attr);
+      const double v_next = dataset_.At(sorted[i + 1], attr);
+      if (v == v_next) continue;  // can only cut between distinct values
+      const int64_t left_n = i + 1;
+      const int64_t right_n = n - left_n;
+      if (left_n < options_.min_leaf_size || right_n < options_.min_leaf_size) {
+        continue;
+      }
+      const double weighted =
+          (static_cast<double>(left_n) * internal::Impurity(left_counts, left_n, options_.criterion) +
+           static_cast<double>(right_n) * internal::Impurity(right_counts, right_n, options_.criterion)) /
+          static_cast<double>(n);
+      const double gain = parent_gini - weighted;
+      if (gain > best.gain) {
+        best.valid = true;
+        best.attribute = attr;
+        best.threshold = (v + v_next) / 2.0;
+        best.gain = gain;
+      }
+    }
+    return best;
+  }
+
+  // Best categorical split: order categories by P(class 0) and sweep
+  // prefixes (optimal for two classes).
+  Split BestCategoricalSplit(const std::vector<int64_t>& rows, int attr,
+                             const std::vector<int64_t>& total_counts,
+                             double parent_gini) const {
+    Split best;
+    const int cardinality = dataset_.schema().attribute(attr).cardinality;
+    // Per-category class counts.
+    std::vector<std::vector<int64_t>> cat_counts(
+        cardinality, std::vector<int64_t>(num_classes_, 0));
+    std::vector<int64_t> cat_totals(cardinality, 0);
+    for (int64_t row : rows) {
+      const int code = static_cast<int>(dataset_.At(row, attr));
+      ++cat_counts[code][dataset_.Label(row)];
+      ++cat_totals[code];
+    }
+
+    std::vector<int> order;
+    for (int c = 0; c < cardinality; ++c) {
+      if (cat_totals[c] > 0) order.push_back(c);
+    }
+    if (order.size() < 2) return best;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double pa = static_cast<double>(cat_counts[a][0]) /
+                        static_cast<double>(cat_totals[a]);
+      const double pb = static_cast<double>(cat_counts[b][0]) /
+                        static_cast<double>(cat_totals[b]);
+      return pa < pb;
+    });
+
+    std::vector<int64_t> left_counts(num_classes_, 0);
+    std::vector<int64_t> right_counts = total_counts;
+    const int64_t n = static_cast<int64_t>(rows.size());
+    uint64_t mask = 0;
+    int64_t left_n = 0;
+    for (size_t i = 0; i + 1 < order.size(); ++i) {
+      const int code = order[i];
+      mask |= (1ULL << code);
+      left_n += cat_totals[code];
+      for (int k = 0; k < num_classes_; ++k) {
+        left_counts[k] += cat_counts[code][k];
+        right_counts[k] -= cat_counts[code][k];
+      }
+      const int64_t right_n = n - left_n;
+      if (left_n < options_.min_leaf_size || right_n < options_.min_leaf_size) {
+        continue;
+      }
+      const double weighted =
+          (static_cast<double>(left_n) * internal::Impurity(left_counts, left_n, options_.criterion) +
+           static_cast<double>(right_n) * internal::Impurity(right_counts, right_n, options_.criterion)) /
+          static_cast<double>(n);
+      const double gain = parent_gini - weighted;
+      if (gain > best.gain) {
+        best.valid = true;
+        best.attribute = attr;
+        best.left_mask = mask;
+        best.gain = gain;
+      }
+    }
+    return best;
+  }
+
+  int BuildNode(std::vector<int64_t> rows, int depth) {
+    std::vector<int64_t> counts = ClassCounts(rows);
+    const int64_t n = static_cast<int64_t>(rows.size());
+    const double parent_gini = internal::Impurity(counts, n, options_.criterion);
+
+    const bool pure = std::count_if(counts.begin(), counts.end(),
+                                    [](int64_t c) { return c > 0; }) <= 1;
+    if (depth >= options_.max_depth || pure ||
+        n < 2 * options_.min_leaf_size) {
+      return tree_.AddLeafNode(std::move(counts));
+    }
+
+    Split best;
+    best.gain = options_.min_gain;
+    for (int attr = 0; attr < dataset_.num_attributes(); ++attr) {
+      const Split candidate =
+          dataset_.schema().attribute(attr).type == data::AttributeType::kNumeric
+              ? BestNumericSplit(rows, attr, counts, parent_gini)
+              : BestCategoricalSplit(rows, attr, counts, parent_gini);
+      if (candidate.valid && candidate.gain > best.gain) best = candidate;
+    }
+    if (!best.valid) {
+      return tree_.AddLeafNode(std::move(counts));
+    }
+
+    std::vector<int64_t> left_rows;
+    std::vector<int64_t> right_rows;
+    const bool numeric = dataset_.schema().attribute(best.attribute).type ==
+                         data::AttributeType::kNumeric;
+    for (int64_t row : rows) {
+      bool go_left;
+      if (numeric) {
+        go_left = dataset_.At(row, best.attribute) < best.threshold;
+      } else {
+        const int code = static_cast<int>(dataset_.At(row, best.attribute));
+        go_left = (best.left_mask & (1ULL << code)) != 0;
+      }
+      (go_left ? left_rows : right_rows).push_back(row);
+    }
+    rows.clear();
+    rows.shrink_to_fit();
+
+    const int node =
+        tree_.AddInternalNode(best.attribute, best.threshold, best.left_mask);
+    const int left = BuildNode(std::move(left_rows), depth + 1);
+    const int right = BuildNode(std::move(right_rows), depth + 1);
+    tree_.SetChildren(node, left, right);
+    return node;
+  }
+
+  const data::Dataset& dataset_;
+  const CartOptions& options_;
+  const int num_classes_;
+  DecisionTree tree_;
+};
+
+}  // namespace
+
+DecisionTree BuildCart(const data::Dataset& dataset, const CartOptions& options) {
+  FOCUS_CHECK_GT(dataset.num_rows(), 0);
+  FOCUS_CHECK_GE(dataset.schema().num_classes(), 2);
+  FOCUS_CHECK_GE(options.min_leaf_size, 1);
+  FOCUS_CHECK_GE(options.max_depth, 0);
+  CartBuilder builder(dataset, options);
+  return builder.Build();
+}
+
+}  // namespace focus::dt

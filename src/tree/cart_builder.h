@@ -1,0 +1,45 @@
+#ifndef FOCUS_TREE_CART_BUILDER_H_
+#define FOCUS_TREE_CART_BUILDER_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "tree/decision_tree.h"
+
+namespace focus::dt {
+
+// CART-style greedy tree induction (Breiman et al. [8]), the classifier
+// used throughout the paper's dt-model experiments (via the RainForest
+// framework [20] in the original; here a direct in-memory build — the
+// experiments depend only on the induced partition).
+//
+// Gini impurity; numeric attributes use the best binary threshold found by
+// a sorted sweep; categorical attributes use the two-class ordering trick
+// (sort categories by P(class 0) and sweep prefixes), which is optimal for
+// binary problems and a strong heuristic otherwise.
+// Node impurity used to score candidate splits.
+enum class SplitCriterion {
+  kGini,     // 1 - sum p^2 (CART's default)
+  kEntropy,  // -sum p log2 p (ID3/C4.5 family)
+};
+
+struct CartOptions {
+  int max_depth = 10;
+  int64_t min_leaf_size = 50;
+  // A split must reduce weighted impurity by at least this much.
+  double min_gain = 1e-4;
+  SplitCriterion criterion = SplitCriterion::kGini;
+};
+
+namespace internal {
+// Impurity of a class-count vector; shared by the recursive and the
+// presorted builders so both optimize the identical objective.
+double Impurity(const std::vector<int64_t>& counts, int64_t total,
+                SplitCriterion criterion);
+}  // namespace internal
+
+DecisionTree BuildCart(const data::Dataset& dataset, const CartOptions& options);
+
+}  // namespace focus::dt
+
+#endif  // FOCUS_TREE_CART_BUILDER_H_

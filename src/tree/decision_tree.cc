@@ -1,0 +1,120 @@
+#include "tree/decision_tree.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace focus::dt {
+
+DecisionTree::DecisionTree(data::Schema schema) : schema_(std::move(schema)) {}
+
+int DecisionTree::AddInternalNode(int attribute, double threshold,
+                                  uint64_t left_mask) {
+  FOCUS_CHECK_GE(attribute, 0);
+  FOCUS_CHECK_LT(attribute, schema_.num_attributes());
+  Node node;
+  node.attribute = attribute;
+  node.threshold = threshold;
+  node.left_mask = left_mask;
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int DecisionTree::AddLeafNode(std::vector<int64_t> class_counts) {
+  FOCUS_CHECK_EQ(static_cast<int>(class_counts.size()), schema_.num_classes());
+  Node node;
+  node.leaf_index = num_leaves_++;
+  node.class_counts = std::move(class_counts);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void DecisionTree::SetChildren(int node_index, int left, int right) {
+  FOCUS_CHECK_GE(node_index, 0);
+  FOCUS_CHECK(nodes_[node_index].attribute >= 0) << "leaves have no children";
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+}
+
+int DecisionTree::LeafIndexOf(std::span<const double> row) const {
+  FOCUS_CHECK(!nodes_.empty());
+  int current = 0;
+  while (nodes_[current].attribute >= 0) {
+    const Node& node = nodes_[current];
+    bool go_left;
+    if (schema_.attribute(node.attribute).type == data::AttributeType::kNumeric) {
+      go_left = row[node.attribute] < node.threshold;
+    } else {
+      const int code = static_cast<int>(row[node.attribute]);
+      go_left = (node.left_mask & (1ULL << code)) != 0;
+    }
+    current = go_left ? node.left : node.right;
+    FOCUS_CHECK_GE(current, 0) << "malformed tree: missing child";
+  }
+  return nodes_[current].leaf_index;
+}
+
+int DecisionTree::Predict(std::span<const double> row) const {
+  int current = 0;
+  while (nodes_[current].attribute >= 0) {
+    const Node& node = nodes_[current];
+    bool go_left;
+    if (schema_.attribute(node.attribute).type == data::AttributeType::kNumeric) {
+      go_left = row[node.attribute] < node.threshold;
+    } else {
+      const int code = static_cast<int>(row[node.attribute]);
+      go_left = (node.left_mask & (1ULL << code)) != 0;
+    }
+    current = go_left ? node.left : node.right;
+  }
+  const auto& counts = nodes_[current].class_counts;
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                          counts.begin());
+}
+
+int DecisionTree::Depth() const {
+  if (nodes_.empty()) return 0;
+  return DepthFrom(0);
+}
+
+int DecisionTree::DepthFrom(int node_index) const {
+  const Node& node = nodes_[node_index];
+  if (node.attribute < 0) return 0;
+  return 1 + std::max(DepthFrom(node.left), DepthFrom(node.right));
+}
+
+std::string DecisionTree::ToString() const {
+  std::string out;
+  if (!nodes_.empty()) AppendString(0, 0, &out);
+  return out;
+}
+
+void DecisionTree::AppendString(int node_index, int indent,
+                                std::string* out) const {
+  const Node& node = nodes_[node_index];
+  out->append(indent * 2, ' ');
+  if (node.attribute < 0) {
+    std::ostringstream line;
+    line << "leaf#" << node.leaf_index << " counts=[";
+    for (size_t c = 0; c < node.class_counts.size(); ++c) {
+      if (c > 0) line << ',';
+      line << node.class_counts[c];
+    }
+    line << "]\n";
+    out->append(line.str());
+    return;
+  }
+  const data::Attribute& attr = schema_.attribute(node.attribute);
+  std::ostringstream line;
+  if (attr.type == data::AttributeType::kNumeric) {
+    line << attr.name << " < " << node.threshold << " ?\n";
+  } else {
+    line << attr.name << " in mask 0x" << std::hex << node.left_mask << " ?\n";
+  }
+  out->append(line.str());
+  AppendString(node.left, indent + 1, out);
+  AppendString(node.right, indent + 1, out);
+}
+
+}  // namespace focus::dt

@@ -1,0 +1,68 @@
+#ifndef FOCUS_TREE_DECISION_TREE_H_
+#define FOCUS_TREE_DECISION_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace focus::dt {
+
+// A binary decision tree over a Schema (a dt-model's carrier, §2.1).
+// Internal nodes split on one attribute: numeric splits send
+// `value < threshold` left; categorical splits send codes in `left_mask`
+// left. Leaves carry absolute class counts from the training set.
+class DecisionTree {
+ public:
+  struct Node {
+    int attribute = -1;  // -1 marks a leaf
+    double threshold = 0.0;
+    uint64_t left_mask = 0;
+    int left = -1;
+    int right = -1;
+    int leaf_index = -1;  // dense leaf ordinal; -1 for internal nodes
+    std::vector<int64_t> class_counts;  // populated at leaves
+  };
+
+  explicit DecisionTree(data::Schema schema);
+
+  const data::Schema& schema() const { return schema_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_leaves() const { return num_leaves_; }
+  const Node& node(int i) const { return nodes_[i]; }
+
+  // Appends an internal node and returns its index. Children are patched
+  // in later via SetChildren (the builder works top-down).
+  int AddInternalNode(int attribute, double threshold, uint64_t left_mask);
+  // Appends a leaf and returns its index; assigns the next leaf ordinal.
+  int AddLeafNode(std::vector<int64_t> class_counts);
+  void SetChildren(int node_index, int left, int right);
+
+  // Index of the leaf ordinal (0..num_leaves) the tuple routes to.
+  int LeafIndexOf(std::span<const double> row) const;
+
+  // Majority-class prediction, T(t) in the paper's notation.
+  int Predict(std::span<const double> row) const;
+
+  // Depth of the deepest leaf (root = depth 0 when the tree is a single
+  // leaf).
+  int Depth() const;
+
+  // Pretty-printed tree for debugging and examples.
+  std::string ToString() const;
+
+ private:
+  int DepthFrom(int node_index) const;
+  void AppendString(int node_index, int indent, std::string* out) const;
+
+  data::Schema schema_;
+  std::vector<Node> nodes_;
+  int num_leaves_ = 0;
+};
+
+}  // namespace focus::dt
+
+#endif  // FOCUS_TREE_DECISION_TREE_H_

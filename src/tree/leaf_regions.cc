@@ -1,0 +1,42 @@
+#include "tree/leaf_regions.h"
+
+#include "common/check.h"
+
+namespace focus::dt {
+namespace {
+
+void Walk(const DecisionTree& tree, int node_index, data::Box box,
+          std::vector<data::Box>* leaves) {
+  const DecisionTree::Node& node = tree.node(node_index);
+  if (node.attribute < 0) {
+    FOCUS_CHECK_GE(node.leaf_index, 0);
+    (*leaves)[node.leaf_index] = std::move(box);
+    return;
+  }
+  const data::Attribute& attr = tree.schema().attribute(node.attribute);
+  data::Box left_box = box;
+  data::Box right_box = std::move(box);
+  if (attr.type == data::AttributeType::kNumeric) {
+    left_box.ClampNumeric(node.attribute,
+                          -std::numeric_limits<double>::infinity(),
+                          node.threshold);
+    right_box.ClampNumeric(node.attribute, node.threshold,
+                           std::numeric_limits<double>::infinity());
+  } else {
+    left_box.ClampCategorical(node.attribute, node.left_mask);
+    right_box.ClampCategorical(node.attribute, ~node.left_mask);
+  }
+  Walk(tree, node.left, std::move(left_box), leaves);
+  Walk(tree, node.right, std::move(right_box), leaves);
+}
+
+}  // namespace
+
+std::vector<data::Box> ExtractLeafBoxes(const DecisionTree& tree) {
+  std::vector<data::Box> leaves(tree.num_leaves());
+  if (tree.num_nodes() == 0) return leaves;
+  Walk(tree, 0, data::Box::Full(tree.schema()), &leaves);
+  return leaves;
+}
+
+}  // namespace focus::dt

@@ -1,0 +1,20 @@
+#ifndef FOCUS_TREE_LEAF_REGIONS_H_
+#define FOCUS_TREE_LEAF_REGIONS_H_
+
+#include <vector>
+
+#include "data/box.h"
+#include "tree/decision_tree.h"
+
+namespace focus::dt {
+
+// Extracts the leaf partition of a decision tree as Boxes, indexed by the
+// leaf ordinal returned by DecisionTree::LeafIndexOf. Together with the
+// class-label dimension these boxes are the structural component Γ(T) of
+// the dt-model (§2.1: "the set of regions associated with all the leaf
+// nodes partition the attribute space").
+std::vector<data::Box> ExtractLeafBoxes(const DecisionTree& tree);
+
+}  // namespace focus::dt
+
+#endif  // FOCUS_TREE_LEAF_REGIONS_H_

@@ -1,0 +1,342 @@
+#include "tree/presorted_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace focus::dt {
+namespace {
+
+using internal::Impurity;
+
+struct Split {
+  bool valid = false;
+  int attribute = -1;
+  double threshold = 0.0;
+  uint64_t left_mask = 0;
+  double gain = 0.0;
+};
+
+// One node of the breadth-first frontier.
+struct FrontierNode {
+  std::vector<int64_t> class_counts;
+  int64_t n = 0;
+  int depth = 0;
+  double impurity = 0.0;
+  bool active = false;  // still a split candidate this level
+  Split best;
+  // Linkage for patching the parent's children once created.
+  int parent_tree_index = -1;
+  bool is_left = false;
+};
+
+class PresortedBuilder {
+ public:
+  PresortedBuilder(const data::Dataset& dataset, const CartOptions& options)
+      : dataset_(dataset),
+        options_(options),
+        num_classes_(dataset.schema().num_classes()),
+        tree_(dataset.schema()) {}
+
+  DecisionTree Build() {
+    const int64_t n = dataset_.num_rows();
+    // One-time presort of every numeric attribute (the SLIQ attribute
+    // lists).
+    for (int attr = 0; attr < dataset_.num_attributes(); ++attr) {
+      if (dataset_.schema().attribute(attr).type !=
+          data::AttributeType::kNumeric) {
+        sorted_orders_.emplace_back();
+        continue;
+      }
+      std::vector<int64_t> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+        return dataset_.At(a, attr) < dataset_.At(b, attr);
+      });
+      sorted_orders_.push_back(std::move(order));
+    }
+
+    // Root frontier covers every row.
+    node_of_.assign(n, 0);
+    FrontierNode root;
+    root.class_counts.assign(num_classes_, 0);
+    for (int64_t r = 0; r < n; ++r) ++root.class_counts[dataset_.Label(r)];
+    root.n = n;
+    root.depth = 0;
+    frontier_.push_back(std::move(root));
+
+    while (true) {
+      bool any_active = false;
+      for (FrontierNode& node : frontier_) {
+        node.active = IsSplittable(node);
+        node.best = Split{};
+        node.best.gain = options_.min_gain;
+        any_active |= node.active;
+      }
+      if (any_active) FindBestSplits();
+
+      // Decide every frontier node: leaf or internal; build next level.
+      std::vector<FrontierNode> next_frontier;
+      std::vector<int> slot_of_left(frontier_.size(), -1);
+      std::vector<int> slot_of_right(frontier_.size(), -1);
+      std::vector<int> tree_index(frontier_.size(), -1);
+      bool grew = false;
+      for (size_t f = 0; f < frontier_.size(); ++f) {
+        FrontierNode& node = frontier_[f];
+        int created;
+        if (node.active && node.best.valid) {
+          created = tree_.AddInternalNode(node.best.attribute,
+                                          node.best.threshold,
+                                          node.best.left_mask);
+          FrontierNode left;
+          FrontierNode right;
+          left.class_counts.assign(num_classes_, 0);
+          right.class_counts.assign(num_classes_, 0);
+          left.depth = right.depth = node.depth + 1;
+          left.parent_tree_index = right.parent_tree_index = created;
+          left.is_left = true;
+          slot_of_left[f] = static_cast<int>(next_frontier.size());
+          next_frontier.push_back(std::move(left));
+          slot_of_right[f] = static_cast<int>(next_frontier.size());
+          next_frontier.push_back(std::move(right));
+          grew = true;
+        } else {
+          created = tree_.AddLeafNode(node.class_counts);
+        }
+        tree_index[f] = created;
+        if (node.parent_tree_index >= 0) {
+          PatchParent(node.parent_tree_index, node.is_left, created);
+        }
+      }
+      if (!grew) break;
+
+      // Re-assign rows to the next frontier.
+      for (int64_t r = 0; r < n; ++r) {
+        const int f = node_of_[r];
+        if (f < 0 || slot_of_left[f] < 0) {
+          node_of_[r] = -1;  // finalized leaf
+          continue;
+        }
+        const Split& split = frontier_[f].best;
+        bool go_left;
+        if (dataset_.schema().attribute(split.attribute).type ==
+            data::AttributeType::kNumeric) {
+          go_left = dataset_.At(r, split.attribute) < split.threshold;
+        } else {
+          const int code = static_cast<int>(dataset_.At(r, split.attribute));
+          go_left = (split.left_mask & (1ULL << code)) != 0;
+        }
+        const int child = go_left ? slot_of_left[f] : slot_of_right[f];
+        node_of_[r] = child;
+        ++next_frontier[child].class_counts[dataset_.Label(r)];
+        ++next_frontier[child].n;
+      }
+      frontier_ = std::move(next_frontier);
+    }
+    FlushParentPatches();
+    return std::move(tree_);
+  }
+
+ private:
+  bool IsSplittable(const FrontierNode& node) const {
+    const bool pure =
+        std::count_if(node.class_counts.begin(), node.class_counts.end(),
+                      [](int64_t c) { return c > 0; }) <= 1;
+    return node.depth < options_.max_depth && !pure &&
+           node.n >= 2 * options_.min_leaf_size;
+  }
+
+  // Synchronized passes over the attribute lists: per active frontier
+  // node, the same candidate sweep BestNumericSplit/BestCategoricalSplit
+  // performs, with identical objective and tie-breaking.
+  void FindBestSplits() {
+    for (FrontierNode& node : frontier_) {
+      if (node.active) {
+        node.impurity = Impurity(node.class_counts, node.n, options_.criterion);
+      }
+    }
+    for (int attr = 0; attr < dataset_.num_attributes(); ++attr) {
+      if (dataset_.schema().attribute(attr).type ==
+          data::AttributeType::kNumeric) {
+        NumericPass(attr);
+      } else {
+        CategoricalPass(attr);
+      }
+    }
+  }
+
+  void NumericPass(int attr) {
+    const size_t num_nodes = frontier_.size();
+    std::vector<std::vector<int64_t>> left_counts(
+        num_nodes, std::vector<int64_t>(num_classes_, 0));
+    std::vector<int64_t> left_n(num_nodes, 0);
+    std::vector<double> prev_value(num_nodes, 0.0);
+    std::vector<char> has_prev(num_nodes, 0);
+    std::vector<Split> attr_best(num_nodes);
+
+    for (int64_t r : sorted_orders_[attr]) {
+      const int f = node_of_[r];
+      if (f < 0 || !frontier_[f].active) continue;
+      FrontierNode& node = frontier_[f];
+      const double v = dataset_.At(r, attr);
+      if (has_prev[f] && v != prev_value[f]) {
+        const int64_t right_n = node.n - left_n[f];
+        if (left_n[f] >= options_.min_leaf_size &&
+            right_n >= options_.min_leaf_size) {
+          std::vector<int64_t> right_counts(num_classes_);
+          for (int c = 0; c < num_classes_; ++c) {
+            right_counts[c] = node.class_counts[c] - left_counts[f][c];
+          }
+          const double weighted =
+              (static_cast<double>(left_n[f]) *
+                   Impurity(left_counts[f], left_n[f], options_.criterion) +
+               static_cast<double>(right_n) *
+                   Impurity(right_counts, right_n, options_.criterion)) /
+              static_cast<double>(node.n);
+          const double gain = node.impurity - weighted;
+          if (gain > attr_best[f].gain) {
+            attr_best[f].valid = true;
+            attr_best[f].attribute = attr;
+            attr_best[f].threshold = (prev_value[f] + v) / 2.0;
+            attr_best[f].gain = gain;
+          }
+        }
+      }
+      ++left_counts[f][dataset_.Label(r)];
+      ++left_n[f];
+      prev_value[f] = v;
+      has_prev[f] = 1;
+    }
+    MergeAttrBests(attr_best);
+  }
+
+  void CategoricalPass(int attr) {
+    const int cardinality = dataset_.schema().attribute(attr).cardinality;
+    const size_t num_nodes = frontier_.size();
+    // Per (node, code, class) counts in one pass.
+    std::vector<int64_t> counts(num_nodes * cardinality * num_classes_, 0);
+    std::vector<int64_t> totals(num_nodes * cardinality, 0);
+    for (int64_t r = 0; r < dataset_.num_rows(); ++r) {
+      const int f = node_of_[r];
+      if (f < 0 || !frontier_[f].active) continue;
+      const int code = static_cast<int>(dataset_.At(r, attr));
+      ++counts[(static_cast<size_t>(f) * cardinality + code) * num_classes_ +
+               dataset_.Label(r)];
+      ++totals[static_cast<size_t>(f) * cardinality + code];
+    }
+
+    std::vector<Split> attr_best(num_nodes);
+    for (size_t f = 0; f < num_nodes; ++f) {
+      if (!frontier_[f].active) continue;
+      const FrontierNode& node = frontier_[f];
+      std::vector<int> order;
+      for (int c = 0; c < cardinality; ++c) {
+        if (totals[f * cardinality + c] > 0) order.push_back(c);
+      }
+      if (order.size() < 2) continue;
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const double pa =
+            static_cast<double>(counts[(f * cardinality + a) * num_classes_]) /
+            static_cast<double>(totals[f * cardinality + a]);
+        const double pb =
+            static_cast<double>(counts[(f * cardinality + b) * num_classes_]) /
+            static_cast<double>(totals[f * cardinality + b]);
+        return pa < pb;
+      });
+
+      std::vector<int64_t> left_counts(num_classes_, 0);
+      std::vector<int64_t> right_counts = node.class_counts;
+      uint64_t mask = 0;
+      int64_t left_n = 0;
+      for (size_t i = 0; i + 1 < order.size(); ++i) {
+        const int code = order[i];
+        mask |= (1ULL << code);
+        left_n += totals[f * cardinality + code];
+        for (int k = 0; k < num_classes_; ++k) {
+          const int64_t c = counts[(f * cardinality + code) * num_classes_ + k];
+          left_counts[k] += c;
+          right_counts[k] -= c;
+        }
+        const int64_t right_n = node.n - left_n;
+        if (left_n < options_.min_leaf_size ||
+            right_n < options_.min_leaf_size) {
+          continue;
+        }
+        const double weighted =
+            (static_cast<double>(left_n) *
+                 Impurity(left_counts, left_n, options_.criterion) +
+             static_cast<double>(right_n) *
+                 Impurity(right_counts, right_n, options_.criterion)) /
+            static_cast<double>(node.n);
+        const double gain = node.impurity - weighted;
+        if (gain > attr_best[f].gain) {
+          attr_best[f].valid = true;
+          attr_best[f].attribute = attr;
+          attr_best[f].left_mask = mask;
+          attr_best[f].gain = gain;
+        }
+      }
+    }
+    MergeAttrBests(attr_best);
+  }
+
+  void MergeAttrBests(const std::vector<Split>& attr_best) {
+    for (size_t f = 0; f < frontier_.size(); ++f) {
+      if (!frontier_[f].active) continue;
+      if (attr_best[f].valid && attr_best[f].gain > frontier_[f].best.gain) {
+        frontier_[f].best = attr_best[f];
+      }
+    }
+  }
+
+  void PatchParent(int parent, bool is_left, int child) {
+    pending_patches_.push_back({parent, is_left, child});
+  }
+
+  void FlushParentPatches() {
+    // Children arrive in creation order; collect both sides per parent.
+    std::vector<int> left(tree_.num_nodes(), -1);
+    std::vector<int> right(tree_.num_nodes(), -1);
+    for (const auto& [parent, is_left, child] : pending_patches_) {
+      (is_left ? left : right)[parent] = child;
+    }
+    for (int i = 0; i < tree_.num_nodes(); ++i) {
+      if (left[i] >= 0 || right[i] >= 0) {
+        FOCUS_CHECK(left[i] >= 0 && right[i] >= 0)
+            << "internal node " << i << " missing a child";
+        tree_.SetChildren(i, left[i], right[i]);
+      }
+    }
+  }
+
+  struct Patch {
+    int parent;
+    bool is_left;
+    int child;
+  };
+
+  const data::Dataset& dataset_;
+  const CartOptions& options_;
+  const int num_classes_;
+  DecisionTree tree_;
+  std::vector<std::vector<int64_t>> sorted_orders_;  // per numeric attribute
+  std::vector<int> node_of_;  // row -> frontier slot (-1: finalized)
+  std::vector<FrontierNode> frontier_;
+  std::vector<Patch> pending_patches_;
+};
+
+}  // namespace
+
+DecisionTree BuildCartPresorted(const data::Dataset& dataset,
+                                const CartOptions& options) {
+  FOCUS_CHECK_GT(dataset.num_rows(), 0);
+  FOCUS_CHECK_GE(dataset.schema().num_classes(), 2);
+  FOCUS_CHECK_GE(options.min_leaf_size, 1);
+  PresortedBuilder builder(dataset, options);
+  return builder.Build();
+}
+
+}  // namespace focus::dt

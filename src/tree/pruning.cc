@@ -1,0 +1,142 @@
+#include "tree/pruning.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace focus::dt {
+namespace {
+
+class Pruner {
+ public:
+  Pruner(const DecisionTree& tree, const data::Dataset& validation)
+      : tree_(tree),
+        num_classes_(tree.schema().num_classes()),
+        validation_counts_(
+            static_cast<size_t>(tree.num_nodes()) * num_classes_, 0),
+        training_counts_(
+            static_cast<size_t>(tree.num_nodes()) * num_classes_, 0) {
+    // Validation counts: route each row, incrementing every node on its
+    // path.
+    for (int64_t row = 0; row < validation.num_rows(); ++row) {
+      const auto values = validation.Row(row);
+      const int label = validation.Label(row);
+      int current = 0;
+      while (true) {
+        ++validation_counts_[static_cast<size_t>(current) * num_classes_ +
+                             label];
+        const DecisionTree::Node& node = tree_.node(current);
+        if (node.attribute < 0) break;
+        bool go_left;
+        if (tree_.schema().attribute(node.attribute).type ==
+            data::AttributeType::kNumeric) {
+          go_left = values[node.attribute] < node.threshold;
+        } else {
+          const int code = static_cast<int>(values[node.attribute]);
+          go_left = (node.left_mask & (1ULL << code)) != 0;
+        }
+        current = go_left ? node.left : node.right;
+      }
+    }
+    // Training counts: leaves carry them; aggregate bottom-up.
+    AggregateTraining(0);
+  }
+
+  DecisionTree Prune() {
+    DecisionTree pruned(tree_.schema());
+    BuildPruned(0, &pruned);
+    return pruned;
+  }
+
+ private:
+  std::vector<int64_t> AggregateTraining(int node_index) {
+    const DecisionTree::Node& node = tree_.node(node_index);
+    std::vector<int64_t> counts(num_classes_, 0);
+    if (node.attribute < 0) {
+      counts = node.class_counts;
+    } else {
+      const std::vector<int64_t> left = AggregateTraining(node.left);
+      const std::vector<int64_t> right = AggregateTraining(node.right);
+      for (int c = 0; c < num_classes_; ++c) counts[c] = left[c] + right[c];
+    }
+    for (int c = 0; c < num_classes_; ++c) {
+      training_counts_[static_cast<size_t>(node_index) * num_classes_ + c] =
+          counts[c];
+    }
+    return counts;
+  }
+
+  int MajorityTrainingLabel(int node_index) const {
+    const int64_t* counts =
+        &training_counts_[static_cast<size_t>(node_index) * num_classes_];
+    return static_cast<int>(std::max_element(counts, counts + num_classes_) -
+                            counts);
+  }
+
+  // Validation errors in the subtree under `node_index` when its leaves
+  // predict their majority training label.
+  int64_t SubtreeValidationErrors(int node_index) const {
+    const DecisionTree::Node& node = tree_.node(node_index);
+    if (node.attribute < 0) {
+      return ErrorsAsLeaf(node_index);
+    }
+    return SubtreeValidationErrors(node.left) +
+           SubtreeValidationErrors(node.right);
+  }
+
+  // Validation errors if `node_index` were a leaf.
+  int64_t ErrorsAsLeaf(int node_index) const {
+    const int majority = MajorityTrainingLabel(node_index);
+    int64_t errors = 0;
+    for (int c = 0; c < num_classes_; ++c) {
+      if (c != majority) {
+        errors += validation_counts_[static_cast<size_t>(node_index) *
+                                         num_classes_ +
+                                     c];
+      }
+    }
+    return errors;
+  }
+
+  // Rebuilds the (possibly collapsed) subtree into `out`; returns the new
+  // node index.
+  int BuildPruned(int node_index, DecisionTree* out) {
+    const DecisionTree::Node& node = tree_.node(node_index);
+    const bool collapse =
+        node.attribute >= 0 &&
+        ErrorsAsLeaf(node_index) <= SubtreeValidationErrors(node_index);
+    if (node.attribute < 0 || collapse) {
+      std::vector<int64_t> counts(num_classes_);
+      for (int c = 0; c < num_classes_; ++c) {
+        counts[c] =
+            training_counts_[static_cast<size_t>(node_index) * num_classes_ + c];
+      }
+      return out->AddLeafNode(std::move(counts));
+    }
+    const int fresh =
+        out->AddInternalNode(node.attribute, node.threshold, node.left_mask);
+    const int left = BuildPruned(node.left, out);
+    const int right = BuildPruned(node.right, out);
+    out->SetChildren(fresh, left, right);
+    return fresh;
+  }
+
+  const DecisionTree& tree_;
+  const int num_classes_;
+  std::vector<int64_t> validation_counts_;  // [node][class]
+  std::vector<int64_t> training_counts_;    // [node][class]
+};
+
+}  // namespace
+
+DecisionTree PruneReducedError(const DecisionTree& tree,
+                               const data::Dataset& validation) {
+  FOCUS_CHECK(tree.schema() == validation.schema());
+  FOCUS_CHECK_GT(tree.num_nodes(), 0);
+  FOCUS_CHECK_GT(validation.num_rows(), 0);
+  Pruner pruner(tree, validation);
+  return pruner.Prune();
+}
+
+}  // namespace focus::dt

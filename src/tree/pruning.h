@@ -1,0 +1,22 @@
+#ifndef FOCUS_TREE_PRUNING_H_
+#define FOCUS_TREE_PRUNING_H_
+
+#include "data/dataset.h"
+#include "tree/decision_tree.h"
+
+namespace focus::dt {
+
+// Reduced-error pruning (Quinlan): bottom-up, an internal node is
+// collapsed into a leaf when doing so does not increase the error on a
+// held-out validation set. Produces a new tree; the input is untouched.
+//
+// Smaller trees mean coarser dt-model structural components — fewer, more
+// stable regions — which matters for FOCUS because deviations are
+// computed over the induced partition: an overfitted tree manufactures
+// spurious hair-thin regions that inflate same-process deviations.
+DecisionTree PruneReducedError(const DecisionTree& tree,
+                               const data::Dataset& validation);
+
+}  // namespace focus::dt
+
+#endif  // FOCUS_TREE_PRUNING_H_

@@ -1,0 +1,135 @@
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/birch.h"
+#include "cluster/grid_clustering.h"
+#include "core/cluster_deviation.h"
+
+namespace focus::cluster {
+namespace {
+
+data::Schema XySchema() {
+  return data::Schema(
+      {data::Schema::Numeric("x", 0.0, 10.0), data::Schema::Numeric("y", 0.0, 10.0)},
+      /*num_classes=*/0);
+}
+
+data::Dataset Blobs(uint64_t seed, const std::vector<std::pair<double, double>>&
+                                       centers, int per_blob) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.3);
+  data::Dataset dataset(XySchema());
+  for (const auto& [cx, cy] : centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      dataset.AddRow(
+          std::vector<double>{std::clamp(cx + noise(rng), 0.0, 9.999),
+                              std::clamp(cy + noise(rng), 0.0, 9.999)},
+          0);
+    }
+  }
+  return dataset;
+}
+
+TEST(ClusteringFeatureTest, SufficientStatistics) {
+  ClusteringFeature cf;
+  cf.Absorb(std::vector<double>{1.0, 2.0});
+  cf.Absorb(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(cf.n, 2);
+  const std::vector<double> centroid = cf.Centroid();
+  EXPECT_DOUBLE_EQ(centroid[0], 2.0);
+  EXPECT_DOUBLE_EQ(centroid[1], 3.0);
+  // Each point is sqrt(2) from the centroid => radius = sqrt(2).
+  EXPECT_NEAR(cf.Radius(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(ClusteringFeatureTest, MergeEqualsBulkAbsorb) {
+  ClusteringFeature a;
+  a.Absorb(std::vector<double>{1.0, 1.0});
+  a.Absorb(std::vector<double>{2.0, 2.0});
+  ClusteringFeature b;
+  b.Absorb(std::vector<double>{3.0, 3.0});
+  a.Merge(b);
+  ClusteringFeature bulk;
+  for (double v : {1.0, 2.0, 3.0}) bulk.Absorb(std::vector<double>{v, v});
+  EXPECT_EQ(a.n, bulk.n);
+  EXPECT_NEAR(a.Radius(), bulk.Radius(), 1e-12);
+}
+
+TEST(BirchTest, FindsWellSeparatedBlobs) {
+  const data::Dataset dataset = Blobs(1, {{2.0, 2.0}, {8.0, 8.0}}, 400);
+  const Grid grid(XySchema(), {0, 1}, 20);
+  BirchOptions options;
+  options.threshold = 0.8;
+  options.density_threshold = 0.002;
+  const ClusterModel model = BirchClustering(dataset, grid, options);
+  EXPECT_EQ(model.num_regions(), 2);
+  EXPECT_NEAR(model.selectivity(0) + model.selectivity(1), 1.0, 0.05);
+}
+
+TEST(BirchTest, ThreeBlobs) {
+  const data::Dataset dataset =
+      Blobs(2, {{2.0, 2.0}, {8.0, 8.0}, {2.0, 8.0}}, 300);
+  const Grid grid(XySchema(), {0, 1}, 20);
+  BirchOptions options;
+  options.threshold = 0.8;
+  options.density_threshold = 0.002;
+  const ClusterModel model = BirchClustering(dataset, grid, options);
+  EXPECT_EQ(model.num_regions(), 3);
+}
+
+TEST(BirchTest, LooseThresholdMergesEverything) {
+  const data::Dataset dataset = Blobs(3, {{2.0, 2.0}, {8.0, 8.0}}, 200);
+  const Grid grid(XySchema(), {0, 1}, 10);
+  BirchOptions options;
+  options.threshold = 50.0;  // radius can cover the whole domain
+  const ClusterModel model = BirchClustering(dataset, grid, options);
+  EXPECT_EQ(model.num_regions(), 1);
+}
+
+TEST(BirchTest, DeviationAgainstGridClusteringWorks) {
+  // Cross-algorithm FOCUS: a BIRCH model and a grid-density model over
+  // the SAME grid are refinable against each other; identical data gives
+  // a small (not necessarily zero) deviation since the algorithms carve
+  // slightly different noise cells.
+  const data::Dataset dataset = Blobs(4, {{2.0, 2.0}, {8.0, 8.0}}, 400);
+  const Grid grid(XySchema(), {0, 1}, 20);
+  BirchOptions birch;
+  birch.threshold = 0.8;
+  birch.density_threshold = 0.002;
+  const ClusterModel birch_model = BirchClustering(dataset, grid, birch);
+  GridClusteringOptions density;
+  density.density_threshold = 0.002;
+  const ClusterModel grid_model = GridClustering(dataset, grid, density);
+
+  core::ClusterDeviationOptions options;
+  const double self = core::ClusterDeviation(birch_model, dataset, grid_model,
+                                             dataset, options);
+  EXPECT_LT(self, 0.1);
+
+  // Drifted data deviates much more, regardless of inducing algorithm.
+  const data::Dataset drifted = Blobs(5, {{5.0, 5.0}, {8.0, 2.0}}, 400);
+  const ClusterModel drifted_model = BirchClustering(drifted, grid, birch);
+  const double drift = core::ClusterDeviation(birch_model, dataset,
+                                              drifted_model, drifted, options);
+  EXPECT_GT(drift, 10.0 * self);
+}
+
+TEST(BirchTest, RegionsAreDisjointCells) {
+  const data::Dataset dataset = Blobs(6, {{3.0, 3.0}, {7.0, 7.0}}, 300);
+  const Grid grid(XySchema(), {0, 1}, 15);
+  BirchOptions options;
+  options.threshold = 0.8;
+  const ClusterModel model = BirchClustering(dataset, grid, options);
+  std::vector<int64_t> all;
+  for (int r = 0; r < model.num_regions(); ++r) {
+    EXPECT_TRUE(std::is_sorted(model.region(r).begin(), model.region(r).end()));
+    all.insert(all.end(), model.region(r).begin(), model.region(r).end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+}
+
+}  // namespace
+}  // namespace focus::cluster

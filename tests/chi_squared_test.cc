@@ -1,0 +1,130 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/chi_squared_instance.h"
+#include "core/dt_deviation.h"
+#include "datagen/class_gen.h"
+#include "tree/cart_builder.h"
+#include "tree/leaf_regions.h"
+
+namespace focus::core {
+namespace {
+
+using datagen::ClassFunction;
+using datagen::ClassGenParams;
+using datagen::GenerateClassification;
+
+dt::DecisionTree TrainTree(const data::Dataset& dataset, int max_depth = 4) {
+  dt::CartOptions options;
+  options.max_depth = max_depth;
+  options.min_leaf_size = 50;
+  return dt::BuildCart(dataset, options);
+}
+
+// Direct textbook computation of X^2 over the tree's (leaf × class) cells.
+double DirectChiSquared(const dt::DecisionTree& tree, const data::Dataset& d1,
+                        const data::Dataset& d2, double c) {
+  const std::vector<double> expected_sel = DtMeasuresOverTree(tree, d1);
+  const std::vector<double> observed_sel = DtMeasuresOverTree(tree, d2);
+  const double n2 = static_cast<double>(d2.num_rows());
+  double statistic = 0.0;
+  for (size_t i = 0; i < expected_sel.size(); ++i) {
+    const double expected = expected_sel[i] * n2;
+    const double observed = observed_sel[i] * n2;
+    if (expected <= 0.0) {
+      statistic += c;
+    } else {
+      statistic += (observed - expected) * (observed - expected) / expected;
+    }
+  }
+  return statistic;
+}
+
+TEST(ChiSquaredTest, Proposition51MatchesDirectComputation) {
+  ClassGenParams params;
+  params.num_rows = 3000;
+  params.function = ClassFunction::kF2;
+  params.seed = 1;
+  const data::Dataset d1 = GenerateClassification(params);
+  params.function = ClassFunction::kF3;
+  params.seed = 2;
+  const data::Dataset d2 = GenerateClassification(params);
+  const dt::DecisionTree tree = TrainTree(d1);
+  const ChiSquaredResult result = ChiSquaredFit(tree, d1, d2, 0.5);
+  EXPECT_NEAR(result.statistic, DirectChiSquared(tree, d1, d2, 0.5), 1e-6);
+}
+
+TEST(ChiSquaredTest, SameDistributionHasSmallStatistic) {
+  ClassGenParams params;
+  params.num_rows = 4000;
+  params.function = ClassFunction::kF1;
+  params.seed = 1;
+  const data::Dataset d1 = GenerateClassification(params);
+  params.seed = 2;
+  const data::Dataset d2 = GenerateClassification(params);
+  const dt::DecisionTree tree = TrainTree(d1);
+  const ChiSquaredResult result = ChiSquaredFit(tree, d1, d2);
+  // Statistic near dof, p-value not extreme.
+  EXPECT_GT(result.asymptotic_p_value, 0.0001);
+}
+
+TEST(ChiSquaredTest, DifferentDistributionHasLargeStatistic) {
+  ClassGenParams params;
+  params.num_rows = 4000;
+  params.function = ClassFunction::kF1;
+  params.seed = 1;
+  const data::Dataset d1 = GenerateClassification(params);
+  params.function = ClassFunction::kF4;
+  params.seed = 2;
+  const data::Dataset d2 = GenerateClassification(params);
+  const dt::DecisionTree tree = TrainTree(d1);
+  const ChiSquaredResult same = ChiSquaredFit(tree, d1, d1);
+  const ChiSquaredResult diff = ChiSquaredFit(tree, d1, d2);
+  EXPECT_GT(diff.statistic, same.statistic);
+  EXPECT_LT(diff.asymptotic_p_value, 0.001);
+}
+
+TEST(ChiSquaredTest, BootstrapPValueSeparatesNullFromShift) {
+  ClassGenParams params;
+  params.num_rows = 1500;
+  params.function = ClassFunction::kF2;
+  params.seed = 1;
+  const data::Dataset d1 = GenerateClassification(params);
+  params.seed = 2;
+  const data::Dataset d2_null = GenerateClassification(params);
+  params.function = ClassFunction::kF3;
+  params.seed = 3;
+  const data::Dataset d2_shift = GenerateClassification(params);
+  const dt::DecisionTree tree = TrainTree(d1, 3);
+
+  const double p_null = ChiSquaredBootstrapPValue(tree, d1, d2_null, 0.5, 49);
+  const double p_shift = ChiSquaredBootstrapPValue(tree, d1, d2_shift, 0.5, 49);
+  EXPECT_GT(p_null, 0.02);
+  EXPECT_LE(p_shift, 0.02);
+}
+
+TEST(ChiSquaredTest, ConstantAffectsOnlyZeroExpectedCells) {
+  // Build a tiny pure-leaf tree so some (leaf, class) cells have zero
+  // expected measure.
+  data::Schema schema({data::Schema::Numeric("x", 0.0, 1.0)}, 2);
+  data::Dataset d1(schema);
+  for (int i = 0; i < 50; ++i) d1.AddRow(std::vector<double>{0.2}, 0);
+  for (int i = 0; i < 50; ++i) d1.AddRow(std::vector<double>{0.8}, 1);
+  data::Dataset d2 = d1;
+  dt::CartOptions cart;
+  cart.min_leaf_size = 10;
+  const dt::DecisionTree tree = dt::BuildCart(d1, cart);
+  ASSERT_EQ(tree.num_leaves(), 2);  // pure split at x=0.5
+
+  const double with_half = ChiSquaredFit(tree, d1, d2, 0.5).statistic;
+  const double with_two = ChiSquaredFit(tree, d1, d2, 2.0).statistic;
+  // Two zero-expected cells (class 1 in left leaf, class 0 in right leaf):
+  // statistic = 2c since observed == expected elsewhere.
+  EXPECT_NEAR(with_half, 1.0, 1e-9);
+  EXPECT_NEAR(with_two, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace focus::core

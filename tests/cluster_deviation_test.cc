@@ -1,0 +1,148 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/grid_clustering.h"
+#include "core/cluster_deviation.h"
+#include "core/focus_region.h"
+
+namespace focus::core {
+namespace {
+
+data::Schema XySchema() {
+  return data::Schema(
+      {data::Schema::Numeric("x", 0.0, 10.0), data::Schema::Numeric("y", 0.0, 10.0)},
+      /*num_classes=*/0);
+}
+
+data::Dataset BlobAt(double cx, double cy, int n) {
+  data::Dataset dataset(XySchema());
+  for (int i = 0; i < n; ++i) {
+    const double jitter = (i % 7) * 0.05;
+    dataset.AddRow(std::vector<double>{cx + jitter, cy - jitter}, 0);
+  }
+  return dataset;
+}
+
+cluster::ClusterModel Model(const data::Dataset& d, const cluster::Grid& grid) {
+  cluster::GridClusteringOptions options;
+  options.density_threshold = 0.02;
+  return cluster::GridClustering(d, grid, options);
+}
+
+TEST(ClusterGcrTest, IdenticalModelsPairUp) {
+  const data::Dataset d = BlobAt(2.0, 2.0, 100);
+  const cluster::Grid grid(XySchema(), {0, 1}, 10);
+  const cluster::ClusterModel m = Model(d, grid);
+  const auto gcr = ClusterGcr(m, m);
+  ASSERT_EQ(gcr.size(), static_cast<size_t>(m.num_regions()));
+  for (const auto& region : gcr) {
+    EXPECT_EQ(region.region1, region.region2);
+  }
+}
+
+TEST(ClusterGcrTest, DisjointModelsKeepBothSides) {
+  data::Dataset d1 = BlobAt(2.0, 2.0, 100);
+  data::Dataset d2 = BlobAt(8.0, 8.0, 100);
+  const cluster::Grid grid(XySchema(), {0, 1}, 10);
+  const cluster::ClusterModel m1 = Model(d1, grid);
+  const cluster::ClusterModel m2 = Model(d2, grid);
+  const auto gcr = ClusterGcr(m1, m2);
+  // No shared cells: each GCR part is a one-sided remainder.
+  for (const auto& region : gcr) {
+    EXPECT_TRUE(region.region1 == -1 || region.region2 == -1);
+  }
+  ASSERT_EQ(gcr.size(),
+            static_cast<size_t>(m1.num_regions() + m2.num_regions()));
+}
+
+TEST(ClusterGcrTest, RefinementPartitionsEachRegion) {
+  // Every region of m1 must be exactly covered by its GCR parts.
+  data::Dataset d1 = BlobAt(2.0, 2.0, 100);
+  data::Dataset extra = BlobAt(3.0, 2.5, 60);
+  d1.Append(extra);
+  data::Dataset d2 = BlobAt(2.5, 2.2, 120);
+  const cluster::Grid grid(XySchema(), {0, 1}, 10);
+  const cluster::ClusterModel m1 = Model(d1, grid);
+  const cluster::ClusterModel m2 = Model(d2, grid);
+  const auto gcr = ClusterGcr(m1, m2);
+  for (int r = 0; r < m1.num_regions(); ++r) {
+    std::vector<int64_t> reassembled;
+    for (const auto& part : gcr) {
+      if (part.region1 == r) {
+        reassembled.insert(reassembled.end(), part.cells.begin(),
+                           part.cells.end());
+      }
+    }
+    std::sort(reassembled.begin(), reassembled.end());
+    EXPECT_EQ(reassembled, m1.region(r)) << "region " << r;
+  }
+}
+
+TEST(ClusterDeviationTest, IdenticalDataZero) {
+  const data::Dataset d = BlobAt(5.0, 5.0, 200);
+  const cluster::Grid grid(XySchema(), {0, 1}, 10);
+  const cluster::ClusterModel m = Model(d, grid);
+  ClusterDeviationOptions options;
+  EXPECT_NEAR(ClusterDeviation(m, d, m, d, options), 0.0, 1e-12);
+}
+
+TEST(ClusterDeviationTest, MovedBlobDetected) {
+  const data::Dataset d1 = BlobAt(2.0, 2.0, 200);
+  const data::Dataset d2 = BlobAt(8.0, 8.0, 200);
+  const cluster::Grid grid(XySchema(), {0, 1}, 10);
+  const cluster::ClusterModel m1 = Model(d1, grid);
+  const cluster::ClusterModel m2 = Model(d2, grid);
+  ClusterDeviationOptions options;
+  // All mass moved: each remainder differs by its full selectivity => 2.0.
+  EXPECT_NEAR(ClusterDeviation(m1, d1, m2, d2, options), 2.0, 1e-9);
+}
+
+TEST(ClusterDeviationTest, PartialOverlapBetweenZeroAndTwo) {
+  data::Dataset d1 = BlobAt(2.0, 2.0, 150);
+  data::Dataset tail1 = BlobAt(5.0, 5.0, 50);
+  d1.Append(tail1);
+  data::Dataset d2 = BlobAt(2.0, 2.0, 150);
+  data::Dataset tail2 = BlobAt(8.0, 8.0, 50);
+  d2.Append(tail2);
+  const cluster::Grid grid(XySchema(), {0, 1}, 10);
+  const cluster::ClusterModel m1 = Model(d1, grid);
+  const cluster::ClusterModel m2 = Model(d2, grid);
+  ClusterDeviationOptions options;
+  const double deviation = ClusterDeviation(m1, d1, m2, d2, options);
+  EXPECT_GT(deviation, 0.0);
+  EXPECT_LT(deviation, 2.0);
+}
+
+TEST(ClusterDeviationTest, FocusRestrictsToRegion) {
+  const data::Dataset d1 = BlobAt(2.0, 2.0, 200);
+  data::Dataset d2 = BlobAt(2.0, 2.0, 100);
+  data::Dataset moved = BlobAt(8.0, 8.0, 100);
+  d2.Append(moved);
+  const cluster::Grid grid(XySchema(), {0, 1}, 10);
+  const cluster::ClusterModel m1 = Model(d1, grid);
+  const cluster::ClusterModel m2 = Model(d2, grid);
+
+  ClusterDeviationOptions unfocused;
+  const double full = ClusterDeviation(m1, d1, m2, d2, unfocused);
+
+  // Focus on the left half: only the (2,2) blob's change is visible.
+  ClusterDeviationOptions left;
+  left.focus = LessThanPredicate(XySchema(), 0, 5.0);
+  const double left_dev = ClusterDeviation(m1, d1, m2, d2, left);
+  EXPECT_LE(left_dev, full + 1e-12);
+  EXPECT_GT(left_dev, 0.0);
+}
+
+TEST(ClusterDeviationDeathTest, RequiresSameGrid) {
+  const data::Dataset d = BlobAt(5.0, 5.0, 100);
+  const cluster::Grid g10(XySchema(), {0, 1}, 10);
+  const cluster::Grid g8(XySchema(), {0, 1}, 8);
+  const cluster::ClusterModel m1 = Model(d, g10);
+  const cluster::ClusterModel m2 = Model(d, g8);
+  EXPECT_DEATH(ClusterGcr(m1, m2), "grid");
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,129 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_model.h"
+#include "cluster/grid_clustering.h"
+
+namespace focus::cluster {
+namespace {
+
+data::Schema XySchema() {
+  return data::Schema(
+      {data::Schema::Numeric("x", 0.0, 10.0), data::Schema::Numeric("y", 0.0, 10.0)},
+      /*num_classes=*/0);
+}
+
+// Two blobs: one near (2,2), one near (8,8).
+data::Dataset TwoBlobs(int per_blob) {
+  data::Dataset dataset(XySchema());
+  for (int i = 0; i < per_blob; ++i) {
+    const double jitter = (i % 10) * 0.05;
+    dataset.AddRow(std::vector<double>{2.0 + jitter, 2.0 + jitter}, 0);
+    dataset.AddRow(std::vector<double>{8.0 + jitter, 8.0 - jitter}, 0);
+  }
+  return dataset;
+}
+
+TEST(GridTest, CellIndexingRoundTrips) {
+  const Grid grid(XySchema(), {0, 1}, 5);
+  EXPECT_EQ(grid.num_cells(), 25);
+  // (x=2.5, y=7.5) -> bins (1, 3) -> cell 1*5+3 = 8.
+  EXPECT_EQ(grid.CellOf(std::vector<double>{2.5, 7.5}), 8);
+  // Out-of-domain values clamp into boundary bins.
+  EXPECT_EQ(grid.CellOf(std::vector<double>{-5.0, 100.0}), 4);
+}
+
+TEST(GridTest, CellBoxContainsItsPoints) {
+  const Grid grid(XySchema(), {0, 1}, 4);
+  const std::vector<double> point = {3.3, 6.7};
+  const int64_t cell = grid.CellOf(point);
+  EXPECT_TRUE(grid.CellBox(cell).Contains(grid.schema(), point));
+}
+
+TEST(GridTest, NeighborsAreAdjacent) {
+  const Grid grid(XySchema(), {0, 1}, 5);
+  // Interior cell (2,2) = 12 has 4 neighbors.
+  EXPECT_EQ(grid.Neighbors(12).size(), 4u);
+  // Corner cell (0,0) = 0 has 2 neighbors.
+  EXPECT_EQ(grid.Neighbors(0).size(), 2u);
+}
+
+TEST(GridTest, SameShapeComparison) {
+  const Grid a(XySchema(), {0, 1}, 5);
+  const Grid b(XySchema(), {0, 1}, 5);
+  const Grid c(XySchema(), {0, 1}, 6);
+  const Grid d(XySchema(), {0}, 5);
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_FALSE(a.SameShape(c));
+  EXPECT_FALSE(a.SameShape(d));
+}
+
+TEST(CountCellsTest, HistogramsSumToRows) {
+  const data::Dataset dataset = TwoBlobs(50);
+  const Grid grid(XySchema(), {0, 1}, 10);
+  const std::vector<int64_t> counts = CountCells(dataset, grid);
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  EXPECT_EQ(total, dataset.num_rows());
+}
+
+TEST(GridClusteringTest, FindsTwoBlobs) {
+  const data::Dataset dataset = TwoBlobs(100);
+  const Grid grid(XySchema(), {0, 1}, 10);
+  GridClusteringOptions options;
+  options.density_threshold = 0.05;
+  const ClusterModel model = GridClustering(dataset, grid, options);
+  EXPECT_EQ(model.num_regions(), 2);
+  // Both blobs hold half the data each.
+  EXPECT_NEAR(model.selectivity(0), 0.5, 1e-9);
+  EXPECT_NEAR(model.selectivity(1), 0.5, 1e-9);
+  EXPECT_NEAR(model.CoveredSelectivity(), 1.0, 1e-9);
+}
+
+TEST(GridClusteringTest, SparseNoiseExcluded) {
+  data::Dataset dataset = TwoBlobs(100);
+  // A few scattered noise points, below any density threshold.
+  dataset.AddRow(std::vector<double>{5.0, 1.0}, 0);
+  dataset.AddRow(std::vector<double>{1.0, 9.0}, 0);
+  const Grid grid(XySchema(), {0, 1}, 10);
+  GridClusteringOptions options;
+  options.density_threshold = 0.05;
+  const ClusterModel model = GridClustering(dataset, grid, options);
+  EXPECT_EQ(model.num_regions(), 2);
+  EXPECT_LT(model.CoveredSelectivity(), 1.0);
+}
+
+TEST(GridClusteringTest, RegionsAreDisjointSortedCells) {
+  const data::Dataset dataset = TwoBlobs(100);
+  const Grid grid(XySchema(), {0, 1}, 8);
+  GridClusteringOptions options;
+  options.density_threshold = 0.01;
+  const ClusterModel model = GridClustering(dataset, grid, options);
+  std::vector<int64_t> all;
+  for (int r = 0; r < model.num_regions(); ++r) {
+    EXPECT_TRUE(std::is_sorted(model.region(r).begin(), model.region(r).end()));
+    all.insert(all.end(), model.region(r).begin(), model.region(r).end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+}
+
+TEST(GridClusteringTest, ThresholdOneClusterEverythingDense) {
+  // Threshold so low that every non-empty cell is dense.
+  data::Dataset dataset(XySchema());
+  for (int i = 0; i < 100; ++i) {
+    dataset.AddRow(std::vector<double>{i * 0.1, i * 0.1}, 0);  // diagonal line
+  }
+  const Grid grid(XySchema(), {0, 1}, 10);
+  GridClusteringOptions options;
+  options.density_threshold = 1e-9;
+  const ClusterModel model = GridClustering(dataset, grid, options);
+  // Diagonal cells are axis-connected? Diagonal adjacency is NOT
+  // connectivity here, so each diagonal cell is its own cluster.
+  EXPECT_EQ(model.num_regions(), 10);
+  EXPECT_NEAR(model.CoveredSelectivity(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace focus::cluster

@@ -1,0 +1,100 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace focus::common {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  FOCUS_CHECK(true);
+  FOCUS_CHECK_EQ(1, 1);
+  FOCUS_CHECK_LT(1, 2);
+  FOCUS_CHECK_LE(2, 2);
+  FOCUS_CHECK_GT(3, 2);
+  FOCUS_CHECK_GE(3, 3);
+  FOCUS_CHECK_NE(1, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(FOCUS_CHECK(false) << "context " << 42, "context 42");
+  EXPECT_DEATH(FOCUS_CHECK_EQ(1, 2), "FOCUS_CHECK failed");
+}
+
+TEST(EnvTest, DefaultsWhenUnset) {
+  ::unsetenv("FOCUS_TEST_UNSET");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FOCUS_TEST_UNSET", 2.5), 2.5);
+  EXPECT_EQ(GetEnvInt("FOCUS_TEST_UNSET", 7), 7);
+  EXPECT_TRUE(GetEnvBool("FOCUS_TEST_UNSET", true));
+  EXPECT_FALSE(GetEnvBool("FOCUS_TEST_UNSET", false));
+}
+
+TEST(EnvTest, ParsesValues) {
+  ::setenv("FOCUS_TEST_VAL", "3.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FOCUS_TEST_VAL", 0.0), 3.25);
+  ::setenv("FOCUS_TEST_VAL", "12", 1);
+  EXPECT_EQ(GetEnvInt("FOCUS_TEST_VAL", 0), 12);
+  ::setenv("FOCUS_TEST_VAL", "1", 1);
+  EXPECT_TRUE(GetEnvBool("FOCUS_TEST_VAL", false));
+  ::setenv("FOCUS_TEST_VAL", "0", 1);
+  EXPECT_FALSE(GetEnvBool("FOCUS_TEST_VAL", true));
+  ::unsetenv("FOCUS_TEST_VAL");
+}
+
+TEST(EnvTest, MalformedFallsBackToDefault) {
+  ::setenv("FOCUS_TEST_BAD", "xyz", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FOCUS_TEST_BAD", 1.5), 1.5);
+  EXPECT_EQ(GetEnvInt("FOCUS_TEST_BAD", 9), 9);
+  ::unsetenv("FOCUS_TEST_BAD");
+}
+
+TEST(BenchScaleTest, FullOverridesScale) {
+  ::setenv("FOCUS_FULL", "1", 1);
+  ::setenv("FOCUS_SCALE", "0.1", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(20.0), 20.0);
+  ::unsetenv("FOCUS_FULL");
+  EXPECT_DOUBLE_EQ(BenchScale(20.0), 0.1);
+  ::unsetenv("FOCUS_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScale(20.0), 1.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "2.5"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("name   | value"), std::string::npos);
+  EXPECT_NE(rendered.find("longer | 2.5"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NE(table.ToString().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RejectsOverlongRow) {
+  TablePrinter table({"a"});
+  EXPECT_DEATH(table.AddRow({"1", "2"}), "FOCUS_CHECK");
+}
+
+TEST(FormatTest, FormatsNumbers) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(0.5, 4), "0.5000");
+  EXPECT_EQ(FormatInt(12345), "12345");
+  EXPECT_EQ(FormatInt(-7), "-7");
+}
+
+TEST(TimerTest, MeasuresNonNegativeElapsed) {
+  Timer timer;
+  EXPECT_GE(timer.Seconds(), 0.0);
+  timer.Restart();
+  EXPECT_GE(timer.Millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace focus::common

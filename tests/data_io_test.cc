@@ -1,0 +1,92 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/class_gen.h"
+#include "datagen/quest_gen.h"
+#include "io/data_io.h"
+
+namespace focus::io {
+namespace {
+
+TEST(TransactionDbIoTest, RoundTrip) {
+  datagen::QuestParams params;
+  params.num_transactions = 200;
+  params.num_items = 40;
+  params.num_patterns = 10;
+  params.seed = 4;
+  const data::TransactionDb original = datagen::GenerateQuest(params);
+
+  std::stringstream buffer;
+  SaveTransactionDb(original, buffer);
+  const auto loaded = LoadTransactionDb(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_transactions(), original.num_transactions());
+  EXPECT_EQ(loaded->num_items(), original.num_items());
+  for (int64_t t = 0; t < original.num_transactions(); ++t) {
+    const auto a = original.Transaction(t);
+    const auto b = loaded->Transaction(t);
+    ASSERT_EQ(a.size(), b.size()) << "transaction " << t;
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(TransactionDbIoTest, RejectsMalformed) {
+  std::stringstream wrong_magic("something-else\n5 1\n0 1\n");
+  EXPECT_FALSE(LoadTransactionDb(wrong_magic).has_value());
+  std::stringstream item_out_of_range("focus-txns-v1\n5 1\n0 9\n");
+  EXPECT_FALSE(LoadTransactionDb(item_out_of_range).has_value());
+  std::stringstream truncated("focus-txns-v1\n5 3\n0 1\n");
+  EXPECT_FALSE(LoadTransactionDb(truncated).has_value());
+}
+
+TEST(DatasetIoTest, RoundTrip) {
+  datagen::ClassGenParams params;
+  params.num_rows = 150;
+  params.function = datagen::ClassFunction::kF3;
+  params.seed = 4;
+  const data::Dataset original = datagen::GenerateClassification(params);
+
+  std::stringstream buffer;
+  SaveDataset(original, buffer);
+  const auto loaded = LoadDataset(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_rows(), original.num_rows());
+  EXPECT_TRUE(loaded->schema() == original.schema());
+  for (int64_t row = 0; row < original.num_rows(); ++row) {
+    EXPECT_EQ(loaded->Label(row), original.Label(row));
+    for (int a = 0; a < original.num_attributes(); ++a) {
+      EXPECT_DOUBLE_EQ(loaded->At(row, a), original.At(row, a));
+    }
+  }
+}
+
+TEST(DatasetIoTest, RejectsBadLabel) {
+  std::stringstream bad(
+      "focus-data-v1\nfocus-schema-v1\n1 2\nnumeric 0 1 x\n1\n7 0.5\n");
+  EXPECT_FALSE(LoadDataset(bad).has_value());
+}
+
+TEST(DatasetIoTest, RejectsMissingValues) {
+  std::stringstream bad(
+      "focus-data-v1\nfocus-schema-v1\n2 2\nnumeric 0 1 x\nnumeric 0 1 y\n"
+      "1\n0 0.5\n");
+  EXPECT_FALSE(LoadDataset(bad).has_value());
+}
+
+TEST(DataIoFileTest, RoundTripThroughDisk) {
+  datagen::QuestParams params;
+  params.num_transactions = 50;
+  params.num_items = 20;
+  params.num_patterns = 5;
+  const data::TransactionDb db = datagen::GenerateQuest(params);
+  const std::string path = ::testing::TempDir() + "/focus_txns.txt";
+  ASSERT_TRUE(SaveTransactionDbToFile(db, path));
+  const auto loaded = LoadTransactionDbFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_transactions(), db.num_transactions());
+  EXPECT_FALSE(LoadTransactionDbFromFile("/no/such/file").has_value());
+}
+
+}  // namespace
+}  // namespace focus::io

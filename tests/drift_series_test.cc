@@ -1,0 +1,127 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/drift_series.h"
+#include "core/lits_deviation.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+
+namespace focus::core {
+namespace {
+
+TEST(DriftSeriesTest, QuietSeriesNeverFlags) {
+  CusumOptions options;
+  options.warmup = 5;
+  std::vector<double> series;
+  for (int i = 0; i < 40; ++i) {
+    series.push_back(1.0 + 0.01 * ((i * 37) % 10));  // tame wiggle
+  }
+  const auto points = DetectDrift(series, options);
+  for (const DriftPoint& point : points) {
+    EXPECT_FALSE(point.change_point);
+  }
+}
+
+TEST(DriftSeriesTest, StepShiftIsFlaggedOnce) {
+  CusumOptions options;
+  options.warmup = 5;
+  options.decision_threshold = 5.0;
+  std::vector<double> series;
+  for (int i = 0; i < 10; ++i) series.push_back(1.0 + 0.02 * (i % 5));
+  for (int i = 0; i < 10; ++i) series.push_back(2.0 + 0.02 * (i % 5));  // jump
+  const auto points = DetectDrift(series, options);
+  int first_flag = -1;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].change_point) {
+      first_flag = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(first_flag, 10);  // not before the shift
+  EXPECT_LE(first_flag, 13);  // within a few observations after it
+}
+
+TEST(DriftSeriesTest, SlowRampEventuallyFlags) {
+  CusumOptions options;
+  options.warmup = 5;
+  std::vector<double> series;
+  for (int i = 0; i < 5; ++i) series.push_back(1.0 + 0.01 * i);
+  for (int i = 0; i < 30; ++i) series.push_back(1.0 + 0.03 * i);  // ramp
+  const auto points = DetectDrift(series, options);
+  bool flagged = false;
+  for (const DriftPoint& point : points) flagged |= point.change_point;
+  EXPECT_TRUE(flagged);
+}
+
+TEST(DriftSeriesTest, StatisticResetsAfterFlag) {
+  CusumOptions options;
+  options.warmup = 3;
+  options.decision_threshold = 3.0;
+  DeviationCusum detector(options);
+  for (double v : {1.0, 1.02, 0.98}) detector.Observe(v);
+  ASSERT_TRUE(detector.baseline_ready());
+  // Push a massive outlier: flags, then the statistic starts from 0.
+  const DriftPoint flagged = detector.Observe(10.0);
+  EXPECT_TRUE(flagged.change_point);
+  const DriftPoint next = detector.Observe(1.0);
+  EXPECT_FALSE(next.change_point);
+  EXPECT_DOUBLE_EQ(next.cusum, 0.0);
+}
+
+TEST(DriftSeriesTest, ConstantWarmupHandled) {
+  CusumOptions options;
+  options.warmup = 4;
+  DeviationCusum detector(options);
+  for (int i = 0; i < 4; ++i) detector.Observe(2.0);
+  EXPECT_TRUE(detector.baseline_ready());
+  EXPECT_GT(detector.baseline_sd(), 0.0);
+  // A clear jump is still caught.
+  bool flagged = false;
+  for (int i = 0; i < 10; ++i) flagged |= detector.Observe(4.0).change_point;
+  EXPECT_TRUE(flagged);
+}
+
+TEST(DriftSeriesTest, EndToEndOverLitsDeviations) {
+  // Deviation-vs-reference per weekly snapshot; drift begins at week 10.
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.03;
+  auto make_week = [&](uint64_t week, bool drifted) {
+    datagen::QuestParams params;
+    params.num_transactions = 700;
+    params.num_items = 80;
+    params.num_patterns = 25;
+    params.avg_pattern_length = drifted ? 6 : 3;
+    params.avg_transaction_length = 8;
+    params.pattern_seed = drifted ? 5 : 4;
+    params.seed = 100 + week;
+    return datagen::GenerateQuest(params);
+  };
+  const data::TransactionDb reference = make_week(0, false);
+  const lits::LitsModel reference_model = lits::Apriori(reference, apriori);
+
+  std::vector<double> deviations;
+  for (uint64_t week = 1; week <= 16; ++week) {
+    const data::TransactionDb snapshot = make_week(week, week >= 10);
+    const lits::LitsModel model = lits::Apriori(snapshot, apriori);
+    deviations.push_back(core::LitsDeviation(reference_model, reference,
+                                             model, snapshot,
+                                             DeviationFunction{}));
+  }
+  CusumOptions options;
+  options.warmup = 5;
+  const auto points = DetectDrift(deviations, options);
+  int first_flag = -1;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].change_point) {
+      first_flag = static_cast<int>(i);
+      break;
+    }
+  }
+  // Weeks are 1-based in generation, 0-based here; drift starts at index 9.
+  ASSERT_GE(first_flag, 9);
+  EXPECT_LE(first_flag, 11);
+}
+
+}  // namespace
+}  // namespace focus::core

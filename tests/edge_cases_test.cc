@@ -1,0 +1,128 @@
+// Boundary behaviour across the public API: empty models, single-leaf
+// trees, degenerate embeddings, extreme focus regions.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dt_deviation.h"
+#include "core/embedding.h"
+#include "core/lits_deviation.h"
+#include "core/lits_upper_bound.h"
+#include "core/rank.h"
+#include "datagen/class_gen.h"
+#include "tree/cart_builder.h"
+
+namespace focus::core {
+namespace {
+
+TEST(EdgeCaseTest, EmptyLitsModelsHaveZeroDeviation) {
+  data::TransactionDb d1(4);
+  data::TransactionDb d2(4);
+  d1.AddTransaction(std::vector<int32_t>{0});
+  d2.AddTransaction(std::vector<int32_t>{1});
+  const lits::LitsModel empty1(0.9, 1, 4);
+  const lits::LitsModel empty2(0.9, 1, 4);
+  DeviationFunction fn;
+  EXPECT_DOUBLE_EQ(LitsDeviation(empty1, d1, empty2, d2, fn), 0.0);
+  EXPECT_DOUBLE_EQ(LitsUpperBound(empty1, empty2, AggregateKind::kSum), 0.0);
+  EXPECT_TRUE(LitsGcr(empty1, empty2).empty());
+}
+
+TEST(EdgeCaseTest, OneSidedEmptyModelDeviatesByTheOtherSide) {
+  data::TransactionDb d1(3);
+  data::TransactionDb d2(3);
+  for (int i = 0; i < 10; ++i) {
+    d1.AddTransaction(std::vector<int32_t>{0});
+    d2.AddTransaction(std::vector<int32_t>{i % 2 == 0 ? 0 : 1});
+  }
+  lits::LitsModel m1(0.5, 10, 3);
+  m1.Add(lits::Itemset({0}), 1.0);
+  const lits::LitsModel empty(0.5, 10, 3);
+  DeviationFunction fn;
+  // GCR = {{0}}; supports 1.0 vs 0.5 (counted from d2).
+  EXPECT_NEAR(LitsDeviation(m1, d1, empty, d2, fn), 0.5, 1e-12);
+}
+
+TEST(EdgeCaseTest, SingleLeafTreesGcrIsOneCell) {
+  datagen::ClassGenParams params;
+  params.num_rows = 200;
+  params.function = datagen::ClassFunction::kF1;
+  const data::Dataset d = datagen::GenerateClassification(params);
+  dt::DecisionTree t1(d.schema());
+  t1.AddLeafNode({100, 100});
+  dt::DecisionTree t2(d.schema());
+  t2.AddLeafNode({100, 100});
+  const DtModel m1(std::move(t1), d);
+  const DtModel m2(std::move(t2), d);
+  const DtGcr gcr(m1, m2);
+  EXPECT_EQ(gcr.num_regions(), 1);
+  DtDeviationOptions options;
+  EXPECT_NEAR(DtDeviation(m1, d, m2, d, options), 0.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, FocusOutsideTheDataYieldsZero) {
+  datagen::ClassGenParams params;
+  params.num_rows = 500;
+  params.function = datagen::ClassFunction::kF1;
+  params.seed = 1;
+  const data::Dataset d1 = datagen::GenerateClassification(params);
+  params.function = datagen::ClassFunction::kF2;
+  params.seed = 2;
+  const data::Dataset d2 = datagen::GenerateClassification(params);
+  dt::CartOptions cart;
+  cart.max_depth = 3;
+  const DtModel m1(dt::BuildCart(d1, cart), d1);
+  const DtModel m2(dt::BuildCart(d2, cart), d2);
+  DtDeviationOptions options;
+  data::Box nowhere = data::Box::Full(d1.schema());
+  // Age domain is [20, 80]; focus far outside it.
+  nowhere.ClampNumeric(datagen::ClassGenColumns::kAge, 500.0, 600.0);
+  options.focus = nowhere;
+  EXPECT_DOUBLE_EQ(DtDeviation(m1, d1, m2, d2, options), 0.0);
+}
+
+TEST(EdgeCaseTest, RankWithNoCandidateRegions) {
+  datagen::ClassGenParams params;
+  params.num_rows = 300;
+  params.function = datagen::ClassFunction::kF1;
+  const data::Dataset d = datagen::GenerateClassification(params);
+  dt::CartOptions cart;
+  cart.max_depth = 2;
+  const DtModel m(dt::BuildCart(d, cart), d);
+  const auto ranked =
+      RankDtRegions(BoxSet{}, m, d, m, d, DeviationFunction{});
+  EXPECT_TRUE(ranked.empty());
+}
+
+TEST(EdgeCaseTest, FastMapMoreDimsThanInformation) {
+  // 2 objects cannot support 3 informative dimensions; extra dims are 0.
+  std::vector<std::vector<double>> d = {{0.0, 4.0}, {4.0, 0.0}};
+  const FastMapResult r = FastMapEmbedding(d, 3);
+  EXPECT_NEAR(EmbeddedDistance(r.coordinates[0], r.coordinates[1]), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.coordinates[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(r.coordinates[0][2], 0.0);
+}
+
+TEST(EdgeCaseTest, SingleObjectEmbedding) {
+  const std::vector<std::vector<double>> d = {{0.0}};
+  const FastMapResult r = FastMapEmbedding(d, 2);
+  ASSERT_EQ(r.coordinates.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.coordinates[0][0], 0.0);
+}
+
+TEST(EdgeCaseDeathTest, LitsDeviationRejectsEmptyDatabase) {
+  const data::TransactionDb empty(4);
+  data::TransactionDb d(4);
+  d.AddTransaction(std::vector<int32_t>{0});
+  lits::LitsModel m1(0.5, 1, 4);
+  m1.Add(lits::Itemset({0}), 1.0);
+  lits::LitsModel m2(0.5, 1, 4);
+  m2.Add(lits::Itemset({1}), 1.0);
+  DeviationFunction fn;
+  // Counting over an empty database has no defined selectivity.
+  EXPECT_DEATH(LitsDeviation(m1, empty, m2, d, fn), "FOCUS_CHECK");
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,125 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/embedding.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+
+namespace focus::core {
+namespace {
+
+TEST(FastMapTest, PerfectLineIsRecoveredInOneDimension) {
+  // Objects at positions 0, 1, 3, 7 on a line.
+  const std::vector<double> positions = {0.0, 1.0, 3.0, 7.0};
+  std::vector<std::vector<double>> d(4, std::vector<double>(4));
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) d[i][j] = std::fabs(positions[i] - positions[j]);
+  }
+  const FastMapResult result = FastMapEmbedding(d, 1);
+  // Pairwise embedded distances must match the originals exactly.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(EmbeddedDistance(result.coordinates[i],
+                                   result.coordinates[j]),
+                  d[i][j], 1e-9);
+    }
+  }
+}
+
+TEST(FastMapTest, IdenticalObjectsCollapse) {
+  std::vector<std::vector<double>> d(3, std::vector<double>(3, 0.0));
+  const FastMapResult result = FastMapEmbedding(d, 2);
+  for (int i = 0; i < 3; ++i) {
+    for (double c : result.coordinates[i]) EXPECT_DOUBLE_EQ(c, 0.0);
+  }
+}
+
+TEST(FastMapTest, PreservesClusterStructureOfLitsModels) {
+  // 6 datasets: 3 from process A, 3 from process B. In the embedded
+  // space, same-process pairs must be closer than cross-process pairs.
+  std::vector<lits::LitsModel> models;
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.03;
+  for (int i = 0; i < 6; ++i) {
+    datagen::QuestParams params;
+    params.num_transactions = 800;
+    params.num_items = 80;
+    params.num_patterns = 20;
+    params.avg_pattern_length = i < 3 ? 3 : 6;
+    params.pattern_seed = i < 3 ? 7 : 8;
+    params.seed = 100 + static_cast<uint64_t>(i);
+    models.push_back(
+        lits::Apriori(datagen::GenerateQuest(params), apriori));
+  }
+  const auto matrix = LitsUpperBoundMatrix(models, AggregateKind::kSum);
+  const FastMapResult embedded = FastMapEmbedding(matrix, 2);
+
+  double max_within = 0.0;
+  double min_across = 1e300;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      const double distance = EmbeddedDistance(embedded.coordinates[i],
+                                               embedded.coordinates[j]);
+      const bool same_group = (i < 3) == (j < 3);
+      if (same_group) {
+        max_within = std::max(max_within, distance);
+      } else {
+        min_across = std::min(min_across, distance);
+      }
+    }
+  }
+  EXPECT_LT(max_within, min_across);
+}
+
+TEST(FastMapTest, ResidualsShrinkWithDimensions) {
+  // Random-ish metric from points in 3-D; 3 dimensions should capture it
+  // much better than 1.
+  std::vector<std::vector<double>> points = {
+      {0, 0, 0}, {1, 0, 0}, {0, 2, 0}, {0, 0, 3}, {1, 2, 3}, {2, 1, 0}};
+  const int n = static_cast<int>(points.size());
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        s += (points[i][k] - points[j][k]) * (points[i][k] - points[j][k]);
+      }
+      d[i][j] = std::sqrt(s);
+    }
+  }
+  auto stress = [&](int dims) {
+    const FastMapResult r = FastMapEmbedding(d, dims);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double e =
+            EmbeddedDistance(r.coordinates[i], r.coordinates[j]) - d[i][j];
+        total += e * e;
+      }
+    }
+    return total;
+  };
+  EXPECT_LT(stress(3), stress(1) + 1e-12);
+}
+
+TEST(LitsUpperBoundMatrixTest, SymmetricZeroDiagonal) {
+  std::vector<lits::LitsModel> models;
+  for (int i = 0; i < 3; ++i) {
+    lits::LitsModel model(0.1, 100, 5);
+    model.Add(lits::Itemset({i}), 0.5);
+    models.push_back(std::move(model));
+  }
+  const auto matrix = LitsUpperBoundMatrix(models, AggregateKind::kSum);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i][i], 0.0);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(matrix[0][1], 1.0);  // disjoint singleton supports
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,94 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/focus_region.h"
+#include "datagen/class_gen.h"
+#include "tree/decision_tree.h"
+
+namespace focus::core {
+namespace {
+
+using Cols = datagen::ClassGenColumns;
+
+TEST(FocusRegionTest, NumericPredicateBounds) {
+  const data::Schema schema = datagen::ClassGenSchema();
+  const data::Box band = NumericPredicate(schema, Cols::kAge, 30.0, 50.0);
+  std::vector<double> row(9, 0.0);
+  row[Cols::kElevel] = 0;
+  row[Cols::kCar] = 0;
+  row[Cols::kZipcode] = 0;
+  row[Cols::kAge] = 40.0;
+  EXPECT_TRUE(band.Contains(schema, row));
+  row[Cols::kAge] = 50.0;
+  EXPECT_FALSE(band.Contains(schema, row));  // half-open on the right
+  row[Cols::kAge] = 30.0;
+  EXPECT_TRUE(band.Contains(schema, row));  // closed on the left
+}
+
+TEST(FocusRegionTest, LessThanAndAtLeastComplementEachOther) {
+  const data::Schema schema = datagen::ClassGenSchema();
+  const data::Box young = LessThanPredicate(schema, Cols::kAge, 40.0);
+  const data::Box old = AtLeastPredicate(schema, Cols::kAge, 40.0);
+  std::vector<double> row(9, 0.0);
+  for (double age : {20.0, 39.99, 40.0, 79.0}) {
+    row[Cols::kAge] = age;
+    EXPECT_NE(young.Contains(schema, row), old.Contains(schema, row))
+        << "age " << age;
+  }
+  // The two halves are geometrically disjoint.
+  EXPECT_TRUE(young.Intersect(old).IsEmpty(schema));
+}
+
+TEST(FocusRegionTest, CategoryPredicateMask) {
+  const data::Schema schema = datagen::ClassGenSchema();
+  const data::Box low_ed = CategoryPredicate(schema, Cols::kElevel, {0, 1});
+  std::vector<double> row(9, 0.0);
+  row[Cols::kElevel] = 1.0;
+  EXPECT_TRUE(low_ed.Contains(schema, row));
+  row[Cols::kElevel] = 2.0;
+  EXPECT_FALSE(low_ed.Contains(schema, row));
+}
+
+TEST(FocusRegionTest, PredicatesCompose) {
+  const data::Schema schema = datagen::ClassGenSchema();
+  const data::Box combined =
+      NumericPredicate(schema, Cols::kAge, 30.0, 50.0)
+          .Intersect(CategoryPredicate(schema, Cols::kElevel, {2, 3, 4}))
+          .Intersect(LessThanPredicate(schema, Cols::kSalary, 100000.0));
+  std::vector<double> row(9, 0.0);
+  row[Cols::kAge] = 40.0;
+  row[Cols::kElevel] = 3.0;
+  row[Cols::kSalary] = 80000.0;
+  EXPECT_TRUE(combined.Contains(schema, row));
+  row[Cols::kSalary] = 120000.0;
+  EXPECT_FALSE(combined.Contains(schema, row));
+}
+
+TEST(FocusRegionDeathTest, RejectsWrongAttributeKind) {
+  const data::Schema schema = datagen::ClassGenSchema();
+  EXPECT_DEATH(NumericPredicate(schema, Cols::kElevel, 0.0, 1.0),
+               "FOCUS_CHECK");
+  EXPECT_DEATH(CategoryPredicate(schema, Cols::kAge, {0}), "FOCUS_CHECK");
+}
+
+TEST(FocusRegionDeathTest, RejectsOutOfRangeCategory) {
+  const data::Schema schema = datagen::ClassGenSchema();
+  EXPECT_DEATH(CategoryPredicate(schema, Cols::kElevel, {7}), "FOCUS_CHECK");
+}
+
+TEST(DecisionTreeToStringTest, MentionsSplitsAndLeaves) {
+  data::Schema schema({data::Schema::Numeric("age", 0.0, 100.0)}, 2);
+  dt::DecisionTree tree(schema);
+  const int root = tree.AddInternalNode(0, 42.0, 0);
+  const int left = tree.AddLeafNode({3, 1});
+  const int right = tree.AddLeafNode({0, 7});
+  tree.SetChildren(root, left, right);
+  const std::string text = tree.ToString();
+  EXPECT_NE(text.find("age < 42"), std::string::npos);
+  EXPECT_NE(text.find("leaf#0 counts=[3,1]"), std::string::npos);
+  EXPECT_NE(text.find("leaf#1 counts=[0,7]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,108 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "itemsets/fp_growth.h"
+
+namespace focus::lits {
+namespace {
+
+data::TransactionDb TinyDb() {
+  data::TransactionDb db(5);
+  db.AddTransaction(std::vector<int32_t>{0, 1, 2});
+  db.AddTransaction(std::vector<int32_t>{0, 1});
+  db.AddTransaction(std::vector<int32_t>{0, 2});
+  db.AddTransaction(std::vector<int32_t>{1, 2, 3});
+  db.AddTransaction(std::vector<int32_t>{0, 1, 2, 3});
+  return db;
+}
+
+void ExpectSameModel(const LitsModel& a, const LitsModel& b,
+                     const std::string& context) {
+  EXPECT_EQ(a.size(), b.size()) << context;
+  for (const auto& [itemset, support] : a.supports()) {
+    EXPECT_NEAR(b.SupportOr(itemset, -1.0), support, 1e-12)
+        << context << " itemset " << itemset.ToString();
+  }
+}
+
+TEST(FpGrowthTest, MatchesAprioriOnTinyDb) {
+  for (const double min_support : {0.2, 0.4, 0.6, 0.8}) {
+    AprioriOptions options;
+    options.min_support = min_support;
+    ExpectSameModel(Apriori(TinyDb(), options), FpGrowth(TinyDb(), options),
+                    "minsup " + std::to_string(min_support));
+  }
+}
+
+TEST(FpGrowthTest, MatchesAprioriOnGeneratedData) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    datagen::QuestParams params;
+    params.num_transactions = 600;
+    params.num_items = 60;
+    params.num_patterns = 15;
+    params.avg_pattern_length = 3 + seed % 3;
+    params.avg_transaction_length = 8;
+    params.seed = seed;
+    const data::TransactionDb db = datagen::GenerateQuest(params);
+    for (const double min_support : {0.02, 0.05, 0.1}) {
+      AprioriOptions options;
+      options.min_support = min_support;
+      ExpectSameModel(Apriori(db, options), FpGrowth(db, options),
+                      "seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(FpGrowthTest, RespectsMaxItemsetSize) {
+  AprioriOptions options;
+  options.min_support = 0.2;
+  options.max_itemset_size = 2;
+  const LitsModel model = FpGrowth(TinyDb(), options);
+  for (const auto& [itemset, support] : model.supports()) {
+    EXPECT_LE(itemset.size(), 2);
+  }
+  // Same count as Apriori with the same cap.
+  EXPECT_EQ(model.size(), Apriori(TinyDb(), options).size());
+}
+
+TEST(FpGrowthTest, RespectsAbsoluteCountFloor) {
+  data::TransactionDb db(6);
+  db.AddTransaction(std::vector<int32_t>{0, 1});
+  db.AddTransaction(std::vector<int32_t>{0, 1});
+  db.AddTransaction(std::vector<int32_t>{2});
+  db.AddTransaction(std::vector<int32_t>{3});
+  AprioriOptions options;
+  options.min_support = 0.01;  // degenerate; the floor must kick in
+  const LitsModel model = FpGrowth(db, options);
+  EXPECT_TRUE(model.Contains(Itemset({0, 1})));
+  EXPECT_FALSE(model.Contains(Itemset({2})));
+}
+
+TEST(FpGrowthTest, EmptyModelWhenNothingFrequent) {
+  data::TransactionDb db(8);
+  for (int32_t i = 0; i < 8; ++i) {
+    db.AddTransaction(std::vector<int32_t>{i});
+  }
+  AprioriOptions options;
+  options.min_support = 0.5;
+  EXPECT_EQ(FpGrowth(db, options).size(), 0);
+}
+
+TEST(FpGrowthTest, DenseDbDeepItemsets) {
+  // Every transaction is identical: all subsets of {0,1,2,3} frequent.
+  data::TransactionDb db(4);
+  for (int i = 0; i < 10; ++i) {
+    db.AddTransaction(std::vector<int32_t>{0, 1, 2, 3});
+  }
+  AprioriOptions options;
+  options.min_support = 0.9;
+  const LitsModel model = FpGrowth(db, options);
+  EXPECT_EQ(model.size(), 15);  // 2^4 - 1
+  EXPECT_DOUBLE_EQ(model.SupportOr(Itemset({0, 1, 2, 3}), -1), 1.0);
+}
+
+}  // namespace
+}  // namespace focus::lits

@@ -1,0 +1,163 @@
+// The framework's central claim: the difference function f and aggregate
+// g are MODEL-INDEPENDENT parameters (§3.3.2). These tests exercise
+// combinations the paper never shows explicitly — e.g. the chi-squared f
+// over lits-models, f_s over dt-models, custom f everywhere — to pin
+// that every instantiation composes with every model class.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/grid_clustering.h"
+#include "core/cluster_deviation.h"
+#include "core/dt_deviation.h"
+#include "core/lits_deviation.h"
+#include "datagen/class_gen.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "tree/cart_builder.h"
+
+namespace focus::core {
+namespace {
+
+struct LitsFixture {
+  data::TransactionDb d1{0};
+  data::TransactionDb d2{0};
+  lits::LitsModel m1;
+  lits::LitsModel m2;
+
+  static LitsFixture Make() {
+    LitsFixture fixture;
+    datagen::QuestParams params;
+    params.num_transactions = 600;
+    params.num_items = 60;
+    params.num_patterns = 15;
+    params.avg_pattern_length = 3;
+    params.avg_transaction_length = 8;
+    params.seed = 1;
+    fixture.d1 = datagen::GenerateQuest(params);
+    params.avg_pattern_length = 5;
+    params.seed = 2;
+    fixture.d2 = datagen::GenerateQuest(params);
+    lits::AprioriOptions options;
+    options.min_support = 0.03;
+    fixture.m1 = lits::Apriori(fixture.d1, options);
+    fixture.m2 = lits::Apriori(fixture.d2, options);
+    return fixture;
+  }
+};
+
+TEST(FrameworkGeneralityTest, ChiSquaredDiffOverLitsModels) {
+  // The paper instantiates chi-squared for dt-models only (§5.2.2), but f
+  // is model-independent: plugging it into the lits deviation must work
+  // and behave like a goodness-of-fit statistic (0 for identical data,
+  // positive for different data).
+  const LitsFixture fx = LitsFixture::Make();
+  DeviationFunction fn{ChiSquaredDiff(0.5), AggregateKind::kSum};
+  const double self = LitsDeviation(fx.m1, fx.d1, fx.m1, fx.d1, fn);
+  const double cross = LitsDeviation(fx.m1, fx.d1, fx.m2, fx.d2, fn);
+  EXPECT_DOUBLE_EQ(self, 0.0);
+  EXPECT_GT(cross, 0.0);
+}
+
+TEST(FrameworkGeneralityTest, ScaledDiffOverDtModels) {
+  datagen::ClassGenParams params;
+  params.num_rows = 2000;
+  params.function = datagen::ClassFunction::kF2;
+  params.seed = 1;
+  const data::Dataset d1 = datagen::GenerateClassification(params);
+  params.function = datagen::ClassFunction::kF3;
+  params.seed = 2;
+  const data::Dataset d2 = datagen::GenerateClassification(params);
+  dt::CartOptions cart;
+  cart.max_depth = 4;
+  const DtModel m1(dt::BuildCart(d1, cart), d1);
+  const DtModel m2(dt::BuildCart(d2, cart), d2);
+
+  DtDeviationOptions options;
+  options.fn = {ScaledDiff(), AggregateKind::kMax};
+  const double cross = DtDeviation(m1, d1, m2, d2, options);
+  EXPECT_GT(cross, 0.0);
+  EXPECT_LE(cross, 2.0 + 1e-12);  // f_s is bounded by 2
+  EXPECT_NEAR(DtDeviation(m1, d1, m1, d1, options), 0.0, 1e-12);
+}
+
+TEST(FrameworkGeneralityTest, CustomDifferenceFunctionEverywhere) {
+  // A user-defined f: squared selectivity difference.
+  const DiffFn squared = [](double c1, double c2, double n1, double n2) {
+    const double diff = c1 / n1 - c2 / n2;
+    return diff * diff;
+  };
+  const LitsFixture fx = LitsFixture::Make();
+  DeviationFunction fn{squared, AggregateKind::kSum};
+  const double lits_dev = LitsDeviation(fx.m1, fx.d1, fx.m2, fx.d2, fn);
+  EXPECT_GT(lits_dev, 0.0);
+
+  // Same f over cluster-models.
+  const data::Schema schema(
+      {data::Schema::Numeric("x", 0.0, 10.0), data::Schema::Numeric("y", 0.0, 10.0)},
+      0);
+  data::Dataset c1(schema);
+  data::Dataset c2(schema);
+  for (int i = 0; i < 200; ++i) {
+    const double jitter = (i % 7) * 0.05;
+    c1.AddRow(std::vector<double>{2.0 + jitter, 2.0 + jitter}, 0);
+    c2.AddRow(std::vector<double>{7.0 + jitter, 7.0 + jitter}, 0);
+  }
+  const cluster::Grid grid(schema, {0, 1}, 10);
+  cluster::GridClusteringOptions clustering;
+  clustering.density_threshold = 0.02;
+  const cluster::ClusterModel cm1 = cluster::GridClustering(c1, grid, clustering);
+  const cluster::ClusterModel cm2 = cluster::GridClustering(c2, grid, clustering);
+  ClusterDeviationOptions cluster_options;
+  cluster_options.fn = fn;
+  EXPECT_GT(ClusterDeviation(cm1, c1, cm2, c2, cluster_options), 0.0);
+}
+
+TEST(FrameworkGeneralityTest, MaxAggregateBoundsSumAggregate) {
+  // g_max <= g_sum for non-negative per-region differences, across model
+  // classes — a structural sanity relation between the two aggregates.
+  const LitsFixture fx = LitsFixture::Make();
+  DeviationFunction sum_fn{AbsoluteDiff(), AggregateKind::kSum};
+  DeviationFunction max_fn{AbsoluteDiff(), AggregateKind::kMax};
+  EXPECT_LE(LitsDeviation(fx.m1, fx.d1, fx.m2, fx.d2, max_fn),
+            LitsDeviation(fx.m1, fx.d1, fx.m2, fx.d2, sum_fn) + 1e-12);
+}
+
+TEST(FrameworkGeneralityTest, FsNotMonotoneUnderFocusIsPossible) {
+  // §5 remarks delta^R is monotone in R for f_a but NOT necessarily for
+  // f_s. Construct the counterexample: a region where the relative change
+  // is huge but the absolute mass tiny.
+  data::TransactionDb d1(3);
+  data::TransactionDb d2(3);
+  // Item 0: 50% vs 55% (small relative change). Item 1: 1% vs 5% in d2
+  // only (maximal relative change).
+  for (int i = 0; i < 100; ++i) {
+    d1.AddTransaction(std::vector<int32_t>{i < 50 ? 0 : 2});
+    d2.AddTransaction(std::vector<int32_t>{i < 55 ? 0 : (i < 60 ? 1 : 2)});
+  }
+  d1.AddTransaction(std::vector<int32_t>{1});  // sup(1, d1) ~ 1%
+
+  lits::LitsModel m1(0.005, d1.num_transactions(), 3);
+  m1.Add(lits::Itemset({0}), 50.0 / 101.0);
+  m1.Add(lits::Itemset({1}), 1.0 / 101.0);
+  lits::LitsModel m2(0.005, d2.num_transactions(), 3);
+  m2.Add(lits::Itemset({0}), 0.55);
+  m2.Add(lits::Itemset({1}), 0.05);
+
+  DeviationFunction fs_max{ScaledDiff(), AggregateKind::kMax};
+  // Focus on {1} alone: the scaled deviation there EXCEEDS the scaled
+  // deviation focussed on the larger region {0} — non-monotone ranking
+  // relative to region size.
+  const double only_0 = LitsDeviationFocused(
+      m1, d1, m2, d2, [](const lits::Itemset& x) { return x == lits::Itemset({0}); },
+      fs_max);
+  const double only_1 = LitsDeviationFocused(
+      m1, d1, m2, d2, [](const lits::Itemset& x) { return x == lits::Itemset({1}); },
+      fs_max);
+  EXPECT_GT(only_1, only_0);
+}
+
+}  // namespace
+}  // namespace focus::core

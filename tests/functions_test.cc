@@ -1,0 +1,71 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/functions.h"
+
+namespace focus::core {
+namespace {
+
+TEST(AbsoluteDiffTest, MatchesDefinition) {
+  const DiffFn f = AbsoluteDiff();
+  // f_a(c1, c2, n1, n2) = |c1/n1 - c2/n2|.
+  EXPECT_DOUBLE_EQ(f(50, 10, 100, 100), 0.4);
+  EXPECT_DOUBLE_EQ(f(50, 25, 100, 50), 0.0);
+  EXPECT_DOUBLE_EQ(f(0, 0, 10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(f(0, 5, 10, 100), 0.05);
+}
+
+TEST(ScaledDiffTest, MatchesDefinition) {
+  const DiffFn f = ScaledDiff();
+  // s1=0.5, s2=0.55 -> |diff| / mean = 0.05 / 0.525.
+  EXPECT_NEAR(f(50, 55, 100, 100), 0.05 / 0.525, 1e-12);
+  // Both zero counts -> 0 by definition.
+  EXPECT_DOUBLE_EQ(f(0, 0, 100, 100), 0.0);
+  // s1=0, s2=0.05: scaled diff = 0.05 / 0.025 = 2 (maximal relative change).
+  EXPECT_NEAR(f(0, 5, 100, 100), 2.0, 1e-12);
+}
+
+TEST(ScaledDiffTest, EmphasizesAppearanceOverGrowth) {
+  const DiffFn fs = ScaledDiff();
+  const DiffFn fa = AbsoluteDiff();
+  // The paper's §3.3.2 example: X1 moves 50% -> 55%, X2 moves 0% -> 5%.
+  const double x1_scaled = fs(50, 55, 100, 100);
+  const double x2_scaled = fs(0, 5, 100, 100);
+  EXPECT_GT(x2_scaled, x1_scaled);  // appearance is more significant
+  EXPECT_NEAR(fa(50, 55, 100, 100), fa(0, 5, 100, 100), 1e-12);  // f_a: equal
+}
+
+TEST(ChiSquaredDiffTest, MatchesProposition51) {
+  const DiffFn f = ChiSquaredDiff(0.5);
+  // s1 = 0.5 from D1 (n1=100), s2 = 0.4 from D2 (n2=200):
+  // n2 * (s1-s2)^2 / s1 = 200 * 0.01 / 0.5 = 4.
+  EXPECT_NEAR(f(50, 80, 100, 200), 4.0, 1e-12);
+  // Zero expected measure contributes the constant c.
+  EXPECT_DOUBLE_EQ(f(0, 10, 100, 200), 0.5);
+}
+
+TEST(AggregateTest, SumAndMax) {
+  const std::vector<double> values = {0.4, 0.1, 0.4, 0.2, 0.15};
+  EXPECT_NEAR(AggregateValues(AggregateKind::kSum, values), 1.25, 1e-12);
+  EXPECT_DOUBLE_EQ(AggregateValues(AggregateKind::kMax, values), 0.4);
+}
+
+TEST(AggregateTest, EmptySetAggregatesToZero) {
+  EXPECT_DOUBLE_EQ(AggregateValues(AggregateKind::kSum, {}), 0.0);
+  EXPECT_DOUBLE_EQ(AggregateValues(AggregateKind::kMax, {}), 0.0);
+}
+
+TEST(AggregateTest, Names) {
+  EXPECT_EQ(ToString(AggregateKind::kSum), "g_sum");
+  EXPECT_EQ(ToString(AggregateKind::kMax), "g_max");
+}
+
+TEST(DeviationFunctionTest, DefaultIsAbsoluteSum) {
+  const DeviationFunction fn;
+  EXPECT_EQ(fn.g, AggregateKind::kSum);
+  EXPECT_DOUBLE_EQ(fn.f(30, 10, 100, 100), 0.2);
+}
+
+}  // namespace
+}  // namespace focus::core

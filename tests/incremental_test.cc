@@ -1,0 +1,117 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "itemsets/incremental.h"
+
+namespace focus::lits {
+namespace {
+
+data::TransactionDb GenBlock(uint64_t seed, int64_t n,
+                             double pattern_length = 3,
+                             uint64_t pattern_seed = 99) {
+  datagen::QuestParams params;
+  params.num_transactions = n;
+  params.num_items = 60;
+  params.num_patterns = 15;
+  params.avg_pattern_length = pattern_length;
+  params.avg_transaction_length = 8;
+  params.seed = seed;
+  params.pattern_seed = pattern_seed;
+  return datagen::GenerateQuest(params);
+}
+
+void ExpectModelsEqual(const LitsModel& incremental, const LitsModel& batch) {
+  EXPECT_EQ(incremental.size(), batch.size());
+  for (const auto& [itemset, support] : batch.supports()) {
+    EXPECT_NEAR(incremental.SupportOr(itemset, -1.0), support, 1e-12)
+        << itemset.ToString();
+  }
+}
+
+TEST(IncrementalMinerTest, MatchesBatchAfterOneAppend) {
+  const data::TransactionDb initial = GenBlock(1, 800);
+  const data::TransactionDb block = GenBlock(2, 200);
+
+  AprioriOptions options;
+  options.min_support = 0.03;
+  IncrementalMiner miner(initial, options);
+  miner.Append(block);
+
+  data::TransactionDb full = initial;
+  full.Append(block);
+  ExpectModelsEqual(miner.model(), Apriori(full, options));
+  EXPECT_EQ(miner.database().num_transactions(), 1000);
+}
+
+TEST(IncrementalMinerTest, MatchesBatchAcrossManyAppends) {
+  const data::TransactionDb initial = GenBlock(1, 500);
+  AprioriOptions options;
+  options.min_support = 0.04;
+  IncrementalMiner miner(initial, options);
+
+  data::TransactionDb full = initial;
+  for (uint64_t step = 0; step < 5; ++step) {
+    // Alternate same-process and drifting blocks of varying size.
+    const data::TransactionDb block =
+        GenBlock(10 + step, 100 + 40 * step,
+                 step % 2 == 0 ? 3 : 5, step % 2 == 0 ? 99 : 7);
+    miner.Append(block);
+    full.Append(block);
+    ExpectModelsEqual(miner.model(), Apriori(full, options));
+  }
+}
+
+TEST(IncrementalMinerTest, SameProcessBlocksNeedFewCandidateScans) {
+  const data::TransactionDb initial = GenBlock(1, 1000);
+  AprioriOptions options;
+  options.min_support = 0.05;
+  IncrementalMiner miner(initial, options);
+  for (uint64_t step = 0; step < 4; ++step) {
+    miner.Append(GenBlock(20 + step, 100));
+  }
+  // Some appends may surface winner candidates, but the count is bounded
+  // by the number of appends.
+  EXPECT_LE(miner.old_database_scans(), 4);
+}
+
+TEST(IncrementalMinerTest, DriftIsReflectedInTheModel) {
+  const data::TransactionDb initial = GenBlock(1, 400);
+  AprioriOptions options;
+  options.min_support = 0.05;
+  IncrementalMiner miner(initial, options);
+  const int64_t before = miner.model().size();
+  // Massive drifted block with longer patterns: the model must change.
+  miner.Append(GenBlock(50, 1200, 6, 7));
+  data::TransactionDb full = initial;
+  full.Append(GenBlock(50, 1200, 6, 7));
+  ExpectModelsEqual(miner.model(), Apriori(full, options));
+  EXPECT_NE(miner.model().size(), before);
+}
+
+TEST(IncrementalMinerTest, ThresholdFloorRespected) {
+  // Tiny initial database: the absolute-count floor applies identically
+  // to batch and incremental mining.
+  data::TransactionDb initial(5);
+  initial.AddTransaction(std::vector<int32_t>{0, 1});
+  initial.AddTransaction(std::vector<int32_t>{0, 1});
+  initial.AddTransaction(std::vector<int32_t>{2});
+  AprioriOptions options;
+  options.min_support = 0.01;
+  IncrementalMiner miner(initial, options);
+  data::TransactionDb block(5);
+  block.AddTransaction(std::vector<int32_t>{2});
+  block.AddTransaction(std::vector<int32_t>{3, 4});
+  miner.Append(block);
+
+  data::TransactionDb full = initial;
+  full.Append(block);
+  ExpectModelsEqual(miner.model(), Apriori(full, options));
+  EXPECT_TRUE(miner.model().Contains(Itemset({2})));   // now appears twice
+  EXPECT_FALSE(miner.model().Contains(Itemset({3})));  // still once
+}
+
+}  // namespace
+}  // namespace focus::lits

@@ -1,0 +1,143 @@
+// End-to-end flows across modules: generate -> mine/train -> deviate ->
+// qualify, mirroring how the examples and the paper's experiments use the
+// library.
+
+#include <gtest/gtest.h>
+
+#include "focus/focus.h"
+
+namespace focus {
+namespace {
+
+TEST(IntegrationTest, LitsPipelineEndToEnd) {
+  // Two snapshot datasets from slightly different processes.
+  datagen::QuestParams params;
+  params.num_transactions = 1500;
+  params.num_items = 100;
+  params.num_patterns = 30;
+  params.avg_pattern_length = 3;
+  params.avg_transaction_length = 10;
+  params.seed = 1;
+  const data::TransactionDb d1 = datagen::GenerateQuest(params);
+  params.avg_pattern_length = 5;  // drift in pattern length
+  params.seed = 2;
+  const data::TransactionDb d2 = datagen::GenerateQuest(params);
+
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.02;
+  const lits::LitsModel m1 = lits::Apriori(d1, apriori);
+  const lits::LitsModel m2 = lits::Apriori(d2, apriori);
+
+  core::DeviationFunction fn;
+  const double deviation = core::LitsDeviation(m1, d1, m2, d2, fn);
+  const double bound = core::LitsUpperBound(m1, m2, core::AggregateKind::kSum);
+  EXPECT_GT(deviation, 0.0);
+  EXPECT_GE(bound, deviation - 1e-12);
+
+  // Ranked drill-down into the most-changed itemsets.
+  const auto ranked = core::RankLitsRegions(core::LitsGcr(m1, m2), m1, d1, m2,
+                                            d2, core::AbsoluteDiff());
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_GE(ranked.front().deviation, ranked.back().deviation);
+}
+
+TEST(IntegrationTest, DtPipelineEndToEnd) {
+  datagen::ClassGenParams params;
+  params.num_rows = 3000;
+  params.function = datagen::ClassFunction::kF2;
+  params.seed = 1;
+  const data::Dataset d1 = datagen::GenerateClassification(params);
+  params.function = datagen::ClassFunction::kF4;
+  params.seed = 2;
+  const data::Dataset d2 = datagen::GenerateClassification(params);
+
+  dt::CartOptions cart;
+  cart.max_depth = 5;
+  cart.min_leaf_size = 40;
+  const core::DtModel m1(dt::BuildCart(d1, cart), d1);
+  const core::DtModel m2(dt::BuildCart(d2, cart), d2);
+
+  core::DtDeviationOptions options;
+  const double deviation = core::DtDeviation(m1, d1, m2, d2, options);
+  EXPECT_GT(deviation, 0.0);
+
+  // Deviation correlates with misclassification (Figure 15's shape):
+  // identical data has both ~0.
+  const double me = core::MisclassificationError(m1.tree(), d2);
+  EXPECT_GT(me, 0.0);
+
+  core::DtDeviationOptions self_options;
+  EXPECT_NEAR(core::DtDeviation(m1, d1, m1, d1, self_options), 0.0, 1e-12);
+  EXPECT_LT(core::MisclassificationError(m1.tree(), d1), me);
+}
+
+TEST(IntegrationTest, ClusterPipelineEndToEnd) {
+  const data::Schema schema(
+      {data::Schema::Numeric("x", 0.0, 10.0), data::Schema::Numeric("y", 0.0, 10.0)},
+      0);
+  data::Dataset d1(schema);
+  data::Dataset d2(schema);
+  for (int i = 0; i < 300; ++i) {
+    const double jitter = (i % 10) * 0.04;
+    d1.AddRow(std::vector<double>{2.0 + jitter, 2.0 + jitter}, 0);
+    d2.AddRow(std::vector<double>{(i % 2 == 0) ? 2.0 + jitter : 7.5 + jitter,
+                                  2.0 + jitter},
+              0);
+  }
+  const cluster::Grid grid(schema, {0, 1}, 10);
+  cluster::GridClusteringOptions clustering;
+  clustering.density_threshold = 0.02;
+  const cluster::ClusterModel m1 = cluster::GridClustering(d1, grid, clustering);
+  const cluster::ClusterModel m2 = cluster::GridClustering(d2, grid, clustering);
+
+  core::ClusterDeviationOptions options;
+  const double deviation = core::ClusterDeviation(m1, d1, m2, d2, options);
+  EXPECT_GT(deviation, 0.4);  // half the mass moved
+}
+
+TEST(IntegrationTest, SnapshotGrowthMonitoring) {
+  // The paper's Section-7 block-append experiment in miniature: appending
+  // a block from a DIFFERENT process should deviate more than appending a
+  // same-process block.
+  datagen::ClassGenParams params;
+  params.num_rows = 2000;
+  params.function = datagen::ClassFunction::kF1;
+  params.seed = 1;
+  const data::Dataset base = datagen::GenerateClassification(params);
+
+  params.num_rows = 400;
+  params.seed = 2;
+  const data::Dataset same_block = datagen::GenerateClassification(params);
+  params.function = datagen::ClassFunction::kF3;
+  params.seed = 3;
+  const data::Dataset drift_block = datagen::GenerateClassification(params);
+
+  data::Dataset with_same = base;
+  with_same.Append(same_block);
+  data::Dataset with_drift = base;
+  with_drift.Append(drift_block);
+
+  dt::CartOptions cart;
+  cart.max_depth = 4;
+  const core::DtModel m_base(dt::BuildCart(base, cart), base);
+  const core::DtModel m_same(dt::BuildCart(with_same, cart), with_same);
+  const core::DtModel m_drift(dt::BuildCart(with_drift, cart), with_drift);
+
+  core::DtDeviationOptions options;
+  const double dev_same = core::DtDeviation(m_base, base, m_same, with_same, options);
+  const double dev_drift =
+      core::DtDeviation(m_base, base, m_drift, with_drift, options);
+  EXPECT_GT(dev_drift, dev_same);
+}
+
+TEST(IntegrationTest, UmbrellaHeaderExposesEverything) {
+  // Compile-time check that focus/focus.h pulls in the full public API.
+  core::DeviationFunction fn;
+  EXPECT_EQ(fn.g, core::AggregateKind::kSum);
+  stats::WilcoxonResult wilcoxon;
+  EXPECT_DOUBLE_EQ(wilcoxon.p_two_sided, 1.0);
+  EXPECT_GT(stats::ChiSquaredCdf(1.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace focus

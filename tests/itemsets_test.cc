@@ -1,0 +1,187 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "itemsets/itemset.h"
+#include "itemsets/support_counter.h"
+
+namespace focus::lits {
+namespace {
+
+data::TransactionDb TinyDb() {
+  // 5 transactions over items {0..4}.
+  data::TransactionDb db(5);
+  db.AddTransaction(std::vector<int32_t>{0, 1, 2});
+  db.AddTransaction(std::vector<int32_t>{0, 1});
+  db.AddTransaction(std::vector<int32_t>{0, 2});
+  db.AddTransaction(std::vector<int32_t>{1, 2, 3});
+  db.AddTransaction(std::vector<int32_t>{0, 1, 2, 3});
+  return db;
+}
+
+TEST(ItemsetTest, NormalizesOnConstruction) {
+  const Itemset itemset(std::vector<int32_t>{3, 1, 3, 2});
+  EXPECT_EQ(itemset.size(), 3);
+  EXPECT_EQ(itemset.item(0), 1);
+  EXPECT_EQ(itemset.item(2), 3);
+  EXPECT_EQ(itemset.ToString(), "{1,2,3}");
+}
+
+TEST(ItemsetTest, SubsetChecks) {
+  const Itemset ab({0, 1});
+  const std::vector<int32_t> txn = {0, 1, 4};
+  EXPECT_TRUE(ab.IsSubsetOfSorted(txn));
+  const std::vector<int32_t> missing = {0, 2, 4};
+  EXPECT_FALSE(ab.IsSubsetOfSorted(missing));
+  EXPECT_TRUE(Itemset({0, 1, 4}).Contains(ab));
+  EXPECT_FALSE(ab.Contains(Itemset({0, 2})));
+  EXPECT_TRUE(ab.Contains(Itemset{}));
+}
+
+TEST(ItemsetTest, UnionMerges) {
+  EXPECT_EQ(Itemset({0, 2}).Union(Itemset({1, 2})), Itemset({0, 1, 2}));
+}
+
+TEST(ItemsetTest, WithoutRemoves) {
+  EXPECT_EQ(Itemset({0, 1, 2}).Without(1), Itemset({0, 2}));
+}
+
+TEST(ItemsetTest, OrderingIsSizeThenLex) {
+  EXPECT_LT(Itemset({5}), Itemset({0, 1}));
+  EXPECT_LT(Itemset({0, 1}), Itemset({0, 2}));
+  EXPECT_FALSE(Itemset({0, 2}) < Itemset({0, 1}));
+}
+
+TEST(ItemsetTest, HashEqualForEqualSets) {
+  const ItemsetHash hash;
+  EXPECT_EQ(hash(Itemset({2, 1})), hash(Itemset({1, 2})));
+}
+
+TEST(SupportCounterTest, CountsMatchManualEnumeration) {
+  const data::TransactionDb db = TinyDb();
+  const std::vector<Itemset> itemsets = {Itemset({0}), Itemset({0, 1}),
+                                         Itemset({1, 2}), Itemset({0, 1, 2, 3}),
+                                         Itemset({4})};
+  const std::vector<double> supports = CountSupports(db, itemsets);
+  EXPECT_DOUBLE_EQ(supports[0], 4.0 / 5.0);   // {0}
+  EXPECT_DOUBLE_EQ(supports[1], 3.0 / 5.0);   // {0,1}
+  EXPECT_DOUBLE_EQ(supports[2], 3.0 / 5.0);   // {1,2}
+  EXPECT_DOUBLE_EQ(supports[3], 1.0 / 5.0);   // {0,1,2,3}
+  EXPECT_DOUBLE_EQ(supports[4], 0.0);         // {4}
+}
+
+TEST(SupportCounterTest, EmptyItemsetHasFullSupport) {
+  const data::TransactionDb db = TinyDb();
+  const std::vector<Itemset> itemsets = {Itemset{}};
+  EXPECT_DOUBLE_EQ(CountSupports(db, itemsets)[0], 1.0);
+}
+
+TEST(AprioriTest, MinesTinyDbCorrectly) {
+  const data::TransactionDb db = TinyDb();
+  AprioriOptions options;
+  options.min_support = 0.6;  // >= 3 of 5 transactions
+  const LitsModel model = Apriori(db, options);
+  EXPECT_TRUE(model.Contains(Itemset({0})));   // 4/5
+  EXPECT_TRUE(model.Contains(Itemset({1})));   // 4/5
+  EXPECT_TRUE(model.Contains(Itemset({2})));   // 4/5
+  EXPECT_FALSE(model.Contains(Itemset({3})));  // 2/5
+  EXPECT_TRUE(model.Contains(Itemset({0, 1})));  // 3/5
+  EXPECT_TRUE(model.Contains(Itemset({1, 2})));  // 3/5
+  EXPECT_FALSE(model.Contains(Itemset({0, 1, 2})));  // 2/5
+  EXPECT_DOUBLE_EQ(model.SupportOr(Itemset({0, 1}), -1), 0.6);
+}
+
+TEST(AprioriTest, AgreesWithBruteForceOnRandomData) {
+  datagen::QuestParams params;
+  params.num_transactions = 300;
+  params.num_items = 12;
+  params.num_patterns = 6;
+  params.avg_pattern_length = 3;
+  params.avg_transaction_length = 5;
+  params.seed = 21;
+  const data::TransactionDb db = datagen::GenerateQuest(params);
+
+  for (const double min_support : {0.05, 0.1, 0.2}) {
+    AprioriOptions options;
+    options.min_support = min_support;
+    const LitsModel apriori = Apriori(db, options);
+    const LitsModel brute = BruteForceFrequentItemsets(db, min_support, 0);
+    EXPECT_EQ(apriori.size(), brute.size()) << "minsup " << min_support;
+    for (const auto& [itemset, support] : brute.supports()) {
+      EXPECT_TRUE(apriori.Contains(itemset)) << itemset.ToString();
+      EXPECT_NEAR(apriori.SupportOr(itemset, -1), support, 1e-12);
+    }
+  }
+}
+
+TEST(AprioriTest, AbsoluteCountFloorProtectsTinySamples) {
+  // A 4-transaction db with min_support low enough that a single
+  // occurrence would qualify: the absolute-count floor (default 2) must
+  // keep one-off itemsets out.
+  data::TransactionDb db(6);
+  db.AddTransaction(std::vector<int32_t>{0, 1, 2, 3});
+  db.AddTransaction(std::vector<int32_t>{0, 1});
+  db.AddTransaction(std::vector<int32_t>{4});
+  db.AddTransaction(std::vector<int32_t>{5});
+  AprioriOptions options;
+  options.min_support = 0.01;  // 0.04 occurrences — degenerate
+  const LitsModel floored = Apriori(db, options);
+  EXPECT_FALSE(floored.Contains(Itemset({4})));        // appears once
+  EXPECT_FALSE(floored.Contains(Itemset({2, 3})));     // appears once
+  EXPECT_TRUE(floored.Contains(Itemset({0, 1})));      // appears twice
+
+  options.min_absolute_count = 1;  // explicit opt-out restores raw minsup
+  const LitsModel raw = Apriori(db, options);
+  EXPECT_TRUE(raw.Contains(Itemset({4})));
+  EXPECT_TRUE(raw.Contains(Itemset({0, 1, 2, 3})));
+}
+
+TEST(AprioriTest, MaxSizeCapsItemsets) {
+  const data::TransactionDb db = TinyDb();
+  AprioriOptions options;
+  options.min_support = 0.2;
+  options.max_itemset_size = 1;
+  const LitsModel model = Apriori(db, options);
+  for (const auto& [itemset, support] : model.supports()) {
+    EXPECT_EQ(itemset.size(), 1);
+  }
+}
+
+TEST(AprioriTest, StructuralComponentIsSortedAndComplete) {
+  const data::TransactionDb db = TinyDb();
+  AprioriOptions options;
+  options.min_support = 0.4;
+  const LitsModel model = Apriori(db, options);
+  const std::vector<Itemset> gamma = model.StructuralComponent();
+  EXPECT_EQ(static_cast<int64_t>(gamma.size()), model.size());
+  EXPECT_TRUE(std::is_sorted(gamma.begin(), gamma.end()));
+}
+
+TEST(AprioriTest, AntiMonotonicity) {
+  // Every subset of a frequent itemset must be frequent (Apriori
+  // invariant) — property check on generated data.
+  datagen::QuestParams params;
+  params.num_transactions = 400;
+  params.num_items = 20;
+  params.num_patterns = 8;
+  params.seed = 5;
+  const data::TransactionDb db = datagen::GenerateQuest(params);
+  AprioriOptions options;
+  options.min_support = 0.05;
+  const LitsModel model = Apriori(db, options);
+  for (const auto& [itemset, support] : model.supports()) {
+    if (itemset.size() < 2) continue;
+    for (int32_t item : itemset.items()) {
+      const Itemset subset = itemset.Without(item);
+      EXPECT_TRUE(model.Contains(subset))
+          << subset.ToString() << " missing though " << itemset.ToString()
+          << " is frequent";
+      EXPECT_GE(model.SupportOr(subset, -1), support - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace focus::lits

@@ -1,0 +1,248 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/lits_deviation.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "itemsets/support_counter.h"
+
+namespace focus::core {
+namespace {
+
+using lits::Itemset;
+using lits::LitsModel;
+
+// The paper's Figure 6 example, realized as concrete databases over items
+// a=0, b=1, c=2 (20 transactions each so the supports are exact):
+//   D1: sup(a)=0.5, sup(b)=0.4, sup(ab)=0.25, sup(c)=0.1,  sup(bc)=0.05
+//   D2: sup(a)=0.1, sup(b)=0.3, sup(ab)=0.05, sup(c)=0.5,  sup(bc)=0.2
+data::TransactionDb Figure6D1() {
+  data::TransactionDb db(3);
+  // 5 x {a,b}; 5 x {a}; 2 x {b}; 1 x {b,c}; 1 x {c}; 6 x {}-filler (item
+  // universe has no empty transactions, so use a spare item? Instead use
+  // carefully chosen singletons.)
+  // Recount: a: 10, b: 8, ab: 5, c: 2, bc: 1 of 20.
+  for (int i = 0; i < 5; ++i) db.AddTransaction(std::vector<int32_t>{0, 1});
+  for (int i = 0; i < 5; ++i) db.AddTransaction(std::vector<int32_t>{0});
+  for (int i = 0; i < 2; ++i) db.AddTransaction(std::vector<int32_t>{1});
+  db.AddTransaction(std::vector<int32_t>{1, 2});
+  db.AddTransaction(std::vector<int32_t>{2});
+  // 6 transactions containing none of a,b,c are impossible in a 3-item
+  // universe without an empty transaction; instead repeat {c}? That would
+  // change sup(c). Use 6 copies of a 4th item by widening the universe.
+  return db;
+}
+
+// Building exact Figure-6 supports needs padding transactions containing
+// none of a, b, c. The padding is spread over two spare items so neither
+// ever reaches the minimum supports used in these tests.
+data::TransactionDb MakeDb(int num_ab, int num_a_only, int num_b_only,
+                           int num_bc, int num_c_only, int num_pad,
+                           int32_t num_items = 5) {
+  data::TransactionDb db(num_items);
+  for (int i = 0; i < num_ab; ++i) db.AddTransaction(std::vector<int32_t>{0, 1});
+  for (int i = 0; i < num_a_only; ++i) db.AddTransaction(std::vector<int32_t>{0});
+  for (int i = 0; i < num_b_only; ++i) db.AddTransaction(std::vector<int32_t>{1});
+  for (int i = 0; i < num_bc; ++i) db.AddTransaction(std::vector<int32_t>{1, 2});
+  for (int i = 0; i < num_c_only; ++i) db.AddTransaction(std::vector<int32_t>{2});
+  for (int i = 0; i < num_pad; ++i) {
+    db.AddTransaction(std::vector<int32_t>{i % 2 == 0 ? 3 : 4});
+  }
+  return db;
+}
+
+TEST(LitsGcrTest, GcrIsUnionOfStructuralComponents) {
+  LitsModel m1(0.2, 20, 4);
+  m1.Add(Itemset({0}), 0.5);
+  m1.Add(Itemset({1}), 0.4);
+  m1.Add(Itemset({0, 1}), 0.25);
+  LitsModel m2(0.2, 20, 4);
+  m2.Add(Itemset({1}), 0.3);
+  m2.Add(Itemset({2}), 0.5);
+  m2.Add(Itemset({0, 1}), 0.05);
+  m2.Add(Itemset({1, 2}), 0.2);
+
+  const std::vector<Itemset> gcr = LitsGcr(m1, m2);
+  ASSERT_EQ(gcr.size(), 5u);  // {a},{b},{c},{ab},{bc}
+  EXPECT_EQ(gcr[0], Itemset({0}));
+  EXPECT_EQ(gcr[1], Itemset({1}));
+  EXPECT_EQ(gcr[2], Itemset({2}));
+  EXPECT_EQ(gcr[3], Itemset({0, 1}));
+  EXPECT_EQ(gcr[4], Itemset({1, 2}));
+}
+
+TEST(LitsDeviationTest, Figure6WorkedExample) {
+  // D1: 20 transactions; a in 10 (ab 5, a-only 5), b in 8 (ab 5, b-only 2,
+  // bc 1), c in 2 (bc 1, c-only 1), 6 padding.
+  const data::TransactionDb d1 = MakeDb(5, 5, 2, 1, 1, 6);
+  // D2: a in 2 (ab 1, a-only 1), b in 6 (ab 1, b-only 1, bc 4), c in 10
+  // (bc 4, c-only 6), 8 padding.
+  const data::TransactionDb d2 = MakeDb(1, 1, 1, 4, 6, 7);
+  ASSERT_EQ(d1.num_transactions(), 20);
+  ASSERT_EQ(d2.num_transactions(), 20);
+
+  // Mine with min-support such that the models match Figure 6:
+  // L1 (minsup 0.25): {a}:0.5, {b}:0.4, {ab}:0.25.
+  lits::AprioriOptions options;
+  options.min_support = 0.25;
+  const LitsModel m1 = lits::Apriori(d1, options);
+  EXPECT_DOUBLE_EQ(m1.SupportOr(Itemset({0}), -1), 0.5);
+  EXPECT_DOUBLE_EQ(m1.SupportOr(Itemset({1}), -1), 0.4);
+  EXPECT_DOUBLE_EQ(m1.SupportOr(Itemset({0, 1}), -1), 0.25);
+
+  // L2 (minsup 0.1): {a}:0.1, {b}:0.3, {c}:0.5, {bc}:0.2, {ab}... ab=0.05
+  // is below 0.1; the paper's L2 = {b, c, ab, bc}. Emulate the paper's L2
+  // exactly by assembling the model by hand.
+  LitsModel m2(0.05, 20, 4);
+  m2.Add(Itemset({1}), 0.3);
+  m2.Add(Itemset({2}), 0.5);
+  m2.Add(Itemset({0, 1}), 0.05);
+  m2.Add(Itemset({1, 2}), 0.2);
+
+  // Drop {c} and {bc} from m1's mined model to match L1 = {a, b, ab}:
+  // (minsup 0.25 already excludes them).
+  DeviationFunction fn{AbsoluteDiff(), AggregateKind::kSum};
+  const double deviation = LitsDeviation(m1, d1, m2, d2, fn);
+  // |0.5-0.1| + |0.4-0.3| + |0.1-0.5| + |0.25-0.05| + |0.05-0.2| = 1.25
+  // (the paper's §2.2/§4.1 walk-through lists these same five terms).
+  EXPECT_NEAR(deviation, 1.25, 1e-9);
+
+  DeviationFunction fn_max{AbsoluteDiff(), AggregateKind::kMax};
+  EXPECT_NEAR(LitsDeviation(m1, d1, m2, d2, fn_max), 0.4, 1e-9);
+}
+
+TEST(LitsDeviationTest, IdenticalDatasetsHaveZeroDeviation) {
+  const data::TransactionDb db = MakeDb(5, 5, 2, 1, 1, 6);
+  lits::AprioriOptions options;
+  options.min_support = 0.1;
+  const LitsModel m = lits::Apriori(db, options);
+  DeviationFunction fn;
+  EXPECT_DOUBLE_EQ(LitsDeviation(m, db, m, db, fn), 0.0);
+}
+
+TEST(LitsDeviationTest, SymmetricForAbsoluteDiff) {
+  const data::TransactionDb d1 = MakeDb(5, 5, 2, 1, 1, 6);
+  const data::TransactionDb d2 = MakeDb(1, 1, 1, 4, 6, 7);
+  lits::AprioriOptions options;
+  options.min_support = 0.1;
+  const LitsModel m1 = lits::Apriori(d1, options);
+  const LitsModel m2 = lits::Apriori(d2, options);
+  DeviationFunction fn;
+  EXPECT_NEAR(LitsDeviation(m1, d1, m2, d2, fn),
+              LitsDeviation(m2, d2, m1, d1, fn), 1e-12);
+}
+
+TEST(LitsDeviationTest, Theorem41GcrGivesLeastDeviation) {
+  // Any common refinement (superset of the GCR) yields a deviation at
+  // least as large as the GCR's, for f in {f_a, f_s}, g in {sum, max}.
+  const data::TransactionDb d1 = MakeDb(5, 5, 2, 1, 1, 6);
+  const data::TransactionDb d2 = MakeDb(1, 1, 1, 4, 6, 7);
+  lits::AprioriOptions options;
+  options.min_support = 0.2;
+  const LitsModel m1 = lits::Apriori(d1, options);
+  const LitsModel m2 = lits::Apriori(d2, options);
+
+  std::vector<Itemset> gcr = LitsGcr(m1, m2);
+  std::vector<Itemset> finer = gcr;
+  finer.push_back(Itemset({0, 2}));
+  finer.push_back(Itemset({0, 1, 2}));
+  finer.push_back(Itemset({3}));
+
+  for (const AggregateKind g : {AggregateKind::kSum, AggregateKind::kMax}) {
+    for (const bool scaled : {false, true}) {
+      DeviationFunction fn;
+      fn.f = scaled ? ScaledDiff() : AbsoluteDiff();
+      fn.g = g;
+      const double on_gcr = LitsDeviationOverRegions(gcr, d1, d2, fn);
+      const double on_finer = LitsDeviationOverRegions(finer, d1, d2, fn);
+      EXPECT_LE(on_gcr, on_finer + 1e-12)
+          << "g=" << ToString(g) << " scaled=" << scaled;
+    }
+  }
+}
+
+TEST(LitsDeviationTest, FocusedWithinDepartment) {
+  const data::TransactionDb d1 = MakeDb(5, 5, 2, 1, 1, 6);
+  const data::TransactionDb d2 = MakeDb(1, 1, 1, 4, 6, 7);
+  LitsModel m1(0.2, 20, 4);
+  m1.Add(Itemset({0}), 0.5);
+  m1.Add(Itemset({1}), 0.4);
+  m1.Add(Itemset({0, 1}), 0.25);
+  LitsModel m2(0.05, 20, 4);
+  m2.Add(Itemset({1}), 0.3);
+  m2.Add(Itemset({2}), 0.5);
+  m2.Add(Itemset({0, 1}), 0.05);
+  m2.Add(Itemset({1, 2}), 0.2);
+
+  DeviationFunction fn;
+  // Department = {a, b}: GCR members {a},{b},{ab} qualify.
+  const double dept_ab = LitsDeviationFocused(m1, d1, m2, d2,
+                                              WithinItems({0, 1}), fn);
+  EXPECT_NEAR(dept_ab, 0.4 + 0.1 + 0.2, 1e-9);
+  // Itemsets containing c: {c}, {bc}.
+  const double with_c =
+      LitsDeviationFocused(m1, d1, m2, d2, ContainsItem(2), fn);
+  EXPECT_NEAR(with_c, 0.4 + 0.15, 1e-9);
+  // Focus on everything == unfocused deviation.
+  const double all = LitsDeviationFocused(
+      m1, d1, m2, d2, [](const Itemset&) { return true; }, fn);
+  EXPECT_NEAR(all, LitsDeviation(m1, d1, m2, d2, fn), 1e-12);
+}
+
+TEST(LitsDeviationTest, FocusMonotoneForAbsoluteSum) {
+  // delta^R <= delta^R' when R ⊆ R' (holds for f_a; §5's remark).
+  const data::TransactionDb d1 = MakeDb(5, 5, 2, 1, 1, 6);
+  const data::TransactionDb d2 = MakeDb(1, 1, 1, 4, 6, 7);
+  lits::AprioriOptions options;
+  options.min_support = 0.05;
+  const LitsModel m1 = lits::Apriori(d1, options);
+  const LitsModel m2 = lits::Apriori(d2, options);
+  DeviationFunction fn;
+  const double narrow =
+      LitsDeviationFocused(m1, d1, m2, d2, WithinItems({0}), fn);
+  const double wide =
+      LitsDeviationFocused(m1, d1, m2, d2, WithinItems({0, 1}), fn);
+  const double full = LitsDeviation(m1, d1, m2, d2, fn);
+  EXPECT_LE(narrow, wide + 1e-12);
+  EXPECT_LE(wide, full + 1e-12);
+}
+
+TEST(LitsPerRegionTest, ReportsSupportsAndDiffs) {
+  const data::TransactionDb d1 = MakeDb(5, 5, 2, 1, 1, 6);
+  const data::TransactionDb d2 = MakeDb(1, 1, 1, 4, 6, 7);
+  lits::AprioriOptions options;
+  options.min_support = 0.25;
+  const LitsModel m1 = lits::Apriori(d1, options);
+  const LitsModel m2 = lits::Apriori(d2, options);
+  const auto regions = LitsPerRegionDeviations(m1, d1, m2, d2, AbsoluteDiff());
+  ASSERT_FALSE(regions.empty());
+  for (const auto& region : regions) {
+    EXPECT_NEAR(region.deviation,
+                std::fabs(region.support1 - region.support2), 1e-12);
+  }
+}
+
+TEST(LitsDeviationTest, ScanOnlyCountsMissingItemsets) {
+  // A model containing all GCR itemsets should not need any counting;
+  // verify by corrupting the stored support and observing it is used.
+  const data::TransactionDb d1 = MakeDb(5, 5, 2, 1, 1, 6);
+  const data::TransactionDb d2 = MakeDb(5, 5, 2, 1, 1, 6);
+  LitsModel m1(0.2, 20, 4);
+  m1.Add(Itemset({0}), 0.77);  // deliberately wrong "stored" support
+  LitsModel m2(0.2, 20, 4);
+  m2.Add(Itemset({0}), 0.5);
+  DeviationFunction fn;
+  // If stored supports are trusted (they must be — the model IS the
+  // measure component), the deviation is |0.77 - 0.5|.
+  EXPECT_NEAR(LitsDeviation(m1, d1, m2, d2, fn), 0.27, 1e-12);
+}
+
+TEST(LitsDeviationTest, UnusedHelperBuildsFine) {
+  // Guard: Figure6D1 is illustrative; ensure it stays valid.
+  EXPECT_EQ(Figure6D1().num_transactions(), 14);
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,112 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/lits_deviation.h"
+#include "core/lits_upper_bound.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+
+namespace focus::core {
+namespace {
+
+using lits::Itemset;
+using lits::LitsModel;
+
+data::TransactionDb GenDb(uint64_t seed, int32_t num_patterns = 15,
+                          double pattern_length = 3) {
+  datagen::QuestParams params;
+  params.num_transactions = 800;
+  params.num_items = 60;
+  params.num_patterns = num_patterns;
+  params.avg_pattern_length = pattern_length;
+  params.avg_transaction_length = 8;
+  params.seed = seed;
+  return datagen::GenerateQuest(params);
+}
+
+TEST(LitsUpperBoundTest, HandComputedExample) {
+  LitsModel m1(0.2, 100, 4);
+  m1.Add(Itemset({0}), 0.5);
+  m1.Add(Itemset({1}), 0.4);
+  LitsModel m2(0.2, 100, 4);
+  m2.Add(Itemset({1}), 0.3);
+  m2.Add(Itemset({2}), 0.25);
+  // Terms: |0.5 - 0| + |0.4 - 0.3| + |0.25| = 0.85 (sum); 0.5 (max).
+  EXPECT_NEAR(LitsUpperBound(m1, m2, AggregateKind::kSum), 0.85, 1e-12);
+  EXPECT_NEAR(LitsUpperBound(m1, m2, AggregateKind::kMax), 0.5, 1e-12);
+}
+
+TEST(LitsUpperBoundTest, ZeroForIdenticalModels) {
+  LitsModel m(0.1, 100, 4);
+  m.Add(Itemset({0}), 0.5);
+  m.Add(Itemset({0, 1}), 0.2);
+  EXPECT_DOUBLE_EQ(LitsUpperBound(m, m, AggregateKind::kSum), 0.0);
+}
+
+TEST(LitsUpperBoundTest, Theorem42UpperBoundsTrueDeviation) {
+  // delta*(M1,M2) >= delta_(f_a,g)(M1,M2) for g in {sum, max}, across
+  // several generated dataset pairs (property sweep).
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const data::TransactionDb d1 = GenDb(seed);
+    const data::TransactionDb d2 = GenDb(seed + 100, 20, 4);
+    lits::AprioriOptions options;
+    options.min_support = 0.02;
+    const LitsModel m1 = lits::Apriori(d1, options);
+    const LitsModel m2 = lits::Apriori(d2, options);
+    for (const AggregateKind g : {AggregateKind::kSum, AggregateKind::kMax}) {
+      DeviationFunction fn{AbsoluteDiff(), g};
+      const double exact = LitsDeviation(m1, d1, m2, d2, fn);
+      const double bound = LitsUpperBound(m1, m2, g);
+      EXPECT_GE(bound, exact - 1e-12)
+          << "seed " << seed << " g=" << ToString(g);
+    }
+  }
+}
+
+TEST(LitsUpperBoundTest, Theorem42TriangleInequality) {
+  lits::AprioriOptions options;
+  options.min_support = 0.02;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const data::TransactionDb da = GenDb(seed);
+    const data::TransactionDb db = GenDb(seed + 50, 25, 4);
+    const data::TransactionDb dc = GenDb(seed + 200, 10, 2);
+    const LitsModel ma = lits::Apriori(da, options);
+    const LitsModel mb = lits::Apriori(db, options);
+    const LitsModel mc = lits::Apriori(dc, options);
+    for (const AggregateKind g : {AggregateKind::kSum, AggregateKind::kMax}) {
+      const double ab = LitsUpperBound(ma, mb, g);
+      const double bc = LitsUpperBound(mb, mc, g);
+      const double ac = LitsUpperBound(ma, mc, g);
+      EXPECT_LE(ac, ab + bc + 1e-12) << "seed " << seed << " " << ToString(g);
+      EXPECT_LE(ab, ac + bc + 1e-12);
+      EXPECT_LE(bc, ab + ac + 1e-12);
+    }
+  }
+}
+
+TEST(LitsUpperBoundTest, SymmetricInArguments) {
+  const data::TransactionDb d1 = GenDb(7);
+  const data::TransactionDb d2 = GenDb(8);
+  lits::AprioriOptions options;
+  options.min_support = 0.03;
+  const LitsModel m1 = lits::Apriori(d1, options);
+  const LitsModel m2 = lits::Apriori(d2, options);
+  EXPECT_NEAR(LitsUpperBound(m1, m2, AggregateKind::kSum),
+              LitsUpperBound(m2, m1, AggregateKind::kSum), 1e-12);
+}
+
+TEST(LitsUpperBoundTest, EqualsExactWhenStructuresIdentical) {
+  // When both models contain the same itemsets, delta* degenerates to the
+  // exact deviation computed from the stored supports.
+  LitsModel m1(0.1, 100, 4);
+  m1.Add(Itemset({0}), 0.5);
+  m1.Add(Itemset({1}), 0.4);
+  LitsModel m2(0.1, 100, 4);
+  m2.Add(Itemset({0}), 0.45);
+  m2.Add(Itemset({1}), 0.35);
+  EXPECT_NEAR(LitsUpperBound(m1, m2, AggregateKind::kSum), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,103 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/misclassification.h"
+#include "datagen/class_gen.h"
+#include "datagen/perturb.h"
+#include "tree/cart_builder.h"
+
+namespace focus::core {
+namespace {
+
+using datagen::ClassFunction;
+using datagen::ClassGenParams;
+using datagen::GenerateClassification;
+
+dt::DecisionTree TrainTree(const data::Dataset& dataset) {
+  dt::CartOptions options;
+  options.max_depth = 6;
+  options.min_leaf_size = 30;
+  return dt::BuildCart(dataset, options);
+}
+
+TEST(MisclassificationTest, ZeroOnPerfectlyModeledData) {
+  ClassGenParams params;
+  params.num_rows = 5000;
+  params.function = ClassFunction::kF1;
+  const data::Dataset d = GenerateClassification(params);
+  const dt::DecisionTree tree = TrainTree(d);
+  // F1 is exactly representable; training error should be ~0.
+  EXPECT_LT(MisclassificationError(tree, d), 0.01);
+}
+
+TEST(MisclassificationTest, LabelNoiseRaisesError) {
+  ClassGenParams params;
+  params.num_rows = 5000;
+  params.function = ClassFunction::kF2;
+  const data::Dataset d = GenerateClassification(params);
+  const dt::DecisionTree tree = TrainTree(d);
+  const double clean_error = MisclassificationError(tree, d);
+  const data::Dataset noisy = datagen::FlipLabels(d, 0.25, 7);
+  const double noisy_error = MisclassificationError(tree, noisy);
+  EXPECT_GT(noisy_error, clean_error + 0.1);
+}
+
+TEST(MisclassificationTest, Theorem52FocusEquivalence) {
+  // ME_T(D2) == 1/2 * delta_(f_a,g_sum)(<Γ_T,Σ(Γ_T,D2)>, <Γ_T,Σ(Γ_T,D2^T)>)
+  // — exercised across several train/test function pairs.
+  const ClassFunction functions[] = {ClassFunction::kF1, ClassFunction::kF2,
+                                     ClassFunction::kF3, ClassFunction::kF4};
+  for (const ClassFunction train_f : functions) {
+    for (const ClassFunction test_f : functions) {
+      ClassGenParams train_params;
+      train_params.num_rows = 3000;
+      train_params.function = train_f;
+      train_params.seed = 1;
+      ClassGenParams test_params;
+      test_params.num_rows = 2000;
+      test_params.function = test_f;
+      test_params.seed = 2;
+      const data::Dataset d1 = GenerateClassification(train_params);
+      const data::Dataset d2 = GenerateClassification(test_params);
+      const dt::DecisionTree tree = TrainTree(d1);
+      const double direct = MisclassificationError(tree, d2);
+      const double via_focus = MisclassificationErrorViaFocus(tree, d2);
+      EXPECT_NEAR(direct, via_focus, 1e-12)
+          << "train F" << static_cast<int>(train_f) << " test F"
+          << static_cast<int>(test_f);
+    }
+  }
+}
+
+TEST(MisclassificationTest, PredictedDatasetHasConsistentLabels) {
+  ClassGenParams params;
+  params.num_rows = 1000;
+  params.function = ClassFunction::kF3;
+  const data::Dataset d = GenerateClassification(params);
+  const dt::DecisionTree tree = TrainTree(d);
+  const data::Dataset predicted = PredictedDataset(tree, d);
+  ASSERT_EQ(predicted.num_rows(), d.num_rows());
+  for (int64_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_EQ(predicted.Label(i), tree.Predict(d.Row(i)));
+    EXPECT_DOUBLE_EQ(predicted.At(i, 0), d.At(i, 0));
+  }
+  // The tree never misclassifies its own predictions.
+  EXPECT_DOUBLE_EQ(MisclassificationError(tree, predicted), 0.0);
+}
+
+TEST(MisclassificationTest, CrossFunctionErrorIsLarge) {
+  ClassGenParams params;
+  params.num_rows = 4000;
+  params.function = ClassFunction::kF1;
+  const data::Dataset d1 = GenerateClassification(params);
+  params.function = ClassFunction::kF4;
+  params.seed = 9;
+  const data::Dataset d2 = GenerateClassification(params);
+  const dt::DecisionTree tree = TrainTree(d1);
+  // A tree for F1 misrepresents F4-labeled data noticeably.
+  EXPECT_GT(MisclassificationError(tree, d2), 0.1);
+}
+
+}  // namespace
+}  // namespace focus::core

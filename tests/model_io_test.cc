@@ -1,0 +1,120 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/class_gen.h"
+#include "datagen/quest_gen.h"
+#include "io/model_io.h"
+#include "itemsets/apriori.h"
+#include "tree/cart_builder.h"
+#include "tree/leaf_regions.h"
+
+namespace focus::io {
+namespace {
+
+lits::LitsModel MineSomething() {
+  datagen::QuestParams params;
+  params.num_transactions = 400;
+  params.num_items = 50;
+  params.num_patterns = 15;
+  params.seed = 11;
+  const data::TransactionDb db = datagen::GenerateQuest(params);
+  lits::AprioriOptions options;
+  options.min_support = 0.03;
+  return lits::Apriori(db, options);
+}
+
+TEST(LitsModelIoTest, RoundTripPreservesEverything) {
+  const lits::LitsModel original = MineSomething();
+  std::stringstream buffer;
+  SaveLitsModel(original, buffer);
+  const auto loaded = LoadLitsModel(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->min_support(), original.min_support());
+  EXPECT_EQ(loaded->num_transactions(), original.num_transactions());
+  EXPECT_EQ(loaded->num_items(), original.num_items());
+  EXPECT_EQ(loaded->size(), original.size());
+  for (const auto& [itemset, support] : original.supports()) {
+    EXPECT_DOUBLE_EQ(loaded->SupportOr(itemset, -1.0), support)
+        << itemset.ToString();
+  }
+}
+
+TEST(LitsModelIoTest, RejectsGarbage) {
+  std::stringstream bad("not a model at all");
+  EXPECT_FALSE(LoadLitsModel(bad).has_value());
+  std::stringstream truncated("focus-lits-v1\n0.01 100 50 5\n0.5 1 2\n");
+  EXPECT_FALSE(LoadLitsModel(truncated).has_value());
+  std::stringstream out_of_universe("focus-lits-v1\n0.01 100 50 1\n0.5 99\n");
+  EXPECT_FALSE(LoadLitsModel(out_of_universe).has_value());
+  std::stringstream bad_support("focus-lits-v1\n0.01 100 50 1\n1.5 3\n");
+  EXPECT_FALSE(LoadLitsModel(bad_support).has_value());
+}
+
+TEST(SchemaIoTest, RoundTrip) {
+  const data::Schema original = datagen::ClassGenSchema();
+  std::stringstream buffer;
+  SaveSchema(original, buffer);
+  const auto loaded = LoadSchema(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == original);
+}
+
+TEST(SchemaIoTest, RejectsMalformed) {
+  std::stringstream bad("focus-schema-v1\n2 2\nnumeric 0 1 x\nweird 3 y\n");
+  EXPECT_FALSE(LoadSchema(bad).has_value());
+  std::stringstream inverted("focus-schema-v1\n1 0\nnumeric 5 1 x\n");
+  EXPECT_FALSE(LoadSchema(inverted).has_value());
+}
+
+TEST(DecisionTreeIoTest, RoundTripPreservesRouting) {
+  datagen::ClassGenParams params;
+  params.num_rows = 3000;
+  params.function = datagen::ClassFunction::kF4;
+  params.seed = 5;
+  const data::Dataset dataset = datagen::GenerateClassification(params);
+  dt::CartOptions cart;
+  cart.max_depth = 6;
+  cart.min_leaf_size = 40;
+  const dt::DecisionTree original = dt::BuildCart(dataset, cart);
+
+  std::stringstream buffer;
+  SaveDecisionTree(original, buffer);
+  const auto loaded = LoadDecisionTree(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded->num_leaves(), original.num_leaves());
+  EXPECT_TRUE(loaded->schema() == original.schema());
+  for (int64_t i = 0; i < dataset.num_rows(); i += 7) {
+    EXPECT_EQ(loaded->LeafIndexOf(dataset.Row(i)),
+              original.LeafIndexOf(dataset.Row(i)));
+    EXPECT_EQ(loaded->Predict(dataset.Row(i)), original.Predict(dataset.Row(i)));
+  }
+  // Leaf regions identical too.
+  const auto boxes1 = dt::ExtractLeafBoxes(original);
+  const auto boxes2 = dt::ExtractLeafBoxes(*loaded);
+  ASSERT_EQ(boxes1.size(), boxes2.size());
+  for (size_t i = 0; i < boxes1.size(); ++i) {
+    EXPECT_TRUE(boxes1[i] == boxes2[i]);
+  }
+}
+
+TEST(DecisionTreeIoTest, RejectsOutOfRangeChildren) {
+  std::stringstream bad(
+      "focus-dt-v1\nfocus-schema-v1\n1 2\nnumeric 0 1 x\n1\n"
+      "split 0 0.5 0 7 8\n");
+  EXPECT_FALSE(LoadDecisionTree(bad).has_value());
+}
+
+TEST(FileIoTest, RoundTripThroughDisk) {
+  const lits::LitsModel model = MineSomething();
+  const std::string path = ::testing::TempDir() + "/focus_model.txt";
+  ASSERT_TRUE(SaveLitsModelToFile(model, path));
+  const auto loaded = LoadLitsModelFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), model.size());
+  EXPECT_FALSE(LoadLitsModelFromFile("/nonexistent/nowhere.txt").has_value());
+}
+
+}  // namespace
+}  // namespace focus::io

@@ -1,0 +1,136 @@
+// dt-models with MORE than two classes: the paper's framework is
+// k-class throughout (§2.1: "each leaf node ... is associated with k
+// regions"); these tests pin that the substrate and the deviation
+// machinery hold beyond the binary generators used in the evaluation.
+
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dt_deviation.h"
+#include "core/misclassification.h"
+#include "tree/cart_builder.h"
+#include "tree/pruning.h"
+
+namespace focus::core {
+namespace {
+
+data::Schema XySchema() {
+  return data::Schema(
+      {data::Schema::Numeric("x", 0.0, 1.0), data::Schema::Numeric("y", 0.0, 1.0)},
+      /*num_classes=*/3);
+}
+
+// Three class bands over x, optionally shifted.
+data::Dataset ThreeBands(uint64_t seed, double shift, int64_t n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  data::Dataset dataset(XySchema());
+  for (int64_t i = 0; i < n; ++i) {
+    const double x = unit(rng);
+    const double y = unit(rng);
+    int label;
+    if (x < 0.33 + shift) {
+      label = 0;
+    } else if (x < 0.66 + shift) {
+      label = 1;
+    } else {
+      label = 2;
+    }
+    dataset.AddRow(std::vector<double>{x, y}, label);
+  }
+  return dataset;
+}
+
+TEST(MulticlassTest, CartLearnsThreeBands) {
+  const data::Dataset dataset = ThreeBands(1, 0.0, 4000);
+  dt::CartOptions cart;
+  cart.max_depth = 4;
+  cart.min_leaf_size = 50;
+  const dt::DecisionTree tree = dt::BuildCart(dataset, cart);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < dataset.num_rows(); ++i) {
+    if (tree.Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / 4000.0, 0.97);
+}
+
+TEST(MulticlassTest, MeasuresSumToOneAcrossThreeClasses) {
+  const data::Dataset dataset = ThreeBands(2, 0.0, 3000);
+  dt::CartOptions cart;
+  cart.max_depth = 4;
+  const DtModel model(dt::BuildCart(dataset, cart), dataset);
+  double total = 0.0;
+  for (int leaf = 0; leaf < model.num_leaves(); ++leaf) {
+    for (int c = 0; c < 3; ++c) total += model.measure(leaf, c);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MulticlassTest, DeviationDetectsBandShift) {
+  const data::Dataset d1 = ThreeBands(1, 0.0, 4000);
+  const data::Dataset d2_same = ThreeBands(2, 0.0, 4000);
+  const data::Dataset d2_shift = ThreeBands(3, 0.15, 4000);
+  dt::CartOptions cart;
+  cart.max_depth = 4;
+  const DtModel m1(dt::BuildCart(d1, cart), d1);
+  const DtModel m_same(dt::BuildCart(d2_same, cart), d2_same);
+  const DtModel m_shift(dt::BuildCart(d2_shift, cart), d2_shift);
+
+  DtDeviationOptions options;
+  const double same = DtDeviation(m1, d1, m_same, d2_same, options);
+  const double shifted = DtDeviation(m1, d1, m_shift, d2_shift, options);
+  EXPECT_GT(shifted, 3.0 * same);
+}
+
+TEST(MulticlassTest, ClassFilteredPiecesSumToWhole) {
+  const data::Dataset d1 = ThreeBands(1, 0.0, 2000);
+  const data::Dataset d2 = ThreeBands(2, 0.1, 2000);
+  dt::CartOptions cart;
+  cart.max_depth = 3;
+  const DtModel m1(dt::BuildCart(d1, cart), d1);
+  const DtModel m2(dt::BuildCart(d2, cart), d2);
+  DtDeviationOptions all;
+  double parts = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    DtDeviationOptions one;
+    one.class_filter = c;
+    parts += DtDeviation(m1, d1, m2, d2, one);
+  }
+  EXPECT_NEAR(DtDeviation(m1, d1, m2, d2, all), parts, 1e-9);
+}
+
+TEST(MulticlassTest, MisclassificationTheoremHoldsForThreeClasses) {
+  const data::Dataset d1 = ThreeBands(1, 0.0, 3000);
+  const data::Dataset d2 = ThreeBands(4, 0.2, 2000);
+  dt::CartOptions cart;
+  cart.max_depth = 4;
+  const dt::DecisionTree tree = dt::BuildCart(d1, cart);
+  EXPECT_NEAR(MisclassificationError(tree, d2),
+              MisclassificationErrorViaFocus(tree, d2), 1e-12);
+}
+
+TEST(MulticlassTest, PruningWorksWithThreeClasses) {
+  data::Dataset noisy = ThreeBands(5, 0.0, 4000);
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int64_t i = 0; i < noisy.num_rows(); ++i) {
+    if (unit(rng) < 0.2) {
+      noisy.SetLabel(i, static_cast<int>(unit(rng) * 3.0) % 3);
+    }
+  }
+  const data::Dataset validation = ThreeBands(6, 0.0, 2000);
+  dt::CartOptions cart;
+  cart.max_depth = 10;
+  cart.min_leaf_size = 10;
+  cart.min_gain = 1e-6;
+  const dt::DecisionTree overfit = dt::BuildCart(noisy, cart);
+  const dt::DecisionTree pruned = dt::PruneReducedError(overfit, validation);
+  EXPECT_LE(pruned.num_leaves(), overfit.num_leaves());
+  EXPECT_LE(MisclassificationError(pruned, validation),
+            MisclassificationError(overfit, validation) + 1e-12);
+}
+
+}  // namespace
+}  // namespace focus::core

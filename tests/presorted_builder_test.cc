@@ -1,0 +1,129 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/class_gen.h"
+#include "tree/cart_builder.h"
+#include "tree/presorted_builder.h"
+
+namespace focus::dt {
+namespace {
+
+using datagen::ClassFunction;
+using datagen::ClassGenParams;
+using datagen::GenerateClassification;
+
+void ExpectEquivalentTrees(const DecisionTree& a, const DecisionTree& b,
+                           const data::Dataset& dataset) {
+  EXPECT_EQ(a.num_leaves(), b.num_leaves());
+  EXPECT_EQ(a.Depth(), b.Depth());
+  for (int64_t i = 0; i < dataset.num_rows(); ++i) {
+    ASSERT_EQ(a.Predict(dataset.Row(i)), b.Predict(dataset.Row(i)))
+        << "row " << i;
+  }
+}
+
+TEST(PresortedBuilderTest, MatchesRecursiveBuilderAcrossFunctions) {
+  for (const ClassFunction f : {ClassFunction::kF1, ClassFunction::kF2,
+                                ClassFunction::kF3, ClassFunction::kF4}) {
+    ClassGenParams params;
+    params.num_rows = 3000;
+    params.function = f;
+    params.seed = 5;
+    const data::Dataset dataset = GenerateClassification(params);
+    CartOptions options;
+    options.max_depth = 6;
+    options.min_leaf_size = 40;
+    const DecisionTree recursive = BuildCart(dataset, options);
+    const DecisionTree presorted = BuildCartPresorted(dataset, options);
+    ExpectEquivalentTrees(recursive, presorted, dataset);
+  }
+}
+
+TEST(PresortedBuilderTest, MatchesWithEntropyCriterion) {
+  ClassGenParams params;
+  params.num_rows = 2500;
+  params.function = ClassFunction::kF4;
+  params.seed = 2;
+  const data::Dataset dataset = GenerateClassification(params);
+  CartOptions options;
+  options.max_depth = 5;
+  options.min_leaf_size = 30;
+  options.criterion = SplitCriterion::kEntropy;
+  const DecisionTree recursive = BuildCart(dataset, options);
+  const DecisionTree presorted = BuildCartPresorted(dataset, options);
+  ExpectEquivalentTrees(recursive, presorted, dataset);
+}
+
+TEST(PresortedBuilderTest, PureDataSingleLeaf) {
+  data::Schema schema({data::Schema::Numeric("x", 0.0, 1.0)}, 2);
+  data::Dataset dataset(schema);
+  for (int i = 0; i < 200; ++i) {
+    dataset.AddRow(std::vector<double>{i / 200.0}, 0);
+  }
+  const DecisionTree tree = BuildCartPresorted(dataset, CartOptions{});
+  EXPECT_EQ(tree.num_leaves(), 1);
+}
+
+TEST(PresortedBuilderTest, CategoricalOnlyDataset) {
+  data::Schema schema({data::Schema::Categorical("c", 8)}, 2);
+  data::Dataset dataset(schema);
+  for (int i = 0; i < 1600; ++i) {
+    const int code = i % 8;
+    dataset.AddRow(std::vector<double>{static_cast<double>(code)},
+                   (code < 3) ? 0 : 1);
+  }
+  CartOptions options;
+  options.max_depth = 3;
+  options.min_leaf_size = 20;
+  const DecisionTree recursive = BuildCart(dataset, options);
+  const DecisionTree presorted = BuildCartPresorted(dataset, options);
+  ExpectEquivalentTrees(recursive, presorted, dataset);
+  // Both must separate perfectly.
+  int64_t correct = 0;
+  for (int64_t i = 0; i < dataset.num_rows(); ++i) {
+    if (presorted.Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
+  }
+  EXPECT_EQ(correct, dataset.num_rows());
+}
+
+TEST(EntropyCriterionTest, GiniAndEntropyBothLearnF2) {
+  ClassGenParams params;
+  params.num_rows = 4000;
+  params.function = ClassFunction::kF2;
+  params.seed = 1;
+  const data::Dataset dataset = GenerateClassification(params);
+  for (const SplitCriterion criterion :
+       {SplitCriterion::kGini, SplitCriterion::kEntropy}) {
+    CartOptions options;
+    options.max_depth = 10;
+    options.min_leaf_size = 20;
+    options.min_gain = 1e-6;
+    options.criterion = criterion;
+    const DecisionTree tree = BuildCart(dataset, options);
+    int64_t correct = 0;
+    for (int64_t i = 0; i < dataset.num_rows(); ++i) {
+      if (tree.Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
+    }
+    EXPECT_GT(static_cast<double>(correct) / 4000.0, 0.92);
+  }
+}
+
+TEST(ImpurityTest, KnownValues) {
+  // 50/50 two-class: gini 0.5, entropy 1 bit. Pure: both 0.
+  EXPECT_DOUBLE_EQ(internal::Impurity({5, 5}, 10, SplitCriterion::kGini), 0.5);
+  EXPECT_DOUBLE_EQ(internal::Impurity({5, 5}, 10, SplitCriterion::kEntropy),
+                   1.0);
+  EXPECT_DOUBLE_EQ(internal::Impurity({10, 0}, 10, SplitCriterion::kGini), 0.0);
+  EXPECT_DOUBLE_EQ(internal::Impurity({10, 0}, 10, SplitCriterion::kEntropy),
+                   0.0);
+  // Uniform three-class: gini 2/3, entropy log2(3).
+  EXPECT_NEAR(internal::Impurity({4, 4, 4}, 12, SplitCriterion::kGini),
+              2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(internal::Impurity({4, 4, 4}, 12, SplitCriterion::kEntropy),
+              std::log2(3.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace focus::dt

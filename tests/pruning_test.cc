@@ -1,0 +1,102 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/misclassification.h"
+#include "datagen/class_gen.h"
+#include "datagen/perturb.h"
+#include "tree/cart_builder.h"
+#include "tree/pruning.h"
+
+namespace focus::dt {
+namespace {
+
+using datagen::ClassFunction;
+using datagen::ClassGenParams;
+using datagen::GenerateClassification;
+
+TEST(PruningTest, NoisyTreeShrinks) {
+  // Overfit a deep tree on noisy labels; pruning on clean validation data
+  // must reduce its size and not hurt validation accuracy.
+  ClassGenParams params;
+  params.num_rows = 6000;
+  params.function = ClassFunction::kF2;
+  params.label_noise = 0.15;
+  params.seed = 1;
+  const data::Dataset noisy_train = GenerateClassification(params);
+  params.label_noise = 0.0;
+  params.seed = 2;
+  params.num_rows = 3000;
+  const data::Dataset validation = GenerateClassification(params);
+
+  CartOptions cart;
+  cart.max_depth = 12;
+  cart.min_leaf_size = 10;
+  cart.min_gain = 1e-6;
+  const DecisionTree overfit = BuildCart(noisy_train, cart);
+  const DecisionTree pruned = PruneReducedError(overfit, validation);
+
+  EXPECT_LT(pruned.num_leaves(), overfit.num_leaves());
+  const double before = core::MisclassificationError(overfit, validation);
+  const double after = core::MisclassificationError(pruned, validation);
+  EXPECT_LE(after, before + 1e-12);
+}
+
+TEST(PruningTest, CleanPerfectTreeSurvives) {
+  // A tree that fits noiseless F1 exactly should barely change.
+  ClassGenParams params;
+  params.num_rows = 5000;
+  params.function = ClassFunction::kF1;
+  params.seed = 1;
+  const data::Dataset train = GenerateClassification(params);
+  params.seed = 2;
+  const data::Dataset validation = GenerateClassification(params);
+
+  CartOptions cart;
+  cart.max_depth = 6;
+  cart.min_leaf_size = 50;
+  const DecisionTree tree = BuildCart(train, cart);
+  const DecisionTree pruned = PruneReducedError(tree, validation);
+  const double error = core::MisclassificationError(pruned, validation);
+  EXPECT_LT(error, 0.02);
+  EXPECT_GE(pruned.num_leaves(), 3);  // the F1 age rule needs 3 leaves
+}
+
+TEST(PruningTest, SingleLeafIsFixedPoint) {
+  data::Schema schema({data::Schema::Numeric("x", 0.0, 1.0)}, 2);
+  DecisionTree tree(schema);
+  tree.AddLeafNode({10, 5});
+  data::Dataset validation(schema);
+  validation.AddRow(std::vector<double>{0.5}, 0);
+  const DecisionTree pruned = PruneReducedError(tree, validation);
+  EXPECT_EQ(pruned.num_leaves(), 1);
+  EXPECT_EQ(pruned.Predict(std::vector<double>{0.3}), 0);
+}
+
+TEST(PruningTest, PrunedTreePredictionsAreConsistent) {
+  // Predictions of the pruned tree equal majority-training labels of the
+  // collapsed regions; routing must stay total (every row lands in a
+  // leaf).
+  ClassGenParams params;
+  params.num_rows = 3000;
+  params.function = ClassFunction::kF4;
+  params.label_noise = 0.2;
+  params.seed = 3;
+  const data::Dataset train = GenerateClassification(params);
+  params.seed = 4;
+  const data::Dataset validation = GenerateClassification(params);
+
+  CartOptions cart;
+  cart.max_depth = 10;
+  cart.min_leaf_size = 10;
+  const DecisionTree tree = BuildCart(train, cart);
+  const DecisionTree pruned = PruneReducedError(tree, validation);
+  for (int64_t i = 0; i < validation.num_rows(); i += 17) {
+    const int prediction = pruned.Predict(validation.Row(i));
+    EXPECT_GE(prediction, 0);
+    EXPECT_LT(prediction, 2);
+  }
+}
+
+}  // namespace
+}  // namespace focus::dt

@@ -1,0 +1,183 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/focus_region.h"
+#include "core/query_estimator.h"
+#include "datagen/class_gen.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "tree/cart_builder.h"
+
+namespace focus::core {
+namespace {
+
+using datagen::ClassGenColumns;
+
+double ExactSelectivity(const data::Dataset& dataset, const data::Box& query) {
+  int64_t matching = 0;
+  for (int64_t i = 0; i < dataset.num_rows(); ++i) {
+    if (query.Contains(dataset.schema(), dataset.Row(i))) ++matching;
+  }
+  return static_cast<double>(matching) / static_cast<double>(dataset.num_rows());
+}
+
+class DtEstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::ClassGenParams params;
+    params.num_rows = 20000;
+    params.function = datagen::ClassFunction::kF2;
+    params.seed = 3;
+    dataset_ = datagen::GenerateClassification(params);
+    dt::CartOptions cart;
+    cart.max_depth = 8;
+    cart.min_leaf_size = 100;
+    model_ = std::make_unique<DtModel>(dt::BuildCart(dataset_, cart), dataset_);
+    estimator_ = std::make_unique<DtSelectivityEstimator>(*model_);
+  }
+
+  data::Dataset dataset_;
+  std::unique_ptr<DtModel> model_;
+  std::unique_ptr<DtSelectivityEstimator> estimator_;
+};
+
+TEST_F(DtEstimatorTest, FullSpaceIsOne) {
+  const data::Box everything = data::Box::Full(dataset_.schema());
+  EXPECT_NEAR(estimator_->EstimateSelectivity(everything), 1.0, 1e-9);
+}
+
+TEST_F(DtEstimatorTest, EmptyQueryIsZero) {
+  data::Box impossible = data::Box::Full(dataset_.schema());
+  impossible.ClampNumeric(ClassGenColumns::kAge, 300.0, 400.0);
+  EXPECT_NEAR(estimator_->EstimateSelectivity(impossible), 0.0, 1e-9);
+}
+
+TEST_F(DtEstimatorTest, UniformAttributeEstimatesWell) {
+  // Age is uniform on [20, 80]: a [30, 50) band holds 1/3 of the data.
+  const data::Box band =
+      NumericPredicate(dataset_.schema(), ClassGenColumns::kAge, 30.0, 50.0);
+  const double estimate = estimator_->EstimateSelectivity(band);
+  const double exact = ExactSelectivity(dataset_, band);
+  EXPECT_NEAR(estimate, exact, 0.03);
+  EXPECT_NEAR(exact, 1.0 / 3.0, 0.02);
+}
+
+TEST_F(DtEstimatorTest, ConjunctiveQueryReasonable) {
+  data::Box query =
+      NumericPredicate(dataset_.schema(), ClassGenColumns::kAge, 25.0, 45.0);
+  query = query.Intersect(NumericPredicate(
+      dataset_.schema(), ClassGenColumns::kSalary, 40000.0, 90000.0));
+  const double estimate = estimator_->EstimateSelectivity(query);
+  const double exact = ExactSelectivity(dataset_, query);
+  EXPECT_NEAR(estimate, exact, 0.05);
+}
+
+TEST_F(DtEstimatorTest, CategoricalQuery) {
+  const data::Box query = CategoryPredicate(
+      dataset_.schema(), ClassGenColumns::kElevel, {0, 1});
+  const double estimate = estimator_->EstimateSelectivity(query);
+  const double exact = ExactSelectivity(dataset_, query);  // ~0.4
+  EXPECT_NEAR(estimate, exact, 0.05);
+}
+
+TEST_F(DtEstimatorTest, ClassSelectivitiesSumToTotal) {
+  const data::Box band =
+      NumericPredicate(dataset_.schema(), ClassGenColumns::kAge, 35.0, 55.0);
+  const double total = estimator_->EstimateSelectivity(band);
+  const double by_class = estimator_->EstimateClassSelectivity(band, 0) +
+                          estimator_->EstimateClassSelectivity(band, 1);
+  EXPECT_NEAR(total, by_class, 1e-9);
+}
+
+TEST_F(DtEstimatorTest, ClassAwareEstimateUsesTreeStructure) {
+  // F2 ties class to (age, salary); the tree carves those regions, so a
+  // class-0 estimate inside a class-0-dominant region should be high.
+  const data::Box young_midsalary = NumericPredicate(dataset_.schema(),
+                                                     ClassGenColumns::kAge,
+                                                     20.0, 40.0)
+      .Intersect(NumericPredicate(dataset_.schema(), ClassGenColumns::kSalary,
+                                  55000.0, 95000.0));
+  // Group A (class 0) iff salary in [50K, 100K] for age < 40.
+  const double class0 =
+      estimator_->EstimateClassSelectivity(young_midsalary, 0);
+  const double class1 =
+      estimator_->EstimateClassSelectivity(young_midsalary, 1);
+  EXPECT_GT(class0, 5.0 * class1);
+}
+
+TEST_F(DtEstimatorTest, CountScalesWithRows) {
+  const data::Box band =
+      NumericPredicate(dataset_.schema(), ClassGenColumns::kAge, 30.0, 50.0);
+  const double selectivity = estimator_->EstimateSelectivity(band);
+  EXPECT_NEAR(estimator_->EstimateCount(band, 3000), selectivity * 3000.0,
+              1e-9);
+}
+
+// ---- lits support bounds ----
+
+TEST(LitsSupportBoundTest, ExactForStoredItemsets) {
+  lits::LitsModel model(0.1, 100, 5);
+  model.Add(lits::Itemset({0}), 0.6);
+  model.Add(lits::Itemset({1}), 0.5);
+  model.Add(lits::Itemset({0, 1}), 0.3);
+  EXPECT_DOUBLE_EQ(EstimateSupportUpperBound(model, lits::Itemset({0, 1})),
+                   0.3);
+}
+
+TEST(LitsSupportBoundTest, SubsetBoundForMissingItemsets) {
+  lits::LitsModel model(0.1, 100, 5);
+  model.Add(lits::Itemset({0}), 0.6);
+  model.Add(lits::Itemset({1}), 0.5);
+  model.Add(lits::Itemset({2}), 0.4);
+  model.Add(lits::Itemset({0, 1}), 0.3);
+  // {0,1,2} missing: bounded by min(stored subsets, minsup) = 0.1.
+  EXPECT_DOUBLE_EQ(EstimateSupportUpperBound(model, lits::Itemset({0, 1, 2})),
+                   0.1);
+}
+
+TEST(LitsSupportBoundTest, InfrequentItemCapsAtMinSupport) {
+  lits::LitsModel model(0.05, 100, 5);
+  model.Add(lits::Itemset({0}), 0.6);
+  // Item 4 not frequent: any superset is below the threshold.
+  EXPECT_DOUBLE_EQ(EstimateSupportUpperBound(model, lits::Itemset({0, 4})),
+                   0.05);
+}
+
+TEST(LitsSupportBoundTest, EmptyItemsetIsOne) {
+  lits::LitsModel model(0.1, 100, 5);
+  EXPECT_DOUBLE_EQ(EstimateSupportUpperBound(model, lits::Itemset{}), 1.0);
+}
+
+TEST(LitsSupportBoundTest, BoundHoldsOnRealData) {
+  datagen::QuestParams params;
+  params.num_transactions = 1000;
+  params.num_items = 40;
+  params.num_patterns = 10;
+  params.avg_pattern_length = 4;
+  params.seed = 3;
+  const data::TransactionDb db = datagen::GenerateQuest(params);
+  lits::AprioriOptions options;
+  options.min_support = 0.05;
+  const lits::LitsModel model = lits::Apriori(db, options);
+
+  // For a sample of itemsets, the estimated bound must dominate the true
+  // support.
+  const double n = static_cast<double>(db.num_transactions());
+  for (int32_t a = 0; a < 10; ++a) {
+    for (int32_t b = a + 1; b < 10; ++b) {
+      const lits::Itemset candidate({a, b, a + 20});
+      int64_t count = 0;
+      for (int64_t t = 0; t < db.num_transactions(); ++t) {
+        if (candidate.IsSubsetOfSorted(db.Transaction(t))) ++count;
+      }
+      const double truth = static_cast<double>(count) / n;
+      EXPECT_LE(truth, EstimateSupportUpperBound(model, candidate) + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,190 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/grid_clustering.h"
+#include "core/rank.h"
+#include "datagen/class_gen.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "tree/cart_builder.h"
+#include "tree/leaf_regions.h"
+
+namespace focus::core {
+namespace {
+
+using datagen::ClassFunction;
+using datagen::ClassGenParams;
+using datagen::GenerateClassification;
+using lits::Itemset;
+
+TEST(SelectTest, TopMinTopNBottomN) {
+  struct Item {
+    int id;
+    double deviation;
+  };
+  const std::vector<Item> ranked = {{1, 0.9}, {2, 0.5}, {3, 0.2}, {4, 0.1}};
+  EXPECT_EQ(SelectTop(ranked).id, 1);
+  EXPECT_EQ(SelectMin(ranked).id, 4);
+  const auto top2 = SelectTopN(ranked, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].id, 1);
+  EXPECT_EQ(top2[1].id, 2);
+  const auto bottom2 = SelectBottomN(ranked, 2);
+  ASSERT_EQ(bottom2.size(), 2u);
+  EXPECT_EQ(bottom2[0].id, 3);
+  EXPECT_EQ(bottom2[1].id, 4);
+  // Requesting more than available returns everything.
+  EXPECT_EQ(SelectTopN(ranked, 10).size(), 4u);
+}
+
+TEST(RankLitsTest, OrdersByDeviation) {
+  // Hand-built models over a 4-item universe; dummy databases supply only
+  // the sizes.
+  data::TransactionDb d1(4);
+  data::TransactionDb d2(4);
+  for (int i = 0; i < 10; ++i) {
+    d1.AddTransaction(std::vector<int32_t>{0});
+    d2.AddTransaction(std::vector<int32_t>{1});
+  }
+  lits::LitsModel m1(0.1, 10, 4);
+  m1.Add(Itemset({0}), 1.0);
+  m1.Add(Itemset({1}), 0.0);
+  lits::LitsModel m2(0.1, 10, 4);
+  m2.Add(Itemset({0}), 0.0);
+  m2.Add(Itemset({1}), 1.0);
+  m2.Add(Itemset({2}), 0.3);
+
+  const ItemsetSet regions = {Itemset({0}), Itemset({1}), Itemset({2})};
+  const auto ranked = RankLitsRegions(regions, m1, d1, m2, d2, AbsoluteDiff());
+  ASSERT_EQ(ranked.size(), 3u);
+  // {0} and {1} both deviate by 1.0; {2} by 0.3.
+  EXPECT_DOUBLE_EQ(ranked[0].deviation, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[1].deviation, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[2].deviation, 0.3);
+  EXPECT_EQ(ranked[2].itemset, Itemset({2}));
+}
+
+TEST(RankLitsTest, CountsMissingSupportsFromData) {
+  data::TransactionDb d1(3);
+  data::TransactionDb d2(3);
+  for (int i = 0; i < 8; ++i) d1.AddTransaction(std::vector<int32_t>{0, 1});
+  for (int i = 0; i < 2; ++i) d1.AddTransaction(std::vector<int32_t>{2});
+  for (int i = 0; i < 5; ++i) d2.AddTransaction(std::vector<int32_t>{0});
+  for (int i = 0; i < 5; ++i) d2.AddTransaction(std::vector<int32_t>{1, 2});
+  // Empty models: every support must be counted from the data.
+  lits::LitsModel m1(0.5, 10, 3);
+  lits::LitsModel m2(0.5, 10, 3);
+  const ItemsetSet regions = {Itemset({0}), Itemset({1, 2})};
+  const auto ranked = RankLitsRegions(regions, m1, d1, m2, d2, AbsoluteDiff());
+  ASSERT_EQ(ranked.size(), 2u);
+  // {0}: 0.8 vs 0.5 -> 0.3; {1,2}: 0.0 vs 0.5 -> 0.5.
+  EXPECT_EQ(ranked[0].itemset, Itemset({1, 2}));
+  EXPECT_NEAR(ranked[0].deviation, 0.5, 1e-12);
+  EXPECT_NEAR(ranked[1].deviation, 0.3, 1e-12);
+}
+
+TEST(RankDtTest, FindsTheChangedRegion) {
+  // D1 and D2 agree except for young ages where the class flips.
+  ClassGenParams params;
+  params.num_rows = 6000;
+  params.function = ClassFunction::kF1;
+  params.seed = 5;
+  const data::Dataset d1 = GenerateClassification(params);
+
+  data::Dataset d2(d1.schema());
+  for (int64_t i = 0; i < d1.num_rows(); ++i) {
+    int label = d1.Label(i);
+    if (d1.At(i, datagen::ClassGenColumns::kAge) < 40.0) {
+      label = 1 - label;  // change concentrated in age < 40
+    }
+    d2.AddRow(d1.Row(i), label);
+  }
+
+  dt::CartOptions cart;
+  cart.max_depth = 4;
+  const DtModel m1(dt::BuildCart(d1, cart), d1);
+  const DtModel m2(dt::BuildCart(d2, cart), d2);
+
+  // Candidate regions: leaves of both trees (the paper's
+  // σ_top(ρ(Γ_T1 ∪ Γ_T2, δ)) expression).
+  const BoxSet candidates = PlainUnion(m1.leaf_boxes(), m2.leaf_boxes());
+  DeviationFunction fn;
+  const auto ranked = RankDtRegions(candidates, m1, d1, m2, d2, fn);
+  ASSERT_FALSE(ranked.empty());
+  // Deviations must be sorted descending.
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].deviation, ranked[i].deviation);
+  }
+  // The top region must lie in the changed zone: age bound below 40.
+  const data::AttributeBound& age_bound =
+      ranked[0].region.bound(datagen::ClassGenColumns::kAge);
+  EXPECT_LE(age_bound.lo, 40.0);
+  EXPECT_GT(ranked[0].deviation, 0.1);
+}
+
+TEST(RankDtTest, RegionDeviationMatchesFocusedDeviation) {
+  // ρ's per-region deviation must equal delta^R computed by DtDeviation
+  // with focus=R.
+  ClassGenParams params;
+  params.num_rows = 2000;
+  params.function = ClassFunction::kF2;
+  params.seed = 1;
+  const data::Dataset d1 = GenerateClassification(params);
+  params.function = ClassFunction::kF3;
+  params.seed = 2;
+  const data::Dataset d2 = GenerateClassification(params);
+
+  dt::CartOptions cart;
+  cart.max_depth = 3;
+  const DtModel m1(dt::BuildCart(d1, cart), d1);
+  const DtModel m2(dt::BuildCart(d2, cart), d2);
+
+  const BoxSet candidates = SelectTopN(m1.leaf_boxes(), 3);
+  DeviationFunction fn;
+  const auto ranked = RankDtRegions(candidates, m1, d1, m2, d2, fn);
+  for (const RankedBox& entry : ranked) {
+    DtDeviationOptions options;
+    options.focus = entry.region;
+    const double focused = DtDeviation(m1, d1, m2, d2, options);
+    EXPECT_NEAR(entry.deviation, focused, 1e-9);
+  }
+}
+
+TEST(RankClusterTest, MovedMassRanksFirst) {
+  const data::Schema schema(
+      {data::Schema::Numeric("x", 0.0, 10.0), data::Schema::Numeric("y", 0.0, 10.0)},
+      0);
+  data::Dataset d1(schema);
+  data::Dataset d2(schema);
+  for (int i = 0; i < 300; ++i) {
+    const double jitter = (i % 9) * 0.05;
+    // Stable blob at (2,2) in both datasets.
+    d1.AddRow(std::vector<double>{2.0 + jitter, 2.0 + jitter}, 0);
+    d2.AddRow(std::vector<double>{2.0 + jitter, 2.0 + jitter}, 0);
+    // Blob that moves from (7,7) to (7,2).
+    d1.AddRow(std::vector<double>{7.0 + jitter, 7.0 - jitter}, 0);
+    d2.AddRow(std::vector<double>{7.0 + jitter, 2.0 + jitter}, 0);
+  }
+  const cluster::Grid grid(schema, {0, 1}, 10);
+  cluster::GridClusteringOptions clustering;
+  clustering.density_threshold = 0.01;
+  const cluster::ClusterModel m1 = cluster::GridClustering(d1, grid, clustering);
+  const cluster::ClusterModel m2 = cluster::GridClustering(d2, grid, clustering);
+
+  const auto ranked = RankClusterRegions(m1, d1, m2, d2, AbsoluteDiff());
+  ASSERT_GE(ranked.size(), 2u);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].deviation, ranked[i].deviation);
+  }
+  // The top regions are the moved blob's source (present only in m1) and
+  // target (present only in m2); the stable blob ranks at the bottom with
+  // ~zero deviation.
+  EXPECT_GT(ranked.front().deviation, 0.3);
+  EXPECT_NEAR(ranked.back().deviation, 0.0, 0.05);
+  // Moved-mass regions are one-sided in the GCR.
+  EXPECT_TRUE(ranked[0].region1 == -1 || ranked[0].region2 == -1);
+}
+
+}  // namespace
+}  // namespace focus::core

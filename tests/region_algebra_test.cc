@@ -1,0 +1,112 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/region_algebra.h"
+
+namespace focus::core {
+namespace {
+
+using lits::Itemset;
+
+TEST(ItemsetAlgebraTest, UnionIsGcr) {
+  const ItemsetSet g1 = {Itemset({0}), Itemset({1}), Itemset({0, 1})};
+  const ItemsetSet g2 = {Itemset({1}), Itemset({2})};
+  const ItemsetSet u = StructuralUnion(g1, g2);
+  ASSERT_EQ(u.size(), 4u);
+  EXPECT_EQ(u[0], Itemset({0}));
+  EXPECT_EQ(u[1], Itemset({1}));
+  EXPECT_EQ(u[2], Itemset({2}));
+  EXPECT_EQ(u[3], Itemset({0, 1}));
+}
+
+TEST(ItemsetAlgebraTest, IntersectionKeepsShared) {
+  const ItemsetSet g1 = {Itemset({0}), Itemset({1}), Itemset({0, 1})};
+  const ItemsetSet g2 = {Itemset({1}), Itemset({0, 1}), Itemset({2})};
+  const ItemsetSet i = StructuralIntersection(g1, g2);
+  ASSERT_EQ(i.size(), 2u);
+  EXPECT_EQ(i[0], Itemset({1}));
+  EXPECT_EQ(i[1], Itemset({0, 1}));
+}
+
+TEST(ItemsetAlgebraTest, DifferenceIsSymmetric) {
+  const ItemsetSet g1 = {Itemset({0}), Itemset({1})};
+  const ItemsetSet g2 = {Itemset({1}), Itemset({2})};
+  const ItemsetSet d = StructuralDifference(g1, g2);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], Itemset({0}));
+  EXPECT_EQ(d[1], Itemset({2}));
+  // (g1 ⊔ g2) − (g1 ⊓ g2) definition: check via the other operators.
+  const ItemsetSet u = StructuralUnion(g1, g2);
+  const ItemsetSet i = StructuralIntersection(g1, g2);
+  EXPECT_EQ(d.size(), u.size() - i.size());
+}
+
+TEST(ItemsetAlgebraTest, NormalizeDedupes) {
+  ItemsetSet messy = {Itemset({1, 0}), Itemset({0, 1}), Itemset({2})};
+  const ItemsetSet clean = NormalizeItemsets(std::move(messy));
+  EXPECT_EQ(clean.size(), 2u);
+}
+
+// ---- boxes ----
+
+data::Schema XSchema() {
+  return data::Schema({data::Schema::Numeric("x", 0.0, 10.0)}, 0);
+}
+
+data::Box XRange(double lo, double hi) {
+  data::Box box = data::Box::Full(XSchema());
+  box.ClampNumeric(0, lo, hi);
+  return box;
+}
+
+TEST(BoxAlgebraTest, StructuralUnionIsOverlay) {
+  const data::Schema schema = XSchema();
+  // Partition A: [0,5), [5,inf). Partition B: [0,3), [3,inf).
+  const BoxSet a = {XRange(-1e300, 5.0), XRange(5.0, 1e300)};
+  const BoxSet b = {XRange(-1e300, 3.0), XRange(3.0, 1e300)};
+  const BoxSet overlay = StructuralUnion(schema, a, b);
+  // Overlay cells: (<3), [3,5), [5,inf) — 3 non-empty intersections.
+  EXPECT_EQ(overlay.size(), 3u);
+}
+
+TEST(BoxAlgebraTest, PlainUnionDeduplicates) {
+  const data::Schema schema = XSchema();
+  const BoxSet a = {XRange(0.0, 5.0), XRange(5.0, 10.0)};
+  const BoxSet b = {XRange(5.0, 10.0), XRange(0.0, 2.0)};
+  const BoxSet u = PlainUnion(a, b);
+  EXPECT_EQ(u.size(), 3u);
+}
+
+TEST(BoxAlgebraTest, IntersectionKeepsExactMatches) {
+  const data::Schema schema = XSchema();
+  const BoxSet a = {XRange(0.0, 5.0), XRange(5.0, 10.0)};
+  const BoxSet b = {XRange(5.0, 10.0), XRange(2.0, 3.0)};
+  const BoxSet i = StructuralIntersection(schema, a, b);
+  ASSERT_EQ(i.size(), 1u);
+  EXPECT_TRUE(i[0] == XRange(5.0, 10.0));
+}
+
+TEST(BoxAlgebraTest, DifferenceExcludesShared) {
+  const data::Schema schema = XSchema();
+  const BoxSet a = {XRange(0.0, 5.0)};
+  const BoxSet b = {XRange(0.0, 5.0)};
+  // Identical partitions: overlay = the shared box, intersection = it too.
+  EXPECT_TRUE(StructuralDifference(schema, a, b).empty());
+
+  const BoxSet c = {XRange(0.0, 3.0)};
+  const BoxSet diff = StructuralDifference(schema, a, c);
+  // Overlay = [0,3); intersection = {} => difference = overlay.
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_TRUE(diff[0] == XRange(0.0, 3.0));
+}
+
+TEST(BoxAlgebraTest, OverlayDropsEmptyIntersections) {
+  const data::Schema schema = XSchema();
+  const BoxSet a = {XRange(0.0, 2.0)};
+  const BoxSet b = {XRange(5.0, 7.0)};
+  EXPECT_TRUE(StructuralUnion(schema, a, b).empty());
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,171 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "itemsets/rules.h"
+
+namespace focus::lits {
+namespace {
+
+// A model where rules are fully hand-computable.
+LitsModel HandModel() {
+  LitsModel model(0.1, 100, 5);
+  model.Add(Itemset({0}), 0.6);
+  model.Add(Itemset({1}), 0.5);
+  model.Add(Itemset({2}), 0.4);
+  model.Add(Itemset({0, 1}), 0.4);
+  model.Add(Itemset({0, 2}), 0.2);
+  return model;
+}
+
+const AssociationRule* FindRule(const std::vector<AssociationRule>& rules,
+                                const Itemset& a, const Itemset& c) {
+  for (const AssociationRule& rule : rules) {
+    if (rule.antecedent == a && rule.consequent == c) return &rule;
+  }
+  return nullptr;
+}
+
+TEST(RulesTest, HandComputedConfidences) {
+  RuleOptions options;
+  options.min_confidence = 0.3;
+  const auto rules = GenerateRules(HandModel(), options);
+  // {0}=>{1}: 0.4/0.6; {1}=>{0}: 0.4/0.5; {0}=>{2}: 0.2/0.6;
+  // {2}=>{0}: 0.2/0.4.
+  const AssociationRule* r01 = FindRule(rules, Itemset({0}), Itemset({1}));
+  ASSERT_NE(r01, nullptr);
+  EXPECT_NEAR(r01->confidence, 0.4 / 0.6, 1e-12);
+  EXPECT_NEAR(r01->lift, (0.4 / 0.6) / 0.5, 1e-12);
+  const AssociationRule* r10 = FindRule(rules, Itemset({1}), Itemset({0}));
+  ASSERT_NE(r10, nullptr);
+  EXPECT_NEAR(r10->confidence, 0.8, 1e-12);
+  const AssociationRule* r20 = FindRule(rules, Itemset({2}), Itemset({0}));
+  ASSERT_NE(r20, nullptr);
+  EXPECT_NEAR(r20->confidence, 0.5, 1e-12);
+  // {0}=>{2} has confidence 1/3 >= 0.3: present.
+  EXPECT_NE(FindRule(rules, Itemset({0}), Itemset({2})), nullptr);
+}
+
+TEST(RulesTest, ConfidenceThresholdFilters) {
+  RuleOptions options;
+  options.min_confidence = 0.75;
+  const auto rules = GenerateRules(HandModel(), options);
+  // Only {1}=>{0} (conf 0.8) survives.
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(rules[0].antecedent == Itemset({1}));
+}
+
+TEST(RulesTest, SortedByConfidenceThenSupport) {
+  RuleOptions options;
+  options.min_confidence = 0.2;
+  const auto rules = GenerateRules(HandModel(), options);
+  for (size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_GE(rules[i - 1].confidence, rules[i].confidence);
+  }
+}
+
+TEST(RulesTest, MultiItemRulesFromTriple) {
+  LitsModel model(0.1, 100, 4);
+  model.Add(Itemset({0}), 0.5);
+  model.Add(Itemset({1}), 0.5);
+  model.Add(Itemset({2}), 0.5);
+  model.Add(Itemset({0, 1}), 0.4);
+  model.Add(Itemset({0, 2}), 0.4);
+  model.Add(Itemset({1, 2}), 0.4);
+  model.Add(Itemset({0, 1, 2}), 0.3);
+  RuleOptions options;
+  options.min_confidence = 0.5;
+  const auto rules = GenerateRules(model, options);
+  // {0,1}=>{2} has confidence 0.3/0.4 = 0.75.
+  const AssociationRule* rule =
+      FindRule(rules, Itemset({0, 1}), Itemset({2}));
+  ASSERT_NE(rule, nullptr);
+  EXPECT_NEAR(rule->confidence, 0.75, 1e-12);
+  EXPECT_NEAR(rule->support, 0.3, 1e-12);
+}
+
+TEST(RulesTest, GeneratedDataRulesAreInternallyConsistent) {
+  datagen::QuestParams params;
+  params.num_transactions = 1000;
+  params.num_items = 60;
+  params.num_patterns = 15;
+  params.avg_pattern_length = 4;
+  params.seed = 3;
+  const data::TransactionDb db = datagen::GenerateQuest(params);
+  AprioriOptions apriori;
+  apriori.min_support = 0.03;
+  const LitsModel model = Apriori(db, apriori);
+  RuleOptions options;
+  options.min_confidence = 0.6;
+  const auto rules = GenerateRules(model, options);
+  for (const AssociationRule& rule : rules) {
+    EXPECT_GE(rule.confidence, 0.6);
+    EXPECT_LE(rule.confidence, 1.0 + 1e-12);
+    EXPECT_GE(rule.support, apriori.min_support - 1e-12);
+    // support(rule) equals the model's support of the union.
+    EXPECT_NEAR(rule.support,
+                model.SupportOr(rule.antecedent.Union(rule.consequent), -1.0),
+                1e-12);
+  }
+}
+
+TEST(RuleDeviationTest, IdenticalModelsZero) {
+  const LitsModel model = HandModel();
+  RuleOptions options;
+  options.min_confidence = 0.3;
+  const auto rules = GenerateRules(model, options);
+  EXPECT_DOUBLE_EQ(RuleDeviation(rules, model, rules, model), 0.0);
+}
+
+TEST(RuleDeviationTest, ConfidenceShiftMeasured) {
+  const LitsModel m1 = HandModel();
+  LitsModel m2(0.1, 100, 5);
+  m2.Add(Itemset({0}), 0.6);
+  m2.Add(Itemset({1}), 0.5);
+  m2.Add(Itemset({2}), 0.4);
+  m2.Add(Itemset({0, 1}), 0.1);  // implication {0}=>{1} collapses
+  m2.Add(Itemset({0, 2}), 0.2);
+
+  RuleOptions options;
+  options.min_confidence = 0.3;
+  const auto rules1 = GenerateRules(m1, options);
+  const auto rules2 = GenerateRules(m2, options);
+  const double deviation = RuleDeviation(rules1, m1, rules2, m2);
+  // {0}=>{1} moved 0.667->0.167 and {1}=>{0} moved 0.8->0.2: the
+  // deviation must reflect at least those 1.1 points of confidence mass.
+  EXPECT_GT(deviation, 1.0);
+}
+
+TEST(RuleDeviationTest, MissingRuleExtendsViaModel) {
+  // A rule above threshold only in m1 still gets its true (low)
+  // confidence from m2's supports rather than a hard 0.
+  LitsModel m1(0.1, 100, 3);
+  m1.Add(Itemset({0}), 0.5);
+  m1.Add(Itemset({1}), 0.5);
+  m1.Add(Itemset({0, 1}), 0.45);  // conf 0.9
+  LitsModel m2(0.1, 100, 3);
+  m2.Add(Itemset({0}), 0.5);
+  m2.Add(Itemset({1}), 0.5);
+  m2.Add(Itemset({0, 1}), 0.2);  // conf 0.4 < threshold 0.5
+
+  RuleOptions options;
+  options.min_confidence = 0.5;
+  const auto rules1 = GenerateRules(m1, options);
+  const auto rules2 = GenerateRules(m2, options);
+  ASSERT_FALSE(rules1.empty());
+  EXPECT_TRUE(rules2.empty());
+  // Deviation = |0.9-0.4| per direction = 2 * 0.5.
+  EXPECT_NEAR(RuleDeviation(rules1, m1, rules2, m2), 1.0, 1e-9);
+}
+
+TEST(ConfidenceUnderTest, ZeroWhenNotFrequent) {
+  const LitsModel model = HandModel();
+  EXPECT_DOUBLE_EQ(ConfidenceUnder(model, Itemset({4}), Itemset({0})), 0.0);
+  EXPECT_NEAR(ConfidenceUnder(model, Itemset({0}), Itemset({1})), 0.4 / 0.6,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace focus::lits

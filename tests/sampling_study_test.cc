@@ -1,0 +1,143 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/sampling_study.h"
+#include "datagen/class_gen.h"
+#include "datagen/quest_gen.h"
+
+namespace focus::core {
+namespace {
+
+using datagen::ClassFunction;
+using datagen::ClassGenParams;
+using datagen::GenerateClassification;
+using datagen::GenerateQuest;
+using datagen::QuestParams;
+
+TEST(LitsSampleStudyTest, SdDecreasesWithSampleFraction) {
+  QuestParams params;
+  params.num_transactions = 2000;
+  params.num_items = 100;
+  params.num_patterns = 40;
+  params.avg_pattern_length = 3;
+  params.avg_transaction_length = 8;
+  params.seed = 7;
+  const data::TransactionDb db = GenerateQuest(params);
+
+  LitsStudyConfig config;
+  config.apriori.min_support = 0.02;
+  config.fractions = {0.05, 0.2, 0.6};
+  config.samples_per_fraction = 5;
+  const auto points = LitsSampleStudy(db, config);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].sample_deviations.size(), 5u);
+  // Mean SD decreases with sample fraction (the central Section-6 shape).
+  EXPECT_GT(points[0].mean_sd, points[1].mean_sd);
+  EXPECT_GT(points[1].mean_sd, points[2].mean_sd);
+}
+
+TEST(DtSampleStudyTest, SdDecreasesWithSampleFraction) {
+  ClassGenParams params;
+  params.num_rows = 4000;
+  params.function = ClassFunction::kF2;
+  params.seed = 7;
+  const data::Dataset dataset = GenerateClassification(params);
+
+  DtStudyConfig config;
+  config.cart.max_depth = 4;
+  config.cart.min_leaf_size = 20;
+  config.fractions = {0.05, 0.3, 0.8};
+  config.samples_per_fraction = 5;
+  const auto points = DtSampleStudy(dataset, config);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_GT(points[0].mean_sd, points[2].mean_sd);
+}
+
+TEST(ClusterSampleStudyTest, SdDecreasesWithSampleFraction) {
+  // Two-dimensional blobs; the cluster-model sample study (our extension
+  // of §6 to the third model class) must show the same monotone shape.
+  const data::Schema schema(
+      {data::Schema::Numeric("x", 0.0, 10.0), data::Schema::Numeric("y", 0.0, 10.0)},
+      0);
+  data::Dataset dataset(schema);
+  std::mt19937_64 rng(4);
+  std::normal_distribution<double> noise(0.0, 0.5);
+  for (int i = 0; i < 4000; ++i) {
+    const double cx = (i % 2 == 0) ? 2.5 : 7.5;
+    dataset.AddRow(
+        std::vector<double>{std::clamp(cx + noise(rng), 0.0, 9.999),
+                            std::clamp(cx + noise(rng), 0.0, 9.999)},
+        0);
+  }
+  core::ClusterStudyConfig config;
+  config.grid_attributes = {0, 1};
+  config.grid_bins = 10;
+  config.density_threshold = 0.005;
+  config.fractions = {0.05, 0.3, 0.8};
+  config.samples_per_fraction = 5;
+  const auto points = ClusterSampleStudy(dataset, config);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_GT(points[0].mean_sd, points[2].mean_sd);
+}
+
+TEST(SampleStudyTest, StepSignificancesShapeAndRange) {
+  SampleStudyPoint a;
+  a.fraction = 0.1;
+  a.sample_deviations = {1.0, 1.1, 0.9, 1.05, 0.95};
+  SampleStudyPoint b;
+  b.fraction = 0.5;
+  b.sample_deviations = {0.2, 0.25, 0.15, 0.22, 0.18};
+  SampleStudyPoint c;
+  c.fraction = 0.8;
+  c.sample_deviations = {0.21, 0.24, 0.16, 0.2, 0.19};  // ~same as b
+
+  const auto significances = StepSignificances({a, b, c});
+  ASSERT_EQ(significances.size(), 2u);
+  EXPECT_GT(significances[0], 98.0);  // clear decrease
+  EXPECT_LT(significances[1], 90.0);  // no real decrease
+  for (double s : significances) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 99.99);
+  }
+}
+
+TEST(SampleStudyTest, DeterministicGivenSeed) {
+  QuestParams params;
+  params.num_transactions = 800;
+  params.num_items = 60;
+  params.num_patterns = 20;
+  params.seed = 3;
+  const data::TransactionDb db = GenerateQuest(params);
+  LitsStudyConfig config;
+  config.apriori.min_support = 0.05;
+  config.fractions = {0.2, 0.5};
+  config.samples_per_fraction = 3;
+  config.seed = 99;
+  const auto p1 = LitsSampleStudy(db, config);
+  const auto p2 = LitsSampleStudy(db, config);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].sample_deviations, p2[i].sample_deviations);
+  }
+}
+
+TEST(SampleStudyTest, FullFractionHasNearZeroSd) {
+  // A "sample" of 100% induces the same model: SD must be ~0.
+  QuestParams params;
+  params.num_transactions = 500;
+  params.num_items = 50;
+  params.num_patterns = 15;
+  params.seed = 3;
+  const data::TransactionDb db = GenerateQuest(params);
+  LitsStudyConfig config;
+  config.apriori.min_support = 0.05;
+  config.fractions = {1.0};
+  config.samples_per_fraction = 2;
+  const auto points = LitsSampleStudy(db, config);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_NEAR(points[0].mean_sd, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace focus::core

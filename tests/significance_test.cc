@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "core/significance.h"
+#include "datagen/class_gen.h"
+#include "datagen/quest_gen.h"
+
+namespace focus::core {
+namespace {
+
+using datagen::ClassFunction;
+using datagen::ClassGenParams;
+using datagen::GenerateClassification;
+using datagen::GenerateQuest;
+using datagen::QuestParams;
+
+QuestParams SmallQuest(uint64_t seed, int32_t num_patterns = 20,
+                       double pattern_length = 3,
+                       uint64_t pattern_seed = 0) {
+  QuestParams params;
+  params.num_transactions = 600;
+  params.num_items = 80;
+  params.num_patterns = num_patterns;
+  params.avg_pattern_length = pattern_length;
+  params.avg_transaction_length = 8;
+  params.seed = seed;
+  params.pattern_seed = pattern_seed;
+  return params;
+}
+
+TEST(LitsSignificanceTest, SameProcessIsInsignificant) {
+  // Same pattern table (= same generating process), independent samples.
+  const data::TransactionDb d1 = GenerateQuest(SmallQuest(1, 20, 3, 777));
+  const data::TransactionDb d2 = GenerateQuest(SmallQuest(2, 20, 3, 777));
+
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.03;
+  SignificanceOptions options;
+  options.num_replicates = 19;
+  DeviationFunction fn;
+  const SignificanceResult result =
+      LitsDeviationSignificance(d1, d2, apriori, fn, options);
+  EXPECT_GE(result.deviation, 0.0);
+  // Same generator, different seed: the deviation should NOT be extreme
+  // relative to the bootstrap null distribution.
+  EXPECT_LT(result.significance_percent, 100.0);
+}
+
+TEST(LitsSignificanceTest, DifferentPatternsAreSignificant) {
+  const data::TransactionDb d1 = GenerateQuest(SmallQuest(1));
+  // Very different pattern structure (length 6 instead of 3).
+  const data::TransactionDb d2 = GenerateQuest(SmallQuest(2, 5, 6));
+
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.03;
+  SignificanceOptions options;
+  options.num_replicates = 19;
+  DeviationFunction fn;
+  const SignificanceResult result =
+      LitsDeviationSignificance(d1, d2, apriori, fn, options);
+  // The observed deviation should exceed every bootstrap replicate.
+  EXPECT_DOUBLE_EQ(result.significance_percent, 100.0);
+}
+
+TEST(DtSignificanceTest, SameProcessIsInsignificant) {
+  ClassGenParams params;
+  params.num_rows = 800;
+  params.function = ClassFunction::kF1;
+  params.seed = 1;
+  const data::Dataset d1 = GenerateClassification(params);
+  params.seed = 2;
+  const data::Dataset d2 = GenerateClassification(params);
+
+  dt::CartOptions cart;
+  cart.max_depth = 3;
+  cart.min_leaf_size = 30;
+  SignificanceOptions options;
+  options.num_replicates = 19;
+  DeviationFunction fn;
+  const SignificanceResult result =
+      DtDeviationSignificance(d1, d2, cart, fn, options);
+  EXPECT_LT(result.significance_percent, 100.0);
+}
+
+TEST(DtSignificanceTest, DifferentFunctionIsSignificant) {
+  ClassGenParams params;
+  params.num_rows = 800;
+  params.function = ClassFunction::kF1;
+  params.seed = 1;
+  const data::Dataset d1 = GenerateClassification(params);
+  params.function = ClassFunction::kF4;
+  params.seed = 2;
+  const data::Dataset d2 = GenerateClassification(params);
+
+  dt::CartOptions cart;
+  cart.max_depth = 3;
+  cart.min_leaf_size = 30;
+  SignificanceOptions options;
+  options.num_replicates = 19;
+  DeviationFunction fn;
+  const SignificanceResult result =
+      DtDeviationSignificance(d1, d2, cart, fn, options);
+  EXPECT_DOUBLE_EQ(result.significance_percent, 100.0);
+  EXPECT_GT(result.deviation, 0.0);
+}
+
+TEST(LitsBlockSignificanceTest, SameProcessBlockInsignificant) {
+  const data::TransactionDb base = GenerateQuest(SmallQuest(1, 20, 3, 777));
+  // Block from the SAME process.
+  QuestParams block_params = SmallQuest(5, 20, 3, 777);
+  block_params.num_transactions = 60;
+  const data::TransactionDb block = GenerateQuest(block_params);
+
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.03;
+  SignificanceOptions options;
+  options.num_replicates = 19;
+  DeviationFunction fn;
+  const SignificanceResult result =
+      LitsBlockSignificance(base, block, apriori, fn, options);
+  EXPECT_LT(result.significance_percent, 100.0);
+}
+
+TEST(LitsBlockSignificanceTest, DriftedBlockSignificant) {
+  const data::TransactionDb base = GenerateQuest(SmallQuest(1, 20, 3, 777));
+  // Block from a very different process (long patterns).
+  QuestParams block_params = SmallQuest(6, 5, 7);
+  block_params.num_transactions = 120;
+  const data::TransactionDb block = GenerateQuest(block_params);
+
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.03;
+  SignificanceOptions options;
+  options.num_replicates = 19;
+  DeviationFunction fn;
+  const SignificanceResult result =
+      LitsBlockSignificance(base, block, apriori, fn, options);
+  EXPECT_DOUBLE_EQ(result.significance_percent, 100.0);
+}
+
+TEST(DtBlockSignificanceTest, SeparatesSameFromDrifted) {
+  ClassGenParams params;
+  params.num_rows = 1500;
+  params.function = ClassFunction::kF1;
+  params.seed = 1;
+  const data::Dataset base = GenerateClassification(params);
+  params.num_rows = 150;
+  params.seed = 2;
+  const data::Dataset same_block = GenerateClassification(params);
+  params.function = ClassFunction::kF4;
+  params.seed = 3;
+  const data::Dataset drift_block = GenerateClassification(params);
+
+  dt::CartOptions cart;
+  cart.max_depth = 4;
+  cart.min_leaf_size = 30;
+  SignificanceOptions options;
+  options.num_replicates = 19;
+  DeviationFunction fn;
+  const SignificanceResult same =
+      DtBlockSignificance(base, same_block, cart, fn, options);
+  const SignificanceResult drift =
+      DtBlockSignificance(base, drift_block, cart, fn, options);
+  // A drifted block must be flagged, and must deviate far more than a
+  // same-process block. (At this tiny scale the same-process block's
+  // significance itself is unstable: a bootstrap-resampled block keeps
+  // CART's split thresholds frozen while any FRESH sample jiggles them,
+  // so the null understates fresh-sample variance — see significance.h.)
+  EXPECT_DOUBLE_EQ(drift.significance_percent, 100.0);
+  EXPECT_GT(drift.deviation, 2.0 * same.deviation);
+}
+
+TEST(SignificanceTest, DeterministicGivenSeed) {
+  const data::TransactionDb d1 = GenerateQuest(SmallQuest(1));
+  const data::TransactionDb d2 = GenerateQuest(SmallQuest(9));
+  lits::AprioriOptions apriori;
+  apriori.min_support = 0.05;
+  SignificanceOptions options;
+  options.num_replicates = 7;
+  options.seed = 123;
+  DeviationFunction fn;
+  const SignificanceResult a =
+      LitsDeviationSignificance(d1, d2, apriori, fn, options);
+  const SignificanceResult b =
+      LitsDeviationSignificance(d1, d2, apriori, fn, options);
+  EXPECT_DOUBLE_EQ(a.deviation, b.deviation);
+  EXPECT_DOUBLE_EQ(a.significance_percent, b.significance_percent);
+}
+
+}  // namespace
+}  // namespace focus::core

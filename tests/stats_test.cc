@@ -1,0 +1,237 @@
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+#include "stats/wilcoxon.h"
+
+namespace focus::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalCdf(3.0), 0.99865, 1e-4);
+}
+
+TEST(ChiSquaredCdfTest, KnownCriticalValues) {
+  // 95th percentile of chi2(1) is 3.841; of chi2(5) is 11.070.
+  EXPECT_NEAR(ChiSquaredCdf(3.841, 1), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquaredCdf(11.070, 5), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquaredCdf(0.0, 3), 0.0, 1e-12);
+  EXPECT_NEAR(ChiSquaredPValue(3.841, 1), 0.05, 1e-3);
+}
+
+TEST(ChiSquaredCdfTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 30.0; x += 0.5) {
+    const double cdf = ChiSquaredCdf(x, 4);
+    EXPECT_GE(cdf, prev);
+    prev = cdf;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-4);
+}
+
+TEST(RegularizedGammaTest, MatchesErfForHalf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  auto a = MakeRng(99);
+  auto b = MakeRng(99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DeriveSeedDecorrelatesStreams) {
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(1, 1));
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
+}
+
+TEST(RngTest, PoissonMeanRoughlyCorrect) {
+  auto rng = MakeRng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(PoissonVariate(rng, 7.0));
+  EXPECT_NEAR(sum / n, 7.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  auto rng = MakeRng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += ExponentialVariate(rng, 2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, UniformBounds) {
+  auto rng = MakeRng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = UniformVariate(rng, 2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+    const int64_t k = UniformInt(rng, -2, 2);
+    EXPECT_GE(k, -2);
+    EXPECT_LE(k, 2);
+  }
+}
+
+TEST(DescriptiveTest, MeanVarianceStdDev) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 2.5);
+  EXPECT_NEAR(Variance(values), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(StdDev(values), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Min(values), 1.0);
+  EXPECT_DOUBLE_EQ(Max(values), 4.0);
+}
+
+TEST(DescriptiveTest, VarianceOfSingletonIsZero) {
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(Variance(one), 0.0);
+}
+
+TEST(DescriptiveTest, QuantileInterpolates) {
+  const std::vector<double> values = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.25), 20.0);
+}
+
+TEST(DescriptiveTest, PearsonPerfectAndInverse) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+  const std::vector<double> constant = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, constant), 0.0);
+}
+
+TEST(WilcoxonTest, ClearlyShiftedSamples) {
+  // a values are all larger than b values.
+  const std::vector<double> a = {10, 11, 12, 13, 14, 15, 16, 17, 18, 19};
+  const std::vector<double> b = {1, 2, 3, 4, 5, 6, 7, 8, 9, 9.5};
+  const WilcoxonResult r = WilcoxonRankSum(a, b);
+  EXPECT_LT(r.p_greater, 0.001);
+  EXPECT_GT(r.p_less, 0.999);
+}
+
+TEST(WilcoxonTest, IdenticalSamplesAreInconclusive) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const WilcoxonResult r = WilcoxonRankSum(a, a);
+  EXPECT_GT(r.p_greater, 0.3);
+  EXPECT_GT(r.p_less, 0.3);
+}
+
+TEST(WilcoxonTest, AllTiedValuesHandled) {
+  const std::vector<double> a = {2, 2, 2};
+  const std::vector<double> b = {2, 2, 2};
+  const WilcoxonResult r = WilcoxonRankSum(a, b);
+  EXPECT_DOUBLE_EQ(r.z, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+}
+
+TEST(WilcoxonTest, SignificanceOfDecreaseDetectsShift) {
+  // SDs at the smaller size are larger => significant decrease.
+  std::vector<double> smaller_size(30);
+  std::vector<double> larger_size(30);
+  auto rng = MakeRng(1);
+  for (int i = 0; i < 30; ++i) {
+    smaller_size[i] = 1.0 + 0.05 * NormalVariate(rng);
+    larger_size[i] = 0.5 + 0.05 * NormalVariate(rng);
+  }
+  EXPECT_GT(SignificanceOfDecreasePercent(smaller_size, larger_size), 99.9);
+  // Reversed direction: no significance.
+  EXPECT_LT(SignificanceOfDecreasePercent(larger_size, smaller_size), 5.0);
+}
+
+TEST(WilcoxonTest, SignificanceCappedAt9999) {
+  std::vector<double> high(50, 0.0);
+  std::vector<double> low(50, 0.0);
+  for (int i = 0; i < 50; ++i) {
+    high[i] = 100.0 + i;
+    low[i] = i * 0.01;
+  }
+  EXPECT_LE(SignificanceOfDecreasePercent(high, low), 99.99);
+}
+
+TEST(WilcoxonExactTest, TinyHandComputedCase) {
+  // a = {2}, b = {1}: rank of a is 2; P(W >= 2) = 1/2, P(W <= 2) = 1.
+  const std::vector<double> a = {2.0};
+  const std::vector<double> b = {1.0};
+  const WilcoxonResult r = WilcoxonRankSumExact(a, b);
+  EXPECT_DOUBLE_EQ(r.p_greater, 0.5);
+  EXPECT_DOUBLE_EQ(r.p_less, 1.0);
+}
+
+TEST(WilcoxonExactTest, CompleteSeparationSmallSamples) {
+  // a = {4, 5, 6}, b = {1, 2, 3}: W_a = 15, the single largest
+  // configuration among C(6,3) = 20 => P(W >= 15) = 1/20.
+  const std::vector<double> a = {4.0, 5.0, 6.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const WilcoxonResult r = WilcoxonRankSumExact(a, b);
+  EXPECT_DOUBLE_EQ(r.p_greater, 1.0 / 20.0);
+}
+
+TEST(WilcoxonExactTest, AgreesWithNormalApproximationMidSample) {
+  std::vector<double> a;
+  std::vector<double> b;
+  auto rng = MakeRng(17);
+  for (int i = 0; i < 10; ++i) {
+    a.push_back(1.0 + 0.3 * NormalVariate(rng));
+    b.push_back(0.6 + 0.3 * NormalVariate(rng));
+  }
+  ASSERT_TRUE(WilcoxonExactApplicable(a, b));
+  const WilcoxonResult exact = WilcoxonRankSumExact(a, b);
+  const WilcoxonResult approx = WilcoxonRankSum(a, b);
+  EXPECT_NEAR(exact.p_greater, approx.p_greater, 0.03);
+  EXPECT_NEAR(exact.p_less, approx.p_less, 0.03);
+}
+
+TEST(WilcoxonExactTest, ApplicabilityRules) {
+  const std::vector<double> small = {1.0, 2.0};
+  const std::vector<double> tied = {2.0, 3.0};
+  EXPECT_FALSE(WilcoxonExactApplicable(small, tied));  // value 2 tied
+  const std::vector<double> clean = {4.0, 5.0};
+  EXPECT_TRUE(WilcoxonExactApplicable(small, clean));
+  std::vector<double> big(20, 0.0);
+  std::vector<double> big2(20, 0.0);
+  for (int i = 0; i < 20; ++i) {
+    big[i] = i;
+    big2[i] = 100 + i;
+  }
+  EXPECT_FALSE(WilcoxonExactApplicable(big, big2));  // 40 > 30 pooled
+}
+
+TEST(BootstrapTest, NullDistributionSizeAndDeterminism) {
+  auto statistic = [](std::span<const int64_t> s1,
+                      std::span<const int64_t> s2) {
+    return static_cast<double>(s1[0] + s2[0]);
+  };
+  BootstrapOptions options;
+  options.num_replicates = 25;
+  options.seed = 3;
+  const auto null1 = BootstrapNullDistribution(10, 12, statistic, options);
+  const auto null2 = BootstrapNullDistribution(10, 12, statistic, options);
+  ASSERT_EQ(null1.size(), 25u);
+  EXPECT_EQ(null1, null2);
+}
+
+TEST(BootstrapTest, SignificancePercentCountsStrictlyBelow) {
+  const std::vector<double> null_values = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(SignificancePercent(0.35, null_values), 75.0);
+  EXPECT_DOUBLE_EQ(SignificancePercent(0.05, null_values), 0.0);
+  EXPECT_DOUBLE_EQ(SignificancePercent(1.0, null_values), 100.0);
+}
+
+}  // namespace
+}  // namespace focus::stats

@@ -1,0 +1,186 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/class_gen.h"
+#include "tree/cart_builder.h"
+#include "tree/decision_tree.h"
+#include "tree/leaf_regions.h"
+
+namespace focus::dt {
+namespace {
+
+using datagen::ClassFunction;
+using datagen::ClassGenColumns;
+using datagen::ClassGenParams;
+using datagen::GenerateClassification;
+
+data::Schema XySchema() {
+  return data::Schema(
+      {data::Schema::Numeric("x", 0.0, 1.0), data::Schema::Numeric("y", 0.0, 1.0)},
+      /*num_classes=*/2);
+}
+
+// A checkerboard-ish dataset separable by x < 0.5.
+data::Dataset SeparableDataset(int64_t n) {
+  data::Dataset dataset(XySchema());
+  for (int64_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i % 100) / 100.0;
+    const double y = static_cast<double>((i * 37) % 100) / 100.0;
+    dataset.AddRow(std::vector<double>{x, y}, x < 0.5 ? 0 : 1);
+  }
+  return dataset;
+}
+
+TEST(DecisionTreeTest, ManualConstructionRoutesCorrectly) {
+  DecisionTree tree(XySchema());
+  const int root = tree.AddInternalNode(0, 0.5, 0);
+  const int left = tree.AddLeafNode({10, 0});
+  const int right = tree.AddLeafNode({0, 10});
+  tree.SetChildren(root, left, right);
+
+  EXPECT_EQ(tree.num_leaves(), 2);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.2, 0.9}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.7, 0.1}), 1);
+  EXPECT_EQ(tree.LeafIndexOf(std::vector<double>{0.2, 0.9}), 0);
+  EXPECT_EQ(tree.LeafIndexOf(std::vector<double>{0.7, 0.1}), 1);
+  EXPECT_EQ(tree.Depth(), 1);
+}
+
+TEST(DecisionTreeTest, SingleLeafTree) {
+  DecisionTree tree(XySchema());
+  tree.AddLeafNode({3, 7});
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.5, 0.5}), 1);
+  EXPECT_EQ(tree.Depth(), 0);
+  EXPECT_EQ(tree.num_leaves(), 1);
+}
+
+TEST(CartTest, LearnsSeparableBoundary) {
+  const data::Dataset dataset = SeparableDataset(2000);
+  CartOptions options;
+  options.max_depth = 4;
+  options.min_leaf_size = 20;
+  const DecisionTree tree = BuildCart(dataset, options);
+
+  int64_t correct = 0;
+  for (int64_t i = 0; i < dataset.num_rows(); ++i) {
+    if (tree.Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / 2000.0, 0.99);
+}
+
+TEST(CartTest, RespectsDepthLimit) {
+  ClassGenParams params;
+  params.num_rows = 3000;
+  params.function = ClassFunction::kF2;
+  const data::Dataset dataset = GenerateClassification(params);
+  CartOptions options;
+  options.max_depth = 3;
+  options.min_leaf_size = 10;
+  const DecisionTree tree = BuildCart(dataset, options);
+  EXPECT_LE(tree.Depth(), 3);
+  EXPECT_LE(tree.num_leaves(), 8);
+}
+
+TEST(CartTest, PureDataYieldsSingleLeaf) {
+  data::Dataset dataset(XySchema());
+  for (int i = 0; i < 100; ++i) {
+    dataset.AddRow(std::vector<double>{i / 100.0, 0.5}, 0);
+  }
+  const DecisionTree tree = BuildCart(dataset, CartOptions{});
+  EXPECT_EQ(tree.num_leaves(), 1);
+}
+
+TEST(CartTest, LearnsCategoricalSplit) {
+  // Class determined entirely by a categorical attribute.
+  data::Schema schema({data::Schema::Numeric("x", 0.0, 1.0),
+                       data::Schema::Categorical("c", 6)},
+                      2);
+  data::Dataset dataset(schema);
+  for (int i = 0; i < 1200; ++i) {
+    const int code = i % 6;
+    dataset.AddRow(std::vector<double>{(i % 97) / 97.0,
+                                       static_cast<double>(code)},
+                   (code == 1 || code == 4) ? 0 : 1);
+  }
+  CartOptions options;
+  options.max_depth = 2;
+  options.min_leaf_size = 10;
+  const DecisionTree tree = BuildCart(dataset, options);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < dataset.num_rows(); ++i) {
+    if (tree.Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
+  }
+  EXPECT_EQ(correct, dataset.num_rows());
+}
+
+TEST(CartTest, F1TreeIsAccurate) {
+  ClassGenParams params;
+  params.num_rows = 10000;
+  params.function = ClassFunction::kF1;
+  const data::Dataset dataset = GenerateClassification(params);
+  CartOptions options;
+  options.max_depth = 6;
+  options.min_leaf_size = 50;
+  const DecisionTree tree = BuildCart(dataset, options);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < dataset.num_rows(); ++i) {
+    if (tree.Predict(dataset.Row(i)) == dataset.Label(i)) ++correct;
+  }
+  // F1 is a pure age rule; CART should nail it almost exactly.
+  EXPECT_GT(static_cast<double>(correct) / 10000.0, 0.98);
+}
+
+// ---- leaf regions ----
+
+TEST(LeafRegionsTest, BoxesMatchRouting) {
+  ClassGenParams params;
+  params.num_rows = 5000;
+  params.function = ClassFunction::kF4;
+  const data::Dataset dataset = GenerateClassification(params);
+  CartOptions options;
+  options.max_depth = 5;
+  options.min_leaf_size = 50;
+  const DecisionTree tree = BuildCart(dataset, options);
+  const std::vector<data::Box> boxes = ExtractLeafBoxes(tree);
+  ASSERT_EQ(static_cast<int>(boxes.size()), tree.num_leaves());
+
+  // Every tuple's routed leaf box must contain the tuple, and no other
+  // leaf box may (the leaf regions partition the attribute space, §2.1).
+  for (int64_t i = 0; i < 500; ++i) {
+    const auto row = dataset.Row(i * 10);
+    const int leaf = tree.LeafIndexOf(row);
+    int containing = 0;
+    for (int b = 0; b < static_cast<int>(boxes.size()); ++b) {
+      if (boxes[b].Contains(tree.schema(), row)) {
+        ++containing;
+        EXPECT_EQ(b, leaf);
+      }
+    }
+    EXPECT_EQ(containing, 1);
+  }
+}
+
+TEST(LeafRegionsTest, SingleLeafIsFullSpace) {
+  DecisionTree tree(XySchema());
+  tree.AddLeafNode({1, 1});
+  const std::vector<data::Box> boxes = ExtractLeafBoxes(tree);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_TRUE(boxes[0] == data::Box::Full(tree.schema()));
+}
+
+TEST(LeafRegionsTest, CategoricalSplitPartitionsMask) {
+  data::Schema schema({data::Schema::Categorical("c", 4)}, 2);
+  DecisionTree tree(schema);
+  const int root = tree.AddInternalNode(0, 0.0, 0b0011);
+  const int left = tree.AddLeafNode({5, 0});
+  const int right = tree.AddLeafNode({0, 5});
+  tree.SetChildren(root, left, right);
+  const std::vector<data::Box> boxes = ExtractLeafBoxes(tree);
+  const uint64_t domain = 0b1111;
+  EXPECT_EQ(boxes[0].bound(0).mask & domain, 0b0011u);
+  EXPECT_EQ(boxes[1].bound(0).mask & domain, 0b1100u);
+}
+
+}  // namespace
+}  // namespace focus::dt
