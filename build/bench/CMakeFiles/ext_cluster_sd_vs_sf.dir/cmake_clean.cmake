@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cluster_sd_vs_sf.dir/bench_common.cc.o"
+  "CMakeFiles/ext_cluster_sd_vs_sf.dir/bench_common.cc.o.d"
+  "CMakeFiles/ext_cluster_sd_vs_sf.dir/ext_cluster_sd_vs_sf.cc.o"
+  "CMakeFiles/ext_cluster_sd_vs_sf.dir/ext_cluster_sd_vs_sf.cc.o.d"
+  "ext_cluster_sd_vs_sf"
+  "ext_cluster_sd_vs_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cluster_sd_vs_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_lits_sd_vs_sf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_lits_sd_vs_sf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dt_sd_vs_sf.dir/bench_common.cc.o"
+  "CMakeFiles/fig10_dt_sd_vs_sf.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig10_dt_sd_vs_sf.dir/fig10_dt_sd_vs_sf.cc.o"
+  "CMakeFiles/fig10_dt_sd_vs_sf.dir/fig10_dt_sd_vs_sf.cc.o.d"
+  "fig10_dt_sd_vs_sf"
+  "fig10_dt_sd_vs_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dt_sd_vs_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

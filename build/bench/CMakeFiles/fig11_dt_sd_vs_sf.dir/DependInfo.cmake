@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/fig11_dt_sd_vs_sf.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/fig11_dt_sd_vs_sf.dir/bench_common.cc.o.d"
+  "/root/repo/bench/fig11_dt_sd_vs_sf.cc" "bench/CMakeFiles/fig11_dt_sd_vs_sf.dir/fig11_dt_sd_vs_sf.cc.o" "gcc" "bench/CMakeFiles/fig11_dt_sd_vs_sf.dir/fig11_dt_sd_vs_sf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_itemsets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dt_sd_vs_sf.dir/bench_common.cc.o"
+  "CMakeFiles/fig11_dt_sd_vs_sf.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig11_dt_sd_vs_sf.dir/fig11_dt_sd_vs_sf.cc.o"
+  "CMakeFiles/fig11_dt_sd_vs_sf.dir/fig11_dt_sd_vs_sf.cc.o.d"
+  "fig11_dt_sd_vs_sf"
+  "fig11_dt_sd_vs_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dt_sd_vs_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_lits_deviation_table.dir/bench_common.cc.o"
+  "CMakeFiles/fig13_lits_deviation_table.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig13_lits_deviation_table.dir/fig13_lits_deviation_table.cc.o"
+  "CMakeFiles/fig13_lits_deviation_table.dir/fig13_lits_deviation_table.cc.o.d"
+  "fig13_lits_deviation_table"
+  "fig13_lits_deviation_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_lits_deviation_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dt_deviation_table.dir/bench_common.cc.o"
+  "CMakeFiles/fig14_dt_deviation_table.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig14_dt_deviation_table.dir/fig14_dt_deviation_table.cc.o"
+  "CMakeFiles/fig14_dt_deviation_table.dir/fig14_dt_deviation_table.cc.o.d"
+  "fig14_dt_deviation_table"
+  "fig14_dt_deviation_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dt_deviation_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

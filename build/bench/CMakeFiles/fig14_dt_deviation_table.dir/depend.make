@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_dt_deviation_table.
+# This may be replaced when dependencies are built.

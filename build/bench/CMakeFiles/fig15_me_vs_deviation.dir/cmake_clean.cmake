@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_me_vs_deviation.dir/bench_common.cc.o"
+  "CMakeFiles/fig15_me_vs_deviation.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig15_me_vs_deviation.dir/fig15_me_vs_deviation.cc.o"
+  "CMakeFiles/fig15_me_vs_deviation.dir/fig15_me_vs_deviation.cc.o.d"
+  "fig15_me_vs_deviation"
+  "fig15_me_vs_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_me_vs_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_apriori.dir/micro_apriori.cc.o"
+  "CMakeFiles/micro_apriori.dir/micro_apriori.cc.o.d"
+  "micro_apriori"
+  "micro_apriori.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_apriori.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

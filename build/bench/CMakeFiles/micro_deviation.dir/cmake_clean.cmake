@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_deviation.dir/micro_deviation.cc.o"
+  "CMakeFiles/micro_deviation.dir/micro_deviation.cc.o.d"
+  "micro_deviation"
+  "micro_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gcr.dir/micro_gcr.cc.o"
+  "CMakeFiles/micro_gcr.dir/micro_gcr.cc.o.d"
+  "micro_gcr"
+  "micro_gcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_lits_significance.dir/bench_common.cc.o"
+  "CMakeFiles/table1_lits_significance.dir/bench_common.cc.o.d"
+  "CMakeFiles/table1_lits_significance.dir/table1_lits_significance.cc.o"
+  "CMakeFiles/table1_lits_significance.dir/table1_lits_significance.cc.o.d"
+  "table1_lits_significance"
+  "table1_lits_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lits_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

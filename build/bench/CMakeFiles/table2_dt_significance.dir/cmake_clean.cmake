@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dt_significance.dir/bench_common.cc.o"
+  "CMakeFiles/table2_dt_significance.dir/bench_common.cc.o.d"
+  "CMakeFiles/table2_dt_significance.dir/table2_dt_significance.cc.o"
+  "CMakeFiles/table2_dt_significance.dir/table2_dt_significance.cc.o.d"
+  "table2_dt_significance"
+  "table2_dt_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dt_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_queries.dir/approximate_queries.cpp.o"
+  "CMakeFiles/approximate_queries.dir/approximate_queries.cpp.o.d"
+  "approximate_queries"
+  "approximate_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_drift.dir/cluster_drift.cpp.o"
+  "CMakeFiles/cluster_drift.dir/cluster_drift.cpp.o.d"
+  "cluster_drift"
+  "cluster_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

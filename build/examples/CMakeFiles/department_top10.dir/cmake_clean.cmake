@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/department_top10.dir/department_top10.cpp.o"
+  "CMakeFiles/department_top10.dir/department_top10.cpp.o.d"
+  "department_top10"
+  "department_top10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/department_top10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

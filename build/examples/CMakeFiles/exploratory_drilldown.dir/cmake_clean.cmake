@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploratory_drilldown.dir/exploratory_drilldown.cpp.o"
+  "CMakeFiles/exploratory_drilldown.dir/exploratory_drilldown.cpp.o.d"
+  "exploratory_drilldown"
+  "exploratory_drilldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploratory_drilldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_monitoring.dir/retail_monitoring.cpp.o"
+  "CMakeFiles/retail_monitoring.dir/retail_monitoring.cpp.o.d"
+  "retail_monitoring"
+  "retail_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_size_tuner.dir/sample_size_tuner.cpp.o"
+  "CMakeFiles/sample_size_tuner.dir/sample_size_tuner.cpp.o.d"
+  "sample_size_tuner"
+  "sample_size_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_size_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sample_size_tuner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/birch.cc" "src/CMakeFiles/focus_cluster.dir/cluster/birch.cc.o" "gcc" "src/CMakeFiles/focus_cluster.dir/cluster/birch.cc.o.d"
+  "/root/repo/src/cluster/cluster_model.cc" "src/CMakeFiles/focus_cluster.dir/cluster/cluster_model.cc.o" "gcc" "src/CMakeFiles/focus_cluster.dir/cluster/cluster_model.cc.o.d"
+  "/root/repo/src/cluster/grid_clustering.cc" "src/CMakeFiles/focus_cluster.dir/cluster/grid_clustering.cc.o" "gcc" "src/CMakeFiles/focus_cluster.dir/cluster/grid_clustering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

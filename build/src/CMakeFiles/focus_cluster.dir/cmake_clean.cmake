@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_cluster.dir/cluster/birch.cc.o"
+  "CMakeFiles/focus_cluster.dir/cluster/birch.cc.o.d"
+  "CMakeFiles/focus_cluster.dir/cluster/cluster_model.cc.o"
+  "CMakeFiles/focus_cluster.dir/cluster/cluster_model.cc.o.d"
+  "CMakeFiles/focus_cluster.dir/cluster/grid_clustering.cc.o"
+  "CMakeFiles/focus_cluster.dir/cluster/grid_clustering.cc.o.d"
+  "libfocus_cluster.a"
+  "libfocus_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_common.dir/common/check.cc.o"
+  "CMakeFiles/focus_common.dir/common/check.cc.o.d"
+  "CMakeFiles/focus_common.dir/common/env.cc.o"
+  "CMakeFiles/focus_common.dir/common/env.cc.o.d"
+  "CMakeFiles/focus_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/focus_common.dir/common/table_printer.cc.o.d"
+  "CMakeFiles/focus_common.dir/common/timer.cc.o"
+  "CMakeFiles/focus_common.dir/common/timer.cc.o.d"
+  "libfocus_common.a"
+  "libfocus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

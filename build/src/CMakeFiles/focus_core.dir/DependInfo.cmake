@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chi_squared_instance.cc" "src/CMakeFiles/focus_core.dir/core/chi_squared_instance.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/chi_squared_instance.cc.o.d"
+  "/root/repo/src/core/cluster_deviation.cc" "src/CMakeFiles/focus_core.dir/core/cluster_deviation.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/cluster_deviation.cc.o.d"
+  "/root/repo/src/core/drift_series.cc" "src/CMakeFiles/focus_core.dir/core/drift_series.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/drift_series.cc.o.d"
+  "/root/repo/src/core/dt_deviation.cc" "src/CMakeFiles/focus_core.dir/core/dt_deviation.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/dt_deviation.cc.o.d"
+  "/root/repo/src/core/embedding.cc" "src/CMakeFiles/focus_core.dir/core/embedding.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/embedding.cc.o.d"
+  "/root/repo/src/core/focus_region.cc" "src/CMakeFiles/focus_core.dir/core/focus_region.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/focus_region.cc.o.d"
+  "/root/repo/src/core/functions.cc" "src/CMakeFiles/focus_core.dir/core/functions.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/functions.cc.o.d"
+  "/root/repo/src/core/lits_deviation.cc" "src/CMakeFiles/focus_core.dir/core/lits_deviation.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/lits_deviation.cc.o.d"
+  "/root/repo/src/core/lits_upper_bound.cc" "src/CMakeFiles/focus_core.dir/core/lits_upper_bound.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/lits_upper_bound.cc.o.d"
+  "/root/repo/src/core/misclassification.cc" "src/CMakeFiles/focus_core.dir/core/misclassification.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/misclassification.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/CMakeFiles/focus_core.dir/core/monitor.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/monitor.cc.o.d"
+  "/root/repo/src/core/query_estimator.cc" "src/CMakeFiles/focus_core.dir/core/query_estimator.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/query_estimator.cc.o.d"
+  "/root/repo/src/core/rank.cc" "src/CMakeFiles/focus_core.dir/core/rank.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/rank.cc.o.d"
+  "/root/repo/src/core/region_algebra.cc" "src/CMakeFiles/focus_core.dir/core/region_algebra.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/region_algebra.cc.o.d"
+  "/root/repo/src/core/sampling_study.cc" "src/CMakeFiles/focus_core.dir/core/sampling_study.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/sampling_study.cc.o.d"
+  "/root/repo/src/core/significance.cc" "src/CMakeFiles/focus_core.dir/core/significance.cc.o" "gcc" "src/CMakeFiles/focus_core.dir/core/significance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_itemsets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

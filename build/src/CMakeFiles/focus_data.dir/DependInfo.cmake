@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/box.cc" "src/CMakeFiles/focus_data.dir/data/box.cc.o" "gcc" "src/CMakeFiles/focus_data.dir/data/box.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/focus_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/focus_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/sampling.cc" "src/CMakeFiles/focus_data.dir/data/sampling.cc.o" "gcc" "src/CMakeFiles/focus_data.dir/data/sampling.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/focus_data.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/focus_data.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/transaction_db.cc" "src/CMakeFiles/focus_data.dir/data/transaction_db.cc.o" "gcc" "src/CMakeFiles/focus_data.dir/data/transaction_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_data.dir/data/box.cc.o"
+  "CMakeFiles/focus_data.dir/data/box.cc.o.d"
+  "CMakeFiles/focus_data.dir/data/dataset.cc.o"
+  "CMakeFiles/focus_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/focus_data.dir/data/sampling.cc.o"
+  "CMakeFiles/focus_data.dir/data/sampling.cc.o.d"
+  "CMakeFiles/focus_data.dir/data/schema.cc.o"
+  "CMakeFiles/focus_data.dir/data/schema.cc.o.d"
+  "CMakeFiles/focus_data.dir/data/transaction_db.cc.o"
+  "CMakeFiles/focus_data.dir/data/transaction_db.cc.o.d"
+  "libfocus_data.a"
+  "libfocus_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_datagen.dir/datagen/class_gen.cc.o"
+  "CMakeFiles/focus_datagen.dir/datagen/class_gen.cc.o.d"
+  "CMakeFiles/focus_datagen.dir/datagen/perturb.cc.o"
+  "CMakeFiles/focus_datagen.dir/datagen/perturb.cc.o.d"
+  "CMakeFiles/focus_datagen.dir/datagen/quest_gen.cc.o"
+  "CMakeFiles/focus_datagen.dir/datagen/quest_gen.cc.o.d"
+  "libfocus_datagen.a"
+  "libfocus_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

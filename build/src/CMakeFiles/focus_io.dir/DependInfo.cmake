@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/data_io.cc" "src/CMakeFiles/focus_io.dir/io/data_io.cc.o" "gcc" "src/CMakeFiles/focus_io.dir/io/data_io.cc.o.d"
+  "/root/repo/src/io/model_io.cc" "src/CMakeFiles/focus_io.dir/io/model_io.cc.o" "gcc" "src/CMakeFiles/focus_io.dir/io/model_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focus_itemsets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itemsets/apriori.cc" "src/CMakeFiles/focus_itemsets.dir/itemsets/apriori.cc.o" "gcc" "src/CMakeFiles/focus_itemsets.dir/itemsets/apriori.cc.o.d"
+  "/root/repo/src/itemsets/fp_growth.cc" "src/CMakeFiles/focus_itemsets.dir/itemsets/fp_growth.cc.o" "gcc" "src/CMakeFiles/focus_itemsets.dir/itemsets/fp_growth.cc.o.d"
+  "/root/repo/src/itemsets/incremental.cc" "src/CMakeFiles/focus_itemsets.dir/itemsets/incremental.cc.o" "gcc" "src/CMakeFiles/focus_itemsets.dir/itemsets/incremental.cc.o.d"
+  "/root/repo/src/itemsets/itemset.cc" "src/CMakeFiles/focus_itemsets.dir/itemsets/itemset.cc.o" "gcc" "src/CMakeFiles/focus_itemsets.dir/itemsets/itemset.cc.o.d"
+  "/root/repo/src/itemsets/rules.cc" "src/CMakeFiles/focus_itemsets.dir/itemsets/rules.cc.o" "gcc" "src/CMakeFiles/focus_itemsets.dir/itemsets/rules.cc.o.d"
+  "/root/repo/src/itemsets/support_counter.cc" "src/CMakeFiles/focus_itemsets.dir/itemsets/support_counter.cc.o" "gcc" "src/CMakeFiles/focus_itemsets.dir/itemsets/support_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

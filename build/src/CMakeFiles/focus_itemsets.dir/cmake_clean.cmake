@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_itemsets.dir/itemsets/apriori.cc.o"
+  "CMakeFiles/focus_itemsets.dir/itemsets/apriori.cc.o.d"
+  "CMakeFiles/focus_itemsets.dir/itemsets/fp_growth.cc.o"
+  "CMakeFiles/focus_itemsets.dir/itemsets/fp_growth.cc.o.d"
+  "CMakeFiles/focus_itemsets.dir/itemsets/incremental.cc.o"
+  "CMakeFiles/focus_itemsets.dir/itemsets/incremental.cc.o.d"
+  "CMakeFiles/focus_itemsets.dir/itemsets/itemset.cc.o"
+  "CMakeFiles/focus_itemsets.dir/itemsets/itemset.cc.o.d"
+  "CMakeFiles/focus_itemsets.dir/itemsets/rules.cc.o"
+  "CMakeFiles/focus_itemsets.dir/itemsets/rules.cc.o.d"
+  "CMakeFiles/focus_itemsets.dir/itemsets/support_counter.cc.o"
+  "CMakeFiles/focus_itemsets.dir/itemsets/support_counter.cc.o.d"
+  "libfocus_itemsets.a"
+  "libfocus_itemsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_itemsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_stats.dir/stats/bootstrap.cc.o"
+  "CMakeFiles/focus_stats.dir/stats/bootstrap.cc.o.d"
+  "CMakeFiles/focus_stats.dir/stats/descriptive.cc.o"
+  "CMakeFiles/focus_stats.dir/stats/descriptive.cc.o.d"
+  "CMakeFiles/focus_stats.dir/stats/distributions.cc.o"
+  "CMakeFiles/focus_stats.dir/stats/distributions.cc.o.d"
+  "CMakeFiles/focus_stats.dir/stats/rng.cc.o"
+  "CMakeFiles/focus_stats.dir/stats/rng.cc.o.d"
+  "CMakeFiles/focus_stats.dir/stats/wilcoxon.cc.o"
+  "CMakeFiles/focus_stats.dir/stats/wilcoxon.cc.o.d"
+  "libfocus_stats.a"
+  "libfocus_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

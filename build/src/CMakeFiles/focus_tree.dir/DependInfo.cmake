@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/cart_builder.cc" "src/CMakeFiles/focus_tree.dir/tree/cart_builder.cc.o" "gcc" "src/CMakeFiles/focus_tree.dir/tree/cart_builder.cc.o.d"
+  "/root/repo/src/tree/decision_tree.cc" "src/CMakeFiles/focus_tree.dir/tree/decision_tree.cc.o" "gcc" "src/CMakeFiles/focus_tree.dir/tree/decision_tree.cc.o.d"
+  "/root/repo/src/tree/leaf_regions.cc" "src/CMakeFiles/focus_tree.dir/tree/leaf_regions.cc.o" "gcc" "src/CMakeFiles/focus_tree.dir/tree/leaf_regions.cc.o.d"
+  "/root/repo/src/tree/presorted_builder.cc" "src/CMakeFiles/focus_tree.dir/tree/presorted_builder.cc.o" "gcc" "src/CMakeFiles/focus_tree.dir/tree/presorted_builder.cc.o.d"
+  "/root/repo/src/tree/pruning.cc" "src/CMakeFiles/focus_tree.dir/tree/pruning.cc.o" "gcc" "src/CMakeFiles/focus_tree.dir/tree/pruning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/focus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_tree.dir/tree/cart_builder.cc.o"
+  "CMakeFiles/focus_tree.dir/tree/cart_builder.cc.o.d"
+  "CMakeFiles/focus_tree.dir/tree/decision_tree.cc.o"
+  "CMakeFiles/focus_tree.dir/tree/decision_tree.cc.o.d"
+  "CMakeFiles/focus_tree.dir/tree/leaf_regions.cc.o"
+  "CMakeFiles/focus_tree.dir/tree/leaf_regions.cc.o.d"
+  "CMakeFiles/focus_tree.dir/tree/presorted_builder.cc.o"
+  "CMakeFiles/focus_tree.dir/tree/presorted_builder.cc.o.d"
+  "CMakeFiles/focus_tree.dir/tree/pruning.cc.o"
+  "CMakeFiles/focus_tree.dir/tree/pruning.cc.o.d"
+  "libfocus_tree.a"
+  "libfocus_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

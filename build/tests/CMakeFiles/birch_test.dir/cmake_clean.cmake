@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birch_test.dir/birch_test.cc.o"
+  "CMakeFiles/birch_test.dir/birch_test.cc.o.d"
+  "birch_test"
+  "birch_test.pdb"
+  "birch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

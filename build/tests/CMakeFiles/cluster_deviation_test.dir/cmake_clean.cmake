@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_deviation_test.dir/cluster_deviation_test.cc.o"
+  "CMakeFiles/cluster_deviation_test.dir/cluster_deviation_test.cc.o.d"
+  "cluster_deviation_test"
+  "cluster_deviation_test.pdb"
+  "cluster_deviation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_deviation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_deviation_test.dir/dt_deviation_test.cc.o"
+  "CMakeFiles/dt_deviation_test.dir/dt_deviation_test.cc.o.d"
+  "dt_deviation_test"
+  "dt_deviation_test.pdb"
+  "dt_deviation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_deviation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itemsets_test.dir/itemsets_test.cc.o"
+  "CMakeFiles/itemsets_test.dir/itemsets_test.cc.o.d"
+  "itemsets_test"
+  "itemsets_test.pdb"
+  "itemsets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itemsets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

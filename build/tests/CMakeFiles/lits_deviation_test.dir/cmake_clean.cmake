@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lits_deviation_test.dir/lits_deviation_test.cc.o"
+  "CMakeFiles/lits_deviation_test.dir/lits_deviation_test.cc.o.d"
+  "lits_deviation_test"
+  "lits_deviation_test.pdb"
+  "lits_deviation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lits_deviation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

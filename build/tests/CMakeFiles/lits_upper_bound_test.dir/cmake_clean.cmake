@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lits_upper_bound_test.dir/lits_upper_bound_test.cc.o"
+  "CMakeFiles/lits_upper_bound_test.dir/lits_upper_bound_test.cc.o.d"
+  "lits_upper_bound_test"
+  "lits_upper_bound_test.pdb"
+  "lits_upper_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lits_upper_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misclassification_test.dir/misclassification_test.cc.o"
+  "CMakeFiles/misclassification_test.dir/misclassification_test.cc.o.d"
+  "misclassification_test"
+  "misclassification_test.pdb"
+  "misclassification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misclassification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

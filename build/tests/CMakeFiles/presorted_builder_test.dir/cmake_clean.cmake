@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presorted_builder_test.dir/presorted_builder_test.cc.o"
+  "CMakeFiles/presorted_builder_test.dir/presorted_builder_test.cc.o.d"
+  "presorted_builder_test"
+  "presorted_builder_test.pdb"
+  "presorted_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presorted_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

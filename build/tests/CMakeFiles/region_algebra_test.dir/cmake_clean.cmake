@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_algebra_test.dir/region_algebra_test.cc.o"
+  "CMakeFiles/region_algebra_test.dir/region_algebra_test.cc.o.d"
+  "region_algebra_test"
+  "region_algebra_test.pdb"
+  "region_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

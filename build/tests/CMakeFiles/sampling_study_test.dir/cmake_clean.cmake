@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_study_test.dir/sampling_study_test.cc.o"
+  "CMakeFiles/sampling_study_test.dir/sampling_study_test.cc.o.d"
+  "sampling_study_test"
+  "sampling_study_test.pdb"
+  "sampling_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
