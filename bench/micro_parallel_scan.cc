@@ -1,0 +1,87 @@
+// Serial vs. pool-parallel measure-extension scan (SupportCounter over a
+// QUEST workload). Emits one JSON line per configuration:
+//   {"bench":"parallel_scan","threads":T,"seconds":…,"speedup":…,
+//    "identical":true,…}
+// "identical" asserts the bit-identical contract, not a tolerance check.
+//
+// NOTE: on a single-core host the pool cannot beat the serial scan; the
+// speedup column then reports the (honest) slowdown from scheduling
+// overhead. Run on a multi-core host to see the scaling.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "core/lits_deviation.h"
+#include "common/check.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "itemsets/support_counter.h"
+
+namespace focus {
+namespace {
+
+double SecondsOf(const std::function<void()>& body, int repetitions) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < repetitions; ++i) body();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count() / repetitions;
+}
+
+int Run() {
+  const int64_t num_transactions = bench::ScaledCount(100000, 1000000);
+  datagen::QuestParams params = bench::PaperQuestParams(
+      num_transactions, /*num_patterns=*/2000, /*pattern_length=*/4,
+      /*seed=*/11);
+  const data::TransactionDb d1 = datagen::GenerateQuest(params);
+  params.seed = 12;
+  const data::TransactionDb d2 = datagen::GenerateQuest(params);
+
+  lits::AprioriOptions mine;
+  mine.min_support = 0.01;
+  mine.max_itemset_size = 3;
+  const lits::LitsModel m1 = lits::Apriori(d1, mine);
+  const lits::LitsModel m2 = lits::Apriori(d2, mine);
+  const std::vector<lits::Itemset> regions = core::LitsGcr(m1, m2);
+  const lits::SupportCounter counter(regions, d1.num_items());
+
+  std::printf(
+      "{\"bench\":\"parallel_scan\",\"transactions\":%lld,"
+      "\"gcr_itemsets\":%zu}\n",
+      static_cast<long long>(d1.num_transactions()), regions.size());
+
+  const int repetitions = 3;
+  std::vector<int64_t> serial_counts;
+  const double serial_seconds = SecondsOf(
+      [&] { serial_counts = counter.CountAbsolute(d1); }, repetitions);
+  std::printf(
+      "{\"bench\":\"parallel_scan\",\"threads\":0,\"mode\":\"serial\","
+      "\"seconds\":%.6f,\"speedup\":1.0,\"identical\":true}\n",
+      serial_seconds);
+
+  for (int threads : {1, 2, 4, 8}) {
+    common::ThreadPool pool(threads);
+    std::vector<int64_t> parallel_counts;
+    const double seconds = SecondsOf(
+        [&] { parallel_counts = counter.CountAbsoluteParallel(d1, pool); },
+        repetitions);
+    const bool identical = parallel_counts == serial_counts;
+    FOCUS_CHECK(identical);
+    std::printf(
+        "{\"bench\":\"parallel_scan\",\"threads\":%d,\"mode\":\"pool\","
+        "\"seconds\":%.6f,\"speedup\":%.3f,\"identical\":%s}\n",
+        threads, seconds, serial_seconds / seconds,
+        identical ? "true" : "false");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace focus
+
+int main() { return focus::Run(); }

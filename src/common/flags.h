@@ -1,0 +1,42 @@
+#ifndef FOCUS_COMMON_FLAGS_H_
+#define FOCUS_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace focus::common {
+
+// Hardened `--flag value` parser shared by the CLI tools (focus_cli,
+// focus_monitord). Every flag takes exactly one value. Malformed command
+// lines are rejected with a diagnostic on stderr rather than silently
+// ignored:
+//   * a token that is not a --flag where one is expected,
+//   * a trailing flag with no value,
+//   * a flag not in the command's allowed list,
+//   * the same flag given twice.
+class Flags {
+ public:
+  // Parses argv[first..argc). `allowed` lists the flag names the command
+  // accepts (without the leading "--"). Returns nullopt after printing a
+  // diagnostic if the command line is malformed; callers should exit with
+  // status 1.
+  static std::optional<Flags> Parse(int argc, char* const* argv, int first,
+                                    const std::vector<std::string>& allowed);
+
+  std::string Get(const std::string& key, const std::string& fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  Flags() = default;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace focus::common
+
+#endif  // FOCUS_COMMON_FLAGS_H_

@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace focus::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  FOCUS_CHECK_GE(num_threads, 1);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this]() { Worker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Worker() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: queued work finishes before
+      // the destructor returns.
+      if (queue_.empty()) return;  // only reachable when stop_ is set
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int num_shards,
+                             const ShardBody& body) {
+  if (end <= begin) return;
+  const int64_t total = end - begin;
+  num_shards = std::max(1, std::min<int>(num_shards, total));
+
+  struct State {
+    std::atomic<int> next_shard{0};
+    std::atomic<int> shards_done{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // first failure, guarded by mutex
+  };
+  auto state = std::make_shared<State>();
+
+  // Claims shards off the shared counter until none remain. Run by the
+  // caller AND by up to num_shards-1 helper jobs; a helper that starts
+  // after all shards are claimed returns immediately.
+  auto run_shards = [state, body, begin, total, num_shards]() {
+    for (int shard = state->next_shard.fetch_add(1); shard < num_shards;
+         shard = state->next_shard.fetch_add(1)) {
+      const int64_t lo = begin + total * shard / num_shards;
+      const int64_t hi = begin + total * (shard + 1) / num_shards;
+      try {
+        body(shard, lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->shards_done.fetch_add(1) + 1 == num_shards) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done_cv.notify_all();
+      }
+    }
+  };
+
+  const int helpers =
+      std::min(num_threads(), num_shards - 1);  // the caller takes one share
+  for (int i = 0; i < helpers; ++i) Enqueue(run_shards);
+  run_shards();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(
+      lock, [&]() { return state->shards_done.load() >= num_shards; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace focus::common

@@ -1,0 +1,83 @@
+#ifndef FOCUS_COMMON_THREAD_POOL_H_
+#define FOCUS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace focus::common {
+
+// Fixed-size worker pool used by the parallel scan kernels and the serving
+// layer. Two APIs:
+//
+//   * Submit(task)       — schedule a callable; the returned future carries
+//                          its result or exception.
+//   * ParallelFor(...)   — run a body over contiguous shards of an index
+//                          range. The CALLING thread claims shards too, so
+//                          the call always makes progress even when every
+//                          worker is busy — it is safe to invoke from
+//                          inside a pool task (no nested-wait deadlock).
+//
+// Shard boundaries depend only on (begin, end, num_shards), never on
+// scheduling, so kernels that accumulate into per-shard buffers and merge
+// them in shard order are deterministic run-to-run.
+class ThreadPool {
+ public:
+  // Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  // Finishes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Schedules `task` on the pool. The future rethrows any exception the
+  // task raised.
+  template <typename F>
+  auto Submit(F&& task) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    Enqueue([packaged]() { (*packaged)(); });
+    return future;
+  }
+
+  // body(shard, shard_begin, shard_end) over `num_shards` contiguous
+  // shards of [begin, end). Blocks until every shard ran; rethrows the
+  // first shard exception (remaining shards still run). Shards whose
+  // range would be empty are skipped by clamping num_shards to the range
+  // size.
+  using ShardBody = std::function<void(int shard, int64_t begin, int64_t end)>;
+  void ParallelFor(int64_t begin, int64_t end, int num_shards,
+                   const ShardBody& body);
+
+  // One shard per worker thread.
+  void ParallelFor(int64_t begin, int64_t end, const ShardBody& body) {
+    ParallelFor(begin, end, num_threads(), body);
+  }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void Worker();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace focus::common
+
+#endif  // FOCUS_COMMON_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "core/parallel_count.h"
 
 namespace focus::core {
 namespace {
@@ -65,15 +66,16 @@ double ClusterDeviation(const cluster::ClusterModel& m1,
   // One scan of each dataset: per-cell counts, restricted to the focus
   // region when present.
   auto count_cells = [&](const data::Dataset& dataset) {
-    std::vector<int64_t> counts(grid.num_cells(), 0);
-    for (int64_t row = 0; row < dataset.num_rows(); ++row) {
-      const auto values = dataset.Row(row);
-      if (options.focus.has_value() && !options.focus->Contains(schema, values)) {
-        continue;
-      }
-      ++counts[grid.CellOf(values)];
-    }
-    return counts;
+    return CountRowsMaybeParallel(
+        dataset.num_rows(), grid.num_cells(), options.pool,
+        [&](int64_t row, std::vector<int64_t>& acc) {
+          const auto values = dataset.Row(row);
+          if (options.focus.has_value() &&
+              !options.focus->Contains(schema, values)) {
+            return;
+          }
+          ++acc[grid.CellOf(values)];
+        });
   };
   const std::vector<int64_t> counts1 = count_cells(d1);
   const std::vector<int64_t> counts2 = count_cells(d2);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/cluster_model.h"
+#include "common/thread_pool.h"
 #include "core/functions.h"
 #include "data/box.h"
 #include "data/dataset.h"
@@ -35,6 +36,9 @@ struct ClusterDeviationOptions {
   // Optional focussing region R; a GCR region contributes only the cells
   // whose boxes intersect R, and tuples are counted only inside R.
   std::optional<data::Box> focus;
+  // Optional worker pool: the per-cell histogram scans are sharded across
+  // its workers (integer counts, bit-identical to the serial scans).
+  common::ThreadPool* pool = nullptr;
 };
 
 // delta_(f,g)(M1, M2) for cluster-models; both datasets are scanned once

@@ -1,6 +1,7 @@
 #include "core/dt_deviation.h"
 
 #include "common/check.h"
+#include "core/parallel_count.h"
 #include "tree/leaf_regions.h"
 
 namespace focus::core {
@@ -37,18 +38,20 @@ int DtGcr::IndexOf(int leaf1, int leaf2) const {
 std::vector<double> DtGcr::Measures(const dt::DecisionTree& t1,
                                     const dt::DecisionTree& t2,
                                     const data::Dataset& dataset,
-                                    const std::optional<data::Box>& focus) const {
-  std::vector<int64_t> counts(regions_.size() * num_classes_, 0);
+                                    const std::optional<data::Box>& focus,
+                                    common::ThreadPool* pool) const {
   const data::Schema& schema = t1.schema();
-  for (int64_t row = 0; row < dataset.num_rows(); ++row) {
-    const auto values = dataset.Row(row);
-    if (focus.has_value() && !focus->Contains(schema, values)) continue;
-    const int l1 = t1.LeafIndexOf(values);
-    const int l2 = t2.LeafIndexOf(values);
-    const int region = IndexOf(l1, l2);
-    FOCUS_CHECK_GE(region, 0) << "tuple routed to empty GCR region";
-    ++counts[static_cast<size_t>(region) * num_classes_ + dataset.Label(row)];
-  }
+  const std::vector<int64_t> counts = CountRowsMaybeParallel(
+      dataset.num_rows(), regions_.size() * num_classes_, pool,
+      [&](int64_t row, std::vector<int64_t>& acc) {
+        const auto values = dataset.Row(row);
+        if (focus.has_value() && !focus->Contains(schema, values)) return;
+        const int l1 = t1.LeafIndexOf(values);
+        const int l2 = t2.LeafIndexOf(values);
+        const int region = IndexOf(l1, l2);
+        FOCUS_CHECK_GE(region, 0) << "tuple routed to empty GCR region";
+        ++acc[static_cast<size_t>(region) * num_classes_ + dataset.Label(row)];
+      });
   std::vector<double> measures(counts.size());
   const double n = static_cast<double>(dataset.num_rows());
   FOCUS_CHECK_GT(n, 0.0);
@@ -87,9 +90,9 @@ double DtDeviation(const DtModel& m1, const data::Dataset& d1,
                    const DtDeviationOptions& options) {
   const DtGcr gcr(m1, m2);
   const std::vector<double> measures1 =
-      gcr.Measures(m1.tree(), m2.tree(), d1, options.focus);
+      gcr.Measures(m1.tree(), m2.tree(), d1, options.focus, options.pool);
   const std::vector<double> measures2 =
-      gcr.Measures(m1.tree(), m2.tree(), d2, options.focus);
+      gcr.Measures(m1.tree(), m2.tree(), d2, options.focus, options.pool);
   const data::Schema& schema = m1.tree().schema();
 
   // Under focussing, regions whose intersection with R is empty drop out
@@ -113,8 +116,8 @@ double DtDeviationOverTree(const dt::DecisionTree& tree,
                            const DtDeviationOptions& options) {
   FOCUS_CHECK(!options.focus.has_value())
       << "focus over a single tree: intersect leaf boxes via DtDeviation";
-  const std::vector<double> measures1 = DtMeasuresOverTree(tree, d1);
-  const std::vector<double> measures2 = DtMeasuresOverTree(tree, d2);
+  const std::vector<double> measures1 = DtMeasuresOverTree(tree, d1, options.pool);
+  const std::vector<double> measures2 = DtMeasuresOverTree(tree, d2, options.pool);
   return AggregateDeviation(measures1, static_cast<double>(d1.num_rows()),
                             measures2, static_cast<double>(d2.num_rows()),
                             tree.num_leaves(), tree.schema().num_classes(),
@@ -122,15 +125,16 @@ double DtDeviationOverTree(const dt::DecisionTree& tree,
 }
 
 std::vector<double> DtMeasuresOverTree(const dt::DecisionTree& tree,
-                                       const data::Dataset& dataset) {
+                                       const data::Dataset& dataset,
+                                       common::ThreadPool* pool) {
   FOCUS_CHECK(tree.schema() == dataset.schema());
   const int num_classes = tree.schema().num_classes();
-  std::vector<int64_t> counts(
-      static_cast<size_t>(tree.num_leaves()) * num_classes, 0);
-  for (int64_t row = 0; row < dataset.num_rows(); ++row) {
-    const int leaf = tree.LeafIndexOf(dataset.Row(row));
-    ++counts[static_cast<size_t>(leaf) * num_classes + dataset.Label(row)];
-  }
+  const std::vector<int64_t> counts = CountRowsMaybeParallel(
+      dataset.num_rows(), static_cast<size_t>(tree.num_leaves()) * num_classes,
+      pool, [&](int64_t row, std::vector<int64_t>& acc) {
+        const int leaf = tree.LeafIndexOf(dataset.Row(row));
+        ++acc[static_cast<size_t>(leaf) * num_classes + dataset.Label(row)];
+      });
   std::vector<double> measures(counts.size());
   const double n = static_cast<double>(dataset.num_rows());
   FOCUS_CHECK_GT(n, 0.0);

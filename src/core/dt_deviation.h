@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/functions.h"
 #include "data/box.h"
 #include "data/dataset.h"
@@ -66,11 +67,14 @@ class DtGcr {
   // by routing every tuple through both trees. Returns row-major
   // [region][class] selectivities. If `focus` is set, only tuples inside
   // the focussing region are counted (still divided by |dataset| — the
-  // focussed model's measures, Definition 5.1).
+  // focussed model's measures, Definition 5.1). When `pool` is non-null
+  // the scan is sharded across its workers into per-shard integer count
+  // vectors merged in shard order — bit-identical to the serial scan.
   std::vector<double> Measures(const dt::DecisionTree& t1,
                                const dt::DecisionTree& t2,
                                const data::Dataset& dataset,
-                               const std::optional<data::Box>& focus) const;
+                               const std::optional<data::Box>& focus,
+                               common::ThreadPool* pool = nullptr) const;
 
   int num_classes() const { return num_classes_; }
 
@@ -88,6 +92,9 @@ struct DtDeviationOptions {
   int class_filter = -1;
   // Focussing region R (Definition 5.2); empty = whole attribute space.
   std::optional<data::Box> focus;
+  // Optional worker pool: region-selectivity scans are sharded across its
+  // workers (results stay bit-identical to the serial scans).
+  common::ThreadPool* pool = nullptr;
 };
 
 // delta_(f,g)(M1, M2) over the GCR (Definition 3.6), datasets scanned once
@@ -105,8 +112,10 @@ double DtDeviationOverTree(const dt::DecisionTree& tree,
                            const DtDeviationOptions& options);
 
 // Measure component of Γ_T w.r.t. `dataset`: row-major [leaf][class].
+// With a pool, the tuple-routing scan is sharded (bit-identical result).
 std::vector<double> DtMeasuresOverTree(const dt::DecisionTree& tree,
-                                       const data::Dataset& dataset);
+                                       const data::Dataset& dataset,
+                                       common::ThreadPool* pool = nullptr);
 
 }  // namespace focus::core
 

@@ -44,9 +44,13 @@ void LitsChangeMonitor::Calibrate() {
 
 MonitorReport LitsChangeMonitor::Inspect(
     const data::TransactionDb& snapshot) const {
+  return InspectWithModel(snapshot, lits::Apriori(snapshot, options_.apriori));
+}
+
+MonitorReport LitsChangeMonitor::InspectWithModel(
+    const data::TransactionDb& snapshot,
+    const lits::LitsModel& snapshot_model) const {
   MonitorReport report;
-  const lits::LitsModel snapshot_model =
-      lits::Apriori(snapshot, options_.apriori);
   report.upper_bound =
       LitsUpperBound(reference_model_, snapshot_model, options_.fn.g);
   if (report.upper_bound < alert_threshold_) {

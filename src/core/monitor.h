@@ -51,6 +51,13 @@ class LitsChangeMonitor {
   // Inspects one snapshot; does NOT update the reference.
   MonitorReport Inspect(const data::TransactionDb& snapshot) const;
 
+  // Same, with a caller-supplied model of `snapshot` (e.g. from the
+  // serving layer's mined-model cache) so stage 1 skips re-mining. The
+  // model MUST have been mined from `snapshot` with this monitor's
+  // apriori options.
+  MonitorReport InspectWithModel(const data::TransactionDb& snapshot,
+                                 const lits::LitsModel& snapshot_model) const;
+
   // Replaces the reference with `snapshot` (e.g. after an accepted
   // regime change) and re-calibrates.
   void Rebase(const data::TransactionDb& snapshot);

@@ -1,0 +1,45 @@
+#ifndef FOCUS_CORE_PARALLEL_COUNT_H_
+#define FOCUS_CORE_PARALLEL_COUNT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace focus::core {
+
+// Shared shape of the region-selectivity scans: accumulate integer counts
+// over a row range, serially or sharded across a worker pool. Each shard
+// gets its own count vector; shards are merged by summation in shard
+// order. Counts are integers and shard boundaries depend only on
+// (num_rows, pool size), so the parallel result is bit-identical to the
+// serial one.
+inline std::vector<int64_t> CountRowsMaybeParallel(
+    int64_t num_rows, size_t num_counts, common::ThreadPool* pool,
+    const std::function<void(int64_t row, std::vector<int64_t>& counts)>&
+        count_row) {
+  if (pool == nullptr) {
+    std::vector<int64_t> counts(num_counts, 0);
+    for (int64_t row = 0; row < num_rows; ++row) count_row(row, counts);
+    return counts;
+  }
+  const int num_shards = pool->num_threads();
+  std::vector<std::vector<int64_t>> shard_counts(
+      num_shards, std::vector<int64_t>(num_counts, 0));
+  pool->ParallelFor(0, num_rows, num_shards,
+                    [&](int shard, int64_t begin, int64_t end) {
+                      for (int64_t row = begin; row < end; ++row) {
+                        count_row(row, shard_counts[shard]);
+                      }
+                    });
+  std::vector<int64_t> counts(num_counts, 0);
+  for (const std::vector<int64_t>& shard : shard_counts) {
+    for (size_t i = 0; i < num_counts; ++i) counts[i] += shard[i];
+  }
+  return counts;
+}
+
+}  // namespace focus::core
+
+#endif  // FOCUS_CORE_PARALLEL_COUNT_H_

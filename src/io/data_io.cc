@@ -23,6 +23,26 @@ bool NextLine(std::istream& in, std::istringstream* line) {
   return true;
 }
 
+// True when the last extraction consumed the line cleanly: the loop
+// `while (line >> value)` ends either at end-of-line (eofbit set — OK) or
+// at a malformed token (failbit without eofbit — garbage).
+bool ConsumedCleanly(const std::istringstream& line) { return line.eof(); }
+
+// True when only whitespace remains after successful extractions.
+bool OnlyWhitespaceLeft(std::istringstream& line) {
+  line >> std::ws;
+  return line.eof() || line.peek() == std::char_traits<char>::eof();
+}
+
+// After the payload, any remaining non-whitespace in the stream means the
+// file was not a single well-formed record (e.g. extra rows beyond the
+// declared count). The daemon ingests untrusted spool files, so this is
+// rejected rather than silently ignored.
+bool OnlyWhitespaceLeftInStream(std::istream& in) {
+  in >> std::ws;
+  return in.eof() || in.peek() == std::char_traits<char>::eof();
+}
+
 }  // namespace
 
 void SaveTransactionDb(const data::TransactionDb& db, std::ostream& out) {
@@ -47,8 +67,11 @@ std::optional<data::TransactionDb> LoadTransactionDb(std::istream& in) {
   if (!NextLine(in, &line)) return std::nullopt;
   int32_t num_items = 0;
   int64_t num_transactions = 0;
+  // Counts that fail to parse (including integer overflow, which sets
+  // failbit) or are out of range reject the file.
   if (!(line >> num_items >> num_transactions)) return std::nullopt;
   if (num_items <= 0 || num_transactions < 0) return std::nullopt;
+  if (!OnlyWhitespaceLeft(line)) return std::nullopt;
 
   data::TransactionDb db(num_items);
   std::vector<int32_t> items;
@@ -60,8 +83,10 @@ std::optional<data::TransactionDb> LoadTransactionDb(std::istream& in) {
       if (item < 0 || item >= num_items) return std::nullopt;
       items.push_back(item);
     }
+    if (!ConsumedCleanly(line)) return std::nullopt;  // non-numeric token
     db.AddTransaction(items);
   }
+  if (!OnlyWhitespaceLeftInStream(in)) return std::nullopt;
   return db;
 }
 
@@ -90,6 +115,7 @@ std::optional<data::Dataset> LoadDataset(std::istream& in) {
   if (!NextLine(in, &line)) return std::nullopt;
   int64_t num_rows = 0;
   if (!(line >> num_rows) || num_rows < 0) return std::nullopt;
+  if (!OnlyWhitespaceLeft(line)) return std::nullopt;
 
   data::Dataset dataset(*schema);
   dataset.Reserve(num_rows);
@@ -105,8 +131,10 @@ std::optional<data::Dataset> LoadDataset(std::istream& in) {
     for (int a = 0; a < schema->num_attributes(); ++a) {
       if (!(line >> values[a])) return std::nullopt;
     }
+    if (!OnlyWhitespaceLeft(line)) return std::nullopt;  // extra columns
     dataset.AddRow(values, label);
   }
+  if (!OnlyWhitespaceLeftInStream(in)) return std::nullopt;
   return dataset;
 }
 

@@ -19,7 +19,10 @@ namespace focus::io {
 //                     then "<label> v1 v2 …" per row.
 //
 // Attribute names must not contain whitespace. Load functions return
-// std::nullopt on malformed input.
+// std::nullopt on malformed input and are STRICT: truncated or
+// garbage-bearing lines, out-of-range counts/ids, and trailing content
+// after the declared payload all reject the file (the monitoring daemon
+// ingests untrusted spool files through these loaders).
 
 void SaveTransactionDb(const data::TransactionDb& db, std::ostream& out);
 std::optional<data::TransactionDb> LoadTransactionDb(std::istream& in);

@@ -22,15 +22,14 @@ SupportCounter::SupportCounter(std::span<const Itemset> itemsets,
   }
 }
 
-std::vector<int64_t> SupportCounter::CountAbsolute(
-    const data::TransactionDb& db) const {
-  FOCUS_CHECK_EQ(db.num_items(), num_items_);
-  std::vector<int64_t> counts(itemsets_.size(), 0);
-  // The empty itemset holds in every transaction.
-  for (int32_t i : empty_itemsets_) counts[i] = db.num_transactions();
+void SupportCounter::CountRange(const data::TransactionDb& db, int64_t begin,
+                                int64_t end,
+                                std::vector<int64_t>& counts) const {
+  // The empty itemset holds in every transaction of the range.
+  for (int32_t i : empty_itemsets_) counts[i] += end - begin;
 
   std::vector<uint8_t> present(num_items_, 0);
-  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+  for (int64_t t = begin; t < end; ++t) {
     const auto txn = db.Transaction(t);
     for (int32_t item : txn) present[item] = 1;
     for (int32_t item : txn) {
@@ -48,19 +47,56 @@ std::vector<int64_t> SupportCounter::CountAbsolute(
     }
     for (int32_t item : txn) present[item] = 0;
   }
+}
+
+std::vector<int64_t> SupportCounter::CountAbsolute(
+    const data::TransactionDb& db) const {
+  FOCUS_CHECK_EQ(db.num_items(), num_items_);
+  std::vector<int64_t> counts(itemsets_.size(), 0);
+  CountRange(db, 0, db.num_transactions(), counts);
   return counts;
 }
 
-std::vector<double> SupportCounter::CountRelative(
-    const data::TransactionDb& db) const {
-  const std::vector<int64_t> absolute = CountAbsolute(db);
+std::vector<int64_t> SupportCounter::CountAbsoluteParallel(
+    const data::TransactionDb& db, common::ThreadPool& pool) const {
+  FOCUS_CHECK_EQ(db.num_items(), num_items_);
+  const int num_shards = pool.num_threads();
+  std::vector<std::vector<int64_t>> shard_counts(
+      num_shards, std::vector<int64_t>(itemsets_.size(), 0));
+  pool.ParallelFor(0, db.num_transactions(), num_shards,
+                   [&](int shard, int64_t begin, int64_t end) {
+                     CountRange(db, begin, end, shard_counts[shard]);
+                   });
+  std::vector<int64_t> counts(itemsets_.size(), 0);
+  for (const std::vector<int64_t>& shard : shard_counts) {
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += shard[i];
+  }
+  return counts;
+}
+
+namespace {
+
+std::vector<double> ToRelative(const std::vector<int64_t>& absolute,
+                               int64_t num_transactions) {
   std::vector<double> relative(absolute.size());
-  const double n = static_cast<double>(db.num_transactions());
+  const double n = static_cast<double>(num_transactions);
   FOCUS_CHECK_GT(n, 0.0);
   for (size_t i = 0; i < absolute.size(); ++i) {
     relative[i] = static_cast<double>(absolute[i]) / n;
   }
   return relative;
+}
+
+}  // namespace
+
+std::vector<double> SupportCounter::CountRelative(
+    const data::TransactionDb& db) const {
+  return ToRelative(CountAbsolute(db), db.num_transactions());
+}
+
+std::vector<double> SupportCounter::CountRelativeParallel(
+    const data::TransactionDb& db, common::ThreadPool& pool) const {
+  return ToRelative(CountAbsoluteParallel(db, pool), db.num_transactions());
 }
 
 std::vector<double> CountSupports(const data::TransactionDb& db,

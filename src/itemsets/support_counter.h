@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/transaction_db.h"
 #include "itemsets/itemset.h"
 
@@ -25,10 +26,24 @@ class SupportCounter {
   // Absolute occurrence counts, aligned with the constructor's itemsets.
   std::vector<int64_t> CountAbsolute(const data::TransactionDb& db) const;
 
+  // Parallel CountAbsolute: shards the transaction scan across `pool`'s
+  // workers into per-shard count vectors (each worker keeps its own
+  // presence bitmap) and sums them in shard order. Counts are integers and
+  // shard boundaries depend only on (|D|, pool size), so the result is
+  // bit-identical to CountAbsolute.
+  std::vector<int64_t> CountAbsoluteParallel(const data::TransactionDb& db,
+                                             common::ThreadPool& pool) const;
+
   // Relative supports (counts / |D|).
   std::vector<double> CountRelative(const data::TransactionDb& db) const;
+  std::vector<double> CountRelativeParallel(const data::TransactionDb& db,
+                                            common::ThreadPool& pool) const;
 
  private:
+  // Accumulates counts over transactions [begin, end) into `counts`.
+  void CountRange(const data::TransactionDb& db, int64_t begin, int64_t end,
+                  std::vector<int64_t>& counts) const;
+
   int32_t num_items_;
   std::vector<const Itemset*> itemsets_;
   // buckets_[item] lists indices of itemsets whose smallest item == item.

@@ -1,0 +1,213 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace focus::serve {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) return shorter;
+  }
+  return buf;
+}
+
+std::vector<double> Histogram::DefaultLatencyBucketsMs() {
+  // 0.1 ms … ~100 s, ~4 buckets per decade.
+  std::vector<double> bounds;
+  for (double b = 0.1; b < 1.1e5; b *= 1.78) bounds.push_back(b);
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      bucket_counts_(upper_bounds_.size() + 1, 0) {
+  FOCUS_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::upper_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++bucket_counts_[bucket];
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < bucket_counts_.size(); ++b) {
+    if (bucket_counts_[b] == 0) continue;
+    const int64_t next = cumulative + bucket_counts_[b];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation inside bucket b. The open-ended last bucket
+      // and the first bucket fall back to the observed extremes.
+      const double lo = b == 0 ? min_ : upper_bounds_[b - 1];
+      const double hi = b < upper_bounds_.size() ? upper_bounds_[b] : max_;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(bucket_counts_[b]);
+      return std::clamp(lo + fraction * (hi - lo), min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+std::string Histogram::ToJson() const {
+  // Quantile/count take the lock themselves; snapshot once for coherence.
+  std::vector<int64_t> buckets;
+  int64_t count;
+  double sum, mn, mx;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buckets = bucket_counts_;
+    count = count_;
+    sum = sum_;
+    mn = min_;
+    mx = max_;
+  }
+  Histogram snapshot(upper_bounds_);
+  {
+    std::lock_guard<std::mutex> lock(snapshot.mutex_);
+    snapshot.bucket_counts_ = std::move(buckets);
+    snapshot.count_ = count;
+    snapshot.sum_ = sum;
+    snapshot.min_ = mn;
+    snapshot.max_ = mx;
+  }
+  std::string out = "{\"count\":" + std::to_string(count);
+  out += ",\"sum\":" + JsonNumber(sum);
+  out += ",\"min\":" + JsonNumber(mn);
+  out += ",\"max\":" + JsonNumber(mx);
+  out += ",\"p50\":" + JsonNumber(snapshot.Quantile(0.50));
+  out += ",\"p95\":" + JsonNumber(snapshot.Quantile(0.95));
+  out += ",\"p99\":" + JsonNumber(snapshot.Quantile(0.99));
+  out += "}";
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const int64_t unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"unix_ms\":" + std::to_string(unix_ms);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(counter->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + JsonNumber(gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + histogram->ToJson();
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::WriteJsonLine(std::ostream& out) const {
+  out << ToJson() << '\n';
+}
+
+}  // namespace focus::serve

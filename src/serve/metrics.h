@@ -1,0 +1,100 @@
+#ifndef FOCUS_SERVE_METRICS_H_
+#define FOCUS_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace focus::serve {
+
+// Operational telemetry for the monitoring service: monotonically
+// increasing counters, last-value gauges, and bucketed latency
+// histograms, collected in a registry that exports one JSON object per
+// snapshot (JSONL when appended to a log).
+
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram; the default buckets cover latencies from 0.1 ms
+// to ~100 s on an exponential grid. Quantiles are estimated by linear
+// interpolation within the containing bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds = DefaultLatencyBucketsMs());
+
+  void Observe(double value);
+
+  int64_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double Quantile(double q) const;
+
+  // {"count":N,"sum":S,"min":m,"max":M,"p50":…,"p95":…,"p99":…}
+  std::string ToJson() const;
+
+  static std::vector<double> DefaultLatencyBucketsMs();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> upper_bounds_;   // strictly increasing; implicit +inf last
+  std::vector<int64_t> bucket_counts_; // size upper_bounds_.size() + 1
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Named metrics with stable addresses: Get* creates on first use and
+// always returns the same object, so hot paths can cache the pointer.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // One JSON object capturing the current values of every metric:
+  //   {"unix_ms":…,"counters":{…},"gauges":{…},"histograms":{…}}
+  std::string ToJson() const;
+
+  // Appends ToJson() and a newline (one JSONL record).
+  void WriteJsonLine(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& text);
+
+// Formats a double the way the exporters do (shortest round-trippable).
+std::string JsonNumber(double value);
+
+}  // namespace focus::serve
+
+#endif  // FOCUS_SERVE_METRICS_H_

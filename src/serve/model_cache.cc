@@ -1,0 +1,100 @@
+#include "serve/model_cache.h"
+
+#include "common/check.h"
+
+namespace focus::serve {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xff;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+uint64_t TransactionDbContentHash(const data::TransactionDb& db) {
+  uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, static_cast<uint64_t>(db.num_items()));
+  hash = FnvMix(hash, static_cast<uint64_t>(db.num_transactions()));
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    const auto txn = db.Transaction(t);
+    hash = FnvMix(hash, static_cast<uint64_t>(txn.size()));
+    for (int32_t item : txn) {
+      hash = FnvMix(hash, static_cast<uint64_t>(static_cast<uint32_t>(item)));
+    }
+  }
+  return hash;
+}
+
+ModelCache::ModelCache(size_t capacity, const lits::AprioriOptions& options)
+    : capacity_(capacity), options_(options) {
+  FOCUS_CHECK_GE(capacity, 1u);
+}
+
+std::shared_ptr<const lits::LitsModel> ModelCache::Lookup(
+    uint64_t content_hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(content_hash);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.position);
+  return it->second.model;
+}
+
+std::shared_ptr<const lits::LitsModel> ModelCache::GetOrMine(
+    const data::TransactionDb& db, bool* cache_hit) {
+  const uint64_t key = TransactionDbContentHash(db);
+  if (auto model = Lookup(key)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return model;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  // Mine outside the lock so concurrent misses on different snapshots
+  // proceed in parallel.
+  auto model = std::make_shared<const lits::LitsModel>(
+      lits::Apriori(db, options_));
+  std::lock_guard<std::mutex> lock(mutex_);
+  InsertLocked(key, model);
+  return model;
+}
+
+void ModelCache::InsertLocked(uint64_t key,
+                              std::shared_ptr<const lits::LitsModel> model) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A concurrent miss already inserted this key; keep the newer model
+    // and refresh recency.
+    it->second.model = std::move(model);
+    lru_.splice(lru_.begin(), lru_, it->second.position);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(model), lru_.begin()};
+}
+
+ModelCacheStats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t ModelCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace focus::serve

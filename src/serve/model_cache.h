@@ -1,0 +1,69 @@
+#ifndef FOCUS_SERVE_MODEL_CACHE_H_
+#define FOCUS_SERVE_MODEL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "data/transaction_db.h"
+#include "itemsets/apriori.h"
+
+namespace focus::serve {
+
+// 64-bit FNV-1a over the full content of a transaction database (item
+// universe, transaction boundaries, items). Equal databases hash equally;
+// the cache treats a hash match as identity, which is fine for its
+// purpose (a collision merely serves a stale model for one entry, with
+// probability ~2^-64 per pair).
+uint64_t TransactionDbContentHash(const data::TransactionDb& db);
+
+struct ModelCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+};
+
+// LRU cache of mined lits-models keyed by snapshot content hash, so a
+// snapshot that re-enters the spool (retries, fan-out to several streams,
+// repeated deviations against rotating references) skips the Apriori
+// pass entirely. Thread-safe; mining happens OUTSIDE the lock, so two
+// concurrent misses on the same key may both mine — the second insert
+// wins and the duplicate work is bounded by one mining pass.
+class ModelCache {
+ public:
+  ModelCache(size_t capacity, const lits::AprioriOptions& options);
+
+  // Returns the model of `db` under the cache's mining options, mining on
+  // a miss. `cache_hit`, when given, reports whether mining was skipped.
+  std::shared_ptr<const lits::LitsModel> GetOrMine(
+      const data::TransactionDb& db, bool* cache_hit = nullptr);
+
+  // Cached entry for a precomputed hash, or nullptr. Promotes on hit.
+  std::shared_ptr<const lits::LitsModel> Lookup(uint64_t content_hash);
+
+  ModelCacheStats stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  const lits::AprioriOptions& options() const { return options_; }
+
+ private:
+  void InsertLocked(uint64_t key, std::shared_ptr<const lits::LitsModel> model);
+
+  const size_t capacity_;
+  const lits::AprioriOptions options_;
+  mutable std::mutex mutex_;
+  // lru_ front = most recently used.
+  std::list<uint64_t> lru_;
+  struct Entry {
+    std::shared_ptr<const lits::LitsModel> model;
+    std::list<uint64_t>::iterator position;
+  };
+  std::unordered_map<uint64_t, Entry> entries_;
+  ModelCacheStats stats_;
+};
+
+}  // namespace focus::serve
+
+#endif  // FOCUS_SERVE_MODEL_CACHE_H_

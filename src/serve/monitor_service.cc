@@ -1,0 +1,218 @@
+#include "serve/monitor_service.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace focus::serve {
+
+std::string StreamEvent::ToJson() const {
+  std::string out = "{\"type\":\"event\"";
+  out += ",\"stream\":\"" + JsonEscape(stream) + "\"";
+  out += ",\"seq\":" + std::to_string(sequence);
+  if (!source.empty()) out += ",\"source\":\"" + JsonEscape(source) + "\"";
+  out += ",\"n\":" + std::to_string(num_transactions);
+  out += ",\"delta_star\":" + JsonNumber(report.upper_bound);
+  out += ",\"screened_out\":";
+  out += report.screened_out ? "true" : "false";
+  if (!report.screened_out) {
+    out += ",\"delta\":" + JsonNumber(report.deviation);
+    out += ",\"sig_pct\":" + JsonNumber(report.significance_percent);
+  }
+  out += ",\"alert\":";
+  out += report.alert ? "true" : "false";
+  out += ",\"cusum\":" + JsonNumber(cusum);
+  out += ",\"change_point\":";
+  out += change_point ? "true" : "false";
+  out += ",\"cache_hit\":";
+  out += cache_hit ? "true" : "false";
+  out += ",\"latency_ms\":" + JsonNumber(latency_ms);
+  out += "}";
+  return out;
+}
+
+MonitorService::MonitorService(const MonitorServiceOptions& options,
+                               MetricsRegistry* metrics)
+    : options_(options),
+      metrics_(metrics),
+      model_cache_(options.model_cache_capacity, options.monitor.apriori),
+      queue_(options.queue_capacity),
+      pool_(std::make_unique<common::ThreadPool>(options.num_threads)) {
+  dispatcher_ = std::thread([this]() { DispatchLoop(); });
+}
+
+MonitorService::~MonitorService() { Shutdown(); }
+
+void MonitorService::AddStream(const std::string& name,
+                               const data::TransactionDb& reference) {
+  // Mining + calibration run outside the state lock; only registration
+  // takes it.
+  auto stream = std::make_unique<Stream>(options_.cusum);
+  stream->monitor =
+      std::make_unique<core::LitsChangeMonitor>(reference, options_.monitor);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    FOCUS_CHECK(streams_.find(name) == streams_.end())
+        << "stream '" << name << "' registered twice";
+    streams_[name] = std::move(stream);
+    if (metrics_ != nullptr) {
+      metrics_->GetGauge("streams").Set(static_cast<double>(streams_.size()));
+    }
+  }
+}
+
+bool MonitorService::HasStream(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return streams_.count(name) > 0;
+}
+
+void MonitorService::SetEventSink(
+    std::function<void(const StreamEvent&)> sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = std::move(sink);
+}
+
+bool MonitorService::Submit(Snapshot snapshot) {
+  {
+    // Bound the total number of snapshots in flight (queued + pending +
+    // processing) by the queue capacity: this is the backpressure the
+    // producer feels.
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    idle_cv_.wait(lock, [this]() {
+      return shutdown_ ||
+             in_flight_ < static_cast<int64_t>(options_.queue_capacity);
+    });
+    if (shutdown_) return false;
+    ++in_flight_;
+  }
+  if (!queue_.Push(std::move(snapshot))) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    --in_flight_;
+    idle_cv_.notify_all();
+    return false;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("queue_depth").Set(static_cast<double>(queue_.size()));
+    metrics_->GetCounter("snapshots_submitted").Increment();
+  }
+  return true;
+}
+
+void MonitorService::DispatchLoop() {
+  while (auto snapshot = queue_.Pop()) {
+    Route(std::move(*snapshot));
+  }
+}
+
+void MonitorService::Route(Snapshot snapshot) {
+  Stream* stream = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const auto it = streams_.find(snapshot.stream);
+    if (it == streams_.end()) {
+      --in_flight_;
+      idle_cv_.notify_all();
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("snapshots_rejected").Increment();
+      }
+      return;
+    }
+    stream = it->second.get();
+    stream->pending.push_back(std::move(snapshot));
+    if (stream->draining) return;  // the active drain job will pick it up
+    stream->draining = true;
+  }
+  // One drain job per stream at a time: per-stream order is preserved
+  // while distinct streams run concurrently on the pool.
+  pool_->Submit([this, stream]() { DrainStream(stream); });
+}
+
+void MonitorService::DrainStream(Stream* stream) {
+  for (;;) {
+    Snapshot snapshot;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (stream->pending.empty()) {
+        stream->draining = false;
+        return;
+      }
+      snapshot = std::move(stream->pending.front());
+      stream->pending.pop_front();
+    }
+    const StreamEvent event = Process(stream, std::move(snapshot));
+    {
+      std::lock_guard<std::mutex> lock(sink_mutex_);
+      if (sink_) sink_(event);
+    }
+    FinishOne();
+  }
+}
+
+StreamEvent MonitorService::Process(Stream* stream, Snapshot snapshot) {
+  common::Timer timer;
+  StreamEvent event;
+  event.stream = std::move(snapshot.stream);
+  event.sequence = snapshot.sequence;
+  event.source = std::move(snapshot.source);
+  event.num_transactions = snapshot.db.num_transactions();
+
+  bool cache_hit = false;
+  const std::shared_ptr<const lits::LitsModel> model =
+      model_cache_.GetOrMine(snapshot.db, &cache_hit);
+  event.cache_hit = cache_hit;
+  event.report = stream->monitor->InspectWithModel(snapshot.db, *model);
+
+  // The CUSUM series runs over delta*: unlike the exact deviation it is
+  // computed for every snapshot (screened or not), giving a uniform
+  // sequential signal.
+  const core::DriftPoint drift = stream->cusum.Observe(event.report.upper_bound);
+  event.cusum = drift.cusum;
+  event.change_point = drift.change_point;
+  event.latency_ms = timer.Millis();
+
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("snapshots_processed").Increment();
+    metrics_->GetCounter(cache_hit ? "cache_hits" : "cache_misses").Increment();
+    if (event.report.screened_out) {
+      metrics_->GetCounter("screened_out").Increment();
+    }
+    if (event.report.alert) metrics_->GetCounter("alerts").Increment();
+    if (event.change_point) metrics_->GetCounter("change_points").Increment();
+    metrics_->GetHistogram("inspect_latency_ms").Observe(event.latency_ms);
+    metrics_->GetGauge("queue_depth").Set(static_cast<double>(queue_.size()));
+  }
+  return event;
+}
+
+void MonitorService::FinishOne() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  --in_flight_;
+  ++processed_;
+  idle_cv_.notify_all();
+}
+
+void MonitorService::Flush() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  idle_cv_.wait(lock, [this]() { return in_flight_ == 0; });
+}
+
+void MonitorService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    idle_cv_.notify_all();  // wake Submit callers blocked on backpressure
+  }
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  Flush();        // drain jobs still running on the pool
+  pool_.reset();  // joins the workers
+}
+
+int64_t MonitorService::processed() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return processed_;
+}
+
+}  // namespace focus::serve

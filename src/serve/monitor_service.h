@@ -1,0 +1,136 @@
+#ifndef FOCUS_SERVE_MONITOR_SERVICE_H_
+#define FOCUS_SERVE_MONITOR_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+#include "core/drift_series.h"
+#include "core/monitor.h"
+#include "serve/metrics.h"
+#include "serve/model_cache.h"
+#include "serve/snapshot_queue.h"
+
+namespace focus::serve {
+
+struct MonitorServiceOptions {
+  // Per-stream two-stage screening (delta* screen, then exact deviation +
+  // bootstrap significance) — the paper's monitoring deployment.
+  core::MonitorOptions monitor;
+  // Sequential change-point detection over each stream's delta* series.
+  core::CusumOptions cusum;
+  int num_threads = 4;              // worker pool size
+  size_t queue_capacity = 64;       // ingest bound; Push blocks beyond it
+  size_t model_cache_capacity = 64; // mined-model LRU entries
+};
+
+// One processed snapshot produces one event.
+struct StreamEvent {
+  std::string stream;
+  int64_t sequence = 0;
+  std::string source;
+  int64_t num_transactions = 0;
+  core::MonitorReport report;  // delta*, screen verdict, deviation, sig%
+  double cusum = 0.0;          // accumulated drift statistic (over delta*)
+  bool change_point = false;   // CUSUM crossed its decision threshold
+  bool cache_hit = false;      // snapshot model came from the LRU cache
+  double latency_ms = 0.0;     // inspect wall time
+
+  // One JSONL record, e.g.
+  //   {"type":"event","stream":"s","seq":3,…,"alert":true,…}
+  std::string ToJson() const;
+};
+
+// Long-running monitoring service: N independent snapshot streams served
+// concurrently on a shared worker pool.
+//
+// Ingestion path:  Submit → bounded SnapshotQueue (backpressure) →
+// dispatcher thread → per-stream pending deques → pool drain jobs.
+// Snapshots of ONE stream are processed strictly in submission order (the
+// CUSUM statistic is sequential); distinct streams proceed in parallel.
+// Each snapshot is mined at most once via the content-hash model cache,
+// screened by the stream's LitsChangeMonitor, and fed to the stream's
+// DeviationCusum; the resulting event goes to the (serialized) event sink
+// and into the metrics registry.
+class MonitorService {
+ public:
+  // `metrics` may be null (no telemetry); it must outlive the service.
+  MonitorService(const MonitorServiceOptions& options,
+                 MetricsRegistry* metrics);
+  ~MonitorService();  // Shutdown()
+
+  MonitorService(const MonitorService&) = delete;
+  MonitorService& operator=(const MonitorService&) = delete;
+
+  // Registers a stream: mines the reference model and calibrates the
+  // stage-1 threshold (expensive). Must happen before snapshots of that
+  // stream are submitted.
+  void AddStream(const std::string& name,
+                 const data::TransactionDb& reference);
+  bool HasStream(const std::string& name) const;
+
+  // Invoked once per processed snapshot; calls are serialized. Set before
+  // the first Submit.
+  void SetEventSink(std::function<void(const StreamEvent&)> sink);
+
+  // Enqueues a snapshot; blocks while the ingest queue is full. Returns
+  // false (dropping the snapshot) after Shutdown. Snapshots for streams
+  // that were never added are counted as rejected and dropped.
+  bool Submit(Snapshot snapshot);
+
+  // Blocks until every snapshot submitted so far has been processed.
+  void Flush();
+
+  // Stops intake, drains in-flight work, joins the workers. Idempotent;
+  // also run by the destructor.
+  void Shutdown();
+
+  int64_t processed() const;
+  const ModelCache& model_cache() const { return model_cache_; }
+
+ private:
+  struct Stream {
+    std::unique_ptr<core::LitsChangeMonitor> monitor;
+    core::DeviationCusum cusum;
+    std::deque<Snapshot> pending;  // guarded by state_mutex_
+    bool draining = false;         // a drain job owns this stream
+
+    explicit Stream(const core::CusumOptions& cusum_options)
+        : cusum(cusum_options) {}
+  };
+
+  void DispatchLoop();
+  void Route(Snapshot snapshot);
+  void DrainStream(Stream* stream);
+  StreamEvent Process(Stream* stream, Snapshot snapshot);
+  void FinishOne();
+
+  const MonitorServiceOptions options_;
+  MetricsRegistry* const metrics_;  // may be null
+  ModelCache model_cache_;
+  SnapshotQueue queue_;
+  std::unique_ptr<common::ThreadPool> pool_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable idle_cv_;
+  std::unordered_map<std::string, std::unique_ptr<Stream>> streams_;
+  int64_t in_flight_ = 0;   // submitted but not yet fully processed
+  int64_t processed_ = 0;
+  bool shutdown_ = false;
+
+  std::mutex sink_mutex_;
+  std::function<void(const StreamEvent&)> sink_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace focus::serve
+
+#endif  // FOCUS_SERVE_MONITOR_SERVICE_H_

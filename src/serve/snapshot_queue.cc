@@ -1,0 +1,62 @@
+#include "serve/snapshot_queue.h"
+
+#include "common/check.h"
+
+namespace focus::serve {
+
+SnapshotQueue::SnapshotQueue(size_t capacity) : capacity_(capacity) {
+  FOCUS_CHECK_GE(capacity, 1u);
+}
+
+bool SnapshotQueue::Push(Snapshot snapshot) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock,
+                 [this]() { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(std::move(snapshot));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool SnapshotQueue::TryPush(Snapshot snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(snapshot));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Snapshot> SnapshotQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this]() { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Snapshot snapshot = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return snapshot;
+}
+
+void SnapshotQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+size_t SnapshotQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+bool SnapshotQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace focus::serve

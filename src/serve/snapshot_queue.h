@@ -1,0 +1,61 @@
+#ifndef FOCUS_SERVE_SNAPSHOT_QUEUE_H_
+#define FOCUS_SERVE_SNAPSHOT_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "data/transaction_db.h"
+
+namespace focus::serve {
+
+// One unit of ingest work: a dataset snapshot bound for a monitored
+// stream.
+struct Snapshot {
+  std::string stream;      // monitored stream name
+  int64_t sequence = 0;    // position within the stream (producer-assigned)
+  std::string source;      // originating file/path, echoed into events
+  data::TransactionDb db;
+};
+
+// Bounded multi-producer single-consumer queue between snapshot producers
+// (the daemon's spool scanner, tests) and the service dispatcher.
+// Backpressure: Push blocks while the queue is at capacity, so a slow
+// service throttles its producers instead of buffering unboundedly.
+class SnapshotQueue {
+ public:
+  explicit SnapshotQueue(size_t capacity);
+
+  // Blocks until there is room (or the queue is closed). Returns false —
+  // and drops `snapshot` — only when closed.
+  bool Push(Snapshot snapshot);
+
+  // Non-blocking variant: false when full or closed.
+  bool TryPush(Snapshot snapshot);
+
+  // Blocks until an item is available; nullopt once the queue is closed
+  // AND drained (remaining items are still delivered after Close).
+  std::optional<Snapshot> Pop();
+
+  // Wakes every blocked producer/consumer. Push refuses afterwards.
+  void Close();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Snapshot> items_;
+  bool closed_ = false;
+};
+
+}  // namespace focus::serve
+
+#endif  // FOCUS_SERVE_SNAPSHOT_QUEUE_H_

@@ -1,0 +1,202 @@
+// Malformed-input edge cases for the text loaders. The monitoring daemon
+// feeds untrusted spool files through LoadTransactionDb, so every bad
+// input must come back std::nullopt — never a crash, never a silently
+// truncated/padded result.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/transaction_db.h"
+#include "io/data_io.h"
+
+namespace focus::io {
+namespace {
+
+std::optional<data::TransactionDb> LoadTxns(const std::string& text) {
+  std::istringstream in(text);
+  return LoadTransactionDb(in);
+}
+
+std::optional<data::Dataset> LoadData(const std::string& text) {
+  std::istringstream in(text);
+  return LoadDataset(in);
+}
+
+std::string SaveTxns(const data::TransactionDb& db) {
+  std::ostringstream out;
+  SaveTransactionDb(db, out);
+  return out.str();
+}
+
+data::TransactionDb TinyDb() {
+  data::TransactionDb db(5);
+  db.AddTransaction(std::vector<int32_t>{0, 2});
+  db.AddTransaction(std::vector<int32_t>{1, 3, 4});
+  db.AddTransaction(std::vector<int32_t>{});
+  return db;
+}
+
+TEST(DataIoEdgeTest, TransactionRoundTripStillWorks) {
+  const auto loaded = LoadTxns(SaveTxns(TinyDb()));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_items(), 5);
+  EXPECT_EQ(loaded->num_transactions(), 3);
+  EXPECT_EQ(loaded->Transaction(1).size(), 3u);
+}
+
+TEST(DataIoEdgeTest, TransactionEmptyInputRejected) {
+  EXPECT_FALSE(LoadTxns("").has_value());
+}
+
+TEST(DataIoEdgeTest, TransactionWrongMagicRejected) {
+  EXPECT_FALSE(LoadTxns("focus-data-v1\n5 1\n0\n").has_value());
+  EXPECT_FALSE(LoadTxns("garbage\n5 1\n0\n").has_value());
+}
+
+TEST(DataIoEdgeTest, TransactionTruncatedHeaderRejected) {
+  // Magic but no counts line.
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n").has_value());
+  // Counts line missing the transaction count.
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n5\n").has_value());
+}
+
+TEST(DataIoEdgeTest, TransactionNonPositiveItemCountRejected) {
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n0 1\n\n").has_value());
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n-5 1\n0\n").has_value());
+}
+
+TEST(DataIoEdgeTest, TransactionNegativeTransactionCountRejected) {
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n5 -1\n").has_value());
+}
+
+TEST(DataIoEdgeTest, TransactionOverflowingCountRejected) {
+  // 2^40 overflows the int32 item count; extraction sets failbit.
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n1099511627776 1\n0\n").has_value());
+  EXPECT_FALSE(
+      LoadTxns("focus-txns-v1\n5 99999999999999999999999999\n").has_value());
+}
+
+TEST(DataIoEdgeTest, TransactionHeaderTrailingGarbageRejected) {
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n5 1 surprise\n0\n").has_value());
+}
+
+TEST(DataIoEdgeTest, TransactionFewerLinesThanDeclaredRejected) {
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n5 3\n0 2\n1 3\n").has_value());
+}
+
+TEST(DataIoEdgeTest, TransactionItemIdOutOfRangeRejected) {
+  // Item id == num_items.
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n5 1\n0 5\n").has_value());
+  // Negative item id.
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n5 1\n-1\n").has_value());
+}
+
+TEST(DataIoEdgeTest, TransactionNonNumericItemRejected) {
+  EXPECT_FALSE(LoadTxns("focus-txns-v1\n5 2\n0 two\n1\n").has_value());
+}
+
+TEST(DataIoEdgeTest, TransactionTrailingGarbageAfterPayloadRejected) {
+  std::string good = SaveTxns(TinyDb());
+  ASSERT_TRUE(LoadTxns(good).has_value());
+  EXPECT_FALSE(LoadTxns(good + "4\n").has_value());       // extra transaction
+  EXPECT_FALSE(LoadTxns(good + "garbage\n").has_value());  // extra junk
+  // Trailing whitespace/newlines remain acceptable.
+  EXPECT_TRUE(LoadTxns(good + "\n  \n").has_value());
+}
+
+data::Dataset TinyDataset() {
+  const data::Schema schema(
+      {data::Schema::Numeric("x", 0.0, 1.0), data::Schema::Numeric("y", 0.0, 1.0)},
+      /*num_classes=*/2);
+  data::Dataset dataset(schema);
+  dataset.AddRow(std::vector<double>{0.25, 0.5}, 0);
+  dataset.AddRow(std::vector<double>{0.75, 0.1}, 1);
+  return dataset;
+}
+
+std::string SaveData(const data::Dataset& dataset) {
+  std::ostringstream out;
+  SaveDataset(dataset, out);
+  return out.str();
+}
+
+TEST(DataIoEdgeTest, DatasetRoundTripStillWorks) {
+  const auto loaded = LoadData(SaveData(TinyDataset()));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_rows(), 2);
+  EXPECT_EQ(loaded->Label(1), 1);
+}
+
+TEST(DataIoEdgeTest, DatasetEmptyAndWrongMagicRejected) {
+  EXPECT_FALSE(LoadData("").has_value());
+  EXPECT_FALSE(LoadData("focus-txns-v1\n").has_value());
+}
+
+TEST(DataIoEdgeTest, DatasetTruncatedAfterSchemaRejected) {
+  std::string good = SaveData(TinyDataset());
+  // Chop off the last row and the loader must notice the short payload.
+  const size_t cut = good.rfind('\n', good.size() - 2);
+  EXPECT_FALSE(LoadData(good.substr(0, cut + 1)).has_value());
+}
+
+TEST(DataIoEdgeTest, DatasetNegativeRowCountRejected) {
+  std::string good = SaveData(TinyDataset());
+  const size_t pos = good.find("\n2\n");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bad = good.substr(0, pos) + "\n-2\n" + good.substr(pos + 3);
+  EXPECT_FALSE(LoadData(bad).has_value());
+}
+
+TEST(DataIoEdgeTest, DatasetRowCountTrailingGarbageRejected) {
+  std::string good = SaveData(TinyDataset());
+  const size_t pos = good.find("\n2\n");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bad = good.substr(0, pos) + "\n2 rows\n" + good.substr(pos + 3);
+  EXPECT_FALSE(LoadData(bad).has_value());
+}
+
+TEST(DataIoEdgeTest, DatasetLabelOutOfRangeRejected) {
+  std::string good = SaveData(TinyDataset());
+  // Labels are 0/1 under num_classes=2; a 7 must reject.
+  const size_t pos = good.find("\n1 ");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bad = good;
+  bad.replace(pos + 1, 1, "7");
+  EXPECT_FALSE(LoadData(bad).has_value());
+}
+
+TEST(DataIoEdgeTest, DatasetNonNumericValueRejected) {
+  std::string good = SaveData(TinyDataset());
+  const size_t pos = good.find("0.25");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bad = good;
+  bad.replace(pos, 4, "oops");
+  EXPECT_FALSE(LoadData(bad).has_value());
+}
+
+TEST(DataIoEdgeTest, DatasetExtraColumnsRejected) {
+  std::string good = SaveData(TinyDataset());
+  const size_t line_start = good.find("\n1 ");
+  ASSERT_NE(line_start, std::string::npos);
+  const size_t line_end = good.find('\n', line_start + 1);
+  std::string bad = good;
+  bad.insert(line_end, " 9.9");
+  EXPECT_FALSE(LoadData(bad).has_value());
+}
+
+TEST(DataIoEdgeTest, DatasetTrailingGarbageAfterPayloadRejected) {
+  std::string good = SaveData(TinyDataset());
+  EXPECT_FALSE(LoadData(good + "0 0.1 0.2\n").has_value());
+  EXPECT_TRUE(LoadData(good + "\n\n").has_value());
+}
+
+TEST(DataIoEdgeTest, FileLoadersHandleMissingFiles) {
+  EXPECT_FALSE(LoadTransactionDbFromFile("/nonexistent/a.txns").has_value());
+  EXPECT_FALSE(LoadDatasetFromFile("/nonexistent/a.data").has_value());
+}
+
+}  // namespace
+}  // namespace focus::io

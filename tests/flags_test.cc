@@ -1,0 +1,61 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace focus::common {
+namespace {
+
+std::optional<Flags> ParseArgs(std::vector<const char*> argv,
+                               const std::vector<std::string>& allowed) {
+  return Flags::Parse(static_cast<int>(argv.size()),
+                      const_cast<char* const*>(argv.data()), 1, allowed);
+}
+
+TEST(FlagsTest, ParsesFlagValuePairs) {
+  const auto flags = ParseArgs({"tool", "--out", "a.txns", "--seed", "7"},
+                               {"out", "seed", "items"});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_EQ(flags->Get("out", ""), "a.txns");
+  EXPECT_EQ(flags->GetInt("seed", 0), 7);
+  EXPECT_EQ(flags->GetInt("items", 123), 123);  // fallback
+  EXPECT_TRUE(flags->Has("out"));
+  EXPECT_FALSE(flags->Has("items"));
+}
+
+TEST(FlagsTest, EmptyCommandLineIsValid) {
+  EXPECT_TRUE(ParseArgs({"tool"}, {"out"}).has_value());
+}
+
+TEST(FlagsTest, TrailingFlagWithoutValueIsAnError) {
+  EXPECT_FALSE(ParseArgs({"tool", "--out", "a.txns", "--seed"},
+                         {"out", "seed"})
+                   .has_value());
+  EXPECT_FALSE(ParseArgs({"tool", "--seed"}, {"seed"}).has_value());
+}
+
+TEST(FlagsTest, UnknownFlagIsAnError) {
+  EXPECT_FALSE(ParseArgs({"tool", "--typo", "1"}, {"out", "seed"}).has_value());
+}
+
+TEST(FlagsTest, NonFlagTokenIsAnError) {
+  EXPECT_FALSE(ParseArgs({"tool", "out", "a.txns"}, {"out"}).has_value());
+  EXPECT_FALSE(ParseArgs({"tool", "--", "a"}, {"out"}).has_value());
+}
+
+TEST(FlagsTest, DuplicateFlagIsAnError) {
+  EXPECT_FALSE(
+      ParseArgs({"tool", "--seed", "1", "--seed", "2"}, {"seed"}).has_value());
+}
+
+TEST(FlagsTest, NumericAccessors) {
+  const auto flags =
+      ParseArgs({"tool", "--minsup", "0.25", "--top", "12"}, {"minsup", "top"});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("minsup", 0.0), 0.25);
+  EXPECT_EQ(flags->GetInt("top", 0), 12);
+}
+
+}  // namespace
+}  // namespace focus::common

@@ -1,0 +1,145 @@
+// Property tests for the pool-parallel scan kernels: every parallel path
+// must produce results BIT-IDENTICAL to its serial counterpart (integer
+// counts, deterministic shard merge) across randomized inputs and pool
+// sizes {1, 2, 8}.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/grid_clustering.h"
+#include "common/thread_pool.h"
+#include "core/cluster_deviation.h"
+#include "core/dt_deviation.h"
+#include "core/lits_deviation.h"
+#include "datagen/class_gen.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "itemsets/support_counter.h"
+#include "tree/cart_builder.h"
+
+namespace focus {
+namespace {
+
+const int kPoolSizes[] = {1, 2, 8};
+
+data::TransactionDb SmallQuest(uint64_t seed) {
+  datagen::QuestParams params;
+  params.num_transactions = 2000;
+  params.num_items = 200;
+  params.num_patterns = 400;
+  params.avg_pattern_length = 4;
+  params.avg_transaction_length = 10;
+  params.seed = seed;
+  return datagen::GenerateQuest(params);
+}
+
+TEST(ParallelScanTest, SupportCountsMatchSerialOnQuestData) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    const data::TransactionDb d1 = SmallQuest(seed);
+    const data::TransactionDb d2 = SmallQuest(seed + 100);
+    lits::AprioriOptions options;
+    options.min_support = 0.02;
+    const lits::LitsModel m1 = lits::Apriori(d1, options);
+    const lits::LitsModel m2 = lits::Apriori(d2, options);
+    // The GCR (union of both structural components) is the region set the
+    // monitoring path extends over.
+    const std::vector<lits::Itemset> regions = core::LitsGcr(m1, m2);
+    ASSERT_FALSE(regions.empty());
+    const lits::SupportCounter counter(regions, d1.num_items());
+    const std::vector<int64_t> serial = counter.CountAbsolute(d1);
+    for (int threads : kPoolSizes) {
+      common::ThreadPool pool(threads);
+      EXPECT_EQ(counter.CountAbsoluteParallel(d1, pool), serial)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(counter.CountRelativeParallel(d1, pool),
+                counter.CountRelative(d1));
+    }
+  }
+}
+
+TEST(ParallelScanTest, SupportCountsMatchSerialWithEmptyItemset) {
+  const data::TransactionDb db = SmallQuest(3);
+  // Include the empty itemset (support |D|) among the candidates.
+  const std::vector<lits::Itemset> regions = {
+      lits::Itemset(), lits::Itemset({1}), lits::Itemset({2, 3})};
+  const lits::SupportCounter counter(regions, db.num_items());
+  const std::vector<int64_t> serial = counter.CountAbsolute(db);
+  EXPECT_EQ(serial[0], db.num_transactions());
+  for (int threads : kPoolSizes) {
+    common::ThreadPool pool(threads);
+    EXPECT_EQ(counter.CountAbsoluteParallel(db, pool), serial);
+  }
+}
+
+TEST(ParallelScanTest, DtDeviationMatchesSerialOnClassGenData) {
+  for (uint64_t seed : {1u, 9u}) {
+    datagen::ClassGenParams params;
+    params.num_rows = 2000;
+    params.function = datagen::ClassFunction::kF2;
+    params.seed = seed;
+    const data::Dataset d1 = datagen::GenerateClassification(params);
+    params.seed = seed + 50;
+    params.function = datagen::ClassFunction::kF3;
+    const data::Dataset d2 = datagen::GenerateClassification(params);
+
+    dt::CartOptions cart;
+    cart.max_depth = 6;
+    cart.min_leaf_size = 20;
+    const core::DtModel m1(dt::BuildCart(d1, cart), d1);
+    const core::DtModel m2(dt::BuildCart(d2, cart), d2);
+
+    core::DtDeviationOptions options;
+    const double serial = core::DtDeviation(m1, d1, m2, d2, options);
+    const double serial_over_tree =
+        core::DtDeviationOverTree(m1.tree(), d1, d2, options);
+    for (int threads : kPoolSizes) {
+      common::ThreadPool pool(threads);
+      options.pool = &pool;
+      EXPECT_EQ(core::DtDeviation(m1, d1, m2, d2, options), serial)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(core::DtDeviationOverTree(m1.tree(), d1, d2, options),
+                serial_over_tree);
+      EXPECT_EQ(core::DtMeasuresOverTree(m1.tree(), d2, &pool),
+                core::DtMeasuresOverTree(m1.tree(), d2));
+      options.pool = nullptr;
+    }
+  }
+}
+
+TEST(ParallelScanTest, ClusterDeviationMatchesSerial) {
+  const data::Schema schema(
+      {data::Schema::Numeric("x", 0.0, 10.0),
+       data::Schema::Numeric("y", 0.0, 10.0)},
+      /*num_classes=*/0);
+  auto blob = [&](double cx, double cy, int n, int phase) {
+    data::Dataset dataset(schema);
+    for (int i = 0; i < n; ++i) {
+      const double jitter = ((i + phase) % 23) * 0.08;
+      dataset.AddRow(std::vector<double>{cx + jitter, cy - jitter}, 0);
+    }
+    return dataset;
+  };
+  data::Dataset d1 = blob(2.0, 3.0, 700, 0);
+  data::Dataset d2 = blob(6.5, 7.0, 900, 5);
+  const cluster::Grid grid(schema, {0, 1}, 10);
+  cluster::GridClusteringOptions cluster_options;
+  cluster_options.density_threshold = 0.02;
+  const cluster::ClusterModel m1 =
+      cluster::GridClustering(d1, grid, cluster_options);
+  const cluster::ClusterModel m2 =
+      cluster::GridClustering(d2, grid, cluster_options);
+
+  core::ClusterDeviationOptions options;
+  const double serial = core::ClusterDeviation(m1, d1, m2, d2, options);
+  for (int threads : kPoolSizes) {
+    common::ThreadPool pool(threads);
+    options.pool = &pool;
+    EXPECT_EQ(core::ClusterDeviation(m1, d1, m2, d2, options), serial)
+        << "threads " << threads;
+    options.pool = nullptr;
+  }
+}
+
+}  // namespace
+}  // namespace focus

@@ -1,0 +1,375 @@
+// Tests for the serving layer: snapshot queue semantics, the mined-model
+// LRU cache, the metrics registry/JSON export, and the MonitorService
+// end-to-end (per-stream ordering, cross-stream concurrency, change-point
+// detection on a shifted stream).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "serve/metrics.h"
+#include "serve/model_cache.h"
+#include "serve/monitor_service.h"
+#include "serve/snapshot_queue.h"
+
+namespace focus::serve {
+namespace {
+
+data::TransactionDb QuestDb(uint64_t seed, uint64_t pattern_seed = 99) {
+  datagen::QuestParams params;
+  params.num_transactions = 400;
+  params.num_items = 60;
+  params.num_patterns = 100;
+  params.avg_pattern_length = 4;
+  params.avg_transaction_length = 8;
+  params.seed = seed;
+  params.pattern_seed = pattern_seed;
+  return datagen::GenerateQuest(params);
+}
+
+Snapshot MakeSnapshot(const std::string& stream, int64_t sequence,
+                      uint64_t seed, uint64_t pattern_seed = 99) {
+  Snapshot snapshot;
+  snapshot.stream = stream;
+  snapshot.sequence = sequence;
+  snapshot.source = "test";
+  snapshot.db = QuestDb(seed, pattern_seed);
+  return snapshot;
+}
+
+// ---------------------------------------------------------------- queue
+
+TEST(SnapshotQueueTest, DeliversInFifoOrder) {
+  SnapshotQueue queue(8);
+  for (int i = 0; i < 5; ++i) {
+    Snapshot s;
+    s.stream = "a";
+    s.sequence = i;
+    s.db = data::TransactionDb(1);
+    ASSERT_TRUE(queue.Push(std::move(s)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto popped = queue.Pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(popped->sequence, i);
+  }
+}
+
+TEST(SnapshotQueueTest, TryPushFailsWhenFull) {
+  SnapshotQueue queue(2);
+  Snapshot s;
+  s.db = data::TransactionDb(1);
+  EXPECT_TRUE(queue.TryPush(s));
+  EXPECT_TRUE(queue.TryPush(s));
+  EXPECT_FALSE(queue.TryPush(s));  // full
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(SnapshotQueueTest, PushBlocksUntilPopMakesRoom) {
+  SnapshotQueue queue(1);
+  Snapshot s;
+  s.db = data::TransactionDb(1);
+  ASSERT_TRUE(queue.Push(s));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    Snapshot t;
+    t.sequence = 2;
+    t.db = data::TransactionDb(1);
+    queue.Push(std::move(t));
+    second_pushed = true;
+  });
+  // The producer must be parked until a Pop frees a slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_TRUE(queue.Pop().has_value());
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(queue.Pop()->sequence, 2);
+}
+
+TEST(SnapshotQueueTest, CloseDrainsThenSignalsEnd) {
+  SnapshotQueue queue(4);
+  Snapshot s;
+  s.sequence = 7;
+  s.db = data::TransactionDb(1);
+  ASSERT_TRUE(queue.Push(std::move(s)));
+  queue.Close();
+  Snapshot rejected;
+  rejected.db = data::TransactionDb(1);
+  EXPECT_FALSE(queue.Push(std::move(rejected)));  // closed to producers
+  auto popped = queue.Pop();                      // queued item still delivered
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->sequence, 7);
+  EXPECT_FALSE(queue.Pop().has_value());  // drained + closed => end
+}
+
+// ------------------------------------------------------------ model cache
+
+TEST(ModelCacheTest, ContentHashIsContentBased) {
+  const data::TransactionDb a = QuestDb(1);
+  const data::TransactionDb b = QuestDb(1);  // same content, fresh object
+  const data::TransactionDb c = QuestDb(2);
+  EXPECT_EQ(TransactionDbContentHash(a), TransactionDbContentHash(b));
+  EXPECT_NE(TransactionDbContentHash(a), TransactionDbContentHash(c));
+}
+
+TEST(ModelCacheTest, HitsOnRepeatedSnapshotMissesOnNew) {
+  lits::AprioriOptions options;
+  options.min_support = 0.05;
+  ModelCache cache(4, options);
+  bool hit = true;
+  const auto first = cache.GetOrMine(QuestDb(1), &hit);
+  EXPECT_FALSE(hit);
+  const auto again = cache.GetOrMine(QuestDb(1), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), again.get());  // same cached object
+  cache.GetOrMine(QuestDb(2), &hit);
+  EXPECT_FALSE(hit);
+  const ModelCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ModelCacheTest, EvictsLeastRecentlyUsed) {
+  lits::AprioriOptions options;
+  options.min_support = 0.05;
+  ModelCache cache(2, options);
+  cache.GetOrMine(QuestDb(1));
+  cache.GetOrMine(QuestDb(2));
+  cache.GetOrMine(QuestDb(1));  // promote db1; db2 is now LRU
+  cache.GetOrMine(QuestDb(3));  // evicts db2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  bool hit = false;
+  cache.GetOrMine(QuestDb(1), &hit);
+  EXPECT_TRUE(hit);  // survivor
+  cache.GetOrMine(QuestDb(2), &hit);
+  EXPECT_FALSE(hit);  // was evicted
+}
+
+TEST(ModelCacheTest, CachedModelMatchesDirectMining) {
+  lits::AprioriOptions options;
+  options.min_support = 0.05;
+  ModelCache cache(2, options);
+  const data::TransactionDb db = QuestDb(5);
+  const auto cached = cache.GetOrMine(db);
+  const lits::LitsModel direct = lits::Apriori(db, options);
+  ASSERT_EQ(cached->size(), direct.size());
+  for (const lits::Itemset& itemset : direct.StructuralComponent()) {
+    EXPECT_DOUBLE_EQ(cached->SupportOr(itemset, -1.0),
+                     direct.SupportOr(itemset, -1.0));
+  }
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CountersAndGauges) {
+  MetricsRegistry registry;
+  registry.GetCounter("snapshots").Increment();
+  registry.GetCounter("snapshots").Increment(4);
+  registry.GetGauge("depth").Set(2.5);
+  EXPECT_EQ(registry.GetCounter("snapshots").Value(), 5);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("depth").Value(), 2.5);
+  // Same name must return the same object.
+  EXPECT_EQ(&registry.GetCounter("snapshots"), &registry.GetCounter("snapshots"));
+}
+
+TEST(MetricsTest, HistogramStatsAndQuantiles) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  for (double v : {0.5, 2.0, 3.0, 20.0}) histogram.Observe(v);
+  EXPECT_EQ(histogram.count(), 4);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 25.5);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 20.0);
+  const double p50 = histogram.Quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 10.0);  // median falls in the (1,10] bucket
+  EXPECT_LE(histogram.Quantile(0.99), 100.0);
+}
+
+TEST(MetricsTest, EmptyHistogramIsSafe) {
+  Histogram histogram({1.0});
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+}
+
+TEST(MetricsTest, JsonExportIsWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("a").Increment(3);
+  registry.GetGauge("b").Set(1.5);
+  registry.GetHistogram("c").Observe(2.0);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"unix_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{\"a\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"b\":1.5}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{\"c\":{"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsTest, JsonHelpers) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  // Shortest representation must round-trip.
+  EXPECT_EQ(std::stod(JsonNumber(0.1)), 0.1);
+}
+
+// --------------------------------------------------------------- service
+
+MonitorServiceOptions SmallServiceOptions() {
+  MonitorServiceOptions options;
+  options.monitor.apriori.min_support = 0.05;
+  options.monitor.apriori.max_itemset_size = 2;
+  options.monitor.calibration_replicates = 3;
+  options.monitor.significance.num_replicates = 5;
+  options.cusum.warmup = 4;
+  options.cusum.decision_threshold = 4.0;
+  options.num_threads = 2;
+  options.queue_capacity = 8;
+  options.model_cache_capacity = 8;
+  return options;
+}
+
+TEST(MonitorServiceTest, ProcessesStreamInSubmissionOrder) {
+  MetricsRegistry metrics;
+  MonitorService service(SmallServiceOptions(), &metrics);
+  service.AddStream("s", QuestDb(1000));
+  EXPECT_TRUE(service.HasStream("s"));
+  EXPECT_FALSE(service.HasStream("other"));
+
+  std::vector<int64_t> order;
+  service.SetEventSink(
+      [&order](const StreamEvent& event) { order.push_back(event.sequence); });
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(service.Submit(MakeSnapshot("s", i, 2000 + i)));
+  }
+  service.Flush();
+  ASSERT_EQ(order.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(service.processed(), 6);
+  EXPECT_EQ(metrics.GetCounter("snapshots_processed").Value(), 6);
+}
+
+TEST(MonitorServiceTest, UnknownStreamIsRejectedNotProcessed) {
+  MetricsRegistry metrics;
+  MonitorService service(SmallServiceOptions(), &metrics);
+  service.AddStream("known", QuestDb(1000));
+  std::atomic<int> events{0};
+  service.SetEventSink([&events](const StreamEvent&) { ++events; });
+  EXPECT_TRUE(service.Submit(MakeSnapshot("unknown", 0, 1)));
+  EXPECT_TRUE(service.Submit(MakeSnapshot("known", 0, 2)));
+  service.Flush();
+  EXPECT_EQ(events.load(), 1);
+  EXPECT_EQ(metrics.GetCounter("snapshots_rejected").Value(), 1);
+  EXPECT_EQ(service.processed(), 1);
+}
+
+TEST(MonitorServiceTest, RepeatedSnapshotHitsModelCache) {
+  MetricsRegistry metrics;
+  MonitorService service(SmallServiceOptions(), &metrics);
+  service.AddStream("s", QuestDb(1000));
+  bool saw_cache_hit = false;
+  service.SetEventSink([&saw_cache_hit](const StreamEvent& event) {
+    if (event.cache_hit) saw_cache_hit = true;
+  });
+  // The same snapshot content submitted twice: second mine must be skipped.
+  ASSERT_TRUE(service.Submit(MakeSnapshot("s", 0, 77)));
+  ASSERT_TRUE(service.Submit(MakeSnapshot("s", 1, 77)));
+  service.Flush();
+  EXPECT_TRUE(saw_cache_hit);
+  EXPECT_GE(service.model_cache().stats().hits, 1);
+  EXPECT_EQ(metrics.GetCounter("cache_hits").Value(), 1);
+}
+
+TEST(MonitorServiceTest, TwoStreamsProcessIndependently) {
+  MetricsRegistry metrics;
+  MonitorService service(SmallServiceOptions(), &metrics);
+  service.AddStream("a", QuestDb(1000));
+  service.AddStream("b", QuestDb(1001, /*pattern_seed=*/123));
+  std::vector<std::string> seen_a, seen_b;
+  std::mutex mutex;
+  service.SetEventSink([&](const StreamEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    (event.stream == "a" ? seen_a : seen_b).push_back(event.stream);
+  });
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.Submit(MakeSnapshot("a", i, 3000 + i)));
+    ASSERT_TRUE(
+        service.Submit(MakeSnapshot("b", i, 4000 + i, /*pattern_seed=*/123)));
+  }
+  service.Flush();
+  EXPECT_EQ(seen_a.size(), 3u);
+  EXPECT_EQ(seen_b.size(), 3u);
+}
+
+TEST(MonitorServiceTest, RegimeShiftTripsCusumChangePoint) {
+  MonitorServiceOptions options = SmallServiceOptions();
+  options.cusum.warmup = 5;
+  options.cusum.decision_threshold = 4.0;
+  MetricsRegistry metrics;
+  MonitorService service(options, &metrics);
+  // Reference and the first snapshots share pattern_seed 99: same
+  // generating process, independent samples.
+  service.AddStream("s", QuestDb(1000));
+  bool change_point = false;
+  service.SetEventSink([&change_point](const StreamEvent& event) {
+    if (event.change_point) change_point = true;
+  });
+  int64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(service.Submit(MakeSnapshot("s", seq++, 5000 + i)));
+  }
+  // Regime shift: a different pattern table => different process.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        service.Submit(MakeSnapshot("s", seq++, 6000 + i, /*pattern_seed=*/7)));
+  }
+  service.Flush();
+  EXPECT_TRUE(change_point);
+  EXPECT_GE(metrics.GetCounter("change_points").Value(), 1);
+}
+
+TEST(MonitorServiceTest, SubmitAfterShutdownIsRefused) {
+  MonitorService service(SmallServiceOptions(), /*metrics=*/nullptr);
+  service.AddStream("s", QuestDb(1000));
+  service.Shutdown();
+  EXPECT_FALSE(service.Submit(MakeSnapshot("s", 0, 1)));
+  service.Shutdown();  // idempotent
+}
+
+TEST(StreamEventTest, ToJsonContainsCoreFields) {
+  StreamEvent event;
+  event.stream = "payments";
+  event.sequence = 12;
+  event.source = "spool/x.txns";
+  event.num_transactions = 400;
+  event.report.upper_bound = 0.25;
+  event.report.screened_out = true;
+  event.cusum = 1.5;
+  event.cache_hit = true;
+  const std::string json = event.ToJson();
+  EXPECT_NE(json.find("\"type\":\"event\""), std::string::npos);
+  EXPECT_NE(json.find("\"stream\":\"payments\""), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"delta_star\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"screened_out\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"cusum\":1.5"), std::string::npos);
+  // Screened-out events carry no exact deviation.
+  EXPECT_EQ(json.find("\"delta\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace focus::serve

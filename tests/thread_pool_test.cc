@@ -1,0 +1,135 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace focus::common {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&executed]() { ++executed; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTaskValue) {
+  ThreadPool pool(2);
+  std::future<int> future = pool.Submit([]() { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> future =
+      pool.Submit([]() { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&executed]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++executed;
+      });
+    }
+    // Destructor must finish everything already queued.
+  }
+  EXPECT_EQ(executed.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(0, 1000, [&](int /*shard*/, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++touched[i];
+  });
+  for (const auto& count : touched) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForShardBoundsAreContiguous) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  pool.ParallelFor(10, 107, 5, [&](int /*shard*/, int64_t begin, int64_t end) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ranges.emplace_back(begin, end);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  ASSERT_EQ(ranges.size(), 5u);
+  EXPECT_EQ(ranges.front().first, 10);
+  EXPECT_EQ(ranges.back().second, 107);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i - 1].second, ranges[i].first);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](int, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForMoreShardsThanElements) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(3);
+  pool.ParallelFor(0, 3, 8, [&](int /*shard*/, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++touched[i];
+  });
+  for (const auto& count : touched) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 4,
+                       [](int shard, int64_t, int64_t) {
+                         if (shard == 2) throw std::runtime_error("shard 2");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForWorksWithSingleThread) {
+  ThreadPool pool(1);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(1, 101, [&](int, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+// The caller participates in shard execution, so ParallelFor invoked from
+// INSIDE a pool task cannot deadlock even when every worker is busy.
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::future<int64_t>> futures;
+  for (int task = 0; task < 4; ++task) {
+    futures.push_back(pool.Submit([&pool]() {
+      std::atomic<int64_t> sum{0};
+      pool.ParallelFor(0, 1000, [&](int, int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) sum += i;
+      });
+      return sum.load();
+    }));
+  }
+  for (auto& future : futures) EXPECT_EQ(future.get(), 499500);
+}
+
+}  // namespace
+}  // namespace focus::common

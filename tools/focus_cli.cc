@@ -23,55 +23,19 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "focus/focus.h"
 #include "io/data_io.h"
 
 namespace focus::cli {
 namespace {
 
-// Minimal --flag value parser: every flag takes exactly one value.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        ok_ = false;
-        std::fprintf(stderr, "expected a --flag, got '%s'\n", argv[i]);
-        return;
-      }
-      values_[key.substr(2)] = argv[i + 1];
-    }
-    if ((argc - first) % 2 != 0) {
-      ok_ = false;
-      std::fprintf(stderr, "flag '%s' is missing its value\n", argv[argc - 1]);
-    }
-  }
-
-  bool ok() const { return ok_; }
-
-  std::string Get(const std::string& key, const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
-  }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-
- private:
-  std::map<std::string, std::string> values_;
-  bool ok_ = true;
-};
+// Shared hardened parser (also used by focus_monitord): unknown flags and
+// flags missing their value are hard errors, not silently ignored.
+using common::Flags;
 
 core::DeviationFunction ParseDeviationFunction(const Flags& flags) {
   core::DeviationFunction fn;
@@ -388,21 +352,47 @@ int Usage() {
   return 1;
 }
 
+struct Command {
+  const char* name;
+  std::vector<std::string> allowed_flags;
+  int (*run)(const Flags&);
+};
+
+const std::vector<Command>& Commands() {
+  static const std::vector<Command> commands = {
+      {"gen-quest",
+       {"out", "transactions", "items", "patterns", "patlen", "txnlen", "seed",
+        "pattern-seed"},
+       GenQuest},
+      {"gen-class", {"out", "rows", "function", "noise", "seed"}, GenClass},
+      {"mine", {"db", "out", "minsup", "maxk", "miner"}, Mine},
+      {"train",
+       {"data", "out", "max-depth", "min-leaf", "criterion", "builder"},
+       Train},
+      {"deviate", {"db1", "db2", "minsup", "f", "g", "replicates"}, Deviate},
+      {"deviate-dt",
+       {"data1", "data2", "max-depth", "min-leaf", "f", "g", "replicates"},
+       DeviateDt},
+      {"bound", {"model1", "model2", "g"}, Bound},
+      {"rank", {"db1", "db2", "minsup", "top"}, Rank},
+      {"embed", {"models", "dims"}, Embed},
+      {"monitor",
+       {"reference", "snapshots", "minsup", "factor", "replicates"},
+       MonitorCmd},
+  };
+  return commands;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const Flags flags(argc, argv, 2);
-  if (!flags.ok()) return 1;
-  if (command == "gen-quest") return GenQuest(flags);
-  if (command == "gen-class") return GenClass(flags);
-  if (command == "mine") return Mine(flags);
-  if (command == "train") return Train(flags);
-  if (command == "deviate") return Deviate(flags);
-  if (command == "deviate-dt") return DeviateDt(flags);
-  if (command == "bound") return Bound(flags);
-  if (command == "rank") return Rank(flags);
-  if (command == "embed") return Embed(flags);
-  if (command == "monitor") return MonitorCmd(flags);
+  for (const Command& candidate : Commands()) {
+    if (command != candidate.name) continue;
+    const auto flags =
+        Flags::Parse(argc, argv, 2, candidate.allowed_flags);
+    if (!flags.has_value()) return 1;
+    return candidate.run(*flags);
+  }
   return Usage();
 }
 
