@@ -1,0 +1,59 @@
+// Fuzz target for the remaining io loaders: datasets, schemas, lits
+// models, and decision trees. Each is strict (nullopt on malformed
+// input) and must never crash, loop, or leak on arbitrary bytes. A
+// leading selector byte picks the loader so one corpus covers all four.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "io/data_io.h"
+#include "io/model_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const uint8_t selector = data[0] % 4;
+  const std::string bytes(reinterpret_cast<const char*>(data + 1), size - 1);
+  std::istringstream in(bytes);
+  switch (selector) {
+    case 0: {
+      const auto dataset = focus::io::LoadDataset(in);
+      if (dataset.has_value()) {
+        std::stringstream resaved;
+        focus::io::SaveDataset(*dataset, resaved);
+        if (!focus::io::LoadDataset(resaved).has_value()) std::abort();
+      }
+      break;
+    }
+    case 1: {
+      const auto model = focus::io::LoadLitsModel(in);
+      if (model.has_value()) {
+        std::stringstream resaved;
+        focus::io::SaveLitsModel(*model, resaved);
+        if (!focus::io::LoadLitsModel(resaved).has_value()) std::abort();
+      }
+      break;
+    }
+    case 2: {
+      const auto schema = focus::io::LoadSchema(in);
+      if (schema.has_value()) {
+        std::stringstream resaved;
+        focus::io::SaveSchema(*schema, resaved);
+        if (!focus::io::LoadSchema(resaved).has_value()) std::abort();
+      }
+      break;
+    }
+    default: {
+      const auto tree = focus::io::LoadDecisionTree(in);
+      if (tree.has_value()) {
+        std::stringstream resaved;
+        focus::io::SaveDecisionTree(*tree, resaved);
+        if (!focus::io::LoadDecisionTree(resaved).has_value()) std::abort();
+      }
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Replay driver used when the toolchain has no libFuzzer (gcc builds):
+// runs LLVMFuzzerTestOneInput over every file (or every file inside every
+// directory) given on the command line, so the checked-in seed corpus
+// doubles as a regression suite and the fuzz targets stay buildable and
+// CI-runnable everywhere. libFuzzer flags (leading '-') are ignored.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int RunFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    return 1;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer option
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  int failures = 0;
+  for (const fs::path& input : inputs) failures += RunFile(input);
+  std::printf("replayed %zu corpus inputs (%d unreadable)\n", inputs.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}

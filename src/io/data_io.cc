@@ -43,6 +43,13 @@ bool OnlyWhitespaceLeftInStream(std::istream& in) {
   return in.eof() || in.peek() == std::char_traits<char>::eof();
 }
 
+// Records the rejection reason (if the caller asked for one) and yields
+// the nullopt that every malformed-input path returns.
+std::nullopt_t Reject(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+  return std::nullopt;
+}
+
 }  // namespace
 
 void SaveTransactionDb(const data::TransactionDb& db, std::ostream& out) {
@@ -57,36 +64,54 @@ void SaveTransactionDb(const data::TransactionDb& db, std::ostream& out) {
   }
 }
 
-std::optional<data::TransactionDb> LoadTransactionDb(std::istream& in) {
+std::optional<data::TransactionDb> LoadTransactionDb(std::istream& in,
+                                                     std::string* error) {
   std::istringstream line;
-  if (!NextLine(in, &line)) return std::nullopt;
+  if (!NextLine(in, &line)) return Reject(error, "empty file");
   std::string magic;
   line >> magic;
-  if (magic != kTxnsMagic) return std::nullopt;
+  if (magic != kTxnsMagic) {
+    return Reject(error, "bad magic (want " + std::string(kTxnsMagic) + ")");
+  }
 
-  if (!NextLine(in, &line)) return std::nullopt;
+  if (!NextLine(in, &line)) return Reject(error, "missing header line");
   int32_t num_items = 0;
   int64_t num_transactions = 0;
   // Counts that fail to parse (including integer overflow, which sets
   // failbit) or are out of range reject the file.
-  if (!(line >> num_items >> num_transactions)) return std::nullopt;
-  if (num_items <= 0 || num_transactions < 0) return std::nullopt;
-  if (!OnlyWhitespaceLeft(line)) return std::nullopt;
+  if (!(line >> num_items >> num_transactions)) {
+    return Reject(error, "unparseable header counts");
+  }
+  if (num_items <= 0 || num_transactions < 0) {
+    return Reject(error, "header counts out of range");
+  }
+  if (!OnlyWhitespaceLeft(line)) {
+    return Reject(error, "trailing garbage after header");
+  }
 
   data::TransactionDb db(num_items);
   std::vector<int32_t> items;
   for (int64_t t = 0; t < num_transactions; ++t) {
-    if (!NextLine(in, &line)) return std::nullopt;
+    const std::string where = "transaction " + std::to_string(t);
+    if (!NextLine(in, &line)) {
+      return Reject(error, "truncated: missing " + where);
+    }
     items.clear();
     int32_t item = 0;
     while (line >> item) {
-      if (item < 0 || item >= num_items) return std::nullopt;
+      if (item < 0 || item >= num_items) {
+        return Reject(error, where + ": item id out of range");
+      }
       items.push_back(item);
     }
-    if (!ConsumedCleanly(line)) return std::nullopt;  // non-numeric token
+    if (!ConsumedCleanly(line)) {
+      return Reject(error, where + ": non-numeric token");
+    }
     db.AddTransaction(items);
   }
-  if (!OnlyWhitespaceLeftInStream(in)) return std::nullopt;
+  if (!OnlyWhitespaceLeftInStream(in)) {
+    return Reject(error, "trailing content after declared transactions");
+  }
   return db;
 }
 
@@ -102,39 +127,55 @@ void SaveDataset(const data::Dataset& dataset, std::ostream& out) {
   }
 }
 
-std::optional<data::Dataset> LoadDataset(std::istream& in) {
+std::optional<data::Dataset> LoadDataset(std::istream& in,
+                                         std::string* error) {
   std::istringstream line;
-  if (!NextLine(in, &line)) return std::nullopt;
+  if (!NextLine(in, &line)) return Reject(error, "empty file");
   std::string magic;
   line >> magic;
-  if (magic != kDataMagic) return std::nullopt;
+  if (magic != kDataMagic) {
+    return Reject(error, "bad magic (want " + std::string(kDataMagic) + ")");
+  }
 
   std::optional<data::Schema> schema = LoadSchema(in);
-  if (!schema.has_value()) return std::nullopt;
+  if (!schema.has_value()) return Reject(error, "malformed embedded schema");
 
-  if (!NextLine(in, &line)) return std::nullopt;
+  if (!NextLine(in, &line)) return Reject(error, "missing row count");
   int64_t num_rows = 0;
-  if (!(line >> num_rows) || num_rows < 0) return std::nullopt;
-  if (!OnlyWhitespaceLeft(line)) return std::nullopt;
+  if (!(line >> num_rows) || num_rows < 0) {
+    return Reject(error, "unparseable row count");
+  }
+  if (!OnlyWhitespaceLeft(line)) {
+    return Reject(error, "trailing garbage after row count");
+  }
 
   data::Dataset dataset(*schema);
   dataset.Reserve(num_rows);
   std::vector<double> values(schema->num_attributes());
   for (int64_t row = 0; row < num_rows; ++row) {
-    if (!NextLine(in, &line)) return std::nullopt;
+    const std::string where = "row " + std::to_string(row);
+    if (!NextLine(in, &line)) {
+      return Reject(error, "truncated: missing " + where);
+    }
     int label = 0;
-    if (!(line >> label)) return std::nullopt;
+    if (!(line >> label)) return Reject(error, where + ": unparseable label");
     if (schema->num_classes() > 0 &&
         (label < 0 || label >= schema->num_classes())) {
-      return std::nullopt;
+      return Reject(error, where + ": class label out of range");
     }
     for (int a = 0; a < schema->num_attributes(); ++a) {
-      if (!(line >> values[a])) return std::nullopt;
+      if (!(line >> values[a])) {
+        return Reject(error, where + ": unparseable attribute value");
+      }
     }
-    if (!OnlyWhitespaceLeft(line)) return std::nullopt;  // extra columns
+    if (!OnlyWhitespaceLeft(line)) {
+      return Reject(error, where + ": extra columns");
+    }
     dataset.AddRow(values, label);
   }
-  if (!OnlyWhitespaceLeftInStream(in)) return std::nullopt;
+  if (!OnlyWhitespaceLeftInStream(in)) {
+    return Reject(error, "trailing content after declared rows");
+  }
   return dataset;
 }
 
@@ -147,10 +188,10 @@ bool SaveTransactionDbToFile(const data::TransactionDb& db,
 }
 
 std::optional<data::TransactionDb> LoadTransactionDbFromFile(
-    const std::string& path) {
+    const std::string& path, std::string* error) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return LoadTransactionDb(in);
+  if (!in) return Reject(error, "cannot open file");
+  return LoadTransactionDb(in, error);
 }
 
 bool SaveDatasetToFile(const data::Dataset& dataset, const std::string& path) {
@@ -160,10 +201,11 @@ bool SaveDatasetToFile(const data::Dataset& dataset, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<data::Dataset> LoadDatasetFromFile(const std::string& path) {
+std::optional<data::Dataset> LoadDatasetFromFile(const std::string& path,
+                                                 std::string* error) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return LoadDataset(in);
+  if (!in) return Reject(error, "cannot open file");
+  return LoadDataset(in, error);
 }
 
 }  // namespace focus::io

@@ -22,20 +22,26 @@ namespace focus::io {
 // std::nullopt on malformed input and are STRICT: truncated or
 // garbage-bearing lines, out-of-range counts/ids, and trailing content
 // after the declared payload all reject the file (the monitoring daemon
-// ingests untrusted spool files through these loaders).
+// ingests untrusted spool files through these loaders). On rejection the
+// optional `error` out-param receives a one-line human-readable reason
+// (e.g. "line 3: item id out of range"), which the daemon logs next to
+// the quarantined file.
 
 void SaveTransactionDb(const data::TransactionDb& db, std::ostream& out);
-std::optional<data::TransactionDb> LoadTransactionDb(std::istream& in);
+std::optional<data::TransactionDb> LoadTransactionDb(
+    std::istream& in, std::string* error = nullptr);
 
 void SaveDataset(const data::Dataset& dataset, std::ostream& out);
-std::optional<data::Dataset> LoadDataset(std::istream& in);
+std::optional<data::Dataset> LoadDataset(std::istream& in,
+                                         std::string* error = nullptr);
 
 bool SaveTransactionDbToFile(const data::TransactionDb& db,
                              const std::string& path);
 std::optional<data::TransactionDb> LoadTransactionDbFromFile(
-    const std::string& path);
+    const std::string& path, std::string* error = nullptr);
 bool SaveDatasetToFile(const data::Dataset& dataset, const std::string& path);
-std::optional<data::Dataset> LoadDatasetFromFile(const std::string& path);
+std::optional<data::Dataset> LoadDatasetFromFile(const std::string& path,
+                                                 std::string* error = nullptr);
 
 }  // namespace focus::io
 

@@ -1,0 +1,452 @@
+#include "proptest/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "stats/rng.h"
+
+namespace focus::proptest {
+namespace {
+
+// Halves `value` toward `floor`; returns floor when already there.
+int64_t Halve(int64_t value, int64_t floor) {
+  return std::max(floor, value / 2);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- lits
+
+LitsWorkload GenLitsWorkload(Rng& rng) {
+  LitsWorkload w;
+  w.quest.num_transactions = rng.IntIn(5, 600);
+  w.quest.num_items = static_cast<int32_t>(rng.IntIn(3, 100));
+  w.quest.num_patterns =
+      static_cast<int32_t>(rng.IntIn(2, std::min<int64_t>(50, w.quest.num_items)));
+  w.quest.avg_pattern_length = rng.DoubleIn(1.5, 5.0);
+  w.quest.avg_transaction_length = rng.DoubleIn(2.0, 8.0);
+  w.quest.seed = static_cast<uint64_t>(rng.IntIn(1, 1 << 30));
+  w.quest.pattern_seed = static_cast<uint64_t>(rng.IntIn(1, 1 << 30));
+  // High supports are generated on purpose: they mine EMPTY models, a
+  // corner the example-based tests never hit.
+  w.apriori.min_support = rng.Chance(0.15) ? rng.DoubleIn(0.5, 0.9)
+                                           : rng.DoubleIn(0.02, 0.25);
+  w.apriori.max_itemset_size = static_cast<int>(rng.IntIn(2, 5));
+  w.apriori.min_absolute_count = 2;
+  return w;
+}
+
+LitsPair GenLitsPair(Rng& rng) {
+  LitsPair pair;
+  pair.a = GenLitsWorkload(rng);
+  pair.b = GenLitsWorkload(rng);
+  // A shared item universe is required for the pair to be comparable.
+  pair.b.quest.num_items = pair.a.quest.num_items;
+  pair.b.quest.num_patterns = std::min(pair.b.quest.num_patterns,
+                                       pair.a.quest.num_items);
+  pair.b.apriori = pair.a.apriori;
+  // Sometimes a "same distribution" pair (shared pattern table).
+  if (rng.Chance(0.4)) {
+    pair.b.quest.pattern_seed = pair.a.quest.pattern_seed;
+    pair.b.quest.num_patterns = pair.a.quest.num_patterns;
+    pair.b.quest.avg_pattern_length = pair.a.quest.avg_pattern_length;
+  }
+  return pair;
+}
+
+LitsTriple GenLitsTriple(Rng& rng) {
+  LitsTriple triple;
+  LitsPair pair = GenLitsPair(rng);
+  triple.a = pair.a;
+  triple.b = pair.b;
+  triple.c = GenLitsWorkload(rng);
+  triple.c.quest.num_items = triple.a.quest.num_items;
+  triple.c.quest.num_patterns = std::min(triple.c.quest.num_patterns,
+                                         triple.a.quest.num_items);
+  triple.c.apriori = triple.a.apriori;
+  return triple;
+}
+
+data::TransactionDb MaterializeDb(const LitsWorkload& workload) {
+  return datagen::GenerateQuest(workload.quest);
+}
+
+lits::LitsModel Mine(const LitsWorkload& workload,
+                     const data::TransactionDb& db) {
+  return lits::Apriori(db, workload.apriori);
+}
+
+std::string Describe(const LitsWorkload& workload) {
+  std::ostringstream out;
+  out << "lits{txns=" << workload.quest.num_transactions
+      << " items=" << workload.quest.num_items
+      << " pats=" << workload.quest.num_patterns
+      << " patlen=" << workload.quest.avg_pattern_length
+      << " txnlen=" << workload.quest.avg_transaction_length
+      << " seed=" << workload.quest.seed
+      << " patseed=" << workload.quest.pattern_seed
+      << " minsup=" << workload.apriori.min_support
+      << " maxsize=" << workload.apriori.max_itemset_size << "}";
+  return out.str();
+}
+
+std::string Describe(const LitsPair& pair) {
+  return "a=" + Describe(pair.a) + " b=" + Describe(pair.b);
+}
+
+std::string Describe(const LitsTriple& triple) {
+  return "a=" + Describe(triple.a) + " b=" + Describe(triple.b) +
+         " c=" + Describe(triple.c);
+}
+
+std::vector<LitsWorkload> Shrink(const LitsWorkload& workload) {
+  std::vector<LitsWorkload> candidates;
+  if (workload.quest.num_transactions > 5) {
+    LitsWorkload c = workload;
+    c.quest.num_transactions = Halve(c.quest.num_transactions, 5);
+    candidates.push_back(c);
+  }
+  if (workload.quest.num_items > 3) {
+    LitsWorkload c = workload;
+    c.quest.num_items = static_cast<int32_t>(Halve(c.quest.num_items, 3));
+    c.quest.num_patterns =
+        std::min(c.quest.num_patterns, c.quest.num_items);
+    candidates.push_back(c);
+  }
+  if (workload.quest.num_patterns > 2) {
+    LitsWorkload c = workload;
+    c.quest.num_patterns = static_cast<int32_t>(Halve(c.quest.num_patterns, 2));
+    candidates.push_back(c);
+  }
+  return candidates;
+}
+
+namespace {
+
+// Shrinks one member of a multi-workload case at a time.
+template <typename Pair>
+std::vector<Pair> ShrinkPairwise(const Pair& pair) {
+  std::vector<Pair> candidates;
+  for (const LitsWorkload& a : Shrink(pair.a)) {
+    Pair c = pair;
+    c.a = a;
+    candidates.push_back(c);
+  }
+  for (const LitsWorkload& b : Shrink(pair.b)) {
+    Pair c = pair;
+    c.b = b;
+    candidates.push_back(c);
+  }
+  return candidates;
+}
+
+}  // namespace
+
+std::vector<LitsPair> Shrink(const LitsPair& pair) {
+  return ShrinkPairwise(pair);
+}
+
+std::vector<LitsTriple> Shrink(const LitsTriple& triple) {
+  std::vector<LitsTriple> candidates = ShrinkPairwise(triple);
+  for (const LitsWorkload& c : Shrink(triple.c)) {
+    LitsTriple t = triple;
+    t.c = c;
+    candidates.push_back(t);
+  }
+  return candidates;
+}
+
+lits::Itemset GenItemset(Rng& rng, int32_t num_items, int max_len) {
+  const int len = static_cast<int>(
+      rng.IntIn(0, std::min<int64_t>(max_len, num_items)));
+  std::vector<int32_t> items;
+  items.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    items.push_back(static_cast<int32_t>(rng.IntIn(0, num_items - 1)));
+  }
+  return lits::Itemset(std::move(items));  // sorts + dedupes
+}
+
+core::ItemsetSet GenItemsetSet(Rng& rng, int32_t num_items, int max_sets,
+                               int max_len) {
+  const int count = static_cast<int>(rng.IntIn(0, max_sets));
+  core::ItemsetSet set;
+  set.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    set.push_back(GenItemset(rng, num_items, max_len));
+  }
+  return core::NormalizeItemsets(std::move(set));
+}
+
+std::string Describe(const core::ItemsetSet& set) {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < set.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << set[i].ToString();
+  }
+  out << "}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------- dt
+
+DtWorkload GenDtWorkload(Rng& rng) {
+  DtWorkload w;
+  w.gen.num_rows = rng.IntIn(200, 2500);
+  w.gen.function = static_cast<datagen::ClassFunction>(rng.IntIn(1, 7));
+  w.gen.label_noise = rng.Chance(0.3) ? rng.DoubleIn(0.0, 0.2) : 0.0;
+  w.gen.seed = static_cast<uint64_t>(rng.IntIn(1, 1 << 30));
+  // Depth 1 stumps and oversized leaves (single-leaf trees) are the
+  // degenerate corners the GCR code must survive.
+  w.cart.max_depth = static_cast<int>(rng.IntIn(1, 7));
+  w.cart.min_leaf_size = rng.Chance(0.15) ? w.gen.num_rows * 2
+                                          : rng.IntIn(20, 200);
+  return w;
+}
+
+DtPair GenDtPair(Rng& rng) {
+  DtPair pair;
+  pair.a = GenDtWorkload(rng);
+  pair.b = GenDtWorkload(rng);
+  return pair;
+}
+
+data::Dataset MaterializeDataset(const DtWorkload& workload) {
+  return datagen::GenerateClassification(workload.gen);
+}
+
+dt::DecisionTree BuildTree(const DtWorkload& workload,
+                           const data::Dataset& dataset) {
+  return dt::BuildCart(dataset, workload.cart);
+}
+
+std::string Describe(const DtWorkload& workload) {
+  std::ostringstream out;
+  out << "dt{rows=" << workload.gen.num_rows
+      << " F" << static_cast<int>(workload.gen.function)
+      << " noise=" << workload.gen.label_noise
+      << " seed=" << workload.gen.seed
+      << " depth=" << workload.cart.max_depth
+      << " minleaf=" << workload.cart.min_leaf_size << "}";
+  return out.str();
+}
+
+std::string Describe(const DtPair& pair) {
+  return "a=" + Describe(pair.a) + " b=" + Describe(pair.b);
+}
+
+std::vector<DtWorkload> Shrink(const DtWorkload& workload) {
+  std::vector<DtWorkload> candidates;
+  if (workload.gen.num_rows > 200) {
+    DtWorkload c = workload;
+    c.gen.num_rows = Halve(c.gen.num_rows, 200);
+    candidates.push_back(c);
+  }
+  if (workload.cart.max_depth > 1) {
+    DtWorkload c = workload;
+    c.cart.max_depth /= 2;
+    candidates.push_back(c);
+  }
+  return candidates;
+}
+
+std::vector<DtPair> Shrink(const DtPair& pair) {
+  std::vector<DtPair> candidates;
+  for (const DtWorkload& a : Shrink(pair.a)) {
+    candidates.push_back({a, pair.b});
+  }
+  for (const DtWorkload& b : Shrink(pair.b)) {
+    candidates.push_back({pair.a, b});
+  }
+  return candidates;
+}
+
+data::Box GenBox(Rng& rng, const data::Schema& schema, bool allow_empty) {
+  data::Box box = data::Box::Full(schema);
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (!rng.Chance(0.4)) continue;
+    const data::Attribute& attr = schema.attribute(a);
+    if (attr.type == data::AttributeType::kNumeric) {
+      double lo = rng.DoubleIn(attr.min_value, attr.max_value);
+      double hi = rng.DoubleIn(attr.min_value, attr.max_value);
+      if (lo > hi) std::swap(lo, hi);
+      if (lo == hi && !allow_empty) hi = attr.max_value;
+      box.ClampNumeric(a, lo, hi);
+    } else {
+      uint64_t mask = 0;
+      for (int code = 0; code < attr.cardinality; ++code) {
+        if (rng.Chance(0.6)) mask |= (1ULL << code);
+      }
+      if (mask == 0 && !allow_empty) mask = 1;  // keep at least one code
+      box.ClampCategorical(a, mask);
+    }
+  }
+  return box;
+}
+
+// ---------------------------------------------------------------- cluster
+
+ClusterWorkload GenClusterWorkload(Rng& rng) {
+  ClusterWorkload w;
+  w.num_attributes = static_cast<int>(rng.IntIn(1, 3));
+  w.num_blobs = static_cast<int>(rng.IntIn(1, 4));
+  w.rows = rng.IntIn(100, 800);
+  w.blob_sd = rng.DoubleIn(0.02, 0.12);
+  w.bins = static_cast<int>(rng.IntIn(3, 10));
+  w.density_threshold = rng.DoubleIn(0.002, 0.05);
+  w.seed = static_cast<uint64_t>(rng.IntIn(1, 1 << 30));
+  return w;
+}
+
+ClusterPair GenClusterPair(Rng& rng) {
+  ClusterPair pair;
+  pair.a = GenClusterWorkload(rng);
+  pair.b = GenClusterWorkload(rng);
+  // ClusterGcr requires both models to share the grid shape.
+  pair.b.num_attributes = pair.a.num_attributes;
+  pair.b.bins = pair.a.bins;
+  return pair;
+}
+
+data::Schema ClusterSchema(const ClusterWorkload& workload) {
+  std::vector<data::Attribute> attributes;
+  for (int a = 0; a < workload.num_attributes; ++a) {
+    attributes.push_back(
+        data::Schema::Numeric("x" + std::to_string(a), 0.0, 1.0));
+  }
+  return data::Schema(std::move(attributes), 0);
+}
+
+data::Dataset MaterializeBlobs(const ClusterWorkload& workload) {
+  const data::Schema schema = ClusterSchema(workload);
+  data::Dataset dataset(schema);
+  dataset.Reserve(workload.rows);
+  std::mt19937_64 rng = stats::MakeRng(workload.seed);
+  std::vector<std::vector<double>> centers(workload.num_blobs);
+  for (auto& center : centers) {
+    center.resize(workload.num_attributes);
+    for (double& c : center) c = stats::UniformVariate(rng, 0.1, 0.9);
+  }
+  std::vector<double> row(workload.num_attributes);
+  for (int64_t i = 0; i < workload.rows; ++i) {
+    const auto& center = centers[static_cast<size_t>(
+        stats::UniformInt(rng, 0, workload.num_blobs - 1))];
+    for (int a = 0; a < workload.num_attributes; ++a) {
+      const double v =
+          center[a] + workload.blob_sd * stats::NormalVariate(rng);
+      row[a] = std::clamp(v, 0.0, 0.999);
+    }
+    dataset.AddRow(row, 0);
+  }
+  return dataset;
+}
+
+cluster::Grid MakeGrid(const ClusterWorkload& workload) {
+  std::vector<int> attributes(workload.num_attributes);
+  for (int a = 0; a < workload.num_attributes; ++a) attributes[a] = a;
+  return cluster::Grid(ClusterSchema(workload), std::move(attributes),
+                       workload.bins);
+}
+
+cluster::ClusterModel MineCluster(const ClusterWorkload& workload,
+                                  const data::Dataset& dataset) {
+  cluster::GridClusteringOptions options;
+  options.density_threshold = workload.density_threshold;
+  return cluster::GridClustering(dataset, MakeGrid(workload), options);
+}
+
+std::string Describe(const ClusterWorkload& workload) {
+  std::ostringstream out;
+  out << "cluster{attrs=" << workload.num_attributes
+      << " blobs=" << workload.num_blobs << " rows=" << workload.rows
+      << " sd=" << workload.blob_sd << " bins=" << workload.bins
+      << " density=" << workload.density_threshold
+      << " seed=" << workload.seed << "}";
+  return out.str();
+}
+
+std::string Describe(const ClusterPair& pair) {
+  return "a=" + Describe(pair.a) + " b=" + Describe(pair.b);
+}
+
+std::vector<ClusterWorkload> Shrink(const ClusterWorkload& workload) {
+  std::vector<ClusterWorkload> candidates;
+  if (workload.rows > 100) {
+    ClusterWorkload c = workload;
+    c.rows = Halve(c.rows, 100);
+    candidates.push_back(c);
+  }
+  if (workload.bins > 3) {
+    ClusterWorkload c = workload;
+    c.bins = static_cast<int>(Halve(c.bins, 3));
+    candidates.push_back(c);
+  }
+  return candidates;
+}
+
+std::vector<ClusterPair> Shrink(const ClusterPair& pair) {
+  std::vector<ClusterPair> candidates;
+  // Grid shape must stay shared, so bins shrink in lockstep.
+  if (pair.a.bins > 3) {
+    ClusterPair c = pair;
+    c.a.bins = c.b.bins = static_cast<int>(Halve(pair.a.bins, 3));
+    candidates.push_back(c);
+  }
+  for (int member = 0; member < 2; ++member) {
+    const ClusterWorkload& w = member == 0 ? pair.a : pair.b;
+    if (w.rows > 100) {
+      ClusterPair c = pair;
+      (member == 0 ? c.a : c.b).rows = Halve(w.rows, 100);
+      candidates.push_back(c);
+    }
+  }
+  return candidates;
+}
+
+// ---------------------------------------------------------------- domains
+
+Domain<LitsWorkload> LitsWorkloadDomain() {
+  return {.generate = [](Rng& rng) { return GenLitsWorkload(rng); },
+          .describe = [](const LitsWorkload& w) { return Describe(w); },
+          .shrink = [](const LitsWorkload& w) { return Shrink(w); }};
+}
+
+Domain<LitsPair> LitsPairDomain() {
+  return {.generate = [](Rng& rng) { return GenLitsPair(rng); },
+          .describe = [](const LitsPair& p) { return Describe(p); },
+          .shrink = [](const LitsPair& p) { return Shrink(p); }};
+}
+
+Domain<LitsTriple> LitsTripleDomain() {
+  return {.generate = [](Rng& rng) { return GenLitsTriple(rng); },
+          .describe = [](const LitsTriple& t) { return Describe(t); },
+          .shrink = [](const LitsTriple& t) { return Shrink(t); }};
+}
+
+Domain<DtWorkload> DtWorkloadDomain() {
+  return {.generate = [](Rng& rng) { return GenDtWorkload(rng); },
+          .describe = [](const DtWorkload& w) { return Describe(w); },
+          .shrink = [](const DtWorkload& w) { return Shrink(w); }};
+}
+
+Domain<DtPair> DtPairDomain() {
+  return {.generate = [](Rng& rng) { return GenDtPair(rng); },
+          .describe = [](const DtPair& p) { return Describe(p); },
+          .shrink = [](const DtPair& p) { return Shrink(p); }};
+}
+
+Domain<ClusterWorkload> ClusterWorkloadDomain() {
+  return {.generate = [](Rng& rng) { return GenClusterWorkload(rng); },
+          .describe = [](const ClusterWorkload& w) { return Describe(w); },
+          .shrink = [](const ClusterWorkload& w) { return Shrink(w); }};
+}
+
+Domain<ClusterPair> ClusterPairDomain() {
+  return {.generate = [](Rng& rng) { return GenClusterPair(rng); },
+          .describe = [](const ClusterPair& p) { return Describe(p); },
+          .shrink = [](const ClusterPair& p) { return Shrink(p); }};
+}
+
+}  // namespace focus::proptest

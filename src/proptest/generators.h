@@ -1,0 +1,159 @@
+#ifndef FOCUS_PROPTEST_GENERATORS_H_
+#define FOCUS_PROPTEST_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_model.h"
+#include "cluster/grid_clustering.h"
+#include "core/region_algebra.h"
+#include "data/box.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "data/transaction_db.h"
+#include "datagen/class_gen.h"
+#include "datagen/quest_gen.h"
+#include "itemsets/apriori.h"
+#include "proptest/proptest.h"
+#include "tree/cart_builder.h"
+
+namespace focus::proptest {
+
+// Seeded workload generators shared by the law checkers, the differential
+// oracles, and tests/property_test.cc. Every generator is a pure function
+// of an Rng (itself a pure function of one case seed), so workloads are
+// replayable from the seed alone. Sizes are deliberately small — the law
+// suites sweep dozens of cases per property on one core.
+
+// ---------------------------------------------------------------- lits
+
+// One market-basket workload: Quest generator parameters plus mining
+// options. Covers degenerate corners on purpose: single-item universes,
+// a handful of transactions, and min_support high enough to mine an EMPTY
+// model.
+struct LitsWorkload {
+  datagen::QuestParams quest;
+  lits::AprioriOptions apriori;
+};
+
+// Two (resp. three) workloads over a SHARED item universe, sometimes from
+// the same generating pattern table (the paper's "same distribution"
+// pairs) and sometimes from unrelated ones.
+struct LitsPair {
+  LitsWorkload a;
+  LitsWorkload b;
+};
+struct LitsTriple {
+  LitsWorkload a;
+  LitsWorkload b;
+  LitsWorkload c;
+};
+
+LitsWorkload GenLitsWorkload(Rng& rng);
+LitsPair GenLitsPair(Rng& rng);
+LitsTriple GenLitsTriple(Rng& rng);
+
+data::TransactionDb MaterializeDb(const LitsWorkload& workload);
+lits::LitsModel Mine(const LitsWorkload& workload,
+                     const data::TransactionDb& db);
+
+std::string Describe(const LitsWorkload& workload);
+std::string Describe(const LitsPair& pair);
+std::string Describe(const LitsTriple& triple);
+
+// Shrinking halves the transaction count, pattern count, and item universe
+// toward their minima, preserving the seeds.
+std::vector<LitsWorkload> Shrink(const LitsWorkload& workload);
+std::vector<LitsPair> Shrink(const LitsPair& pair);
+std::vector<LitsTriple> Shrink(const LitsTriple& triple);
+
+// A random itemset over `num_items` items with at most `max_len` items —
+// possibly empty (the empty itemset is a legal region: the whole space).
+lits::Itemset GenItemset(Rng& rng, int32_t num_items, int max_len);
+
+// A normalized GCR-ready region set (sorted, deduplicated collection of
+// itemsets), possibly empty.
+core::ItemsetSet GenItemsetSet(Rng& rng, int32_t num_items, int max_sets,
+                               int max_len);
+
+std::string Describe(const core::ItemsetSet& set);
+
+// ---------------------------------------------------------------- dt
+
+// One classification workload: generator parameters plus CART options.
+// Degenerate corners: depth-1 stumps and min_leaf_size large enough to
+// force a single-leaf tree.
+struct DtWorkload {
+  datagen::ClassGenParams gen;
+  dt::CartOptions cart;
+};
+struct DtPair {
+  DtWorkload a;
+  DtWorkload b;
+};
+
+DtWorkload GenDtWorkload(Rng& rng);
+DtPair GenDtPair(Rng& rng);
+
+data::Dataset MaterializeDataset(const DtWorkload& workload);
+dt::DecisionTree BuildTree(const DtWorkload& workload,
+                           const data::Dataset& dataset);
+
+std::string Describe(const DtWorkload& workload);
+std::string Describe(const DtPair& pair);
+std::vector<DtWorkload> Shrink(const DtWorkload& workload);
+std::vector<DtPair> Shrink(const DtPair& pair);
+
+// A random sub-box of the workload schema's attribute space (random
+// numeric clamps and categorical mask restrictions); never empty by
+// construction unless `allow_empty`.
+data::Box GenBox(Rng& rng, const data::Schema& schema,
+                 bool allow_empty = false);
+
+// ---------------------------------------------------------------- cluster
+
+// A blob dataset over `num_attributes` numeric attributes in [0,1) plus a
+// shared grid and density threshold, for grid-clustering models.
+struct ClusterWorkload {
+  int num_attributes = 2;
+  int num_blobs = 3;
+  int64_t rows = 500;
+  double blob_sd = 0.05;
+  int bins = 8;
+  double density_threshold = 0.01;
+  uint64_t seed = 1;
+};
+struct ClusterPair {
+  ClusterWorkload a;
+  ClusterWorkload b;  // same grid shape as a (attributes/bins are shared)
+};
+
+ClusterWorkload GenClusterWorkload(Rng& rng);
+ClusterPair GenClusterPair(Rng& rng);
+
+data::Schema ClusterSchema(const ClusterWorkload& workload);
+data::Dataset MaterializeBlobs(const ClusterWorkload& workload);
+cluster::Grid MakeGrid(const ClusterWorkload& workload);
+cluster::ClusterModel MineCluster(const ClusterWorkload& workload,
+                                  const data::Dataset& dataset);
+
+std::string Describe(const ClusterWorkload& workload);
+std::string Describe(const ClusterPair& pair);
+std::vector<ClusterWorkload> Shrink(const ClusterWorkload& workload);
+std::vector<ClusterPair> Shrink(const ClusterPair& pair);
+
+// ---------------------------------------------------------------- domains
+
+// Ready-made Domain bundles (generate + describe + shrink) for Check().
+Domain<LitsWorkload> LitsWorkloadDomain();
+Domain<LitsPair> LitsPairDomain();
+Domain<LitsTriple> LitsTripleDomain();
+Domain<DtWorkload> DtWorkloadDomain();
+Domain<DtPair> DtPairDomain();
+Domain<ClusterWorkload> ClusterWorkloadDomain();
+Domain<ClusterPair> ClusterPairDomain();
+
+}  // namespace focus::proptest
+
+#endif  // FOCUS_PROPTEST_GENERATORS_H_

@@ -1,0 +1,79 @@
+#include "proptest/proptest.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace focus::proptest {
+
+Config Config::FromEnv(int default_cases) {
+  Config config;
+  config.num_cases = default_cases;
+  if (const char* cases = std::getenv("FOCUS_PROPTEST_CASES")) {
+    const long parsed = std::strtol(cases, nullptr, 10);
+    if (parsed > 0) config.num_cases = static_cast<int>(parsed);
+  }
+  if (const char* master = std::getenv("FOCUS_PROPTEST_MASTER")) {
+    config.master_seed = std::strtoull(master, nullptr, 10);
+  }
+  if (const char* replay = std::getenv("FOCUS_PROPTEST_SEED")) {
+    config.replay_seed = std::strtoull(replay, nullptr, 10);
+  }
+  return config;
+}
+
+namespace internal {
+namespace {
+
+std::mutex registry_mutex;
+std::vector<std::string>& RegistryNames() {
+  static std::vector<std::string>* names = new std::vector<std::string>();
+  return *names;
+}
+
+}  // namespace
+
+void RegisterProperty(const std::string& name, uint64_t master_seed,
+                      int num_cases) {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  std::vector<std::string>& names = RegistryNames();
+  for (const std::string& existing : names) {
+    if (existing == name) return;
+  }
+  names.push_back(name);
+  // One banner per property per process: the master seed identifies the
+  // whole sweep, so even an aborted run (crash mid-case) is replayable.
+  std::fprintf(stderr,
+               "[proptest] %s: %d cases, master_seed=%llu "
+               "(replay one case with FOCUS_PROPTEST_SEED=<case seed>)\n",
+               name.c_str(), num_cases,
+               static_cast<unsigned long long>(master_seed));
+}
+
+std::vector<std::string> RegisteredProperties() {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  return RegistryNames();
+}
+
+void ReportFailure(const std::string& property, uint64_t case_seed,
+                   int case_index, const std::string& original_desc,
+                   const std::string& original_msg,
+                   const std::string& shrunk_desc,
+                   const std::string& shrunk_msg, int shrink_steps) {
+  std::fprintf(stderr,
+               "[proptest] FAILED %s (case %d)\n"
+               "  replay:   FOCUS_PROPTEST_SEED=%llu\n"
+               "  original: %s\n"
+               "            %s\n",
+               property.c_str(), case_index,
+               static_cast<unsigned long long>(case_seed),
+               original_desc.c_str(), original_msg.c_str());
+  if (shrunk_desc != original_desc || shrunk_msg != original_msg) {
+    std::fprintf(stderr,
+                 "  shrunk(%d steps): %s\n"
+                 "            %s\n",
+                 shrink_steps, shrunk_desc.c_str(), shrunk_msg.c_str());
+  }
+}
+
+}  // namespace internal
+}  // namespace focus::proptest

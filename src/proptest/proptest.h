@@ -1,0 +1,184 @@
+#ifndef FOCUS_PROPTEST_PROPTEST_H_
+#define FOCUS_PROPTEST_PROPTEST_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace focus::proptest {
+
+// Minimal header-first property-testing harness for the FOCUS laws.
+//
+// Every property runs `num_cases` generated cases. Case i draws its value
+// from an independent RNG stream seeded with DeriveSeed(master_seed, i),
+// so a failure is fully identified by ONE 64-bit case seed. The harness
+// prints that seed on failure, and setting
+//
+//   FOCUS_PROPTEST_SEED=<case seed>
+//
+// in the environment re-runs exactly that case (of every property — cheap,
+// since each property then runs a single case). FOCUS_PROPTEST_CASES
+// overrides the per-property case count; FOCUS_PROPTEST_MASTER rotates the
+// master seed for soak runs without recompiling.
+//
+// On failure the harness additionally performs BOUNDED shrinking: the
+// domain's `shrink` hook proposes structurally smaller candidates, the
+// first still-failing candidate is descended into, and after at most
+// kMaxShrinkSteps total re-evaluations the smallest failure found is
+// reported alongside the original.
+
+// Per-case deterministic random source. Wraps the shared stats engine so
+// generated workloads use the same variates as the rest of the codebase.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : seed_(seed), engine_(stats::MakeRng(seed)) {}
+
+  uint64_t seed() const { return seed_; }
+  std::mt19937_64& engine() { return engine_; }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t IntIn(int64_t lo, int64_t hi) {
+    return stats::UniformInt(engine_, lo, hi);
+  }
+  // Uniform double in [lo, hi).
+  double DoubleIn(double lo, double hi) {
+    return stats::UniformVariate(engine_, lo, hi);
+  }
+  bool Chance(double p) { return DoubleIn(0.0, 1.0) < p; }
+
+  template <typename T>
+  const T& OneOf(const std::vector<T>& options) {
+    return options[static_cast<size_t>(
+        IntIn(0, static_cast<int64_t>(options.size()) - 1))];
+  }
+
+  // An independent child seed for nested generators.
+  uint64_t Fork(uint64_t stream) { return stats::DeriveSeed(seed_, stream); }
+
+ private:
+  uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+// Outcome of evaluating a property on one generated value.
+struct PropResult {
+  bool ok = true;
+  std::string message;
+
+  static PropResult Ok() { return {true, ""}; }
+  static PropResult Fail(std::string why) { return {false, std::move(why)}; }
+};
+
+// Runner configuration. FromEnv applies the FOCUS_PROPTEST_* overrides.
+struct Config {
+  uint64_t master_seed = 0xF0C05;
+  int num_cases = 20;
+  // When set (FOCUS_PROPTEST_SEED), run exactly one case with this seed.
+  std::optional<uint64_t> replay_seed;
+
+  static Config FromEnv(int default_cases = 20);
+};
+
+// A generatable domain: how to draw a value, how to print it, and
+// (optionally) how to propose smaller failing candidates.
+template <typename T>
+struct Domain {
+  std::function<T(Rng&)> generate;
+  std::function<std::string(const T&)> describe =
+      [](const T&) { return std::string("<value>"); };
+  // Candidates structurally smaller than `value`, simplest first. Empty =
+  // no shrinking for this domain.
+  std::function<std::vector<T>(const T&)> shrink =
+      [](const T&) { return std::vector<T>{}; };
+};
+
+namespace internal {
+
+inline constexpr int kMaxShrinkSteps = 128;
+
+// Global catalogue of registered properties (name + master seed + cases),
+// so a binary can enumerate what it checks. Registration happens on the
+// first Check() call of each property.
+void RegisterProperty(const std::string& name, uint64_t master_seed,
+                      int num_cases);
+std::vector<std::string> RegisteredProperties();
+
+// One failure report line, routed through gtest when available (weakly
+// linked via ADD_FAILURE in the header would force a gtest dependency, so
+// the .cc reports through std::fprintf and a failure flag the caller
+// converts into an assertion).
+void ReportFailure(const std::string& property, uint64_t case_seed,
+                   int case_index, const std::string& original_desc,
+                   const std::string& original_msg,
+                   const std::string& shrunk_desc,
+                   const std::string& shrunk_msg, int shrink_steps);
+
+}  // namespace internal
+
+// Checks `property` over `config.num_cases` generated cases. Returns true
+// when every case passed. On failure, shrinks (bounded), prints a replay
+// banner with the case seed, and returns false; the caller asserts on the
+// return value so the failure surfaces in its own framework:
+//
+//   EXPECT_TRUE(proptest::Check<TxnDbSpec>("lits/self-deviation-zero",
+//                                          domain, prop));
+template <typename T>
+bool Check(const std::string& name, const Domain<T>& domain,
+           const std::function<PropResult(const T&)>& property,
+           Config config = Config::FromEnv()) {
+  internal::RegisterProperty(name, config.master_seed, config.num_cases);
+
+  std::vector<uint64_t> case_seeds;
+  if (config.replay_seed.has_value()) {
+    case_seeds.push_back(*config.replay_seed);
+  } else {
+    for (int i = 0; i < config.num_cases; ++i) {
+      case_seeds.push_back(stats::DeriveSeed(config.master_seed,
+                                             static_cast<uint64_t>(i)));
+    }
+  }
+
+  bool all_ok = true;
+  for (size_t i = 0; i < case_seeds.size(); ++i) {
+    const uint64_t case_seed = case_seeds[i];
+    Rng rng(case_seed);
+    T value = domain.generate(rng);
+    PropResult result = property(value);
+    if (result.ok) continue;
+    all_ok = false;
+
+    // Bounded greedy shrink: descend into the first failing candidate.
+    const std::string original_desc = domain.describe(value);
+    const std::string original_msg = result.message;
+    T smallest = value;
+    std::string smallest_msg = result.message;
+    int steps = 0;
+    bool made_progress = true;
+    while (made_progress && steps < internal::kMaxShrinkSteps) {
+      made_progress = false;
+      for (const T& candidate : domain.shrink(smallest)) {
+        if (++steps >= internal::kMaxShrinkSteps) break;
+        const PropResult r = property(candidate);
+        if (!r.ok) {
+          smallest = candidate;
+          smallest_msg = r.message;
+          made_progress = true;
+          break;
+        }
+      }
+    }
+    internal::ReportFailure(name, case_seed, static_cast<int>(i),
+                            original_desc, original_msg,
+                            domain.describe(smallest), smallest_msg, steps);
+  }
+  return all_ok;
+}
+
+}  // namespace focus::proptest
+
+#endif  // FOCUS_PROPTEST_PROPTEST_H_

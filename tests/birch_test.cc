@@ -6,6 +6,7 @@
 #include "cluster/birch.h"
 #include "cluster/grid_clustering.h"
 #include "core/cluster_deviation.h"
+#include "stats/rng.h"
 
 namespace focus::cluster {
 namespace {
@@ -18,7 +19,7 @@ data::Schema XySchema() {
 
 data::Dataset Blobs(uint64_t seed, const std::vector<std::pair<double, double>>&
                                        centers, int per_blob) {
-  std::mt19937_64 rng(seed);
+  std::mt19937_64 rng = stats::MakeRng(seed);
   std::normal_distribution<double> noise(0.0, 0.3);
   data::Dataset dataset(XySchema());
   for (const auto& [cx, cy] : centers) {

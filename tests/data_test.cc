@@ -8,6 +8,7 @@
 #include "data/sampling.h"
 #include "data/schema.h"
 #include "data/transaction_db.h"
+#include "stats/rng.h"
 
 namespace focus::data {
 namespace {
@@ -97,7 +98,7 @@ TEST(TransactionDbDeathTest, RejectsOutOfUniverseItem) {
 }
 
 TEST(SamplingTest, WithoutReplacementSizesAndUniqueness) {
-  std::mt19937_64 rng(7);
+  std::mt19937_64 rng = stats::MakeRng(7);
   const auto indices = SampleIndicesWithoutReplacement(100, 0.3, rng);
   EXPECT_EQ(indices.size(), 30u);
   std::vector<int64_t> sorted = indices;
@@ -108,14 +109,14 @@ TEST(SamplingTest, WithoutReplacementSizesAndUniqueness) {
 }
 
 TEST(SamplingTest, FullFractionIsPermutation) {
-  std::mt19937_64 rng(7);
+  std::mt19937_64 rng = stats::MakeRng(7);
   auto indices = SampleIndicesWithoutReplacement(50, 1.0, rng);
   std::sort(indices.begin(), indices.end());
   for (int64_t i = 0; i < 50; ++i) EXPECT_EQ(indices[i], i);
 }
 
 TEST(SamplingTest, WithReplacementBounds) {
-  std::mt19937_64 rng(7);
+  std::mt19937_64 rng = stats::MakeRng(7);
   const auto indices = SampleIndicesWithReplacement(10, 1000, rng);
   EXPECT_EQ(indices.size(), 1000u);
   for (int64_t i : indices) {
@@ -129,8 +130,8 @@ TEST(SamplingTest, SampleDatasetIsDeterministicInSeed) {
   for (int i = 0; i < 100; ++i) {
     dataset.AddRow(std::vector<double>{static_cast<double>(i), 0.0}, i % 2);
   }
-  std::mt19937_64 rng1(3);
-  std::mt19937_64 rng2(3);
+  std::mt19937_64 rng1 = stats::MakeRng(3);
+  std::mt19937_64 rng2 = stats::MakeRng(3);
   const Dataset s1 = SampleDataset(dataset, 0.5, rng1);
   const Dataset s2 = SampleDataset(dataset, 0.5, rng2);
   ASSERT_EQ(s1.num_rows(), s2.num_rows());
@@ -142,7 +143,7 @@ TEST(SamplingTest, SampleDatasetIsDeterministicInSeed) {
 TEST(SamplingTest, SampleTransactionsFraction) {
   TransactionDb db(4);
   for (int i = 0; i < 40; ++i) db.AddTransaction(std::vector<int32_t>{i % 4});
-  std::mt19937_64 rng(11);
+  std::mt19937_64 rng = stats::MakeRng(11);
   const TransactionDb sample = SampleTransactions(db, 0.25, rng);
   EXPECT_EQ(sample.num_transactions(), 10);
 }

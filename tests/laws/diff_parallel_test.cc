@@ -1,0 +1,162 @@
+// Differential oracles: the parallel scan kernels must be BIT-IDENTICAL
+// to their serial counterparts for every pool size, because shard
+// boundaries depend only on (|D|, num_shards) and per-shard integer
+// counts merge in shard order. Checked across generated workloads and
+// pool sizes 1/2/4/8 (the PR-1 guarantee every later perf PR must keep).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/cluster_deviation.h"
+#include "core/dt_deviation.h"
+#include "core/lits_deviation.h"
+#include "itemsets/support_counter.h"
+#include "proptest/generators.h"
+#include "proptest/proptest.h"
+
+namespace focus::core {
+namespace {
+
+using proptest::Check;
+using proptest::PropResult;
+using proptest::Rng;
+
+constexpr int kPoolSizes[] = {1, 2, 4, 8};
+
+TEST(DiffParallel, SupportCounterIdenticalAcrossPoolSizes) {
+  EXPECT_TRUE(Check<proptest::LitsWorkload>(
+      "diff/support-counter-parallel", proptest::LitsWorkloadDomain(),
+      [](const proptest::LitsWorkload& workload) {
+        const data::TransactionDb db = proptest::MaterializeDb(workload);
+        Rng itemset_rng(workload.quest.seed + 101);
+        std::vector<lits::Itemset> itemsets;
+        const int count = static_cast<int>(itemset_rng.IntIn(0, 30));
+        for (int i = 0; i < count; ++i) {
+          itemsets.push_back(proptest::GenItemset(
+              itemset_rng, workload.quest.num_items, 5));
+        }
+        const lits::SupportCounter counter(itemsets,
+                                           workload.quest.num_items);
+        const std::vector<int64_t> serial = counter.CountAbsolute(db);
+        const std::vector<double> serial_rel = counter.CountRelative(db);
+        for (const int threads : kPoolSizes) {
+          common::ThreadPool pool(threads);
+          if (counter.CountAbsoluteParallel(db, pool) != serial)
+            return PropResult::Fail(
+                "absolute counts differ with " + std::to_string(threads) +
+                " threads");
+          if (counter.CountRelativeParallel(db, pool) != serial_rel)
+            return PropResult::Fail(
+                "relative supports differ with " + std::to_string(threads) +
+                " threads");
+        }
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(10)));
+}
+
+TEST(DiffParallel, DtMeasuresAndDeviationIdenticalAcrossPoolSizes) {
+  EXPECT_TRUE(Check<proptest::DtPair>(
+      "diff/dt-parallel-scan", proptest::DtPairDomain(),
+      [](const proptest::DtPair& pair) {
+        const data::Dataset d1 = proptest::MaterializeDataset(pair.a);
+        const data::Dataset d2 = proptest::MaterializeDataset(pair.b);
+        const DtModel m1(proptest::BuildTree(pair.a, d1), d1);
+        const DtModel m2(proptest::BuildTree(pair.b, d2), d2);
+        const DtGcr gcr(m1, m2);
+
+        Rng box_rng(pair.a.gen.seed + 7);
+        const std::optional<data::Box> focus =
+            box_rng.Chance(0.5)
+                ? std::optional<data::Box>(
+                      proptest::GenBox(box_rng, d1.schema()))
+                : std::nullopt;
+
+        const std::vector<double> serial_measures =
+            gcr.Measures(m1.tree(), m2.tree(), d1, focus);
+        const std::vector<double> serial_tree =
+            DtMeasuresOverTree(m1.tree(), d2);
+        DtDeviationOptions serial_options;
+        const double serial_dev = DtDeviation(m1, d1, m2, d2, serial_options);
+
+        for (const int threads : kPoolSizes) {
+          common::ThreadPool pool(threads);
+          if (gcr.Measures(m1.tree(), m2.tree(), d1, focus, &pool) !=
+              serial_measures)
+            return PropResult::Fail("GCR measures differ with " +
+                                    std::to_string(threads) + " threads");
+          if (DtMeasuresOverTree(m1.tree(), d2, &pool) != serial_tree)
+            return PropResult::Fail("tree measures differ with " +
+                                    std::to_string(threads) + " threads");
+          DtDeviationOptions pooled = serial_options;
+          pooled.pool = &pool;
+          if (DtDeviation(m1, d1, m2, d2, pooled) != serial_dev)
+            return PropResult::Fail("deviation differs with " +
+                                    std::to_string(threads) + " threads");
+        }
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(6)));
+}
+
+TEST(DiffParallel, ClusterDeviationIdenticalAcrossPoolSizes) {
+  EXPECT_TRUE(Check<proptest::ClusterPair>(
+      "diff/cluster-parallel-scan", proptest::ClusterPairDomain(),
+      [](const proptest::ClusterPair& pair) {
+        const data::Dataset d1 = proptest::MaterializeBlobs(pair.a);
+        const data::Dataset d2 = proptest::MaterializeBlobs(pair.b);
+        const cluster::ClusterModel m1 = proptest::MineCluster(pair.a, d1);
+        const cluster::ClusterModel m2 = proptest::MineCluster(pair.b, d2);
+
+        Rng box_rng(pair.a.seed + 13);
+        ClusterDeviationOptions options;
+        if (box_rng.Chance(0.5)) {
+          options.focus =
+              proptest::GenBox(box_rng, proptest::ClusterSchema(pair.a));
+        }
+        const double serial = ClusterDeviation(m1, d1, m2, d2, options);
+        for (const int threads : kPoolSizes) {
+          common::ThreadPool pool(threads);
+          ClusterDeviationOptions pooled = options;
+          pooled.pool = &pool;
+          if (ClusterDeviation(m1, d1, m2, d2, pooled) != serial)
+            return PropResult::Fail("cluster deviation differs with " +
+                                    std::to_string(threads) + " threads");
+        }
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(8)));
+}
+
+TEST(DiffParallel, SharedPoolReusedAcrossCallsStaysIdentical) {
+  // One long-lived pool serving many scans (the serving-layer usage
+  // pattern) must behave exactly like fresh pools per call.
+  EXPECT_TRUE(Check<proptest::LitsPair>(
+      "diff/shared-pool-reuse", proptest::LitsPairDomain(),
+      [](const proptest::LitsPair& pair) {
+        const data::TransactionDb da = proptest::MaterializeDb(pair.a);
+        const data::TransactionDb db = proptest::MaterializeDb(pair.b);
+        const lits::LitsModel ma = proptest::Mine(pair.a, da);
+        const lits::LitsModel mb = proptest::Mine(pair.b, db);
+        const std::vector<lits::Itemset> gcr = LitsGcr(ma, mb);
+        if (gcr.empty()) return PropResult::Ok();
+        const lits::SupportCounter counter(gcr, da.num_items());
+        common::ThreadPool shared(3);
+        const std::vector<int64_t> first =
+            counter.CountAbsoluteParallel(da, shared);
+        for (int repeat = 0; repeat < 3; ++repeat) {
+          if (counter.CountAbsoluteParallel(da, shared) != first)
+            return PropResult::Fail("repeat scan on a shared pool differed");
+        }
+        if (counter.CountAbsolute(da) != first)
+          return PropResult::Fail("shared-pool scan differs from serial");
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(8)));
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,210 @@
+// Laws of the dt and cluster instantiations over generated workloads:
+// focussed deviation restricts consistently through CHAINS of random
+// nested boxes (Definition 5.2), and the cluster GCR is a true refinement
+// — each model region is the disjoint union of its GCR parts (Definition
+// 3.4), self-deviation is zero, and deviation is symmetric. Degenerate
+// single-leaf trees and empty cluster models flow through the generators.
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cluster_deviation.h"
+#include "core/dt_deviation.h"
+#include "proptest/generators.h"
+#include "proptest/proptest.h"
+
+namespace focus::core {
+namespace {
+
+using proptest::Check;
+using proptest::PropResult;
+using proptest::Rng;
+
+TEST(DtLaws, FocusRestrictionLaws) {
+  // Definition 5.1/5.2 invariants that hold for ANY focussing box R:
+  // the trivial focus (the whole space) is a no-op, the empty focus
+  // yields deviation 0, the focussed measures sum to the in-R tuple
+  // fraction per dataset, and the (f_a, g_sum) focussed deviation is
+  // bounded by the total focussed measure mass of the two datasets.
+  // (Monotonicity over nested R is deliberately NOT asserted — tuple-level
+  // restriction can break cancellation outside R, so it is not a theorem.)
+  EXPECT_TRUE(Check<proptest::DtPair>(
+      "dt/focus-restriction-laws", proptest::DtPairDomain(),
+      [](const proptest::DtPair& pair) {
+        const data::Dataset d1 = proptest::MaterializeDataset(pair.a);
+        const data::Dataset d2 = proptest::MaterializeDataset(pair.b);
+        const DtModel m1(proptest::BuildTree(pair.a, d1), d1);
+        const DtModel m2(proptest::BuildTree(pair.b, d2), d2);
+        const data::Schema& schema = d1.schema();
+
+        DtDeviationOptions full;
+        const double whole = DtDeviation(m1, d1, m2, d2, full);
+
+        DtDeviationOptions trivial;
+        trivial.focus = data::Box::Full(schema);
+        if (std::fabs(DtDeviation(m1, d1, m2, d2, trivial) - whole) > 1e-12)
+          return PropResult::Fail("trivial focus changed the deviation");
+
+        data::Box empty_box = data::Box::Full(schema);
+        empty_box.ClampNumeric(0, 0.0, 0.0);  // lo == hi: contains nothing
+        DtDeviationOptions empty_focus;
+        empty_focus.focus = empty_box;
+        if (DtDeviation(m1, d1, m2, d2, empty_focus) != 0.0)
+          return PropResult::Fail("empty focus gave nonzero deviation");
+
+        Rng box_rng(pair.a.gen.seed ^ (pair.b.gen.seed << 1));
+        const data::Box focus = proptest::GenBox(box_rng, schema);
+        const DtGcr gcr(m1, m2);
+        double mass1 = 0.0;
+        double mass2 = 0.0;
+        for (const double m :
+             gcr.Measures(m1.tree(), m2.tree(), d1, focus)) {
+          mass1 += m;
+        }
+        for (const double m :
+             gcr.Measures(m1.tree(), m2.tree(), d2, focus)) {
+          mass2 += m;
+        }
+        // Focussed measures are exactly the in-R tuple fractions.
+        const auto fraction_in = [&](const data::Dataset& d) {
+          int64_t inside = 0;
+          for (int64_t row = 0; row < d.num_rows(); ++row) {
+            if (focus.Contains(schema, d.Row(row))) ++inside;
+          }
+          return static_cast<double>(inside) /
+                 static_cast<double>(d.num_rows());
+        };
+        if (std::fabs(mass1 - fraction_in(d1)) > 1e-9 ||
+            std::fabs(mass2 - fraction_in(d2)) > 1e-9)
+          return PropResult::Fail("focussed measures != in-R fraction");
+
+        DtDeviationOptions focused;
+        focused.focus = focus;
+        const double dev = DtDeviation(m1, d1, m2, d2, focused);
+        if (dev < 0.0) return PropResult::Fail("focussed deviation negative");
+        // Triangle bound: sum |a_i - b_i| <= sum a_i + sum b_i.
+        if (dev > mass1 + mass2 + 1e-9)
+          return PropResult::Fail("focussed deviation exceeds mass bound");
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(8)));
+}
+
+TEST(DtLaws, DeviationNonNegativeAndScaledConsistent) {
+  EXPECT_TRUE(Check<proptest::DtPair>(
+      "dt/deviation-nonnegative-all-fn", proptest::DtPairDomain(),
+      [](const proptest::DtPair& pair) {
+        const data::Dataset d1 = proptest::MaterializeDataset(pair.a);
+        const data::Dataset d2 = proptest::MaterializeDataset(pair.b);
+        const DtModel m1(proptest::BuildTree(pair.a, d1), d1);
+        const DtModel m2(proptest::BuildTree(pair.b, d2), d2);
+        for (const AggregateKind g : {AggregateKind::kSum,
+                                      AggregateKind::kMax}) {
+          for (const bool scaled : {false, true}) {
+            DtDeviationOptions options;
+            options.fn =
+                DeviationFunction{scaled ? ScaledDiff() : AbsoluteDiff(), g};
+            const double dev = DtDeviation(m1, d1, m2, d2, options);
+            if (!(dev >= 0.0))
+              return PropResult::Fail("deviation negative or NaN");
+            const double self = DtDeviation(m1, d1, m1, d1, options);
+            if (std::fabs(self) > 1e-12)
+              return PropResult::Fail("self-deviation nonzero");
+          }
+        }
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(6)));
+}
+
+// ----------------------------------------------------------- cluster
+
+TEST(ClusterLaws, GcrPartsPartitionEveryModelRegion) {
+  EXPECT_TRUE(Check<proptest::ClusterPair>(
+      "cluster/gcr-parts-partition-regions", proptest::ClusterPairDomain(),
+      [](const proptest::ClusterPair& pair) {
+        const data::Dataset d1 = proptest::MaterializeBlobs(pair.a);
+        const data::Dataset d2 = proptest::MaterializeBlobs(pair.b);
+        const cluster::ClusterModel m1 = proptest::MineCluster(pair.a, d1);
+        const cluster::ClusterModel m2 = proptest::MineCluster(pair.b, d2);
+        const std::vector<ClusterGcrRegion> gcr = ClusterGcr(m1, m2);
+
+        // No cell appears in two GCR parts (disjointness).
+        std::set<int64_t> seen;
+        for (const ClusterGcrRegion& part : gcr) {
+          for (int64_t cell : part.cells) {
+            if (!seen.insert(cell).second)
+              return PropResult::Fail("cell in two GCR parts");
+          }
+        }
+
+        // Each original region is exactly the union of its parts
+        // (Definition 3.4's refinement property), on both sides.
+        for (int side = 0; side < 2; ++side) {
+          const cluster::ClusterModel& model = side == 0 ? m1 : m2;
+          for (int r = 0; r < model.num_regions(); ++r) {
+            std::set<int64_t> reassembled;
+            for (const ClusterGcrRegion& part : gcr) {
+              if ((side == 0 ? part.region1 : part.region2) != r) continue;
+              reassembled.insert(part.cells.begin(), part.cells.end());
+            }
+            const std::set<int64_t> original(model.region(r).begin(),
+                                             model.region(r).end());
+            if (reassembled != original)
+              return PropResult::Fail(
+                  "region " + std::to_string(r) + " of M" +
+                  std::to_string(side + 1) + " != union of its GCR parts");
+          }
+        }
+        return PropResult::Ok();
+      }));
+}
+
+TEST(ClusterLaws, SelfZeroSymmetryAndFocus) {
+  EXPECT_TRUE(Check<proptest::ClusterPair>(
+      "cluster/self-zero-symmetry-focus", proptest::ClusterPairDomain(),
+      [](const proptest::ClusterPair& pair) {
+        const data::Dataset d1 = proptest::MaterializeBlobs(pair.a);
+        const data::Dataset d2 = proptest::MaterializeBlobs(pair.b);
+        const cluster::ClusterModel m1 = proptest::MineCluster(pair.a, d1);
+        const cluster::ClusterModel m2 = proptest::MineCluster(pair.b, d2);
+        ClusterDeviationOptions options;  // (f_a, g_sum)
+        const double self = ClusterDeviation(m1, d1, m1, d1, options);
+        if (std::fabs(self) > 1e-12)
+          return PropResult::Fail("self-deviation nonzero");
+        const double ab = ClusterDeviation(m1, d1, m2, d2, options);
+        const double ba = ClusterDeviation(m2, d2, m1, d1, options);
+        if (std::fabs(ab - ba) > 1e-9)
+          return PropResult::Fail("deviation not symmetric");
+
+        // Trivial focus is a no-op; empty focus yields zero; any focus
+        // keeps the deviation non-negative.
+        const data::Schema schema = proptest::ClusterSchema(pair.a);
+        ClusterDeviationOptions trivial = options;
+        trivial.focus = data::Box::Full(schema);
+        if (std::fabs(ClusterDeviation(m1, d1, m2, d2, trivial) - ab) >
+            1e-12)
+          return PropResult::Fail("trivial focus changed the deviation");
+
+        ClusterDeviationOptions empty_focus = options;
+        data::Box empty_box = data::Box::Full(schema);
+        empty_box.ClampNumeric(0, 0.5, 0.5);  // lo == hi: contains nothing
+        empty_focus.focus = empty_box;
+        if (ClusterDeviation(m1, d1, m2, d2, empty_focus) != 0.0)
+          return PropResult::Fail("empty focus gave nonzero deviation");
+
+        ClusterDeviationOptions focused = options;
+        Rng box_rng(pair.a.seed + 3 * pair.b.seed);
+        focused.focus = proptest::GenBox(box_rng, schema);
+        if (ClusterDeviation(m1, d1, m2, d2, focused) < 0.0)
+          return PropResult::Fail("focussed deviation negative");
+        return PropResult::Ok();
+      }));
+}
+
+}  // namespace
+}  // namespace focus::core

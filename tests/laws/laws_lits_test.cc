@@ -1,0 +1,276 @@
+// Algebraic laws of the lits instantiation that go beyond the theorem
+// sweeps in tests/property_test.cc: delta* is a pseudo-metric with the
+// triangle inequality (Theorem 4.2) over arbitrary generated model
+// triples, the difference functions f_a / f_s obey their definitional
+// bounds, and the aggregates g_sum / g_max satisfy their combination
+// identities. Workloads include empty models (min_support too high) and
+// near-degenerate databases by construction.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/functions.h"
+#include "core/lits_deviation.h"
+#include "core/lits_upper_bound.h"
+#include "proptest/generators.h"
+#include "proptest/proptest.h"
+
+namespace focus::core {
+namespace {
+
+using proptest::Check;
+using proptest::Domain;
+using proptest::PropResult;
+using proptest::Rng;
+
+TEST(LitsLaws, UpperBoundIsPseudoMetric) {
+  EXPECT_TRUE(Check<proptest::LitsPair>(
+      "lits/upper-bound-pseudometric", proptest::LitsPairDomain(),
+      [](const proptest::LitsPair& pair) {
+        const data::TransactionDb da = proptest::MaterializeDb(pair.a);
+        const data::TransactionDb db = proptest::MaterializeDb(pair.b);
+        const lits::LitsModel ma = proptest::Mine(pair.a, da);
+        const lits::LitsModel mb = proptest::Mine(pair.b, db);
+        for (const AggregateKind g : {AggregateKind::kSum,
+                                      AggregateKind::kMax}) {
+          if (LitsUpperBound(ma, ma, g) != 0.0)
+            return PropResult::Fail("delta*(M, M) != 0");
+          const double ab = LitsUpperBound(ma, mb, g);
+          const double ba = LitsUpperBound(mb, ma, g);
+          if (std::fabs(ab - ba) > 1e-12)
+            return PropResult::Fail("delta* not symmetric");
+          if (ab < 0.0) return PropResult::Fail("delta* negative");
+        }
+        return PropResult::Ok();
+      }));
+}
+
+TEST(LitsLaws, UpperBoundTriangleInequality) {
+  EXPECT_TRUE(Check<proptest::LitsTriple>(
+      "lits/upper-bound-triangle", proptest::LitsTripleDomain(),
+      [](const proptest::LitsTriple& triple) {
+        const data::TransactionDb da = proptest::MaterializeDb(triple.a);
+        const data::TransactionDb db = proptest::MaterializeDb(triple.b);
+        const data::TransactionDb dc = proptest::MaterializeDb(triple.c);
+        const lits::LitsModel ma = proptest::Mine(triple.a, da);
+        const lits::LitsModel mb = proptest::Mine(triple.b, db);
+        const lits::LitsModel mc = proptest::Mine(triple.c, dc);
+        for (const AggregateKind g : {AggregateKind::kSum,
+                                      AggregateKind::kMax}) {
+          const double ab = LitsUpperBound(ma, mb, g);
+          const double bc = LitsUpperBound(mb, mc, g);
+          const double ac = LitsUpperBound(ma, mc, g);
+          if (ac > ab + bc + 1e-9)
+            return PropResult::Fail(
+                "triangle violated: " + std::to_string(ac) + " > " +
+                std::to_string(ab) + " + " + std::to_string(bc));
+        }
+        return PropResult::Ok();
+      }));
+}
+
+TEST(LitsLaws, RefinementMonotonicityOverRandomRefinements) {
+  // Extending the GCR with ANY extra generated regions (a strictly finer
+  // common refinement) can only grow the g_sum deviation — Theorem 4.1's
+  // minimality, checked against random refinements rather than a fixed
+  // hand-picked one.
+  EXPECT_TRUE(Check<proptest::LitsPair>(
+      "lits/refinement-monotonicity", proptest::LitsPairDomain(),
+      [](const proptest::LitsPair& pair) {
+        const data::TransactionDb da = proptest::MaterializeDb(pair.a);
+        const data::TransactionDb db = proptest::MaterializeDb(pair.b);
+        const lits::LitsModel ma = proptest::Mine(pair.a, da);
+        const lits::LitsModel mb = proptest::Mine(pair.b, db);
+        const std::vector<lits::Itemset> gcr = LitsGcr(ma, mb);
+
+        // Derive the refinement from the pair's own seeds so the case
+        // stays replayable from one seed.
+        Rng refine_rng(pair.a.quest.seed ^ pair.b.quest.seed);
+        std::vector<lits::Itemset> finer = gcr;
+        const core::ItemsetSet extra = proptest::GenItemsetSet(
+            refine_rng, pair.a.quest.num_items, 8, 4);
+        finer.insert(finer.end(), extra.begin(), extra.end());
+        finer = NormalizeItemsets(std::move(finer));
+
+        for (const bool scaled : {false, true}) {
+          DeviationFunction fn{scaled ? ScaledDiff() : AbsoluteDiff(),
+                               AggregateKind::kSum};
+          const double over_gcr = LitsDeviationOverRegions(gcr, da, db, fn);
+          const double over_finer =
+              LitsDeviationOverRegions(finer, da, db, fn);
+          if (over_gcr > over_finer + 1e-9)
+            return PropResult::Fail("GCR deviation exceeds a refinement's");
+        }
+        return PropResult::Ok();
+      }));
+}
+
+// --------------------------------------------------- difference functions
+
+struct DiffFnCase {
+  double c1 = 0;
+  double c2 = 0;
+  double n1 = 1;
+  double n2 = 1;
+};
+
+Domain<DiffFnCase> DiffFnDomain() {
+  Domain<DiffFnCase> domain;
+  domain.generate = [](Rng& rng) {
+    DiffFnCase diff_case;
+    diff_case.n1 = static_cast<double>(rng.IntIn(1, 100000));
+    diff_case.n2 = static_cast<double>(rng.IntIn(1, 100000));
+    diff_case.c1 = static_cast<double>(
+        rng.IntIn(0, static_cast<int64_t>(diff_case.n1)));
+    diff_case.c2 = static_cast<double>(
+        rng.IntIn(0, static_cast<int64_t>(diff_case.n2)));
+    return diff_case;
+  };
+  domain.describe = [](const DiffFnCase& diff_case) {
+    return "c1=" + std::to_string(diff_case.c1) +
+           " c2=" + std::to_string(diff_case.c2) +
+           " n1=" + std::to_string(diff_case.n1) +
+           " n2=" + std::to_string(diff_case.n2);
+  };
+  return domain;
+}
+
+TEST(LitsLaws, DifferenceFunctionBounds) {
+  EXPECT_TRUE(Check<DiffFnCase>(
+      "functions/difference-fn-laws", DiffFnDomain(),
+      [](const DiffFnCase& dc) {
+        const DiffFn fa = AbsoluteDiff();
+        const DiffFn fs = ScaledDiff();
+        const double a = fa(dc.c1, dc.c2, dc.n1, dc.n2);
+        const double s = fs(dc.c1, dc.c2, dc.n1, dc.n2);
+        if (a < 0.0 || s < 0.0)
+          return PropResult::Fail("difference function went negative");
+        if (a > 1.0 + 1e-12)
+          return PropResult::Fail("f_a exceeded 1 (selectivities are in "
+                                  "[0,1])");
+        // f_s = |s1-s2| / ((s1+s2)/2) is bounded by 2.
+        if (s > 2.0 + 1e-12) return PropResult::Fail("f_s exceeded 2");
+        // Both are symmetric in their arguments.
+        if (std::fabs(a - fa(dc.c2, dc.c1, dc.n2, dc.n1)) > 1e-12)
+          return PropResult::Fail("f_a not symmetric");
+        if (std::fabs(s - fs(dc.c2, dc.c1, dc.n2, dc.n1)) > 1e-12)
+          return PropResult::Fail("f_s not symmetric");
+        // Identity of indiscernibles at the selectivity level.
+        if (dc.c1 * dc.n2 == dc.c2 * dc.n1 && (a != 0.0 || s != 0.0))
+          return PropResult::Fail("equal selectivities gave nonzero diff");
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(50)));
+}
+
+// ----------------------------------------------------------- aggregates
+
+struct AggregateCase {
+  std::vector<double> values;
+  size_t split = 0;  // concatenation point for the combination identities
+};
+
+Domain<AggregateCase> AggregateDomain() {
+  Domain<AggregateCase> domain;
+  domain.generate = [](Rng& rng) {
+    AggregateCase agg_case;
+    const int n = static_cast<int>(rng.IntIn(0, 24));
+    agg_case.values.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      agg_case.values.push_back(rng.DoubleIn(0.0, 5.0));
+    }
+    agg_case.split = static_cast<size_t>(rng.IntIn(0, n));
+    return agg_case;
+  };
+  domain.describe = [](const AggregateCase& agg_case) {
+    std::string out = "values[" + std::to_string(agg_case.values.size()) +
+                      "] split=" + std::to_string(agg_case.split);
+    return out;
+  };
+  domain.shrink = [](const AggregateCase& agg_case) {
+    std::vector<AggregateCase> candidates;
+    if (!agg_case.values.empty()) {
+      AggregateCase candidate = agg_case;
+      candidate.values.resize(agg_case.values.size() / 2);
+      candidate.split = std::min(candidate.split, candidate.values.size());
+      candidates.push_back(std::move(candidate));
+    }
+    return candidates;
+  };
+  return domain;
+}
+
+TEST(LitsLaws, AggregateCombinationIdentities) {
+  EXPECT_TRUE(Check<AggregateCase>(
+      "functions/aggregate-identities", AggregateDomain(),
+      [](const AggregateCase& ac) {
+        const std::span<const double> all(ac.values);
+        const auto head = all.subspan(0, ac.split);
+        const auto tail = all.subspan(ac.split);
+        const double sum = AggregateValues(AggregateKind::kSum, all);
+        const double max = AggregateValues(AggregateKind::kMax, all);
+        // g_sum distributes over concatenation; g_max combines by max.
+        const double sum_parts =
+            AggregateValues(AggregateKind::kSum, head) +
+            AggregateValues(AggregateKind::kSum, tail);
+        if (std::fabs(sum - sum_parts) > 1e-9)
+          return PropResult::Fail("g_sum not additive over concatenation");
+        const double max_parts =
+            std::max(AggregateValues(AggregateKind::kMax, head),
+                     AggregateValues(AggregateKind::kMax, tail));
+        if (max != max_parts)
+          return PropResult::Fail("g_max not max over concatenation");
+        // Dominance on non-negative inputs, and the empty identity.
+        if (max > sum + 1e-12)
+          return PropResult::Fail("g_max exceeded g_sum on non-negatives");
+        if (ac.values.empty() && (sum != 0.0 || max != 0.0))
+          return PropResult::Fail("empty aggregate is not 0");
+        // Permutation invariance.
+        std::vector<double> reversed(ac.values.rbegin(), ac.values.rend());
+        if (std::fabs(sum - AggregateValues(AggregateKind::kSum, reversed)) >
+            1e-9)
+          return PropResult::Fail("g_sum not permutation invariant");
+        if (max != AggregateValues(AggregateKind::kMax, reversed))
+          return PropResult::Fail("g_max not permutation invariant");
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(50)));
+}
+
+TEST(LitsLaws, FocusedDeviationRestrictsConsistently) {
+  // Definition 5.1/5.2: focussing on a random pivot item, then focussing
+  // the focussed region again, never increases the (f_a, g_sum) deviation;
+  // focussing on everything changes nothing.
+  EXPECT_TRUE(Check<proptest::LitsPair>(
+      "lits/focus-restriction-chain", proptest::LitsPairDomain(),
+      [](const proptest::LitsPair& pair) {
+        const data::TransactionDb da = proptest::MaterializeDb(pair.a);
+        const data::TransactionDb db = proptest::MaterializeDb(pair.b);
+        const lits::LitsModel ma = proptest::Mine(pair.a, da);
+        const lits::LitsModel mb = proptest::Mine(pair.b, db);
+        DeviationFunction fn;  // (f_a, g_sum)
+        const double full = LitsDeviation(ma, da, mb, db, fn);
+
+        Rng pivot_rng(pair.a.quest.seed + 17);
+        const int32_t pivot = static_cast<int32_t>(
+            pivot_rng.IntIn(0, pair.a.quest.num_items - 1));
+        const double focused = LitsDeviationFocused(
+            ma, da, mb, db, ContainsItem(pivot), fn);
+        if (focused > full + 1e-9)
+          return PropResult::Fail("focussed deviation exceeds full");
+
+        const auto everything = [](const lits::Itemset&) { return true; };
+        const double unrestricted =
+            LitsDeviationFocused(ma, da, mb, db, everything, fn);
+        if (std::fabs(unrestricted - full) > 1e-9)
+          return PropResult::Fail("trivial focus changed the deviation");
+        return PropResult::Ok();
+      }));
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,251 @@
+// Algebraic laws of the region algebra (§5): the structural operators
+// ⊔ ⊓ − over both carrier kinds — itemset collections (lits-models) and
+// box collections (dt-models) — checked over generated region sets.
+// ⟨Γ_M, ≤⟩ is a meet-semilattice (§3), so ⊔ must be commutative,
+// associative, and idempotent, ⊓ must absorb with ⊔, and − must be the
+// symmetric difference; results must stay normalized (closure).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dt_deviation.h"
+#include "core/region_algebra.h"
+#include "proptest/generators.h"
+#include "proptest/proptest.h"
+
+namespace focus::core {
+namespace {
+
+using proptest::Check;
+using proptest::Domain;
+using proptest::PropResult;
+using proptest::Rng;
+
+// ------------------------------------------------------- itemset carrier
+
+// Two/three generated itemset collections over one item universe.
+struct SetCase {
+  int32_t num_items = 1;
+  ItemsetSet a;
+  ItemsetSet b;
+  ItemsetSet c;
+};
+
+Domain<SetCase> SetCaseDomain() {
+  Domain<SetCase> domain;
+  domain.generate = [](Rng& rng) {
+    SetCase set_case;
+    set_case.num_items = static_cast<int32_t>(rng.IntIn(1, 40));
+    set_case.a = proptest::GenItemsetSet(rng, set_case.num_items, 12, 4);
+    set_case.b = proptest::GenItemsetSet(rng, set_case.num_items, 12, 4);
+    set_case.c = proptest::GenItemsetSet(rng, set_case.num_items, 12, 4);
+    return set_case;
+  };
+  domain.describe = [](const SetCase& set_case) {
+    return "items=" + std::to_string(set_case.num_items) +
+           " a=" + proptest::Describe(set_case.a) +
+           " b=" + proptest::Describe(set_case.b) +
+           " c=" + proptest::Describe(set_case.c);
+  };
+  domain.shrink = [](const SetCase& set_case) {
+    std::vector<SetCase> candidates;
+    for (int member = 0; member < 3; ++member) {
+      const ItemsetSet& set =
+          member == 0 ? set_case.a : (member == 1 ? set_case.b : set_case.c);
+      if (set.empty()) continue;
+      SetCase candidate = set_case;
+      ItemsetSet& target =
+          member == 0 ? candidate.a
+                      : (member == 1 ? candidate.b : candidate.c);
+      target.assign(set.begin(), set.begin() + set.size() / 2);
+      candidates.push_back(std::move(candidate));
+    }
+    return candidates;
+  };
+  return domain;
+}
+
+bool SameSet(const ItemsetSet& x, const ItemsetSet& y) { return x == y; }
+
+TEST(RegionAlgebraLaws, LitsUnionSemilattice) {
+  EXPECT_TRUE(Check<SetCase>(
+      "region-algebra/lits-union-semilattice", SetCaseDomain(),
+      [](const SetCase& sc) {
+        const ItemsetSet empty;
+        if (!SameSet(StructuralUnion(sc.a, sc.b), StructuralUnion(sc.b, sc.a)))
+          return PropResult::Fail("union not commutative");
+        if (!SameSet(StructuralUnion(StructuralUnion(sc.a, sc.b), sc.c),
+                     StructuralUnion(sc.a, StructuralUnion(sc.b, sc.c))))
+          return PropResult::Fail("union not associative");
+        if (!SameSet(StructuralUnion(sc.a, sc.a), NormalizeItemsets(sc.a)))
+          return PropResult::Fail("union not idempotent");
+        if (!SameSet(StructuralUnion(sc.a, empty), NormalizeItemsets(sc.a)))
+          return PropResult::Fail("empty set is not a union identity");
+        return PropResult::Ok();
+      }));
+}
+
+TEST(RegionAlgebraLaws, LitsIntersectionAbsorption) {
+  EXPECT_TRUE(Check<SetCase>(
+      "region-algebra/lits-intersection-absorption", SetCaseDomain(),
+      [](const SetCase& sc) {
+        if (!SameSet(StructuralIntersection(sc.a, sc.b),
+                     StructuralIntersection(sc.b, sc.a)))
+          return PropResult::Fail("intersection not commutative");
+        if (!SameSet(
+                StructuralIntersection(StructuralIntersection(sc.a, sc.b),
+                                       sc.c),
+                StructuralIntersection(sc.a,
+                                       StructuralIntersection(sc.b, sc.c))))
+          return PropResult::Fail("intersection not associative");
+        if (!SameSet(StructuralIntersection(sc.a, sc.a),
+                     NormalizeItemsets(sc.a)))
+          return PropResult::Fail("intersection not idempotent");
+        // Absorption: A ⊔ (A ⊓ B) = A and A ⊓ (A ⊔ B) = A.
+        if (!SameSet(
+                StructuralUnion(sc.a, StructuralIntersection(sc.a, sc.b)),
+                NormalizeItemsets(sc.a)))
+          return PropResult::Fail("union/intersection absorption fails");
+        if (!SameSet(
+                StructuralIntersection(sc.a, StructuralUnion(sc.a, sc.b)),
+                NormalizeItemsets(sc.a)))
+          return PropResult::Fail("intersection/union absorption fails");
+        return PropResult::Ok();
+      }));
+}
+
+TEST(RegionAlgebraLaws, LitsSymmetricDifference) {
+  EXPECT_TRUE(Check<SetCase>(
+      "region-algebra/lits-symmetric-difference", SetCaseDomain(),
+      [](const SetCase& sc) {
+        const ItemsetSet empty;
+        if (!StructuralDifference(sc.a, sc.a).empty())
+          return PropResult::Fail("A − A is not empty");
+        if (!SameSet(StructuralDifference(sc.a, empty),
+                     NormalizeItemsets(sc.a)))
+          return PropResult::Fail("A − ∅ is not A");
+        if (!SameSet(StructuralDifference(sc.a, sc.b),
+                     StructuralDifference(sc.b, sc.a)))
+          return PropResult::Fail("difference not symmetric");
+        // − is (⊔) minus (⊓) elementwise.
+        const ItemsetSet unioned = StructuralUnion(sc.a, sc.b);
+        const ItemsetSet intersected = StructuralIntersection(sc.a, sc.b);
+        ItemsetSet expected;
+        for (const lits::Itemset& itemset : unioned) {
+          bool in_both = false;
+          for (const lits::Itemset& other : intersected) {
+            if (itemset == other) {
+              in_both = true;
+              break;
+            }
+          }
+          if (!in_both) expected.push_back(itemset);
+        }
+        if (!SameSet(StructuralDifference(sc.a, sc.b), expected))
+          return PropResult::Fail("difference != union minus intersection");
+        return PropResult::Ok();
+      }));
+}
+
+TEST(RegionAlgebraLaws, LitsOperatorsStayNormalized) {
+  EXPECT_TRUE(Check<SetCase>(
+      "region-algebra/lits-closure-normalized", SetCaseDomain(),
+      [](const SetCase& sc) {
+        for (const ItemsetSet& out :
+             {StructuralUnion(sc.a, sc.b), StructuralIntersection(sc.a, sc.b),
+              StructuralDifference(sc.a, sc.b)}) {
+          if (!SameSet(out, NormalizeItemsets(out)))
+            return PropResult::Fail("operator result not normalized");
+        }
+        return PropResult::Ok();
+      }));
+}
+
+// --------------------------------------------------------- box carrier
+
+bool SameBoxSet(const BoxSet& x, const BoxSet& y) {
+  if (x.size() != y.size()) return false;
+  for (const data::Box& box : x) {
+    bool found = false;
+    for (const data::Box& other : y) {
+      if (box == other) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+TEST(RegionAlgebraLaws, BoxOverlayOfLeafPartitions) {
+  EXPECT_TRUE(Check<proptest::DtPair>(
+      "region-algebra/box-overlay-partition", proptest::DtPairDomain(),
+      [](const proptest::DtPair& pair) {
+        const data::Dataset d1 = proptest::MaterializeDataset(pair.a);
+        const data::Dataset d2 = proptest::MaterializeDataset(pair.b);
+        const data::Schema& schema = d1.schema();
+        const DtModel m1(proptest::BuildTree(pair.a, d1), d1);
+        const DtModel m2(proptest::BuildTree(pair.b, d2), d2);
+        const BoxSet& g1 = m1.leaf_boxes();
+        const BoxSet& g2 = m2.leaf_boxes();
+
+        // Self-overlay of a partition is the partition itself; ⊓ and −
+        // behave as identity / annihilator on it.
+        if (!SameBoxSet(StructuralUnion(schema, g1, g1), g1))
+          return PropResult::Fail("self-overlay is not the partition");
+        if (!SameBoxSet(StructuralIntersection(schema, g1, g1), g1))
+          return PropResult::Fail("self-intersection is not the partition");
+        if (!StructuralDifference(schema, g1, g1).empty())
+          return PropResult::Fail("self-difference is not empty");
+
+        // The overlay GCR is order-independent.
+        const BoxSet overlay = StructuralUnion(schema, g1, g2);
+        if (!SameBoxSet(overlay, StructuralUnion(schema, g2, g1)))
+          return PropResult::Fail("overlay not commutative");
+
+        // Refinement (Definition 3.4): every overlay region lies inside
+        // one region of EACH parent.
+        for (const data::Box& region : overlay) {
+          bool in1 = false;
+          for (const data::Box& parent : g1) {
+            if (parent.Covers(schema, region)) {
+              in1 = true;
+              break;
+            }
+          }
+          bool in2 = false;
+          for (const data::Box& parent : g2) {
+            if (parent.Covers(schema, region)) {
+              in2 = true;
+              break;
+            }
+          }
+          if (!in1 || !in2)
+            return PropResult::Fail("overlay region not covered by parents");
+        }
+
+        // The overlay is itself a partition of the populated space: every
+        // tuple of both datasets lands in exactly one overlay region.
+        for (const data::Dataset* dataset : {&d1, &d2}) {
+          const int64_t probes = std::min<int64_t>(dataset->num_rows(), 64);
+          for (int64_t row = 0; row < probes; ++row) {
+            int hits = 0;
+            for (const data::Box& region : overlay) {
+              if (region.Contains(schema, dataset->Row(row))) ++hits;
+            }
+            if (hits != 1)
+              return PropResult::Fail("tuple lies in " +
+                                      std::to_string(hits) +
+                                      " overlay regions (want 1)");
+          }
+        }
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(8)));
+}
+
+}  // namespace
+}  // namespace focus::core

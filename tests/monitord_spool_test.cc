@@ -1,0 +1,204 @@
+// End-to-end coverage of focus_monitord's rejected-file path: the REAL
+// daemon binary (compiled path in FOCUS_MONITORD_PATH) is run over a
+// spool seeded with malformed snapshot fixtures, and every fixture must
+// be quarantined in <spool>/rejected/ EXACTLY once with a reason logged
+// to stderr, while well-formed snapshots flow to <spool>/processed/.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/transaction_db.h"
+#include "io/data_io.h"
+
+namespace focus {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Malformed spool fixtures and the loader reason each must be rejected
+// with. Kept in one table so the test both writes the fixtures and
+// checks the logged reasons.
+struct MalformedFixture {
+  const char* name;            // spool filename
+  const char* content;         // raw file bytes
+  const char* reason_substring;  // must appear in the stderr log line
+};
+
+const MalformedFixture kMalformed[] = {
+    {"s1__000_badmagic.txns", "focus-txns-v9\n3 1\n0 1\n", "bad magic"},
+    {"s1__001_badheader.txns", "focus-txns-v1\nthree 1\n0\n",
+     "unparseable header counts"},
+    {"s1__002_negitems.txns", "focus-txns-v1\n-2 1\n0\n",
+     "header counts out of range"},
+    {"s1__003_truncated.txns", "focus-txns-v1\n3 5\n0 1\n",
+     "truncated: missing transaction"},
+    {"s1__004_outofrange.txns", "focus-txns-v1\n3 1\n0 99\n",
+     "item id out of range"},
+    {"s1__005_garbage.txns", "focus-txns-v1\n3 1\n0 zebra\n",
+     "non-numeric token"},
+    {"s1__006_trailing.txns", "focus-txns-v1\n3 1\n0 1\n2\n",
+     "trailing content"},
+    {"s1__007_empty.txns", "", "empty file"},
+};
+
+std::string Slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+data::TransactionDb SmallDb(int32_t num_items, int64_t transactions) {
+  data::TransactionDb db(num_items);
+  std::vector<int32_t> items;
+  for (int64_t t = 0; t < transactions; ++t) {
+    items.clear();
+    for (int32_t i = 0; i < num_items; ++i) {
+      if ((t + i) % 2 == 0) items.push_back(i);
+    }
+    db.AddTransaction(items);
+  }
+  return db;
+}
+
+class MonitordSpoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("monitord_spool_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "spool");
+    reference_ = (root_ / "reference.txns").string();
+    ASSERT_TRUE(io::SaveTransactionDbToFile(SmallDb(8, 40), reference_));
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  // Runs the daemon once over the spool; returns its exit code and fills
+  // the captured stderr text.
+  int RunOnce(std::string* captured_stderr) {
+    const fs::path err_file = root_ / "stderr.txt";
+    const fs::path out_file = root_ / "stdout.txt";
+    const std::string cmd =
+        std::string(FOCUS_MONITORD_PATH) + " --spool " +
+        (root_ / "spool").string() + " --reference " + reference_ +
+        " --once 1 --threads 2 --queue 8 --replicates 1 --calibration 1" +
+        " --warmup 2 > " + out_file.string() + " 2> " + err_file.string();
+    const int status = std::system(cmd.c_str());
+    *captured_stderr = Slurp(err_file);
+    return status;
+  }
+
+  void WriteSpoolFile(const std::string& name, const std::string& content) {
+    std::ofstream out(root_ / "spool" / name);
+    out << content;
+  }
+
+  std::vector<std::string> FilesIn(const std::string& subdir) {
+    std::vector<std::string> names;
+    const fs::path dir = root_ / "spool" / subdir;
+    if (!fs::exists(dir)) return names;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      names.push_back(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  fs::path root_;
+  std::string reference_;
+};
+
+TEST_F(MonitordSpoolTest, EveryMalformedFixtureRejectedOnceWithReason) {
+  for (const MalformedFixture& fixture : kMalformed) {
+    WriteSpoolFile(fixture.name, fixture.content);
+  }
+  // Two well-formed snapshots mixed in; they must NOT be rejected.
+  std::stringstream good;
+  io::SaveTransactionDb(SmallDb(8, 30), good);
+  WriteSpoolFile("s1__100_good.txns", good.str());
+  WriteSpoolFile("s2__000_good.txns", good.str());
+
+  std::string log;
+  ASSERT_EQ(RunOnce(&log), 0) << log;
+
+  // Exactly the malformed fixtures land in rejected/, each exactly once.
+  std::map<std::string, int> rejected;
+  for (const std::string& name : FilesIn("rejected")) ++rejected[name];
+  EXPECT_EQ(rejected.size(), std::size(kMalformed));
+  for (const MalformedFixture& fixture : kMalformed) {
+    EXPECT_EQ(rejected[fixture.name], 1) << fixture.name;
+    // The daemon logged the loader's reason next to the filename.
+    const size_t at = log.find(std::string("rejected malformed snapshot ") +
+                               fixture.name + ": ");
+    ASSERT_NE(at, std::string::npos) << fixture.name << "\nlog:\n" << log;
+    const std::string line = log.substr(at, log.find('\n', at) - at);
+    EXPECT_NE(line.find(fixture.reason_substring), std::string::npos)
+        << "expected reason '" << fixture.reason_substring << "' in: " << line;
+  }
+
+  // The good snapshots were consumed, not quarantined.
+  std::map<std::string, int> processed;
+  for (const std::string& name : FilesIn("processed")) ++processed[name];
+  EXPECT_EQ(processed["s1__100_good.txns"], 1);
+  EXPECT_EQ(processed["s2__000_good.txns"], 1);
+
+  // Nothing is left behind in the spool root.
+  for (const auto& entry : fs::directory_iterator(root_ / "spool")) {
+    if (entry.is_regular_file()) {
+      EXPECT_NE(entry.path().extension(), ".txns")
+          << entry.path() << " left unconsumed";
+    }
+  }
+
+  // The metrics log counted every rejection.
+  const std::string metrics = Slurp(root_ / "spool" / "metrics.jsonl");
+  EXPECT_NE(metrics.find("\"spool_rejected_files\":" +
+                         std::to_string(std::size(kMalformed))),
+            std::string::npos)
+      << metrics;
+}
+
+TEST_F(MonitordSpoolTest, RerunDoesNotDoubleCountRejections) {
+  WriteSpoolFile(kMalformed[0].name, kMalformed[0].content);
+  std::string log;
+  ASSERT_EQ(RunOnce(&log), 0) << log;
+  ASSERT_EQ(FilesIn("rejected").size(), 1u);
+
+  // A second scan of the (now empty) spool must not re-reject or move
+  // anything — quarantine is idempotent across restarts.
+  std::string second_log;
+  ASSERT_EQ(RunOnce(&second_log), 0) << second_log;
+  EXPECT_EQ(FilesIn("rejected").size(), 1u);
+  EXPECT_EQ(second_log.find("rejected malformed snapshot"),
+            std::string::npos);
+}
+
+TEST(DataIoErrorReasons, LoaderReportsSpecificReasons) {
+  // The loader's out-param carries the same reasons the daemon logs.
+  for (const MalformedFixture& fixture : kMalformed) {
+    std::istringstream in(fixture.content);
+    std::string error;
+    ASSERT_FALSE(io::LoadTransactionDb(in, &error).has_value())
+        << fixture.name;
+    EXPECT_NE(error.find(fixture.reason_substring), std::string::npos)
+        << fixture.name << ": got '" << error << "'";
+  }
+  // A clean load leaves no reason behind and the error param is optional.
+  std::stringstream good;
+  io::SaveTransactionDb(SmallDb(4, 5), good);
+  EXPECT_TRUE(io::LoadTransactionDb(good).has_value());
+}
+
+}  // namespace
+}  // namespace focus

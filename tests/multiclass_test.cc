@@ -11,6 +11,7 @@
 #include "core/dt_deviation.h"
 #include "core/misclassification.h"
 #include "tree/cart_builder.h"
+#include "stats/rng.h"
 #include "tree/pruning.h"
 
 namespace focus::core {
@@ -24,7 +25,7 @@ data::Schema XySchema() {
 
 // Three class bands over x, optionally shifted.
 data::Dataset ThreeBands(uint64_t seed, double shift, int64_t n) {
-  std::mt19937_64 rng(seed);
+  std::mt19937_64 rng = stats::MakeRng(seed);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   data::Dataset dataset(XySchema());
   for (int64_t i = 0; i < n; ++i) {
@@ -113,7 +114,7 @@ TEST(MulticlassTest, MisclassificationTheoremHoldsForThreeClasses) {
 
 TEST(MulticlassTest, PruningWorksWithThreeClasses) {
   data::Dataset noisy = ThreeBands(5, 0.0, 4000);
-  std::mt19937_64 rng(9);
+  std::mt19937_64 rng = stats::MakeRng(9);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   for (int64_t i = 0; i < noisy.num_rows(); ++i) {
     if (unit(rng) < 0.2) {

@@ -5,6 +5,7 @@
 #include "core/sampling_study.h"
 #include "datagen/class_gen.h"
 #include "datagen/quest_gen.h"
+#include "stats/rng.h"
 
 namespace focus::core {
 namespace {
@@ -61,7 +62,7 @@ TEST(ClusterSampleStudyTest, SdDecreasesWithSampleFraction) {
       {data::Schema::Numeric("x", 0.0, 10.0), data::Schema::Numeric("y", 0.0, 10.0)},
       0);
   data::Dataset dataset(schema);
-  std::mt19937_64 rng(4);
+  std::mt19937_64 rng = stats::MakeRng(4);
   std::normal_distribution<double> noise(0.0, 0.5);
   for (int i = 0; i < 4000; ++i) {
     const double cx = (i % 2 == 0) ? 2.5 : 7.5;

@@ -110,6 +110,94 @@ TEST(SnapshotQueueTest, CloseDrainsThenSignalsEnd) {
   EXPECT_FALSE(queue.Pop().has_value());  // drained + closed => end
 }
 
+// Shutdown race: producers blocked in Push on a FULL queue while another
+// thread calls Close. Every blocked Push must wake and return false (the
+// snapshot is dropped, not enqueued past capacity), and the consumer must
+// still drain exactly the pre-close items. Run under TSan in CI.
+TEST(SnapshotQueueTest, CloseWakesProducersBlockedOnFullQueue) {
+  SnapshotQueue queue(2);
+  for (int i = 0; i < 2; ++i) {
+    Snapshot s;
+    s.sequence = i;
+    s.db = data::TransactionDb(1);
+    ASSERT_TRUE(queue.Push(std::move(s)));
+  }
+
+  constexpr int kProducers = 4;
+  std::atomic<int> refused{0};
+  std::atomic<int> started{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &refused, &started, p] {
+      Snapshot s;
+      s.sequence = 100 + p;
+      s.db = data::TransactionDb(1);
+      started.fetch_add(1);
+      if (!queue.Push(std::move(s))) refused.fetch_add(1);
+    });
+  }
+  // Give every producer a chance to park inside Push; none can proceed
+  // while the queue is at capacity.
+  while (started.load() < kProducers) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(queue.size(), 2u);
+
+  queue.Close();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(refused.load(), kProducers);
+
+  // Only the two pre-close snapshots drain; then closed+empty = end.
+  EXPECT_EQ(queue.Pop()->sequence, 0);
+  EXPECT_EQ(queue.Pop()->sequence, 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+// Close racing Pop on an EMPTY queue: a consumer parked in Pop must wake
+// and observe end-of-stream rather than deadlock.
+TEST(SnapshotQueueTest, CloseWakesConsumerBlockedOnEmptyQueue) {
+  SnapshotQueue queue(2);
+  std::atomic<bool> got_end{false};
+  std::thread consumer([&queue, &got_end] {
+    got_end.store(!queue.Pop().has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(got_end.load());
+}
+
+// Producers, a consumer, and Close all racing: no snapshot may be lost or
+// duplicated — every Push that returned true is Popped exactly once.
+TEST(SnapshotQueueTest, CloseMidTrafficLosesNothingAccepted) {
+  SnapshotQueue queue(3);
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 50;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &accepted, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Snapshot s;
+        s.sequence = p * kPerProducer + i;
+        s.db = data::TransactionDb(1);
+        if (queue.Push(std::move(s))) accepted.fetch_add(1);
+      }
+    });
+  }
+  std::atomic<int> popped{0};
+  std::thread consumer([&queue, &popped] {
+    while (queue.Pop().has_value()) popped.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
 // ------------------------------------------------------------ model cache
 
 TEST(ModelCacheTest, ContentHashIsContentBased) {

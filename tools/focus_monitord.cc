@@ -163,12 +163,15 @@ int Run(const common::Flags& flags) {
     std::sort(batch.begin(), batch.end());
 
     for (const fs::path& path : batch) {
-      const auto snapshot_db = io::LoadTransactionDbFromFile(path.string());
+      std::string load_error;
+      const auto snapshot_db =
+          io::LoadTransactionDbFromFile(path.string(), &load_error);
       const std::string name = path.filename().string();
       if (!snapshot_db.has_value()) {
         metrics.GetCounter("spool_rejected_files").Increment();
         fs::rename(path, fs::path(spool) / "rejected" / name, ec);
-        std::fprintf(stderr, "rejected malformed snapshot %s\n", name.c_str());
+        std::fprintf(stderr, "rejected malformed snapshot %s: %s\n",
+                     name.c_str(), load_error.c_str());
         continue;
       }
       const std::string stream = StreamOfFile(path);
