@@ -1,12 +1,22 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <fstream>
 
 #include "common/env.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
 
 namespace focus::bench {
+
+void EmitBenchJson(const std::string& json_line) {
+  std::printf("%s\n", json_line.c_str());
+  std::fflush(stdout);
+  const std::string path = common::GetEnvString("FOCUS_BENCH_JSON", "");
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::app);
+  if (out) out << json_line << "\n";
+}
 
 int64_t ScaledCount(int64_t default_small, int64_t paper_full) {
   if (common::GetEnvBool("FOCUS_FULL", false)) return paper_full;

@@ -26,6 +26,12 @@ namespace focus::bench {
 // otherwise `default_small` scaled by FOCUS_SCALE.
 int64_t ScaledCount(int64_t default_small, int64_t paper_full);
 
+// Machine-readable results: prints `json_line` to stdout and, when the
+// FOCUS_BENCH_JSON environment variable names a file, appends the line to
+// it as well (JSONL). This is how the checked-in BENCH_*.json records are
+// produced and how the CI bench-smoke job keeps them parseable.
+void EmitBenchJson(const std::string& json_line);
+
 int SamplesPerFraction(int default_samples = 10);
 int BootstrapReplicates(int default_replicates = 9);
 

@@ -45,6 +45,21 @@ void BM_GcrMeasuresRouting(benchmark::State& state) {
 }
 BENCHMARK(BM_GcrMeasuresRouting)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+void BM_GcrConstruction(benchmark::State& state) {
+  // Guard for the constructor fast path: regions_ reserved up front and
+  // the leaf-pair → region hash insert skipped entirely while the dense
+  // router is active (the common case; dense_router counter should be 1).
+  const Setup setup = Setup::Make(20000, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::DtGcr gcr(setup.m1, setup.m2);
+    benchmark::DoNotOptimize(gcr.num_regions());
+  }
+  const core::DtGcr gcr(setup.m1, setup.m2);
+  state.counters["gcr_cells"] = static_cast<double>(gcr.num_regions());
+  state.counters["dense_router"] = gcr.dense_router() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_GcrConstruction)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
 void BM_GcrMeasuresNaiveBoxScan(benchmark::State& state) {
   const Setup setup = Setup::Make(20000, static_cast<int>(state.range(0)));
   const core::DtGcr gcr(setup.m1, setup.m2);

@@ -60,18 +60,20 @@ void RunConfig(const char* label, int num_snapshots, bool repeat_content,
       stats.hits + stats.misses == 0
           ? 0.0
           : static_cast<double>(stats.hits) / (stats.hits + stats.misses);
-  std::printf(
+  char line[384];
+  std::snprintf(
+      line, sizeof(line),
       "{\"bench\":\"serve_throughput\",\"config\":\"%s\","
       "\"snapshots\":%d,\"snapshot_transactions\":%lld,"
       "\"seconds\":%.4f,\"snapshots_per_sec\":%.2f,"
-      "\"cache_hit_rate\":%.3f,\"mean_inspect_ms\":%.3f}\n",
+      "\"cache_hit_rate\":%.3f,\"mean_inspect_ms\":%.3f}",
       label, num_snapshots, static_cast<long long>(snapshot_size),
       elapsed.count(), num_snapshots / elapsed.count(), hit_rate,
       metrics.GetHistogram("inspect_latency_ms").count() == 0
           ? 0.0
           : metrics.GetHistogram("inspect_latency_ms").sum() /
                 metrics.GetHistogram("inspect_latency_ms").count());
-  std::fflush(stdout);
+  bench::EmitBenchJson(line);
 }
 
 int Run() {

@@ -24,6 +24,12 @@ bool GetEnvBool(const std::string& name, bool default_value) {
   return GetEnvInt(name, default_value ? 1 : 0) != 0;
 }
 
+std::string GetEnvString(const std::string& name,
+                         const std::string& default_value) {
+  const char* value = std::getenv(name.c_str());
+  return (value == nullptr || *value == '\0') ? default_value : value;
+}
+
 double BenchScale(double full_scale) {
   if (GetEnvBool("FOCUS_FULL", false)) return full_scale;
   return GetEnvDouble("FOCUS_SCALE", 1.0);

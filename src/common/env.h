@@ -14,6 +14,8 @@ namespace focus::common {
 double GetEnvDouble(const std::string& name, double default_value);
 int64_t GetEnvInt(const std::string& name, int64_t default_value);
 bool GetEnvBool(const std::string& name, bool default_value);
+std::string GetEnvString(const std::string& name,
+                         const std::string& default_value);
 
 // Workload scale for benches: FOCUS_FULL=1 returns `full_scale`,
 // otherwise FOCUS_SCALE (default 1.0).

@@ -1,10 +1,71 @@
 #include "core/dt_deviation.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "core/parallel_count.h"
 #include "tree/leaf_regions.h"
 
 namespace focus::core {
+namespace {
+
+// Leaf pairs route through the dense array as long as it stays under
+// 16 MiB of int32; beyond that (trees with tens of thousands of leaves
+// each) the hash map bounds memory instead.
+constexpr int64_t kDenseRouterMaxCells = int64_t{1} << 22;
+
+// A decision tree flattened for routing: contiguous nodes with the
+// numeric/categorical discriminator resolved ONCE at flatten time instead
+// of a schema lookup per node visit. Routing a row is then a tight loop
+// over one array — and fusing two of these routers in a single row loop
+// (the GCR measure scan) keeps both node arrays hot instead of
+// alternating between two pointer-chasing traversals and a hash probe.
+struct FlatTreeRouter {
+  struct Node {
+    double threshold = 0.0;
+    uint64_t left_mask = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t attribute = -1;   // -1 marks a leaf
+    int32_t leaf_index = -1;
+    bool is_numeric = false;
+  };
+  std::vector<Node> nodes;
+
+  explicit FlatTreeRouter(const dt::DecisionTree& tree) {
+    FOCUS_CHECK_GT(tree.num_nodes(), 0);
+    nodes.resize(tree.num_nodes());
+    for (int i = 0; i < tree.num_nodes(); ++i) {
+      const dt::DecisionTree::Node& node = tree.node(i);
+      Node& flat = nodes[i];
+      flat.threshold = node.threshold;
+      flat.left_mask = node.left_mask;
+      flat.left = node.left;
+      flat.right = node.right;
+      flat.attribute = node.attribute;
+      flat.leaf_index = node.leaf_index;
+      flat.is_numeric =
+          node.attribute >= 0 &&
+          tree.schema().attribute(node.attribute).type ==
+              data::AttributeType::kNumeric;
+    }
+  }
+
+  int Route(std::span<const double> row) const {
+    const Node* node = nodes.data();
+    while (node->attribute >= 0) {
+      const bool go_left =
+          node->is_numeric
+              ? row[node->attribute] < node->threshold
+              : (node->left_mask &
+                 (1ULL << static_cast<int>(row[node->attribute]))) != 0;
+      node = nodes.data() + (go_left ? node->left : node->right);
+    }
+    return node->leaf_index;
+  }
+};
+
+}  // namespace
 
 DtModel::DtModel(dt::DecisionTree tree, const data::Dataset& inducing_dataset)
     : tree_(std::move(tree)) {
@@ -19,19 +80,30 @@ DtGcr::DtGcr(const DtModel& m1, const DtModel& m2)
   FOCUS_CHECK(m1.tree().schema() == m2.tree().schema())
       << "dt-models must share an attribute space";
   const data::Schema& schema = m1.tree().schema();
+  const int64_t total_pairs =
+      static_cast<int64_t>(m1.num_leaves()) * m2.num_leaves();
+  regions_.reserve(static_cast<size_t>(std::min<int64_t>(total_pairs, 4096)));
+  const bool dense = total_pairs <= kDenseRouterMaxCells;
+  if (dense) dense_.assign(static_cast<size_t>(total_pairs), -1);
   for (int l1 = 0; l1 < m1.num_leaves(); ++l1) {
     for (int l2 = 0; l2 < m2.num_leaves(); ++l2) {
       data::Box intersection = m1.leaf_box(l1).Intersect(m2.leaf_box(l2));
       if (intersection.IsEmpty(schema)) continue;
-      index_[static_cast<int64_t>(l1) * leaves2_ + l2] =
-          static_cast<int>(regions_.size());
+      const int64_t cell = static_cast<int64_t>(l1) * leaves2_ + l2;
+      if (dense) {
+        dense_[static_cast<size_t>(cell)] = static_cast<int>(regions_.size());
+      } else {
+        index_[cell] = static_cast<int>(regions_.size());
+      }
       regions_.push_back({l1, l2, std::move(intersection)});
     }
   }
 }
 
 int DtGcr::IndexOf(int leaf1, int leaf2) const {
-  const auto it = index_.find(static_cast<int64_t>(leaf1) * leaves2_ + leaf2);
+  const int64_t cell = static_cast<int64_t>(leaf1) * leaves2_ + leaf2;
+  if (!dense_.empty()) return dense_[static_cast<size_t>(cell)];
+  const auto it = index_.find(cell);
   return it == index_.end() ? -1 : it->second;
 }
 
@@ -41,14 +113,26 @@ std::vector<double> DtGcr::Measures(const dt::DecisionTree& t1,
                                     const std::optional<data::Box>& focus,
                                     common::ThreadPool* pool) const {
   const data::Schema& schema = t1.schema();
+  // Flatten both trees once per scan, then route every row through both in
+  // a single fused loop: two contiguous-node walks plus one dense-array
+  // (or hash, for huge leaf products) region lookup per row.
+  const FlatTreeRouter router1(t1);
+  const FlatTreeRouter router2(t2);
+  const int32_t* dense = dense_.empty() ? nullptr : dense_.data();
+  const data::Box* focus_box = focus.has_value() ? &*focus : nullptr;
   const std::vector<int64_t> counts = CountRowsMaybeParallel(
       dataset.num_rows(), regions_.size() * num_classes_, pool,
       [&](int64_t row, std::vector<int64_t>& acc) {
         const auto values = dataset.Row(row);
-        if (focus.has_value() && !focus->Contains(schema, values)) return;
-        const int l1 = t1.LeafIndexOf(values);
-        const int l2 = t2.LeafIndexOf(values);
-        const int region = IndexOf(l1, l2);
+        if (focus_box != nullptr && !focus_box->Contains(schema, values)) {
+          return;
+        }
+        const int l1 = router1.Route(values);
+        const int l2 = router2.Route(values);
+        const int64_t cell = static_cast<int64_t>(l1) * leaves2_ + l2;
+        const int region = dense != nullptr
+                               ? dense[static_cast<size_t>(cell)]
+                               : IndexOf(l1, l2);
         FOCUS_CHECK_GE(region, 0) << "tuple routed to empty GCR region";
         ++acc[static_cast<size_t>(region) * num_classes_ + dataset.Label(row)];
       });
@@ -64,12 +148,15 @@ std::vector<double> DtGcr::Measures(const dt::DecisionTree& t1,
 namespace {
 
 // Shared aggregation: per-(region, class) differences filtered by class
-// and (for the GCR path) by focus-emptiness of the region box.
+// and (for the GCR path) by focus-emptiness of the region box. The filter
+// is a template parameter (bool(int region)) so the all-regions case
+// compiles down to an unconditional loop.
+template <typename RegionIncluded>
 double AggregateDeviation(const std::vector<double>& measures1, double n1,
                           const std::vector<double>& measures2, double n2,
                           int num_regions, int num_classes,
                           const DtDeviationOptions& options,
-                          const std::function<bool(int)>& region_included) {
+                          const RegionIncluded& region_included) {
   std::vector<double> diffs;
   diffs.reserve(measures1.size());
   for (int r = 0; r < num_regions; ++r) {
@@ -94,21 +181,23 @@ double DtDeviation(const DtModel& m1, const data::Dataset& d1,
   const std::vector<double> measures2 =
       gcr.Measures(m1.tree(), m2.tree(), d2, options.focus, options.pool);
   const data::Schema& schema = m1.tree().schema();
+  const double n1 = static_cast<double>(d1.num_rows());
+  const double n2 = static_cast<double>(d2.num_rows());
 
   // Under focussing, regions whose intersection with R is empty drop out
   // of the focussed structural component (Definition 5.1). This matters
   // for difference functions with nonzero f(0, 0), e.g. chi-squared's c.
-  std::function<bool(int)> region_included = [](int) { return true; };
   if (options.focus.has_value()) {
     const data::Box& focus = *options.focus;
-    region_included = [&gcr, &schema, &focus](int r) {
-      return !gcr.regions()[r].box.Intersect(focus).IsEmpty(schema);
-    };
+    return AggregateDeviation(
+        measures1, n1, measures2, n2, gcr.num_regions(), gcr.num_classes(),
+        options, [&gcr, &schema, &focus](int r) {
+          return !gcr.regions()[r].box.Intersect(focus).IsEmpty(schema);
+        });
   }
-  return AggregateDeviation(measures1, static_cast<double>(d1.num_rows()),
-                            measures2, static_cast<double>(d2.num_rows()),
-                            gcr.num_regions(), gcr.num_classes(), options,
-                            region_included);
+  return AggregateDeviation(measures1, n1, measures2, n2, gcr.num_regions(),
+                            gcr.num_classes(), options,
+                            [](int) { return true; });
 }
 
 double DtDeviationOverTree(const dt::DecisionTree& tree,
@@ -129,10 +218,11 @@ std::vector<double> DtMeasuresOverTree(const dt::DecisionTree& tree,
                                        common::ThreadPool* pool) {
   FOCUS_CHECK(tree.schema() == dataset.schema());
   const int num_classes = tree.schema().num_classes();
+  const FlatTreeRouter router(tree);
   const std::vector<int64_t> counts = CountRowsMaybeParallel(
       dataset.num_rows(), static_cast<size_t>(tree.num_leaves()) * num_classes,
       pool, [&](int64_t row, std::vector<int64_t>& acc) {
-        const int leaf = tree.LeafIndexOf(dataset.Row(row));
+        const int leaf = router.Route(dataset.Row(row));
         ++acc[static_cast<size_t>(leaf) * num_classes + dataset.Label(row)];
       });
   std::vector<double> measures(counts.size());

@@ -61,7 +61,14 @@ class DtGcr {
 
   // Index of the region (leaf1, leaf2), or -1 if that intersection is
   // empty (never the case for a pair reached by routing a real tuple).
+  // O(1) array lookup when the dense router is active, hash probe
+  // otherwise.
   int IndexOf(int leaf1, int leaf2) const;
+
+  // True when leaf pairs resolve through the dense l1*L2+l2 -> region
+  // array (L1*L2 small enough); false means the hash-map fallback is in
+  // use. Exposed for tests and bench guards.
+  bool dense_router() const { return !dense_.empty(); }
 
   // Measure component of the GCR w.r.t. `dataset`, computed in ONE scan
   // by routing every tuple through both trees. Returns row-major
@@ -80,6 +87,11 @@ class DtGcr {
 
  private:
   std::vector<DtGcrRegion> regions_;
+  // Dense router: dense_[leaf1 * L2 + leaf2] = region index or -1. Built
+  // whenever L1*L2 is small (the common case — CART trees here have at
+  // most a few hundred leaves); the hash map then stays EMPTY. Only huge
+  // leaf products fall back to the map to bound memory.
+  std::vector<int32_t> dense_;
   std::unordered_map<int64_t, int> index_;  // (leaf1 * L2 + leaf2) -> region
   int64_t leaves2_ = 0;
   int num_classes_ = 0;

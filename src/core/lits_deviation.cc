@@ -11,10 +11,13 @@ namespace focus::core {
 namespace {
 
 // Supports of `regions` w.r.t. a database, reusing the model's stored
-// measure component where available and counting the rest in one scan.
-std::vector<double> ExtendModel(const std::vector<lits::Itemset>& regions,
-                                const lits::LitsModel& model,
-                                const data::TransactionDb& db) {
+// measure component where available; the itemsets the model lacks are
+// counted by `count_missing` (one horizontal scan, or vertical bitmap
+// probes against a prebuilt index).
+template <typename CountMissing>
+std::vector<double> ExtendModelWith(const std::vector<lits::Itemset>& regions,
+                                    const lits::LitsModel& model,
+                                    const CountMissing& count_missing) {
   std::vector<double> supports(regions.size(), 0.0);
   std::vector<lits::Itemset> missing;
   std::vector<size_t> missing_slots;
@@ -28,12 +31,42 @@ std::vector<double> ExtendModel(const std::vector<lits::Itemset>& regions,
     }
   }
   if (!missing.empty()) {
-    const std::vector<double> counted = lits::CountSupports(db, missing);
+    const std::vector<double> counted = count_missing(missing);
     for (size_t i = 0; i < missing.size(); ++i) {
       supports[missing_slots[i]] = counted[i];
     }
   }
   return supports;
+}
+
+std::vector<double> ExtendModel(const std::vector<lits::Itemset>& regions,
+                                const lits::LitsModel& model,
+                                const data::TransactionDb& db) {
+  return ExtendModelWith(regions, model,
+                         [&db](const std::vector<lits::Itemset>& missing) {
+                           return lits::CountSupports(db, missing);
+                         });
+}
+
+std::vector<double> ExtendModel(const std::vector<lits::Itemset>& regions,
+                                const lits::LitsModel& model,
+                                const data::VerticalIndex& index) {
+  return ExtendModelWith(
+      regions, model, [&index](const std::vector<lits::Itemset>& missing) {
+        return lits::SupportCounter(missing, index.num_items())
+            .CountRelative(index);
+      });
+}
+
+// delta^1_(f,g) once both measure components are in hand.
+double AggregateRegionDiffs(const std::vector<double>& s1, double n1,
+                            const std::vector<double>& s2, double n2,
+                            const DeviationFunction& fn) {
+  std::vector<double> diffs(s1.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    diffs[i] = fn.f(s1[i] * n1, s2[i] * n2, n1, n2);
+  }
+  return AggregateValues(fn.g, diffs);
 }
 
 }  // namespace
@@ -52,30 +85,42 @@ double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
                                 const data::TransactionDb& d1,
                                 const data::TransactionDb& d2,
                                 const DeviationFunction& fn) {
-  const std::vector<double> s1 = lits::CountSupports(d1, regions);
-  const std::vector<double> s2 = lits::CountSupports(d2, regions);
-  const double n1 = static_cast<double>(d1.num_transactions());
-  const double n2 = static_cast<double>(d2.num_transactions());
-  std::vector<double> diffs(regions.size());
-  for (size_t i = 0; i < regions.size(); ++i) {
-    diffs[i] = fn.f(s1[i] * n1, s2[i] * n2, n1, n2);
-  }
-  return AggregateValues(fn.g, diffs);
+  return AggregateRegionDiffs(lits::CountSupports(d1, regions),
+                              static_cast<double>(d1.num_transactions()),
+                              lits::CountSupports(d2, regions),
+                              static_cast<double>(d2.num_transactions()), fn);
+}
+
+double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
+                                const data::VerticalIndex& i1,
+                                const data::VerticalIndex& i2,
+                                const DeviationFunction& fn) {
+  const lits::SupportCounter counter1(regions, i1.num_items());
+  const lits::SupportCounter counter2(regions, i2.num_items());
+  return AggregateRegionDiffs(counter1.CountRelative(i1),
+                              static_cast<double>(i1.num_transactions()),
+                              counter2.CountRelative(i2),
+                              static_cast<double>(i2.num_transactions()), fn);
 }
 
 double LitsDeviation(const lits::LitsModel& m1, const data::TransactionDb& d1,
                      const lits::LitsModel& m2, const data::TransactionDb& d2,
                      const DeviationFunction& fn) {
   const std::vector<lits::Itemset> gcr = LitsGcr(m1, m2);
-  const std::vector<double> s1 = ExtendModel(gcr, m1, d1);
-  const std::vector<double> s2 = ExtendModel(gcr, m2, d2);
-  const double n1 = static_cast<double>(d1.num_transactions());
-  const double n2 = static_cast<double>(d2.num_transactions());
-  std::vector<double> diffs(gcr.size());
-  for (size_t i = 0; i < gcr.size(); ++i) {
-    diffs[i] = fn.f(s1[i] * n1, s2[i] * n2, n1, n2);
-  }
-  return AggregateValues(fn.g, diffs);
+  return AggregateRegionDiffs(ExtendModel(gcr, m1, d1),
+                              static_cast<double>(d1.num_transactions()),
+                              ExtendModel(gcr, m2, d2),
+                              static_cast<double>(d2.num_transactions()), fn);
+}
+
+double LitsDeviation(const lits::LitsModel& m1, const data::VerticalIndex& i1,
+                     const lits::LitsModel& m2, const data::VerticalIndex& i2,
+                     const DeviationFunction& fn) {
+  const std::vector<lits::Itemset> gcr = LitsGcr(m1, m2);
+  return AggregateRegionDiffs(ExtendModel(gcr, m1, i1),
+                              static_cast<double>(i1.num_transactions()),
+                              ExtendModel(gcr, m2, i2),
+                              static_cast<double>(i2.num_transactions()), fn);
 }
 
 double LitsDeviationFocused(const lits::LitsModel& m1,
@@ -89,15 +134,10 @@ double LitsDeviationFocused(const lits::LitsModel& m1,
     if (focus(itemset)) focused.push_back(std::move(itemset));
   }
   if (focused.empty()) return 0.0;
-  const std::vector<double> s1 = ExtendModel(focused, m1, d1);
-  const std::vector<double> s2 = ExtendModel(focused, m2, d2);
-  const double n1 = static_cast<double>(d1.num_transactions());
-  const double n2 = static_cast<double>(d2.num_transactions());
-  std::vector<double> diffs(focused.size());
-  for (size_t i = 0; i < focused.size(); ++i) {
-    diffs[i] = fn.f(s1[i] * n1, s2[i] * n2, n1, n2);
-  }
-  return AggregateValues(fn.g, diffs);
+  return AggregateRegionDiffs(ExtendModel(focused, m1, d1),
+                              static_cast<double>(d1.num_transactions()),
+                              ExtendModel(focused, m2, d2),
+                              static_cast<double>(d2.num_transactions()), fn);
 }
 
 ItemsetPredicate WithinItems(std::vector<int32_t> department_items) {

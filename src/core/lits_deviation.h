@@ -6,6 +6,7 @@
 
 #include "core/functions.h"
 #include "data/transaction_db.h"
+#include "data/vertical_index.h"
 #include "itemsets/apriori.h"
 #include "itemsets/itemset.h"
 
@@ -33,6 +34,21 @@ double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
 // reused; only the itemsets missing from each model are re-counted).
 double LitsDeviation(const lits::LitsModel& m1, const data::TransactionDb& d1,
                      const lits::LitsModel& m2, const data::TransactionDb& d2,
+                     const DeviationFunction& fn);
+
+// Vertical-index overloads: identical results (counts are integers and the
+// divisions by |D| match), but the per-region supports missing from each
+// model come from AND+popcount over prebuilt TID bitmaps instead of
+// re-scanning raw transactions. This is the scan-once path the serving
+// layer uses: each snapshot's index is built one time and then probed by
+// every deviation the window evaluates against it.
+double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
+                                const data::VerticalIndex& i1,
+                                const data::VerticalIndex& i2,
+                                const DeviationFunction& fn);
+
+double LitsDeviation(const lits::LitsModel& m1, const data::VerticalIndex& i1,
+                     const lits::LitsModel& m2, const data::VerticalIndex& i2,
                      const DeviationFunction& fn);
 
 // Focussed deviation delta^R (Definition 5.2) where the focussing region R

@@ -16,7 +16,9 @@ LitsChangeMonitor::LitsChangeMonitor(const data::TransactionDb& reference,
                                      const MonitorOptions& options)
     : options_(options),
       reference_(reference),
-      reference_model_(lits::Apriori(reference_, options_.apriori)) {
+      reference_index_(reference_),
+      reference_model_(
+          lits::Apriori(reference_, options_.apriori, &reference_index_)) {
   FOCUS_CHECK_GT(options_.calibration_replicates, 0);
   FOCUS_CHECK_GT(options_.alert_factor, 0.0);
   Calibrate();
@@ -34,8 +36,9 @@ void LitsChangeMonitor::Calibrate() {
         reference_,
         data::SampleIndicesWithReplacement(reference_.num_transactions(),
                                            reference_.num_transactions(), rng));
+    const data::VerticalIndex replicate_index(replicate);
     const lits::LitsModel replicate_model =
-        lits::Apriori(replicate, options_.apriori);
+        lits::Apriori(replicate, options_.apriori, &replicate_index);
     level = std::max(level, LitsUpperBound(reference_model_, replicate_model,
                                            options_.fn.g));
   }
@@ -44,12 +47,17 @@ void LitsChangeMonitor::Calibrate() {
 
 MonitorReport LitsChangeMonitor::Inspect(
     const data::TransactionDb& snapshot) const {
-  return InspectWithModel(snapshot, lits::Apriori(snapshot, options_.apriori));
+  // One scan builds the snapshot's index; mining and the (possible)
+  // stage-2 extension then both run vertically against it.
+  const data::VerticalIndex snapshot_index(snapshot);
+  return InspectWithModel(
+      snapshot, lits::Apriori(snapshot, options_.apriori, &snapshot_index),
+      &snapshot_index);
 }
 
 MonitorReport LitsChangeMonitor::InspectWithModel(
-    const data::TransactionDb& snapshot,
-    const lits::LitsModel& snapshot_model) const {
+    const data::TransactionDb& snapshot, const lits::LitsModel& snapshot_model,
+    const data::VerticalIndex* snapshot_index) const {
   MonitorReport report;
   report.upper_bound =
       LitsUpperBound(reference_model_, snapshot_model, options_.fn.g);
@@ -59,8 +67,12 @@ MonitorReport LitsChangeMonitor::InspectWithModel(
     report.screened_out = true;
     return report;
   }
-  report.deviation = LitsDeviation(reference_model_, reference_,
-                                   snapshot_model, snapshot, options_.fn);
+  report.deviation =
+      snapshot_index != nullptr
+          ? LitsDeviation(reference_model_, reference_index_, snapshot_model,
+                          *snapshot_index, options_.fn)
+          : LitsDeviation(reference_model_, reference_, snapshot_model,
+                          snapshot, options_.fn);
   const SignificanceResult sig = LitsDeviationSignificance(
       reference_, snapshot, options_.apriori, options_.fn,
       options_.significance);
@@ -71,7 +83,8 @@ MonitorReport LitsChangeMonitor::InspectWithModel(
 
 void LitsChangeMonitor::Rebase(const data::TransactionDb& snapshot) {
   reference_ = snapshot;
-  reference_model_ = lits::Apriori(reference_, options_.apriori);
+  reference_index_ = data::VerticalIndex(reference_);
+  reference_model_ = lits::Apriori(reference_, options_.apriori, &reference_index_);
   Calibrate();
 }
 

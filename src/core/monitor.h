@@ -6,6 +6,7 @@
 #include "core/functions.h"
 #include "core/significance.h"
 #include "data/transaction_db.h"
+#include "data/vertical_index.h"
 #include "itemsets/apriori.h"
 
 namespace focus::core {
@@ -54,9 +55,16 @@ class LitsChangeMonitor {
   // Same, with a caller-supplied model of `snapshot` (e.g. from the
   // serving layer's mined-model cache) so stage 1 skips re-mining. The
   // model MUST have been mined from `snapshot` with this monitor's
-  // apriori options.
-  MonitorReport InspectWithModel(const data::TransactionDb& snapshot,
-                                 const lits::LitsModel& snapshot_model) const;
+  // apriori options. When `snapshot_index` is non-null (a VerticalIndex
+  // built from `snapshot`, e.g. the serving layer's per-snapshot index
+  // cache), the stage-2 exact deviation extends both models via bitmap
+  // AND+popcount against this index and the monitor's own reference
+  // index — no re-scan of either dataset's raw transactions. The report
+  // is bit-identical with or without the index.
+  MonitorReport InspectWithModel(
+      const data::TransactionDb& snapshot,
+      const lits::LitsModel& snapshot_model,
+      const data::VerticalIndex* snapshot_index = nullptr) const;
 
   // Replaces the reference with `snapshot` (e.g. after an accepted
   // regime change) and re-calibrates.
@@ -64,12 +72,18 @@ class LitsChangeMonitor {
 
   double alert_threshold() const { return alert_threshold_; }
   const lits::LitsModel& reference_model() const { return reference_model_; }
+  const data::VerticalIndex& reference_index() const {
+    return reference_index_;
+  }
 
  private:
   void Calibrate();
 
   MonitorOptions options_;
   data::TransactionDb reference_;
+  // Built once per reference (construction / Rebase); declared before the
+  // model so mining can run vertically against it.
+  data::VerticalIndex reference_index_;
   lits::LitsModel reference_model_;
   double alert_threshold_ = 0.0;
 };

@@ -10,6 +10,16 @@ namespace focus::data {
 // A market-basket database: a bag of transactions, each a sorted set of
 // distinct item ids in [0, num_items). Backing storage is a single flat
 // array with offsets so scans are cache-friendly.
+//
+// INVARIANT (sorted-unique): every stored transaction is strictly
+// ascending — no duplicate items. AddTransaction is the only mutation
+// path that adds items and it sorts, dedupes, and range-checks its
+// input, so the invariant holds for every database reachable through
+// this API (loaders and generators all build via AddTransaction).
+// Counting kernels rely on it: SupportCounter's horizontal probe loop
+// would double-count a candidate whose anchor item repeated, and
+// VerticalIndex's bitmaps would silently collapse duplicates, breaking
+// the bit-identical horizontal == vertical contract.
 class TransactionDb {
  public:
   explicit TransactionDb(int32_t num_items = 0) : num_items_(num_items) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "data/vertical_index.h"
 #include "itemsets/support_counter.h"
 
 namespace focus::lits {
@@ -84,10 +85,15 @@ std::vector<Itemset> LitsModel::StructuralComponent() const {
   return itemsets;
 }
 
-LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options) {
+LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options,
+                  const data::VerticalIndex* index) {
   FOCUS_CHECK_GT(options.min_support, 0.0);
   FOCUS_CHECK_LE(options.min_support, 1.0);
   FOCUS_CHECK_GT(db.num_transactions(), 0);
+  if (index != nullptr) {
+    FOCUS_CHECK_EQ(index->num_items(), db.num_items());
+    FOCUS_CHECK_EQ(index->num_transactions(), db.num_transactions());
+  }
 
   LitsModel model(options.min_support, db.num_transactions(), db.num_items());
   const double n = static_cast<double>(db.num_transactions());
@@ -96,10 +102,17 @@ LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options) 
       options.min_absolute_count,
       static_cast<int64_t>(std::ceil(options.min_support * n - 1e-9)));
 
-  // L1: one scan of per-item counts.
+  // L1: per-item counts — cached popcounts when the index is prebuilt,
+  // otherwise one scan.
   std::vector<int64_t> item_counts(db.num_items(), 0);
-  for (int64_t t = 0; t < db.num_transactions(); ++t) {
-    for (int32_t item : db.Transaction(t)) ++item_counts[item];
+  if (index != nullptr) {
+    for (int32_t item = 0; item < db.num_items(); ++item) {
+      item_counts[item] = index->ItemCount(item);
+    }
+  } else {
+    for (int64_t t = 0; t < db.num_transactions(); ++t) {
+      for (int32_t item : db.Transaction(t)) ++item_counts[item];
+    }
   }
   std::vector<Itemset> frequent;
   for (int32_t item = 0; item < db.num_items(); ++item) {
@@ -119,7 +132,9 @@ LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options) 
     const std::vector<Itemset> candidates = GenerateCandidates(frequent);
     if (candidates.empty()) break;
     const SupportCounter counter(candidates, db.num_items());
-    const std::vector<int64_t> counts = counter.CountAbsolute(db);
+    const std::vector<int64_t> counts = index != nullptr
+                                            ? counter.CountAbsolute(*index)
+                                            : counter.CountAbsolute(db);
 
     std::vector<Itemset> next_frequent;
     for (size_t i = 0; i < candidates.size(); ++i) {

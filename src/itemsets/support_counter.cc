@@ -32,7 +32,14 @@ void SupportCounter::CountRange(const data::TransactionDb& db, int64_t begin,
   for (int64_t t = begin; t < end; ++t) {
     const auto txn = db.Transaction(t);
     for (int32_t item : txn) present[item] = 1;
+    int32_t previous_item = -1;
     for (int32_t item : txn) {
+      // TransactionDb guarantees sorted-unique transactions, but a
+      // repeated item here would probe its bucket twice and double-count
+      // every candidate anchored at it — guard rather than trust callers
+      // that bypass AddTransaction's dedup (none exist today).
+      if (item == previous_item) continue;
+      previous_item = item;
       for (int32_t candidate_index : buckets_[item]) {
         const Itemset& candidate = *itemsets_[candidate_index];
         bool all_present = true;
@@ -74,6 +81,36 @@ std::vector<int64_t> SupportCounter::CountAbsoluteParallel(
   return counts;
 }
 
+void SupportCounter::CountVerticalRange(const data::VerticalIndex& index,
+                                        int64_t begin, int64_t end,
+                                        std::vector<int64_t>& counts) const {
+  for (int64_t i = begin; i < end; ++i) {
+    counts[i] = index.CountIntersection(itemsets_[i]->items());
+  }
+}
+
+std::vector<int64_t> SupportCounter::CountAbsolute(
+    const data::VerticalIndex& index) const {
+  FOCUS_CHECK_EQ(index.num_items(), num_items_);
+  std::vector<int64_t> counts(itemsets_.size(), 0);
+  CountVerticalRange(index, 0, static_cast<int64_t>(itemsets_.size()), counts);
+  return counts;
+}
+
+std::vector<int64_t> SupportCounter::CountAbsoluteParallel(
+    const data::VerticalIndex& index, common::ThreadPool& pool) const {
+  FOCUS_CHECK_EQ(index.num_items(), num_items_);
+  std::vector<int64_t> counts(itemsets_.size(), 0);
+  // Shards write disjoint slots of `counts`; each slot's value depends
+  // only on the index, so this equals the serial vertical path exactly.
+  pool.ParallelFor(0, static_cast<int64_t>(itemsets_.size()),
+                   pool.num_threads(),
+                   [&](int /*shard*/, int64_t begin, int64_t end) {
+                     CountVerticalRange(index, begin, end, counts);
+                   });
+  return counts;
+}
+
 namespace {
 
 std::vector<double> ToRelative(const std::vector<int64_t>& absolute,
@@ -97,6 +134,16 @@ std::vector<double> SupportCounter::CountRelative(
 std::vector<double> SupportCounter::CountRelativeParallel(
     const data::TransactionDb& db, common::ThreadPool& pool) const {
   return ToRelative(CountAbsoluteParallel(db, pool), db.num_transactions());
+}
+
+std::vector<double> SupportCounter::CountRelative(
+    const data::VerticalIndex& index) const {
+  return ToRelative(CountAbsolute(index), index.num_transactions());
+}
+
+std::vector<double> SupportCounter::CountRelativeParallel(
+    const data::VerticalIndex& index, common::ThreadPool& pool) const {
+  return ToRelative(CountAbsoluteParallel(index, pool), index.num_transactions());
 }
 
 std::vector<double> CountSupports(const data::TransactionDb& db,

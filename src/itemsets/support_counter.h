@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.h"
 #include "data/transaction_db.h"
+#include "data/vertical_index.h"
 #include "itemsets/itemset.h"
 
 namespace focus::lits {
@@ -16,9 +17,15 @@ namespace focus::lits {
 // and by the extension of a lits-model to a GCR (§3.3.1 of the paper:
 // "both the datasets need to be scanned once").
 //
-// Index structure: candidates are bucketed by their smallest item; a scan
-// marks the items of each transaction in a presence bitmap and probes only
-// the buckets of items that occur in the transaction.
+// Two counting strategies, guaranteed bit-identical (integer counts):
+//
+//   * Horizontal: candidates are bucketed by their smallest item; a scan
+//     marks the items of each transaction in a presence bitmap and probes
+//     only the buckets of items that occur in the transaction.
+//   * Vertical: a prebuilt data::VerticalIndex supplies per-item TID
+//     bitmaps; each itemset's count is the popcount of the AND of its
+//     members' bitmaps. The index is built in one scan and amortized
+//     across every counting pass over the same database.
 class SupportCounter {
  public:
   SupportCounter(std::span<const Itemset> itemsets, int32_t num_items);
@@ -34,15 +41,33 @@ class SupportCounter {
   std::vector<int64_t> CountAbsoluteParallel(const data::TransactionDb& db,
                                              common::ThreadPool& pool) const;
 
+  // Vertical counting path over a prebuilt index of the same database:
+  // bit-identical to CountAbsolute(db) for an index built from db.
+  std::vector<int64_t> CountAbsolute(const data::VerticalIndex& index) const;
+
+  // Vertical counting parallelized over ITEMSETS (not transactions): each
+  // itemset's AND+popcount chain is independent, so shards write disjoint
+  // count slots and no merge is needed — trivially bit-identical to the
+  // serial vertical path for every pool size.
+  std::vector<int64_t> CountAbsoluteParallel(const data::VerticalIndex& index,
+                                             common::ThreadPool& pool) const;
+
   // Relative supports (counts / |D|).
   std::vector<double> CountRelative(const data::TransactionDb& db) const;
   std::vector<double> CountRelativeParallel(const data::TransactionDb& db,
+                                            common::ThreadPool& pool) const;
+  std::vector<double> CountRelative(const data::VerticalIndex& index) const;
+  std::vector<double> CountRelativeParallel(const data::VerticalIndex& index,
                                             common::ThreadPool& pool) const;
 
  private:
   // Accumulates counts over transactions [begin, end) into `counts`.
   void CountRange(const data::TransactionDb& db, int64_t begin, int64_t end,
                   std::vector<int64_t>& counts) const;
+
+  // Fills `counts` for itemsets [begin, end) from the vertical index.
+  void CountVerticalRange(const data::VerticalIndex& index, int64_t begin,
+                          int64_t end, std::vector<int64_t>& counts) const;
 
   int32_t num_items_;
   std::vector<const Itemset*> itemsets_;

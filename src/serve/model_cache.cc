@@ -47,33 +47,48 @@ std::shared_ptr<const lits::LitsModel> ModelCache::Lookup(
   }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second.position);
-  return it->second.model;
+  return it->second.mined.model;
+}
+
+MinedSnapshot ModelCache::GetOrMineIndexed(const data::TransactionDb& db,
+                                           bool* cache_hit) {
+  const uint64_t key = TransactionDbContentHash(db);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.position);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second.mined;
+    }
+    ++stats_.misses;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  // Build outside the lock so concurrent misses on different snapshots
+  // proceed in parallel: ONE scan materializes the vertical index, and
+  // Apriori's counting passes then run against the bitmaps.
+  MinedSnapshot mined;
+  auto index = std::make_shared<const data::VerticalIndex>(db);
+  mined.model = std::make_shared<const lits::LitsModel>(
+      lits::Apriori(db, options_, index.get()));
+  mined.index = std::move(index);
+  std::lock_guard<std::mutex> lock(mutex_);
+  InsertLocked(key, mined);
+  return mined;
 }
 
 std::shared_ptr<const lits::LitsModel> ModelCache::GetOrMine(
     const data::TransactionDb& db, bool* cache_hit) {
-  const uint64_t key = TransactionDbContentHash(db);
-  if (auto model = Lookup(key)) {
-    if (cache_hit != nullptr) *cache_hit = true;
-    return model;
-  }
-  if (cache_hit != nullptr) *cache_hit = false;
-  // Mine outside the lock so concurrent misses on different snapshots
-  // proceed in parallel.
-  auto model = std::make_shared<const lits::LitsModel>(
-      lits::Apriori(db, options_));
-  std::lock_guard<std::mutex> lock(mutex_);
-  InsertLocked(key, model);
-  return model;
+  return GetOrMineIndexed(db, cache_hit).model;
 }
 
-void ModelCache::InsertLocked(uint64_t key,
-                              std::shared_ptr<const lits::LitsModel> model) {
+void ModelCache::InsertLocked(uint64_t key, MinedSnapshot mined) {
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
-    // A concurrent miss already inserted this key; keep the newer model
+    // A concurrent miss already inserted this key; keep the newer entry
     // and refresh recency.
-    it->second.model = std::move(model);
+    it->second.mined = std::move(mined);
     lru_.splice(lru_.begin(), lru_, it->second.position);
     return;
   }
@@ -84,7 +99,7 @@ void ModelCache::InsertLocked(uint64_t key,
     ++stats_.evictions;
   }
   lru_.push_front(key);
-  entries_[key] = Entry{std::move(model), lru_.begin()};
+  entries_[key] = Entry{std::move(mined), lru_.begin()};
 }
 
 ModelCacheStats ModelCache::stats() const {

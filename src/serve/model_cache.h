@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "data/transaction_db.h"
+#include "data/vertical_index.h"
 #include "itemsets/apriori.h"
 
 namespace focus::serve {
@@ -25,18 +26,34 @@ struct ModelCacheStats {
   int64_t evictions = 0;
 };
 
-// LRU cache of mined lits-models keyed by snapshot content hash, so a
-// snapshot that re-enters the spool (retries, fan-out to several streams,
-// repeated deviations against rotating references) skips the Apriori
-// pass entirely. Thread-safe; mining happens OUTSIDE the lock, so two
-// concurrent misses on the same key may both mine — the second insert
-// wins and the duplicate work is bounded by one mining pass.
+// What one cache miss materializes from a snapshot: its vertical TID-
+// bitmap index (built in the single scan §3.3.1 budgets) and the model
+// mined THROUGH that index. Window re-comparisons — the same snapshot
+// re-entering as reference or candidate across many model pairs — then
+// probe the bitmaps instead of touching raw transactions again.
+struct MinedSnapshot {
+  std::shared_ptr<const lits::LitsModel> model;
+  std::shared_ptr<const data::VerticalIndex> index;
+};
+
+// LRU cache of mined lits-models + their vertical indexes keyed by
+// snapshot content hash, so a snapshot that re-enters the spool (retries,
+// fan-out to several streams, repeated deviations against rotating
+// references) skips both the Apriori pass and every later raw-data scan.
+// Thread-safe; mining happens OUTSIDE the lock, so two concurrent misses
+// on the same key may both mine — the second insert wins and the
+// duplicate work is bounded by one mining pass.
 class ModelCache {
  public:
   ModelCache(size_t capacity, const lits::AprioriOptions& options);
 
-  // Returns the model of `db` under the cache's mining options, mining on
-  // a miss. `cache_hit`, when given, reports whether mining was skipped.
+  // Returns the model + vertical index of `db` under the cache's mining
+  // options, building both on a miss. `cache_hit`, when given, reports
+  // whether the build was skipped.
+  MinedSnapshot GetOrMineIndexed(const data::TransactionDb& db,
+                                 bool* cache_hit = nullptr);
+
+  // Model-only convenience wrapper around GetOrMineIndexed.
   std::shared_ptr<const lits::LitsModel> GetOrMine(
       const data::TransactionDb& db, bool* cache_hit = nullptr);
 
@@ -49,7 +66,7 @@ class ModelCache {
   const lits::AprioriOptions& options() const { return options_; }
 
  private:
-  void InsertLocked(uint64_t key, std::shared_ptr<const lits::LitsModel> model);
+  void InsertLocked(uint64_t key, MinedSnapshot mined);
 
   const size_t capacity_;
   const lits::AprioriOptions options_;
@@ -57,7 +74,7 @@ class ModelCache {
   // lru_ front = most recently used.
   std::list<uint64_t> lru_;
   struct Entry {
-    std::shared_ptr<const lits::LitsModel> model;
+    MinedSnapshot mined;
     std::list<uint64_t>::iterator position;
   };
   std::unordered_map<uint64_t, Entry> entries_;

@@ -158,10 +158,14 @@ StreamEvent MonitorService::Process(Stream* stream, Snapshot snapshot) {
   event.num_transactions = snapshot.db.num_transactions();
 
   bool cache_hit = false;
-  const std::shared_ptr<const lits::LitsModel> model =
-      model_cache_.GetOrMine(snapshot.db, &cache_hit);
+  const MinedSnapshot mined =
+      model_cache_.GetOrMineIndexed(snapshot.db, &cache_hit);
   event.cache_hit = cache_hit;
-  event.report = stream->monitor->InspectWithModel(snapshot.db, *model);
+  // The cached vertical index lets stage 2 (when the screen fires) extend
+  // both models via bitmap probes — window re-comparisons never re-scan
+  // the snapshot's raw transactions.
+  event.report = stream->monitor->InspectWithModel(snapshot.db, *mined.model,
+                                                   mined.index.get());
 
   // The CUSUM series runs over delta*: unlike the exact deviation it is
   // computed for every snapshot (screened or not), giving a uniform

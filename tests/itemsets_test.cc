@@ -72,6 +72,29 @@ TEST(SupportCounterTest, CountsMatchManualEnumeration) {
   EXPECT_DOUBLE_EQ(supports[4], 0.0);         // {4}
 }
 
+TEST(SupportCounterTest, DuplicateItemsInInputCannotDoubleCount) {
+  // Regression: a transaction carrying its minimum item twice would let
+  // the horizontal probe loop visit that anchor's bucket twice and count
+  // the candidate double. Two defenses are under test here: AddTransaction
+  // dedupes on ingest (the sorted-unique invariant documented in
+  // TransactionDb), and the probe loop skips repeated items regardless.
+  data::TransactionDb db(4);
+  db.AddTransaction(std::vector<int32_t>{1, 1, 2});     // min item twice
+  db.AddTransaction(std::vector<int32_t>{2, 1, 2, 1});  // unsorted + dups
+  db.AddTransaction(std::vector<int32_t>{3});
+
+  ASSERT_EQ(db.Transaction(0).size(), 2u);  // stored deduped
+  ASSERT_EQ(db.Transaction(1).size(), 2u);
+
+  const std::vector<Itemset> itemsets = {Itemset({1}), Itemset({1, 2}),
+                                         Itemset({2})};
+  const SupportCounter counter(itemsets, db.num_items());
+  const std::vector<int64_t> counts = counter.CountAbsolute(db);
+  EXPECT_EQ(counts[0], 2);  // {1}: transactions 0 and 1, once each
+  EXPECT_EQ(counts[1], 2);  // {1,2}: anchored at item 1, not doubled
+  EXPECT_EQ(counts[2], 2);
+}
+
 TEST(SupportCounterTest, EmptyItemsetHasFullSupport) {
   const data::TransactionDb db = TinyDb();
   const std::vector<Itemset> itemsets = {Itemset{}};

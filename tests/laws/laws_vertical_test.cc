@@ -1,0 +1,122 @@
+// Differential oracles for the vertical (TID-bitmap) counting path: on
+// every generated workload the vertical kernels must be BIT-IDENTICAL to
+// the horizontal scan — integer counts equal, relative supports equal as
+// doubles (same integers divided by the same |D|), and the
+// parallel-over-itemsets variant equal for every pool size. The same
+// contract lifted through the stack: Apriori mining and the GCR-extension
+// deviation must not change when handed a prebuilt index.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/lits_deviation.h"
+#include "data/vertical_index.h"
+#include "itemsets/apriori.h"
+#include "itemsets/support_counter.h"
+#include "proptest/generators.h"
+#include "proptest/proptest.h"
+
+namespace focus::core {
+namespace {
+
+using proptest::Check;
+using proptest::PropResult;
+using proptest::Rng;
+
+constexpr int kPoolSizes[] = {1, 2, 4, 8};
+
+TEST(LawsVertical, SupportCountsIdenticalToHorizontalAndAllPoolSizes) {
+  EXPECT_TRUE(Check<proptest::LitsWorkload>(
+      "vertical/support-counts-identical", proptest::LitsWorkloadDomain(),
+      [](const proptest::LitsWorkload& workload) {
+        const data::TransactionDb db = proptest::MaterializeDb(workload);
+        const data::VerticalIndex index(db);
+
+        Rng itemset_rng(workload.quest.seed + 211);
+        std::vector<lits::Itemset> itemsets;
+        const int count = static_cast<int>(itemset_rng.IntIn(0, 30));
+        for (int i = 0; i < count; ++i) {
+          itemsets.push_back(proptest::GenItemset(
+              itemset_rng, workload.quest.num_items, 5));
+        }
+        const lits::SupportCounter counter(itemsets,
+                                           workload.quest.num_items);
+        const std::vector<int64_t> horizontal = counter.CountAbsolute(db);
+        const std::vector<double> horizontal_rel = counter.CountRelative(db);
+
+        if (counter.CountAbsolute(index) != horizontal)
+          return PropResult::Fail("vertical absolute counts differ");
+        if (counter.CountRelative(index) != horizontal_rel)
+          return PropResult::Fail("vertical relative supports differ");
+        for (const int threads : kPoolSizes) {
+          common::ThreadPool pool(threads);
+          if (counter.CountAbsoluteParallel(index, pool) != horizontal)
+            return PropResult::Fail(
+                "vertical-parallel absolute counts differ with " +
+                std::to_string(threads) + " threads");
+          if (counter.CountRelativeParallel(index, pool) != horizontal_rel)
+            return PropResult::Fail(
+                "vertical-parallel relative supports differ with " +
+                std::to_string(threads) + " threads");
+        }
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(10)));
+}
+
+TEST(LawsVertical, AprioriWithIndexMinesTheSameModel) {
+  EXPECT_TRUE(Check<proptest::LitsWorkload>(
+      "vertical/apriori-index-identical", proptest::LitsWorkloadDomain(),
+      [](const proptest::LitsWorkload& workload) {
+        const data::TransactionDb db = proptest::MaterializeDb(workload);
+        const data::VerticalIndex index(db);
+        const lits::LitsModel plain = lits::Apriori(db, workload.apriori);
+        const lits::LitsModel indexed =
+            lits::Apriori(db, workload.apriori, &index);
+        if (indexed.size() != plain.size())
+          return PropResult::Fail("indexed model has different size");
+        for (const auto& [itemset, support] : plain.supports()) {
+          const auto it = indexed.supports().find(itemset);
+          if (it == indexed.supports().end())
+            return PropResult::Fail("indexed model missing " +
+                                    itemset.ToString());
+          if (it->second != support)  // bit-identical doubles
+            return PropResult::Fail("support differs for " +
+                                    itemset.ToString());
+        }
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(10)));
+}
+
+TEST(LawsVertical, LitsDeviationIdenticalWithPrebuiltIndexes) {
+  EXPECT_TRUE(Check<proptest::LitsPair>(
+      "vertical/deviation-index-identical", proptest::LitsPairDomain(),
+      [](const proptest::LitsPair& pair) {
+        const data::TransactionDb da = proptest::MaterializeDb(pair.a);
+        const data::TransactionDb db = proptest::MaterializeDb(pair.b);
+        const lits::LitsModel ma = proptest::Mine(pair.a, da);
+        const lits::LitsModel mb = proptest::Mine(pair.b, db);
+        const data::VerticalIndex ia(da);
+        const data::VerticalIndex ib(db);
+
+        const DeviationFunction fn;  // (f_a, g_sum)
+        const double horizontal = LitsDeviation(ma, da, mb, db, fn);
+        const double vertical = LitsDeviation(ma, ia, mb, ib, fn);
+        if (vertical != horizontal)  // bit-identical, not approximately
+          return PropResult::Fail("indexed deviation differs");
+
+        const std::vector<lits::Itemset> gcr = LitsGcr(ma, mb);
+        if (LitsDeviationOverRegions(gcr, ia, ib, fn) !=
+            LitsDeviationOverRegions(gcr, da, db, fn))
+          return PropResult::Fail("indexed over-regions deviation differs");
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(8)));
+}
+
+}  // namespace
+}  // namespace focus::core
