@@ -1,0 +1,169 @@
+// Network serving throughput: loopback HTTP clients driving the full
+// stack (HttpServer event loop → HttpApi → MonitorService) with the mixed
+// workload a deployment sees — snapshot ingest, deviation polls, and
+// cache-served compares. Emits JSON lines:
+//   {"bench":"net_throughput","config":…,"clients":N,"requests":…,
+//    "seconds":…,"requests_per_sec":…,"accepted":…,"overloaded":…}
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/quest_gen.h"
+#include "io/data_io.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "serve/http_api.h"
+#include "serve/metrics.h"
+#include "serve/monitor_service.h"
+
+namespace focus {
+namespace {
+
+data::TransactionDb SnapshotDb(int64_t num_transactions, uint64_t seed) {
+  datagen::QuestParams params = bench::PaperQuestParams(
+      num_transactions, /*num_patterns=*/500, /*pattern_length=*/4, seed);
+  params.pattern_seed = 99;
+  return datagen::GenerateQuest(params);
+}
+
+std::string Serialize(const data::TransactionDb& db) {
+  std::ostringstream out;
+  io::SaveTransactionDb(db, out);
+  return out.str();
+}
+
+std::string JsonField(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t begin = at + needle.size();
+  return json.substr(begin, json.find('"', begin) - begin);
+}
+
+// One benchmark configuration: `clients` concurrent keep-alive
+// connections, each issuing ingest/deviation/compare in an 2:3:1 mix.
+void RunConfig(const char* label, int clients, int requests_per_client,
+               int64_t snapshot_size, int unique_snapshots) {
+  serve::MonitorServiceOptions options;
+  options.monitor.apriori.min_support = 0.02;
+  options.monitor.apriori.max_itemset_size = 2;
+  options.monitor.calibration_replicates = 3;
+  options.monitor.significance.num_replicates = 5;
+  options.num_threads = 4;
+  options.queue_capacity = 32;
+  serve::MetricsRegistry metrics;
+  serve::MonitorService service(options, &metrics);
+  const data::TransactionDb reference = SnapshotDb(snapshot_size, 1000);
+
+  serve::HttpApiOptions api_options;
+  serve::HttpApi api(api_options, &service, &reference, &metrics);
+  net::HttpServer server(net::HttpServerOptions{}, api.BuildRouter());
+  api.AttachServer(&server);
+  if (!server.Start()) {
+    std::fprintf(stderr, "net_throughput: cannot start server\n");
+    return;
+  }
+
+  // Pre-serialize the snapshot pool so generation cost stays out of the
+  // measured window; a small pool keeps the cache-hit mix realistic.
+  std::vector<std::string> bodies;
+  bodies.reserve(unique_snapshots);
+  for (int i = 0; i < unique_snapshots; ++i) {
+    bodies.push_back(Serialize(SnapshotDb(snapshot_size, 2000 + i)));
+  }
+
+  std::atomic<int64_t> accepted{0}, overloaded{0}, reads{0}, compares{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c]() {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port())) return;
+      const std::string stream = "s" + std::to_string(c % 4);
+      std::string left, right;  // content hashes seen on this connection
+      for (int i = 0; i < requests_per_client; ++i) {
+        switch (i % 6) {
+          case 0:
+          case 3: {  // ingest
+            const auto response = client.Post(
+                "/v1/streams/" + stream + "/snapshots",
+                bodies[(c + i) % bodies.size()], "text/plain");
+            if (!response.has_value()) return;
+            if (response->status == 202) {
+              accepted.fetch_add(1);
+              left = right;
+              right = JsonField(response->body, "content_hash");
+            } else {
+              overloaded.fetch_add(1);
+            }
+            break;
+          }
+          case 5: {  // compare two previously ingested snapshots
+            if (left.empty() || right.empty()) break;
+            const auto response = client.Post(
+                "/v1/compare?left=" + left + "&right=" + right, "",
+                "text/plain");
+            if (!response.has_value()) return;
+            compares.fetch_add(1);
+            break;
+          }
+          default: {  // deviation poll
+            const auto response =
+                client.Get("/v1/streams/" + stream + "/deviation");
+            if (!response.has_value()) return;
+            reads.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  service.Flush();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  server.Stop();
+  service.Shutdown();
+
+  const net::HttpServerStats stats = server.stats();
+  const int64_t total = stats.requests_handled;
+  char line[448];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"net_throughput\",\"config\":\"%s\",\"clients\":%d,"
+      "\"requests\":%lld,\"snapshot_transactions\":%lld,\"seconds\":%.4f,"
+      "\"requests_per_sec\":%.2f,\"ingest_accepted\":%lld,"
+      "\"ingest_overloaded\":%lld,\"deviation_reads\":%lld,"
+      "\"compares\":%lld,\"snapshots_processed\":%lld}",
+      label, clients, static_cast<long long>(total),
+      static_cast<long long>(snapshot_size), elapsed.count(),
+      total / elapsed.count(), static_cast<long long>(accepted.load()),
+      static_cast<long long>(overloaded.load()),
+      static_cast<long long>(reads.load()),
+      static_cast<long long>(compares.load()),
+      static_cast<long long>(service.processed()));
+  bench::EmitBenchJson(line);
+}
+
+int Run() {
+  const int requests_per_client =
+      static_cast<int>(bench::ScaledCount(60, 300));
+  const int64_t snapshot_size = bench::ScaledCount(1000, 20000);
+  RunConfig("mixed_8_clients", /*clients=*/8, requests_per_client,
+            snapshot_size, /*unique_snapshots=*/8);
+  RunConfig("mixed_16_clients", /*clients=*/16, requests_per_client,
+            snapshot_size, /*unique_snapshots=*/8);
+  return 0;
+}
+
+}  // namespace
+}  // namespace focus
+
+int main() { return focus::Run(); }

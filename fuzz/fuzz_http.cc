@@ -1,0 +1,101 @@
+// Fuzz target for the incremental HTTP/1.1 request parser — the one
+// component that eats raw attacker bytes straight off a socket. Feeds the
+// input twice (one shot, then byte-at-a-time through keep-alive Resets)
+// and aborts on any divergence, limit breach, or malformed-but-accepted
+// request, so the fuzzer hunts both crashes and framing disagreements.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/http_parser.h"
+
+namespace {
+
+using focus::net::HttpParser;
+using focus::net::HttpParserLimits;
+using focus::net::HttpRequest;
+
+struct Outcome {
+  std::vector<std::string> requests;  // "METHOD path body" per completion
+  int error_status = 0;               // 0 = no error
+};
+
+// Checks the invariants every completed request must satisfy, whatever
+// the input bytes were.
+void CheckRequest(const HttpRequest& request, const HttpParserLimits& limits) {
+  if (request.method.empty() || request.method.size() > 32) std::abort();
+  if (request.target.empty() || request.target[0] != '/') std::abort();
+  if (request.headers.size() > limits.max_headers) std::abort();
+  if (request.body.size() > limits.max_body_bytes) std::abort();
+  for (const auto& [name, value] : request.headers) {
+    if (name.empty()) std::abort();
+    for (char c : name) {
+      // Names were validated as tokens and lower-cased.
+      if (c >= 'A' && c <= 'Z') std::abort();
+      if (c == ' ' || c == ':' || c == '\r' || c == '\n') std::abort();
+    }
+    for (char c : value) {
+      if (c == '\r' || c == '\n' || c == '\0') std::abort();
+    }
+  }
+}
+
+// Runs the parser over `bytes` delivered in `chunk` -sized pieces,
+// draining completed requests through Reset like the server does.
+Outcome Parse(std::string_view bytes, const HttpParserLimits& limits,
+              size_t chunk) {
+  Outcome outcome;
+  HttpParser parser(limits);
+  size_t offset = 0;
+  HttpParser::Status status = HttpParser::Status::kNeedMore;
+  while (true) {
+    if (status == HttpParser::Status::kNeedMore) {
+      if (offset >= bytes.size()) break;
+      const size_t take = std::min(chunk, bytes.size() - offset);
+      status = parser.Consume(bytes.substr(offset, take));
+      offset += take;
+      continue;
+    }
+    if (status == HttpParser::Status::kComplete) {
+      CheckRequest(parser.request(), limits);
+      outcome.requests.push_back(parser.request().method + " " +
+                                 parser.request().path + " " +
+                                 parser.request().body);
+      if (outcome.requests.size() > bytes.size() + 1) std::abort();  // loop
+      status = parser.Reset();
+      continue;
+    }
+    // kError is terminal, like the server closing the connection.
+    outcome.error_status = parser.error_status();
+    if (outcome.error_status < 400 || outcome.error_status > 599) {
+      std::abort();
+    }
+    if (parser.error().empty()) std::abort();
+    break;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Tight limits so the fuzzer reaches every rejection path with small
+  // inputs.
+  HttpParserLimits limits;
+  limits.max_line_bytes = 256;
+  limits.max_headers = 8;
+  limits.max_body_bytes = 512;
+
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  const Outcome one_shot = Parse(bytes, limits, bytes.size() + 1);
+  const Outcome dribble = Parse(bytes, limits, 1);
+
+  // Differential invariant: framing cannot depend on TCP segmentation.
+  if (one_shot.error_status != dribble.error_status) std::abort();
+  if (one_shot.requests != dribble.requests) std::abort();
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "net/http_client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace focus::net {
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         (text.back() == ' ' || text.back() == '\t' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+bool HttpClient::Connect(const std::string& address, uint16_t port,
+                         std::string* error) {
+  Close();
+  fd_ = ConnectTcp(address, port, error);
+  if (!fd_.valid()) return false;
+  timeval tv{};
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  return true;
+}
+
+void HttpClient::Close() {
+  fd_.Reset();
+  inbuf_.clear();
+}
+
+bool HttpClient::SendRaw(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::optional<HttpClientResponse> HttpClient::ReadResponse() {
+  // Accumulate until the header block and the declared body are complete.
+  auto read_more = [this]() -> bool {
+    char buffer[8192];
+    ssize_t n;
+    do {
+      n = ::recv(fd_.get(), buffer, sizeof(buffer), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    inbuf_.append(buffer, static_cast<size_t>(n));
+    return true;
+  };
+
+  size_t header_end;
+  while ((header_end = inbuf_.find("\r\n\r\n")) == std::string::npos) {
+    if (!read_more()) {
+      Close();
+      return std::nullopt;
+    }
+  }
+
+  HttpClientResponse response;
+  size_t content_length = 0;
+  {
+    const std::string_view head =
+        std::string_view(inbuf_).substr(0, header_end);
+    size_t line_start = 0;
+    bool first = true;
+    while (line_start <= head.size()) {
+      size_t line_end = head.find("\r\n", line_start);
+      if (line_end == std::string_view::npos) line_end = head.size();
+      const std::string_view line =
+          head.substr(line_start, line_end - line_start);
+      if (first) {
+        // "HTTP/1.1 200 OK"
+        const size_t sp = line.find(' ');
+        if (sp == std::string_view::npos) {
+          Close();
+          return std::nullopt;
+        }
+        response.status =
+            std::atoi(std::string(line.substr(sp + 1, 3)).c_str());
+        first = false;
+      } else if (!line.empty()) {
+        const size_t colon = line.find(':');
+        if (colon != std::string_view::npos) {
+          response.headers[ToLower(Trim(line.substr(0, colon)))] =
+              std::string(Trim(line.substr(colon + 1)));
+        }
+      }
+      if (line_end == head.size()) break;
+      line_start = line_end + 2;
+    }
+  }
+  const auto it = response.headers.find("content-length");
+  if (it != response.headers.end()) {
+    content_length = static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  const size_t body_start = header_end + 4;
+  while (inbuf_.size() - body_start < content_length) {
+    if (!read_more()) {
+      Close();
+      return std::nullopt;
+    }
+  }
+  response.body = inbuf_.substr(body_start, content_length);
+  inbuf_.erase(0, body_start + content_length);
+  return response;
+}
+
+std::optional<HttpClientResponse> HttpClient::Request(
+    std::string_view method, std::string_view target, std::string_view body,
+    std::string_view content_type) {
+  if (!fd_.valid()) return std::nullopt;
+  std::string request;
+  request.reserve(128 + body.size());
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request.append("Host: localhost\r\n");
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request.append("Content-Type: ").append(content_type).append("\r\n");
+    request.append("Content-Length: ")
+        .append(std::to_string(body.size()))
+        .append("\r\n");
+  }
+  request.append("\r\n").append(body);
+  if (!SendRaw(request)) return std::nullopt;
+  return ReadResponse();
+}
+
+}  // namespace focus::net

@@ -1,0 +1,62 @@
+#ifndef FOCUS_NET_HTTP_CLIENT_H_
+#define FOCUS_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/socket_util.h"
+
+namespace focus::net {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+};
+
+// Minimal blocking HTTP/1.1 client for tests and benchmarks: one
+// keep-alive connection, Content-Length framing only (which is all the
+// server emits). Not safe for concurrent use; give each thread its own.
+class HttpClient {
+ public:
+  // `timeout_ms` bounds each blocking send/recv (SO_SNDTIMEO/SO_RCVTIMEO).
+  explicit HttpClient(int timeout_ms = 10'000) : timeout_ms_(timeout_ms) {}
+
+  bool Connect(const std::string& address, uint16_t port,
+               std::string* error = nullptr);
+  void Close();
+  bool connected() const { return fd_.valid(); }
+
+  // Sends one request and blocks for the complete response. nullopt on
+  // transport failure (connection also closed then).
+  std::optional<HttpClientResponse> Request(
+      std::string_view method, std::string_view target,
+      std::string_view body = "",
+      std::string_view content_type = "application/octet-stream");
+
+  std::optional<HttpClientResponse> Get(std::string_view target) {
+    return Request("GET", target);
+  }
+  std::optional<HttpClientResponse> Post(std::string_view target,
+                                         std::string_view body,
+                                         std::string_view content_type) {
+    return Request("POST", target, body, content_type);
+  }
+
+  // Escape hatches for protocol-abuse tests: ship raw bytes, then read
+  // whatever response the server produces.
+  bool SendRaw(std::string_view bytes);
+  std::optional<HttpClientResponse> ReadResponse();
+
+ private:
+  int timeout_ms_;
+  UniqueFd fd_;
+  std::string inbuf_;  // bytes past the previous response (keep-alive)
+};
+
+}  // namespace focus::net
+
+#endif  // FOCUS_NET_HTTP_CLIENT_H_

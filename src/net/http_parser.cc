@@ -1,0 +1,255 @@
+#include "net/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace focus::net {
+namespace {
+
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), IsTokenChar);
+}
+
+std::string_view TrimOws(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+// Case-insensitive comparison for Connection tokens.
+bool TokenEquals(std::string_view value, std::string_view want) {
+  if (value.size() != want.size()) return false;
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(value[i])) != want[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpParser::HttpParser(const HttpParserLimits& limits) : limits_(limits) {}
+
+HttpParser::Status HttpParser::Consume(std::string_view bytes) {
+  if (state_ == State::kError) return Status::kError;
+  buffer_.append(bytes.data(), bytes.size());
+  return Advance();
+}
+
+HttpParser::Status HttpParser::Reset() {
+  buffer_.erase(0, cursor_);
+  cursor_ = 0;
+  content_length_ = 0;
+  request_ = HttpRequest();
+  state_ = State::kRequestLine;
+  return Advance();
+}
+
+HttpParser::Status HttpParser::Fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(reason);
+  return Status::kError;
+}
+
+bool HttpParser::NextLine(std::string_view* line) {
+  const size_t newline = buffer_.find('\n', cursor_);
+  if (newline == std::string::npos) {
+    if (buffer_.size() - cursor_ > limits_.max_line_bytes) {
+      Fail(state_ == State::kRequestLine ? 414 : 431, "line too long");
+    }
+    return false;
+  }
+  size_t end = newline;
+  if (end > cursor_ && buffer_[end - 1] == '\r') --end;  // CRLF or bare LF
+  if (end - cursor_ > limits_.max_line_bytes) {
+    Fail(state_ == State::kRequestLine ? 414 : 431, "line too long");
+    return false;
+  }
+  *line = std::string_view(buffer_).substr(cursor_, end - cursor_);
+  cursor_ = newline + 1;
+  return true;
+}
+
+bool HttpParser::ParseRequestLine(std::string_view line) {
+  const size_t first_space = line.find(' ');
+  const size_t last_space = line.rfind(' ');
+  if (first_space == std::string_view::npos || first_space == last_space) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = line.substr(0, first_space);
+  const std::string_view target =
+      line.substr(first_space + 1, last_space - first_space - 1);
+  const std::string_view version = line.substr(last_space + 1);
+  if (!IsToken(method) || method.size() > 32) {
+    Fail(400, "invalid method");
+    return false;
+  }
+  if (target.empty() || target.front() != '/' ||
+      target.find(' ') != std::string_view::npos) {
+    Fail(400, "invalid request target");
+    return false;
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else if (version.substr(0, 5) == "HTTP/") {
+    Fail(505, "unsupported HTTP version");
+    return false;
+  } else {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  const size_t question = target.find('?');
+  request_.path = PercentDecode(target.substr(0, question));
+  if (question != std::string_view::npos) {
+    request_.query = ParseQueryString(target.substr(question + 1));
+  }
+  return true;
+}
+
+bool HttpParser::ParseHeaderLine(std::string_view line) {
+  if (request_.headers.size() >= limits_.max_headers) {
+    Fail(431, "too many headers");
+    return false;
+  }
+  if (line.front() == ' ' || line.front() == '\t') {
+    Fail(400, "obsolete header folding");  // RFC 9112 §5.2: reject
+    return false;
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    Fail(400, "header line without ':'");
+    return false;
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    Fail(400, "invalid header name");
+    return false;
+  }
+  const std::string_view value = TrimOws(line.substr(colon + 1));
+  for (char c : value) {
+    if (static_cast<unsigned char>(c) < 0x20 && c != '\t') {
+      Fail(400, "control byte in header value");
+      return false;
+    }
+  }
+  request_.headers.emplace_back(ToLower(name), std::string(value));
+  return true;
+}
+
+bool HttpParser::FinishHeaders() {
+  request_.keep_alive = request_.version_minor >= 1;
+  bool have_content_length = false;
+  for (const auto& [name, value] : request_.headers) {
+    if (name == "content-length") {
+      if (value.empty() ||
+          !std::all_of(value.begin(), value.end(),
+                       [](char c) { return c >= '0' && c <= '9'; })) {
+        Fail(400, "malformed Content-Length");
+        return false;
+      }
+      // Overflow-safe accumulate against the body limit.
+      size_t parsed = 0;
+      for (char c : value) {
+        parsed = parsed * 10 + static_cast<size_t>(c - '0');
+        if (parsed > limits_.max_body_bytes) {
+          Fail(413, "Content-Length exceeds body limit");
+          return false;
+        }
+      }
+      if (have_content_length && parsed != content_length_) {
+        Fail(400, "conflicting Content-Length headers");
+        return false;
+      }
+      have_content_length = true;
+      content_length_ = parsed;
+    } else if (name == "transfer-encoding") {
+      Fail(501, "Transfer-Encoding is not supported");
+      return false;
+    } else if (name == "connection") {
+      if (TokenEquals(value, "close")) request_.keep_alive = false;
+      if (TokenEquals(value, "keep-alive")) request_.keep_alive = true;
+    }
+  }
+  return true;
+}
+
+HttpParser::Status HttpParser::Advance() {
+  for (;;) {
+    switch (state_) {
+      case State::kRequestLine: {
+        std::string_view line;
+        if (!NextLine(&line)) {
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        }
+        if (line.empty()) {
+          // Tolerate blank lines between pipelined requests (RFC 9112 §2.2)
+          // — but consume them so idle() stays accurate.
+          buffer_.erase(0, cursor_);
+          cursor_ = 0;
+          continue;
+        }
+        if (!ParseRequestLine(line)) return Status::kError;
+        state_ = State::kHeaders;
+        continue;
+      }
+      case State::kHeaders: {
+        std::string_view line;
+        if (!NextLine(&line)) {
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        }
+        if (line.empty()) {
+          if (!FinishHeaders()) return Status::kError;
+          state_ = State::kBody;
+          continue;
+        }
+        if (!ParseHeaderLine(line)) return Status::kError;
+        continue;
+      }
+      case State::kBody: {
+        if (buffer_.size() - cursor_ < content_length_) {
+          return Status::kNeedMore;
+        }
+        request_.body = buffer_.substr(cursor_, content_length_);
+        cursor_ += content_length_;
+        state_ = State::kComplete;
+        return Status::kComplete;
+      }
+      case State::kComplete:
+        return Status::kComplete;
+      case State::kError:
+        return Status::kError;
+    }
+  }
+}
+
+}  // namespace focus::net

@@ -1,0 +1,92 @@
+#ifndef FOCUS_NET_HTTP_PARSER_H_
+#define FOCUS_NET_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "net/http_types.h"
+
+namespace focus::net {
+
+// Hard limits on the wire format. A request breaching any of them is a
+// parse error with an appropriate 4xx status — never an allocation
+// proportional to attacker-controlled input beyond these bounds.
+struct HttpParserLimits {
+  size_t max_line_bytes = 8192;        // request line and each header line
+  size_t max_headers = 64;             // header count
+  size_t max_body_bytes = 8u << 20;    // Content-Length ceiling (8 MiB)
+};
+
+// Incremental HTTP/1.0-1.1 request parser for one connection. Feed network
+// bytes as they arrive; the parser consumes at most one request per
+// Consume/Reset cycle and buffers any pipelined surplus for the next
+// cycle.
+//
+//   HttpParser parser(limits);
+//   switch (parser.Consume(bytes)) {
+//     case Status::kNeedMore:  // wait for more bytes
+//     case Status::kComplete:  // parser.request() is valid;
+//                              // handle, then parser.Reset() — which may
+//                              // itself return kComplete for a pipelined
+//                              // follow-up already in the buffer
+//     case Status::kError:     // respond parser.error_status(), close
+//   }
+//
+// Supported framing is Content-Length (and no body); Transfer-Encoding is
+// rejected as 501. Bare-LF line endings are accepted (robustness — curl
+// and friends always send CRLF). Errors are terminal for the connection.
+class HttpParser {
+ public:
+  enum class Status { kNeedMore, kComplete, kError };
+
+  explicit HttpParser(const HttpParserLimits& limits = HttpParserLimits());
+
+  // Appends bytes and advances the state machine.
+  Status Consume(std::string_view bytes);
+
+  // After kComplete: discards the finished request and immediately parses
+  // any buffered pipelined bytes (so the return value is again one of the
+  // three states). Undefined after kError.
+  Status Reset();
+
+  // Valid while the last status was kComplete.
+  const HttpRequest& request() const { return request_; }
+  HttpRequest& mutable_request() { return request_; }
+
+  // Valid while the last status was kError.
+  const std::string& error() const { return error_; }
+  int error_status() const { return error_status_; }
+
+  // True when no bytes of a next request have been received — the
+  // connection is between requests and safe to close at drain/deadline.
+  bool idle() const { return state_ == State::kRequestLine && buffer_.empty(); }
+
+  const HttpParserLimits& limits() const { return limits_; }
+
+ private:
+  enum class State { kRequestLine, kHeaders, kBody, kComplete, kError };
+
+  Status Advance();
+  // Extracts the next line (without its terminator) from buffer_ starting
+  // at cursor_. Returns false when incomplete; sets kError on an over-long
+  // line.
+  bool NextLine(std::string_view* line);
+  Status Fail(int status, std::string reason);
+  bool ParseRequestLine(std::string_view line);
+  bool ParseHeaderLine(std::string_view line);
+  bool FinishHeaders();
+
+  HttpParserLimits limits_;
+  State state_ = State::kRequestLine;
+  std::string buffer_;   // unconsumed bytes
+  size_t cursor_ = 0;    // parse position within buffer_
+  size_t content_length_ = 0;
+  HttpRequest request_;
+  std::string error_;
+  int error_status_ = 400;
+};
+
+}  // namespace focus::net
+
+#endif  // FOCUS_NET_HTTP_PARSER_H_

@@ -1,0 +1,54 @@
+#ifndef FOCUS_NET_HTTP_TYPES_H_
+#define FOCUS_NET_HTTP_TYPES_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace focus::net {
+
+// One parsed HTTP/1.x request. Header names are lower-cased at parse time
+// (field names are case-insensitive per RFC 9110); values keep their bytes
+// with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;              // e.g. "GET" (kept upper-case as sent)
+  std::string target;              // raw request target, e.g. "/a/b?x=1"
+  std::string path;                // target up to '?', percent-decoded
+  std::map<std::string, std::string> query;  // decoded key -> value
+  int version_minor = 1;           // HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;          // after Connection/version defaulting
+
+  // First header with this lower-case name, or nullptr.
+  const std::string* FindHeader(std::string_view lower_name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  // Extra headers (e.g. {"retry-after","1"}); Content-Length, Connection
+  // and Content-Type are emitted by the serializer.
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+// Canonical reason phrase ("Not Found"); "Unknown" for unlisted codes.
+std::string_view StatusText(int status);
+
+// Serializes a response as HTTP/1.1 bytes with Content-Length framing and
+// an explicit Connection header.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+// Decodes %XX escapes and '+' (as space). Invalid escapes pass through
+// verbatim — the parser never rejects on decoding alone.
+std::string PercentDecode(std::string_view text);
+
+// Parses "a=1&b=two" into a decoded key/value map (last key wins).
+std::map<std::string, std::string> ParseQueryString(std::string_view text);
+
+}  // namespace focus::net
+
+#endif  // FOCUS_NET_HTTP_TYPES_H_

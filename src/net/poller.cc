@@ -1,0 +1,129 @@
+#include "net/poller.h"
+
+#include <poll.h>
+
+#include <cerrno>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace focus::net {
+
+#if defined(__linux__)
+
+namespace {
+
+uint32_t EpollMask(bool want_read, bool want_write) {
+  uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+
+}  // namespace
+
+Poller::Poller(bool force_poll) {
+  if (!force_poll) epoll_fd_.Reset(::epoll_create1(0));
+}
+
+#else
+
+Poller::Poller(bool force_poll) { (void)force_poll; }
+
+#endif
+
+Poller::~Poller() = default;
+
+bool Poller::Add(int fd, bool want_read, bool want_write) {
+  if (fd < 0 || interest_.count(fd) > 0) return false;
+#if defined(__linux__)
+  if (epoll_fd_.valid()) {
+    epoll_event ev{};
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return false;
+    }
+  }
+#endif
+  interest_[fd] = Interest{want_read, want_write};
+  return true;
+}
+
+bool Poller::Update(int fd, bool want_read, bool want_write) {
+  const auto it = interest_.find(fd);
+  if (it == interest_.end()) return false;
+#if defined(__linux__)
+  if (epoll_fd_.valid()) {
+    epoll_event ev{};
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return false;
+    }
+  }
+#endif
+  it->second = Interest{want_read, want_write};
+  return true;
+}
+
+void Poller::Remove(int fd) {
+  if (interest_.erase(fd) == 0) return;
+#if defined(__linux__)
+  if (epoll_fd_.valid()) {
+    epoll_event ev{};  // ignored for DEL, required pre-2.6.9
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, &ev);
+  }
+#endif
+}
+
+int Poller::Wait(int timeout_ms, std::vector<Event>* events) {
+  events->clear();
+#if defined(__linux__)
+  if (epoll_fd_.valid()) {
+    epoll_event ready[64];
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_.get(), ready, 64, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return -1;
+    events->reserve(n);
+    for (int i = 0; i < n; ++i) {
+      Event event;
+      event.fd = ready[i].data.fd;
+      event.readable = (ready[i].events & EPOLLIN) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      event.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return n;
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, want] : interest_) {
+    pollfd p{};
+    p.fd = fd;
+    if (want.read) p.events |= POLLIN;
+    if (want.write) p.events |= POLLOUT;
+    fds.push_back(p);
+  }
+  int n;
+  do {
+    n = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    Event event;
+    event.fd = p.fd;
+    event.readable = (p.revents & POLLIN) != 0;
+    event.writable = (p.revents & POLLOUT) != 0;
+    event.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    events->push_back(event);
+  }
+  return n;
+}
+
+}  // namespace focus::net

@@ -1,0 +1,64 @@
+#ifndef FOCUS_NET_POLLER_H_
+#define FOCUS_NET_POLLER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket_util.h"
+
+namespace focus::net {
+
+// Readiness multiplexer behind the server's event loop: epoll on Linux, a
+// portable poll(2) implementation everywhere else. Level-triggered on both
+// engines, so a descriptor that still has buffered bytes (or writable
+// space) is reported again on the next Wait — the server never needs to
+// drain a socket to EAGAIN inside one callback to stay correct.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    // Hangup or error condition; the owner should tear the fd down.
+    bool error = false;
+  };
+
+  // `force_poll` selects the poll(2) engine even where epoll is available
+  // (exercised by tests so the fallback cannot bit-rot).
+  explicit Poller(bool force_poll = false);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  // Registers `fd`; at most one registration per descriptor.
+  bool Add(int fd, bool want_read, bool want_write);
+  // Changes the interest set of a registered descriptor.
+  bool Update(int fd, bool want_read, bool want_write);
+  // Deregisters; must be called before the descriptor is closed.
+  void Remove(int fd);
+
+  // Blocks up to `timeout_ms` (-1 = forever) and appends ready events to
+  // `events` (cleared first). Returns the number of ready descriptors, 0
+  // on timeout, -1 on failure.
+  int Wait(int timeout_ms, std::vector<Event>* events);
+
+  size_t size() const { return interest_.size(); }
+  bool using_epoll() const { return epoll_fd_.valid(); }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  // fd -> interest; the source of truth for the poll(2) engine and the
+  // registration guard for both.
+  std::unordered_map<int, Interest> interest_;
+  UniqueFd epoll_fd_;  // invalid => poll(2) engine
+};
+
+}  // namespace focus::net
+
+#endif  // FOCUS_NET_POLLER_H_

@@ -1,0 +1,103 @@
+#include "net/router.h"
+
+#include <cstdio>
+
+namespace focus::net {
+namespace {
+
+// Minimal JSON string escaping for error payloads (the serve layer has a
+// full exporter; net stays dependency-free below it).
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+HttpResponse ErrorResponse(int status, std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\":\"" + EscapeJson(message) + "\"}\n";
+  return response;
+}
+
+void Router::Handle(std::string method, std::string pattern,
+                    HttpHandler handler) {
+  Route route;
+  route.method = std::move(method);
+  route.segments = SplitPath(pattern);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+std::vector<std::string> Router::SplitPath(std::string_view path) {
+  std::vector<std::string> segments;
+  size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    segments.emplace_back(path.substr(start, end - start));
+    start = end;
+  }
+  return segments;
+}
+
+bool Router::Match(const Route& route, const std::vector<std::string>& segments,
+                   PathParams* params) {
+  if (route.segments.size() != segments.size()) return false;
+  PathParams captured;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pattern = route.segments[i];
+    if (pattern.size() >= 2 && pattern.front() == '{' &&
+        pattern.back() == '}') {
+      if (segments[i].empty()) return false;
+      captured[pattern.substr(1, pattern.size() - 2)] = segments[i];
+    } else if (pattern != segments[i]) {
+      return false;
+    }
+  }
+  params->swap(captured);
+  return true;
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request) const {
+  const std::vector<std::string> segments = SplitPath(request.path);
+  std::string allowed;  // methods that matched the path but not the verb
+  for (const Route& route : routes_) {
+    PathParams params;
+    if (!Match(route, segments, &params)) continue;
+    if (route.method != request.method) {
+      if (!allowed.empty()) allowed += ", ";
+      allowed += route.method;
+      continue;
+    }
+    return route.handler(request, params);
+  }
+  if (!allowed.empty()) {
+    HttpResponse response = ErrorResponse(405, "method not allowed");
+    response.headers.emplace_back("allow", allowed);
+    return response;
+  }
+  return ErrorResponse(404, "no such endpoint");
+}
+
+}  // namespace focus::net

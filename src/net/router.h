@@ -1,0 +1,53 @@
+#ifndef FOCUS_NET_ROUTER_H_
+#define FOCUS_NET_ROUTER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/http_types.h"
+
+namespace focus::net {
+
+// Captured path parameters, e.g. {"name" -> "payments"} for the pattern
+// "/v1/streams/{name}/snapshots".
+using PathParams = std::map<std::string, std::string>;
+
+using HttpHandler =
+    std::function<HttpResponse(const HttpRequest&, const PathParams&)>;
+
+// Method + literal/parameterized path dispatch. Patterns are '/'-separated
+// segments; a segment spelled "{name}" captures one non-empty path
+// segment. Matching is exact on segment count. Unknown paths get 404;
+// known paths with the wrong method get 405 with an Allow header.
+class Router {
+ public:
+  void Handle(std::string method, std::string pattern, HttpHandler handler);
+
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  size_t num_routes() const { return routes_.size(); }
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  // "{x}" marks a capture
+    HttpHandler handler;
+  };
+
+  static std::vector<std::string> SplitPath(std::string_view path);
+  static bool Match(const Route& route,
+                    const std::vector<std::string>& segments,
+                    PathParams* params);
+
+  std::vector<Route> routes_;
+};
+
+// JSON error payload {"error":"..."} with the right content type.
+HttpResponse ErrorResponse(int status, std::string_view message);
+
+}  // namespace focus::net
+
+#endif  // FOCUS_NET_ROUTER_H_

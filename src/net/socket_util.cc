@@ -1,0 +1,103 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace focus::net {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+bool FillAddress(const std::string& address, uint16_t port,
+                 sockaddr_in* out, std::string* error) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &out->sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid IPv4 address '" + address + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+UniqueFd ListenTcp(const std::string& address, uint16_t port, int backlog,
+                   uint16_t* bound_port, std::string* error) {
+  sockaddr_in addr;
+  if (!FillAddress(address, port, &addr, error)) return UniqueFd();
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = Errno("socket");
+    return UniqueFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (error != nullptr) *error = Errno("bind " + address);
+    return UniqueFd();
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    if (error != nullptr) *error = Errno("listen");
+    return UniqueFd();
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      if (error != nullptr) *error = Errno("getsockname");
+      return UniqueFd();
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+UniqueFd ConnectTcp(const std::string& address, uint16_t port,
+                    std::string* error) {
+  sockaddr_in addr;
+  if (!FillAddress(address, port, &addr, error)) return UniqueFd();
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = Errno("socket");
+    return UniqueFd();
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (error != nullptr) *error = Errno("connect");
+    return UniqueFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace focus::net

@@ -1,0 +1,58 @@
+#ifndef FOCUS_NET_SOCKET_UTIL_H_
+#define FOCUS_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace focus::net {
+
+// RAII wrapper around a POSIX file descriptor. Move-only; closes on
+// destruction. -1 means "no descriptor".
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Marks `fd` O_NONBLOCK. Returns false (and leaves errno set) on failure.
+bool SetNonBlocking(int fd);
+
+// Creates a TCP listening socket bound to `address:port` (port 0 picks an
+// ephemeral port) with SO_REUSEADDR. On success returns the descriptor and
+// stores the actually bound port in `bound_port`; on failure returns an
+// invalid fd and fills `error` with a reason.
+UniqueFd ListenTcp(const std::string& address, uint16_t port, int backlog,
+                   uint16_t* bound_port, std::string* error);
+
+// Blocking TCP connect (used by the test/bench client, not the server).
+UniqueFd ConnectTcp(const std::string& address, uint16_t port,
+                    std::string* error);
+
+}  // namespace focus::net
+
+#endif  // FOCUS_NET_SOCKET_UTIL_H_

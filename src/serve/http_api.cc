@@ -1,0 +1,316 @@
+#include "serve/http_api.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "core/functions.h"
+#include "core/lits_deviation.h"
+#include "io/data_io.h"
+#include "serve/model_cache.h"
+
+namespace focus::serve {
+namespace {
+
+std::string HashHex(uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash);
+  return buf;
+}
+
+bool ParseHashHex(const std::string& text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+// The deviation function named by ?f=abs|scaled&g=sum|max (defaults:
+// abs, sum). False on an unrecognized name.
+bool ParseDeviationFunction(const std::map<std::string, std::string>& params,
+                            core::DeviationFunction* fn, std::string* f_name,
+                            std::string* g_name) {
+  *f_name = "abs";
+  *g_name = "sum";
+  if (const auto it = params.find("f"); it != params.end()) *f_name = it->second;
+  if (const auto it = params.find("g"); it != params.end()) *g_name = it->second;
+  if (*f_name == "abs") {
+    fn->f = core::AbsoluteDiff();
+  } else if (*f_name == "scaled") {
+    fn->f = core::ScaledDiff();
+  } else {
+    return false;
+  }
+  if (*g_name == "sum") {
+    fn->g = core::AggregateKind::kSum;
+  } else if (*g_name == "max") {
+    fn->g = core::AggregateKind::kMax;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string StatusJson(const StreamStatus& status) {
+  std::string out = "\"processed\":" + std::to_string(status.processed);
+  out += ",\"has_snapshot\":";
+  out += status.has_snapshot ? "true" : "false";
+  if (status.has_snapshot) {
+    out += ",\"seq\":" + std::to_string(status.sequence);
+    out += ",\"n\":" + std::to_string(status.num_transactions);
+    out += ",\"delta_star\":" + JsonNumber(status.delta_star);
+    out += ",\"screened_out\":";
+    out += status.screened_out ? "true" : "false";
+    if (!status.screened_out) {
+      out += ",\"delta\":" + JsonNumber(status.deviation);
+      out += ",\"sig_pct\":" + JsonNumber(status.significance_percent);
+    }
+    out += ",\"alert\":";
+    out += status.alert ? "true" : "false";
+    out += ",\"cusum\":" + JsonNumber(status.cusum);
+    out += ",\"change_point\":";
+    out += status.change_point ? "true" : "false";
+    out += ",\"baseline_ready\":";
+    out += status.baseline_ready ? "true" : "false";
+    if (status.baseline_ready) {
+      out += ",\"baseline_mean\":" + JsonNumber(status.baseline_mean);
+      out += ",\"baseline_sd\":" + JsonNumber(status.baseline_sd);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+HttpApi::HttpApi(const HttpApiOptions& options, MonitorService* service,
+                 const data::TransactionDb* reference,
+                 MetricsRegistry* metrics)
+    : options_(options),
+      service_(service),
+      reference_(reference),
+      metrics_(metrics) {}
+
+bool HttpApi::ValidStreamName(const std::string& name) const {
+  if (name.empty() || name.size() > options_.max_stream_name) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+net::Router HttpApi::BuildRouter() {
+  net::Router router;
+  router.Handle("POST", "/v1/streams/{name}/snapshots",
+                [this](const net::HttpRequest& request,
+                       const net::PathParams& params) {
+                  return HandleIngest(request, params);
+                });
+  router.Handle("GET", "/v1/streams/{name}/deviation",
+                [this](const net::HttpRequest& request,
+                       const net::PathParams& params) {
+                  return HandleDeviation(request, params);
+                });
+  router.Handle("POST", "/v1/compare",
+                [this](const net::HttpRequest& request,
+                       const net::PathParams&) {
+                  return HandleCompare(request);
+                });
+  router.Handle("GET", "/metrics",
+                [this](const net::HttpRequest& request,
+                       const net::PathParams&) {
+                  return HandleMetrics(request);
+                });
+  router.Handle("GET", "/healthz",
+                [this](const net::HttpRequest&, const net::PathParams&) {
+                  return HandleHealth();
+                });
+  return router;
+}
+
+net::HttpResponse HttpApi::HandleIngest(const net::HttpRequest& request,
+                                        const net::PathParams& params) {
+  const std::string& name = params.at("name");
+  if (!ValidStreamName(name)) {
+    return net::ErrorResponse(400, "invalid stream name");
+  }
+  if (request.body.empty()) {
+    return net::ErrorResponse(400, "empty snapshot body");
+  }
+  std::istringstream in(request.body);
+  std::string load_error;
+  const auto db = io::LoadTransactionDb(in, &load_error);
+  if (!db.has_value()) {
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("ingest_rejected").Increment();
+    }
+    return net::ErrorResponse(400, "malformed snapshot: " + load_error);
+  }
+
+  const uint64_t content_hash = TransactionDbContentHash(*db);
+
+  // Registration + sequence assignment + submission are serialized per
+  // api so lazily added streams register exactly once and sequences stay
+  // dense (a shed snapshot does not burn a sequence number).
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  if (!service_->HasStream(name)) {
+    service_->AddStream(name, *reference_);
+  }
+  Snapshot snapshot;
+  snapshot.stream = name;
+  snapshot.sequence = next_sequence_[name];
+  snapshot.source = "http";
+  snapshot.db = std::move(*db);
+  const SubmitResult result = service_->TrySubmitFor(
+      std::move(snapshot), std::chrono::milliseconds(options_.ingest_wait_ms));
+  switch (result) {
+    case SubmitResult::kOverloaded: {
+      net::HttpResponse response = net::ErrorResponse(
+          429, "ingest queue is full; retry later");
+      response.headers.emplace_back("retry-after",
+                                    std::to_string(options_.retry_after_s));
+      return response;
+    }
+    case SubmitResult::kShutdown: {
+      net::HttpResponse response =
+          net::ErrorResponse(503, "service is shutting down");
+      response.headers.emplace_back("retry-after",
+                                    std::to_string(options_.retry_after_s));
+      return response;
+    }
+    case SubmitResult::kAccepted:
+      break;
+  }
+  const int64_t sequence = next_sequence_[name]++;
+
+  net::HttpResponse response;
+  response.status = 202;
+  response.body = "{\"stream\":\"" + JsonEscape(name) + "\"";
+  response.body += ",\"sequence\":" + std::to_string(sequence);
+  response.body += ",\"content_hash\":\"" + HashHex(content_hash) + "\"}\n";
+  return response;
+}
+
+net::HttpResponse HttpApi::HandleDeviation(const net::HttpRequest& request,
+                                           const net::PathParams& params) {
+  core::DeviationFunction fn;
+  std::string f_name, g_name;
+  if (!ParseDeviationFunction(request.query, &fn, &f_name, &g_name)) {
+    return net::ErrorResponse(400, "unknown deviation function; use "
+                                   "f=abs|scaled and g=sum|max");
+  }
+  const auto result = service_->QueryDeviation(params.at("name"), fn);
+  if (!result.has_value()) {
+    return net::ErrorResponse(404, "unknown stream");
+  }
+  net::HttpResponse response;
+  response.body = "{\"stream\":\"" + JsonEscape(params.at("name")) + "\"";
+  response.body += ",\"f\":\"" + f_name + "\",\"g\":\"" + g_name + "\",";
+  response.body += StatusJson(result->status);
+  if (result->has_deviation) {
+    response.body += ",\"deviation\":" + JsonNumber(result->deviation);
+  }
+  response.body += "}\n";
+  return response;
+}
+
+net::HttpResponse HttpApi::HandleCompare(const net::HttpRequest& request) {
+  // Parameters come from the query string and/or a form-encoded body
+  // (body entries win).
+  std::map<std::string, std::string> params = request.query;
+  if (!request.body.empty()) {
+    for (auto& [key, value] : net::ParseQueryString(request.body)) {
+      params[key] = value;
+    }
+  }
+  core::DeviationFunction fn;
+  std::string f_name, g_name;
+  if (!ParseDeviationFunction(params, &fn, &f_name, &g_name)) {
+    return net::ErrorResponse(400, "unknown deviation function; use "
+                                   "f=abs|scaled and g=sum|max");
+  }
+  uint64_t left_hash = 0, right_hash = 0;
+  const auto left_it = params.find("left");
+  const auto right_it = params.find("right");
+  if (left_it == params.end() || right_it == params.end() ||
+      !ParseHashHex(left_it->second, &left_hash) ||
+      !ParseHashHex(right_it->second, &right_hash)) {
+    return net::ErrorResponse(
+        400, "compare needs left=<hex hash> and right=<hex hash> (the "
+             "content_hash values returned by snapshot ingest)");
+  }
+  ModelCache& cache = service_->model_cache();
+  const auto left = cache.LookupMined(left_hash);
+  const auto right = cache.LookupMined(right_hash);
+  if (!left.has_value() || !right.has_value()) {
+    std::string missing = !left.has_value() ? left_it->second : "";
+    if (!right.has_value()) {
+      if (!missing.empty()) missing += ", ";
+      missing += right_it->second;
+    }
+    return net::ErrorResponse(
+        404, "snapshot hash not in the model cache (evicted, still queued, "
+             "or never ingested): " + missing);
+  }
+  // Both snapshots are cache-resident: the deviation extends both models
+  // over TID bitmaps — no raw-data scan.
+  const double deviation = core::LitsDeviation(
+      *left->model, *left->index, *right->model, *right->index, fn);
+  if (metrics_ != nullptr) metrics_->GetCounter("compares").Increment();
+
+  net::HttpResponse response;
+  response.body = "{\"left\":\"" + left_it->second + "\"";
+  response.body += ",\"right\":\"" + right_it->second + "\"";
+  response.body += ",\"f\":\"" + f_name + "\",\"g\":\"" + g_name + "\"";
+  response.body += ",\"deviation\":" + JsonNumber(deviation) + "}\n";
+  return response;
+}
+
+net::HttpResponse HttpApi::HandleMetrics(const net::HttpRequest& request) {
+  if (metrics_ == nullptr) {
+    return net::ErrorResponse(404, "metrics are disabled");
+  }
+  if (server_ != nullptr) {
+    const net::HttpServerStats stats = server_->stats();
+    metrics_->GetGauge("http_open_connections")
+        .Set(static_cast<double>(stats.open_connections));
+    metrics_->GetCounter("http_requests")
+        .Increment(stats.requests_handled -
+                   metrics_->GetCounter("http_requests").Value());
+    metrics_->GetCounter("http_parse_errors")
+        .Increment(stats.parse_errors -
+                   metrics_->GetCounter("http_parse_errors").Value());
+    metrics_->GetCounter("http_connections_refused")
+        .Increment(stats.connections_refused -
+                   metrics_->GetCounter("http_connections_refused").Value());
+  }
+  net::HttpResponse response;
+  const auto format = request.query.find("format");
+  if (format != request.query.end() && format->second == "json") {
+    response.body = metrics_->ToJson() + "\n";
+    return response;
+  }
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = metrics_->ToPrometheusText();
+  return response;
+}
+
+net::HttpResponse HttpApi::HandleHealth() {
+  net::HttpResponse response;
+  response.body = draining_.load() ? "{\"status\":\"draining\"}\n"
+                                   : "{\"status\":\"ok\"}\n";
+  return response;
+}
+
+}  // namespace focus::serve

@@ -1,0 +1,89 @@
+#ifndef FOCUS_SERVE_HTTP_API_H_
+#define FOCUS_SERVE_HTTP_API_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "data/transaction_db.h"
+#include "net/http_server.h"
+#include "net/router.h"
+#include "serve/metrics.h"
+#include "serve/monitor_service.h"
+
+namespace focus::serve {
+
+struct HttpApiOptions {
+  // How long POST …/snapshots waits for backpressure to clear before
+  // answering 429. Keep small: the wait runs on the server's event loop.
+  int ingest_wait_ms = 20;
+  // Retry-After seconds advertised with 429/503 responses.
+  int retry_after_s = 1;
+  // Streams are registered lazily on first ingest; names must match
+  // [A-Za-z0-9._-]{1,128}.
+  size_t max_stream_name = 128;
+};
+
+// The network face of the serving layer: binds MonitorService, ModelCache
+// and MetricsRegistry to HTTP endpoints (focus_served, the integration
+// tests, and bench/net_throughput all boot this same object):
+//
+//   POST /v1/streams/{name}/snapshots   body: focus-txns-v1 text
+//        202 {"stream","sequence","content_hash"} | 400 | 429 | 503
+//   GET  /v1/streams/{name}/deviation?f=abs|scaled&g=sum|max
+//        200 latest status + recomputed deviation | 404
+//   POST /v1/compare?left=HASH&right=HASH&f=…&g=…   (params may also be a
+//        form-encoded body) — deviation between two previously ingested
+//        snapshots via the model cache; 404 when a hash is unknown.
+//   GET  /metrics        Prometheus text (?format=json for the registry
+//        JSON snapshot)
+//   GET  /healthz        {"status":"ok"|"draining"}
+//
+// Handlers execute on the HTTP event-loop thread; the heavy work (mining,
+// screening) stays on the MonitorService pool.
+class HttpApi {
+ public:
+  // `reference` is the calibration dataset for lazily added streams; all
+  // pointers must outlive the api (and the server routing into it).
+  HttpApi(const HttpApiOptions& options, MonitorService* service,
+          const data::TransactionDb* reference, MetricsRegistry* metrics);
+
+  // Builds the route table; hand the result to net::HttpServer.
+  net::Router BuildRouter();
+
+  // Optional: lets GET /metrics fold live server stats (open connections,
+  // parse errors, …) into the registry at scrape time.
+  void AttachServer(const net::HttpServer* server) { server_ = server; }
+
+  // Flips /healthz to "draining" (SIGTERM handling in focus_served).
+  void SetDraining(bool draining) { draining_.store(draining); }
+
+ private:
+  net::HttpResponse HandleIngest(const net::HttpRequest& request,
+                                 const net::PathParams& params);
+  net::HttpResponse HandleDeviation(const net::HttpRequest& request,
+                                    const net::PathParams& params);
+  net::HttpResponse HandleCompare(const net::HttpRequest& request);
+  net::HttpResponse HandleMetrics(const net::HttpRequest& request);
+  net::HttpResponse HandleHealth();
+
+  bool ValidStreamName(const std::string& name) const;
+
+  const HttpApiOptions options_;
+  MonitorService* const service_;
+  const data::TransactionDb* const reference_;
+  MetricsRegistry* const metrics_;
+  const net::HttpServer* server_ = nullptr;
+  std::atomic<bool> draining_{false};
+
+  // Server-side per-stream sequence numbers (the network protocol does
+  // not trust clients to sequence).
+  std::mutex streams_mutex_;
+  std::unordered_map<std::string, int64_t> next_sequence_;
+};
+
+}  // namespace focus::serve
+
+#endif  // FOCUS_SERVE_HTTP_API_H_

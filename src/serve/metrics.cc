@@ -153,6 +153,40 @@ std::string Histogram::ToJson() const {
   return out;
 }
 
+void Histogram::RenderPrometheus(const std::string& name,
+                                 std::string* out) const {
+  std::vector<int64_t> buckets;
+  int64_t count;
+  double sum;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buckets = bucket_counts_;
+    count = count_;
+    sum = sum_;
+  }
+  *out += "# TYPE " + name + " histogram\n";
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < upper_bounds_.size(); ++b) {
+    cumulative += buckets[b];
+    *out += name + "_bucket{le=\"" + JsonNumber(upper_bounds_[b]) + "\"} " +
+            std::to_string(cumulative) + "\n";
+  }
+  *out += name + "_bucket{le=\"+Inf\"} " + std::to_string(count) + "\n";
+  *out += name + "_sum " + JsonNumber(sum) + "\n";
+  *out += name + "_count " + std::to_string(count) + "\n";
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -208,6 +242,25 @@ std::string MetricsRegistry::ToJson() const {
 
 void MetricsRegistry::WriteJsonLine(std::ostream& out) const {
   out << ToJson() << '\n';
+}
+
+std::string MetricsRegistry::ToPrometheusText(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string full = prefix + PrometheusName(name) + "_total";
+    out += "# TYPE " + full + " counter\n";
+    out += full + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string full = prefix + PrometheusName(name);
+    out += "# TYPE " + full + " gauge\n";
+    out += full + " " + JsonNumber(gauge->Value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    histogram->RenderPrometheus(prefix + PrometheusName(name), &out);
+  }
+  return out;
 }
 
 }  // namespace focus::serve

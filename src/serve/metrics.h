@@ -55,6 +55,10 @@ class Histogram {
   // {"count":N,"sum":S,"min":m,"max":M,"p50":…,"p95":…,"p99":…}
   std::string ToJson() const;
 
+  // Prometheus text exposition: `name_bucket{le="…"}` cumulative series
+  // plus `name_sum` / `name_count`, appended to `out`.
+  void RenderPrometheus(const std::string& name, std::string* out) const;
+
   static std::vector<double> DefaultLatencyBucketsMs();
 
  private:
@@ -82,6 +86,12 @@ class MetricsRegistry {
   // Appends ToJson() and a newline (one JSONL record).
   void WriteJsonLine(std::ostream& out) const;
 
+  // Prometheus text exposition format (version 0.0.4): every counter,
+  // gauge, and histogram under `prefix_` + a sanitized metric name, with
+  // # TYPE comments — what GET /metrics serves and focus_monitord's
+  // --prom textfile contains.
+  std::string ToPrometheusText(const std::string& prefix = "focus_") const;
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
@@ -94,6 +104,10 @@ std::string JsonEscape(const std::string& text);
 
 // Formats a double the way the exporters do (shortest round-trippable).
 std::string JsonNumber(double value);
+
+// Maps a registry metric name onto the Prometheus charset: characters
+// outside [a-zA-Z0-9_:] become '_'.
+std::string PrometheusName(const std::string& name);
 
 }  // namespace focus::serve
 

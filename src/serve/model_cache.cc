@@ -32,22 +32,47 @@ uint64_t TransactionDbContentHash(const data::TransactionDb& db) {
   return hash;
 }
 
-ModelCache::ModelCache(size_t capacity, const lits::AprioriOptions& options)
-    : capacity_(capacity), options_(options) {
+ModelCache::ModelCache(size_t capacity, const lits::AprioriOptions& options,
+                       MetricsRegistry* metrics)
+    : capacity_(capacity),
+      options_(options),
+      hits_counter_(metrics != nullptr ? &metrics->GetCounter("cache_hits")
+                                       : nullptr),
+      misses_counter_(metrics != nullptr
+                          ? &metrics->GetCounter("cache_misses")
+                          : nullptr),
+      evictions_counter_(metrics != nullptr
+                             ? &metrics->GetCounter("cache_evictions")
+                             : nullptr) {
   FOCUS_CHECK_GE(capacity, 1u);
+}
+
+void ModelCache::CountHitLocked() {
+  ++stats_.hits;
+  if (hits_counter_ != nullptr) hits_counter_->Increment();
+}
+
+void ModelCache::CountMissLocked() {
+  ++stats_.misses;
+  if (misses_counter_ != nullptr) misses_counter_->Increment();
 }
 
 std::shared_ptr<const lits::LitsModel> ModelCache::Lookup(
     uint64_t content_hash) {
+  const auto mined = LookupMined(content_hash);
+  return mined.has_value() ? mined->model : nullptr;
+}
+
+std::optional<MinedSnapshot> ModelCache::LookupMined(uint64_t content_hash) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(content_hash);
   if (it == entries_.end()) {
-    ++stats_.misses;
-    return nullptr;
+    CountMissLocked();
+    return std::nullopt;
   }
-  ++stats_.hits;
+  CountHitLocked();
   lru_.splice(lru_.begin(), lru_, it->second.position);
-  return it->second.mined.model;
+  return it->second.mined;
 }
 
 MinedSnapshot ModelCache::GetOrMineIndexed(const data::TransactionDb& db,
@@ -57,12 +82,12 @@ MinedSnapshot ModelCache::GetOrMineIndexed(const data::TransactionDb& db,
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
-      ++stats_.hits;
+      CountHitLocked();
       lru_.splice(lru_.begin(), lru_, it->second.position);
       if (cache_hit != nullptr) *cache_hit = true;
       return it->second.mined;
     }
-    ++stats_.misses;
+    CountMissLocked();
   }
   if (cache_hit != nullptr) *cache_hit = false;
   // Build outside the lock so concurrent misses on different snapshots
@@ -97,6 +122,7 @@ void ModelCache::InsertLocked(uint64_t key, MinedSnapshot mined) {
     lru_.pop_back();
     entries_.erase(victim);
     ++stats_.evictions;
+    if (evictions_counter_ != nullptr) evictions_counter_->Increment();
   }
   lru_.push_front(key);
   entries_[key] = Entry{std::move(mined), lru_.begin()};

@@ -5,11 +5,13 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "data/transaction_db.h"
 #include "data/vertical_index.h"
 #include "itemsets/apriori.h"
+#include "serve/metrics.h"
 
 namespace focus::serve {
 
@@ -45,7 +47,12 @@ struct MinedSnapshot {
 // duplicate work is bounded by one mining pass.
 class ModelCache {
  public:
-  ModelCache(size_t capacity, const lits::AprioriOptions& options);
+  // When `metrics` is non-null (it must outlive the cache), every hit,
+  // miss, and eviction also bumps the registry counters `cache_hits` /
+  // `cache_misses` / `cache_evictions`, so cache behavior is visible on
+  // /metrics and in the monitord JSONL export without polling stats().
+  ModelCache(size_t capacity, const lits::AprioriOptions& options,
+             MetricsRegistry* metrics = nullptr);
 
   // Returns the model + vertical index of `db` under the cache's mining
   // options, building both on a miss. `cache_hit`, when given, reports
@@ -60,6 +67,12 @@ class ModelCache {
   // Cached entry for a precomputed hash, or nullptr. Promotes on hit.
   std::shared_ptr<const lits::LitsModel> Lookup(uint64_t content_hash);
 
+  // Full cached entry (model + vertical index) for a precomputed hash —
+  // what POST /v1/compare resolves ingested content hashes through so a
+  // hit never rescans raw data. Promotes on hit; nullopt on miss (the
+  // snapshot was evicted or never mined).
+  std::optional<MinedSnapshot> LookupMined(uint64_t content_hash);
+
   ModelCacheStats stats() const;
   size_t size() const;
   size_t capacity() const { return capacity_; }
@@ -67,9 +80,15 @@ class ModelCache {
 
  private:
   void InsertLocked(uint64_t key, MinedSnapshot mined);
+  void CountHitLocked();
+  void CountMissLocked();
 
   const size_t capacity_;
   const lits::AprioriOptions options_;
+  // Registry counters (stable addresses) or null; set at construction.
+  Counter* const hits_counter_;
+  Counter* const misses_counter_;
+  Counter* const evictions_counter_;
   mutable std::mutex mutex_;
   // lru_ front = most recently used.
   std::list<uint64_t> lru_;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "core/lits_deviation.h"
 
 namespace focus::serve {
 
@@ -36,7 +37,8 @@ MonitorService::MonitorService(const MonitorServiceOptions& options,
                                MetricsRegistry* metrics)
     : options_(options),
       metrics_(metrics),
-      model_cache_(options.model_cache_capacity, options.monitor.apriori),
+      model_cache_(options.model_cache_capacity, options.monitor.apriori,
+                   metrics),
       queue_(options.queue_capacity),
       pool_(std::make_unique<common::ThreadPool>(options.num_threads)) {
   dispatcher_ = std::thread([this]() { DispatchLoop(); });
@@ -97,6 +99,75 @@ bool MonitorService::Submit(Snapshot snapshot) {
     metrics_->GetCounter("snapshots_submitted").Increment();
   }
   return true;
+}
+
+SubmitResult MonitorService::TrySubmitFor(Snapshot snapshot,
+                                          std::chrono::milliseconds timeout) {
+  {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    const bool ready = idle_cv_.wait_for(lock, timeout, [this]() {
+      return shutdown_ ||
+             in_flight_ < static_cast<int64_t>(options_.queue_capacity);
+    });
+    if (shutdown_) return SubmitResult::kShutdown;
+    if (!ready) {
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("snapshots_shed").Increment();
+      }
+      return SubmitResult::kOverloaded;
+    }
+    ++in_flight_;
+  }
+  // in_flight_ < capacity guarantees queue room: items leave the queue
+  // before they stop counting as in flight, so this Push cannot block.
+  if (!queue_.Push(std::move(snapshot))) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    --in_flight_;
+    idle_cv_.notify_all();
+    return SubmitResult::kShutdown;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("queue_depth").Set(static_cast<double>(queue_.size()));
+    metrics_->GetCounter("snapshots_submitted").Increment();
+  }
+  return SubmitResult::kAccepted;
+}
+
+std::optional<StreamStatus> MonitorService::GetStreamStatus(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  const auto it = streams_.find(name);
+  if (it == streams_.end()) return std::nullopt;
+  return it->second->status;
+}
+
+std::optional<StreamDeviation> MonitorService::QueryDeviation(
+    const std::string& name, const core::DeviationFunction& fn) const {
+  StreamDeviation result;
+  MinedSnapshot last;
+  const core::LitsChangeMonitor* monitor = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const auto it = streams_.find(name);
+    if (it == streams_.end()) return std::nullopt;
+    result.status = it->second->status;
+    last = it->second->last_mined;
+    monitor = it->second->monitor.get();
+  }
+  if (!result.status.has_snapshot || last.model == nullptr ||
+      last.index == nullptr) {
+    return result;
+  }
+  // Recompute under the requested (f,g) from the CACHED model + vertical
+  // index of the latest snapshot against the monitor's reference pair —
+  // GCR extension via bitmap AND+popcount, no raw-data scan. The monitor
+  // itself is immutable after AddStream, so reading it unlocked is safe.
+  result.deviation =
+      core::LitsDeviation(monitor->reference_model(),
+                          monitor->reference_index(), *last.model,
+                          *last.index, fn);
+  result.has_deviation = true;
+  return result;
 }
 
 void MonitorService::DispatchLoop() {
@@ -175,9 +246,32 @@ StreamEvent MonitorService::Process(Stream* stream, Snapshot snapshot) {
   event.change_point = drift.change_point;
   event.latency_ms = timer.Millis();
 
+  // Publish the queryable per-stream view (GET …/deviation) under the
+  // state lock; the cached model+index pair keeps later (f,g) queries off
+  // the raw data. The stream's worker is the only writer, so the copies
+  // are coherent.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    StreamStatus& status = stream->status;
+    ++status.processed;
+    status.has_snapshot = true;
+    status.sequence = event.sequence;
+    status.num_transactions = event.num_transactions;
+    status.delta_star = event.report.upper_bound;
+    status.screened_out = event.report.screened_out;
+    status.deviation = event.report.deviation;
+    status.significance_percent = event.report.significance_percent;
+    status.alert = event.report.alert;
+    status.cusum = event.cusum;
+    status.change_point = event.change_point;
+    status.baseline_ready = stream->cusum.baseline_ready();
+    status.baseline_mean = stream->cusum.baseline_mean();
+    status.baseline_sd = stream->cusum.baseline_sd();
+    stream->last_mined = mined;
+  }
+
   if (metrics_ != nullptr) {
     metrics_->GetCounter("snapshots_processed").Increment();
-    metrics_->GetCounter(cache_hit ? "cache_hits" : "cache_misses").Increment();
     if (event.report.screened_out) {
       metrics_->GetCounter("screened_out").Increment();
     }

@@ -1,12 +1,14 @@
 #ifndef FOCUS_SERVE_MONITOR_SERVICE_H_
 #define FOCUS_SERVE_MONITOR_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -48,6 +50,40 @@ struct StreamEvent {
   std::string ToJson() const;
 };
 
+// Outcome of a bounded-latency submission attempt (network ingest).
+enum class SubmitResult {
+  kAccepted,    // queued; will be processed in stream order
+  kOverloaded,  // backpressure persisted past the deadline — retry later
+  kShutdown,    // service is stopping; the snapshot was dropped
+};
+
+// Point-in-time view of one stream, answering GET /v1/streams/{name}/…
+// without touching raw data: the latest processed snapshot's screening
+// report plus the sequential CUSUM state.
+struct StreamStatus {
+  int64_t processed = 0;        // snapshots processed for this stream
+  bool has_snapshot = false;    // false until the first one completes
+  int64_t sequence = -1;        // of the latest processed snapshot
+  int64_t num_transactions = 0;
+  double delta_star = 0.0;
+  bool screened_out = false;
+  double deviation = 0.0;       // exact delta (when not screened)
+  double significance_percent = 0.0;
+  bool alert = false;
+  double cusum = 0.0;
+  bool change_point = false;
+  bool baseline_ready = false;
+  double baseline_mean = 0.0;
+  double baseline_sd = 0.0;
+};
+
+// StreamStatus plus a deviation recomputed under a caller-chosen (f,g).
+struct StreamDeviation {
+  StreamStatus status;
+  bool has_deviation = false;  // false while status.has_snapshot is false
+  double deviation = 0.0;      // delta_(f,g)(reference, latest snapshot)
+};
+
 // Long-running monitoring service: N independent snapshot streams served
 // concurrently on a shared worker pool.
 //
@@ -85,6 +121,23 @@ class MonitorService {
   // that were never added are counted as rejected and dropped.
   bool Submit(Snapshot snapshot);
 
+  // Bounded-latency variant: waits at most `timeout` for backpressure to
+  // clear instead of blocking indefinitely. kOverloaded tells a network
+  // front end to answer 429 and shed the snapshot onto the client.
+  SubmitResult TrySubmitFor(Snapshot snapshot,
+                            std::chrono::milliseconds timeout);
+
+  // Latest per-stream state; nullopt for unknown streams. O(1), no data
+  // scan.
+  std::optional<StreamStatus> GetStreamStatus(const std::string& name) const;
+
+  // Status plus the deviation of the latest processed snapshot against
+  // the stream's reference under an arbitrary (f,g), computed over the
+  // CACHED models and vertical indexes (never the raw transactions).
+  // nullopt for unknown streams.
+  std::optional<StreamDeviation> QueryDeviation(
+      const std::string& name, const core::DeviationFunction& fn) const;
+
   // Blocks until every snapshot submitted so far has been processed.
   void Flush();
 
@@ -94,6 +147,9 @@ class MonitorService {
 
   int64_t processed() const;
   const ModelCache& model_cache() const { return model_cache_; }
+  // Mutable view for front ends that resolve content hashes themselves
+  // (POST /v1/compare); lookups promote entries in the LRU order.
+  ModelCache& model_cache() { return model_cache_; }
 
  private:
   struct Stream {
@@ -101,6 +157,10 @@ class MonitorService {
     core::DeviationCusum cusum;
     std::deque<Snapshot> pending;  // guarded by state_mutex_
     bool draining = false;         // a drain job owns this stream
+    // Published at the end of each Process under state_mutex_, so
+    // queries never race the worker that owns the stream.
+    StreamStatus status;
+    MinedSnapshot last_mined;      // model+index of the latest snapshot
 
     explicit Stream(const core::CusumOptions& cusum_options)
         : cusum(cusum_options) {}

@@ -29,6 +29,21 @@ bool SnapshotQueue::TryPush(Snapshot snapshot) {
   return true;
 }
 
+bool SnapshotQueue::TryPushFor(Snapshot snapshot,
+                               std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!not_full_.wait_for(lock, timeout, [this]() {
+        return closed_ || items_.size() < capacity_;
+      })) {
+    return false;  // still full after the full wait
+  }
+  if (closed_) return false;
+  items_.push_back(std::move(snapshot));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
 std::optional<Snapshot> SnapshotQueue::Pop() {
   std::unique_lock<std::mutex> lock(mutex_);
   not_empty_.wait(lock, [this]() { return closed_ || !items_.empty(); });

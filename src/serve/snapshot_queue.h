@@ -1,6 +1,7 @@
 #ifndef FOCUS_SERVE_SNAPSHOT_QUEUE_H_
 #define FOCUS_SERVE_SNAPSHOT_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,6 +36,13 @@ class SnapshotQueue {
 
   // Non-blocking variant: false when full or closed.
   bool TryPush(Snapshot snapshot);
+
+  // Bounded-wait variant for latency-sensitive producers (network
+  // ingest): waits up to `timeout` for room, then gives up. False — and
+  // the snapshot is dropped — when the wait expired or the queue closed;
+  // the caller distinguishes the two via closed(). A zero timeout
+  // degenerates to TryPush.
+  bool TryPushFor(Snapshot snapshot, std::chrono::milliseconds timeout);
 
   // Blocks until an item is available; nullopt once the queue is closed
   // AND drained (remaining items are still delivered after Close).

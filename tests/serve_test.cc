@@ -12,6 +12,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/functions.h"
+#include "core/lits_deviation.h"
+#include "core/monitor.h"
+#include "data/vertical_index.h"
 #include "datagen/quest_gen.h"
 #include "itemsets/apriori.h"
 #include "serve/metrics.h"
@@ -198,6 +202,74 @@ TEST(SnapshotQueueTest, CloseMidTrafficLosesNothingAccepted) {
   EXPECT_EQ(queue.size(), 0u);
 }
 
+TEST(SnapshotQueueTest, TryPushForTimesOutOnAFullQueue) {
+  SnapshotQueue queue(1);
+  Snapshot s;
+  s.db = data::TransactionDb(1);
+  ASSERT_TRUE(queue.Push(s));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.TryPushFor(s, std::chrono::milliseconds(30)));
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, std::chrono::milliseconds(25));  // it really waited
+  EXPECT_FALSE(queue.closed());  // timeout, not closure
+  EXPECT_EQ(queue.size(), 1u);
+
+  // Zero timeout degenerates to TryPush.
+  EXPECT_FALSE(queue.TryPushFor(s, std::chrono::milliseconds(0)));
+}
+
+TEST(SnapshotQueueTest, TryPushForSucceedsWhenRoomAppears) {
+  SnapshotQueue queue(1);
+  Snapshot s;
+  s.sequence = 1;
+  s.db = data::TransactionDb(1);
+  ASSERT_TRUE(queue.Push(s));
+  std::thread consumer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.Pop();
+  });
+  Snapshot t;
+  t.sequence = 2;
+  t.db = data::TransactionDb(1);
+  EXPECT_TRUE(queue.TryPushFor(std::move(t), std::chrono::seconds(5)));
+  consumer.join();
+  EXPECT_EQ(queue.Pop()->sequence, 2);
+}
+
+TEST(SnapshotQueueTest, TryPushForRacingCloseNeverHangsOrLies) {
+  // Producers spin TryPushFor while Close lands mid-traffic: every true
+  // return must correspond to a popped snapshot, every false to nothing,
+  // and nobody may hang past the bounded wait.
+  SnapshotQueue queue(2);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 40;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &accepted] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Snapshot s;
+        s.db = data::TransactionDb(1);
+        if (queue.TryPushFor(std::move(s), std::chrono::milliseconds(5))) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::atomic<int> popped{0};
+  std::thread consumer([&queue, &popped] {
+    while (queue.Pop().has_value()) popped.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  queue.Close();
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_FALSE(queue.TryPushFor(Snapshot{}, std::chrono::milliseconds(1)));
+  EXPECT_TRUE(queue.closed());
+}
+
 // ------------------------------------------------------------ model cache
 
 TEST(ModelCacheTest, ContentHashIsContentBased) {
@@ -257,6 +329,48 @@ TEST(ModelCacheTest, CachedModelMatchesDirectMining) {
   }
 }
 
+TEST(ModelCacheTest, LookupMinedResolvesOnlyCachedHashes) {
+  lits::AprioriOptions options;
+  options.min_support = 0.05;
+  ModelCache cache(2, options);
+  const data::TransactionDb db = QuestDb(1);
+  const MinedSnapshot mined = cache.GetOrMineIndexed(db);
+  const uint64_t hash = TransactionDbContentHash(db);
+
+  const auto found = cache.LookupMined(hash);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->model.get(), mined.model.get());
+  EXPECT_EQ(found->index.get(), mined.index.get());
+  EXPECT_FALSE(cache.LookupMined(hash ^ 1).has_value());
+
+  // Lookup promotes: after touching db1, inserting two more evicts db2,
+  // not db1.
+  cache.GetOrMine(QuestDb(2));
+  ASSERT_TRUE(cache.LookupMined(hash).has_value());
+  cache.GetOrMine(QuestDb(3));
+  EXPECT_TRUE(cache.LookupMined(hash).has_value());
+  EXPECT_FALSE(
+      cache.LookupMined(TransactionDbContentHash(QuestDb(2))).has_value());
+}
+
+TEST(ModelCacheTest, SurfacesCountersThroughMetricsRegistry) {
+  lits::AprioriOptions options;
+  options.min_support = 0.05;
+  MetricsRegistry registry;
+  ModelCache cache(1, options, &registry);
+  cache.GetOrMine(QuestDb(1));  // miss
+  cache.GetOrMine(QuestDb(1));  // hit
+  cache.GetOrMine(QuestDb(2));  // miss + evicts db1
+  EXPECT_EQ(registry.GetCounter("cache_hits").Value(), 1);
+  EXPECT_EQ(registry.GetCounter("cache_misses").Value(), 2);
+  EXPECT_EQ(registry.GetCounter("cache_evictions").Value(), 1);
+  // The registry mirrors the cache's own stats exactly.
+  const ModelCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.evictions, 1);
+}
+
 // --------------------------------------------------------------- metrics
 
 TEST(MetricsTest, CountersAndGauges) {
@@ -311,6 +425,59 @@ TEST(MetricsTest, JsonHelpers) {
   EXPECT_EQ(JsonNumber(0.0), "0");
   // Shortest representation must round-trip.
   EXPECT_EQ(std::stod(JsonNumber(0.1)), 0.1);
+}
+
+TEST(MetricsTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("snapshots_processed").Increment(7);
+  registry.GetGauge("queue_depth").Set(3);
+  Histogram& histogram = registry.GetHistogram("latency_ms");
+  // Defaults span 0.1ms..~100s; observe into known buckets.
+  histogram.Observe(0.05);
+  histogram.Observe(50.0);
+  const std::string text = registry.ToPrometheusText();
+
+  EXPECT_NE(text.find("# TYPE focus_snapshots_processed_total counter\n"
+                      "focus_snapshots_processed_total 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE focus_queue_depth gauge\n"
+                      "focus_queue_depth 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE focus_latency_ms histogram"),
+            std::string::npos);
+  // Cumulative buckets end at +Inf == _count, and _sum matches.
+  EXPECT_NE(text.find("focus_latency_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("focus_latency_ms_sum 50.05"), std::string::npos);
+  EXPECT_NE(text.find("focus_latency_ms_count 2"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+
+  // Bucket counts are cumulative: every le series is >= the previous one.
+  int64_t previous = -1;
+  size_t at = 0;
+  int buckets = 0;
+  while ((at = text.find("focus_latency_ms_bucket{le=", at)) !=
+         std::string::npos) {
+    const size_t space = text.find("} ", at);
+    const int64_t count = std::stoll(text.substr(space + 2));
+    EXPECT_GE(count, previous);
+    previous = count;
+    ++buckets;
+    ++at;
+  }
+  EXPECT_GT(buckets, 2);
+}
+
+TEST(MetricsTest, PrometheusNameSanitization) {
+  EXPECT_EQ(PrometheusName("inspect_latency_ms"), "inspect_latency_ms");
+  EXPECT_EQ(PrometheusName("weird-name.with spaces"),
+            "weird_name_with_spaces");
+  EXPECT_EQ(PrometheusName("9starts_with_digit"), "_9starts_with_digit");
+  MetricsRegistry registry;
+  registry.GetCounter("dotted.counter").Increment();
+  EXPECT_NE(registry.ToPrometheusText().find("focus_dotted_counter_total 1"),
+            std::string::npos);
 }
 
 // --------------------------------------------------------------- service
@@ -434,6 +601,113 @@ TEST(MonitorServiceTest, SubmitAfterShutdownIsRefused) {
   service.Shutdown();
   EXPECT_FALSE(service.Submit(MakeSnapshot("s", 0, 1)));
   service.Shutdown();  // idempotent
+}
+
+TEST(MonitorServiceTest, TrySubmitForShedsUnderSaturationThenRecovers) {
+  MonitorServiceOptions options = SmallServiceOptions();
+  options.num_threads = 1;
+  options.queue_capacity = 1;  // in-flight bound: 1
+  MetricsRegistry metrics;
+  MonitorService service(options, &metrics);
+  service.AddStream("s", QuestDb(1000));
+
+  // The event sink runs on the worker BEFORE the snapshot stops counting
+  // as in flight — blocking it holds the service at capacity
+  // deterministically.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> events{0};
+  service.SetEventSink([&](const StreamEvent&) {
+    events.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  });
+
+  ASSERT_EQ(service.TrySubmitFor(MakeSnapshot("s", 0, 7000),
+                                 std::chrono::milliseconds(200)),
+            SubmitResult::kAccepted);
+  while (events.load() == 0) {  // the worker now sits inside the sink
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(service.TrySubmitFor(MakeSnapshot("s", 1, 7001),
+                                 std::chrono::milliseconds(5)),
+            SubmitResult::kOverloaded);
+  EXPECT_EQ(metrics.GetCounter("snapshots_shed").Value(), 1);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  service.Flush();
+  EXPECT_EQ(service.processed(), 1);  // the shed snapshot was dropped clean
+
+  // After the backlog clears there is room again.
+  EXPECT_EQ(service.TrySubmitFor(MakeSnapshot("s", 1, 7002),
+                                 std::chrono::seconds(5)),
+            SubmitResult::kAccepted);
+  service.Flush();
+  EXPECT_EQ(service.processed(), 2);
+
+  service.Shutdown();
+  EXPECT_EQ(service.TrySubmitFor(MakeSnapshot("s", 99, 8001),
+                                 std::chrono::milliseconds(1)),
+            SubmitResult::kShutdown);
+}
+
+TEST(MonitorServiceTest, StatusAndQueryDeviationTrackLatestSnapshot) {
+  MonitorService service(SmallServiceOptions(), /*metrics=*/nullptr);
+  service.AddStream("s", QuestDb(1000));
+
+  EXPECT_FALSE(service.GetStreamStatus("ghost").has_value());
+  auto empty = service.GetStreamStatus("s");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->processed, 0);
+  EXPECT_FALSE(empty->has_snapshot);
+
+  // Before any snapshot, QueryDeviation reports status but no deviation.
+  core::DeviationFunction fn;
+  fn.f = core::AbsoluteDiff();
+  fn.g = core::AggregateKind::kSum;
+  auto no_data = service.QueryDeviation("s", fn);
+  ASSERT_TRUE(no_data.has_value());
+  EXPECT_FALSE(no_data->has_deviation);
+
+  ASSERT_TRUE(service.Submit(MakeSnapshot("s", 0, 42)));
+  ASSERT_TRUE(service.Submit(MakeSnapshot("s", 1, 43)));
+  service.Flush();
+
+  const auto status = service.GetStreamStatus("s");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->processed, 2);
+  EXPECT_TRUE(status->has_snapshot);
+  EXPECT_EQ(status->sequence, 1);
+  EXPECT_GT(status->num_transactions, 0);
+
+  // The query recomputes from the CACHED model+index of snapshot 43 and
+  // must agree with a direct vertical LitsDeviation over the same data.
+  const auto result = service.QueryDeviation("s", fn);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->has_deviation);
+  core::LitsChangeMonitor direct(QuestDb(1000),
+                                 SmallServiceOptions().monitor);
+  const data::TransactionDb latest = QuestDb(43);
+  const data::VerticalIndex latest_index(latest);
+  const lits::LitsModel latest_model = lits::Apriori(
+      latest, SmallServiceOptions().monitor.apriori, &latest_index);
+  EXPECT_DOUBLE_EQ(result->deviation,
+                   core::LitsDeviation(direct.reference_model(),
+                                       direct.reference_index(), latest_model,
+                                       latest_index, fn));
+
+  // Different (f,g) choices answer from the same cached state.
+  core::DeviationFunction scaled_max;
+  scaled_max.f = core::ScaledDiff();
+  scaled_max.g = core::AggregateKind::kMax;
+  const auto other = service.QueryDeviation("s", scaled_max);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_TRUE(other->has_deviation);
 }
 
 TEST(StreamEventTest, ToJsonContainsCoreFields) {

@@ -1,0 +1,205 @@
+// End-to-end test of the REAL focus_served binary (compiled path in
+// FOCUS_SERVED_PATH): boot it on an ephemeral loopback port, drive the
+// HTTP API from this process, then deliver an actual SIGTERM and verify
+// the graceful drain — accepted work finishes, the process exits 0.
+
+#include <csignal>
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/transaction_db.h"
+#include "io/data_io.h"
+#include "net/http_client.h"
+
+namespace focus {
+namespace {
+
+namespace fs = std::filesystem;
+
+data::TransactionDb SmallDb(int32_t num_items, int64_t transactions,
+                            int64_t salt = 0) {
+  data::TransactionDb db(num_items);
+  std::vector<int32_t> items;
+  for (int64_t t = 0; t < transactions; ++t) {
+    items.clear();
+    for (int32_t i = 0; i < num_items; ++i) {
+      if ((t + i + salt) % 3 != 0) items.push_back(i);
+    }
+    db.AddTransaction(items);
+  }
+  return db;
+}
+
+std::string Serialize(const data::TransactionDb& db) {
+  std::ostringstream out;
+  io::SaveTransactionDb(db, out);
+  return out.str();
+}
+
+class ServedHttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("served_http_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    reference_path_ = (root_ / "reference.txns").string();
+    port_file_ = (root_ / "port.txt").string();
+    ASSERT_TRUE(io::SaveTransactionDbToFile(SmallDb(10, 60), reference_path_));
+  }
+
+  void TearDown() override {
+    if (pid_ > 0) {  // a test failed before the clean shutdown
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+    fs::remove_all(root_);
+  }
+
+  // Spawns the daemon and waits for --port-file to announce the bound
+  // port. Returns false (failing the test) on a boot timeout.
+  bool StartDaemon() {
+    pid_ = fork();
+    if (pid_ == 0) {
+      // Child: exec the daemon on an ephemeral port, logs to files.
+      const int out = open((root_ / "stdout.txt").c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      dup2(out, STDOUT_FILENO);
+      dup2(out, STDERR_FILENO);
+      execl(FOCUS_SERVED_PATH, FOCUS_SERVED_PATH, "--reference",
+            reference_path_.c_str(), "--port", "0", "--port-file",
+            port_file_.c_str(), "--calibration", "1", "--replicates", "1",
+            "--threads", "2", "--queue", "8", static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+    for (int i = 0; i < 200; ++i) {
+      std::ifstream in(port_file_);
+      int port = 0;
+      if (in >> port && port > 0) {
+        port_ = static_cast<uint16_t>(port);
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ADD_FAILURE() << "daemon never wrote " << port_file_;
+    return false;
+  }
+
+  // SIGTERM + waitpid; returns the daemon's exit code (-1 on signal death).
+  int TerminateDaemon() {
+    kill(pid_, SIGTERM);
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  fs::path root_;
+  std::string reference_path_;
+  std::string port_file_;
+  pid_t pid_ = -1;
+  uint16_t port_ = 0;
+};
+
+TEST_F(ServedHttpTest, ServesIngestAndDrainsOnSigterm) {
+  ASSERT_TRUE(StartDaemon());
+
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port_));
+  const auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_NE(health->body.find("\"ok\""), std::string::npos);
+
+  // Ingest a few snapshots across two streams, then read state back.
+  for (int i = 0; i < 3; ++i) {
+    const auto response = client.Post(
+        "/v1/streams/alpha/snapshots", Serialize(SmallDb(10, 40, i)),
+        "text/plain");
+    ASSERT_TRUE(response.has_value());
+    ASSERT_EQ(response->status, 202) << response->body;
+  }
+  ASSERT_EQ(client
+                .Post("/v1/streams/beta/snapshots",
+                      Serialize(SmallDb(10, 40, 9)), "text/plain")
+                ->status,
+            202);
+
+  // The deviation endpoint converges once the snapshots are processed.
+  bool processed = false;
+  for (int i = 0; i < 200 && !processed; ++i) {
+    const auto deviation = client.Get("/v1/streams/alpha/deviation");
+    ASSERT_TRUE(deviation.has_value());
+    ASSERT_EQ(deviation->status, 200);
+    processed =
+        deviation->body.find("\"processed\":3") != std::string::npos;
+    if (!processed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  EXPECT_TRUE(processed);
+
+  const auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_NE(metrics->body.find("focus_snapshots_submitted_total 4"),
+            std::string::npos)
+      << metrics->body;
+
+  // Real SIGTERM: the daemon must drain and exit 0 on its own.
+  EXPECT_EQ(TerminateDaemon(), 0);
+
+  // Its stdout records the drain and the final counts.
+  std::ifstream log(root_ / "stdout.txt");
+  std::stringstream text;
+  text << log.rdbuf();
+  EXPECT_NE(text.str().find("draining"), std::string::npos) << text.str();
+  EXPECT_NE(text.str().find("4 snapshots processed"), std::string::npos)
+      << text.str();
+}
+
+TEST_F(ServedHttpTest, SigtermFinishesQueuedSnapshotsBeforeExit) {
+  ASSERT_TRUE(StartDaemon());
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port_));
+
+  // Queue several distinct (cache-missing) snapshots and SIGTERM straight
+  // away: the drain contract is that everything answered 202 is still
+  // processed before exit.
+  int accepted = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto response = client.Post(
+        "/v1/streams/burst/snapshots", Serialize(SmallDb(10, 50, 20 + i)),
+        "text/plain");
+    ASSERT_TRUE(response.has_value());
+    if (response->status == 202) ++accepted;
+  }
+  ASSERT_GT(accepted, 0);
+  EXPECT_EQ(TerminateDaemon(), 0);
+
+  std::ifstream log(root_ / "stdout.txt");
+  std::stringstream text;
+  text << log.rdbuf();
+  EXPECT_NE(text.str().find(std::to_string(accepted) +
+                            " snapshots processed"),
+            std::string::npos)
+      << text.str();
+}
+
+}  // namespace
+}  // namespace focus

@@ -11,6 +11,9 @@
 //     [--threads 4] [--queue 64] [--cache 64]
 //     [--events PATH]    (default <spool>/events.jsonl)
 //     [--metrics PATH]   (default <spool>/metrics.jsonl)
+//     [--prom PATH]      (Prometheus textfile, atomically rewritten on
+//                         every metrics tick; for node_exporter's
+//                         textfile collector)
 //     [--poll-ms 200] [--metrics-every-ms 2000]
 //     [--once 1] [--max-snapshots N] [--idle-exit-ms M]
 //
@@ -54,6 +57,22 @@ std::string StreamOfFile(const fs::path& path) {
   const std::string stem = path.stem().string();
   const size_t sep = stem.find("__");
   return sep == std::string::npos ? "default" : stem.substr(0, sep);
+}
+
+// Rewrites a Prometheus textfile atomically (write tmp, rename) so a
+// scraping textfile collector never reads a torn file.
+bool WritePromFile(const std::string& path,
+                   const serve::MetricsRegistry& metrics) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << metrics.ToPrometheusText();
+    if (!out.flush()) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
 }
 
 // Appends one JSONL line, flushing so tail -f and crash recovery see it.
@@ -116,6 +135,7 @@ int Run(const common::Flags& flags) {
 
   JsonlWriter events(flags.Get("events", spool + "/events.jsonl"));
   JsonlWriter metrics_log(flags.Get("metrics", spool + "/metrics.jsonl"));
+  const std::string prom_path = flags.Get("prom", "");
   if (!events.ok() || !metrics_log.ok()) {
     std::fprintf(stderr, "cannot open event/metrics logs for append\n");
     return 2;
@@ -194,6 +214,9 @@ int Run(const common::Flags& flags) {
 
     if (since_metrics_ms >= metrics_every_ms) {
       metrics_log.WriteLine(metrics.ToJson());
+      if (!prom_path.empty() && !WritePromFile(prom_path, metrics)) {
+        std::fprintf(stderr, "cannot write --prom %s\n", prom_path.c_str());
+      }
       since_metrics_ms = 0;
     }
 
@@ -209,6 +232,9 @@ int Run(const common::Flags& flags) {
   service.Flush();
   service.Shutdown();
   metrics_log.WriteLine(metrics.ToJson());
+  if (!prom_path.empty() && !WritePromFile(prom_path, metrics)) {
+    std::fprintf(stderr, "cannot write --prom %s\n", prom_path.c_str());
+  }
   std::printf(
       "focus_monitord: %lld snapshots accepted, %lld processed; events -> %s, "
       "metrics -> %s\n",
@@ -226,8 +252,8 @@ int main(int argc, char** argv) {
       argc, argv, 1,
       {"spool", "reference", "minsup", "factor", "replicates", "calibration",
        "warmup", "slack", "decision", "threads", "queue", "cache", "events",
-       "metrics", "poll-ms", "metrics-every-ms", "once", "max-snapshots",
-       "idle-exit-ms"});
+       "metrics", "prom", "poll-ms", "metrics-every-ms", "once",
+       "max-snapshots", "idle-exit-ms"});
   if (!flags.has_value()) return 1;
   return focus::daemon::Run(*flags);
 }

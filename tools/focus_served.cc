@@ -1,0 +1,186 @@
+// focus_served — deviation monitoring over the network.
+//
+// Boots the serve::MonitorService behind the src/net/ HTTP/1.1 server and
+// exposes the serving layer to remote producers:
+//
+//   POST /v1/streams/{name}/snapshots    ingest a focus-txns-v1 snapshot
+//        202 {"stream","sequence","content_hash"}; 429 + Retry-After when
+//        the ingest queue is saturated; 400 on malformed payloads
+//   GET  /v1/streams/{name}/deviation?f=abs|scaled&g=sum|max
+//        latest window deviation + CUSUM state
+//   POST /v1/compare?left=H&right=H&f=…&g=…
+//        deviation between two previously ingested snapshots (by content
+//        hash, via the model cache — no raw-data rescan)
+//   GET  /metrics   Prometheus text exposition (?format=json)
+//   GET  /healthz   {"status":"ok"|"draining"}
+//
+//   focus_served --reference R.txns
+//     [--address 127.0.0.1] [--port 8080] [--port-file PATH]
+//     [--minsup 0.01] [--factor 2.0] [--replicates 9] [--calibration 5]
+//     [--warmup 5] [--slack 0.5] [--decision 5.0]
+//     [--threads 4] [--queue 64] [--cache 64]
+//     [--max-connections 256] [--read-deadline-ms 10000]
+//     [--ingest-wait-ms 20] [--events PATH] [--force-poll 0]
+//
+// --port 0 binds a kernel-assigned ephemeral port; --port-file writes the
+// bound port as a single line once the server is listening (how the
+// integration tests and scripts find it).
+//
+// SIGTERM/SIGINT trigger a graceful drain: /healthz flips to "draining",
+// the listener closes, idle keep-alive connections are shut, in-flight
+// requests finish, the ingest queue is flushed, and the process exits 0.
+//
+// Exit status: 0 on success (including signal-triggered drain), 1 on
+// usage errors, 2 on I/O or bind failures.
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/flags.h"
+#include "io/data_io.h"
+#include "net/http_server.h"
+#include "serve/http_api.h"
+#include "serve/metrics.h"
+#include "serve/monitor_service.h"
+
+namespace focus::daemon {
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int sig) { g_signal = sig; }
+
+int Run(const common::Flags& flags) {
+  const std::string reference_path = flags.Get("reference", "");
+  if (reference_path.empty()) {
+    std::fprintf(stderr, "focus_served requires --reference\n");
+    return 1;
+  }
+  const auto reference = io::LoadTransactionDbFromFile(reference_path);
+  if (!reference.has_value()) {
+    std::fprintf(stderr, "cannot read --reference %s\n",
+                 reference_path.c_str());
+    return 2;
+  }
+
+  serve::MonitorServiceOptions options;
+  options.monitor.apriori.min_support = flags.GetDouble("minsup", 0.01);
+  options.monitor.alert_factor = flags.GetDouble("factor", 2.0);
+  options.monitor.calibration_replicates =
+      static_cast<int>(flags.GetInt("calibration", 5));
+  options.monitor.significance.num_replicates =
+      static_cast<int>(flags.GetInt("replicates", 9));
+  options.cusum.warmup = static_cast<int>(flags.GetInt("warmup", 5));
+  options.cusum.slack = flags.GetDouble("slack", 0.5);
+  options.cusum.decision_threshold = flags.GetDouble("decision", 5.0);
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 4));
+  options.queue_capacity = static_cast<size_t>(flags.GetInt("queue", 64));
+  options.model_cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache", 64));
+
+  serve::MetricsRegistry metrics;
+  serve::MonitorService service(options, &metrics);
+
+  const std::string events_path = flags.Get("events", "");
+  std::ofstream events;
+  if (!events_path.empty()) {
+    events.open(events_path, std::ios::app);
+    if (!events) {
+      std::fprintf(stderr, "cannot open --events %s for append\n",
+                   events_path.c_str());
+      return 2;
+    }
+    service.SetEventSink([&events](const serve::StreamEvent& event) {
+      events << event.ToJson() << '\n';
+      events.flush();
+    });
+  }
+
+  serve::HttpApiOptions api_options;
+  api_options.ingest_wait_ms =
+      static_cast<int>(flags.GetInt("ingest-wait-ms", 20));
+  serve::HttpApi api(api_options, &service, &*reference, &metrics);
+
+  net::HttpServerOptions server_options;
+  server_options.bind_address = flags.Get("address", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(flags.GetInt("port", 8080));
+  server_options.max_connections =
+      static_cast<int>(flags.GetInt("max-connections", 256));
+  server_options.read_deadline_ms =
+      static_cast<int>(flags.GetInt("read-deadline-ms", 10'000));
+  server_options.force_poll = flags.GetInt("force-poll", 0) != 0;
+
+  net::HttpServer server(server_options, api.BuildRouter());
+  api.AttachServer(&server);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "cannot start server on %s:%d: %s\n",
+                 server_options.bind_address.c_str(),
+                 static_cast<int>(server_options.port), error.c_str());
+    return 2;
+  }
+
+  const std::string port_file = flags.Get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "cannot write --port-file %s\n", port_file.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+
+  std::printf("focus_served: listening on %s:%u, reference=%s (%lld txns)\n",
+              server_options.bind_address.c_str(),
+              static_cast<unsigned>(server.port()), reference_path.c_str(),
+              static_cast<long long>(reference->num_transactions()));
+  std::fflush(stdout);
+
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Graceful drain: stop accepting, let in-flight requests finish, flush
+  // everything already accepted into the queue, then tear down.
+  std::printf("focus_served: signal %d, draining…\n",
+              static_cast<int>(g_signal));
+  std::fflush(stdout);
+  api.SetDraining(true);
+  server.BeginDrain();
+  server.WaitDrained(server_options.read_deadline_ms);
+  server.Stop();
+  service.Flush();
+  service.Shutdown();
+
+  const net::HttpServerStats stats = server.stats();
+  std::printf(
+      "focus_served: drained; %lld requests over %lld connections, "
+      "%lld snapshots processed\n",
+      static_cast<long long>(stats.requests_handled),
+      static_cast<long long>(stats.connections_accepted),
+      static_cast<long long>(service.processed()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace focus::daemon
+
+int main(int argc, char** argv) {
+  const auto flags = focus::common::Flags::Parse(
+      argc, argv, 1,
+      {"reference", "address", "port", "port-file", "minsup", "factor",
+       "replicates", "calibration", "warmup", "slack", "decision", "threads",
+       "queue", "cache", "max-connections", "read-deadline-ms",
+       "ingest-wait-ms", "events", "force-poll"});
+  if (!flags.has_value()) return 1;
+  return focus::daemon::Run(*flags);
+}
