@@ -10,6 +10,7 @@
 #include "bench_common.h"
 #include "common/timer.h"
 #include "core/sampling_study.h"
+#include "stats/rng.h"
 
 namespace focus::bench {
 namespace {
@@ -18,7 +19,7 @@ data::Dataset CityBlobs(int64_t n, uint64_t seed) {
   const data::Schema schema(
       {data::Schema::Numeric("x", 0.0, 20.0), data::Schema::Numeric("y", 0.0, 20.0)},
       0);
-  std::mt19937_64 rng(seed);
+  std::mt19937_64 rng = stats::MakeRng(seed);
   std::normal_distribution<double> noise(0.0, 0.9);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   const double centers[][2] = {{4, 4}, {10, 12}, {16, 5}, {7, 16}};

@@ -21,7 +21,7 @@ focus::data::Schema CitySchema() {
 // Customers concentrated around shopping centers; `new_mall` moves 30% of
 // the traffic from the center at (5,5) to a new site at (15,12).
 focus::data::Dataset Period(uint64_t seed, bool new_mall, int n) {
-  std::mt19937_64 rng(seed);
+  std::mt19937_64 rng = focus::stats::MakeRng(seed);
   std::normal_distribution<double> noise(0.0, 0.8);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   focus::data::Dataset dataset(CitySchema());

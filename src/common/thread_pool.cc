@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace focus::common {
 
@@ -17,27 +18,28 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::Worker() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      cv_.Wait(mutex_,
+               [this]() REQUIRES(mutex_) { return stop_ || !queue_.empty(); });
       // Drain the queue even when stopping: queued work finishes before
       // the destructor returns.
       if (queue_.empty()) return;  // only reachable when stop_ is set
@@ -57,9 +59,9 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int num_shards,
   struct State {
     std::atomic<int> next_shard{0};
     std::atomic<int> shards_done{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr error;  // first failure, guarded by mutex
+    Mutex mutex;
+    CondVar done_cv;
+    std::exception_ptr error GUARDED_BY(mutex);  // first failure
   };
   auto state = std::make_shared<State>();
 
@@ -74,12 +76,12 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int num_shards,
       try {
         body(shard, lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(&state->mutex);
         if (!state->error) state->error = std::current_exception();
       }
       if (state->shards_done.fetch_add(1) + 1 == num_shards) {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        state->done_cv.notify_all();
+        MutexLock lock(&state->mutex);
+        state->done_cv.NotifyAll();
       }
     }
   };
@@ -89,9 +91,10 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int num_shards,
   for (int i = 0; i < helpers; ++i) Enqueue(run_shards);
   run_shards();
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done_cv.wait(
-      lock, [&]() { return state->shards_done.load() >= num_shards; });
+  MutexLock lock(&state->mutex);
+  state->done_cv.Wait(state->mutex, [&]() {
+    return state->shards_done.load() >= num_shards;
+  });
   if (state->error) std::rethrow_exception(state->error);
 }
 

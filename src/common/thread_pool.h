@@ -1,16 +1,17 @@
 #ifndef FOCUS_COMMON_THREAD_POOL_H_
 #define FOCUS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace focus::common {
 
@@ -68,13 +69,13 @@ class ThreadPool {
   }
 
  private:
-  void Enqueue(std::function<void()> task);
-  void Worker();
+  void Enqueue(std::function<void()> task) EXCLUDES(mutex_);
+  void Worker() EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -29,6 +29,7 @@
 #include "itemsets/support_counter.h"  // IWYU pragma: export
 #include "stats/bootstrap.h"           // IWYU pragma: export
 #include "stats/descriptive.h"         // IWYU pragma: export
+#include "stats/rng.h"                 // IWYU pragma: export
 #include "stats/distributions.h"       // IWYU pragma: export
 #include "stats/wilcoxon.h"            // IWYU pragma: export
 #include "tree/cart_builder.h"         // IWYU pragma: export

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace focus::net {
 namespace {
@@ -62,9 +63,10 @@ void HttpServer::BeginDrain() {
 }
 
 bool HttpServer::WaitDrained(int timeout_ms) {
-  std::unique_lock<std::mutex> lock(drained_mutex_);
-  return drained_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                              [this]() { return open_.load() == 0; });
+  common::MutexLock lock(&drained_mutex_);
+  return drained_cv_.WaitFor(drained_mutex_,
+                             std::chrono::milliseconds(timeout_ms),
+                             [this]() { return open_.load() == 0; });
 }
 
 void HttpServer::Stop() {
@@ -137,8 +139,8 @@ void HttpServer::Loop() {
       }
       for (Connection* conn : idle) CloseConnection(conn);
       if (connections_.empty()) {
-        std::lock_guard<std::mutex> lock(drained_mutex_);
-        drained_cv_.notify_all();
+        common::MutexLock lock(&drained_mutex_);
+        drained_cv_.NotifyAll();
       }
     }
   }

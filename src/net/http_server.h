@@ -3,14 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/http_parser.h"
 #include "net/poller.h"
 #include "net/router.h"
@@ -77,7 +77,7 @@ class HttpServer {
 
   // Blocks until every connection is gone or `timeout_ms` elapsed.
   // Returns true when fully drained. Call BeginDrain() first.
-  bool WaitDrained(int timeout_ms);
+  bool WaitDrained(int timeout_ms) EXCLUDES(drained_mutex_);
 
   // BeginDrain + close everything + join the loop thread. Idempotent.
   void Stop();
@@ -131,8 +131,10 @@ class HttpServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
 
-  mutable std::mutex drained_mutex_;
-  std::condition_variable drained_cv_;
+  // drained_cv_ broadcasts under drained_mutex_ when open_ reaches zero;
+  // the predicate itself reads the atomic open_ counter.
+  mutable common::Mutex drained_mutex_;
+  common::CondVar drained_cv_;
 
   // Stats counters (relaxed atomics; read via stats()).
   std::atomic<int64_t> accepted_{0}, refused_{0}, requests_{0},

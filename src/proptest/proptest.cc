@@ -1,7 +1,9 @@
 #include "proptest/proptest.h"
 
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace focus::proptest {
 
@@ -24,7 +26,7 @@ Config Config::FromEnv(int default_cases) {
 namespace internal {
 namespace {
 
-std::mutex registry_mutex;
+common::Mutex registry_mutex;
 std::vector<std::string>& RegistryNames() {
   static std::vector<std::string>* names = new std::vector<std::string>();
   return *names;
@@ -34,7 +36,7 @@ std::vector<std::string>& RegistryNames() {
 
 void RegisterProperty(const std::string& name, uint64_t master_seed,
                       int num_cases) {
-  std::lock_guard<std::mutex> lock(registry_mutex);
+  common::MutexLock lock(&registry_mutex);
   std::vector<std::string>& names = RegistryNames();
   for (const std::string& existing : names) {
     if (existing == name) return;
@@ -50,7 +52,7 @@ void RegisterProperty(const std::string& name, uint64_t master_seed,
 }
 
 std::vector<std::string> RegisteredProperties() {
-  std::lock_guard<std::mutex> lock(registry_mutex);
+  common::MutexLock lock(&registry_mutex);
   return RegistryNames();
 }
 

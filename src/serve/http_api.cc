@@ -163,7 +163,7 @@ net::HttpResponse HttpApi::HandleIngest(const net::HttpRequest& request,
   // Registration + sequence assignment + submission are serialized per
   // api so lazily added streams register exactly once and sequences stay
   // dense (a shed snapshot does not burn a sequence number).
-  std::lock_guard<std::mutex> lock(streams_mutex_);
+  common::MutexLock lock(&streams_mutex_);
   if (!service_->HasStream(name)) {
     service_->AddStream(name, *reference_);
   }

@@ -3,10 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "data/transaction_db.h"
 #include "net/http_server.h"
 #include "net/router.h"
@@ -62,7 +63,8 @@ class HttpApi {
 
  private:
   net::HttpResponse HandleIngest(const net::HttpRequest& request,
-                                 const net::PathParams& params);
+                                 const net::PathParams& params)
+      EXCLUDES(streams_mutex_);
   net::HttpResponse HandleDeviation(const net::HttpRequest& request,
                                     const net::PathParams& params);
   net::HttpResponse HandleCompare(const net::HttpRequest& request);
@@ -80,8 +82,9 @@ class HttpApi {
 
   // Server-side per-stream sequence numbers (the network protocol does
   // not trust clients to sequence).
-  std::mutex streams_mutex_;
-  std::unordered_map<std::string, int64_t> next_sequence_;
+  common::Mutex streams_mutex_;
+  std::unordered_map<std::string, int64_t> next_sequence_
+      GUARDED_BY(streams_mutex_);
 };
 
 }  // namespace focus::serve

@@ -8,8 +8,11 @@
 #include <ostream>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace focus::serve {
+
+using common::MutexLock;
 
 std::string JsonEscape(const std::string& text) {
   std::string out;
@@ -64,7 +67,7 @@ void Histogram::Observe(double value) {
   const size_t bucket =
       std::upper_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
       upper_bounds_.begin();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ++bucket_counts_[bucket];
   sum_ += value;
   if (count_ == 0) {
@@ -77,27 +80,31 @@ void Histogram::Observe(double value) {
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return sum_;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return min_;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return max_;
 }
 
 double Histogram::Quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
+  return QuantileLocked(q);
+}
+
+double Histogram::QuantileLocked(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
@@ -121,34 +128,15 @@ double Histogram::Quantile(double q) const {
 }
 
 std::string Histogram::ToJson() const {
-  // Quantile/count take the lock themselves; snapshot once for coherence.
-  std::vector<int64_t> buckets;
-  int64_t count;
-  double sum, mn, mx;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    buckets = bucket_counts_;
-    count = count_;
-    sum = sum_;
-    mn = min_;
-    mx = max_;
-  }
-  Histogram snapshot(upper_bounds_);
-  {
-    std::lock_guard<std::mutex> lock(snapshot.mutex_);
-    snapshot.bucket_counts_ = std::move(buckets);
-    snapshot.count_ = count;
-    snapshot.sum_ = sum;
-    snapshot.min_ = mn;
-    snapshot.max_ = mx;
-  }
-  std::string out = "{\"count\":" + std::to_string(count);
-  out += ",\"sum\":" + JsonNumber(sum);
-  out += ",\"min\":" + JsonNumber(mn);
-  out += ",\"max\":" + JsonNumber(mx);
-  out += ",\"p50\":" + JsonNumber(snapshot.Quantile(0.50));
-  out += ",\"p95\":" + JsonNumber(snapshot.Quantile(0.95));
-  out += ",\"p99\":" + JsonNumber(snapshot.Quantile(0.99));
+  // One lock for the whole render keeps counts and quantiles coherent.
+  MutexLock lock(&mutex_);
+  std::string out = "{\"count\":" + std::to_string(count_);
+  out += ",\"sum\":" + JsonNumber(sum_);
+  out += ",\"min\":" + JsonNumber(min_);
+  out += ",\"max\":" + JsonNumber(max_);
+  out += ",\"p50\":" + JsonNumber(QuantileLocked(0.50));
+  out += ",\"p95\":" + JsonNumber(QuantileLocked(0.95));
+  out += ",\"p99\":" + JsonNumber(QuantileLocked(0.99));
   out += "}";
   return out;
 }
@@ -159,7 +147,7 @@ void Histogram::RenderPrometheus(const std::string& name,
   int64_t count;
   double sum;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     buckets = bucket_counts_;
     count = count_;
     sum = sum_;
@@ -188,21 +176,21 @@ std::string PrometheusName(const std::string& name) {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
@@ -213,7 +201,7 @@ std::string MetricsRegistry::ToJson() const {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string out = "{\"unix_ms\":" + std::to_string(unix_ms);
   out += ",\"counters\":{";
   bool first = true;
@@ -245,7 +233,7 @@ void MetricsRegistry::WriteJsonLine(std::ostream& out) const {
 }
 
 std::string MetricsRegistry::ToPrometheusText(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     const std::string full = prefix + PrometheusName(name) + "_total";

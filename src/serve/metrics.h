@@ -6,9 +6,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace focus::serve {
 
@@ -44,44 +46,50 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds = DefaultLatencyBucketsMs());
 
-  void Observe(double value);
+  void Observe(double value) EXCLUDES(mutex_);
 
-  int64_t count() const;
-  double sum() const;
-  double min() const;  // 0 when empty
-  double max() const;  // 0 when empty
-  double Quantile(double q) const;
+  int64_t count() const EXCLUDES(mutex_);
+  double sum() const EXCLUDES(mutex_);
+  double min() const EXCLUDES(mutex_);  // 0 when empty
+  double max() const EXCLUDES(mutex_);  // 0 when empty
+  double Quantile(double q) const EXCLUDES(mutex_);
 
   // {"count":N,"sum":S,"min":m,"max":M,"p50":…,"p95":…,"p99":…}
-  std::string ToJson() const;
+  std::string ToJson() const EXCLUDES(mutex_);
 
   // Prometheus text exposition: `name_bucket{le="…"}` cumulative series
   // plus `name_sum` / `name_count`, appended to `out`.
-  void RenderPrometheus(const std::string& name, std::string* out) const;
+  void RenderPrometheus(const std::string& name, std::string* out) const
+      EXCLUDES(mutex_);
 
   static std::vector<double> DefaultLatencyBucketsMs();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> upper_bounds_;   // strictly increasing; implicit +inf last
-  std::vector<int64_t> bucket_counts_; // size upper_bounds_.size() + 1
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double QuantileLocked(double q) const REQUIRES(mutex_);
+
+  mutable common::Mutex mutex_;
+  // Strictly increasing; implicit +inf last. Immutable after construction
+  // (read without the lock).
+  std::vector<double> upper_bounds_;
+  // size upper_bounds_.size() + 1
+  std::vector<int64_t> bucket_counts_ GUARDED_BY(mutex_);
+  int64_t count_ GUARDED_BY(mutex_) = 0;
+  double sum_ GUARDED_BY(mutex_) = 0.0;
+  double min_ GUARDED_BY(mutex_) = 0.0;
+  double max_ GUARDED_BY(mutex_) = 0.0;
 };
 
 // Named metrics with stable addresses: Get* creates on first use and
 // always returns the same object, so hot paths can cache the pointer.
 class MetricsRegistry {
  public:
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
-  Histogram& GetHistogram(const std::string& name);
+  Counter& GetCounter(const std::string& name) EXCLUDES(mutex_);
+  Gauge& GetGauge(const std::string& name) EXCLUDES(mutex_);
+  Histogram& GetHistogram(const std::string& name) EXCLUDES(mutex_);
 
   // One JSON object capturing the current values of every metric:
   //   {"unix_ms":…,"counters":{…},"gauges":{…},"histograms":{…}}
-  std::string ToJson() const;
+  std::string ToJson() const EXCLUDES(mutex_);
 
   // Appends ToJson() and a newline (one JSONL record).
   void WriteJsonLine(std::ostream& out) const;
@@ -90,13 +98,16 @@ class MetricsRegistry {
   // gauge, and histogram under `prefix_` + a sanitized metric name, with
   // # TYPE comments — what GET /metrics serves and focus_monitord's
   // --prom textfile contains.
-  std::string ToPrometheusText(const std::string& prefix = "focus_") const;
+  std::string ToPrometheusText(const std::string& prefix = "focus_") const
+      EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 // Minimal JSON string escaping (quotes, backslashes, control chars).

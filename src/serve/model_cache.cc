@@ -1,6 +1,7 @@
 #include "serve/model_cache.h"
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace focus::serve {
 namespace {
@@ -64,7 +65,7 @@ std::shared_ptr<const lits::LitsModel> ModelCache::Lookup(
 }
 
 std::optional<MinedSnapshot> ModelCache::LookupMined(uint64_t content_hash) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   const auto it = entries_.find(content_hash);
   if (it == entries_.end()) {
     CountMissLocked();
@@ -79,7 +80,7 @@ MinedSnapshot ModelCache::GetOrMineIndexed(const data::TransactionDb& db,
                                            bool* cache_hit) {
   const uint64_t key = TransactionDbContentHash(db);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       CountHitLocked();
@@ -98,7 +99,7 @@ MinedSnapshot ModelCache::GetOrMineIndexed(const data::TransactionDb& db,
   mined.model = std::make_shared<const lits::LitsModel>(
       lits::Apriori(db, options_, index.get()));
   mined.index = std::move(index);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   InsertLocked(key, mined);
   return mined;
 }
@@ -129,12 +130,12 @@ void ModelCache::InsertLocked(uint64_t key, MinedSnapshot mined) {
 }
 
 ModelCacheStats ModelCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return stats_;
 }
 
 size_t ModelCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return entries_.size();
 }
 

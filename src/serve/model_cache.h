@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "data/transaction_db.h"
 #include "data/vertical_index.h"
 #include "itemsets/apriori.h"
@@ -58,30 +59,33 @@ class ModelCache {
   // options, building both on a miss. `cache_hit`, when given, reports
   // whether the build was skipped.
   MinedSnapshot GetOrMineIndexed(const data::TransactionDb& db,
-                                 bool* cache_hit = nullptr);
+                                 bool* cache_hit = nullptr) EXCLUDES(mutex_);
 
   // Model-only convenience wrapper around GetOrMineIndexed.
   std::shared_ptr<const lits::LitsModel> GetOrMine(
-      const data::TransactionDb& db, bool* cache_hit = nullptr);
+      const data::TransactionDb& db, bool* cache_hit = nullptr)
+      EXCLUDES(mutex_);
 
   // Cached entry for a precomputed hash, or nullptr. Promotes on hit.
-  std::shared_ptr<const lits::LitsModel> Lookup(uint64_t content_hash);
+  std::shared_ptr<const lits::LitsModel> Lookup(uint64_t content_hash)
+      EXCLUDES(mutex_);
 
   // Full cached entry (model + vertical index) for a precomputed hash —
   // what POST /v1/compare resolves ingested content hashes through so a
   // hit never rescans raw data. Promotes on hit; nullopt on miss (the
   // snapshot was evicted or never mined).
-  std::optional<MinedSnapshot> LookupMined(uint64_t content_hash);
+  std::optional<MinedSnapshot> LookupMined(uint64_t content_hash)
+      EXCLUDES(mutex_);
 
-  ModelCacheStats stats() const;
-  size_t size() const;
+  ModelCacheStats stats() const EXCLUDES(mutex_);
+  size_t size() const EXCLUDES(mutex_);
   size_t capacity() const { return capacity_; }
   const lits::AprioriOptions& options() const { return options_; }
 
  private:
-  void InsertLocked(uint64_t key, MinedSnapshot mined);
-  void CountHitLocked();
-  void CountMissLocked();
+  void InsertLocked(uint64_t key, MinedSnapshot mined) REQUIRES(mutex_);
+  void CountHitLocked() REQUIRES(mutex_);
+  void CountMissLocked() REQUIRES(mutex_);
 
   const size_t capacity_;
   const lits::AprioriOptions options_;
@@ -89,15 +93,15 @@ class ModelCache {
   Counter* const hits_counter_;
   Counter* const misses_counter_;
   Counter* const evictions_counter_;
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   // lru_ front = most recently used.
-  std::list<uint64_t> lru_;
+  std::list<uint64_t> lru_ GUARDED_BY(mutex_);
   struct Entry {
     MinedSnapshot mined;
     std::list<uint64_t>::iterator position;
   };
-  std::unordered_map<uint64_t, Entry> entries_;
-  ModelCacheStats stats_;
+  std::unordered_map<uint64_t, Entry> entries_ GUARDED_BY(mutex_);
+  ModelCacheStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace focus::serve

@@ -3,10 +3,13 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/timer.h"
 #include "core/lits_deviation.h"
 
 namespace focus::serve {
+
+using common::MutexLock;
 
 std::string StreamEvent::ToJson() const {
   std::string out = "{\"type\":\"event\"";
@@ -54,7 +57,7 @@ void MonitorService::AddStream(const std::string& name,
   stream->monitor =
       std::make_unique<core::LitsChangeMonitor>(reference, options_.monitor);
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     FOCUS_CHECK(streams_.find(name) == streams_.end())
         << "stream '" << name << "' registered twice";
     streams_[name] = std::move(stream);
@@ -65,13 +68,13 @@ void MonitorService::AddStream(const std::string& name,
 }
 
 bool MonitorService::HasStream(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   return streams_.count(name) > 0;
 }
 
 void MonitorService::SetEventSink(
     std::function<void(const StreamEvent&)> sink) {
-  std::lock_guard<std::mutex> lock(sink_mutex_);
+  MutexLock lock(&sink_mutex_);
   sink_ = std::move(sink);
 }
 
@@ -80,8 +83,8 @@ bool MonitorService::Submit(Snapshot snapshot) {
     // Bound the total number of snapshots in flight (queued + pending +
     // processing) by the queue capacity: this is the backpressure the
     // producer feels.
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    idle_cv_.wait(lock, [this]() {
+    MutexLock lock(&state_mutex_);
+    idle_cv_.Wait(state_mutex_, [this]() REQUIRES(state_mutex_) {
       return shutdown_ ||
              in_flight_ < static_cast<int64_t>(options_.queue_capacity);
     });
@@ -89,9 +92,9 @@ bool MonitorService::Submit(Snapshot snapshot) {
     ++in_flight_;
   }
   if (!queue_.Push(std::move(snapshot))) {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     --in_flight_;
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
     return false;
   }
   if (metrics_ != nullptr) {
@@ -104,11 +107,14 @@ bool MonitorService::Submit(Snapshot snapshot) {
 SubmitResult MonitorService::TrySubmitFor(Snapshot snapshot,
                                           std::chrono::milliseconds timeout) {
   {
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    const bool ready = idle_cv_.wait_for(lock, timeout, [this]() {
-      return shutdown_ ||
-             in_flight_ < static_cast<int64_t>(options_.queue_capacity);
-    });
+    MutexLock lock(&state_mutex_);
+    const bool ready =
+        idle_cv_.WaitFor(state_mutex_, timeout,
+                         [this]() REQUIRES(state_mutex_) {
+                           return shutdown_ ||
+                                  in_flight_ < static_cast<int64_t>(
+                                                   options_.queue_capacity);
+                         });
     if (shutdown_) return SubmitResult::kShutdown;
     if (!ready) {
       if (metrics_ != nullptr) {
@@ -121,9 +127,9 @@ SubmitResult MonitorService::TrySubmitFor(Snapshot snapshot,
   // in_flight_ < capacity guarantees queue room: items leave the queue
   // before they stop counting as in flight, so this Push cannot block.
   if (!queue_.Push(std::move(snapshot))) {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     --in_flight_;
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
     return SubmitResult::kShutdown;
   }
   if (metrics_ != nullptr) {
@@ -135,7 +141,7 @@ SubmitResult MonitorService::TrySubmitFor(Snapshot snapshot,
 
 std::optional<StreamStatus> MonitorService::GetStreamStatus(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   const auto it = streams_.find(name);
   if (it == streams_.end()) return std::nullopt;
   return it->second->status;
@@ -147,7 +153,7 @@ std::optional<StreamDeviation> MonitorService::QueryDeviation(
   MinedSnapshot last;
   const core::LitsChangeMonitor* monitor = nullptr;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     const auto it = streams_.find(name);
     if (it == streams_.end()) return std::nullopt;
     result.status = it->second->status;
@@ -179,11 +185,11 @@ void MonitorService::DispatchLoop() {
 void MonitorService::Route(Snapshot snapshot) {
   Stream* stream = nullptr;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     const auto it = streams_.find(snapshot.stream);
     if (it == streams_.end()) {
       --in_flight_;
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
       if (metrics_ != nullptr) {
         metrics_->GetCounter("snapshots_rejected").Increment();
       }
@@ -199,21 +205,26 @@ void MonitorService::Route(Snapshot snapshot) {
   pool_->Submit([this, stream]() { DrainStream(stream); });
 }
 
+bool MonitorService::TakeNextPendingLocked(Stream* stream, Snapshot* out) {
+  if (stream->pending.empty()) {
+    stream->draining = false;
+    return false;
+  }
+  *out = std::move(stream->pending.front());
+  stream->pending.pop_front();
+  return true;
+}
+
 void MonitorService::DrainStream(Stream* stream) {
   for (;;) {
     Snapshot snapshot;
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      if (stream->pending.empty()) {
-        stream->draining = false;
-        return;
-      }
-      snapshot = std::move(stream->pending.front());
-      stream->pending.pop_front();
+      MutexLock lock(&state_mutex_);
+      if (!TakeNextPendingLocked(stream, &snapshot)) return;
     }
     const StreamEvent event = Process(stream, std::move(snapshot));
     {
-      std::lock_guard<std::mutex> lock(sink_mutex_);
+      MutexLock lock(&sink_mutex_);
       if (sink_) sink_(event);
     }
     FinishOne();
@@ -251,23 +262,8 @@ StreamEvent MonitorService::Process(Stream* stream, Snapshot snapshot) {
   // the raw data. The stream's worker is the only writer, so the copies
   // are coherent.
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    StreamStatus& status = stream->status;
-    ++status.processed;
-    status.has_snapshot = true;
-    status.sequence = event.sequence;
-    status.num_transactions = event.num_transactions;
-    status.delta_star = event.report.upper_bound;
-    status.screened_out = event.report.screened_out;
-    status.deviation = event.report.deviation;
-    status.significance_percent = event.report.significance_percent;
-    status.alert = event.report.alert;
-    status.cusum = event.cusum;
-    status.change_point = event.change_point;
-    status.baseline_ready = stream->cusum.baseline_ready();
-    status.baseline_mean = stream->cusum.baseline_mean();
-    status.baseline_sd = stream->cusum.baseline_sd();
-    stream->last_mined = mined;
+    MutexLock lock(&state_mutex_);
+    PublishStatusLocked(stream, event, mined);
   }
 
   if (metrics_ != nullptr) {
@@ -283,24 +279,46 @@ StreamEvent MonitorService::Process(Stream* stream, Snapshot snapshot) {
   return event;
 }
 
+void MonitorService::PublishStatusLocked(Stream* stream,
+                                         const StreamEvent& event,
+                                         const MinedSnapshot& mined) {
+  StreamStatus& status = stream->status;
+  ++status.processed;
+  status.has_snapshot = true;
+  status.sequence = event.sequence;
+  status.num_transactions = event.num_transactions;
+  status.delta_star = event.report.upper_bound;
+  status.screened_out = event.report.screened_out;
+  status.deviation = event.report.deviation;
+  status.significance_percent = event.report.significance_percent;
+  status.alert = event.report.alert;
+  status.cusum = event.cusum;
+  status.change_point = event.change_point;
+  status.baseline_ready = stream->cusum.baseline_ready();
+  status.baseline_mean = stream->cusum.baseline_mean();
+  status.baseline_sd = stream->cusum.baseline_sd();
+  stream->last_mined = mined;
+}
+
 void MonitorService::FinishOne() {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   --in_flight_;
   ++processed_;
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 void MonitorService::Flush() {
-  std::unique_lock<std::mutex> lock(state_mutex_);
-  idle_cv_.wait(lock, [this]() { return in_flight_ == 0; });
+  MutexLock lock(&state_mutex_);
+  idle_cv_.Wait(state_mutex_,
+                [this]() REQUIRES(state_mutex_) { return in_flight_ == 0; });
 }
 
 void MonitorService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     if (shutdown_) return;
     shutdown_ = true;
-    idle_cv_.notify_all();  // wake Submit callers blocked on backpressure
+    idle_cv_.NotifyAll();  // wake Submit callers blocked on backpressure
   }
   queue_.Close();
   if (dispatcher_.joinable()) dispatcher_.join();
@@ -309,7 +327,7 @@ void MonitorService::Shutdown() {
 }
 
 int64_t MonitorService::processed() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   return processed_;
 }
 

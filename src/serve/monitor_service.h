@@ -2,17 +2,17 @@
 #define FOCUS_SERVE_MONITOR_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/drift_series.h"
 #include "core/monitor.h"
@@ -109,43 +109,48 @@ class MonitorService {
   // stage-1 threshold (expensive). Must happen before snapshots of that
   // stream are submitted.
   void AddStream(const std::string& name,
-                 const data::TransactionDb& reference);
-  bool HasStream(const std::string& name) const;
+                 const data::TransactionDb& reference)
+      EXCLUDES(state_mutex_);
+  bool HasStream(const std::string& name) const EXCLUDES(state_mutex_);
 
   // Invoked once per processed snapshot; calls are serialized. Set before
   // the first Submit.
-  void SetEventSink(std::function<void(const StreamEvent&)> sink);
+  void SetEventSink(std::function<void(const StreamEvent&)> sink)
+      EXCLUDES(sink_mutex_);
 
   // Enqueues a snapshot; blocks while the ingest queue is full. Returns
   // false (dropping the snapshot) after Shutdown. Snapshots for streams
   // that were never added are counted as rejected and dropped.
-  bool Submit(Snapshot snapshot);
+  bool Submit(Snapshot snapshot) EXCLUDES(state_mutex_);
 
   // Bounded-latency variant: waits at most `timeout` for backpressure to
   // clear instead of blocking indefinitely. kOverloaded tells a network
   // front end to answer 429 and shed the snapshot onto the client.
   SubmitResult TrySubmitFor(Snapshot snapshot,
-                            std::chrono::milliseconds timeout);
+                            std::chrono::milliseconds timeout)
+      EXCLUDES(state_mutex_);
 
   // Latest per-stream state; nullopt for unknown streams. O(1), no data
   // scan.
-  std::optional<StreamStatus> GetStreamStatus(const std::string& name) const;
+  std::optional<StreamStatus> GetStreamStatus(const std::string& name) const
+      EXCLUDES(state_mutex_);
 
   // Status plus the deviation of the latest processed snapshot against
   // the stream's reference under an arbitrary (f,g), computed over the
   // CACHED models and vertical indexes (never the raw transactions).
   // nullopt for unknown streams.
   std::optional<StreamDeviation> QueryDeviation(
-      const std::string& name, const core::DeviationFunction& fn) const;
+      const std::string& name, const core::DeviationFunction& fn) const
+      EXCLUDES(state_mutex_);
 
   // Blocks until every snapshot submitted so far has been processed.
-  void Flush();
+  void Flush() EXCLUDES(state_mutex_);
 
   // Stops intake, drains in-flight work, joins the workers. Idempotent;
   // also run by the destructor.
-  void Shutdown();
+  void Shutdown() EXCLUDES(state_mutex_);
 
-  int64_t processed() const;
+  int64_t processed() const EXCLUDES(state_mutex_);
   const ModelCache& model_cache() const { return model_cache_; }
   // Mutable view for front ends that resolve content hashes themselves
   // (POST /v1/compare); lookups promote entries in the LRU order.
@@ -155,7 +160,11 @@ class MonitorService {
   struct Stream {
     std::unique_ptr<core::LitsChangeMonitor> monitor;
     core::DeviationCusum cusum;
-    std::deque<Snapshot> pending;  // guarded by state_mutex_
+    // The next four fields are guarded by the owning service's
+    // state_mutex_ (a nested struct cannot name the outer instance's
+    // mutex in GUARDED_BY); every access happens inside the REQUIRES(
+    // state_mutex_) helpers below or under an explicit MutexLock.
+    std::deque<Snapshot> pending;
     bool draining = false;         // a drain job owns this stream
     // Published at the end of each Process under state_mutex_, so
     // queries never race the worker that owns the stream.
@@ -167,10 +176,19 @@ class MonitorService {
   };
 
   void DispatchLoop();
-  void Route(Snapshot snapshot);
-  void DrainStream(Stream* stream);
-  StreamEvent Process(Stream* stream, Snapshot snapshot);
-  void FinishOne();
+  void Route(Snapshot snapshot) EXCLUDES(state_mutex_);
+  void DrainStream(Stream* stream) EXCLUDES(state_mutex_);
+  StreamEvent Process(Stream* stream, Snapshot snapshot)
+      EXCLUDES(state_mutex_);
+  void FinishOne() EXCLUDES(state_mutex_);
+  // Pops the next snapshot of `stream` into `out`; false (and clears the
+  // stream's draining flag) when none are pending.
+  bool TakeNextPendingLocked(Stream* stream, Snapshot* out)
+      REQUIRES(state_mutex_);
+  // Publishes the queryable per-stream view after one Process.
+  void PublishStatusLocked(Stream* stream, const StreamEvent& event,
+                           const MinedSnapshot& mined)
+      REQUIRES(state_mutex_);
 
   const MonitorServiceOptions options_;
   MetricsRegistry* const metrics_;  // may be null
@@ -178,15 +196,17 @@ class MonitorService {
   SnapshotQueue queue_;
   std::unique_ptr<common::ThreadPool> pool_;
 
-  mutable std::mutex state_mutex_;
-  std::condition_variable idle_cv_;
-  std::unordered_map<std::string, std::unique_ptr<Stream>> streams_;
-  int64_t in_flight_ = 0;   // submitted but not yet fully processed
-  int64_t processed_ = 0;
-  bool shutdown_ = false;
+  mutable common::Mutex state_mutex_;
+  common::CondVar idle_cv_;
+  std::unordered_map<std::string, std::unique_ptr<Stream>> streams_
+      GUARDED_BY(state_mutex_);
+  // submitted but not yet fully processed
+  int64_t in_flight_ GUARDED_BY(state_mutex_) = 0;
+  int64_t processed_ GUARDED_BY(state_mutex_) = 0;
+  bool shutdown_ GUARDED_BY(state_mutex_) = false;
 
-  std::mutex sink_mutex_;
-  std::function<void(const StreamEvent&)> sink_;
+  common::Mutex sink_mutex_;
+  std::function<void(const StreamEvent&)> sink_ GUARDED_BY(sink_mutex_);
 
   std::thread dispatcher_;
 };

@@ -1,76 +1,93 @@
 #include "serve/snapshot_queue.h"
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace focus::serve {
+
+using common::MutexLock;
 
 SnapshotQueue::SnapshotQueue(size_t capacity) : capacity_(capacity) {
   FOCUS_CHECK_GE(capacity, 1u);
 }
 
+// The push/pop paths unlock BEFORE notifying (the woken thread then finds
+// the mutex free), so they manage the lock explicitly instead of through
+// MutexLock; every return path below releases exactly once.
+
 bool SnapshotQueue::Push(Snapshot snapshot) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_full_.wait(lock,
-                 [this]() { return closed_ || items_.size() < capacity_; });
-  if (closed_) return false;
+  mutex_.Lock();
+  not_full_.Wait(mutex_, [this]() REQUIRES(mutex_) { return HasRoomLocked(); });
+  if (closed_) {
+    mutex_.Unlock();
+    return false;
+  }
   items_.push_back(std::move(snapshot));
-  lock.unlock();
-  not_empty_.notify_one();
+  mutex_.Unlock();
+  not_empty_.NotifyOne();
   return true;
 }
 
 bool SnapshotQueue::TryPush(Snapshot snapshot) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(snapshot));
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 bool SnapshotQueue::TryPushFor(Snapshot snapshot,
                                std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (!not_full_.wait_for(lock, timeout, [this]() {
-        return closed_ || items_.size() < capacity_;
-      })) {
+  mutex_.Lock();
+  if (!not_full_.WaitFor(mutex_, timeout,
+                         [this]() REQUIRES(mutex_) { return HasRoomLocked(); })) {
+    mutex_.Unlock();
     return false;  // still full after the full wait
   }
-  if (closed_) return false;
+  if (closed_) {
+    mutex_.Unlock();
+    return false;
+  }
   items_.push_back(std::move(snapshot));
-  lock.unlock();
-  not_empty_.notify_one();
+  mutex_.Unlock();
+  not_empty_.NotifyOne();
   return true;
 }
 
 std::optional<Snapshot> SnapshotQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [this]() { return closed_ || !items_.empty(); });
-  if (items_.empty()) return std::nullopt;  // closed and drained
+  mutex_.Lock();
+  not_empty_.Wait(mutex_, [this]() REQUIRES(mutex_) {
+    return closed_ || !items_.empty();
+  });
+  if (items_.empty()) {
+    mutex_.Unlock();
+    return std::nullopt;  // closed and drained
+  }
   Snapshot snapshot = std::move(items_.front());
   items_.pop_front();
-  lock.unlock();
-  not_full_.notify_one();
+  mutex_.Unlock();
+  not_full_.NotifyOne();
   return snapshot;
 }
 
 void SnapshotQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     closed_ = true;
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
 }
 
 size_t SnapshotQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return items_.size();
 }
 
 bool SnapshotQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return closed_;
 }
 

@@ -2,13 +2,13 @@
 #define FOCUS_SERVE_SNAPSHOT_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "data/transaction_db.h"
 
 namespace focus::serve {
@@ -32,36 +32,42 @@ class SnapshotQueue {
 
   // Blocks until there is room (or the queue is closed). Returns false —
   // and drops `snapshot` — only when closed.
-  bool Push(Snapshot snapshot);
+  bool Push(Snapshot snapshot) EXCLUDES(mutex_);
 
   // Non-blocking variant: false when full or closed.
-  bool TryPush(Snapshot snapshot);
+  bool TryPush(Snapshot snapshot) EXCLUDES(mutex_);
 
   // Bounded-wait variant for latency-sensitive producers (network
   // ingest): waits up to `timeout` for room, then gives up. False — and
   // the snapshot is dropped — when the wait expired or the queue closed;
   // the caller distinguishes the two via closed(). A zero timeout
   // degenerates to TryPush.
-  bool TryPushFor(Snapshot snapshot, std::chrono::milliseconds timeout);
+  bool TryPushFor(Snapshot snapshot, std::chrono::milliseconds timeout)
+      EXCLUDES(mutex_);
 
   // Blocks until an item is available; nullopt once the queue is closed
   // AND drained (remaining items are still delivered after Close).
-  std::optional<Snapshot> Pop();
+  std::optional<Snapshot> Pop() EXCLUDES(mutex_);
 
   // Wakes every blocked producer/consumer. Push refuses afterwards.
-  void Close();
+  void Close() EXCLUDES(mutex_);
 
-  size_t size() const;
+  size_t size() const EXCLUDES(mutex_);
   size_t capacity() const { return capacity_; }
-  bool closed() const;
+  bool closed() const EXCLUDES(mutex_);
 
  private:
+  // True when a snapshot may enter the queue right now.
+  bool HasRoomLocked() const REQUIRES(mutex_) {
+    return closed_ || items_.size() < capacity_;
+  }
+
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<Snapshot> items_;
-  bool closed_ = false;
+  mutable common::Mutex mutex_;
+  common::CondVar not_full_;
+  common::CondVar not_empty_;
+  std::deque<Snapshot> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace focus::serve

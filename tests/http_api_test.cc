@@ -5,8 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
+
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -240,7 +241,7 @@ TEST(HttpApiTest, ConcurrentIngestLosesNothing) {
   constexpr int kThreads = 8;
   constexpr int kPerThread = 6;
 
-  std::mutex mu;
+  common::Mutex mu;
   std::set<std::string> sequences;  // "<stream>#<seq>" pairs seen in 202s
   std::atomic<int> accepted{0}, rejected{0};
 
@@ -260,7 +261,7 @@ TEST(HttpApiTest, ConcurrentIngestLosesNothing) {
         ASSERT_TRUE(response.has_value());
         if (response->status == 202) {
           accepted.fetch_add(1);
-          std::lock_guard<std::mutex> lock(mu);
+          common::MutexLock lock(&mu);
           const bool fresh =
               sequences
                   .insert(stream + "#" + JsonField(response->body, "sequence"))

@@ -1,0 +1,14 @@
+// Fixture: std synchronization primitives are legal inside src/common/ —
+// it is where the annotated wrappers live. Must produce no findings.
+
+#include <mutex>
+
+namespace focus::common {
+
+class WrapperInternals {
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace focus::common

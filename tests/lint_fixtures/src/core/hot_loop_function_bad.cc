@@ -1,0 +1,17 @@
+// Fixture: must trigger exactly one std-function-in-hot-loop finding
+// (the declaration inside the for body below).
+
+#include <functional>
+
+namespace focus::core {
+
+int SumRowsBad(const int* rows, int count) {
+  int total = 0;
+  for (int i = 0; i < count; ++i) {
+    std::function<int(int)> op = [](int value) { return value; };
+    total += op(rows[i]);
+  }
+  return total;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,14 @@
+// Fixture: must trigger exactly one naked-mt19937 finding (the direct
+// engine construction below).
+
+#include <cstdint>
+#include <random>
+
+namespace focus::core {
+
+std::uint64_t DrawBad(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return rng();
+}
+
+}  // namespace focus::core

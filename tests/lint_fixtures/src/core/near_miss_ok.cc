@@ -1,0 +1,27 @@
+// Fixture: near-miss patterns that must stay clean — the sanctioned RNG
+// factory, std::function outside any loop body, and banned names that
+// appear only in comments (std::mutex, mt19937) or string literals.
+
+#include <cstdint>
+#include <functional>
+#include <random>
+
+namespace focus::core {
+
+// A type-erased callback at namespace scope is fine; the rule only bans
+// it inside loop bodies, where it defeats inlining.
+using RowFn = std::function<double(int)>;
+
+inline const char* kProse = "std::mutex and atoi( live in a string here";
+
+inline double MeanDraw(std::uint64_t seed, int draws) {
+  std::mt19937_64 rng = stats::MakeRng(seed);
+  RowFn identity = [](int value) { return static_cast<double>(value); };
+  double total = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    total += identity(static_cast<int>(rng()));
+  }
+  return total / (draws > 0 ? draws : 1);
+}
+
+}  // namespace focus::core

@@ -1,0 +1,10 @@
+// Fixture: must trigger exactly one unchecked-strtol finding — atoi
+// cannot report conversion errors at all.
+
+#include <cstdlib>
+
+namespace focus::io {
+
+int ParseAtoiBad(const char* text) { return std::atoi(text); }
+
+}  // namespace focus::io

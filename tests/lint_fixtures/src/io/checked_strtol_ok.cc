@@ -1,0 +1,14 @@
+// Fixture: strtol with a real, checked end pointer is the sanctioned
+// pattern — must produce no findings.
+
+#include <cstdlib>
+
+namespace focus::io {
+
+bool ParseChecked(const char* text, long* out) {
+  char* end = nullptr;
+  *out = std::strtol(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+}  // namespace focus::io

@@ -1,0 +1,12 @@
+// Fixture: must trigger exactly one unchecked-strtol finding (null end
+// pointer below — trailing garbage would be silently accepted).
+
+#include <cstdlib>
+
+namespace focus::io {
+
+long ParseBad(const char* text) {
+  return std::strtol(text, nullptr, 10);
+}
+
+}  // namespace focus::io

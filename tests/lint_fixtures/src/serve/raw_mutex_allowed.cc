@@ -1,0 +1,9 @@
+// Fixture: the escape hatch must suppress the raw-mutex finding below,
+// leaving this file clean.
+
+namespace focus::serve {
+
+// focus-lint: allow(raw-mutex) — fixture exercising the escape hatch
+std::timed_mutex legacy_mutex;
+
+}  // namespace focus::serve

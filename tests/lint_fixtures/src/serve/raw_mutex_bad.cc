@@ -1,0 +1,16 @@
+// Fixture: must trigger exactly one raw-mutex finding (the std::mutex
+// member below). Outside src/common/, synchronization goes through
+// common::Mutex so thread-safety annotations keep working.
+
+namespace focus::serve {
+
+class BadCounter {
+ public:
+  void Increment();
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace focus::serve

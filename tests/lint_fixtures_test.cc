@@ -1,0 +1,134 @@
+// End-to-end tests for tools/focus_lint: every rule is proven live by a
+// fixture that trips it, the escape hatch and path exemptions are proven
+// inert, and the repo itself must scan clean (this is the lint gate that
+// keeps `ctest` equivalent to CI's static-analysis job).
+//
+// The binary path and fixture root are injected at compile time
+// (FOCUS_LINT_PATH / FOCUS_LINT_FIXTURES / FOCUS_LINT_REPO_ROOT, see
+// tests/CMakeLists.txt) so the test works from any build directory.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace focus::lint {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult RunLint(const std::string& args) {
+  RunResult result;
+  const std::string command =
+      std::string(FOCUS_LINT_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t got = 0;
+  while ((got = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, got);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+// Parses "file:line: [rule] message" diagnostics into (file, rule) pairs,
+// ignoring the trailing summary line.
+std::vector<std::pair<std::string, std::string>> ParseFindings(
+    const std::string& output) {
+  std::vector<std::pair<std::string, std::string>> findings;
+  size_t start = 0;
+  while (start < output.size()) {
+    size_t end = output.find('\n', start);
+    if (end == std::string::npos) end = output.size();
+    const std::string line = output.substr(start, end - start);
+    start = end + 1;
+    const size_t open = line.find(": [");
+    const size_t close = line.find(']', open == std::string::npos ? 0 : open);
+    if (open == std::string::npos || close == std::string::npos) continue;
+    const size_t colon = line.find(':');
+    findings.emplace_back(line.substr(0, colon),
+                          line.substr(open + 3, close - open - 3));
+  }
+  return findings;
+}
+
+int CountFindings(
+    const std::vector<std::pair<std::string, std::string>>& findings,
+    const std::string& file, const std::string& rule) {
+  int count = 0;
+  for (const auto& [found_file, found_rule] : findings) {
+    if (found_file == file && found_rule == rule) ++count;
+  }
+  return count;
+}
+
+TEST(FocusLintTest, ListRulesNamesEveryRule) {
+  const RunResult result = RunLint("--list-rules");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  for (const char* rule : {"raw-mutex", "naked-mt19937",
+                           "std-function-in-hot-loop", "unchecked-strtol"}) {
+    EXPECT_NE(result.output.find(rule), std::string::npos)
+        << "missing rule " << rule << " in:\n"
+        << result.output;
+  }
+}
+
+TEST(FocusLintTest, UnknownFlagIsUsageError) {
+  const RunResult result = RunLint("--no-such-flag");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+TEST(FocusLintTest, FixturesTriggerExactlyTheirRules) {
+  const RunResult result =
+      RunLint(std::string("--root ") + FOCUS_LINT_FIXTURES);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  const auto findings = ParseFindings(result.output);
+
+  // Each *_bad.cc fixture trips exactly one finding of exactly its rule.
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"src/serve/raw_mutex_bad.cc", "raw-mutex"},
+      {"src/core/naked_mt19937_bad.cc", "naked-mt19937"},
+      {"src/core/hot_loop_function_bad.cc", "std-function-in-hot-loop"},
+      {"src/io/unchecked_strtol_bad.cc", "unchecked-strtol"},
+      {"src/io/atoi_bad.cc", "unchecked-strtol"},
+  };
+  for (const auto& [file, rule] : expected) {
+    EXPECT_EQ(CountFindings(findings, file, rule), 1)
+        << file << " should trigger " << rule << " exactly once:\n"
+        << result.output;
+  }
+  EXPECT_EQ(findings.size(), expected.size())
+      << "unexpected extra findings:\n"
+      << result.output;
+
+  // The ok / allowed fixtures must not appear at all.
+  for (const char* clean : {"raw_mutex_allowed.cc", "raw_mutex_ok.cc",
+                            "near_miss_ok.cc", "checked_strtol_ok.cc"}) {
+    EXPECT_EQ(result.output.find(clean), std::string::npos)
+        << clean << " should be clean:\n"
+        << result.output;
+  }
+}
+
+// The repo-wide gate: the tree this test was built from lints clean. A
+// failure here means a banned pattern landed in src/, tools/, tests/,
+// bench/, fuzz/, or examples/ — fix the call site or justify an inline
+// `// focus-lint: allow(<rule>)`.
+TEST(FocusLintTest, RepositoryScansClean) {
+  const RunResult result =
+      RunLint(std::string("--root ") + FOCUS_LINT_REPO_ROOT);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_TRUE(ParseFindings(result.output).empty()) << result.output;
+}
+
+}  // namespace
+}  // namespace focus::lint

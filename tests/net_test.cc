@@ -333,10 +333,13 @@ TEST_P(PollerEngineTest, ReportsReadinessOnAPipe) {
   EXPECT_EQ(poller.size(), 0u);
 }
 
+// The name-generator parameter avoids `info`: INSTANTIATE_TEST_SUITE_P
+// expands the lambda inside a function whose own parameter is named
+// `info`, which -Wshadow rejects.
 INSTANTIATE_TEST_SUITE_P(Engines, PollerEngineTest,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "poll" : "native";
+                         [](const ::testing::TestParamInfo<bool>& param) {
+                           return param.param ? "poll" : "native";
                          });
 
 // --------------------------------------------------------------- server
@@ -395,8 +398,8 @@ TEST_P(HttpServerEngineTest, ServesRequestsOverLoopback) {
 
 INSTANTIATE_TEST_SUITE_P(Engines, HttpServerEngineTest,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "poll" : "native";
+                         [](const ::testing::TestParamInfo<bool>& param) {
+                           return param.param ? "poll" : "native";
                          });
 
 TEST(HttpServerTest, PipelinedRequestsAllAnswered) {

@@ -5,9 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
+
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -266,7 +267,9 @@ TEST(SnapshotQueueTest, TryPushForRacingCloseNeverHangsOrLies) {
   for (std::thread& t : producers) t.join();
   consumer.join();
   EXPECT_EQ(popped.load(), accepted.load());
-  EXPECT_FALSE(queue.TryPushFor(Snapshot{}, std::chrono::milliseconds(1)));
+  // Snapshot() (value-init), not Snapshot{}: list-init of the aggregate
+  // trips GCC's explicit-constructor warning on the TransactionDb member.
+  EXPECT_FALSE(queue.TryPushFor(Snapshot(), std::chrono::milliseconds(1)));
   EXPECT_TRUE(queue.closed());
 }
 
@@ -553,9 +556,9 @@ TEST(MonitorServiceTest, TwoStreamsProcessIndependently) {
   service.AddStream("a", QuestDb(1000));
   service.AddStream("b", QuestDb(1001, /*pattern_seed=*/123));
   std::vector<std::string> seen_a, seen_b;
-  std::mutex mutex;
+  common::Mutex mutex;
   service.SetEventSink([&](const StreamEvent& event) {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(&mutex);
     (event.stream == "a" ? seen_a : seen_b).push_back(event.stream);
   });
   for (int i = 0; i < 3; ++i) {
@@ -614,14 +617,14 @@ TEST(MonitorServiceTest, TrySubmitForShedsUnderSaturationThenRecovers) {
   // The event sink runs on the worker BEFORE the snapshot stops counting
   // as in flight — blocking it holds the service at capacity
   // deterministically.
-  std::mutex gate_mutex;
-  std::condition_variable gate_cv;
+  common::Mutex gate_mutex;
+  common::CondVar gate_cv;
   bool gate_open = false;
   std::atomic<int> events{0};
   service.SetEventSink([&](const StreamEvent&) {
     events.fetch_add(1);
-    std::unique_lock<std::mutex> lock(gate_mutex);
-    gate_cv.wait(lock, [&] { return gate_open; });
+    common::MutexLock lock(&gate_mutex);
+    gate_cv.Wait(gate_mutex, [&] { return gate_open; });
   });
 
   ASSERT_EQ(service.TrySubmitFor(MakeSnapshot("s", 0, 7000),
@@ -636,10 +639,10 @@ TEST(MonitorServiceTest, TrySubmitForShedsUnderSaturationThenRecovers) {
   EXPECT_EQ(metrics.GetCounter("snapshots_shed").Value(), 1);
 
   {
-    std::lock_guard<std::mutex> lock(gate_mutex);
+    common::MutexLock lock(&gate_mutex);
     gate_open = true;
   }
-  gate_cv.notify_all();
+  gate_cv.NotifyAll();
   service.Flush();
   EXPECT_EQ(service.processed(), 1);  // the shed snapshot was dropped clean
 

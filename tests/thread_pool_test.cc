@@ -2,10 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -64,10 +65,10 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
 
 TEST(ThreadPoolTest, ParallelForShardBoundsAreContiguous) {
   ThreadPool pool(3);
-  std::mutex mutex;
+  common::Mutex mutex;
   std::vector<std::pair<int64_t, int64_t>> ranges;
   pool.ParallelFor(10, 107, 5, [&](int /*shard*/, int64_t begin, int64_t end) {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(&mutex);
     ranges.emplace_back(begin, end);
   });
   std::sort(ranges.begin(), ranges.end());

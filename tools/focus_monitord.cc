@@ -36,13 +36,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "io/data_io.h"
 #include "serve/metrics.h"
 #include "serve/monitor_service.h"
@@ -84,15 +85,16 @@ class JsonlWriter {
   bool ok() const { return static_cast<bool>(out_); }
   const std::string& path() const { return path_; }
 
-  void WriteLine(const std::string& json) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  // Serialized: the event sink thread and the metrics ticker both append.
+  void WriteLine(const std::string& json) EXCLUDES(mutex_) {
+    common::MutexLock lock(&mutex_);
     out_ << json << '\n';
     out_.flush();
   }
 
  private:
-  std::mutex mutex_;
-  std::ofstream out_;
+  common::Mutex mutex_;
+  std::ofstream out_ GUARDED_BY(mutex_);
   std::string path_;
 };
 
