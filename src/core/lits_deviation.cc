@@ -71,6 +71,18 @@ double AggregateRegionDiffs(const std::vector<double>& s1, double n1,
 
 }  // namespace
 
+std::vector<double> LitsExtendModel(const std::vector<lits::Itemset>& regions,
+                                    const lits::LitsModel& model,
+                                    const data::VerticalIndex& index) {
+  return ExtendModel(regions, model, index);
+}
+
+double LitsAggregateRegionDiffs(const std::vector<double>& s1, double n1,
+                                const std::vector<double>& s2, double n2,
+                                const DeviationFunction& fn) {
+  return AggregateRegionDiffs(s1, n1, s2, n2, fn);
+}
+
 std::vector<lits::Itemset> LitsGcr(const lits::LitsModel& m1,
                                    const lits::LitsModel& m2) {
   std::vector<lits::Itemset> gcr = m1.StructuralComponent();

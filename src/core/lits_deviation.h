@@ -51,6 +51,25 @@ double LitsDeviation(const lits::LitsModel& m1, const data::VerticalIndex& i1,
                      const lits::LitsModel& m2, const data::VerticalIndex& i2,
                      const DeviationFunction& fn);
 
+// The two halves of LitsDeviation, exposed for the sharded scatter-gather
+// path (src/shard/): each owning shard extends its model to the GCR with
+// LitsExtendModel, and the router recombines the supports with
+// LitsAggregateRegionDiffs. Because these are the same functions the
+// single-node path composes, the distributed answer is bit-identical.
+
+// Measure extension of `model` to `regions` (Definition 3.4): stored
+// supports are reused, itemsets the model lacks are counted against the
+// prebuilt vertical index.
+std::vector<double> LitsExtendModel(const std::vector<lits::Itemset>& regions,
+                                    const lits::LitsModel& model,
+                                    const data::VerticalIndex& index);
+
+// delta^1_(f,g) over already-extended measure components: per-region diffs
+// in region order, then AggregateValues(fn.g, ...).
+double LitsAggregateRegionDiffs(const std::vector<double>& s1, double n1,
+                                const std::vector<double>& s2, double n2,
+                                const DeviationFunction& fn);
+
 // Focussed deviation delta^R (Definition 5.2) where the focussing region R
 // is expressed as a predicate on itemsets (e.g. "itemsets within the shoe
 // department's items", §5.1). Regions of the GCR not satisfying the

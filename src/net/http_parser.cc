@@ -64,6 +64,9 @@ HttpParser::Status HttpParser::Reset() {
   buffer_.erase(0, cursor_);
   cursor_ = 0;
   content_length_ = 0;
+  chunked_ = false;
+  chunk_remaining_ = 0;
+  trailer_lines_ = 0;
   request_ = HttpRequest();
   state_ = State::kRequestLine;
   return Advance();
@@ -192,9 +195,26 @@ bool HttpParser::FinishHeaders() {
       }
       have_content_length = true;
       content_length_ = parsed;
+      if (chunked_) {
+        Fail(400, "Transfer-Encoding with Content-Length");
+        return false;
+      }
     } else if (name == "transfer-encoding") {
-      Fail(501, "Transfer-Encoding is not supported");
-      return false;
+      if (chunked_) {
+        Fail(400, "duplicate Transfer-Encoding header");
+        return false;
+      }
+      if (have_content_length) {
+        Fail(400, "Transfer-Encoding with Content-Length");
+        return false;
+      }
+      // Exactly "chunked" is supported; any other coding (or a coding
+      // list) keeps the 501 contract.
+      if (!TokenEquals(TrimOws(value), "chunked")) {
+        Fail(501, "unsupported Transfer-Encoding");
+        return false;
+      }
+      chunked_ = true;
     } else if (name == "connection") {
       if (TokenEquals(value, "close")) request_.keep_alive = false;
       if (TokenEquals(value, "keep-alive")) request_.keep_alive = true;
@@ -229,7 +249,7 @@ HttpParser::Status HttpParser::Advance() {
         }
         if (line.empty()) {
           if (!FinishHeaders()) return Status::kError;
-          state_ = State::kBody;
+          state_ = chunked_ ? State::kChunkSize : State::kBody;
           continue;
         }
         if (!ParseHeaderLine(line)) return Status::kError;
@@ -243,6 +263,88 @@ HttpParser::Status HttpParser::Advance() {
         cursor_ += content_length_;
         state_ = State::kComplete;
         return Status::kComplete;
+      }
+      case State::kChunkSize: {
+        std::string_view line;
+        if (!NextLine(&line)) {
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        }
+        // Chunk extensions (";ext=…") are allowed and ignored.
+        const size_t semicolon = line.find(';');
+        const std::string_view digits =
+            TrimOws(line.substr(0, semicolon));
+        if (digits.empty()) {
+          return Fail(400, "malformed chunk size");
+        }
+        // Overflow-safe hex accumulate against the body limit: the decoded
+        // body obeys max_body_bytes exactly like Content-Length framing.
+        size_t size = 0;
+        for (char c : digits) {
+          int digit;
+          if (c >= '0' && c <= '9') digit = c - '0';
+          else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+          else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+          else return Fail(400, "malformed chunk size");
+          size = (size << 4) | static_cast<size_t>(digit);
+          if (size > limits_.max_body_bytes) {
+            return Fail(413, "chunked body exceeds body limit");
+          }
+        }
+        if (request_.body.size() + size > limits_.max_body_bytes) {
+          return Fail(413, "chunked body exceeds body limit");
+        }
+        if (size == 0) {
+          state_ = State::kChunkTrailer;
+          continue;
+        }
+        chunk_remaining_ = size;
+        state_ = State::kChunkData;
+        continue;
+      }
+      case State::kChunkData: {
+        // Stream the payload as it arrives; the buffer never holds more
+        // than one read's worth of an accepted chunk.
+        const size_t available = buffer_.size() - cursor_;
+        const size_t take = std::min(available, chunk_remaining_);
+        request_.body.append(buffer_, cursor_, take);
+        cursor_ += take;
+        chunk_remaining_ -= take;
+        buffer_.erase(0, cursor_);
+        cursor_ = 0;
+        if (chunk_remaining_ > 0) return Status::kNeedMore;
+        // The chunk's trailing CRLF (tolerating bare LF).
+        if (buffer_.empty()) return Status::kNeedMore;
+        if (buffer_[0] == '\r') {
+          if (buffer_.size() < 2) return Status::kNeedMore;
+          if (buffer_[1] != '\n') {
+            return Fail(400, "malformed chunk terminator");
+          }
+          cursor_ = 2;
+        } else if (buffer_[0] == '\n') {
+          cursor_ = 1;
+        } else {
+          return Fail(400, "malformed chunk terminator");
+        }
+        buffer_.erase(0, cursor_);
+        cursor_ = 0;
+        state_ = State::kChunkSize;
+        continue;
+      }
+      case State::kChunkTrailer: {
+        std::string_view line;
+        if (!NextLine(&line)) {
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        }
+        if (line.empty()) {
+          state_ = State::kComplete;
+          return Status::kComplete;
+        }
+        // Trailer fields are consumed but discarded (none are needed for
+        // framing); their count is bounded like headers.
+        if (++trailer_lines_ > limits_.max_headers) {
+          return Fail(431, "too many trailer fields");
+        }
+        continue;
       }
       case State::kComplete:
         return Status::kComplete;

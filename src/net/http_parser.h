@@ -33,9 +33,14 @@ struct HttpParserLimits {
 //     case Status::kError:     // respond parser.error_status(), close
 //   }
 //
-// Supported framing is Content-Length (and no body); Transfer-Encoding is
-// rejected as 501. Bare-LF line endings are accepted (robustness — curl
-// and friends always send CRLF). Errors are terminal for the connection.
+// Supported framing is Content-Length, `Transfer-Encoding: chunked` (the
+// decoded body honors max_body_bytes, chunk-size lines honor
+// max_line_bytes, and trailer fields are consumed but discarded), and no
+// body. Any other Transfer-Encoding is rejected as 501; a request sending
+// both Transfer-Encoding and Content-Length is rejected as 400 (request-
+// smuggling vector, RFC 9112 §6.1). Bare-LF line endings are accepted
+// (robustness — curl and friends always send CRLF). Errors are terminal
+// for the connection.
 class HttpParser {
  public:
   enum class Status { kNeedMore, kComplete, kError };
@@ -65,7 +70,16 @@ class HttpParser {
   const HttpParserLimits& limits() const { return limits_; }
 
  private:
-  enum class State { kRequestLine, kHeaders, kBody, kComplete, kError };
+  enum class State {
+    kRequestLine,
+    kHeaders,
+    kBody,          // Content-Length framing (or no body)
+    kChunkSize,     // hex size line of the next chunk
+    kChunkData,     // chunk payload + its trailing CRLF
+    kChunkTrailer,  // trailer lines after the terminal 0-chunk
+    kComplete,
+    kError,
+  };
 
   Status Advance();
   // Extracts the next line (without its terminator) from buffer_ starting
@@ -82,6 +96,9 @@ class HttpParser {
   std::string buffer_;   // unconsumed bytes
   size_t cursor_ = 0;    // parse position within buffer_
   size_t content_length_ = 0;
+  bool chunked_ = false;        // Transfer-Encoding: chunked framing
+  size_t chunk_remaining_ = 0;  // payload bytes left in the current chunk
+  size_t trailer_lines_ = 0;    // trailer count, bounded by max_headers
   HttpRequest request_;
   std::string error_;
   int error_status_ = 400;

@@ -29,7 +29,8 @@ HttpServer::~HttpServer() { Stop(); }
 bool HttpServer::Start(std::string* error) {
   FOCUS_CHECK(!started_.load());
   listen_fd_ = ListenTcp(options_.bind_address, options_.port,
-                         options_.backlog, &port_, error);
+                         options_.backlog, &port_, error,
+                         options_.reuse_port);
   if (!listen_fd_.valid()) return false;
   if (!SetNonBlocking(listen_fd_.get())) {
     if (error != nullptr) *error = "cannot set listener non-blocking";

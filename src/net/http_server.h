@@ -31,6 +31,10 @@ struct HttpServerOptions {
   HttpParserLimits limits;
   // Use the poll(2) engine even where epoll exists (tests).
   bool force_poll = false;
+  // Bind with SO_REUSEPORT so multiple server instances can share one
+  // port (the sharded front end runs one reactor per instance and lets
+  // the kernel spread accepts across them).
+  bool reuse_port = false;
 };
 
 // Point-in-time counters, safe to read from any thread.

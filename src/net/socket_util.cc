@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -43,7 +44,8 @@ bool SetNonBlocking(int fd) {
 }
 
 UniqueFd ListenTcp(const std::string& address, uint16_t port, int backlog,
-                   uint16_t* bound_port, std::string* error) {
+                   uint16_t* bound_port, std::string* error,
+                   bool reuse_port) {
   sockaddr_in addr;
   if (!FillAddress(address, port, &addr, error)) return UniqueFd();
 
@@ -54,6 +56,13 @@ UniqueFd ListenTcp(const std::string& address, uint16_t port, int backlog,
   }
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+  if (reuse_port) {
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
+#else
+  (void)reuse_port;
+#endif
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     if (error != nullptr) *error = Errno("bind " + address);
@@ -97,6 +106,68 @@ UniqueFd ConnectTcp(const std::string& address, uint16_t port,
   }
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+namespace {
+
+bool FillUnixAddress(const std::string& path, sockaddr_un* out,
+                     std::string* error) {
+  std::memset(out, 0, sizeof(*out));
+  out->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(out->sun_path)) {
+    if (error != nullptr) {
+      *error = "unix socket path '" + path + "' is empty or too long";
+    }
+    return false;
+  }
+  std::memcpy(out->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+UniqueFd ListenUnix(const std::string& path, int backlog,
+                    std::string* error) {
+  sockaddr_un addr;
+  if (!FillUnixAddress(path, &addr, error)) return UniqueFd();
+
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = Errno("socket");
+    return UniqueFd();
+  }
+  ::unlink(path.c_str());  // replace a stale socket file, if any
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (error != nullptr) *error = Errno("bind " + path);
+    return UniqueFd();
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    if (error != nullptr) *error = Errno("listen " + path);
+    return UniqueFd();
+  }
+  return fd;
+}
+
+UniqueFd ConnectUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!FillUnixAddress(path, &addr, error)) return UniqueFd();
+
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = Errno("socket");
+    return UniqueFd();
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (error != nullptr) *error = Errno("connect " + path);
+    return UniqueFd();
+  }
   return fd;
 }
 

@@ -43,15 +43,28 @@ class UniqueFd {
 bool SetNonBlocking(int fd);
 
 // Creates a TCP listening socket bound to `address:port` (port 0 picks an
-// ephemeral port) with SO_REUSEADDR. On success returns the descriptor and
-// stores the actually bound port in `bound_port`; on failure returns an
-// invalid fd and fills `error` with a reason.
+// ephemeral port) with SO_REUSEADDR. With `reuse_port`, SO_REUSEPORT is
+// also set so several listeners can share one port and let the kernel
+// load-balance accepts across them (the sharded front end's reactors). On
+// success returns the descriptor and stores the actually bound port in
+// `bound_port`; on failure returns an invalid fd and fills `error` with a
+// reason.
 UniqueFd ListenTcp(const std::string& address, uint16_t port, int backlog,
-                   uint16_t* bound_port, std::string* error);
+                   uint16_t* bound_port, std::string* error,
+                   bool reuse_port = false);
 
 // Blocking TCP connect (used by the test/bench client, not the server).
 UniqueFd ConnectTcp(const std::string& address, uint16_t port,
                     std::string* error);
+
+// Creates a Unix-domain stream listener bound to `path`. A stale socket
+// file at `path` is unlinked first (the caller owns the directory, so a
+// leftover from a crashed predecessor is safe to replace). Fails when the
+// path does not fit sockaddr_un.
+UniqueFd ListenUnix(const std::string& path, int backlog, std::string* error);
+
+// Blocking Unix-domain connect (shard clients in the HTTP front end).
+UniqueFd ConnectUnix(const std::string& path, std::string* error);
 
 }  // namespace focus::net
 

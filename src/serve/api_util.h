@@ -1,0 +1,65 @@
+#ifndef FOCUS_SERVE_API_UTIL_H_
+#define FOCUS_SERVE_API_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/functions.h"
+#include "serve/monitor_service.h"
+
+namespace focus::serve {
+
+// Helpers shared by the single-node HttpApi and the sharded front end
+// (src/shard/sharded_api). Keeping one copy is not just hygiene: the shard
+// law checker asserts bit-identical answers, which requires both faces to
+// parse parameters and fold aggregates through the same code.
+
+// 16-digit lowercase hex of a content hash, and its inverse.
+std::string HashHex(uint64_t hash);
+bool ParseHashHex(const std::string& text, uint64_t* out);
+
+// The deviation function named by ?f=abs|scaled&g=sum|max (defaults:
+// abs, sum). False on an unrecognized name.
+bool ParseDeviationFunction(const std::map<std::string, std::string>& params,
+                            core::DeviationFunction* fn, std::string* f_name,
+                            std::string* g_name);
+
+// The shared JSON fragment for one stream's status (no surrounding
+// braces).
+std::string StatusJson(const StreamStatus& status);
+
+// One stream's contribution to a cross-stream aggregate.
+struct SummaryEntry {
+  std::string stream;
+  bool has_deviation = false;
+  double deviation = 0.0;
+};
+
+struct SummaryResult {
+  int64_t num_streams = 0;  // entries seen
+  int64_t num_values = 0;   // entries contributing a deviation
+  bool has_aggregate = false;
+  double aggregate = 0.0;
+};
+
+// Canonical cross-stream aggregate: sorts `entries` by stream name in
+// place and folds the deviations in that order with core::AggregateValues.
+// Both the single-node /v1/deviation/summary handler and the sharded
+// scatter-gather merge call exactly this function — sorting before the
+// fold is what makes the distributed g_sum bit-identical (floating-point
+// addition is order-sensitive; max would merge in any order, sum will
+// not).
+SummaryResult AggregateSummary(std::vector<SummaryEntry>* entries,
+                               core::AggregateKind g);
+
+// Renders the /v1/deviation/summary response body from an aggregate and
+// its (already sorted) entries.
+std::string SummaryJson(const std::string& f_name, const std::string& g_name,
+                        const std::vector<SummaryEntry>& sorted_entries,
+                        const SummaryResult& result);
+
+}  // namespace focus::serve
+
+#endif  // FOCUS_SERVE_API_UTIL_H_

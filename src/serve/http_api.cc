@@ -1,96 +1,15 @@
 #include "serve/http_api.h"
 
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "core/functions.h"
 #include "core/lits_deviation.h"
 #include "io/data_io.h"
+#include "serve/api_util.h"
 #include "serve/model_cache.h"
 
 namespace focus::serve {
-namespace {
-
-std::string HashHex(uint64_t hash) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash);
-  return buf;
-}
-
-bool ParseHashHex(const std::string& text, uint64_t* out) {
-  if (text.empty() || text.size() > 16) return false;
-  uint64_t value = 0;
-  for (char c : text) {
-    int digit;
-    if (c >= '0' && c <= '9') digit = c - '0';
-    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
-    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
-    else return false;
-    value = (value << 4) | static_cast<uint64_t>(digit);
-  }
-  *out = value;
-  return true;
-}
-
-// The deviation function named by ?f=abs|scaled&g=sum|max (defaults:
-// abs, sum). False on an unrecognized name.
-bool ParseDeviationFunction(const std::map<std::string, std::string>& params,
-                            core::DeviationFunction* fn, std::string* f_name,
-                            std::string* g_name) {
-  *f_name = "abs";
-  *g_name = "sum";
-  if (const auto it = params.find("f"); it != params.end()) *f_name = it->second;
-  if (const auto it = params.find("g"); it != params.end()) *g_name = it->second;
-  if (*f_name == "abs") {
-    fn->f = core::AbsoluteDiff();
-  } else if (*f_name == "scaled") {
-    fn->f = core::ScaledDiff();
-  } else {
-    return false;
-  }
-  if (*g_name == "sum") {
-    fn->g = core::AggregateKind::kSum;
-  } else if (*g_name == "max") {
-    fn->g = core::AggregateKind::kMax;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-std::string StatusJson(const StreamStatus& status) {
-  std::string out = "\"processed\":" + std::to_string(status.processed);
-  out += ",\"has_snapshot\":";
-  out += status.has_snapshot ? "true" : "false";
-  if (status.has_snapshot) {
-    out += ",\"seq\":" + std::to_string(status.sequence);
-    out += ",\"n\":" + std::to_string(status.num_transactions);
-    out += ",\"delta_star\":" + JsonNumber(status.delta_star);
-    out += ",\"screened_out\":";
-    out += status.screened_out ? "true" : "false";
-    if (!status.screened_out) {
-      out += ",\"delta\":" + JsonNumber(status.deviation);
-      out += ",\"sig_pct\":" + JsonNumber(status.significance_percent);
-    }
-    out += ",\"alert\":";
-    out += status.alert ? "true" : "false";
-    out += ",\"cusum\":" + JsonNumber(status.cusum);
-    out += ",\"change_point\":";
-    out += status.change_point ? "true" : "false";
-    out += ",\"baseline_ready\":";
-    out += status.baseline_ready ? "true" : "false";
-    if (status.baseline_ready) {
-      out += ",\"baseline_mean\":" + JsonNumber(status.baseline_mean);
-      out += ",\"baseline_sd\":" + JsonNumber(status.baseline_sd);
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 HttpApi::HttpApi(const HttpApiOptions& options, MonitorService* service,
                  const data::TransactionDb* reference,
@@ -126,6 +45,11 @@ net::Router HttpApi::BuildRouter() {
                 [this](const net::HttpRequest& request,
                        const net::PathParams&) {
                   return HandleCompare(request);
+                });
+  router.Handle("GET", "/v1/deviation/summary",
+                [this](const net::HttpRequest& request,
+                       const net::PathParams&) {
+                  return HandleSummary(request);
                 });
   router.Handle("GET", "/metrics",
                 [this](const net::HttpRequest& request,
@@ -274,6 +198,33 @@ net::HttpResponse HttpApi::HandleCompare(const net::HttpRequest& request) {
   response.body += ",\"right\":\"" + right_it->second + "\"";
   response.body += ",\"f\":\"" + f_name + "\",\"g\":\"" + g_name + "\"";
   response.body += ",\"deviation\":" + JsonNumber(deviation) + "}\n";
+  return response;
+}
+
+net::HttpResponse HttpApi::HandleSummary(const net::HttpRequest& request) {
+  core::DeviationFunction fn;
+  std::string f_name, g_name;
+  if (!ParseDeviationFunction(request.query, &fn, &f_name, &g_name)) {
+    return net::ErrorResponse(400, "unknown deviation function; use "
+                                   "f=abs|scaled and g=sum|max");
+  }
+  // Per-stream deviations folded in canonical (sorted-name) order — the
+  // same AggregateSummary the sharded front end merges with, so the two
+  // deployments answer bit-identically (the shard law checker pins this).
+  std::vector<SummaryEntry> entries;
+  for (const std::string& name : service_->ListStreams()) {
+    const auto result = service_->QueryDeviation(name, fn);
+    if (!result.has_value()) continue;  // raced a concurrent registration
+    SummaryEntry entry;
+    entry.stream = name;
+    entry.has_deviation = result->has_deviation;
+    entry.deviation = result->deviation;
+    entries.push_back(std::move(entry));
+  }
+  const SummaryResult result = AggregateSummary(&entries, fn.g);
+
+  net::HttpResponse response;
+  response.body = SummaryJson(f_name, g_name, entries, result);
   return response;
 }
 

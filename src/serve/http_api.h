@@ -38,6 +38,8 @@ struct HttpApiOptions {
 //   POST /v1/compare?left=HASH&right=HASH&f=…&g=…   (params may also be a
 //        form-encoded body) — deviation between two previously ingested
 //        snapshots via the model cache; 404 when a hash is unknown.
+//   GET  /v1/deviation/summary?f=…&g=…   cross-stream aggregate: every
+//        stream's latest deviation folded with g in sorted-name order.
 //   GET  /metrics        Prometheus text (?format=json for the registry
 //        JSON snapshot)
 //   GET  /healthz        {"status":"ok"|"draining"}
@@ -68,6 +70,7 @@ class HttpApi {
   net::HttpResponse HandleDeviation(const net::HttpRequest& request,
                                     const net::PathParams& params);
   net::HttpResponse HandleCompare(const net::HttpRequest& request);
+  net::HttpResponse HandleSummary(const net::HttpRequest& request);
   net::HttpResponse HandleMetrics(const net::HttpRequest& request);
   net::HttpResponse HandleHealth();
 

@@ -175,6 +175,18 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+void SplitPrometheusLabels(const std::string& name, std::string* family,
+                           std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  *labels = name.substr(brace);
+}
+
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   MutexLock lock(&mutex_);
   auto& slot = counters_[name];
@@ -235,15 +247,30 @@ void MetricsRegistry::WriteJsonLine(std::ostream& out) const {
 std::string MetricsRegistry::ToPrometheusText(const std::string& prefix) const {
   MutexLock lock(&mutex_);
   std::string out;
+  // Labeled series of one family sort adjacently (the registry map is
+  // ordered), so emitting # TYPE only when the family changes yields one
+  // TYPE line per family as the exposition format requires.
+  std::string last_family;
   for (const auto& [name, counter] : counters_) {
-    const std::string full = prefix + PrometheusName(name) + "_total";
-    out += "# TYPE " + full + " counter\n";
-    out += full + " " + std::to_string(counter->Value()) + "\n";
+    std::string family, labels;
+    SplitPrometheusLabels(name, &family, &labels);
+    const std::string full = prefix + PrometheusName(family) + "_total";
+    if (full != last_family) {
+      out += "# TYPE " + full + " counter\n";
+      last_family = full;
+    }
+    out += full + labels + " " + std::to_string(counter->Value()) + "\n";
   }
+  last_family.clear();
   for (const auto& [name, gauge] : gauges_) {
-    const std::string full = prefix + PrometheusName(name);
-    out += "# TYPE " + full + " gauge\n";
-    out += full + " " + JsonNumber(gauge->Value()) + "\n";
+    std::string family, labels;
+    SplitPrometheusLabels(name, &family, &labels);
+    const std::string full = prefix + PrometheusName(family);
+    if (full != last_family) {
+      out += "# TYPE " + full + " gauge\n";
+      last_family = full;
+    }
+    out += full + labels + " " + JsonNumber(gauge->Value()) + "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
     histogram->RenderPrometheus(prefix + PrometheusName(name), &out);

@@ -120,6 +120,15 @@ std::string JsonNumber(double value);
 // outside [a-zA-Z0-9_:] become '_'.
 std::string PrometheusName(const std::string& name);
 
+// Splits a registry name into its metric family and label block. Counter
+// and gauge names may carry labels inline — `requests{shard="0"}` —
+// which the text exposition renders as `prefix_requests{shard="0"}` with
+// only the family part sanitized (one # TYPE line per family). Names
+// without '{' have an empty label part. Histogram names must stay
+// label-free (their exposition appends its own {le=…} block).
+void SplitPrometheusLabels(const std::string& name, std::string* family,
+                           std::string* labels);
+
 }  // namespace focus::serve
 
 #endif  // FOCUS_SERVE_METRICS_H_

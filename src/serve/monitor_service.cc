@@ -1,5 +1,6 @@
 #include "serve/monitor_service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -70,6 +71,17 @@ void MonitorService::AddStream(const std::string& name,
 bool MonitorService::HasStream(const std::string& name) const {
   MutexLock lock(&state_mutex_);
   return streams_.count(name) > 0;
+}
+
+std::vector<std::string> MonitorService::ListStreams() const {
+  std::vector<std::string> names;
+  {
+    MutexLock lock(&state_mutex_);
+    names.reserve(streams_.size());
+    for (const auto& [name, stream] : streams_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 void MonitorService::SetEventSink(

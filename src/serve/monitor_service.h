@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -112,6 +113,12 @@ class MonitorService {
                  const data::TransactionDb& reference)
       EXCLUDES(state_mutex_);
   bool HasStream(const std::string& name) const EXCLUDES(state_mutex_);
+
+  // Names of all registered streams, sorted. The canonical enumeration
+  // order for cross-stream aggregates: single-node and sharded summaries
+  // both fold per-stream deviations in this order, which is what makes the
+  // distributed g_sum bit-identical (FP addition is order-sensitive).
+  std::vector<std::string> ListStreams() const EXCLUDES(state_mutex_);
 
   // Invoked once per processed snapshot; calls are serialized. Set before
   // the first Submit.

@@ -1,0 +1,53 @@
+#include "shard/hash_ring.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace focus::shard {
+
+uint64_t RingHash(std::string_view bytes) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  // FNV-1a avalanches poorly on short, similar keys (exactly what stream
+  // names and vnode labels are), which skews the ring badly. A murmur3-
+  // style finalizer restores dispersion across all 64 bits.
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+HashRing::HashRing(int num_shards, int vnodes_per_shard)
+    : num_shards_(num_shards) {
+  FOCUS_CHECK(num_shards >= 1);
+  FOCUS_CHECK(vnodes_per_shard >= 1);
+  ring_.reserve(static_cast<size_t>(num_shards) * vnodes_per_shard);
+  for (int shard = 0; shard < num_shards; ++shard) {
+    for (int vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+      const std::string label =
+          "shard-" + std::to_string(shard) + "/v-" + std::to_string(vnode);
+      ring_.emplace_back(RingHash(label), shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int HashRing::ShardFor(std::string_view stream) const {
+  const uint64_t point = RingHash(stream);
+  // First vnode at or after the stream's point, wrapping at the top.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const std::pair<uint64_t, int>& entry, uint64_t value) {
+        return entry.first < value;
+      });
+  return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+}  // namespace focus::shard

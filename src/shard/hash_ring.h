@@ -1,0 +1,38 @@
+#ifndef FOCUS_SHARD_HASH_RING_H_
+#define FOCUS_SHARD_HASH_RING_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace focus::shard {
+
+// Consistent-hash ring for stream -> shard routing. Each shard owns
+// `vnodes_per_shard` points on a 64-bit ring (FNV-1a of "shard-i/v-j");
+// a stream maps to the shard owning the first point at or after the
+// stream name's hash. Routing is a pure function of (name, num_shards,
+// vnodes_per_shard): every front-end reactor, the law checker, and a
+// restarted daemon all agree on ownership with no coordination.
+class HashRing {
+ public:
+  explicit HashRing(int num_shards, int vnodes_per_shard = 64);
+
+  // Shard index in [0, num_shards) owning `stream`.
+  int ShardFor(std::string_view stream) const;
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  int num_shards_;
+  // (point, shard), sorted by point.
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+// FNV-1a, the same construction io uses for content hashes. Exposed for
+// tests.
+uint64_t RingHash(std::string_view bytes);
+
+}  // namespace focus::shard
+
+#endif  // FOCUS_SHARD_HASH_RING_H_

@@ -1,0 +1,120 @@
+#include "shard/shard_client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace focus::shard {
+
+ShardClient::ShardClient(std::string unix_path, WireLimits limits)
+    : unix_path_(std::move(unix_path)), limits_(limits) {}
+
+bool ShardClient::EnsureConnectedLocked(std::string* error) {
+  if (fd_.valid()) return true;
+  fd_ = net::ConnectUnix(unix_path_, error);
+  return fd_.valid();
+}
+
+void ShardClient::Close() {
+  common::MutexLock lock(&mutex_);
+  fd_.Reset();
+}
+
+bool ShardClient::Call(MessageType type, const std::string& payload,
+                       Frame* response, std::string* error) {
+  common::MutexLock lock(&mutex_);
+  const bool reused = fd_.valid();
+  bool sent_any = false;
+  if (CallLocked(type, payload, response, error, &sent_any)) return true;
+  fd_.Reset();  // poisoned connection; next Call re-connects
+  // A kept-alive connection the worker idle-closed (its read deadline)
+  // fails at the first send with EPIPE. Nothing of this request reached
+  // the worker, so one transparent retry on a fresh connection is safe —
+  // for every message type, including non-idempotent submits. Failures
+  // after bytes went out stay failures: the worker may have acted on them.
+  if (!reused || sent_any) return false;
+  if (error != nullptr) error->clear();
+  sent_any = false;
+  if (CallLocked(type, payload, response, error, &sent_any)) return true;
+  fd_.Reset();
+  return false;
+}
+
+bool ShardClient::CallLocked(MessageType type, const std::string& payload,
+                             Frame* response, std::string* error,
+                             bool* sent_any) {
+  if (!EnsureConnectedLocked(error)) return false;
+
+  Frame request;
+  request.type = type;
+  request.request_id = next_request_id_++;
+  request.payload = payload;
+  const std::string bytes = EncodeFrame(request);
+
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      *sent_any = true;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (error != nullptr) {
+      *error = "send to " + unix_path_ + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+
+  WireDecoder decoder(limits_);
+  char buffer[16384];
+  for (;;) {
+    const ssize_t n = ::read(fd_.get(), buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = "read from " + unix_path_ + ": " + std::strerror(errno);
+      }
+      return false;
+    }
+    if (n == 0) {
+      if (error != nullptr) {
+        *error = "shard at " + unix_path_ + " closed the connection";
+      }
+      return false;
+    }
+    const WireDecoder::Status status =
+        decoder.Consume(std::string_view(buffer, n));
+    if (status == WireDecoder::Status::kNeedMore) continue;
+    if (status == WireDecoder::Status::kError) {
+      if (error != nullptr) *error = decoder.error();
+      return false;
+    }
+    const Frame& frame = decoder.frame();
+    if (frame.type == MessageType::kError) {
+      ErrorBody body;
+      if (error != nullptr) {
+        *error = body.Decode(frame.payload) ? body.message
+                                            : "malformed error frame";
+      }
+      return false;
+    }
+    if (frame.request_id != request.request_id) {
+      // The protocol is strict request/response per connection, so a
+      // mismatched id means the stream is out of sync — bail out rather
+      // than guess.
+      if (error != nullptr) {
+        *error = "response id mismatch from " + unix_path_;
+      }
+      return false;
+    }
+    *response = frame;
+    return true;
+  }
+}
+
+}  // namespace focus::shard

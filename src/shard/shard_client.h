@@ -1,0 +1,58 @@
+#ifndef FOCUS_SHARD_SHARD_CLIENT_H_
+#define FOCUS_SHARD_SHARD_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "net/socket_util.h"
+#include "shard/shard_channel.h"
+#include "shard/wire.h"
+
+namespace focus::shard {
+
+// Blocking request/response client for one shard worker's Unix socket.
+// Thread-safe: calls serialize on an internal mutex, so one client can be
+// shared by the handlers of a front-end reactor. Call() matches responses
+// to requests by request_id; any transport or decode failure closes the
+// connection and reports false — the caller treats that as "shard down"
+// (503), and the next Call() re-connects.
+class ShardClient : public ShardChannel {
+ public:
+  explicit ShardClient(std::string unix_path, WireLimits limits = WireLimits());
+
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  // Sends `type` + `payload` and blocks for the matching response frame.
+  // Returns false on transport/decode failure (connection closed; `error`
+  // filled). A kError response frame from the worker is surfaced the same
+  // way: false, with the worker's message in `error`.
+  bool Call(MessageType type, const std::string& payload, Frame* response,
+            std::string* error) override EXCLUDES(mutex_);
+
+  // Drops the connection (next Call re-connects).
+  void Close() EXCLUDES(mutex_);
+
+  const std::string& unix_path() const { return unix_path_; }
+
+ private:
+  bool EnsureConnectedLocked(std::string* error) REQUIRES(mutex_);
+  // `sent_any` reports whether any request bytes reached the socket —
+  // Call() only retries failures that happened before that point.
+  bool CallLocked(MessageType type, const std::string& payload,
+                  Frame* response, std::string* error, bool* sent_any)
+      REQUIRES(mutex_);
+
+  const std::string unix_path_;
+  const WireLimits limits_;
+
+  common::Mutex mutex_;
+  net::UniqueFd fd_ GUARDED_BY(mutex_);
+  uint32_t next_request_id_ GUARDED_BY(mutex_) = 1;
+};
+
+}  // namespace focus::shard
+
+#endif  // FOCUS_SHARD_SHARD_CLIENT_H_

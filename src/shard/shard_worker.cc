@@ -1,0 +1,260 @@
+#include "shard/shard_worker.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/lits_deviation.h"
+#include "io/data_io.h"
+#include "serve/model_cache.h"
+
+namespace focus::shard {
+namespace {
+
+Frame ErrorFrame(uint32_t request_id, std::string message) {
+  ErrorBody body;
+  body.message = std::move(message);
+  return {MessageType::kError, request_id, body.Encode()};
+}
+
+}  // namespace
+
+ShardWorker::ShardWorker(const ShardWorkerOptions& options,
+                         const data::TransactionDb* reference,
+                         serve::MetricsRegistry* metrics)
+    : options_(options),
+      reference_(reference),
+      metrics_(metrics),
+      service_(options.service, metrics) {}
+
+bool ShardWorker::Serve(const WireServerOptions& server_options,
+                        std::string* error) {
+  server_ = std::make_unique<WireServer>(
+      server_options, [this](const Frame& frame) { return HandleFrame(frame); });
+  return server_->Start(error);
+}
+
+void ShardWorker::BeginDrain() {
+  draining_.store(true, std::memory_order_relaxed);
+  if (server_ != nullptr) server_->BeginDrain();
+}
+
+bool ShardWorker::WaitDrained(int timeout_ms) {
+  return server_ == nullptr || server_->WaitDrained(timeout_ms);
+}
+
+void ShardWorker::Stop() {
+  if (server_ != nullptr) server_->Stop();
+  service_.Flush();
+  service_.Shutdown();
+}
+
+Frame ShardWorker::HandleFrame(const Frame& request) {
+  switch (request.type) {
+    case MessageType::kPing:
+      return HandlePing(request);
+    case MessageType::kSubmitSnapshot:
+      return HandleSubmit(request);
+    case MessageType::kDeviationQuery:
+      return HandleDeviationQuery(request);
+    case MessageType::kCompare:
+      return HandleCompare(request);
+    case MessageType::kModelRegions:
+      return HandleModelRegions(request);
+    case MessageType::kExtendRegions:
+      return HandleExtendRegions(request);
+    case MessageType::kStreamPartials:
+      return HandleStreamPartials(request);
+    default:
+      return ErrorFrame(request.request_id,
+                        "unexpected message type " +
+                            std::to_string(static_cast<int>(request.type)));
+  }
+}
+
+Frame ShardWorker::HandlePing(const Frame& request) {
+  PongBody body;
+  body.shard_index = options_.shard_index;
+  body.processed = service_.processed();
+  body.draining = draining_.load(std::memory_order_relaxed) ? 1 : 0;
+  return {MessageType::kPong, request.request_id, body.Encode()};
+}
+
+Frame ShardWorker::HandleSubmit(const Frame& request) {
+  SubmitSnapshotBody body;
+  if (!body.Decode(request.payload)) {
+    return ErrorFrame(request.request_id, "malformed submit payload");
+  }
+  SubmitResultBody result;
+  // Drain refuses new work up front — in-flight snapshots still finish,
+  // but nothing new enters the queue (docs/SHARDING.md, shard death).
+  if (draining_.load(std::memory_order_relaxed)) {
+    result.status = 503;
+    result.error = "shard is draining";
+    return {MessageType::kSubmitResult, request.request_id, result.Encode()};
+  }
+  if (body.snapshot.empty()) {
+    result.status = 400;
+    result.error = "empty snapshot body";
+    return {MessageType::kSubmitResult, request.request_id, result.Encode()};
+  }
+  std::istringstream in(body.snapshot);
+  std::string load_error;
+  const auto db = io::LoadTransactionDb(in, &load_error);
+  if (!db.has_value()) {
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("ingest_rejected").Increment();
+    }
+    result.status = 400;
+    result.error = "malformed snapshot: " + load_error;
+    return {MessageType::kSubmitResult, request.request_id, result.Encode()};
+  }
+  result.content_hash = serve::TransactionDbContentHash(*db);
+
+  // Registration + sequence assignment + submission serialize so the
+  // stream registers exactly once and sequences stay dense.
+  common::MutexLock lock(&streams_mutex_);
+  if (!service_.HasStream(body.stream)) {
+    service_.AddStream(body.stream, *reference_);
+  }
+  serve::Snapshot snapshot;
+  snapshot.stream = body.stream;
+  snapshot.sequence = next_sequence_[body.stream];
+  snapshot.source = body.source;
+  snapshot.db = std::move(*db);
+  const serve::SubmitResult submit = service_.TrySubmitFor(
+      std::move(snapshot), std::chrono::milliseconds(options_.ingest_wait_ms));
+  switch (submit) {
+    case serve::SubmitResult::kOverloaded:
+      result.status = 429;
+      result.error = "ingest queue is full; retry later";
+      break;
+    case serve::SubmitResult::kShutdown:
+      result.status = 503;
+      result.error = "shard is shutting down";
+      break;
+    case serve::SubmitResult::kAccepted:
+      result.status = 202;
+      result.sequence = next_sequence_[body.stream]++;
+      break;
+  }
+  return {MessageType::kSubmitResult, request.request_id, result.Encode()};
+}
+
+Frame ShardWorker::HandleDeviationQuery(const Frame& request) {
+  DeviationQueryBody body;
+  if (!body.Decode(request.payload)) {
+    return ErrorFrame(request.request_id, "malformed deviation query");
+  }
+  core::DeviationFunction fn;
+  if (!DeviationFunctionFromCodes(body.f_code, body.g_code, &fn)) {
+    return ErrorFrame(request.request_id, "unknown deviation function codes");
+  }
+  DeviationResultBody result;
+  const auto deviation = service_.QueryDeviation(body.stream, fn);
+  if (deviation.has_value()) {
+    result.found = 1;
+    result.status = deviation->status;
+    result.has_deviation = deviation->has_deviation ? 1 : 0;
+    result.deviation = deviation->deviation;
+  }
+  return {MessageType::kDeviationResult, request.request_id, result.Encode()};
+}
+
+Frame ShardWorker::HandleCompare(const Frame& request) {
+  CompareBody body;
+  if (!body.Decode(request.payload)) {
+    return ErrorFrame(request.request_id, "malformed compare payload");
+  }
+  core::DeviationFunction fn;
+  if (!DeviationFunctionFromCodes(body.f_code, body.g_code, &fn)) {
+    return ErrorFrame(request.request_id, "unknown deviation function codes");
+  }
+  serve::ModelCache& cache = service_.model_cache();
+  const auto left = cache.LookupMined(body.left_hash);
+  const auto right = cache.LookupMined(body.right_hash);
+  CompareResultBody result;
+  if (left.has_value() && right.has_value()) {
+    result.outcome = CompareOutcome::kBoth;
+    // Both snapshots are local: the full single-node answer, same code as
+    // the unsharded /v1/compare.
+    result.deviation = core::LitsDeviation(*left->model, *left->index,
+                                           *right->model, *right->index, fn);
+    if (metrics_ != nullptr) metrics_->GetCounter("compares").Increment();
+  } else if (left.has_value()) {
+    result.outcome = CompareOutcome::kLeftOnly;
+  } else if (right.has_value()) {
+    result.outcome = CompareOutcome::kRightOnly;
+  } else {
+    result.outcome = CompareOutcome::kNeither;
+  }
+  return {MessageType::kCompareResult, request.request_id, result.Encode()};
+}
+
+Frame ShardWorker::HandleModelRegions(const Frame& request) {
+  ModelRegionsBody body;
+  if (!body.Decode(request.payload)) {
+    return ErrorFrame(request.request_id, "malformed model-regions payload");
+  }
+  ModelRegionsResultBody result;
+  const auto mined = service_.model_cache().LookupMined(body.content_hash);
+  if (mined.has_value()) {
+    result.found = 1;
+    result.num_transactions = mined->index->num_transactions();
+    result.regions = mined->model->StructuralComponent();
+  }
+  return {MessageType::kModelRegionsResult, request.request_id,
+          result.Encode()};
+}
+
+Frame ShardWorker::HandleExtendRegions(const Frame& request) {
+  ExtendRegionsBody body;
+  if (!body.Decode(request.payload)) {
+    return ErrorFrame(request.request_id, "malformed extend-regions payload");
+  }
+  ExtendRegionsResultBody result;
+  const auto mined = service_.model_cache().LookupMined(body.content_hash);
+  if (mined.has_value()) {
+    result.found = 1;
+    result.num_transactions = mined->index->num_transactions();
+    // The same measure extension LitsDeviation composes, so the router's
+    // recombined answer matches the single-node one bit for bit.
+    result.supports =
+        core::LitsExtendModel(body.regions, *mined->model, *mined->index);
+  }
+  return {MessageType::kExtendRegionsResult, request.request_id,
+          result.Encode()};
+}
+
+Frame ShardWorker::HandleStreamPartials(const Frame& request) {
+  StreamPartialsBody body;
+  if (!body.Decode(request.payload)) {
+    return ErrorFrame(request.request_id, "malformed stream-partials payload");
+  }
+  core::DeviationFunction fn;
+  if (!DeviationFunctionFromCodes(body.f_code, body.g_code, &fn)) {
+    return ErrorFrame(request.request_id, "unknown deviation function codes");
+  }
+  PartialAggregateBody result;
+  std::vector<double> values;
+  for (const std::string& name : service_.ListStreams()) {
+    const auto deviation = service_.QueryDeviation(name, fn);
+    if (!deviation.has_value()) continue;
+    PartialAggregateBody::Entry entry;
+    entry.stream = name;
+    entry.has_deviation = deviation->has_deviation ? 1 : 0;
+    entry.deviation = deviation->deviation;
+    if (deviation->has_deviation) values.push_back(deviation->deviation);
+    result.entries.push_back(std::move(entry));
+  }
+  result.value_count = static_cast<uint32_t>(values.size());
+  if (!values.empty()) {
+    result.partial_sum = core::AggregateValues(core::AggregateKind::kSum,
+                                               values);
+    result.partial_max = core::AggregateValues(core::AggregateKind::kMax,
+                                               values);
+  }
+  return {MessageType::kPartialAggregate, request.request_id, result.Encode()};
+}
+
+}  // namespace focus::shard

@@ -1,0 +1,89 @@
+#ifndef FOCUS_SHARD_SHARD_WORKER_H_
+#define FOCUS_SHARD_SHARD_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "data/transaction_db.h"
+#include "serve/metrics.h"
+#include "serve/monitor_service.h"
+#include "shard/wire.h"
+#include "shard/wire_server.h"
+
+namespace focus::shard {
+
+struct ShardWorkerOptions {
+  uint32_t shard_index = 0;
+  serve::MonitorServiceOptions service;
+  // How long kSubmitSnapshot waits for ingest backpressure to clear
+  // before answering 429 (mirrors HttpApiOptions::ingest_wait_ms).
+  int ingest_wait_ms = 20;
+};
+
+// One shard: a full MonitorService + ModelCache owning a subset of the
+// streams, exposed through the wire protocol. HandleFrame() is the entire
+// behavior — Serve() merely runs it behind a WireServer on a Unix socket,
+// which is how forked worker processes host it; the law tests and the
+// in-process bench call HandleFrame directly (same code, no sockets).
+//
+// The worker owns per-stream sequence assignment (it is the single owner
+// of each of its streams, so numbers stay dense no matter how many
+// front-end reactors forward ingests).
+class ShardWorker {
+ public:
+  // `reference` is the calibration dataset for lazily added streams;
+  // `metrics` may be null. Both must outlive the worker.
+  ShardWorker(const ShardWorkerOptions& options,
+              const data::TransactionDb* reference,
+              serve::MetricsRegistry* metrics);
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  // Dispatches one request frame to a response frame. Thread-safe.
+  Frame HandleFrame(const Frame& request) EXCLUDES(streams_mutex_);
+
+  // Starts a WireServer for this worker on `server_options.unix_path`.
+  bool Serve(const WireServerOptions& server_options,
+             std::string* error = nullptr);
+
+  // Graceful drain of the serving socket + the monitor service: stop
+  // accepting, finish in-flight frames, flush the ingest queue.
+  void BeginDrain();
+  bool WaitDrained(int timeout_ms);
+  void Stop();
+
+  serve::MonitorService& service() { return service_; }
+  const WireServer* server() const { return server_.get(); }
+
+ private:
+  Frame HandlePing(const Frame& request);
+  Frame HandleSubmit(const Frame& request) EXCLUDES(streams_mutex_);
+  Frame HandleDeviationQuery(const Frame& request);
+  Frame HandleCompare(const Frame& request);
+  Frame HandleModelRegions(const Frame& request);
+  Frame HandleExtendRegions(const Frame& request);
+  Frame HandleStreamPartials(const Frame& request);
+
+  const ShardWorkerOptions options_;
+  const data::TransactionDb* const reference_;
+  serve::MetricsRegistry* const metrics_;  // may be null
+  serve::MonitorService service_;
+  std::unique_ptr<WireServer> server_;
+  std::atomic<bool> draining_{false};
+
+  // Per-stream sequence numbers; serialized with lazy registration so a
+  // shed snapshot does not burn a number (same contract as the single-node
+  // HTTP ingest path).
+  common::Mutex streams_mutex_;
+  std::unordered_map<std::string, int64_t> next_sequence_
+      GUARDED_BY(streams_mutex_);
+};
+
+}  // namespace focus::shard
+
+#endif  // FOCUS_SHARD_SHARD_WORKER_H_

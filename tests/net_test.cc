@@ -89,6 +89,86 @@ TEST(HttpParserTest, ParsesPostBodyByContentLength) {
   EXPECT_EQ(parser.request().body, "hello world");
 }
 
+TEST(HttpParserTest, DecodesChunkedBody) {
+  HttpParser parser;
+  const auto status = Feed(&parser,
+                           "POST /v1/compare HTTP/1.1\r\nHost: x\r\n"
+                           "Transfer-Encoding: chunked\r\n\r\n"
+                           "5\r\nhello\r\n"
+                           "6;ext=ignored\r\n world\r\n"
+                           "0\r\n\r\n");
+  ASSERT_EQ(status, HttpParser::Status::kComplete);
+  EXPECT_EQ(parser.request().body, "hello world");
+  EXPECT_TRUE(parser.request().keep_alive);
+}
+
+TEST(HttpParserTest, ChunkedByteAtATimeMatchesOneShot) {
+  const std::string wire =
+      "POST /x HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: CHUNKED\r\n\r\n"
+      "4\r\nbody\r\nA\r\n0123456789\r\n0\r\n"
+      "X-Trailer: discarded\r\n\r\n";
+  HttpParser one_shot;
+  ASSERT_EQ(one_shot.Consume(wire), HttpParser::Status::kComplete);
+  EXPECT_EQ(one_shot.request().body, "body0123456789");
+
+  HttpParser dribble;
+  HttpParser::Status status = HttpParser::Status::kNeedMore;
+  for (char c : wire) {
+    status = dribble.Consume(std::string_view(&c, 1));
+    if (status != HttpParser::Status::kNeedMore) break;
+  }
+  ASSERT_EQ(status, HttpParser::Status::kComplete);
+  EXPECT_EQ(dribble.request().body, one_shot.request().body);
+  // Trailer fields are consumed but never surfaced as headers.
+  EXPECT_EQ(dribble.request().FindHeader("x-trailer"), nullptr);
+}
+
+TEST(HttpParserTest, ChunkedPipelinesWithFollowingRequest) {
+  HttpParser parser;
+  const auto first = Feed(&parser,
+                          "POST /a HTTP/1.1\r\nHost: x\r\n"
+                          "Transfer-Encoding: chunked\r\n\r\n"
+                          "2\r\nab\r\n0\r\n\r\n"
+                          "GET /b HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_EQ(first, HttpParser::Status::kComplete);
+  EXPECT_EQ(parser.request().path, "/a");
+  EXPECT_EQ(parser.request().body, "ab");
+  ASSERT_EQ(parser.Reset(), HttpParser::Status::kComplete);
+  EXPECT_EQ(parser.request().path, "/b");
+}
+
+TEST(HttpParserTest, ChunkedBodyHonorsBodyLimit) {
+  HttpParserLimits limits;
+  limits.max_body_bytes = 16;
+  {  // single over-limit chunk, rejected from the size line alone
+    HttpParser parser(limits);
+    EXPECT_EQ(parser.Consume("POST / HTTP/1.1\r\n"
+                             "Transfer-Encoding: chunked\r\n\r\n"
+                             "FFFFFFFFFFFFFFFFFF\r\n"),
+              HttpParser::Status::kError);
+    EXPECT_EQ(parser.error_status(), 413);
+  }
+  {  // many small chunks whose total crosses the cap
+    HttpParser parser(limits);
+    std::string wire =
+        "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    for (int i = 0; i < 5; ++i) wire += "4\r\nabcd\r\n";
+    EXPECT_EQ(parser.Consume(wire), HttpParser::Status::kError);
+    EXPECT_EQ(parser.error_status(), 413);
+  }
+  {  // unbounded trailers -> 431
+    HttpParserLimits tight;
+    tight.max_headers = 4;
+    HttpParser parser(tight);
+    std::string wire =
+        "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n";
+    for (int i = 0; i < 6; ++i) wire += "t" + std::to_string(i) + ": v\r\n";
+    wire += "\r\n";
+    EXPECT_EQ(parser.Consume(wire), HttpParser::Status::kError);
+    EXPECT_EQ(parser.error_status(), 431);
+  }
+}
+
 TEST(HttpParserTest, ByteAtATimeMatchesOneShot) {
   const std::string wire =
       "POST /x?a=1 HTTP/1.1\r\nHost: h\r\ncontent-length: 4\r\n"
@@ -171,8 +251,26 @@ TEST(HttpParserTest, MalformedRequestsGetPreciseStatuses) {
       {"conflicting_content_length",
        "POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
        400},
-      {"transfer_encoding", "POST / HTTP/1.1\r\nTransfer-Encoding: chunked"
-                            "\r\n\r\n", 501},
+      {"transfer_encoding_gzip", "POST / HTTP/1.1\r\nTransfer-Encoding: gzip"
+                                 "\r\n\r\n", 501},
+      {"transfer_encoding_list",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n\r\n", 501},
+      {"te_then_content_length",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+       "Content-Length: 4\r\n\r\n", 400},
+      {"content_length_then_te",
+       "POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+       "Transfer-Encoding: chunked\r\n\r\n", 400},
+      {"duplicate_te",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+       "Transfer-Encoding: chunked\r\n\r\n", 400},
+      {"bad_chunk_size",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n", 400},
+      {"empty_chunk_size",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\r\n", 400},
+      {"bad_chunk_terminator",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+       "3\r\nabcXX", 400},
       {"nul_in_header", std::string("GET / HTTP/1.1\r\nA: b\0c\r\n\r\n", 26),
        400},
   };

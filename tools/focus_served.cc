@@ -21,23 +21,45 @@
 //     [--threads 4] [--queue 64] [--cache 64]
 //     [--max-connections 256] [--read-deadline-ms 10000]
 //     [--ingest-wait-ms 20] [--events PATH] [--force-poll 0]
+//     [--shards 0] [--reactors 1] [--shard-dir PATH]
 //
 // --port 0 binds a kernel-assigned ephemeral port; --port-file writes the
 // bound port as a single line once the server is listening (how the
 // integration tests and scripts find it).
 //
+// --shards N (N >= 1) switches to the sharded deployment of
+// docs/SHARDING.md: N worker processes are forked, each running a full
+// MonitorService behind the shard wire protocol on a Unix socket under
+// --shard-dir (default: a fresh temp directory), and the parent serves
+// the same HTTP API through --reactors SO_REUSEPORT event loops that
+// scatter-gather over the workers. Workers are forked before any thread
+// exists, so the daemon stays clean under TSan. The answers are
+// bit-identical to --shards 0 (tests/laws/laws_shard_test.cc).
+//
 // SIGTERM/SIGINT trigger a graceful drain: /healthz flips to "draining",
 // the listener closes, idle keep-alive connections are shut, in-flight
-// requests finish, the ingest queue is flushed, and the process exits 0.
+// requests finish, the ingest queue is flushed — and in sharded mode
+// every worker is SIGTERMed, drains the same way, and is reaped — then
+// the process exits 0.
 //
 // Exit status: 0 on success (including signal-triggered drain), 1 on
-// usage errors, 2 on I/O or bind failures.
+// usage errors, 2 on I/O or bind failures (or a worker that did not
+// drain cleanly).
 
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/flags.h"
 #include "io/data_io.h"
@@ -45,6 +67,10 @@
 #include "serve/http_api.h"
 #include "serve/metrics.h"
 #include "serve/monitor_service.h"
+#include "shard/shard_client.h"
+#include "shard/shard_router.h"
+#include "shard/shard_worker.h"
+#include "shard/sharded_api.h"
 
 namespace focus::daemon {
 namespace {
@@ -53,19 +79,15 @@ volatile std::sig_atomic_t g_signal = 0;
 
 void OnSignal(int sig) { g_signal = sig; }
 
-int Run(const common::Flags& flags) {
-  const std::string reference_path = flags.Get("reference", "");
-  if (reference_path.empty()) {
-    std::fprintf(stderr, "focus_served requires --reference\n");
-    return 1;
-  }
-  const auto reference = io::LoadTransactionDbFromFile(reference_path);
-  if (!reference.has_value()) {
-    std::fprintf(stderr, "cannot read --reference %s\n",
-                 reference_path.c_str());
-    return 2;
-  }
+void InstallSignalHandlers() {
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+}
 
+serve::MonitorServiceOptions ServiceOptions(const common::Flags& flags) {
   serve::MonitorServiceOptions options;
   options.monitor.apriori.min_support = flags.GetDouble("minsup", 0.01);
   options.monitor.alert_factor = flags.GetDouble("factor", 2.0);
@@ -80,6 +102,272 @@ int Run(const common::Flags& flags) {
   options.queue_capacity = static_cast<size_t>(flags.GetInt("queue", 64));
   options.model_cache_capacity =
       static_cast<size_t>(flags.GetInt("cache", 64));
+  return options;
+}
+
+// ------------------------------------------------------------ sharded mode
+
+// The forked worker process: one ShardWorker on one Unix socket, drained
+// on SIGTERM exactly like the single-node daemon.
+int WorkerMain(uint32_t shard_index, const common::Flags& flags,
+               const data::TransactionDb& reference,
+               const std::string& socket_path) {
+  shard::ShardWorkerOptions worker_options;
+  worker_options.shard_index = shard_index;
+  worker_options.service = ServiceOptions(flags);
+  worker_options.ingest_wait_ms =
+      static_cast<int>(flags.GetInt("ingest-wait-ms", 20));
+
+  shard::ShardWorker worker(worker_options, &reference, nullptr);
+  shard::WireServerOptions server_options;
+  server_options.unix_path = socket_path;
+  server_options.read_deadline_ms =
+      static_cast<int>(flags.GetInt("read-deadline-ms", 10'000));
+  server_options.force_poll = flags.GetInt("force-poll", 0) != 0;
+  std::string error;
+  if (!worker.Serve(server_options, &error)) {
+    std::fprintf(stderr, "focus_served[shard %u]: cannot listen on %s: %s\n",
+                 shard_index, socket_path.c_str(), error.c_str());
+    return 2;
+  }
+
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  worker.BeginDrain();
+  worker.WaitDrained(server_options.read_deadline_ms);
+  worker.Stop();
+  std::printf("focus_served[shard %u]: drained; %lld snapshots processed\n",
+              shard_index,
+              static_cast<long long>(worker.service().processed()));
+  return 0;
+}
+
+// One SO_REUSEPORT front-end reactor: its own shard clients + router +
+// api + event loop, so nothing serializes across reactors but the kernel
+// accept queue.
+struct Reactor {
+  std::vector<std::unique_ptr<shard::ShardClient>> clients;
+  std::unique_ptr<shard::ShardRouter> router;
+  std::unique_ptr<shard::ShardedApi> api;
+  std::unique_ptr<net::HttpServer> server;
+};
+
+int RunSharded(const common::Flags& flags,
+               const data::TransactionDb& reference, int num_shards) {
+  const int num_reactors =
+      static_cast<int>(flags.GetInt("reactors", 1));
+  if (num_reactors < 1) {
+    std::fprintf(stderr, "--reactors must be >= 1\n");
+    return 1;
+  }
+
+  std::string shard_dir = flags.Get("shard-dir", "");
+  bool made_dir = false;
+  if (shard_dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string pattern =
+        std::string(tmp != nullptr ? tmp : "/tmp") + "/focus_shard_XXXXXX";
+    std::vector<char> buffer(pattern.begin(), pattern.end());
+    buffer.push_back('\0');
+    if (::mkdtemp(buffer.data()) == nullptr) {
+      std::perror("focus_served: mkdtemp");
+      return 2;
+    }
+    shard_dir.assign(buffer.data());
+    made_dir = true;
+  } else if (::mkdir(shard_dir.c_str(), 0700) == 0) {
+    // Same contract as focus_monitord's spool dir: create a missing
+    // --shard-dir instead of erroring (and clean it up on exit).
+    made_dir = true;
+  } else if (errno != EEXIST) {
+    std::fprintf(stderr, "focus_served: cannot create shard dir %s: %s\n",
+                 shard_dir.c_str(), std::strerror(errno));
+    return 2;
+  }
+
+  // Handlers go in before the forks so workers inherit them; g_signal is
+  // per-process after the fork.
+  InstallSignalHandlers();
+
+  // Fork every worker while this process is still single-threaded (no
+  // servers, no clients yet) — the only fork() discipline that is safe
+  // under TSan and avoids inheriting locked mutexes.
+  std::vector<pid_t> worker_pids;
+  std::vector<std::string> socket_paths;
+  for (int i = 0; i < num_shards; ++i) {
+    socket_paths.push_back(shard_dir + "/shard-" + std::to_string(i) +
+                           ".sock");
+  }
+  for (int i = 0; i < num_shards; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("focus_served: fork");
+      for (const pid_t child : worker_pids) ::kill(child, SIGKILL);
+      return 2;
+    }
+    if (pid == 0) {
+      std::exit(
+          WorkerMain(static_cast<uint32_t>(i), flags, reference,
+                     socket_paths[static_cast<size_t>(i)]));
+    }
+    worker_pids.push_back(pid);
+  }
+
+  auto shutdown_workers = [&](int sig) {
+    for (const pid_t pid : worker_pids) ::kill(pid, sig);
+    bool all_clean = true;
+    for (const pid_t pid : worker_pids) {
+      int status = 0;
+      if (::waitpid(pid, &status, 0) != pid ||
+          !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        all_clean = false;
+      }
+    }
+    if (made_dir) {
+      for (const std::string& path : socket_paths) ::unlink(path.c_str());
+      ::rmdir(shard_dir.c_str());
+    }
+    return all_clean;
+  };
+
+  serve::MetricsRegistry metrics;
+  const int num_connections =
+      static_cast<int>(flags.GetInt("max-connections", 256));
+  std::vector<Reactor> reactors(static_cast<size_t>(num_reactors));
+  uint16_t bound_port = 0;
+  for (int r = 0; r < num_reactors; ++r) {
+    Reactor& reactor = reactors[static_cast<size_t>(r)];
+    std::vector<shard::ShardChannel*> channels;
+    for (const std::string& path : socket_paths) {
+      reactor.clients.push_back(std::make_unique<shard::ShardClient>(path));
+      channels.push_back(reactor.clients.back().get());
+    }
+    reactor.router = std::make_unique<shard::ShardRouter>(channels);
+    shard::ShardedApiOptions api_options;
+    api_options.reactor_index = r;
+    reactor.api = std::make_unique<shard::ShardedApi>(
+        api_options, reactor.router.get(), &metrics);
+
+    net::HttpServerOptions server_options;
+    server_options.bind_address = flags.Get("address", "127.0.0.1");
+    // Reactor 0 binds the requested port (possibly ephemeral); the rest
+    // join it through SO_REUSEPORT so the kernel spreads connections.
+    server_options.port =
+        r == 0 ? static_cast<uint16_t>(flags.GetInt("port", 8080))
+               : bound_port;
+    server_options.reuse_port = num_reactors > 1;
+    server_options.max_connections = num_connections / num_reactors;
+    server_options.read_deadline_ms =
+        static_cast<int>(flags.GetInt("read-deadline-ms", 10'000));
+    server_options.force_poll = flags.GetInt("force-poll", 0) != 0;
+    reactor.server = std::make_unique<net::HttpServer>(
+        server_options, reactor.api->BuildRouter());
+    reactor.api->AttachServer(reactor.server.get());
+    std::string error;
+    if (!reactor.server->Start(&error)) {
+      std::fprintf(stderr, "cannot start reactor %d on %s:%d: %s\n", r,
+                   server_options.bind_address.c_str(),
+                   static_cast<int>(server_options.port), error.c_str());
+      shutdown_workers(SIGTERM);
+      return 2;
+    }
+    if (r == 0) bound_port = reactor.server->port();
+  }
+
+  // Wait until every worker answers a ping (sockets appear as each child
+  // binds); tolerate a slow start, not a dead child.
+  {
+    std::string error;
+    bool up = false;
+    for (int attempt = 0; attempt < 500 && g_signal == 0; ++attempt) {
+      if (reactors[0].router->PingAll(&error)) {
+        up = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!up && g_signal == 0) {
+      std::fprintf(stderr, "focus_served: shard workers not up: %s\n",
+                   error.c_str());
+      shutdown_workers(SIGTERM);
+      return 2;
+    }
+  }
+
+  const std::string port_file = flags.Get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << bound_port << '\n';
+    if (!out) {
+      std::fprintf(stderr, "cannot write --port-file %s\n",
+                   port_file.c_str());
+      shutdown_workers(SIGTERM);
+      return 2;
+    }
+  }
+
+  std::printf(
+      "focus_served: listening on %s:%u, %d shards x %d reactors, "
+      "reference %lld txns\n",
+      flags.Get("address", "127.0.0.1").c_str(),
+      static_cast<unsigned>(bound_port), num_shards, num_reactors,
+      static_cast<long long>(reference.num_transactions()));
+  std::fflush(stdout);
+
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("focus_served: signal %d, draining…\n",
+              static_cast<int>(g_signal));
+  std::fflush(stdout);
+  // Front end first (stop taking requests), then the workers.
+  for (Reactor& reactor : reactors) reactor.api->SetDraining(true);
+  for (Reactor& reactor : reactors) reactor.server->BeginDrain();
+  const int deadline_ms =
+      static_cast<int>(flags.GetInt("read-deadline-ms", 10'000));
+  for (Reactor& reactor : reactors) reactor.server->WaitDrained(deadline_ms);
+  for (Reactor& reactor : reactors) reactor.server->Stop();
+  const bool workers_clean = shutdown_workers(SIGTERM);
+
+  int64_t requests = 0, connections = 0;
+  for (const Reactor& reactor : reactors) {
+    const net::HttpServerStats stats = reactor.server->stats();
+    requests += stats.requests_handled;
+    connections += stats.connections_accepted;
+  }
+  std::printf(
+      "focus_served: drained; %lld requests over %lld connections, "
+      "%d workers %s\n",
+      static_cast<long long>(requests), static_cast<long long>(connections),
+      num_shards, workers_clean ? "clean" : "UNCLEAN");
+  return workers_clean ? 0 : 2;
+}
+
+// --------------------------------------------------------- single-node mode
+
+int Run(const common::Flags& flags) {
+  const std::string reference_path = flags.Get("reference", "");
+  if (reference_path.empty()) {
+    std::fprintf(stderr, "focus_served requires --reference\n");
+    return 1;
+  }
+  const auto reference = io::LoadTransactionDbFromFile(reference_path);
+  if (!reference.has_value()) {
+    std::fprintf(stderr, "cannot read --reference %s\n",
+                 reference_path.c_str());
+    return 2;
+  }
+
+  const int num_shards = static_cast<int>(flags.GetInt("shards", 0));
+  if (num_shards < 0) {
+    std::fprintf(stderr, "--shards must be >= 0\n");
+    return 1;
+  }
+  if (num_shards > 0) return RunSharded(flags, *reference, num_shards);
+
+  const serve::MonitorServiceOptions options = ServiceOptions(flags);
 
   serve::MetricsRegistry metrics;
   serve::MonitorService service(options, &metrics);
@@ -133,11 +421,7 @@ int Run(const common::Flags& flags) {
     }
   }
 
-  std::signal(SIGTERM, OnSignal);
-  std::signal(SIGINT, OnSignal);
-#ifdef SIGPIPE
-  std::signal(SIGPIPE, SIG_IGN);
-#endif
+  InstallSignalHandlers();
 
   std::printf("focus_served: listening on %s:%u, reference=%s (%lld txns)\n",
               server_options.bind_address.c_str(),
@@ -180,7 +464,8 @@ int main(int argc, char** argv) {
       {"reference", "address", "port", "port-file", "minsup", "factor",
        "replicates", "calibration", "warmup", "slack", "decision", "threads",
        "queue", "cache", "max-connections", "read-deadline-ms",
-       "ingest-wait-ms", "events", "force-poll"});
+       "ingest-wait-ms", "events", "force-poll", "shards", "reactors",
+       "shard-dir"});
   if (!flags.has_value()) return 1;
   return focus::daemon::Run(*flags);
 }
