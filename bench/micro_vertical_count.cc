@@ -7,7 +7,10 @@
 //   {"bench":"micro_vertical_count","transactions":N,"itemsets":64,
 //    "horizontal_ms_per_pass":…,"index_build_ms":…,
 //    "vertical_ms_per_pass":…,"vertical_parallel_ms_per_pass":…,
-//    "speedup_vertical":…,"passes_to_amortize_build":…,"checked":true}
+//    "speedup_vertical":…,"passes_to_amortize_build":…,
+//    "kernel_ms_per_pass":{"scalar":…,"avx2":…,"avx512":…},"checked":true}
+// The kernel sweep pins the dispatcher to each level the hardware
+// supports (ScopedLevelForTesting) and re-checks bit-identity per level.
 
 #include <algorithm>
 #include <cstdint>
@@ -20,6 +23,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "data/simd_kernels.h"
 #include "data/vertical_index.h"
 #include "datagen/quest_gen.h"
 #include "itemsets/itemset.h"
@@ -109,13 +113,38 @@ int Run() {
   FOCUS_CHECK(vertical == horizontal);  // the bit-identical contract
   FOCUS_CHECK(parallel == horizontal);
 
+  // Kernel sweep: the same vertical pass pinned to each dispatch level the
+  // hardware can run. Counts must stay bit-identical; only time may move.
+  std::string kernel_json = "{";
+  for (const data::simd::Level level :
+       {data::simd::Level::kScalar, data::simd::Level::kAvx2,
+        data::simd::Level::kAvx512}) {
+    if (!data::simd::LevelSupported(level)) continue;
+    data::simd::ScopedLevelForTesting scoped(level);
+    timer.Restart();
+    std::vector<int64_t> leveled;
+    for (int i = 0; i < vertical_passes; ++i) {
+      leveled = counter.CountAbsolute(index);
+    }
+    const double level_ms = timer.Millis() / vertical_passes;
+    FOCUS_CHECK(leveled == horizontal);
+    char entry[64];
+    std::snprintf(entry, sizeof(entry), "%s\"%s\":%.3f",
+                  kernel_json.size() > 1 ? "," : "",
+                  data::simd::LevelName(level), level_ms);
+    kernel_json += entry;
+    std::printf("kernel %-7s %.3f ms/pass\n", data::simd::LevelName(level),
+                level_ms);
+  }
+  kernel_json += "}";
+
   const double speedup = horizontal_ms / vertical_ms;
   // Number of counting passes after which build + vertical probes beat
   // repeated horizontal scans.
   const double amortize =
       horizontal_ms > vertical_ms ? build_ms / (horizontal_ms - vertical_ms)
                                   : -1.0;
-  char line[512];
+  char line[768];
   std::snprintf(
       line, sizeof(line),
       "{\"bench\":\"micro_vertical_count\",\"transactions\":%lld,"
@@ -123,11 +152,11 @@ int Run() {
       "\"index_build_ms\":%.3f,\"index_mib\":%.1f,"
       "\"vertical_ms_per_pass\":%.3f,\"vertical_parallel_ms_per_pass\":%.3f,"
       "\"speedup_vertical\":%.2f,\"passes_to_amortize_build\":%.2f,"
-      "\"checked\":true}",
+      "\"kernel_ms_per_pass\":%s,\"checked\":true}",
       static_cast<long long>(db.num_transactions()), itemsets.size(),
       horizontal_ms, build_ms,
       static_cast<double>(index.MemoryBytes()) / (1024.0 * 1024.0),
-      vertical_ms, parallel_ms, speedup, amortize);
+      vertical_ms, parallel_ms, speedup, amortize, kernel_json.c_str());
   bench::EmitBenchJson(line);
   return 0;
 }

@@ -1,0 +1,123 @@
+// Differential fuzz target for the RoaringIndex container codec — the
+// format the snapshot spool persists and reloads. Three obligations on
+// anything LoadFrom ACCEPTS:
+//   1. Fixed point: save→load→save reproduces the exact bytes (LoadFrom
+//      admits only the canonical form SaveTo emits).
+//   2. Differential counting: intersect/difference counts computed on
+//      the hybrid containers equal a std::vector<uint32_t> set-algebra
+//      reference built from the materialized TID sets.
+//   3. Cardinality: ItemCount equals the materialized TID-set size.
+// Rejected inputs must fail cleanly (no crash, no partial index).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/roaring_index.h"
+
+namespace {
+
+std::vector<uint32_t> IntersectReference(
+    const std::vector<std::vector<uint32_t>>& sets, int64_t num_transactions) {
+  if (sets.empty()) {
+    std::vector<uint32_t> all(static_cast<size_t>(num_transactions));
+    for (int64_t t = 0; t < num_transactions; ++t) {
+      all[static_cast<size_t>(t)] = static_cast<uint32_t>(t);
+    }
+    return all;
+  }
+  std::vector<uint32_t> acc = sets[0];
+  for (size_t i = 1; i < sets.size(); ++i) {
+    std::vector<uint32_t> next;
+    std::set_intersection(acc.begin(), acc.end(), sets[i].begin(),
+                          sets[i].end(), std::back_inserter(next));
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(bytes);
+  std::string error;
+  const auto index = focus::data::RoaringIndex::LoadFrom(in, &error);
+  if (!index.has_value()) return 0;
+
+  // 1. Byte-level fixed point.
+  std::ostringstream resaved;
+  index->SaveTo(resaved);
+  if (resaved.str() != bytes) std::abort();
+  std::istringstream in2(resaved.str());
+  const auto again = focus::data::RoaringIndex::LoadFrom(in2, &error);
+  if (!again.has_value() || !(*again == *index)) std::abort();
+
+  // Materialize every item's TID set once; that is the reference algebra.
+  const int32_t num_items = index->num_items();
+  std::vector<std::vector<uint32_t>> tids(static_cast<size_t>(num_items));
+  for (int32_t item = 0; item < num_items; ++item) {
+    tids[static_cast<size_t>(item)] = index->ItemTids(item);
+    // 3. Cardinality and ascending-distinct invariants.
+    const auto& set = tids[static_cast<size_t>(item)];
+    if (index->ItemCount(item) != static_cast<int64_t>(set.size())) {
+      std::abort();
+    }
+    for (size_t i = 1; i < set.size(); ++i) {
+      if (set[i] <= set[i - 1]) std::abort();
+    }
+    if (!set.empty() &&
+        static_cast<int64_t>(set.back()) >= index->num_transactions()) {
+      std::abort();
+    }
+  }
+
+  // 2. Differential counting, bounded so pathological item counts stay
+  // cheap: pairs from the first few items plus one wider intersection.
+  const int32_t probe_limit = std::min<int32_t>(num_items, 6);
+  for (int32_t a = 0; a < probe_limit; ++a) {
+    for (int32_t b = a; b < probe_limit; ++b) {
+      const std::vector<uint32_t> expected = IntersectReference(
+          {tids[static_cast<size_t>(a)], tids[static_cast<size_t>(b)]},
+          index->num_transactions());
+      const std::vector<int32_t> pair_items =
+          (a == b) ? std::vector<int32_t>{a} : std::vector<int32_t>{a, b};
+      if (index->CountPairIntersection(a, b) !=
+              static_cast<int64_t>(expected.size()) ||
+          index->CountIntersection(pair_items) !=
+              static_cast<int64_t>(expected.size())) {
+        std::abort();
+      }
+      // AND-NOT against a third item (or the pair itself when a == b).
+      const int32_t excluded = (b + 1) % std::max<int32_t>(num_items, 1);
+      std::vector<uint32_t> remain;
+      std::set_difference(expected.begin(), expected.end(),
+                          tids[static_cast<size_t>(excluded)].begin(),
+                          tids[static_cast<size_t>(excluded)].end(),
+                          std::back_inserter(remain));
+      if (index->CountDifference(pair_items, excluded) !=
+          static_cast<int64_t>(remain.size())) {
+        std::abort();
+      }
+    }
+  }
+  if (probe_limit > 0) {
+    std::vector<int32_t> all_probed;
+    std::vector<std::vector<uint32_t>> probed_sets;
+    for (int32_t item = 0; item < probe_limit; ++item) {
+      all_probed.push_back(item);
+      probed_sets.push_back(tids[static_cast<size_t>(item)]);
+    }
+    const std::vector<uint32_t> expected =
+        IntersectReference(probed_sets, index->num_transactions());
+    if (index->CountIntersection(all_probed) !=
+        static_cast<int64_t>(expected.size())) {
+      std::abort();
+    }
+  }
+  return 0;
+}

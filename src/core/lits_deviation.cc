@@ -50,9 +50,9 @@ std::vector<double> ExtendModel(const std::vector<lits::Itemset>& regions,
 
 std::vector<double> ExtendModel(const std::vector<lits::Itemset>& regions,
                                 const lits::LitsModel& model,
-                                const data::VerticalIndex& index) {
+                                data::ItemIndexRef index) {
   return ExtendModelWith(
-      regions, model, [&index](const std::vector<lits::Itemset>& missing) {
+      regions, model, [index](const std::vector<lits::Itemset>& missing) {
         return lits::SupportCounter(missing, index.num_items())
             .CountRelative(index);
       });
@@ -73,7 +73,7 @@ double AggregateRegionDiffs(const std::vector<double>& s1, double n1,
 
 std::vector<double> LitsExtendModel(const std::vector<lits::Itemset>& regions,
                                     const lits::LitsModel& model,
-                                    const data::VerticalIndex& index) {
+                                    data::ItemIndexRef index) {
   return ExtendModel(regions, model, index);
 }
 
@@ -104,8 +104,7 @@ double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
 }
 
 double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
-                                const data::VerticalIndex& i1,
-                                const data::VerticalIndex& i2,
+                                data::ItemIndexRef i1, data::ItemIndexRef i2,
                                 const DeviationFunction& fn) {
   const lits::SupportCounter counter1(regions, i1.num_items());
   const lits::SupportCounter counter2(regions, i2.num_items());
@@ -125,8 +124,8 @@ double LitsDeviation(const lits::LitsModel& m1, const data::TransactionDb& d1,
                               static_cast<double>(d2.num_transactions()), fn);
 }
 
-double LitsDeviation(const lits::LitsModel& m1, const data::VerticalIndex& i1,
-                     const lits::LitsModel& m2, const data::VerticalIndex& i2,
+double LitsDeviation(const lits::LitsModel& m1, data::ItemIndexRef i1,
+                     const lits::LitsModel& m2, data::ItemIndexRef i2,
                      const DeviationFunction& fn) {
   const std::vector<lits::Itemset> gcr = LitsGcr(m1, m2);
   return AggregateRegionDiffs(ExtendModel(gcr, m1, i1),

@@ -6,7 +6,7 @@
 
 #include "core/functions.h"
 #include "data/transaction_db.h"
-#include "data/vertical_index.h"
+#include "data/item_index.h"
 #include "itemsets/apriori.h"
 #include "itemsets/itemset.h"
 
@@ -38,17 +38,17 @@ double LitsDeviation(const lits::LitsModel& m1, const data::TransactionDb& d1,
 
 // Vertical-index overloads: identical results (counts are integers and the
 // divisions by |D| match), but the per-region supports missing from each
-// model come from AND+popcount over prebuilt TID bitmaps instead of
+// model come from AND+popcount over prebuilt TID sets — flat bitmaps or
+// roaring containers, whichever backs the data::ItemIndexRef — instead of
 // re-scanning raw transactions. This is the scan-once path the serving
 // layer uses: each snapshot's index is built one time and then probed by
 // every deviation the window evaluates against it.
 double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
-                                const data::VerticalIndex& i1,
-                                const data::VerticalIndex& i2,
+                                data::ItemIndexRef i1, data::ItemIndexRef i2,
                                 const DeviationFunction& fn);
 
-double LitsDeviation(const lits::LitsModel& m1, const data::VerticalIndex& i1,
-                     const lits::LitsModel& m2, const data::VerticalIndex& i2,
+double LitsDeviation(const lits::LitsModel& m1, data::ItemIndexRef i1,
+                     const lits::LitsModel& m2, data::ItemIndexRef i2,
                      const DeviationFunction& fn);
 
 // The two halves of LitsDeviation, exposed for the sharded scatter-gather
@@ -62,7 +62,7 @@ double LitsDeviation(const lits::LitsModel& m1, const data::VerticalIndex& i1,
 // prebuilt vertical index.
 std::vector<double> LitsExtendModel(const std::vector<lits::Itemset>& regions,
                                     const lits::LitsModel& model,
-                                    const data::VerticalIndex& index);
+                                    data::ItemIndexRef index);
 
 // delta^1_(f,g) over already-extended measure components: per-region diffs
 // in region order, then AggregateValues(fn.g, ...).

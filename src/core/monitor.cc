@@ -57,7 +57,7 @@ MonitorReport LitsChangeMonitor::Inspect(
 
 MonitorReport LitsChangeMonitor::InspectWithModel(
     const data::TransactionDb& snapshot, const lits::LitsModel& snapshot_model,
-    const data::VerticalIndex* snapshot_index) const {
+    data::ItemIndexRef snapshot_index) const {
   MonitorReport report;
   report.upper_bound =
       LitsUpperBound(reference_model_, snapshot_model, options_.fn.g);
@@ -68,9 +68,9 @@ MonitorReport LitsChangeMonitor::InspectWithModel(
     return report;
   }
   report.deviation =
-      snapshot_index != nullptr
+      snapshot_index.has_value()
           ? LitsDeviation(reference_model_, reference_index_, snapshot_model,
-                          *snapshot_index, options_.fn)
+                          snapshot_index, options_.fn)
           : LitsDeviation(reference_model_, reference_, snapshot_model,
                           snapshot, options_.fn);
   const SignificanceResult sig = LitsDeviationSignificance(

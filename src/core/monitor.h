@@ -5,6 +5,7 @@
 
 #include "core/functions.h"
 #include "core/significance.h"
+#include "data/item_index.h"
 #include "data/transaction_db.h"
 #include "data/vertical_index.h"
 #include "itemsets/apriori.h"
@@ -55,16 +56,17 @@ class LitsChangeMonitor {
   // Same, with a caller-supplied model of `snapshot` (e.g. from the
   // serving layer's mined-model cache) so stage 1 skips re-mining. The
   // model MUST have been mined from `snapshot` with this monitor's
-  // apriori options. When `snapshot_index` is non-null (a VerticalIndex
-  // built from `snapshot`, e.g. the serving layer's per-snapshot index
-  // cache), the stage-2 exact deviation extends both models via bitmap
-  // AND+popcount against this index and the monitor's own reference
-  // index — no re-scan of either dataset's raw transactions. The report
-  // is bit-identical with or without the index.
+  // apriori options. When `snapshot_index` is non-empty (a vertical index
+  // — flat or roaring — built from `snapshot`, e.g. the serving layer's
+  // per-snapshot index cache), the stage-2 exact deviation extends both
+  // models via TID-set AND+popcount against this index and the monitor's
+  // own reference index — no re-scan of either dataset's raw
+  // transactions. The report is bit-identical with or without the index,
+  // and for either backend.
   MonitorReport InspectWithModel(
       const data::TransactionDb& snapshot,
       const lits::LitsModel& snapshot_model,
-      const data::VerticalIndex* snapshot_index = nullptr) const;
+      data::ItemIndexRef snapshot_index = {}) const;
 
   // Replaces the reference with `snapshot` (e.g. after an accepted
   // regime change) and re-calibrates.

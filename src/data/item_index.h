@@ -1,0 +1,99 @@
+#ifndef FOCUS_DATA_ITEM_INDEX_H_
+#define FOCUS_DATA_ITEM_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+#include "data/roaring_index.h"
+#include "data/vertical_index.h"
+
+namespace focus::data {
+
+// Which vertical index implementation backs a counting path — the knob
+// surfaced by serve::ModelCache and the benches.
+enum class IndexBackend {
+  kFlat,     // data::VerticalIndex: flat 64-bit TID bitmaps
+  kRoaring,  // data::RoaringIndex: array/bitmap/run hybrid containers
+};
+
+inline const char* IndexBackendName(IndexBackend backend) {
+  return backend == IndexBackend::kFlat ? "flat" : "roaring";
+}
+
+// Non-owning reference to EITHER vertical index, exposing the small
+// counting concept every consumer (SupportCounter, Apriori, LitsDeviation,
+// core::Monitor, serve::ModelCache) actually needs: num_items /
+// num_transactions / ItemCount / CountIntersection / CountDifference /
+// MemoryBytes. Both backends are bit-identical for these queries (the
+// kernel-oracle law enforces it), so callers taking an ItemIndexRef are
+// backend-agnostic by construction.
+//
+// Implicitly constructible from either index (and from pointers, which
+// may be null), so existing `f(index)` call sites keep compiling
+// unchanged. An empty ref means "no index — use the horizontal path";
+// callers must test has_value() before counting through it.
+class ItemIndexRef {
+ public:
+  ItemIndexRef() = default;
+  ItemIndexRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  ItemIndexRef(const VerticalIndex& index) : flat_(&index) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  ItemIndexRef(const RoaringIndex& index) : roaring_(&index) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  ItemIndexRef(const VerticalIndex* index) : flat_(index) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  ItemIndexRef(const RoaringIndex* index) : roaring_(index) {}
+
+  bool has_value() const { return flat_ != nullptr || roaring_ != nullptr; }
+  explicit operator bool() const { return has_value(); }
+
+  IndexBackend backend() const {
+    return flat_ != nullptr ? IndexBackend::kFlat : IndexBackend::kRoaring;
+  }
+
+  int32_t num_items() const {
+    return flat_ != nullptr ? flat_->num_items() : Roaring().num_items();
+  }
+
+  int64_t num_transactions() const {
+    return flat_ != nullptr ? flat_->num_transactions()
+                            : Roaring().num_transactions();
+  }
+
+  int64_t ItemCount(int32_t item) const {
+    return flat_ != nullptr ? flat_->ItemCount(item)
+                            : Roaring().ItemCount(item);
+  }
+
+  int64_t CountIntersection(std::span<const int32_t> items) const {
+    return flat_ != nullptr ? flat_->CountIntersection(items)
+                            : Roaring().CountIntersection(items);
+  }
+
+  // Transactions holding all of `items` but not `excluded` (AND-NOT).
+  int64_t CountDifference(std::span<const int32_t> items,
+                          int32_t excluded) const {
+    return flat_ != nullptr ? flat_->CountDifference(items, excluded)
+                            : Roaring().CountDifference(items, excluded);
+  }
+
+  int64_t MemoryBytes() const {
+    return flat_ != nullptr ? flat_->MemoryBytes() : Roaring().MemoryBytes();
+  }
+
+ private:
+  const RoaringIndex& Roaring() const {
+    FOCUS_CHECK(roaring_ != nullptr) << "counting through an empty index ref";
+    return *roaring_;
+  }
+
+  const VerticalIndex* flat_ = nullptr;
+  const RoaringIndex* roaring_ = nullptr;
+};
+
+}  // namespace focus::data
+
+#endif  // FOCUS_DATA_ITEM_INDEX_H_

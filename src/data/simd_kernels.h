@@ -1,0 +1,80 @@
+#ifndef FOCUS_DATA_SIMD_KERNELS_H_
+#define FOCUS_DATA_SIMD_KERNELS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace focus::data::simd {
+
+// Word-level counting kernels behind the vertical indexes: AND+popcount
+// (support of an itemset), AND-NOT+popcount (deviation paths: transactions
+// in one region but not another), and plain AND/popcount over 64-bit word
+// streams. Every kernel exists at three instruction levels selected by a
+// one-time runtime dispatcher, and ALL levels are bit-identical by
+// construction — they compute the same integer popcount of the same words,
+// so the horizontal == vertical == roaring differential laws hold at every
+// level. tests/laws/laws_kernel_oracle_test.cc sweeps the full
+// (kernel x level x pool) grid to keep that true.
+enum class Level : int {
+  kScalar = 0,  // std::popcount loop; the portable baseline
+  kAvx2 = 1,    // 256-bit AND + vpshufb nibble-LUT popcount (Mula)
+  kAvx512 = 2,  // 512-bit AND + the same LUT popcount via AVX-512BW
+};
+
+// "scalar" / "avx2" / "avx512".
+const char* LevelName(Level level);
+std::optional<Level> ParseLevel(const std::string& name);
+
+// True iff the running CPU can execute `level`'s kernels. kScalar is
+// always supported; AVX-512 requires F+BW.
+bool LevelSupported(Level level);
+
+// The level kernels run at, decided once per process: the best
+// CPU-supported level, lowered by FOCUS_SIMD=scalar|avx2|avx512 when the
+// environment variable is set (an override the hardware cannot honor is
+// clamped down to the best supported level). See docs/TESTING.md.
+Level DetectLevel();
+
+// Dispatch point used by the kernels on every call: the scoped testing
+// override when one is active, otherwise the cached DetectLevel().
+Level CurrentLevel();
+
+// Forces a dispatch level for the current process while in scope — how the
+// kernel-oracle tests sweep scalar/avx2/avx512 in one binary without
+// re-execing under different FOCUS_SIMD values. The level must be
+// supported on this machine (checked). Not for concurrent use from
+// multiple threads (tests only).
+class ScopedLevelForTesting {
+ public:
+  explicit ScopedLevelForTesting(Level level);
+  ~ScopedLevelForTesting();
+  ScopedLevelForTesting(const ScopedLevelForTesting&) = delete;
+  ScopedLevelForTesting& operator=(const ScopedLevelForTesting&) = delete;
+
+ private:
+  int previous_;
+};
+
+// popcount(words[0..n)).
+int64_t PopcountWords(const uint64_t* words, int64_t n);
+
+// popcount(a & b) over n words.
+int64_t AndPopcountWords(const uint64_t* a, const uint64_t* b, int64_t n);
+
+// popcount(a & ~b) over n words — the deviation-path kernel: transactions
+// holding region A but not region B.
+int64_t AndNotPopcountWords(const uint64_t* a, const uint64_t* b, int64_t n);
+
+// popcount(ptrs[0] & ... & ptrs[k-1] [& ~exclude]) over n words; k >= 1,
+// `exclude` may be null. The k streams advance together so they stay
+// cache-resident for any practical itemset size.
+int64_t IntersectPopcountWords(const uint64_t* const* ptrs, int k,
+                               const uint64_t* exclude, int64_t n);
+
+// dst[i] &= src[i] for n words (the roaring bitmap-chunk fold).
+void AndWordsInPlace(uint64_t* dst, const uint64_t* src, int64_t n);
+
+}  // namespace focus::data::simd
+
+#endif  // FOCUS_DATA_SIMD_KERNELS_H_

@@ -1,0 +1,76 @@
+#ifndef FOCUS_DATA_SPLITTER_TREE_H_
+#define FOCUS_DATA_SPLITTER_TREE_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace focus::data {
+
+// Branch-predictable bucket classifier: a perfect binary tree of splitter
+// keys laid out in breadth-first order (index 1 is the root, children of i
+// are 2i and 2i+1), the classic sample-sort "tree builder" idiom. The
+// descent is a fixed number of data-independent steps
+//
+//   i = 2*i + (key >= tree[i])
+//
+// so routing a stream of keys into buckets never mispredicts on the key
+// values — this is what the single-pass radix-partitioned RoaringIndex
+// build uses to stage (item, tid) occurrences into item-range partitions.
+class SplitterTree {
+ public:
+  // `splitters` must be ascending; Classify returns the number of
+  // splitters <= key, i.e. a bucket in [0, splitters.size()].
+  explicit SplitterTree(std::span<const int32_t> splitters) {
+    num_splitters_ = static_cast<int32_t>(splitters.size());
+    levels_ = 0;
+    int32_t capacity = 1;  // (2^levels) - 1 splitter slots
+    while (capacity - 1 < num_splitters_) {
+      capacity *= 2;
+      ++levels_;
+    }
+    // Pad to a perfect tree with +inf sentinels: keys never land right of
+    // a sentinel, so padded buckets stay empty.
+    tree_.assign(static_cast<size_t>(capacity),
+                 std::numeric_limits<int32_t>::max());
+    FillSubtree(splitters, /*tree_index=*/1, /*lo=*/0,
+                /*hi=*/capacity - 1);
+  }
+
+  int32_t num_buckets() const { return num_splitters_ + 1; }
+
+  int32_t Classify(int32_t key) const {
+    int32_t i = 1;
+    for (int level = 0; level < levels_; ++level) {
+      i = 2 * i + static_cast<int32_t>(key >= tree_[static_cast<size_t>(i)]);
+    }
+    return i - static_cast<int32_t>(tree_.size());
+  }
+
+ private:
+  // Places the median of the (virtual, sentinel-padded) splitter range at
+  // `tree_index`, then recurses — an in-order walk that lands splitter j
+  // exactly left of leaf j. `lo`/`hi` index the padded splitter sequence.
+  void FillSubtree(std::span<const int32_t> splitters, int32_t tree_index,
+                   int32_t lo, int32_t hi) {
+    if (lo >= hi) return;
+    const int32_t mid = lo + (hi - lo) / 2;
+    if (mid < num_splitters_) {
+      tree_[static_cast<size_t>(tree_index)] =
+          splitters[static_cast<size_t>(mid)];
+    }
+    FillSubtree(splitters, 2 * tree_index, lo, mid);
+    FillSubtree(splitters, 2 * tree_index + 1, mid + 1, hi);
+  }
+
+  int32_t num_splitters_ = 0;
+  int levels_ = 0;
+  std::vector<int32_t> tree_;
+};
+
+}  // namespace focus::data
+
+#endif  // FOCUS_DATA_SPLITTER_TREE_H_

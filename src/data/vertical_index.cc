@@ -1,9 +1,9 @@
 #include "data/vertical_index.h"
 
-#include <algorithm>
-#include <bit>
+#include <vector>
 
 #include "common/check.h"
+#include "data/simd_kernels.h"
 
 namespace focus::data {
 
@@ -13,17 +13,16 @@ VerticalIndex::VerticalIndex(const TransactionDb& db)
       words_((db.num_transactions() + 63) / 64),
       bits_(static_cast<size_t>(db.num_items()) * ((db.num_transactions() + 63) / 64), 0),
       item_counts_(db.num_items(), 0) {
+  // Transactions are sorted-unique, so every occurrence sets a fresh bit
+  // and the per-item count can accumulate in the same single pass — no
+  // second popcount sweep over the finished bitmaps.
   for (int64_t t = 0; t < num_transactions_; ++t) {
     const uint64_t bit = 1ULL << (t & 63);
     const int64_t word = t >> 6;
     for (int32_t item : db.Transaction(t)) {
       bits_[static_cast<size_t>(item) * words_ + word] |= bit;
+      ++item_counts_[item];
     }
-  }
-  for (int32_t item = 0; item < num_items_; ++item) {
-    int64_t count = 0;
-    for (uint64_t word : ItemBits(item)) count += std::popcount(word);
-    item_counts_[item] = count;
   }
 }
 
@@ -31,22 +30,40 @@ int64_t VerticalIndex::CountIntersection(std::span<const int32_t> items) const {
   if (items.empty()) return num_transactions_;
   if (items.size() == 1) return item_counts_[items[0]];
 
-  const uint64_t* first = bits_.data() + static_cast<size_t>(items[0]) * words_;
-  int64_t count = 0;
-  // Blocked so the k bitmap streams stay within L1/L2 while the AND chain
-  // runs word-parallel; 2048 words cover 128K transactions per block.
-  constexpr int64_t kBlockWords = 2048;
-  for (int64_t base = 0; base < words_; base += kBlockWords) {
-    const int64_t end = std::min(words_, base + kBlockWords);
-    for (int64_t w = base; w < end; ++w) {
-      uint64_t acc = first[w];
-      for (size_t m = 1; m < items.size(); ++m) {
-        acc &= bits_[static_cast<size_t>(items[m]) * words_ + w];
-      }
-      count += std::popcount(acc);
-    }
+  constexpr size_t kStackStreams = 16;
+  const uint64_t* stack_ptrs[kStackStreams];
+  std::vector<const uint64_t*> heap_ptrs;
+  const uint64_t** ptrs = stack_ptrs;
+  if (items.size() > kStackStreams) {
+    heap_ptrs.resize(items.size());
+    ptrs = heap_ptrs.data();
   }
-  return count;
+  for (size_t m = 0; m < items.size(); ++m) {
+    ptrs[m] = bits_.data() + static_cast<size_t>(items[m]) * words_;
+  }
+  return simd::IntersectPopcountWords(ptrs, static_cast<int>(items.size()),
+                                      /*exclude=*/nullptr, words_);
+}
+
+int64_t VerticalIndex::CountDifference(std::span<const int32_t> items,
+                                       int32_t excluded) const {
+  const uint64_t* exclude =
+      bits_.data() + static_cast<size_t>(excluded) * words_;
+  if (items.empty()) return num_transactions_ - item_counts_[excluded];
+
+  constexpr size_t kStackStreams = 16;
+  const uint64_t* stack_ptrs[kStackStreams];
+  std::vector<const uint64_t*> heap_ptrs;
+  const uint64_t** ptrs = stack_ptrs;
+  if (items.size() > kStackStreams) {
+    heap_ptrs.resize(items.size());
+    ptrs = heap_ptrs.data();
+  }
+  for (size_t m = 0; m < items.size(); ++m) {
+    ptrs[m] = bits_.data() + static_cast<size_t>(items[m]) * words_;
+  }
+  return simd::IntersectPopcountWords(ptrs, static_cast<int>(items.size()),
+                                      exclude, words_);
 }
 
 }  // namespace focus::data

@@ -15,7 +15,9 @@ namespace focus::data {
 // each dataset once" budget — and then probed arbitrarily often: the
 // support of an itemset is the popcount of the AND of its members'
 // bitmaps, a word-parallel kernel that touches 64 transactions per
-// instruction instead of walking transactions horizontally.
+// instruction instead of walking transactions horizontally. Setting a
+// transaction's bits and bumping its items' counts happen in the SAME
+// loop, so the build really is one touch per occurrence.
 //
 // The classic vertical-mining trade-off: the index costs
 // num_items x ceil(n/64) x 8 bytes (e.g. 1000 items x 1M transactions
@@ -48,9 +50,16 @@ class VerticalIndex {
 
   // Absolute occurrence count of the itemset `items` (ascending distinct
   // item ids in [0, num_items)): popcount of the AND of the members'
-  // bitmaps, processed in cache-sized word blocks. The empty itemset
-  // holds in every transaction.
+  // bitmaps, through the runtime-dispatched data::simd kernels (the k
+  // streams advance together, so they stay cache-resident). The empty
+  // itemset holds in every transaction.
   int64_t CountIntersection(std::span<const int32_t> items) const;
+
+  // Transactions containing every item of `items` but NOT `excluded` —
+  // the AND-NOT deviation kernel. Equals
+  // CountIntersection(items) - CountIntersection(items + excluded).
+  int64_t CountDifference(std::span<const int32_t> items,
+                          int32_t excluded) const;
 
   // Approximate heap footprint, for capacity planning in caches.
   int64_t MemoryBytes() const {

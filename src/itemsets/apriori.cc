@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "data/vertical_index.h"
 #include "itemsets/support_counter.h"
 
 namespace focus::lits {
@@ -86,13 +85,13 @@ std::vector<Itemset> LitsModel::StructuralComponent() const {
 }
 
 LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options,
-                  const data::VerticalIndex* index) {
+                  data::ItemIndexRef index) {
   FOCUS_CHECK_GT(options.min_support, 0.0);
   FOCUS_CHECK_LE(options.min_support, 1.0);
   FOCUS_CHECK_GT(db.num_transactions(), 0);
-  if (index != nullptr) {
-    FOCUS_CHECK_EQ(index->num_items(), db.num_items());
-    FOCUS_CHECK_EQ(index->num_transactions(), db.num_transactions());
+  if (index.has_value()) {
+    FOCUS_CHECK_EQ(index.num_items(), db.num_items());
+    FOCUS_CHECK_EQ(index.num_transactions(), db.num_transactions());
   }
 
   LitsModel model(options.min_support, db.num_transactions(), db.num_items());
@@ -105,9 +104,9 @@ LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options,
   // L1: per-item counts — cached popcounts when the index is prebuilt,
   // otherwise one scan.
   std::vector<int64_t> item_counts(db.num_items(), 0);
-  if (index != nullptr) {
+  if (index.has_value()) {
     for (int32_t item = 0; item < db.num_items(); ++item) {
-      item_counts[item] = index->ItemCount(item);
+      item_counts[item] = index.ItemCount(item);
     }
   } else {
     for (int64_t t = 0; t < db.num_transactions(); ++t) {
@@ -132,8 +131,8 @@ LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options,
     const std::vector<Itemset> candidates = GenerateCandidates(frequent);
     if (candidates.empty()) break;
     const SupportCounter counter(candidates, db.num_items());
-    const std::vector<int64_t> counts = index != nullptr
-                                            ? counter.CountAbsolute(*index)
+    const std::vector<int64_t> counts = index.has_value()
+                                            ? counter.CountAbsolute(index)
                                             : counter.CountAbsolute(db);
 
     std::vector<Itemset> next_frequent;

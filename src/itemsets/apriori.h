@@ -5,12 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "data/item_index.h"
 #include "data/transaction_db.h"
 #include "itemsets/itemset.h"
-
-namespace focus::data {
-class VerticalIndex;
-}  // namespace focus::data
 
 namespace focus::lits {
 
@@ -66,16 +63,17 @@ struct AprioriOptions {
 // Classic Apriori (Agrawal & Srikant [5]): level-wise candidate
 // generation with subset pruning, one counting scan per level.
 //
-// When `index` is non-null it must be a data::VerticalIndex built from
-// `db`; every counting pass (the L1 item scan and each level's candidate
-// scan) then runs against the per-item TID bitmaps instead of re-scanning
-// the raw transactions. Counts are identical integers either way, so the
-// mined model is bit-identical to the horizontal one — the index only
-// changes how fast the same supports are obtained, and it amortizes its
-// single build scan across all levels (and across every other counting
-// consumer of the same database).
+// When `index` is non-empty it must be a vertical index (flat
+// data::VerticalIndex or compressed data::RoaringIndex) built from `db`;
+// every counting pass (the L1 item scan and each level's candidate scan)
+// then runs against the per-item TID sets instead of re-scanning the raw
+// transactions. Counts are identical integers either way, so the mined
+// model is bit-identical to the horizontal one — the index only changes
+// how fast the same supports are obtained, and it amortizes its single
+// build scan across all levels (and across every other counting consumer
+// of the same database).
 LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options,
-                  const data::VerticalIndex* index = nullptr);
+                  data::ItemIndexRef index = {});
 
 // Reference miner for tests: enumerates and counts every itemset up to
 // `max_size` by brute force. Exponential; only for tiny databases.

@@ -190,7 +190,7 @@ net::HttpResponse HttpApi::HandleCompare(const net::HttpRequest& request) {
   // Both snapshots are cache-resident: the deviation extends both models
   // over TID bitmaps — no raw-data scan.
   const double deviation = core::LitsDeviation(
-      *left->model, *left->index, *right->model, *right->index, fn);
+      *left->model, left->index_ref(), *right->model, right->index_ref(), fn);
   if (metrics_ != nullptr) metrics_->GetCounter("compares").Increment();
 
   net::HttpResponse response;

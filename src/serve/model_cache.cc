@@ -34,9 +34,10 @@ uint64_t TransactionDbContentHash(const data::TransactionDb& db) {
 }
 
 ModelCache::ModelCache(size_t capacity, const lits::AprioriOptions& options,
-                       MetricsRegistry* metrics)
+                       MetricsRegistry* metrics, data::IndexBackend backend)
     : capacity_(capacity),
       options_(options),
+      backend_(backend),
       hits_counter_(metrics != nullptr ? &metrics->GetCounter("cache_hits")
                                        : nullptr),
       misses_counter_(metrics != nullptr
@@ -92,13 +93,20 @@ MinedSnapshot ModelCache::GetOrMineIndexed(const data::TransactionDb& db,
   }
   if (cache_hit != nullptr) *cache_hit = false;
   // Build outside the lock so concurrent misses on different snapshots
-  // proceed in parallel: ONE scan materializes the vertical index, and
-  // Apriori's counting passes then run against the bitmaps.
+  // proceed in parallel: ONE scan materializes the configured vertical
+  // index, and Apriori's counting passes then run against it.
   MinedSnapshot mined;
-  auto index = std::make_shared<const data::VerticalIndex>(db);
-  mined.model = std::make_shared<const lits::LitsModel>(
-      lits::Apriori(db, options_, index.get()));
-  mined.index = std::move(index);
+  if (backend_ == data::IndexBackend::kRoaring) {
+    auto roaring = std::make_shared<const data::RoaringIndex>(db);
+    mined.model = std::make_shared<const lits::LitsModel>(
+        lits::Apriori(db, options_, roaring.get()));
+    mined.roaring = std::move(roaring);
+  } else {
+    auto index = std::make_shared<const data::VerticalIndex>(db);
+    mined.model = std::make_shared<const lits::LitsModel>(
+        lits::Apriori(db, options_, index.get()));
+    mined.index = std::move(index);
+  }
   common::MutexLock lock(&mutex_);
   InsertLocked(key, mined);
   return mined;

@@ -9,8 +9,8 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "data/item_index.h"
 #include "data/transaction_db.h"
-#include "data/vertical_index.h"
 #include "itemsets/apriori.h"
 #include "serve/metrics.h"
 
@@ -29,14 +29,23 @@ struct ModelCacheStats {
   int64_t evictions = 0;
 };
 
-// What one cache miss materializes from a snapshot: its vertical TID-
-// bitmap index (built in the single scan §3.3.1 budgets) and the model
-// mined THROUGH that index. Window re-comparisons — the same snapshot
-// re-entering as reference or candidate across many model pairs — then
-// probe the bitmaps instead of touching raw transactions again.
+// What one cache miss materializes from a snapshot: its vertical index
+// (built in the single scan §3.3.1 budgets) and the model mined THROUGH
+// that index. Window re-comparisons — the same snapshot re-entering as
+// reference or candidate across many model pairs — then probe the index
+// instead of touching raw transactions again. Exactly one of `index` /
+// `roaring` is set, per the cache's IndexBackend; counting paths go
+// through index_ref(), which works for either.
 struct MinedSnapshot {
   std::shared_ptr<const lits::LitsModel> model;
   std::shared_ptr<const data::VerticalIndex> index;
+  std::shared_ptr<const data::RoaringIndex> roaring;
+
+  bool has_index() const { return index != nullptr || roaring != nullptr; }
+  data::ItemIndexRef index_ref() const {
+    return index != nullptr ? data::ItemIndexRef(index.get())
+                            : data::ItemIndexRef(roaring.get());
+  }
 };
 
 // LRU cache of mined lits-models + their vertical indexes keyed by
@@ -52,8 +61,13 @@ class ModelCache {
   // miss, and eviction also bumps the registry counters `cache_hits` /
   // `cache_misses` / `cache_evictions`, so cache behavior is visible on
   // /metrics and in the monitord JSONL export without polling stats().
+  // `backend` picks the vertical index each miss builds: the flat
+  // VerticalIndex (fastest probes, |D|-proportional memory) or the
+  // compressed RoaringIndex (occurrence-proportional memory). Counts are
+  // bit-identical either way.
   ModelCache(size_t capacity, const lits::AprioriOptions& options,
-             MetricsRegistry* metrics = nullptr);
+             MetricsRegistry* metrics = nullptr,
+             data::IndexBackend backend = data::IndexBackend::kFlat);
 
   // Returns the model + vertical index of `db` under the cache's mining
   // options, building both on a miss. `cache_hit`, when given, reports
@@ -81,6 +95,7 @@ class ModelCache {
   size_t size() const EXCLUDES(mutex_);
   size_t capacity() const { return capacity_; }
   const lits::AprioriOptions& options() const { return options_; }
+  data::IndexBackend backend() const { return backend_; }
 
  private:
   void InsertLocked(uint64_t key, MinedSnapshot mined) REQUIRES(mutex_);
@@ -89,6 +104,7 @@ class ModelCache {
 
   const size_t capacity_;
   const lits::AprioriOptions options_;
+  const data::IndexBackend backend_;
   // Registry counters (stable addresses) or null; set at construction.
   Counter* const hits_counter_;
   Counter* const misses_counter_;

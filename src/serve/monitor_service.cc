@@ -173,7 +173,7 @@ std::optional<StreamDeviation> MonitorService::QueryDeviation(
     monitor = it->second->monitor.get();
   }
   if (!result.status.has_snapshot || last.model == nullptr ||
-      last.index == nullptr) {
+      !last.has_index()) {
     return result;
   }
   // Recompute under the requested (f,g) from the CACHED model + vertical
@@ -183,7 +183,7 @@ std::optional<StreamDeviation> MonitorService::QueryDeviation(
   result.deviation =
       core::LitsDeviation(monitor->reference_model(),
                           monitor->reference_index(), *last.model,
-                          *last.index, fn);
+                          last.index_ref(), fn);
   result.has_deviation = true;
   return result;
 }
@@ -259,7 +259,7 @@ StreamEvent MonitorService::Process(Stream* stream, Snapshot snapshot) {
   // both models via bitmap probes — window re-comparisons never re-scan
   // the snapshot's raw transactions.
   event.report = stream->monitor->InspectWithModel(snapshot.db, *mined.model,
-                                                   mined.index.get());
+                                                   mined.index_ref());
 
   // The CUSUM series runs over delta*: unlike the exact deviation it is
   // computed for every snapshot (screened or not), giving a uniform

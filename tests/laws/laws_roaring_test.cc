@@ -1,0 +1,172 @@
+// Container-algebra laws for data::RoaringIndex on generated workloads.
+// Three obligations the hybrid containers must honor no matter which
+// representation (array / bitmap / run) each chunk promoted to:
+//   1. Round-trip: the TID set materialized from the containers equals
+//      the set observable in the raw database, and survives save→load
+//      unchanged (promotion and demotion lose nothing).
+//   2. Commutativity: pairwise intersect-count is symmetric even though
+//      the implementation dispatches on an (ordered) container-type pair.
+//   3. Cardinality: every k-way intersect-count equals the size of the
+//      materialized intersection of the per-item TID sets.
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/roaring_index.h"
+#include "data/transaction_db.h"
+#include "proptest/generators.h"
+#include "proptest/proptest.h"
+
+namespace focus::data {
+namespace {
+
+using proptest::Check;
+using proptest::PropResult;
+using proptest::Rng;
+
+std::vector<uint32_t> ReferenceTids(const TransactionDb& db, int32_t item) {
+  std::vector<uint32_t> tids;
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    for (int32_t candidate : db.Transaction(t)) {
+      if (candidate == item) {
+        tids.push_back(static_cast<uint32_t>(t));
+        break;
+      }
+    }
+  }
+  return tids;
+}
+
+TEST(LawsRoaring, TidSetsRoundTripThroughContainersAndSaveLoad) {
+  EXPECT_TRUE(Check<proptest::LitsWorkload>(
+      "roaring/tid-round-trip", proptest::LitsWorkloadDomain(),
+      [](const proptest::LitsWorkload& workload) {
+        const TransactionDb db = proptest::MaterializeDb(workload);
+        const RoaringIndex index(db);
+
+        for (int32_t item = 0; item < db.num_items(); ++item) {
+          if (index.ItemTids(item) != ReferenceTids(db, item)) {
+            return PropResult::Fail("materialized TIDs differ for item " +
+                                    std::to_string(item));
+          }
+        }
+
+        std::ostringstream out;
+        index.SaveTo(out);
+        std::istringstream in(out.str());
+        std::string error;
+        const auto loaded = RoaringIndex::LoadFrom(in, &error);
+        if (!loaded.has_value()) {
+          return PropResult::Fail("LoadFrom rejected its own image: " +
+                                  error);
+        }
+        if (!(*loaded == index)) {
+          return PropResult::Fail("loaded index differs from original");
+        }
+        for (int32_t item = 0; item < db.num_items(); ++item) {
+          if (loaded->ItemTids(item) != index.ItemTids(item)) {
+            return PropResult::Fail("TIDs changed across save/load for item " +
+                                    std::to_string(item));
+          }
+        }
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(8)));
+}
+
+TEST(LawsRoaring, PairIntersectCountIsCommutative) {
+  EXPECT_TRUE(Check<proptest::LitsWorkload>(
+      "roaring/pair-commutative", proptest::LitsWorkloadDomain(),
+      [](const proptest::LitsWorkload& workload) {
+        const TransactionDb db = proptest::MaterializeDb(workload);
+        const RoaringIndex index(db);
+        for (int32_t a = 0; a < db.num_items(); ++a) {
+          for (int32_t b = a; b < db.num_items(); ++b) {
+            const int64_t ab = index.CountPairIntersection(a, b);
+            const int64_t ba = index.CountPairIntersection(b, a);
+            if (ab != ba) {
+              return PropResult::Fail(
+                  "pair count not symmetric for (" + std::to_string(a) +
+                  ", " + std::to_string(b) + "): " + std::to_string(ab) +
+                  " vs " + std::to_string(ba));
+            }
+            if (a == b && ab != index.ItemCount(a)) {
+              return PropResult::Fail("self-intersection != cardinality for " +
+                                      std::to_string(a));
+            }
+          }
+        }
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(8)));
+}
+
+TEST(LawsRoaring, IntersectCountEqualsMaterializedIntersectionSize) {
+  EXPECT_TRUE(Check<proptest::LitsWorkload>(
+      "roaring/cardinality-law", proptest::LitsWorkloadDomain(),
+      [](const proptest::LitsWorkload& workload) {
+        const TransactionDb db = proptest::MaterializeDb(workload);
+        const RoaringIndex index(db);
+
+        Rng rng(workload.quest.seed + 4451);
+        for (int trial = 0; trial < 12; ++trial) {
+          const lits::Itemset itemset =
+              proptest::GenItemset(rng, workload.quest.num_items, 6);
+          // Materialize: fold set-intersections over the per-item TID sets.
+          std::vector<uint32_t> acc;
+          bool first = true;
+          for (int32_t item : itemset.items()) {
+            const std::vector<uint32_t> tids = index.ItemTids(item);
+            if (first) {
+              acc = tids;
+              first = false;
+              continue;
+            }
+            std::vector<uint32_t> next;
+            std::set_intersection(acc.begin(), acc.end(), tids.begin(),
+                                  tids.end(), std::back_inserter(next));
+            acc = std::move(next);
+          }
+          const int64_t expected =
+              first ? db.num_transactions()
+                    : static_cast<int64_t>(acc.size());
+          if (index.CountIntersection(itemset.items()) != expected) {
+            return PropResult::Fail("intersect count != materialized size "
+                                    "for " +
+                                    itemset.ToString());
+          }
+          // The AND-NOT variant against the same materialization: pick an
+          // excluded item and subtract its TIDs from the accumulator.
+          const int32_t excluded = static_cast<int32_t>(
+              rng.IntIn(0, workload.quest.num_items - 1));
+          const std::vector<uint32_t> excluded_tids = index.ItemTids(excluded);
+          int64_t expected_diff = 0;
+          if (first) {
+            expected_diff = db.num_transactions() -
+                            static_cast<int64_t>(excluded_tids.size());
+          } else {
+            std::vector<uint32_t> remain;
+            std::set_difference(acc.begin(), acc.end(), excluded_tids.begin(),
+                                excluded_tids.end(),
+                                std::back_inserter(remain));
+            expected_diff = static_cast<int64_t>(remain.size());
+          }
+          if (index.CountDifference(itemset.items(), excluded) !=
+              expected_diff) {
+            return PropResult::Fail("AND-NOT count != materialized size "
+                                    "for " +
+                                    itemset.ToString());
+          }
+        }
+        return PropResult::Ok();
+      },
+      proptest::Config::FromEnv(8)));
+}
+
+}  // namespace
+}  // namespace focus::data

@@ -1,0 +1,328 @@
+// Unit tests for data::RoaringIndex — the array/bitmap/run hybrid vertical
+// index. Covered here: container promotion at its exact thresholds, the
+// 65536-TID chunk boundary, mixed-container intersections, the AND-NOT
+// deviation kernel, the materialized-TID reference view, save/load (round
+// trip, canonical fixed point, and hostile-input rejection), and parity
+// with the flat VerticalIndex on generated data.
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/roaring_index.h"
+#include "data/transaction_db.h"
+#include "data/vertical_index.h"
+#include "datagen/quest_gen.h"
+
+namespace focus::data {
+namespace {
+
+// Builds a database of `num_transactions` transactions over `num_items`
+// items where item i appears exactly at the TIDs listed in tids[i].
+TransactionDb DbFromItemTids(int32_t num_items, int64_t num_transactions,
+                             const std::vector<std::vector<int64_t>>& tids) {
+  std::vector<std::vector<int32_t>> transactions(
+      static_cast<size_t>(num_transactions));
+  for (int32_t item = 0; item < static_cast<int32_t>(tids.size()); ++item) {
+    for (int64_t t : tids[static_cast<size_t>(item)]) {
+      transactions[static_cast<size_t>(t)].push_back(item);
+    }
+  }
+  TransactionDb db(num_items);
+  for (const auto& txn : transactions) db.AddTransaction(txn);
+  return db;
+}
+
+std::vector<uint32_t> AsU32(const std::vector<int64_t>& tids) {
+  std::vector<uint32_t> out;
+  out.reserve(tids.size());
+  for (int64_t t : tids) out.push_back(static_cast<uint32_t>(t));
+  return out;
+}
+
+// Intersection size of sorted TID lists — the reference the index's
+// counts are checked against.
+int64_t ReferenceIntersect(const std::vector<std::vector<int64_t>>& tids,
+                           const std::vector<int32_t>& items) {
+  if (items.empty()) return 0;
+  std::set<int64_t> acc(tids[static_cast<size_t>(items[0])].begin(),
+                        tids[static_cast<size_t>(items[0])].end());
+  for (size_t m = 1; m < items.size(); ++m) {
+    std::set<int64_t> next;
+    for (int64_t t : tids[static_cast<size_t>(items[m])]) {
+      if (acc.count(t)) next.insert(t);
+    }
+    acc = std::move(next);
+  }
+  return static_cast<int64_t>(acc.size());
+}
+
+TEST(RoaringIndexTest, TinyDbCountsMatchManualEnumeration) {
+  // Same shape as the VerticalIndex tiny test: 5 transactions, 5 items.
+  TransactionDb db(5);
+  db.AddTransaction(std::vector<int32_t>{0, 1, 2});
+  db.AddTransaction(std::vector<int32_t>{0, 1});
+  db.AddTransaction(std::vector<int32_t>{0, 2});
+  db.AddTransaction(std::vector<int32_t>{1, 2, 3});
+  db.AddTransaction(std::vector<int32_t>{0, 1, 2, 3});
+  const RoaringIndex index(db);
+
+  EXPECT_EQ(index.num_items(), 5);
+  EXPECT_EQ(index.num_transactions(), 5);
+  EXPECT_EQ(index.ItemCount(0), 4);
+  EXPECT_EQ(index.ItemCount(3), 2);
+  EXPECT_EQ(index.ItemCount(4), 0);
+  EXPECT_EQ(index.CountIntersection({}), 5);
+  EXPECT_EQ(index.CountIntersection(std::vector<int32_t>{0, 1}), 3);
+  EXPECT_EQ(index.CountIntersection(std::vector<int32_t>{0, 1, 2, 3}), 1);
+  EXPECT_EQ(index.CountIntersection(std::vector<int32_t>{0, 4}), 0);
+  EXPECT_EQ(index.CountPairIntersection(1, 2), 3);
+  EXPECT_EQ(index.CountPairIntersection(2, 1), 3);
+  // {1,2} but not 0: transaction 3 only.
+  EXPECT_EQ(index.CountDifference(std::vector<int32_t>{1, 2}, 0), 1);
+  // not-0 over the whole space: transaction 3.
+  EXPECT_EQ(index.CountDifference({}, 0), 1);
+}
+
+TEST(RoaringIndexTest, EmptyDatabaseAndEmptyItems) {
+  const TransactionDb db(3);
+  const RoaringIndex index(db);
+  EXPECT_EQ(index.num_items(), 3);
+  EXPECT_EQ(index.num_transactions(), 0);
+  EXPECT_EQ(index.ItemCount(1), 0);
+  EXPECT_EQ(index.CountIntersection({}), 0);
+  EXPECT_EQ(index.CountIntersection(std::vector<int32_t>{0, 1}), 0);
+  EXPECT_TRUE(index.ItemTids(2).empty());
+  const auto counts = index.CountContainers();
+  EXPECT_EQ(counts.arrays + counts.bitmaps + counts.runs, 0);
+}
+
+TEST(RoaringIndexTest, PromotionAtTheArrayBitmapBoundary) {
+  // Every-other TIDs make run compression useless (one run per TID), so
+  // the encoding decision is purely array vs bitmap: 4096 scattered TIDs
+  // stay an array, 4097 promote to a bitmap.
+  for (const int64_t card : {4095, 4096, 4097}) {
+    std::vector<std::vector<int64_t>> tids(1);
+    for (int64_t i = 0; i < card; ++i) tids[0].push_back(2 * i);
+    const TransactionDb db = DbFromItemTids(1, 2 * card, tids);
+    const RoaringIndex index(db);
+    const auto counts = index.CountContainers();
+    if (card <= 4096) {
+      EXPECT_EQ(counts.arrays, 1) << "card=" << card;
+      EXPECT_EQ(counts.bitmaps, 0) << "card=" << card;
+    } else {
+      EXPECT_EQ(counts.arrays, 0) << "card=" << card;
+      EXPECT_EQ(counts.bitmaps, 1) << "card=" << card;
+    }
+    EXPECT_EQ(counts.runs, 0) << "card=" << card;
+    EXPECT_EQ(index.ItemCount(0), card);
+    EXPECT_EQ(index.ItemTids(0), AsU32(tids[0]));
+  }
+}
+
+TEST(RoaringIndexTest, ContiguousBlocksBecomeRunContainers) {
+  // One solid block of 10000 TIDs: a single run beats both array (2B/TID)
+  // and bitmap (8 KiB).
+  std::vector<std::vector<int64_t>> tids(1);
+  for (int64_t t = 100; t < 10100; ++t) tids[0].push_back(t);
+  const TransactionDb db = DbFromItemTids(1, 20000, tids);
+  const RoaringIndex index(db);
+  const auto counts = index.CountContainers();
+  EXPECT_EQ(counts.runs, 1);
+  EXPECT_EQ(counts.arrays + counts.bitmaps, 0);
+  EXPECT_EQ(index.ItemCount(0), 10000);
+  EXPECT_EQ(index.ItemTids(0), AsU32(tids[0]));
+}
+
+TEST(RoaringIndexTest, ChunkBoundarySplitsContainers) {
+  // TIDs 65535 and 65536 are adjacent but live in different chunks.
+  std::vector<std::vector<int64_t>> tids = {{65535, 65536}, {65535}, {65536}};
+  const TransactionDb db = DbFromItemTids(3, 65537, tids);
+  const RoaringIndex index(db);
+  const auto counts = index.CountContainers();
+  EXPECT_EQ(counts.arrays, 4);  // item 0 has one per chunk, items 1/2 one
+  EXPECT_EQ(index.ItemCount(0), 2);
+  EXPECT_EQ(index.CountPairIntersection(0, 1), 1);
+  EXPECT_EQ(index.CountPairIntersection(0, 2), 1);
+  EXPECT_EQ(index.CountPairIntersection(1, 2), 0);
+  EXPECT_EQ(index.ItemTids(0), AsU32(tids[0]));
+}
+
+TEST(RoaringIndexTest, MixedContainerIntersections) {
+  // Item 0: bitmap (every even TID of chunk 0 → 32768 scattered TIDs).
+  // Item 1: run (solid block 1000..29999).
+  // Item 2: array (multiples of 100, 656 TIDs).
+  constexpr int64_t kN = 65536;
+  std::vector<std::vector<int64_t>> tids(3);
+  for (int64_t t = 0; t < kN; t += 2) tids[0].push_back(t);
+  for (int64_t t = 1000; t < 30000; ++t) tids[1].push_back(t);
+  for (int64_t t = 0; t < kN; t += 100) tids[2].push_back(t);
+  const TransactionDb db = DbFromItemTids(3, kN, tids);
+  const RoaringIndex index(db);
+
+  const auto counts = index.CountContainers();
+  EXPECT_EQ(counts.bitmaps, 1);
+  EXPECT_EQ(counts.runs, 1);
+  EXPECT_EQ(counts.arrays, 1);
+
+  for (const std::vector<int32_t>& items :
+       {std::vector<int32_t>{0, 1}, std::vector<int32_t>{0, 2},
+        std::vector<int32_t>{1, 2}, std::vector<int32_t>{0, 1, 2}}) {
+    EXPECT_EQ(index.CountIntersection(items), ReferenceIntersect(tids, items));
+    if (items.size() == 2) {
+      EXPECT_EQ(index.CountPairIntersection(items[0], items[1]),
+                index.CountPairIntersection(items[1], items[0]));
+    }
+  }
+  // AND-NOT across mixed types.
+  for (int32_t excluded = 0; excluded < 3; ++excluded) {
+    std::vector<int32_t> rest;
+    for (int32_t item = 0; item < 3; ++item) {
+      if (item != excluded) rest.push_back(item);
+    }
+    const std::vector<int32_t> all = {0, 1, 2};
+    EXPECT_EQ(index.CountDifference(rest, excluded),
+              index.CountIntersection(rest) - index.CountIntersection(all));
+  }
+}
+
+TEST(RoaringIndexTest, MatchesFlatIndexOnGeneratedData) {
+  datagen::QuestParams params;
+  params.num_transactions = 4000;
+  params.num_items = 60;
+  params.num_patterns = 12;
+  params.seed = 77;
+  const TransactionDb db = datagen::GenerateQuest(params);
+  const RoaringIndex roaring(db);
+  const VerticalIndex flat(db);
+
+  ASSERT_EQ(roaring.num_items(), flat.num_items());
+  ASSERT_EQ(roaring.num_transactions(), flat.num_transactions());
+  for (int32_t item = 0; item < flat.num_items(); ++item) {
+    EXPECT_EQ(roaring.ItemCount(item), flat.ItemCount(item)) << item;
+  }
+  for (int32_t a = 0; a < 20; ++a) {
+    for (int32_t b = a + 1; b < 20; ++b) {
+      const std::vector<int32_t> pair = {a, b};
+      EXPECT_EQ(roaring.CountIntersection(pair), flat.CountIntersection(pair));
+      const std::vector<int32_t> triple = {a, b, (b + 17) % 60};
+      if (triple[2] > b) {
+        EXPECT_EQ(roaring.CountIntersection(triple),
+                  flat.CountIntersection(triple));
+      }
+      EXPECT_EQ(roaring.CountDifference(std::vector<int32_t>{a}, b),
+                flat.CountDifference(std::vector<int32_t>{a}, b));
+    }
+  }
+}
+
+TEST(RoaringIndexTest, SaveLoadRoundTripsAndIsAFixedPoint) {
+  datagen::QuestParams params;
+  params.num_transactions = 3000;
+  params.num_items = 40;
+  params.num_patterns = 8;
+  params.seed = 5;
+  const TransactionDb db = datagen::GenerateQuest(params);
+  const RoaringIndex index(db);
+
+  std::ostringstream out;
+  index.SaveTo(out);
+  const std::string bytes = out.str();
+
+  std::istringstream in(bytes);
+  std::string error;
+  const auto loaded = RoaringIndex::LoadFrom(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, index);
+
+  std::ostringstream out2;
+  loaded->SaveTo(out2);
+  EXPECT_EQ(out2.str(), bytes);  // save ∘ load == identity on saved bytes
+}
+
+TEST(RoaringIndexTest, SaveLoadCoversEveryContainerType) {
+  constexpr int64_t kN = 65536;
+  std::vector<std::vector<int64_t>> tids(3);
+  for (int64_t t = 0; t < kN; t += 2) tids[0].push_back(t);   // bitmap
+  for (int64_t t = 50; t < 20000; ++t) tids[1].push_back(t);  // run
+  for (int64_t t = 0; t < kN; t += 1000) tids[2].push_back(t);  // array
+  const TransactionDb db = DbFromItemTids(3, kN, tids);
+  const RoaringIndex index(db);
+  const auto counts = index.CountContainers();
+  ASSERT_EQ(counts.arrays, 1);
+  ASSERT_EQ(counts.bitmaps, 1);
+  ASSERT_EQ(counts.runs, 1);
+
+  std::ostringstream out;
+  index.SaveTo(out);
+  std::istringstream in(out.str());
+  const auto loaded = RoaringIndex::LoadFrom(in, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, index);
+  for (int32_t item = 0; item < 3; ++item) {
+    EXPECT_EQ(loaded->ItemTids(item), AsU32(tids[static_cast<size_t>(item)]));
+  }
+}
+
+TEST(RoaringIndexTest, LoadRejectsHostileInputs) {
+  TransactionDb db(2);
+  db.AddTransaction(std::vector<int32_t>{0, 1});
+  db.AddTransaction(std::vector<int32_t>{0});
+  const RoaringIndex index(db);
+  std::ostringstream out;
+  index.SaveTo(out);
+  const std::string bytes = out.str();
+
+  const auto rejects = [](std::string corrupted, const char* what) {
+    std::istringstream in(corrupted);
+    std::string error;
+    EXPECT_FALSE(RoaringIndex::LoadFrom(in, &error).has_value()) << what;
+    EXPECT_FALSE(error.empty()) << what;
+  };
+
+  rejects("", "empty input");
+  rejects(bytes.substr(0, bytes.size() - 1), "truncated");
+  rejects(bytes + "x", "trailing bytes");
+  {
+    std::string bad = bytes;
+    bad[0] ^= 0x1;
+    rejects(bad, "bad magic");
+  }
+  {
+    std::string bad = bytes;
+    bad[4] ^= 0x2;
+    rejects(bad, "bad version");
+  }
+  {
+    // Claim an absurd item count.
+    std::string bad = bytes;
+    bad[8] = '\xff';
+    bad[9] = '\xff';
+    bad[10] = '\xff';
+    bad[11] = '\x7f';
+    rejects(bad, "oversized item count");
+  }
+}
+
+TEST(RoaringIndexTest, SparseDataIsSmallerThanFlatBitmaps) {
+  // 200 items over 200k transactions, each item in ~0.1% of them: the
+  // flat index pays 8 bytes per 64 transactions per item regardless;
+  // roaring pays ~2 bytes per occurrence.
+  datagen::QuestParams params;
+  params.num_transactions = 200000;
+  params.num_items = 200;
+  params.avg_transaction_length = 4;
+  params.num_patterns = 20;
+  params.seed = 11;
+  const TransactionDb db = datagen::GenerateQuest(params);
+  const RoaringIndex roaring(db);
+  const VerticalIndex flat(db);
+  EXPECT_LT(roaring.MemoryBytes(), flat.MemoryBytes() / 2);
+}
+
+}  // namespace
+}  // namespace focus::data

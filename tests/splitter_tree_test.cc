@@ -1,0 +1,68 @@
+// Unit tests for data::SplitterTree — the branchless perfect-tree bucket
+// classifier behind the radix-partitioned RoaringIndex build. The whole
+// contract: Classify(key) == number of splitters <= key, for any splitter
+// count (powers of two, off-by-one, empty) and any key position (below,
+// equal, between, above).
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/splitter_tree.h"
+
+namespace focus::data {
+namespace {
+
+int32_t ReferenceClassify(const std::vector<int32_t>& splitters, int32_t key) {
+  int32_t bucket = 0;
+  for (int32_t splitter : splitters) bucket += (splitter <= key);
+  return bucket;
+}
+
+TEST(SplitterTreeTest, NoSplittersIsOneBucket) {
+  const SplitterTree tree(std::vector<int32_t>{});
+  EXPECT_EQ(tree.num_buckets(), 1);
+  EXPECT_EQ(tree.Classify(-100), 0);
+  EXPECT_EQ(tree.Classify(0), 0);
+  EXPECT_EQ(tree.Classify(1 << 30), 0);
+}
+
+TEST(SplitterTreeTest, SingleSplitterSplitsAtBoundary) {
+  const std::vector<int32_t> splitters = {10};
+  const SplitterTree tree(splitters);
+  EXPECT_EQ(tree.num_buckets(), 2);
+  EXPECT_EQ(tree.Classify(9), 0);
+  EXPECT_EQ(tree.Classify(10), 1);  // splitter belongs to the right bucket
+  EXPECT_EQ(tree.Classify(11), 1);
+}
+
+TEST(SplitterTreeTest, MatchesLinearScanForAllSizesAndKeys) {
+  // Sizes cover perfect trees (1, 3, 7, 15) and every padded shape in
+  // between; keys probe each boundary and each gap.
+  for (int32_t num_splitters = 0; num_splitters <= 17; ++num_splitters) {
+    std::vector<int32_t> splitters;
+    for (int32_t s = 0; s < num_splitters; ++s) {
+      splitters.push_back(5 * (s + 1));  // 5, 10, 15, ...
+    }
+    const SplitterTree tree(splitters);
+    ASSERT_EQ(tree.num_buckets(), num_splitters + 1);
+    for (int32_t key = -1; key <= 5 * (num_splitters + 1); ++key) {
+      EXPECT_EQ(tree.Classify(key), ReferenceClassify(splitters, key))
+          << "splitters=" << num_splitters << " key=" << key;
+    }
+  }
+}
+
+TEST(SplitterTreeTest, UnevenGapsClassifyExactly) {
+  const std::vector<int32_t> splitters = {2, 3, 100, 1000, 1001};
+  const SplitterTree tree(splitters);
+  for (const int32_t key :
+       {0, 1, 2, 3, 4, 99, 100, 101, 999, 1000, 1001, 1002, 1 << 20}) {
+    EXPECT_EQ(tree.Classify(key), ReferenceClassify(splitters, key))
+        << "key=" << key;
+  }
+}
+
+}  // namespace
+}  // namespace focus::data

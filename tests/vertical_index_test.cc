@@ -4,6 +4,7 @@
 // masking when num_transactions is not a multiple of 64, item universes
 // that are not a multiple of 64, and absent/empty extremes.
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -157,6 +158,50 @@ TEST(VerticalIndexTest, AgreesWithHorizontalCountingOnGeneratedData) {
   common::ThreadPool pool(4);
   EXPECT_EQ(counter.CountAbsoluteParallel(index, pool), horizontal);
   EXPECT_EQ(counter.CountRelativeParallel(index, pool), rel_h);
+}
+
+TEST(VerticalIndexTest, SinglePassBuildMatchesTwoPassReference) {
+  // Regression pin for the build-path change: the constructor used to
+  // fill the bitmaps in one pass and then popcount them in a SECOND pass
+  // to get item_counts_; counting now folds into the fill pass. This
+  // reimplements the old two-pass builder and requires the new one to
+  // produce identical bitmaps and identical counts on a fixed seed.
+  datagen::QuestParams params;
+  params.num_transactions = 2000;
+  params.num_items = 80;
+  params.num_patterns = 15;
+  params.seed = 1234;
+  const TransactionDb db = datagen::GenerateQuest(params);
+
+  const int64_t words = (db.num_transactions() + 63) / 64;
+  std::vector<uint64_t> reference_bits(
+      static_cast<size_t>(db.num_items()) * words, 0);
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    const uint64_t bit = 1ULL << (t & 63);
+    const int64_t word = t >> 6;
+    for (int32_t item : db.Transaction(t)) {
+      reference_bits[static_cast<size_t>(item) * words + word] |= bit;
+    }
+  }
+  std::vector<int64_t> reference_counts(db.num_items(), 0);
+  for (int32_t item = 0; item < db.num_items(); ++item) {
+    for (int64_t w = 0; w < words; ++w) {
+      reference_counts[item] += std::popcount(
+          reference_bits[static_cast<size_t>(item) * words + w]);
+    }
+  }
+
+  const VerticalIndex index(db);
+  ASSERT_EQ(index.num_words(), words);
+  for (int32_t item = 0; item < db.num_items(); ++item) {
+    const auto bits = index.ItemBits(item);
+    for (int64_t w = 0; w < words; ++w) {
+      ASSERT_EQ(bits[static_cast<size_t>(w)],
+                reference_bits[static_cast<size_t>(item) * words + w])
+          << "item=" << item << " word=" << w;
+    }
+    EXPECT_EQ(index.ItemCount(item), reference_counts[item]) << item;
+  }
 }
 
 }  // namespace
