@@ -1,0 +1,129 @@
+// Differential fuzz target for the block file codec under hostile images
+// (data/block_store.h + data/block_txn_db.h) — the format the out-of-core
+// ingest persists and reloads. Obligations:
+//   * Rejected inputs fail cleanly: no crash, no check failure, an error
+//     string — whether rejection happens at the structural layer
+//     (BlockFileReader) or at payload validation (BlockTransactionDb).
+//   * Anything BlockTransactionDb::Open ACCEPTS is canonical: save →
+//     load → save reproduces the exact input bytes, and every decoded
+//     transaction is sorted-unique and in range — re-adding it through
+//     TransactionDb::AddTransaction (which sorts, dedupes, and
+//     range-checks independently) must be the identity, and singleton
+//     support counts over the block scan must match that rebuilt
+//     in-memory database.
+//   * A bare payload DecodeTransactionBlock accepts re-encodes to the
+//     same bytes through EncodeTransaction (payload-level fixed point).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/block_store.h"
+#include "data/block_txn_db.h"
+#include "data/transaction_db.h"
+
+namespace {
+
+using focus::data::BlockStoreOptions;
+using focus::data::BlockTransactionDb;
+using focus::data::DecodeTransactionBlock;
+using focus::data::EncodeTransaction;
+using focus::data::TransactionDb;
+
+// Item frequencies accumulated by streaming the container's blocks.
+std::vector<int64_t> BlockItemCounts(const BlockTransactionDb& db) {
+  std::vector<int64_t> counts(static_cast<size_t>(db.num_items()), 0);
+  db.ForEachTransaction(
+      [&](int64_t /*txn*/, std::span<const int32_t> items) {
+        for (const int32_t item : items) {
+          counts[static_cast<size_t>(item)]++;
+        }
+      });
+  return counts;
+}
+
+void CheckContainer(const std::string& bytes) {
+  BlockStoreOptions options;
+  options.cache_budget_bytes = 1 << 12;  // force eviction churn mid-scan
+  std::string error;
+  auto db = BlockTransactionDb::Open(
+      std::make_unique<std::istringstream>(bytes), options, &error);
+  if (db == nullptr) {
+    if (error.empty()) std::abort();  // rejection must explain itself
+    return;
+  }
+
+  // Fixed point: the accepted image IS the canonical serialization.
+  std::ostringstream resaved;
+  db->SaveTo(resaved);
+  if (std::move(resaved).str() != bytes) std::abort();
+
+  // Decoded transactions satisfy the container invariants, and re-adding
+  // them through the independent TransactionDb validator is the identity.
+  TransactionDb rebuilt(db->num_items());
+  int64_t seen = 0;
+  db->ForEachTransaction([&](int64_t txn, std::span<const int32_t> items) {
+    if (txn != seen++) std::abort();
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i] < 0 || items[i] >= db->num_items()) std::abort();
+      if (i > 0 && items[i] <= items[i - 1]) std::abort();
+    }
+    if (db->BlockContaining(txn) < 0) std::abort();
+    rebuilt.AddTransaction(items);
+  });
+  if (seen != db->num_transactions()) std::abort();
+  if (rebuilt.num_transactions() != db->num_transactions()) std::abort();
+  for (int64_t t = 0; t < rebuilt.num_transactions(); ++t) {
+    const std::span<const int32_t> a = rebuilt.Transaction(t);
+    const int64_t block = db->BlockContaining(t);
+    const auto pinned = db->Block(block);
+    const std::span<const int32_t> b =
+        pinned->Transaction(t - db->BlockFirstTransaction(block));
+    if (a.size() != b.size()) std::abort();
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) std::abort();
+    }
+  }
+
+  // Differential counting: block scan vs. the rebuilt in-memory store.
+  const std::vector<int64_t> block_counts = BlockItemCounts(*db);
+  std::vector<int64_t> memory_counts(
+      static_cast<size_t>(rebuilt.num_items()), 0);
+  for (int64_t t = 0; t < rebuilt.num_transactions(); ++t) {
+    for (const int32_t item : rebuilt.Transaction(t)) {
+      memory_counts[static_cast<size_t>(item)]++;
+    }
+  }
+  if (block_counts != memory_counts) std::abort();
+}
+
+void CheckBarePayload(const std::string& bytes) {
+  TransactionDb decoded(1000);
+  std::string error;
+  if (!DecodeTransactionBlock(bytes, 1000, &decoded, &error)) {
+    if (error.empty()) std::abort();
+    return;
+  }
+  // Payload-level fixed point: re-encoding the decoded transactions
+  // reproduces the accepted payload byte for byte.
+  std::string reencoded;
+  for (int64_t t = 0; t < decoded.num_transactions(); ++t) {
+    EncodeTransaction(decoded.Transaction(t), reencoded);
+  }
+  if (reencoded != bytes) std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (64u << 10)) return 0;  // bound decode cost per input
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  CheckContainer(bytes);
+  CheckBarePayload(bytes);
+  return 0;
+}

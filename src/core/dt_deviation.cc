@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/flat_router.h"
 #include "core/parallel_count.h"
 #include "tree/leaf_regions.h"
 
@@ -13,57 +14,6 @@ namespace {
 // 16 MiB of int32; beyond that (trees with tens of thousands of leaves
 // each) the hash map bounds memory instead.
 constexpr int64_t kDenseRouterMaxCells = int64_t{1} << 22;
-
-// A decision tree flattened for routing: contiguous nodes with the
-// numeric/categorical discriminator resolved ONCE at flatten time instead
-// of a schema lookup per node visit. Routing a row is then a tight loop
-// over one array — and fusing two of these routers in a single row loop
-// (the GCR measure scan) keeps both node arrays hot instead of
-// alternating between two pointer-chasing traversals and a hash probe.
-struct FlatTreeRouter {
-  struct Node {
-    double threshold = 0.0;
-    uint64_t left_mask = 0;
-    int32_t left = -1;
-    int32_t right = -1;
-    int32_t attribute = -1;   // -1 marks a leaf
-    int32_t leaf_index = -1;
-    bool is_numeric = false;
-  };
-  std::vector<Node> nodes;
-
-  explicit FlatTreeRouter(const dt::DecisionTree& tree) {
-    FOCUS_CHECK_GT(tree.num_nodes(), 0);
-    nodes.resize(tree.num_nodes());
-    for (int i = 0; i < tree.num_nodes(); ++i) {
-      const dt::DecisionTree::Node& node = tree.node(i);
-      Node& flat = nodes[i];
-      flat.threshold = node.threshold;
-      flat.left_mask = node.left_mask;
-      flat.left = node.left;
-      flat.right = node.right;
-      flat.attribute = node.attribute;
-      flat.leaf_index = node.leaf_index;
-      flat.is_numeric =
-          node.attribute >= 0 &&
-          tree.schema().attribute(node.attribute).type ==
-              data::AttributeType::kNumeric;
-    }
-  }
-
-  int Route(std::span<const double> row) const {
-    const Node* node = nodes.data();
-    while (node->attribute >= 0) {
-      const bool go_left =
-          node->is_numeric
-              ? row[node->attribute] < node->threshold
-              : (node->left_mask &
-                 (1ULL << static_cast<int>(row[node->attribute]))) != 0;
-      node = nodes.data() + (go_left ? node->left : node->right);
-    }
-    return node->leaf_index;
-  }
-};
 
 }  // namespace
 
@@ -114,28 +64,59 @@ std::vector<double> DtGcr::Measures(const dt::DecisionTree& t1,
                                     common::ThreadPool* pool) const {
   const data::Schema& schema = t1.schema();
   // Flatten both trees once per scan, then route every row through both in
-  // a single fused loop: two contiguous-node walks plus one dense-array
-  // (or hash, for huge leaf products) region lookup per row.
+  // one fused loop: two node-array walks plus one dense-array (or hash,
+  // for huge leaf products) region lookup per row. Trees big enough to
+  // miss cache route in 8-row lockstep batches instead, so the dependent
+  // node loads of 8 descents overlap (flat_router.h explains the
+  // cutover). Under focussing, each batch gathers only the in-R rows
+  // before routing — filtered rows cost one Contains probe, never a
+  // descent. Both shapes tally identical integer counts, which
+  // laws_dt_batch_test pins under forced FOCUS_DT_BATCH modes.
   const FlatTreeRouter router1(t1);
   const FlatTreeRouter router2(t2);
   const int32_t* dense = dense_.empty() ? nullptr : dense_.data();
   const data::Box* focus_box = focus.has_value() ? &*focus : nullptr;
-  const std::vector<int64_t> counts = CountRowsMaybeParallel(
-      dataset.num_rows(), regions_.size() * num_classes_, pool,
-      [&](int64_t row, std::vector<int64_t>& acc) {
-        const auto values = dataset.Row(row);
-        if (focus_box != nullptr && !focus_box->Contains(schema, values)) {
-          return;
-        }
-        const int l1 = router1.Route(values);
-        const int l2 = router2.Route(values);
-        const int64_t cell = static_cast<int64_t>(l1) * leaves2_ + l2;
-        const int region = dense != nullptr
-                               ? dense[static_cast<size_t>(cell)]
-                               : IndexOf(l1, l2);
-        FOCUS_CHECK_GE(region, 0) << "tuple routed to empty GCR region";
-        ++acc[static_cast<size_t>(region) * num_classes_ + dataset.Label(row)];
-      });
+  const auto tally = [&](int l1, int l2, int64_t row,
+                         std::vector<int64_t>& acc) {
+    const int64_t cell = static_cast<int64_t>(l1) * leaves2_ + l2;
+    const int region = dense != nullptr ? dense[static_cast<size_t>(cell)]
+                                        : IndexOf(l1, l2);
+    FOCUS_CHECK_GE(region, 0) << "tuple routed to empty GCR region";
+    ++acc[static_cast<size_t>(region) * num_classes_ + dataset.Label(row)];
+  };
+  std::vector<int64_t> counts;
+  if (router1.PrefersBatchedRouting() || router2.PrefersBatchedRouting()) {
+    counts = CountRowRangesMaybeParallel(
+        dataset.num_rows(), regions_.size() * num_classes_,
+        FlatTreeRouter::kBatch, pool,
+        [&](int64_t begin, int64_t end, std::vector<int64_t>& acc) {
+          int64_t rows[FlatTreeRouter::kBatch];
+          int n = 0;
+          for (int64_t row = begin; row < end; ++row) {
+            if (focus_box != nullptr &&
+                !focus_box->Contains(schema, dataset.Row(row))) {
+              continue;
+            }
+            rows[n++] = row;
+          }
+          if (n == 0) return;
+          int l1[FlatTreeRouter::kBatch];
+          int l2[FlatTreeRouter::kBatch];
+          router1.RouteRows(dataset, rows, n, l1);
+          router2.RouteRows(dataset, rows, n, l2);
+          for (int i = 0; i < n; ++i) tally(l1[i], l2[i], rows[i], acc);
+        });
+  } else {
+    counts = CountRowsMaybeParallel(
+        dataset.num_rows(), regions_.size() * num_classes_, pool,
+        [&](int64_t row, std::vector<int64_t>& acc) {
+          const auto values = dataset.Row(row);
+          if (focus_box != nullptr && !focus_box->Contains(schema, values)) {
+            return;
+          }
+          tally(router1.Route(values), router2.Route(values), row, acc);
+        });
+  }
   std::vector<double> measures(counts.size());
   const double n = static_cast<double>(dataset.num_rows());
   FOCUS_CHECK_GT(n, 0.0);
@@ -219,12 +200,33 @@ std::vector<double> DtMeasuresOverTree(const dt::DecisionTree& tree,
   FOCUS_CHECK(tree.schema() == dataset.schema());
   const int num_classes = tree.schema().num_classes();
   const FlatTreeRouter router(tree);
-  const std::vector<int64_t> counts = CountRowsMaybeParallel(
-      dataset.num_rows(), static_cast<size_t>(tree.num_leaves()) * num_classes,
-      pool, [&](int64_t row, std::vector<int64_t>& acc) {
-        const int leaf = router.Route(dataset.Row(row));
-        ++acc[static_cast<size_t>(leaf) * num_classes + dataset.Label(row)];
-      });
+  std::vector<int64_t> counts;
+  if (router.PrefersBatchedRouting()) {
+    counts = CountRowRangesMaybeParallel(
+        dataset.num_rows(),
+        static_cast<size_t>(tree.num_leaves()) * num_classes,
+        FlatTreeRouter::kBatch, pool,
+        [&](int64_t begin, int64_t end, std::vector<int64_t>& acc) {
+          int64_t rows[FlatTreeRouter::kBatch];
+          const int n = static_cast<int>(end - begin);
+          for (int i = 0; i < n; ++i) rows[i] = begin + i;
+          int leaves[FlatTreeRouter::kBatch];
+          router.RouteRows(dataset, rows, n, leaves);
+          for (int i = 0; i < n; ++i) {
+            ++acc[static_cast<size_t>(leaves[i]) * num_classes +
+                  dataset.Label(rows[i])];
+          }
+        });
+  } else {
+    counts = CountRowsMaybeParallel(
+        dataset.num_rows(),
+        static_cast<size_t>(tree.num_leaves()) * num_classes, pool,
+        [&](int64_t row, std::vector<int64_t>& acc) {
+          const int leaf = router.Route(dataset.Row(row));
+          ++acc[static_cast<size_t>(leaf) * num_classes +
+                dataset.Label(row)];
+        });
+  }
   std::vector<double> measures(counts.size());
   const double n = static_cast<double>(dataset.num_rows());
   FOCUS_CHECK_GT(n, 0.0);

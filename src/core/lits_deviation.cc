@@ -50,6 +50,16 @@ std::vector<double> ExtendModel(const std::vector<lits::Itemset>& regions,
 
 std::vector<double> ExtendModel(const std::vector<lits::Itemset>& regions,
                                 const lits::LitsModel& model,
+                                data::TxnSourceRef source) {
+  return ExtendModelWith(
+      regions, model, [source](const std::vector<lits::Itemset>& missing) {
+        return lits::SupportCounter(missing, source.num_items())
+            .CountRelative(source);
+      });
+}
+
+std::vector<double> ExtendModel(const std::vector<lits::Itemset>& regions,
+                                const lits::LitsModel& model,
                                 data::ItemIndexRef index) {
   return ExtendModelWith(
       regions, model, [index](const std::vector<lits::Itemset>& missing) {
@@ -132,6 +142,27 @@ double LitsDeviation(const lits::LitsModel& m1, data::ItemIndexRef i1,
                               static_cast<double>(i1.num_transactions()),
                               ExtendModel(gcr, m2, i2),
                               static_cast<double>(i2.num_transactions()), fn);
+}
+
+double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
+                                data::TxnSourceRef s1, data::TxnSourceRef s2,
+                                const DeviationFunction& fn) {
+  const lits::SupportCounter counter1(regions, s1.num_items());
+  const lits::SupportCounter counter2(regions, s2.num_items());
+  return AggregateRegionDiffs(counter1.CountRelative(s1),
+                              static_cast<double>(s1.num_transactions()),
+                              counter2.CountRelative(s2),
+                              static_cast<double>(s2.num_transactions()), fn);
+}
+
+double LitsDeviation(const lits::LitsModel& m1, data::TxnSourceRef s1,
+                     const lits::LitsModel& m2, data::TxnSourceRef s2,
+                     const DeviationFunction& fn) {
+  const std::vector<lits::Itemset> gcr = LitsGcr(m1, m2);
+  return AggregateRegionDiffs(ExtendModel(gcr, m1, s1),
+                              static_cast<double>(s1.num_transactions()),
+                              ExtendModel(gcr, m2, s2),
+                              static_cast<double>(s2.num_transactions()), fn);
 }
 
 double LitsDeviationFocused(const lits::LitsModel& m1,

@@ -7,6 +7,7 @@
 #include "core/functions.h"
 #include "data/transaction_db.h"
 #include "data/item_index.h"
+#include "data/txn_source.h"
 #include "itemsets/apriori.h"
 #include "itemsets/itemset.h"
 
@@ -49,6 +50,18 @@ double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
 
 double LitsDeviation(const lits::LitsModel& m1, data::ItemIndexRef i1,
                      const lits::LitsModel& m2, data::ItemIndexRef i2,
+                     const DeviationFunction& fn);
+
+// Transaction-source overloads: the counting scans stream block by block
+// when an operand is block-backed (bounded memory), and run exactly as the
+// TransactionDb overloads when it is not. Counts are integers either way,
+// so the deviation doubles are bit-identical across backends.
+double LitsDeviationOverRegions(const std::vector<lits::Itemset>& regions,
+                                data::TxnSourceRef s1, data::TxnSourceRef s2,
+                                const DeviationFunction& fn);
+
+double LitsDeviation(const lits::LitsModel& m1, data::TxnSourceRef s1,
+                     const lits::LitsModel& m2, data::TxnSourceRef s2,
                      const DeviationFunction& fn);
 
 // The two halves of LitsDeviation, exposed for the sharded scatter-gather

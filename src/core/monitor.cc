@@ -47,6 +47,10 @@ void LitsChangeMonitor::Calibrate() {
 
 MonitorReport LitsChangeMonitor::Inspect(
     const data::TransactionDb& snapshot) const {
+  return Inspect(data::TxnSourceRef(snapshot));
+}
+
+MonitorReport LitsChangeMonitor::Inspect(data::TxnSourceRef snapshot) const {
   // One scan builds the snapshot's index; mining and the (possible)
   // stage-2 extension then both run vertically against it.
   const data::VerticalIndex snapshot_index(snapshot);
@@ -57,6 +61,13 @@ MonitorReport LitsChangeMonitor::Inspect(
 
 MonitorReport LitsChangeMonitor::InspectWithModel(
     const data::TransactionDb& snapshot, const lits::LitsModel& snapshot_model,
+    data::ItemIndexRef snapshot_index) const {
+  return InspectWithModel(data::TxnSourceRef(snapshot), snapshot_model,
+                          snapshot_index);
+}
+
+MonitorReport LitsChangeMonitor::InspectWithModel(
+    data::TxnSourceRef snapshot, const lits::LitsModel& snapshot_model,
     data::ItemIndexRef snapshot_index) const {
   MonitorReport report;
   report.upper_bound =

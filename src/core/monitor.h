@@ -7,6 +7,7 @@
 #include "core/significance.h"
 #include "data/item_index.h"
 #include "data/transaction_db.h"
+#include "data/txn_source.h"
 #include "data/vertical_index.h"
 #include "itemsets/apriori.h"
 
@@ -53,6 +54,12 @@ class LitsChangeMonitor {
   // Inspects one snapshot; does NOT update the reference.
   MonitorReport Inspect(const data::TransactionDb& snapshot) const;
 
+  // Either-backend variant: a block-backed snapshot streams through every
+  // stage (index build, mining, stage-2 counting, bootstrap resampling)
+  // without ever being materialized as one flat TransactionDb. Reports
+  // are bit-identical across backends.
+  MonitorReport Inspect(data::TxnSourceRef snapshot) const;
+
   // Same, with a caller-supplied model of `snapshot` (e.g. from the
   // serving layer's mined-model cache) so stage 1 skips re-mining. The
   // model MUST have been mined from `snapshot` with this monitor's
@@ -66,6 +73,9 @@ class LitsChangeMonitor {
   MonitorReport InspectWithModel(
       const data::TransactionDb& snapshot,
       const lits::LitsModel& snapshot_model,
+      data::ItemIndexRef snapshot_index = {}) const;
+  MonitorReport InspectWithModel(
+      data::TxnSourceRef snapshot, const lits::LitsModel& snapshot_model,
       data::ItemIndexRef snapshot_index = {}) const;
 
   // Replaces the reference with `snapshot` (e.g. after an accepted

@@ -1,6 +1,7 @@
 #ifndef FOCUS_CORE_PARALLEL_COUNT_H_
 #define FOCUS_CORE_PARALLEL_COUNT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -38,6 +39,44 @@ std::vector<int64_t> CountRowsMaybeParallel(int64_t num_rows,
                       for (int64_t row = begin; row < end; ++row) {
                         count_row(row, shard_counts[shard]);
                       }
+                    });
+  std::vector<int64_t> counts(num_counts, 0);
+  for (const std::vector<int64_t>& shard : shard_counts) {
+    for (size_t i = 0; i < num_counts; ++i) counts[i] += shard[i];
+  }
+  return counts;
+}
+
+// Batched variant for routing-style kernels: `count_rows` receives
+// half-open row ranges [begin, end) of width at most `batch` (the last
+// range of a shard may be shorter) instead of single rows, so the body
+// can resolve a whole batch in lockstep (FlatTreeRouter::RouteRows).
+// Shard boundaries are the SAME as CountRowsMaybeParallel's — they depend
+// only on (num_rows, pool size), never on `batch` — and the accumulators
+// are integers, so the batched scan is bit-identical to row-at-a-time.
+template <typename CountRows>
+std::vector<int64_t> CountRowRangesMaybeParallel(int64_t num_rows,
+                                                 size_t num_counts,
+                                                 int64_t batch,
+                                                 common::ThreadPool* pool,
+                                                 const CountRows& count_rows) {
+  const auto scan = [batch, &count_rows](int64_t begin, int64_t end,
+                                         std::vector<int64_t>& counts) {
+    for (int64_t b = begin; b < end; b += batch) {
+      count_rows(b, std::min(b + batch, end), counts);
+    }
+  };
+  if (pool == nullptr) {
+    std::vector<int64_t> counts(num_counts, 0);
+    scan(0, num_rows, counts);
+    return counts;
+  }
+  const int num_shards = pool->num_threads();
+  std::vector<std::vector<int64_t>> shard_counts(
+      num_shards, std::vector<int64_t>(num_counts, 0));
+  pool->ParallelFor(0, num_rows, num_shards,
+                    [&](int shard, int64_t begin, int64_t end) {
+                      scan(begin, end, shard_counts[shard]);
                     });
   std::vector<int64_t> counts(num_counts, 0);
   for (const std::vector<int64_t>& shard : shard_counts) {

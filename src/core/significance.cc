@@ -16,6 +16,15 @@ SignificanceResult LitsDeviationSignificance(
     const data::TransactionDb& d1, const data::TransactionDb& d2,
     const lits::AprioriOptions& apriori_options, const DeviationFunction& fn,
     const SignificanceOptions& options) {
+  return LitsDeviationSignificance(data::TxnSourceRef(d1),
+                                   data::TxnSourceRef(d2), apriori_options, fn,
+                                   options);
+}
+
+SignificanceResult LitsDeviationSignificance(
+    data::TxnSourceRef d1, data::TxnSourceRef d2,
+    const lits::AprioriOptions& apriori_options, const DeviationFunction& fn,
+    const SignificanceOptions& options) {
   FOCUS_CHECK_GT(options.num_replicates, 0);
 
   const lits::LitsModel m1 = lits::Apriori(d1, apriori_options);
@@ -24,19 +33,22 @@ SignificanceResult LitsDeviationSignificance(
   SignificanceResult result;
   result.deviation = LitsDeviation(m1, d1, m2, d2, fn);
 
-  data::TransactionDb pool = d1;
-  pool.Append(d2);
+  // Replicates resample from the logical pool d1 ++ d2; index draws are
+  // over [0, n1 + n2), exactly as if the pool had been materialized.
+  const int64_t pool_size = d1.num_transactions() + d2.num_transactions();
 
   std::mt19937_64 rng = stats::MakeRng(options.seed);
   std::vector<double> null_values;
   null_values.reserve(options.num_replicates);
   for (int r = 0; r < options.num_replicates; ++r) {
-    const data::TransactionDb b1 = data::TakeTransactions(
-        pool, data::SampleIndicesWithReplacement(pool.num_transactions(),
-                                                 d1.num_transactions(), rng));
-    const data::TransactionDb b2 = data::TakeTransactions(
-        pool, data::SampleIndicesWithReplacement(pool.num_transactions(),
-                                                 d2.num_transactions(), rng));
+    const data::TransactionDb b1 = data::TakeTransactionsPooled(
+        d1, d2,
+        data::SampleIndicesWithReplacement(pool_size, d1.num_transactions(),
+                                           rng));
+    const data::TransactionDb b2 = data::TakeTransactionsPooled(
+        d1, d2,
+        data::SampleIndicesWithReplacement(pool_size, d2.num_transactions(),
+                                           rng));
     const lits::LitsModel bm1 = lits::Apriori(b1, apriori_options);
     const lits::LitsModel bm2 = lits::Apriori(b2, apriori_options);
     null_values.push_back(LitsDeviation(bm1, b1, bm2, b2, fn));

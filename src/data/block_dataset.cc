@@ -1,0 +1,339 @@
+#include "data/block_dataset.h"
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/thread_pool.h"
+
+namespace focus::data {
+namespace {
+
+constexpr uint64_t kMaxAttributes = 4096;
+constexpr uint64_t kMaxClasses = uint64_t{1} << 20;
+constexpr uint64_t kMaxNameBytes = 4096;
+constexpr int64_t kMaxRows = int64_t{1} << 40;
+
+bool Fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+void AppendDoubleBits(std::string& out, double value) {
+  const auto bits = std::bit_cast<uint64_t>(value);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+bool ReadDoubleBits(std::string_view bytes, size_t* pos, double* value) {
+  if (*pos + 8 > bytes.size()) return false;
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[*pos + i]))
+            << (8 * i);
+  }
+  *pos += 8;
+  *value = std::bit_cast<double>(bits);
+  return true;
+}
+
+void EncodeRow(std::span<const double> values, int label, std::string& out) {
+  AppendVarint(out, static_cast<uint64_t>(label));
+  for (double value : values) AppendDoubleBits(out, value);
+}
+
+}  // namespace
+
+void EncodeSchemaBlock(const Schema& schema, std::string& out) {
+  AppendVarint(out, static_cast<uint64_t>(schema.num_attributes()));
+  AppendVarint(out, static_cast<uint64_t>(schema.num_classes()));
+  for (const Attribute& attr : schema.attributes()) {
+    AppendVarint(out, attr.name.size());
+    out += attr.name;
+    const bool categorical = attr.type == AttributeType::kCategorical;
+    out.push_back(categorical ? '\1' : '\0');
+    // Normalize the fields Schema::operator== ignores, so the encoding of
+    // equal schemas is identical (and save -> load -> save a fixed point).
+    AppendVarint(out, categorical ? static_cast<uint64_t>(attr.cardinality)
+                                  : uint64_t{0});
+    AppendDoubleBits(out, categorical ? 0.0 : attr.min_value);
+    AppendDoubleBits(out, categorical ? 1.0 : attr.max_value);
+  }
+}
+
+bool DecodeSchemaBlock(std::string_view payload, Schema* out,
+                       std::string* error) {
+  size_t pos = 0;
+  uint64_t num_attributes = 0;
+  uint64_t num_classes = 0;
+  if (!ReadVarint(payload, &pos, &num_attributes) ||
+      !ReadVarint(payload, &pos, &num_classes)) {
+    return Fail(error, "schema block: bad header varint");
+  }
+  if (num_attributes > kMaxAttributes) {
+    return Fail(error, "schema block: too many attributes");
+  }
+  if (num_classes > kMaxClasses) {
+    return Fail(error, "schema block: too many classes");
+  }
+  std::vector<Attribute> attributes;
+  attributes.reserve(num_attributes);
+  for (uint64_t a = 0; a < num_attributes; ++a) {
+    uint64_t name_len = 0;
+    if (!ReadVarint(payload, &pos, &name_len) || name_len > kMaxNameBytes ||
+        pos + name_len > payload.size()) {
+      return Fail(error, "schema block: bad attribute name");
+    }
+    Attribute attr;
+    attr.name.assign(payload.substr(pos, name_len));
+    pos += name_len;
+    if (pos >= payload.size()) {
+      return Fail(error, "schema block: truncated attribute");
+    }
+    const auto type_byte = static_cast<uint8_t>(payload[pos++]);
+    if (type_byte > 1) return Fail(error, "schema block: bad attribute type");
+    attr.type = type_byte == 1 ? AttributeType::kCategorical
+                               : AttributeType::kNumeric;
+    uint64_t cardinality = 0;
+    if (!ReadVarint(payload, &pos, &cardinality)) {
+      return Fail(error, "schema block: bad cardinality varint");
+    }
+    if (!ReadDoubleBits(payload, &pos, &attr.min_value) ||
+        !ReadDoubleBits(payload, &pos, &attr.max_value)) {
+      return Fail(error, "schema block: truncated attribute bounds");
+    }
+    if (attr.type == AttributeType::kCategorical) {
+      // Schema's invariant, checked here so corrupt input fails cleanly
+      // instead of tripping the Schema constructor's FOCUS_CHECK.
+      if (cardinality < 1 || cardinality > 64) {
+        return Fail(error, "schema block: categorical cardinality out of range");
+      }
+      if (std::bit_cast<uint64_t>(attr.min_value) !=
+              std::bit_cast<uint64_t>(0.0) ||
+          std::bit_cast<uint64_t>(attr.max_value) !=
+              std::bit_cast<uint64_t>(1.0)) {
+        return Fail(error, "schema block: non-canonical categorical bounds");
+      }
+      attr.cardinality = static_cast<int>(cardinality);
+    } else {
+      if (cardinality != 0) {
+        return Fail(error, "schema block: non-canonical numeric cardinality");
+      }
+      if (std::isnan(attr.min_value) || std::isnan(attr.max_value) ||
+          !(attr.min_value <= attr.max_value)) {
+        return Fail(error, "schema block: bad numeric bounds");
+      }
+    }
+    attributes.push_back(std::move(attr));
+  }
+  if (pos != payload.size()) {
+    return Fail(error, "schema block: trailing bytes");
+  }
+  *out = Schema(std::move(attributes), static_cast<int>(num_classes));
+  return true;
+}
+
+bool DecodeDatasetBlock(std::string_view payload, const Schema& schema,
+                        Dataset* out, std::string* error) {
+  const int num_attributes = schema.num_attributes();
+  size_t pos = 0;
+  std::vector<double> values(static_cast<size_t>(num_attributes));
+  while (pos < payload.size()) {
+    uint64_t label = 0;
+    if (!ReadVarint(payload, &pos, &label)) {
+      return Fail(error, "dataset block: bad label varint");
+    }
+    if (schema.num_classes() > 0
+            ? label >= static_cast<uint64_t>(schema.num_classes())
+            : label != 0) {
+      return Fail(error, "dataset block: label out of range");
+    }
+    for (int a = 0; a < num_attributes; ++a) {
+      if (!ReadDoubleBits(payload, &pos, &values[a])) {
+        return Fail(error, "dataset block: truncated row");
+      }
+    }
+    out->AddRow(values, static_cast<int>(label));
+  }
+  return true;
+}
+
+BlockDatasetWriter::BlockDatasetWriter(std::ostream& out, const Schema& schema,
+                                       int64_t block_size)
+    : writer_(out, kBlockKindDataset),
+      schema_(schema),
+      block_size_(block_size) {
+  FOCUS_CHECK_GT(block_size, 0);
+  std::string schema_payload;
+  EncodeSchemaBlock(schema_, schema_payload);
+  writer_.AppendBlock(schema_payload, 0);
+}
+
+void BlockDatasetWriter::Add(std::span<const double> values, int label) {
+  FOCUS_CHECK(!finished_) << "Add after Finish";
+  FOCUS_CHECK_EQ(static_cast<int>(values.size()), schema_.num_attributes());
+  FOCUS_CHECK_GE(label, 0);
+  if (schema_.num_classes() > 0) {
+    FOCUS_CHECK_LT(label, schema_.num_classes());
+  } else {
+    FOCUS_CHECK_EQ(label, 0);
+  }
+  const size_t row_bytes_upper = 10 + 8 * static_cast<size_t>(values.size());
+  if (!buffer_.empty() &&
+      buffer_.size() + row_bytes_upper > static_cast<size_t>(block_size_)) {
+    FlushBlock();
+  }
+  EncodeRow(values, label, buffer_);
+  ++buffer_rows_;
+  ++num_rows_;
+}
+
+void BlockDatasetWriter::FlushBlock() {
+  writer_.AppendBlock(buffer_, static_cast<uint64_t>(buffer_rows_));
+  buffer_.clear();
+  buffer_rows_ = 0;
+}
+
+void BlockDatasetWriter::Finish() {
+  FOCUS_CHECK(!finished_) << "double Finish";
+  finished_ = true;
+  if (!buffer_.empty()) FlushBlock();
+  const std::array<uint64_t, 1> meta = {static_cast<uint64_t>(num_rows_)};
+  writer_.Finish(meta);
+}
+
+std::unique_ptr<BlockDataset> BlockDataset::Open(
+    std::unique_ptr<std::istream> in, const BlockStoreOptions& options,
+    std::string* error) {
+  auto fail = [&](const std::string& why) -> std::unique_ptr<BlockDataset> {
+    if (error != nullptr) *error = why;
+    return nullptr;
+  };
+  std::unique_ptr<BlockFileReader> reader =
+      BlockFileReader::Open(std::move(in), kBlockKindDataset, error);
+  if (reader == nullptr) return nullptr;
+
+  const std::span<const uint64_t> meta = reader->file_meta();
+  if (meta.size() != 1) return fail("dataset block file: bad file meta arity");
+  if (meta[0] >= static_cast<uint64_t>(kMaxRows)) {
+    return fail("dataset block file: too many rows");
+  }
+  const auto num_rows = static_cast<int64_t>(meta[0]);
+  if (reader->num_blocks() < 1) {
+    return fail("dataset block file: missing schema block");
+  }
+  if (reader->block_meta(0) != 0) {
+    return fail("dataset block file: schema block meta must be zero");
+  }
+
+  std::string payload;
+  std::string why;
+  if (!reader->ReadBlock(0, &payload, &why)) return fail(why);
+  Schema schema;
+  if (!DecodeSchemaBlock(payload, &schema, &why)) return fail(why);
+
+  std::vector<int64_t> block_first_row;
+  block_first_row.reserve(reader->num_blocks());
+  block_first_row.push_back(0);
+  int64_t total = 0;
+  for (int64_t b = 1; b < reader->num_blocks(); ++b) {
+    if (!reader->ReadBlock(b, &payload, &why)) return fail(why);
+    Dataset decoded(schema);
+    if (!DecodeDatasetBlock(payload, schema, &decoded, &why)) {
+      return fail(why);
+    }
+    if (static_cast<uint64_t>(decoded.num_rows()) != reader->block_meta(b)) {
+      return fail("dataset block file: block meta row count mismatch");
+    }
+    total += decoded.num_rows();
+    block_first_row.push_back(total);
+  }
+  if (total != num_rows) {
+    return fail("dataset block file: row total mismatch");
+  }
+
+  return std::unique_ptr<BlockDataset>(
+      new BlockDataset(std::move(reader), options, std::move(schema), num_rows,
+                       std::move(block_first_row)));
+}
+
+std::unique_ptr<BlockDataset> BlockDataset::OpenFile(
+    const std::string& path, const BlockStoreOptions& options,
+    std::string* error) {
+  std::unique_ptr<std::istream> in = OpenBlockFileForRead(path);
+  if (in == nullptr) {
+    if (error != nullptr) *error = "dataset block file: cannot open " + path;
+    return nullptr;
+  }
+  return Open(std::move(in), options, error);
+}
+
+BlockDataset::~BlockDataset() {
+  std::vector<std::future<void>> pending;
+  {
+    common::MutexLock lock(&mu_);
+    pending = std::move(pending_);
+  }
+  for (std::future<void>& f : pending) f.wait();
+}
+
+std::shared_ptr<const Dataset> BlockDataset::FetchBlock(int64_t block) const {
+  std::string payload;
+  std::string why;
+  FOCUS_CHECK(reader_->ReadBlock(block + 1, &payload, &why)) << why;
+  auto decoded = std::make_shared<Dataset>(schema_);
+  FOCUS_CHECK(DecodeDatasetBlock(payload, schema_, decoded.get(), &why))
+      << why;
+  const int64_t bytes =
+      decoded->num_rows() * (schema_.num_attributes() * 8 + 4) + 64;
+  cache_.Put(block, decoded, bytes);
+  return decoded;
+}
+
+std::shared_ptr<const Dataset> BlockDataset::Block(int64_t block) const {
+  FOCUS_CHECK_GE(block, 0);
+  FOCUS_CHECK_LT(block, num_blocks());
+  if (std::shared_ptr<const Dataset> cached = cache_.Get(block)) {
+    return cached;
+  }
+  return FetchBlock(block);
+}
+
+void BlockDataset::Prefetch(int64_t block) const {
+  if (options_.pool == nullptr) return;
+  FOCUS_CHECK_GE(block, 0);
+  FOCUS_CHECK_LT(block, num_blocks());
+  common::MutexLock lock(&mu_);
+  std::erase_if(pending_, [](std::future<void>& f) {
+    return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  });
+  if (in_flight_.count(block) != 0) return;
+  in_flight_.insert(block);
+  pending_.push_back(options_.pool->Submit([this, block] {
+    if (cache_.Get(block) == nullptr) FetchBlock(block);
+    common::MutexLock inner(&mu_);
+    in_flight_.erase(block);
+  }));
+}
+
+void BlockDataset::SaveTo(std::ostream& out) const {
+  BlockFileWriter writer(out, kBlockKindDataset);
+  std::string payload;
+  EncodeSchemaBlock(schema_, payload);
+  writer.AppendBlock(payload, 0);
+  ForEachBlock([&](int64_t, const Dataset& block) {
+    payload.clear();
+    for (int64_t r = 0; r < block.num_rows(); ++r) {
+      EncodeRow(block.Row(r), block.Label(r), payload);
+    }
+    writer.AppendBlock(payload, static_cast<uint64_t>(block.num_rows()));
+  });
+  const std::array<uint64_t, 1> meta = {static_cast<uint64_t>(num_rows_)};
+  writer.Finish(meta);
+}
+
+}  // namespace focus::data

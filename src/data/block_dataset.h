@@ -1,0 +1,148 @@
+#ifndef FOCUS_DATA_BLOCK_DATASET_H_
+#define FOCUS_DATA_BLOCK_DATASET_H_
+
+#include <cstdint>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "data/block_store.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace focus::data {
+
+// Out-of-core Dataset over the block_store.h codec (kind = dataset): block 0
+// carries the Schema, every later block a run of rows. Mirrors
+// BlockTransactionDb — bounded decoded-block cache, async read-ahead, full
+// validation at Open, save -> load -> save byte fixed point. Decoded blocks
+// are small Datasets, so the decision-tree and clustering kernels run
+// unchanged over block views.
+//
+// Row codec (canonical): per row, varint(label) then num_attributes raw
+// little-endian 64-bit double bit patterns (bit-preserving, so any float
+// value — including NaN payloads — round-trips exactly). Block meta = rows
+// in the block; file meta = {num_rows}.
+
+class BlockDatasetWriter {
+ public:
+  BlockDatasetWriter(std::ostream& out, const Schema& schema,
+                     int64_t block_size = BlockStoreOptions{}.block_size);
+
+  // `values.size()` must equal schema.num_attributes(); `label` in
+  // [0, num_classes) (0 for unlabeled schemas), as for Dataset::AddRow.
+  void Add(std::span<const double> values, int label);
+  void Finish();
+
+  int64_t num_rows() const { return num_rows_; }
+
+ private:
+  void FlushBlock();
+
+  BlockFileWriter writer_;
+  const Schema schema_;
+  const int64_t block_size_;
+  std::string buffer_;
+  int64_t buffer_rows_ = 0;
+  int64_t num_rows_ = 0;
+  bool finished_ = false;
+};
+
+class BlockDataset {
+ public:
+  // Full-validation open (schema + every row block). Null + `*error` on
+  // any corruption.
+  static std::unique_ptr<BlockDataset> Open(std::unique_ptr<std::istream> in,
+                                            const BlockStoreOptions& options,
+                                            std::string* error);
+  static std::unique_ptr<BlockDataset> OpenFile(const std::string& path,
+                                                const BlockStoreOptions& options,
+                                                std::string* error);
+
+  ~BlockDataset();
+
+  BlockDataset(const BlockDataset&) = delete;
+  BlockDataset& operator=(const BlockDataset&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  // Row blocks only (the schema block is internal).
+  int64_t num_blocks() const { return reader_->num_blocks() - 1; }
+  const BlockStoreOptions& options() const { return options_; }
+
+  int64_t BlockFirstRow(int64_t block) const { return block_first_row_[block]; }
+  int64_t BlockNumRows(int64_t block) const {
+    return block_first_row_[block + 1] - block_first_row_[block];
+  }
+
+  // Pinned decoded row block; inline decode on a miss (never waits on a
+  // prefetch — safe from pool tasks).
+  std::shared_ptr<const Dataset> Block(int64_t block) const;
+
+  // Async decode into the cache; no-op without options().pool.
+  void Prefetch(int64_t block) const;
+
+  // fn(first_row, const Dataset& block), with read-ahead.
+  template <typename Fn>
+  void ForEachBlock(Fn&& fn) const {
+    const int64_t n = num_blocks();
+    for (int64_t b = 0; b < n; ++b) {
+      for (int64_t a = b + 1; a < n && a <= b + options_.readahead_blocks;
+           ++a) {
+        Prefetch(a);
+      }
+      const std::shared_ptr<const Dataset> block = Block(b);
+      fn(BlockFirstRow(b), *block);
+    }
+  }
+
+  // Re-encodes schema + row blocks preserving boundaries: byte fixed point.
+  void SaveTo(std::ostream& out) const;
+
+  int64_t cache_hits() const { return cache_.hits(); }
+  int64_t cache_misses() const { return cache_.misses(); }
+  int64_t cache_evictions() const { return cache_.evictions(); }
+
+ private:
+  BlockDataset(std::unique_ptr<BlockFileReader> reader,
+               const BlockStoreOptions& options, Schema schema,
+               int64_t num_rows, std::vector<int64_t> block_first_row)
+      : reader_(std::move(reader)),
+        options_(options),
+        schema_(std::move(schema)),
+        num_rows_(num_rows),
+        block_first_row_(std::move(block_first_row)),
+        cache_(options.cache_budget_bytes) {}
+
+  std::shared_ptr<const Dataset> FetchBlock(int64_t block) const;
+
+  std::unique_ptr<BlockFileReader> reader_;
+  const BlockStoreOptions options_;
+  const Schema schema_;
+  const int64_t num_rows_;
+  std::vector<int64_t> block_first_row_;  // num_blocks + 1 entries
+
+  mutable BlockCache<Dataset> cache_;
+  mutable common::Mutex mu_;
+  mutable std::unordered_set<int64_t> in_flight_ GUARDED_BY(mu_);
+  mutable std::vector<std::future<void>> pending_ GUARDED_BY(mu_);
+};
+
+// Schema block codec, exposed for the fuzzer and tests.
+void EncodeSchemaBlock(const Schema& schema, std::string& out);
+bool DecodeSchemaBlock(std::string_view payload, Schema* out,
+                       std::string* error);
+// Row block codec. `out` must be empty with the right schema.
+bool DecodeDatasetBlock(std::string_view payload, const Schema& schema,
+                        Dataset* out, std::string* error);
+
+}  // namespace focus::data
+
+#endif  // FOCUS_DATA_BLOCK_DATASET_H_

@@ -1,0 +1,312 @@
+#include "data/block_store.h"
+
+#include <array>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace focus::data {
+namespace {
+
+constexpr uint32_t kFileMagic = 0x4B4C4246;  // "FBLK" little-endian
+constexpr uint32_t kDirMagic = 0x52494446;   // "FDIR"
+constexpr uint32_t kEndMagic = 0x444E4546;   // "FEND"
+constexpr uint32_t kVersion = 1;
+
+constexpr int64_t kHeaderBytes = 16;
+constexpr int64_t kFooterBytes = 16;
+constexpr int64_t kDirEntryBytes = 24;  // u64 size, u64 meta, u32 crc, u32 pad
+// Sanity caps: hostile directories may claim anything; these bound what a
+// loader will even attempt to allocate or iterate.
+constexpr uint64_t kMaxBlockBytes = uint64_t{1} << 31;
+constexpr uint64_t kMaxBlocks = uint64_t{1} << 32;
+constexpr uint64_t kMaxFileMeta = 64;
+constexpr int64_t kMaxDirBytes = int64_t{1} << 30;
+
+void AppendLe32(std::string& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendLe64(std::string& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t ReadLe32(std::string_view bytes, size_t pos) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos + i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+uint64_t ReadLe64(std::string_view bytes, size_t pos) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[pos + i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+bool Fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+void AppendVarint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+bool ReadVarint(std::string_view bytes, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= bytes.size()) return false;
+    const auto byte = static_cast<uint8_t>(bytes[(*pos)++]);
+    const uint64_t group = byte & 0x7f;
+    // The 10th byte may only carry the top bit of a 64-bit value.
+    if (shift == 63 && group > 1) return false;
+    result |= group << shift;
+    if ((byte & 0x80) == 0) {
+      // Canonical form: the final group of a multi-byte varint is nonzero.
+      if (shift > 0 && group == 0) return false;
+      *value = result;
+      return true;
+    }
+  }
+  return false;  // unterminated after 10 bytes
+}
+
+BlockFileWriter::BlockFileWriter(std::ostream& out, uint32_t kind) : out_(out) {
+  std::string header;
+  AppendLe32(header, kFileMagic);
+  AppendLe32(header, kVersion);
+  AppendLe32(header, kind);
+  AppendLe32(header, 0);
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  bytes_written_ = kHeaderBytes;
+}
+
+void BlockFileWriter::AppendBlock(std::string_view payload, uint64_t meta) {
+  FOCUS_CHECK(!finished_) << "AppendBlock after Finish";
+  FOCUS_CHECK(!payload.empty()) << "empty block payload";
+  FOCUS_CHECK_LT(payload.size(), kMaxBlockBytes);
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  sizes_.push_back(payload.size());
+  metas_.push_back(meta);
+  crcs_.push_back(Crc32(payload.data(), payload.size()));
+  bytes_written_ += static_cast<int64_t>(payload.size());
+}
+
+void BlockFileWriter::Finish(std::span<const uint64_t> file_meta) {
+  FOCUS_CHECK(!finished_) << "double Finish";
+  FOCUS_CHECK_LE(file_meta.size(), kMaxFileMeta);
+  finished_ = true;
+  const auto dir_offset = static_cast<uint64_t>(bytes_written_);
+  std::string dir;
+  AppendLe32(dir, kDirMagic);
+  AppendLe32(dir, static_cast<uint32_t>(file_meta.size()));
+  for (uint64_t meta : file_meta) AppendLe64(dir, meta);
+  AppendLe64(dir, static_cast<uint64_t>(sizes_.size()));
+  for (size_t i = 0; i < sizes_.size(); ++i) {
+    AppendLe64(dir, sizes_[i]);
+    AppendLe64(dir, metas_[i]);
+    AppendLe32(dir, crcs_[i]);
+    AppendLe32(dir, 0);
+  }
+  std::string footer;
+  AppendLe64(footer, dir_offset);
+  AppendLe32(footer, Crc32(dir.data(), dir.size()));
+  AppendLe32(footer, kEndMagic);
+  out_.write(dir.data(), static_cast<std::streamsize>(dir.size()));
+  out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  bytes_written_ += static_cast<int64_t>(dir.size() + footer.size());
+  out_.flush();
+}
+
+std::unique_ptr<BlockFileReader> BlockFileReader::Open(
+    std::unique_ptr<std::istream> in, uint32_t expected_kind,
+    std::string* error) {
+  auto fail = [&](const std::string& message) -> std::unique_ptr<BlockFileReader> {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  if (in == nullptr || !*in) return fail("block file: unreadable stream");
+
+  in->seekg(0, std::ios::end);
+  if (!*in) return fail("block file: stream not seekable");
+  const int64_t file_size = static_cast<int64_t>(in->tellg());
+  // Smallest well-formed file: header + empty-meta zero-block directory +
+  // footer.
+  const int64_t kMinDirBytes = 16;
+  if (file_size < kHeaderBytes + kMinDirBytes + kFooterBytes) {
+    return fail("block file: truncated (smaller than header + footer)");
+  }
+
+  auto read_at = [&](int64_t offset, int64_t size, std::string* out) -> bool {
+    out->resize(static_cast<size_t>(size));
+    in->clear();
+    in->seekg(offset, std::ios::beg);
+    in->read(out->data(), size);
+    return static_cast<bool>(*in) && in->gcount() == size;
+  };
+
+  std::string header;
+  if (!read_at(0, kHeaderBytes, &header)) {
+    return fail("block file: header read failed");
+  }
+  if (ReadLe32(header, 0) != kFileMagic) return fail("block file: bad magic");
+  if (ReadLe32(header, 4) != kVersion) {
+    return fail("block file: unsupported version");
+  }
+  const uint32_t kind = ReadLe32(header, 8);
+  if (kind != expected_kind) return fail("block file: wrong payload kind");
+  if (ReadLe32(header, 12) != 0) return fail("block file: nonzero reserved");
+
+  std::string footer;
+  if (!read_at(file_size - kFooterBytes, kFooterBytes, &footer)) {
+    return fail("block file: footer read failed");
+  }
+  if (ReadLe32(footer, 12) != kEndMagic) {
+    return fail("block file: bad end magic");
+  }
+  const auto dir_offset = static_cast<int64_t>(ReadLe64(footer, 0));
+  const uint32_t dir_crc = ReadLe32(footer, 8);
+  if (dir_offset < kHeaderBytes ||
+      dir_offset + kMinDirBytes > file_size - kFooterBytes) {
+    return fail("block file: directory offset out of range");
+  }
+  const int64_t dir_bytes = file_size - kFooterBytes - dir_offset;
+  if (dir_bytes > kMaxDirBytes) return fail("block file: oversized directory");
+
+  std::string dir;
+  if (!read_at(dir_offset, dir_bytes, &dir)) {
+    return fail("block file: directory read failed");
+  }
+  if (Crc32(dir.data(), dir.size()) != dir_crc) {
+    return fail("block file: directory checksum mismatch");
+  }
+  if (ReadLe32(dir, 0) != kDirMagic) {
+    return fail("block file: bad directory magic");
+  }
+  const uint64_t num_file_meta = ReadLe32(dir, 4);
+  if (num_file_meta > kMaxFileMeta) {
+    return fail("block file: too many file meta words");
+  }
+  size_t pos = 8;
+  if (pos + 8 * num_file_meta + 8 > static_cast<size_t>(dir_bytes)) {
+    return fail("block file: directory truncated");
+  }
+  std::vector<uint64_t> file_meta;
+  file_meta.reserve(num_file_meta);
+  for (uint64_t i = 0; i < num_file_meta; ++i) {
+    file_meta.push_back(ReadLe64(dir, pos));
+    pos += 8;
+  }
+  const uint64_t num_blocks = ReadLe64(dir, pos);
+  pos += 8;
+  if (num_blocks > kMaxBlocks) return fail("block file: too many blocks");
+  if (static_cast<uint64_t>(dir_bytes) !=
+      pos + num_blocks * kDirEntryBytes) {
+    return fail("block file: directory size mismatch");
+  }
+
+  auto reader = std::unique_ptr<BlockFileReader>(new BlockFileReader());
+  reader->kind_ = kind;
+  reader->file_meta_ = std::move(file_meta);
+  reader->sizes_.reserve(num_blocks);
+  reader->metas_.reserve(num_blocks);
+  reader->crcs_.reserve(num_blocks);
+  reader->offsets_.reserve(num_blocks + 1);
+  reader->offsets_.push_back(kHeaderBytes);
+  uint64_t total = static_cast<uint64_t>(kHeaderBytes);
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    const uint64_t size = ReadLe64(dir, pos);
+    const uint64_t meta = ReadLe64(dir, pos + 8);
+    const uint32_t crc = ReadLe32(dir, pos + 16);
+    const uint32_t pad = ReadLe32(dir, pos + 20);
+    pos += kDirEntryBytes;
+    if (size == 0) return fail("block file: empty block");
+    if (size >= kMaxBlockBytes) return fail("block file: oversized block");
+    if (pad != 0) return fail("block file: nonzero directory padding");
+    total += size;
+    if (total > static_cast<uint64_t>(dir_offset)) {
+      return fail("block file: blocks overrun directory");
+    }
+    reader->sizes_.push_back(size);
+    reader->metas_.push_back(meta);
+    reader->crcs_.push_back(crc);
+    reader->offsets_.push_back(static_cast<int64_t>(total));
+  }
+  if (total != static_cast<uint64_t>(dir_offset)) {
+    return fail("block file: gap between blocks and directory");
+  }
+  reader->in_ = std::move(in);
+  return reader;
+}
+
+bool BlockFileReader::ReadBlock(int64_t block, std::string* payload,
+                                std::string* error) {
+  FOCUS_CHECK_GE(block, 0);
+  FOCUS_CHECK_LT(block, num_blocks());
+  const int64_t size = static_cast<int64_t>(sizes_[block]);
+  payload->resize(static_cast<size_t>(size));
+  {
+    common::MutexLock lock(&io_mu_);
+    in_->clear();
+    in_->seekg(offsets_[block], std::ios::beg);
+    in_->read(payload->data(), size);
+    if (!*in_ || in_->gcount() != size) {
+      return Fail(error, "block file: block read failed");
+    }
+  }
+  if (Crc32(payload->data(), payload->size()) != crcs_[block]) {
+    return Fail(error, "block file: block checksum mismatch");
+  }
+  return true;
+}
+
+std::unique_ptr<std::ostream> OpenBlockFileForWrite(const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(
+      path, std::ios::binary | std::ios::trunc);
+  if (!out->is_open()) return nullptr;
+  return out;
+}
+
+std::unique_ptr<std::istream> OpenBlockFileForRead(const std::string& path) {
+  auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!in->is_open()) return nullptr;
+  return in;
+}
+
+}  // namespace focus::data

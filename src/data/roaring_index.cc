@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <utility>
 
 #include "common/check.h"
+#include "data/block_store.h"
 #include "data/simd_kernels.h"
 #include "data/splitter_tree.h"
 
@@ -157,10 +160,41 @@ void RoaringIndex::AppendContainer(Item& item, int32_t key,
 }
 
 RoaringIndex::RoaringIndex(const TransactionDb& db)
-    : num_transactions_(db.num_transactions()),
-      items_(static_cast<size_t>(db.num_items())) {
-  const int32_t num_items = db.num_items();
-  if (num_items == 0) return;
+    : RoaringIndex(TxnSourceRef(db)) {}
+
+RoaringIndex::RoaringIndex(TxnSourceRef source,
+                           const RoaringBuildOptions& options)
+    : num_transactions_(source.num_transactions()),
+      items_(static_cast<size_t>(source.num_items())) {
+  if (source.num_items() == 0) return;
+  bool spill = false;
+  switch (options.spill) {
+    case RoaringBuildOptions::Spill::kNever:
+      break;
+    case RoaringBuildOptions::Spill::kAlways:
+      spill = true;
+      break;
+    case RoaringBuildOptions::Spill::kAuto:
+      // ~2 bytes of staged footprint per occurrence, and the canonical
+      // txn codec spends 1-2 bytes per occurrence on disk, so twice the
+      // payload size approximates the direct build's working set.
+      spill = source.backend() == TxnBackend::kBlock &&
+              !options.scratch_path.empty() &&
+              source.block()->TotalPayloadBytes() * 2 >
+                  options.spill_budget_bytes;
+      break;
+  }
+  if (spill) {
+    FOCUS_CHECK(!options.scratch_path.empty())
+        << "RoaringIndex spill build requires a scratch_path";
+    BuildSpilled(source, options);
+  } else {
+    BuildStreaming(source);
+  }
+}
+
+void RoaringIndex::BuildStreaming(const TxnSourceRef& source) {
+  const auto num_items = static_cast<int32_t>(items_.size());
 
   // Per-item chunk under construction. The scan visits TIDs in ascending
   // order, so once an occurrence lands past an item's open chunk that
@@ -207,14 +241,14 @@ RoaringIndex::RoaringIndex(const TransactionDb& db)
     stage[static_cast<size_t>(partition)].clear();
   };
 
-  for (int64_t t = 0; t < num_transactions_; ++t) {
-    for (int32_t item : db.Transaction(t)) {
+  source.ForEachTransaction([&](int64_t t, std::span<const int32_t> txn) {
+    for (int32_t item : txn) {
       const int32_t partition = tree.Classify(item);
       auto& buffer = stage[static_cast<size_t>(partition)];
       buffer.emplace_back(item, static_cast<uint32_t>(t));
       if (buffer.size() == kStageCapacity) flush(partition);
     }
-  }
+  });
   for (int32_t partition = 0; partition < partitions; ++partition) {
     flush(partition);
   }
@@ -225,6 +259,118 @@ RoaringIndex::RoaringIndex(const TransactionDb& db)
                       chunk.lows);
     }
   }
+}
+
+void RoaringIndex::BuildSpilled(const TxnSourceRef& source,
+                                const RoaringBuildOptions& options) {
+  const auto num_items = static_cast<int32_t>(items_.size());
+  const int32_t partitions = std::clamp(num_items / 64, 1, 64);
+  std::vector<int32_t> bounds;
+  bounds.reserve(static_cast<size_t>(partitions) + 1);
+  bounds.push_back(0);
+  for (int32_t p = 1; p < partitions; ++p) {
+    bounds.push_back(p * num_items / partitions);
+  }
+  bounds.push_back(num_items);
+  const std::vector<int32_t> splitters(bounds.begin() + 1, bounds.end() - 1);
+  const SplitterTree tree(splitters);
+
+  // Phase 1 — scan: every occurrence is routed to its item-range
+  // partition and appended to that partition's spill run as
+  // (varint item-offset, varint TID-delta). TIDs ascend globally, so each
+  // partition's concatenated runs form one non-decreasing TID stream; the
+  // delta chain crosses spill-block boundaries within a partition.
+  {
+    std::unique_ptr<std::ostream> out =
+        OpenBlockFileForWrite(options.scratch_path);
+    FOCUS_CHECK(out != nullptr)
+        << "cannot create spill scratch " << options.scratch_path;
+    BlockFileWriter writer(*out, kBlockKindScratch);
+    std::vector<std::string> run(static_cast<size_t>(partitions));
+    std::vector<uint32_t> last_tid(static_cast<size_t>(partitions), 0);
+    const auto flush_run = [&](int32_t p) {
+      writer.AppendBlock(run[static_cast<size_t>(p)],
+                         static_cast<uint64_t>(p));
+      run[static_cast<size_t>(p)].clear();
+    };
+    source.ForEachTransaction([&](int64_t t, std::span<const int32_t> txn) {
+      for (int32_t item : txn) {
+        const int32_t p = tree.Classify(item);
+        std::string& buffer = run[static_cast<size_t>(p)];
+        AppendVarint(buffer, static_cast<uint64_t>(item - bounds[p]));
+        AppendVarint(buffer, static_cast<uint64_t>(t) -
+                                 last_tid[static_cast<size_t>(p)]);
+        last_tid[static_cast<size_t>(p)] = static_cast<uint32_t>(t);
+        if (static_cast<int64_t>(buffer.size()) >=
+            options.scratch_block_size) {
+          flush_run(p);
+        }
+      }
+    });
+    for (int32_t p = 0; p < partitions; ++p) {
+      if (!run[static_cast<size_t>(p)].empty()) flush_run(p);
+    }
+    writer.Finish(std::span<const uint64_t>());
+  }
+
+  // Phase 2 — finalize partition by partition: only one partition's open
+  // chunks are live at a time, so the working set above the final index
+  // is one item-range wide no matter how large the dataset is.
+  std::string error;
+  std::unique_ptr<std::istream> in =
+      OpenBlockFileForRead(options.scratch_path);
+  FOCUS_CHECK(in != nullptr) << "cannot reopen spill scratch";
+  std::unique_ptr<BlockFileReader> reader =
+      BlockFileReader::Open(std::move(in), kBlockKindScratch, &error);
+  FOCUS_CHECK(reader != nullptr) << error;
+  std::vector<std::vector<int64_t>> blocks_of(
+      static_cast<size_t>(partitions));
+  for (int64_t b = 0; b < reader->num_blocks(); ++b) {
+    const uint64_t p = reader->block_meta(b);
+    FOCUS_CHECK_LT(p, static_cast<uint64_t>(partitions));
+    blocks_of[static_cast<size_t>(p)].push_back(b);
+  }
+  struct OpenChunk {
+    int32_t key = -1;
+    std::vector<uint16_t> lows;
+  };
+  std::string payload;
+  for (int32_t p = 0; p < partitions; ++p) {
+    std::vector<OpenChunk> open(
+        static_cast<size_t>(bounds[p + 1] - bounds[p]));
+    uint32_t tid = 0;
+    for (int64_t b : blocks_of[static_cast<size_t>(p)]) {
+      FOCUS_CHECK(reader->ReadBlock(b, &payload, &error)) << error;
+      size_t pos = 0;
+      while (pos < payload.size()) {
+        uint64_t item_offset = 0;
+        uint64_t delta = 0;
+        FOCUS_CHECK(ReadVarint(payload, &pos, &item_offset));
+        FOCUS_CHECK(ReadVarint(payload, &pos, &delta));
+        tid += static_cast<uint32_t>(delta);
+        const int32_t item = bounds[p] + static_cast<int32_t>(item_offset);
+        OpenChunk& chunk = open[static_cast<size_t>(item_offset)];
+        const int32_t key = static_cast<int32_t>(tid >> kChunkBits);
+        if (key != chunk.key) {
+          if (!chunk.lows.empty()) {
+            AppendContainer(items_[static_cast<size_t>(item)], chunk.key,
+                            chunk.lows);
+            chunk.lows.clear();
+          }
+          chunk.key = key;
+        }
+        chunk.lows.push_back(static_cast<uint16_t>(tid & (kChunkSize - 1)));
+      }
+    }
+    for (size_t i = 0; i < open.size(); ++i) {
+      if (!open[i].lows.empty()) {
+        AppendContainer(items_[static_cast<size_t>(bounds[p]) + i],
+                        open[i].key, open[i].lows);
+      }
+    }
+  }
+  reader.reset();
+  std::remove(options.scratch_path.c_str());
 }
 
 bool RoaringIndex::ContainerContains(const Container& container, uint16_t low) {

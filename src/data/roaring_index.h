@@ -9,8 +9,33 @@
 #include <vector>
 
 #include "data/transaction_db.h"
+#include "data/txn_source.h"
 
 namespace focus::data {
+
+// Build-time knobs for streaming RoaringIndex construction. The spill path
+// bounds the build's working set: staged (item, TID) partition runs go to a
+// scratch block file during the scan and containers finalize one item-range
+// partition at a time, instead of holding every partition's staging and
+// every open chunk live at once. The spilled build produces an index that
+// is operator==-identical to the direct build (each item's per-chunk low
+// sequence is the same either way) — the laws tests pin it.
+struct RoaringBuildOptions {
+  enum class Spill {
+    kNever,   // direct in-memory staging (the default)
+    kAuto,    // spill when a block-backed source looks bigger than budget
+    kAlways,  // always spill (tests; requires scratch_path)
+  };
+  Spill spill = Spill::kNever;
+  // kAuto threshold: estimated staged-occurrence footprint above which the
+  // build spills. Compared against ~2 bytes per occurrence, approximated
+  // from the source's on-disk payload size.
+  int64_t spill_budget_bytes = int64_t{256} << 20;
+  // Scratch block file path for spilled partition runs; created, then
+  // deleted when the build finishes. Must be non-empty to spill.
+  std::string scratch_path;
+  int64_t scratch_block_size = int64_t{1} << 20;
+};
 
 // Compressed vertical index: the Roaring-style array/bitmap/run hybrid.
 //
@@ -52,6 +77,12 @@ class RoaringIndex {
   // One scan of `db` (TransactionDb's sorted-unique invariant required,
   // as for VerticalIndex).
   explicit RoaringIndex(const TransactionDb& db);
+  // One scan of either backend; block-backed sources stream with
+  // read-ahead. With options.spill engaged, staged partition runs go
+  // through a scratch block file (see RoaringBuildOptions) — the result is
+  // operator==-identical either way.
+  explicit RoaringIndex(TxnSourceRef source,
+                        const RoaringBuildOptions& options = {});
 
   int32_t num_items() const { return static_cast<int32_t>(items_.size()); }
   int64_t num_transactions() const { return num_transactions_; }
@@ -128,6 +159,13 @@ class RoaringIndex {
   // container and appends it to `item`.
   static void AppendContainer(Item& item, int32_t key,
                               std::span<const uint16_t> lows);
+
+  // Single-pass splitter-tree build, staging in memory.
+  void BuildStreaming(const TxnSourceRef& source);
+  // Two-phase build: scan spills delta-encoded partition runs to a
+  // scratch block file, then containers finalize partition by partition.
+  void BuildSpilled(const TxnSourceRef& source,
+                    const RoaringBuildOptions& options);
 
   // Chunk-level counting over k >= 2 containers of one chunk, plus an
   // optional excluded container (AND-NOT).

@@ -1,11 +1,44 @@
 #include "data/sampling.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+#include <utility>
 
 #include "common/check.h"
 
 namespace focus::data {
+namespace {
+
+// Copies source transaction `txn` into rows[slot] for every (txn, slot)
+// pair, visiting pairs in ascending transaction order so a block-backed
+// source decodes each needed block exactly once. `txn_slots` is reordered.
+void GatherRows(TxnSourceRef source,
+                std::vector<std::pair<int64_t, int64_t>>& txn_slots,
+                std::vector<std::vector<int32_t>>& rows) {
+  std::sort(txn_slots.begin(), txn_slots.end());
+  if (source.memory() != nullptr) {
+    for (const auto& [txn, slot] : txn_slots) {
+      const auto items = source.memory()->Transaction(txn);
+      rows[slot].assign(items.begin(), items.end());
+    }
+    return;
+  }
+  const BlockTransactionDb& db = *source.block();
+  int64_t current_block = -1;
+  std::shared_ptr<const TransactionDb> pin;
+  for (const auto& [txn, slot] : txn_slots) {
+    const int64_t block = db.BlockContaining(txn);
+    if (block != current_block) {
+      pin = db.Block(block);
+      current_block = block;
+    }
+    const auto items = pin->Transaction(txn - db.BlockFirstTransaction(block));
+    rows[slot].assign(items.begin(), items.end());
+  }
+}
+
+}  // namespace
 
 std::vector<int64_t> SampleIndicesWithoutReplacement(int64_t n, double fraction,
                                                      std::mt19937_64& rng) {
@@ -47,6 +80,45 @@ TransactionDb TakeTransactions(const TransactionDb& db,
   for (int64_t t : indices) {
     out.AddTransaction(db.Transaction(t));
   }
+  return out;
+}
+
+TransactionDb TakeTransactions(TxnSourceRef source,
+                               const std::vector<int64_t>& indices) {
+  if (source.memory() != nullptr) {
+    return TakeTransactions(*source.memory(), indices);
+  }
+  std::vector<std::pair<int64_t, int64_t>> txn_slots;
+  txn_slots.reserve(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    txn_slots.emplace_back(indices[i], static_cast<int64_t>(i));
+  }
+  std::vector<std::vector<int32_t>> rows(indices.size());
+  GatherRows(source, txn_slots, rows);
+  TransactionDb out(source.num_items());
+  for (const std::vector<int32_t>& row : rows) out.AddTransaction(row);
+  return out;
+}
+
+TransactionDb TakeTransactionsPooled(TxnSourceRef a, TxnSourceRef b,
+                                     const std::vector<int64_t>& indices) {
+  FOCUS_CHECK_EQ(a.num_items(), b.num_items());
+  const int64_t na = a.num_transactions();
+  std::vector<std::pair<int64_t, int64_t>> a_slots;
+  std::vector<std::pair<int64_t, int64_t>> b_slots;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t t = indices[i];
+    if (t < na) {
+      a_slots.emplace_back(t, static_cast<int64_t>(i));
+    } else {
+      b_slots.emplace_back(t - na, static_cast<int64_t>(i));
+    }
+  }
+  std::vector<std::vector<int32_t>> rows(indices.size());
+  GatherRows(a, a_slots, rows);
+  GatherRows(b, b_slots, rows);
+  TransactionDb out(a.num_items());
+  for (const std::vector<int32_t>& row : rows) out.AddTransaction(row);
   return out;
 }
 

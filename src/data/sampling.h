@@ -7,6 +7,7 @@
 
 #include "data/dataset.h"
 #include "data/transaction_db.h"
+#include "data/txn_source.h"
 
 namespace focus::data {
 
@@ -27,6 +28,22 @@ std::vector<int64_t> SampleIndicesWithReplacement(int64_t n, int64_t count,
 Dataset TakeRows(const Dataset& dataset, const std::vector<int64_t>& indices);
 TransactionDb TakeTransactions(const TransactionDb& db,
                                const std::vector<int64_t>& indices);
+
+// Same extraction over either transaction backend. Block-backed sources
+// are visited in ascending transaction order (each needed block decodes
+// once) but the result places transactions at their `indices` positions,
+// so the output is byte-identical to the in-memory overload.
+TransactionDb TakeTransactions(TxnSourceRef source,
+                               const std::vector<int64_t>& indices);
+
+// Extraction from the LOGICAL concatenation a ++ b without materializing
+// the pool: `indices` range over [0, |a| + |b|), with index i < |a| naming
+// a's transaction i and i >= |a| naming b's transaction i - |a|. Equal to
+// TakeTransactions(pool, indices) for pool = a ++ b — the bootstrap
+// significance path resamples through this so a block-backed operand never
+// has to be appended into an in-memory pool.
+TransactionDb TakeTransactionsPooled(TxnSourceRef a, TxnSourceRef b,
+                                     const std::vector<int64_t>& indices);
 
 // Simple-random-sample helpers (without replacement).
 Dataset SampleDataset(const Dataset& dataset, double fraction,

@@ -8,22 +8,33 @@
 namespace focus::data {
 
 VerticalIndex::VerticalIndex(const TransactionDb& db)
-    : num_items_(db.num_items()),
-      num_transactions_(db.num_transactions()),
-      words_((db.num_transactions() + 63) / 64),
-      bits_(static_cast<size_t>(db.num_items()) * ((db.num_transactions() + 63) / 64), 0),
-      item_counts_(db.num_items(), 0) {
+    : VerticalIndex(TxnSourceRef(db)) {}
+
+VerticalIndex::VerticalIndex(TxnSourceRef source)
+    : num_items_(source.num_items()),
+      num_transactions_(source.num_transactions()),
+      words_((source.num_transactions() + 63) / 64),
+      bits_(static_cast<size_t>(source.num_items()) *
+                ((source.num_transactions() + 63) / 64),
+            0),
+      item_counts_(source.num_items(), 0) {
   // Transactions are sorted-unique, so every occurrence sets a fresh bit
   // and the per-item count can accumulate in the same single pass — no
-  // second popcount sweep over the finished bitmaps.
-  for (int64_t t = 0; t < num_transactions_; ++t) {
-    const uint64_t bit = 1ULL << (t & 63);
-    const int64_t word = t >> 6;
-    for (int32_t item : db.Transaction(t)) {
-      bits_[static_cast<size_t>(item) * words_ + word] |= bit;
-      ++item_counts_[item];
+  // second popcount sweep over the finished bitmaps. Block-backed sources
+  // visit the same transactions at the same global TIDs, so the bitmaps
+  // come out bit-identical to an in-memory build.
+  source.ForEachBlock([&](int64_t first_txn, const TransactionDb& block) {
+    const int64_t n = block.num_transactions();
+    for (int64_t t = 0; t < n; ++t) {
+      const int64_t tid = first_txn + t;
+      const uint64_t bit = 1ULL << (tid & 63);
+      const int64_t word = tid >> 6;
+      for (int32_t item : block.Transaction(t)) {
+        bits_[static_cast<size_t>(item) * words_ + word] |= bit;
+        ++item_counts_[item];
+      }
     }
-  }
+  });
 }
 
 int64_t VerticalIndex::CountIntersection(std::span<const int32_t> items) const {

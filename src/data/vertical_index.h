@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/transaction_db.h"
+#include "data/txn_source.h"
 
 namespace focus::data {
 
@@ -31,6 +32,15 @@ class VerticalIndex {
   // One scan of `db`. Transactions must satisfy TransactionDb's
   // sorted-unique invariant (they do, by construction).
   explicit VerticalIndex(const TransactionDb& db);
+
+  // One scan of either backend: block-backed sources stream through the
+  // same build loop block-at-a-time (with read-ahead), touching each
+  // occurrence exactly once. The resulting index is identical — not just
+  // count-equal, operator==-equal — to an in-memory build of the same
+  // logical database.
+  explicit VerticalIndex(TxnSourceRef source);
+
+  bool operator==(const VerticalIndex& other) const = default;
 
   int32_t num_items() const { return num_items_; }
   int64_t num_transactions() const { return num_transactions_; }

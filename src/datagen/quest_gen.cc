@@ -101,7 +101,9 @@ std::string QuestParams::Name() const {
   return buffer;
 }
 
-data::TransactionDb GenerateQuest(const QuestParams& params) {
+void GenerateQuestTo(
+    const QuestParams& params,
+    const std::function<void(std::span<const int32_t>)>& sink) {
   FOCUS_CHECK_GT(params.num_transactions, 0);
   FOCUS_CHECK_GT(params.num_items, 0);
   FOCUS_CHECK_GT(params.num_patterns, 0);
@@ -115,11 +117,6 @@ data::TransactionDb GenerateQuest(const QuestParams& params) {
   std::mt19937_64 rng = stats::MakeRng(stats::DeriveSeed(params.seed, 1));
   const PatternPicker picker(patterns);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
-
-  data::TransactionDb db(params.num_items);
-  db.Reserve(params.num_transactions,
-             static_cast<int64_t>(static_cast<double>(params.num_transactions) *
-                                  params.avg_transaction_length));
 
   // A pattern that overflowed the previous transaction and was deferred.
   std::vector<int32_t> carried;
@@ -161,8 +158,18 @@ data::TransactionDb GenerateQuest(const QuestParams& params) {
     }
     if (txn.empty()) txn.push_back(static_cast<int32_t>(
         stats::UniformInt(rng, 0, params.num_items - 1)));
-    db.AddTransaction(txn);
+    sink(txn);
   }
+}
+
+data::TransactionDb GenerateQuest(const QuestParams& params) {
+  data::TransactionDb db(params.num_items);
+  db.Reserve(params.num_transactions,
+             static_cast<int64_t>(static_cast<double>(params.num_transactions) *
+                                  params.avg_transaction_length));
+  GenerateQuestTo(params, [&db](std::span<const int32_t> items) {
+    db.AddTransaction(items);
+  });
   return db;
 }
 

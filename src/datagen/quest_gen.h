@@ -2,6 +2,8 @@
 #define FOCUS_DATAGEN_QUEST_GEN_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 
 #include "data/transaction_db.h"
@@ -47,6 +49,18 @@ struct QuestParams {
 };
 
 data::TransactionDb GenerateQuest(const QuestParams& params);
+
+// Streams the generated transactions, in order, to `sink` instead of
+// materializing a TransactionDb. The RNG draw sequence is IDENTICAL to
+// GenerateQuest (it is the same loop), so both paths produce the same
+// logical database — this is how bench/ooc_mine.cc writes a 1M-transaction
+// dataset straight into a block file in bounded memory. Items within a
+// transaction arrive unsorted and may repeat; the sink must mirror
+// TransactionDb::AddTransaction semantics (BlockTransactionDbWriter::Add
+// does).
+void GenerateQuestTo(
+    const QuestParams& params,
+    const std::function<void(std::span<const int32_t>)>& sink);
 
 }  // namespace focus::datagen
 

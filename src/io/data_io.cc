@@ -50,6 +50,64 @@ std::nullopt_t Reject(std::string* error, std::string why) {
   return std::nullopt;
 }
 
+// The focus-txns-v1 parse shared by LoadTransactionDb and the streaming
+// block converter, so both enforce identical strictness. `start` runs
+// once with the validated header counts (before any row); `row` runs once
+// per transaction with range-checked item ids. Returns the rejection
+// reason, or nullopt on success.
+template <typename Start, typename Row>
+std::optional<std::string> ParseTransactionText(std::istream& in,
+                                                const Start& start,
+                                                const Row& row) {
+  std::istringstream line;
+  if (!NextLine(in, &line)) return "empty file";
+  std::string magic;
+  line >> magic;
+  if (magic != kTxnsMagic) {
+    return "bad magic (want " + std::string(kTxnsMagic) + ")";
+  }
+
+  if (!NextLine(in, &line)) return "missing header line";
+  int32_t num_items = 0;
+  int64_t num_transactions = 0;
+  // Counts that fail to parse (including integer overflow, which sets
+  // failbit) or are out of range reject the file.
+  if (!(line >> num_items >> num_transactions)) {
+    return "unparseable header counts";
+  }
+  if (num_items <= 0 || num_transactions < 0) {
+    return "header counts out of range";
+  }
+  if (!OnlyWhitespaceLeft(line)) {
+    return "trailing garbage after header";
+  }
+
+  start(num_items, num_transactions);
+  std::vector<int32_t> items;
+  for (int64_t t = 0; t < num_transactions; ++t) {
+    const std::string where = "transaction " + std::to_string(t);
+    if (!NextLine(in, &line)) {
+      return "truncated: missing " + where;
+    }
+    items.clear();
+    int32_t item = 0;
+    while (line >> item) {
+      if (item < 0 || item >= num_items) {
+        return where + ": item id out of range";
+      }
+      items.push_back(item);
+    }
+    if (!ConsumedCleanly(line)) {
+      return where + ": non-numeric token";
+    }
+    row(items);
+  }
+  if (!OnlyWhitespaceLeftInStream(in)) {
+    return "trailing content after declared transactions";
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 void SaveTransactionDb(const data::TransactionDb& db, std::ostream& out) {
@@ -66,53 +124,36 @@ void SaveTransactionDb(const data::TransactionDb& db, std::ostream& out) {
 
 std::optional<data::TransactionDb> LoadTransactionDb(std::istream& in,
                                                      std::string* error) {
-  std::istringstream line;
-  if (!NextLine(in, &line)) return Reject(error, "empty file");
-  std::string magic;
-  line >> magic;
-  if (magic != kTxnsMagic) {
-    return Reject(error, "bad magic (want " + std::string(kTxnsMagic) + ")");
-  }
-
-  if (!NextLine(in, &line)) return Reject(error, "missing header line");
-  int32_t num_items = 0;
-  int64_t num_transactions = 0;
-  // Counts that fail to parse (including integer overflow, which sets
-  // failbit) or are out of range reject the file.
-  if (!(line >> num_items >> num_transactions)) {
-    return Reject(error, "unparseable header counts");
-  }
-  if (num_items <= 0 || num_transactions < 0) {
-    return Reject(error, "header counts out of range");
-  }
-  if (!OnlyWhitespaceLeft(line)) {
-    return Reject(error, "trailing garbage after header");
-  }
-
-  data::TransactionDb db(num_items);
-  std::vector<int32_t> items;
-  for (int64_t t = 0; t < num_transactions; ++t) {
-    const std::string where = "transaction " + std::to_string(t);
-    if (!NextLine(in, &line)) {
-      return Reject(error, "truncated: missing " + where);
-    }
-    items.clear();
-    int32_t item = 0;
-    while (line >> item) {
-      if (item < 0 || item >= num_items) {
-        return Reject(error, where + ": item id out of range");
-      }
-      items.push_back(item);
-    }
-    if (!ConsumedCleanly(line)) {
-      return Reject(error, where + ": non-numeric token");
-    }
-    db.AddTransaction(items);
-  }
-  if (!OnlyWhitespaceLeftInStream(in)) {
-    return Reject(error, "trailing content after declared transactions");
-  }
+  std::optional<data::TransactionDb> db;
+  const std::optional<std::string> why = ParseTransactionText(
+      in,
+      [&db](int32_t num_items, int64_t /*num_transactions*/) {
+        db.emplace(num_items);
+      },
+      [&db](const std::vector<int32_t>& items) { db->AddTransaction(items); });
+  if (why.has_value()) return Reject(error, *why);
   return db;
+}
+
+bool ConvertTransactionTextToBlocks(std::istream& in, std::ostream& out,
+                                    int64_t block_size, std::string* error) {
+  std::optional<data::BlockTransactionDbWriter> writer;
+  const std::optional<std::string> why = ParseTransactionText(
+      in,
+      [&](int32_t num_items, int64_t /*num_transactions*/) {
+        writer.emplace(out, num_items, block_size);
+      },
+      [&](const std::vector<int32_t>& items) { writer->Add(items); });
+  if (why.has_value()) {
+    if (error != nullptr) *error = *why;
+    return false;
+  }
+  writer->Finish();
+  if (!out) {
+    if (error != nullptr) *error = "write failure";
+    return false;
+  }
+  return true;
 }
 
 void SaveDataset(const data::Dataset& dataset, std::ostream& out) {

@@ -1,10 +1,12 @@
 #ifndef FOCUS_IO_DATA_IO_H_
 #define FOCUS_IO_DATA_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
 
+#include "data/block_txn_db.h"
 #include "data/dataset.h"
 #include "data/transaction_db.h"
 
@@ -34,6 +36,19 @@ std::optional<data::TransactionDb> LoadTransactionDb(
 void SaveDataset(const data::Dataset& dataset, std::ostream& out);
 std::optional<data::Dataset> LoadDataset(std::istream& in,
                                          std::string* error = nullptr);
+
+// Streams a `focus-txns-v1` text snapshot into the block codec
+// (data/block_txn_db.h) without ever materializing the whole database —
+// the monitoring daemon's --ooc spool ingest. Validation is exactly as
+// strict as LoadTransactionDb (same rejection reasons on the same
+// inputs); on rejection, false + `*error`, and `out` holds a truncated
+// block file the caller must discard. The resulting file opens with
+// data::BlockTransactionDb and is logically identical to the database
+// LoadTransactionDb would have built.
+bool ConvertTransactionTextToBlocks(
+    std::istream& in, std::ostream& out,
+    int64_t block_size = data::BlockStoreOptions{}.block_size,
+    std::string* error = nullptr);
 
 bool SaveTransactionDbToFile(const data::TransactionDb& db,
                              const std::string& path);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/check.h"
 #include "itemsets/support_counter.h"
@@ -86,16 +87,23 @@ std::vector<Itemset> LitsModel::StructuralComponent() const {
 
 LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options,
                   data::ItemIndexRef index) {
+  return Apriori(data::TxnSourceRef(db), options, index);
+}
+
+LitsModel Apriori(data::TxnSourceRef source, const AprioriOptions& options,
+                  data::ItemIndexRef index) {
   FOCUS_CHECK_GT(options.min_support, 0.0);
   FOCUS_CHECK_LE(options.min_support, 1.0);
-  FOCUS_CHECK_GT(db.num_transactions(), 0);
+  const int32_t num_items = source.num_items();
+  const int64_t num_transactions = source.num_transactions();
+  FOCUS_CHECK_GT(num_transactions, 0);
   if (index.has_value()) {
-    FOCUS_CHECK_EQ(index.num_items(), db.num_items());
-    FOCUS_CHECK_EQ(index.num_transactions(), db.num_transactions());
+    FOCUS_CHECK_EQ(index.num_items(), num_items);
+    FOCUS_CHECK_EQ(index.num_transactions(), num_transactions);
   }
 
-  LitsModel model(options.min_support, db.num_transactions(), db.num_items());
-  const double n = static_cast<double>(db.num_transactions());
+  LitsModel model(options.min_support, num_transactions, num_items);
+  const double n = static_cast<double>(num_transactions);
   // Count threshold: the support cutoff, floored by min_absolute_count.
   const int64_t threshold = std::max<int64_t>(
       options.min_absolute_count,
@@ -103,18 +111,19 @@ LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options,
 
   // L1: per-item counts — cached popcounts when the index is prebuilt,
   // otherwise one scan.
-  std::vector<int64_t> item_counts(db.num_items(), 0);
+  std::vector<int64_t> item_counts(num_items, 0);
   if (index.has_value()) {
-    for (int32_t item = 0; item < db.num_items(); ++item) {
+    for (int32_t item = 0; item < num_items; ++item) {
       item_counts[item] = index.ItemCount(item);
     }
   } else {
-    for (int64_t t = 0; t < db.num_transactions(); ++t) {
-      for (int32_t item : db.Transaction(t)) ++item_counts[item];
-    }
+    source.ForEachTransaction(
+        [&](int64_t /*tid*/, std::span<const int32_t> items) {
+          for (int32_t item : items) ++item_counts[item];
+        });
   }
   std::vector<Itemset> frequent;
-  for (int32_t item = 0; item < db.num_items(); ++item) {
+  for (int32_t item = 0; item < num_items; ++item) {
     const double support = static_cast<double>(item_counts[item]) / n;
     if (item_counts[item] >= threshold) {
       Itemset single({item});
@@ -130,10 +139,10 @@ LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options,
          (options.max_itemset_size == 0 || k <= options.max_itemset_size)) {
     const std::vector<Itemset> candidates = GenerateCandidates(frequent);
     if (candidates.empty()) break;
-    const SupportCounter counter(candidates, db.num_items());
+    const SupportCounter counter(candidates, num_items);
     const std::vector<int64_t> counts = index.has_value()
                                             ? counter.CountAbsolute(index)
-                                            : counter.CountAbsolute(db);
+                                            : counter.CountAbsolute(source);
 
     std::vector<Itemset> next_frequent;
     for (size_t i = 0; i < candidates.size(); ++i) {

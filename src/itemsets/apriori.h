@@ -7,6 +7,7 @@
 
 #include "data/item_index.h"
 #include "data/transaction_db.h"
+#include "data/txn_source.h"
 #include "itemsets/itemset.h"
 
 namespace focus::lits {
@@ -73,6 +74,15 @@ struct AprioriOptions {
 // build scan across all levels (and across every other counting consumer
 // of the same database).
 LitsModel Apriori(const data::TransactionDb& db, const AprioriOptions& options,
+                  data::ItemIndexRef index = {});
+
+// The same miner over either transaction backend: block-backed sources
+// stream each counting pass block by block in bounded memory (with the
+// usual read-ahead), and the mined model is bit-identical to the in-memory
+// run — every pass computes the same integer counts. With a prebuilt
+// `index`, the raw transactions are only consulted for the database
+// dimensions, so a 1M-transaction mine never materializes the database.
+LitsModel Apriori(data::TxnSourceRef source, const AprioriOptions& options,
                   data::ItemIndexRef index = {});
 
 // Reference miner for tests: enumerates and counts every itemset up to

@@ -111,6 +111,44 @@ std::vector<int64_t> SupportCounter::CountAbsoluteParallel(
   return counts;
 }
 
+std::vector<int64_t> SupportCounter::CountAbsolute(
+    data::TxnSourceRef source) const {
+  FOCUS_CHECK_EQ(source.num_items(), num_items_);
+  std::vector<int64_t> counts(itemsets_.size(), 0);
+  source.ForEachBlock(
+      [&](int64_t /*first_txn*/, const data::TransactionDb& block) {
+        CountRange(block, 0, block.num_transactions(), counts);
+      });
+  return counts;
+}
+
+std::vector<int64_t> SupportCounter::CountAbsoluteParallel(
+    data::TxnSourceRef source, common::ThreadPool& pool) const {
+  if (source.backend() == data::TxnBackend::kMemory) {
+    // One block == the whole database: the transaction-sharded path
+    // parallelizes better than block shards ever could here.
+    return CountAbsoluteParallel(*source.memory(), pool);
+  }
+  FOCUS_CHECK_EQ(source.num_items(), num_items_);
+  const int num_shards = pool.num_threads();
+  std::vector<std::vector<int64_t>> shard_counts(
+      num_shards, std::vector<int64_t>(itemsets_.size(), 0));
+  pool.ParallelFor(0, source.num_blocks(), num_shards,
+                   [&](int shard, int64_t begin, int64_t end) {
+                     for (int64_t b = begin; b < end; ++b) {
+                       const data::TxnSourceRef::BlockView view =
+                           source.GetBlock(b);
+                       CountRange(*view.db, 0, view.db->num_transactions(),
+                                  shard_counts[shard]);
+                     }
+                   });
+  std::vector<int64_t> counts(itemsets_.size(), 0);
+  for (const std::vector<int64_t>& shard : shard_counts) {
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += shard[i];
+  }
+  return counts;
+}
+
 namespace {
 
 std::vector<double> ToRelative(const std::vector<int64_t>& absolute,
@@ -144,6 +182,17 @@ std::vector<double> SupportCounter::CountRelative(
 std::vector<double> SupportCounter::CountRelativeParallel(
     data::ItemIndexRef index, common::ThreadPool& pool) const {
   return ToRelative(CountAbsoluteParallel(index, pool), index.num_transactions());
+}
+
+std::vector<double> SupportCounter::CountRelative(
+    data::TxnSourceRef source) const {
+  return ToRelative(CountAbsolute(source), source.num_transactions());
+}
+
+std::vector<double> SupportCounter::CountRelativeParallel(
+    data::TxnSourceRef source, common::ThreadPool& pool) const {
+  return ToRelative(CountAbsoluteParallel(source, pool),
+                    source.num_transactions());
 }
 
 std::vector<double> CountSupports(const data::TransactionDb& db,

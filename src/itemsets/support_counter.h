@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "data/transaction_db.h"
 #include "data/item_index.h"
+#include "data/txn_source.h"
 #include "itemsets/itemset.h"
 
 namespace focus::lits {
@@ -54,12 +55,29 @@ class SupportCounter {
   std::vector<int64_t> CountAbsoluteParallel(data::ItemIndexRef index,
                                              common::ThreadPool& pool) const;
 
+  // Block-streaming horizontal counting over either transaction backend:
+  // each decoded block IS a TransactionDb, so the same CountRange kernel
+  // runs block by block and per-block counts sum — bit-identical to the
+  // in-memory scan for every block size.
+  std::vector<int64_t> CountAbsolute(data::TxnSourceRef source) const;
+
+  // Parallel over BLOCK-ALIGNED shards on the block backend (per-shard
+  // count vectors summed in shard order, like the transaction-sharded
+  // path, which the in-memory backend falls back to). Shard boundaries
+  // depend only on (num_blocks, pool size), so this too is bit-identical
+  // to CountAbsolute(source).
+  std::vector<int64_t> CountAbsoluteParallel(data::TxnSourceRef source,
+                                             common::ThreadPool& pool) const;
+
   // Relative supports (counts / |D|).
   std::vector<double> CountRelative(const data::TransactionDb& db) const;
   std::vector<double> CountRelativeParallel(const data::TransactionDb& db,
                                             common::ThreadPool& pool) const;
   std::vector<double> CountRelative(data::ItemIndexRef index) const;
   std::vector<double> CountRelativeParallel(data::ItemIndexRef index,
+                                            common::ThreadPool& pool) const;
+  std::vector<double> CountRelative(data::TxnSourceRef source) const;
+  std::vector<double> CountRelativeParallel(data::TxnSourceRef source,
                                             common::ThreadPool& pool) const;
 
  private:

@@ -1,6 +1,7 @@
 #include "net/http_server.h"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -16,6 +17,10 @@ namespace {
 // Poll granularity: the loop wakes at least this often to check read
 // deadlines and drain progress.
 constexpr int kTickMs = 50;
+
+// Buffers gathered into one sendmsg call: 8 pipelined header+body pairs
+// per syscall, far below any kernel IOV_MAX. Leftovers go next round.
+constexpr int kMaxResponseIov = 16;
 
 }  // namespace
 
@@ -211,8 +216,9 @@ void HttpServer::HandleReadable(Connection* conn,
       return;
     }
     // EOF. A response still being written survives the peer's half-close;
-    // anything else (idle or mid-request) is done.
-    if (conn->out.size() > conn->out_offset) {
+    // anything else (idle or mid-request) is done. A non-empty write
+    // queue always has unwritten bytes (FlushWrites pops drained fronts).
+    if (!conn->out.empty()) {
       conn->close_after_write = true;
       poller_.Update(conn->fd.get(), /*want_read=*/false, /*want_write=*/true);
       conn->want_write = true;
@@ -231,8 +237,7 @@ void HttpServer::DispatchParsed(Connection* conn, HttpParser::Status status) {
     // connection: clients re-connect elsewhere.
     const bool keep_alive =
         request.keep_alive && !draining_.load(std::memory_order_relaxed);
-    const HttpResponse response = router_.Dispatch(request);
-    QueueResponse(conn, response, keep_alive);
+    QueueResponse(conn, router_.Dispatch(request), keep_alive);
     if (!keep_alive) {
       conn->close_after_write = true;
       return;
@@ -249,18 +254,45 @@ void HttpServer::DispatchParsed(Connection* conn, HttpParser::Status status) {
   }
 }
 
-void HttpServer::QueueResponse(Connection* conn, const HttpResponse& response,
+void HttpServer::QueueResponse(Connection* conn, HttpResponse response,
                                bool keep_alive) {
-  conn->out += SerializeResponse(response, keep_alive);
+  conn->out.push_back(SerializeResponseHeader(response, keep_alive));
+  if (!response.body.empty()) conn->out.push_back(std::move(response.body));
 }
 
 bool HttpServer::FlushWrites(Connection* conn) {
-  while (conn->out_offset < conn->out.size()) {
-    const ssize_t n =
-        ::send(conn->fd.get(), conn->out.data() + conn->out_offset,
-               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+  while (!conn->out.empty()) {
+    // Gather the queued buffers — header blocks and bodies interleaved —
+    // into one iovec batch; sendmsg with MSG_NOSIGNAL is writev plus the
+    // SIGPIPE suppression ::send gave the old single-buffer path.
+    iovec iov[kMaxResponseIov];
+    int iov_count = 0;
+    size_t skip = conn->out_offset;
+    for (const std::string& buffer : conn->out) {
+      if (iov_count == kMaxResponseIov) break;
+      iov[iov_count].iov_base = const_cast<char*>(buffer.data()) + skip;
+      iov[iov_count].iov_len = buffer.size() - skip;
+      ++iov_count;
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    const ssize_t n = ::sendmsg(conn->fd.get(), &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn->out_offset += static_cast<size_t>(n);
+      // A short write can end anywhere: pop fully-written fronts, advance
+      // the offset into a partially-written one.
+      size_t written = static_cast<size_t>(n);
+      while (written > 0) {
+        const size_t front_left = conn->out.front().size() - conn->out_offset;
+        if (written < front_left) {
+          conn->out_offset += written;
+          break;
+        }
+        written -= front_left;
+        conn->out.pop_front();
+        conn->out_offset = 0;
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -274,7 +306,6 @@ bool HttpServer::FlushWrites(Connection* conn) {
     CloseConnection(conn);  // peer reset mid-response
     return false;
   }
-  conn->out.clear();
   conn->out_offset = 0;
   if (conn->close_after_write) {
     CloseConnection(conn);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
@@ -93,8 +94,16 @@ class HttpServer {
   struct Connection {
     UniqueFd fd;
     HttpParser parser;
-    std::string out;          // serialized responses not yet written
-    size_t out_offset = 0;
+    // Serialized responses not yet written. Each queued response
+    // contributes its header block and (unless empty) its body as
+    // SEPARATE buffers; FlushWrites hands the queue front to sendmsg as
+    // one iovec batch, so header + body — and a whole burst of pipelined
+    // responses — go out in a single syscall without concatenation.
+    // Invariant: buffers are non-empty and the front one is never fully
+    // written (FlushWrites pops exhausted fronts), so a non-empty queue
+    // means bytes are pending.
+    std::deque<std::string> out;
+    size_t out_offset = 0;    // bytes of out.front() already written
     bool close_after_write = false;
     bool want_write = false;  // write interest currently registered
     std::chrono::steady_clock::time_point last_activity;
@@ -111,10 +120,13 @@ class HttpServer {
   // Runs parser results to completion (possibly several pipelined
   // requests) and queues response bytes.
   void DispatchParsed(Connection* conn, HttpParser::Status status);
-  void QueueResponse(Connection* conn, const HttpResponse& response,
+  // Takes the response by value so its body moves into the write queue
+  // instead of being copied.
+  void QueueResponse(Connection* conn, HttpResponse response,
                      bool keep_alive);
-  // Flushes as much of conn->out as the socket accepts; adjusts write
-  // interest; may close. Returns false when the connection was closed.
+  // Flushes as much of conn->out as the socket accepts (iovec batches via
+  // sendmsg); adjusts write interest; may close. Returns false when the
+  // connection was closed.
   bool FlushWrites(Connection* conn);
   void CloseConnection(Connection* conn);
   void CloseExpired(std::chrono::steady_clock::time_point now);

@@ -42,7 +42,8 @@ std::string_view StatusText(int status) {
   }
 }
 
-std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+std::string SerializeResponseHeader(const HttpResponse& response,
+                                    bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
   out += StatusText(response.status);
   out += "\r\n";
@@ -55,6 +56,11 @@ std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
     out += name + ": " + value + "\r\n";
   }
   out += "\r\n";
+  return out;
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = SerializeResponseHeader(response, keep_alive);
   out += response.body;
   return out;
 }

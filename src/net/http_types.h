@@ -42,6 +42,15 @@ std::string_view StatusText(int status);
 // an explicit Connection header.
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 
+// Only the status line + headers, through the terminating blank line,
+// with Content-Length framing for `response.body` (which is NOT
+// appended). The server queues this block and the body as separate
+// buffers and hands both to one sendmsg iovec batch, so a response goes
+// out in a single syscall without concatenating the body into the header
+// string first.
+std::string SerializeResponseHeader(const HttpResponse& response,
+                                    bool keep_alive);
+
 // Decodes %XX escapes and '+' (as space). Invalid escapes pass through
 // verbatim — the parser never rejects on decoding alone.
 std::string PercentDecode(std::string_view text);

@@ -1,5 +1,7 @@
 #include "serve/model_cache.h"
 
+#include <span>
+
 #include "common/check.h"
 #include "common/mutex.h"
 
@@ -20,16 +22,21 @@ inline uint64_t FnvMix(uint64_t hash, uint64_t value) {
 }  // namespace
 
 uint64_t TransactionDbContentHash(const data::TransactionDb& db) {
+  return TxnSourceContentHash(data::TxnSourceRef(db));
+}
+
+uint64_t TxnSourceContentHash(data::TxnSourceRef source) {
   uint64_t hash = kFnvOffset;
-  hash = FnvMix(hash, static_cast<uint64_t>(db.num_items()));
-  hash = FnvMix(hash, static_cast<uint64_t>(db.num_transactions()));
-  for (int64_t t = 0; t < db.num_transactions(); ++t) {
-    const auto txn = db.Transaction(t);
-    hash = FnvMix(hash, static_cast<uint64_t>(txn.size()));
-    for (int32_t item : txn) {
-      hash = FnvMix(hash, static_cast<uint64_t>(static_cast<uint32_t>(item)));
-    }
-  }
+  hash = FnvMix(hash, static_cast<uint64_t>(source.num_items()));
+  hash = FnvMix(hash, static_cast<uint64_t>(source.num_transactions()));
+  source.ForEachTransaction(
+      [&hash](int64_t /*tid*/, std::span<const int32_t> txn) {
+        hash = FnvMix(hash, static_cast<uint64_t>(txn.size()));
+        for (int32_t item : txn) {
+          hash =
+              FnvMix(hash, static_cast<uint64_t>(static_cast<uint32_t>(item)));
+        }
+      });
   return hash;
 }
 
@@ -79,7 +86,12 @@ std::optional<MinedSnapshot> ModelCache::LookupMined(uint64_t content_hash) {
 
 MinedSnapshot ModelCache::GetOrMineIndexed(const data::TransactionDb& db,
                                            bool* cache_hit) {
-  const uint64_t key = TransactionDbContentHash(db);
+  return GetOrMineIndexed(data::TxnSourceRef(db), cache_hit);
+}
+
+MinedSnapshot ModelCache::GetOrMineIndexed(data::TxnSourceRef source,
+                                           bool* cache_hit) {
+  const uint64_t key = TxnSourceContentHash(source);
   {
     common::MutexLock lock(&mutex_);
     const auto it = entries_.find(key);
@@ -97,14 +109,14 @@ MinedSnapshot ModelCache::GetOrMineIndexed(const data::TransactionDb& db,
   // index, and Apriori's counting passes then run against it.
   MinedSnapshot mined;
   if (backend_ == data::IndexBackend::kRoaring) {
-    auto roaring = std::make_shared<const data::RoaringIndex>(db);
+    auto roaring = std::make_shared<const data::RoaringIndex>(source);
     mined.model = std::make_shared<const lits::LitsModel>(
-        lits::Apriori(db, options_, roaring.get()));
+        lits::Apriori(source, options_, roaring.get()));
     mined.roaring = std::move(roaring);
   } else {
-    auto index = std::make_shared<const data::VerticalIndex>(db);
+    auto index = std::make_shared<const data::VerticalIndex>(source);
     mined.model = std::make_shared<const lits::LitsModel>(
-        lits::Apriori(db, options_, index.get()));
+        lits::Apriori(source, options_, index.get()));
     mined.index = std::move(index);
   }
   common::MutexLock lock(&mutex_);

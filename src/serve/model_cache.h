@@ -11,6 +11,7 @@
 #include "common/thread_annotations.h"
 #include "data/item_index.h"
 #include "data/transaction_db.h"
+#include "data/txn_source.h"
 #include "itemsets/apriori.h"
 #include "serve/metrics.h"
 
@@ -22,6 +23,12 @@ namespace focus::serve {
 // purpose (a collision merely serves a stale model for one entry, with
 // probability ~2^-64 per pair).
 uint64_t TransactionDbContentHash(const data::TransactionDb& db);
+
+// The same hash computed by streaming either backend block by block: a
+// block-backed database hashes equal to its in-memory materialization
+// (same mixing sequence), so --ooc and flat ingest share cache entries
+// for identical snapshots.
+uint64_t TxnSourceContentHash(data::TxnSourceRef source);
 
 struct ModelCacheStats {
   int64_t hits = 0;
@@ -73,6 +80,14 @@ class ModelCache {
   // options, building both on a miss. `cache_hit`, when given, reports
   // whether the build was skipped.
   MinedSnapshot GetOrMineIndexed(const data::TransactionDb& db,
+                                 bool* cache_hit = nullptr) EXCLUDES(mutex_);
+
+  // Either-backend variant: a block-backed snapshot streams through both
+  // the content hash and (on a miss) the index build + mining passes, so
+  // the only full-size allocation a miss makes is the index itself (use
+  // the roaring backend to keep that occurrence-proportional). The cached
+  // entry is bit-identical to the one an in-memory copy would produce.
+  MinedSnapshot GetOrMineIndexed(data::TxnSourceRef source,
                                  bool* cache_hit = nullptr) EXCLUDES(mutex_);
 
   // Model-only convenience wrapper around GetOrMineIndexed.

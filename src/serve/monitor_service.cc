@@ -42,7 +42,7 @@ MonitorService::MonitorService(const MonitorServiceOptions& options,
     : options_(options),
       metrics_(metrics),
       model_cache_(options.model_cache_capacity, options.monitor.apriori,
-                   metrics),
+                   metrics, options.index_backend),
       queue_(options.queue_capacity),
       pool_(std::make_unique<common::ThreadPool>(options.num_threads)) {
   dispatcher_ = std::thread([this]() { DispatchLoop(); });
@@ -249,16 +249,18 @@ StreamEvent MonitorService::Process(Stream* stream, Snapshot snapshot) {
   event.stream = std::move(snapshot.stream);
   event.sequence = snapshot.sequence;
   event.source = std::move(snapshot.source);
-  event.num_transactions = snapshot.db.num_transactions();
+  // Either backend scans through the same ref: the daemon's --ooc path
+  // hands over a block store that streams block by block everywhere below.
+  const data::TxnSourceRef source = snapshot.source_ref();
+  event.num_transactions = source.num_transactions();
 
   bool cache_hit = false;
-  const MinedSnapshot mined =
-      model_cache_.GetOrMineIndexed(snapshot.db, &cache_hit);
+  const MinedSnapshot mined = model_cache_.GetOrMineIndexed(source, &cache_hit);
   event.cache_hit = cache_hit;
   // The cached vertical index lets stage 2 (when the screen fires) extend
   // both models via bitmap probes — window re-comparisons never re-scan
   // the snapshot's raw transactions.
-  event.report = stream->monitor->InspectWithModel(snapshot.db, *mined.model,
+  event.report = stream->monitor->InspectWithModel(source, *mined.model,
                                                    mined.index_ref());
 
   // The CUSUM series runs over delta*: unlike the exact deviation it is

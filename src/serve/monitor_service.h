@@ -32,6 +32,10 @@ struct MonitorServiceOptions {
   int num_threads = 4;              // worker pool size
   size_t queue_capacity = 64;       // ingest bound; Push blocks beyond it
   size_t model_cache_capacity = 64; // mined-model LRU entries
+  // Vertical index each cache miss builds. Block-backed (--ooc) ingest
+  // should pick kRoaring so per-snapshot index memory stays proportional
+  // to occurrences rather than |D|; results are bit-identical either way.
+  data::IndexBackend index_backend = data::IndexBackend::kFlat;
 };
 
 // One processed snapshot produces one event.

@@ -4,22 +4,35 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "data/block_txn_db.h"
 #include "data/transaction_db.h"
+#include "data/txn_source.h"
 
 namespace focus::serve {
 
 // One unit of ingest work: a dataset snapshot bound for a monitored
-// stream.
+// stream. Exactly one of `db` / `block_db` carries the transactions:
+// the daemon's --ooc ingest hands over an out-of-core block store (the
+// snapshot is never materialized flat), every other producer fills the
+// in-memory db. Consumers scan through source_ref(), which works for
+// either, with bit-identical results.
 struct Snapshot {
   std::string stream;      // monitored stream name
   int64_t sequence = 0;    // position within the stream (producer-assigned)
   std::string source;      // originating file/path, echoed into events
   data::TransactionDb db;
+  std::shared_ptr<const data::BlockTransactionDb> block_db;
+
+  data::TxnSourceRef source_ref() const {
+    return block_db != nullptr ? data::TxnSourceRef(block_db.get())
+                               : data::TxnSourceRef(db);
+  }
 };
 
 // Bounded multi-producer single-consumer queue between snapshot producers

@@ -1,0 +1,422 @@
+// Unit tests for the block file substrate (data/block_store.h) and the
+// out-of-core transaction container (data/block_txn_db.h): varint and CRC
+// codec laws, writer/reader round trips, hostile-input rejection at Open,
+// the save -> load -> save byte fixed point, block directory lookups,
+// cache eviction vs. pinning, and read-ahead shutdown races.
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "data/block_store.h"
+#include "data/block_txn_db.h"
+#include "data/transaction_db.h"
+#include "datagen/quest_gen.h"
+#include "io/data_io.h"
+
+namespace focus::data {
+namespace {
+
+TransactionDb MakeDb(int64_t num_transactions, int32_t num_items,
+                     uint64_t seed) {
+  datagen::QuestParams params;
+  params.num_transactions = num_transactions;
+  params.num_items = num_items;
+  params.avg_transaction_length = 8;
+  params.num_patterns = 50;
+  params.avg_pattern_length = 3;
+  params.seed = seed;
+  return datagen::GenerateQuest(params);
+}
+
+std::string WriteBlockBytes(const TransactionDb& db, int64_t block_size) {
+  std::ostringstream out;
+  BlockTransactionDbWriter writer(out, db.num_items(), block_size);
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    writer.Add(db.Transaction(t));
+  }
+  writer.Finish();
+  return std::move(out).str();
+}
+
+std::unique_ptr<BlockTransactionDb> OpenBytes(std::string bytes,
+                                              const BlockStoreOptions& options,
+                                              std::string* error) {
+  return BlockTransactionDb::Open(
+      std::make_unique<std::istringstream>(std::move(bytes)), options, error);
+}
+
+std::vector<std::vector<int32_t>> AllTransactions(
+    const BlockTransactionDb& db) {
+  std::vector<std::vector<int32_t>> out(
+      static_cast<size_t>(db.num_transactions()));
+  db.ForEachTransaction([&](int64_t txn, std::span<const int32_t> items) {
+    out[static_cast<size_t>(txn)].assign(items.begin(), items.end());
+  });
+  return out;
+}
+
+void ExpectSameTransactions(const TransactionDb& expected,
+                            const BlockTransactionDb& actual) {
+  ASSERT_EQ(expected.num_items(), actual.num_items());
+  ASSERT_EQ(expected.num_transactions(), actual.num_transactions());
+  const std::vector<std::vector<int32_t>> got = AllTransactions(actual);
+  for (int64_t t = 0; t < expected.num_transactions(); ++t) {
+    const std::span<const int32_t> want = expected.Transaction(t);
+    ASSERT_EQ(std::vector<int32_t>(want.begin(), want.end()),
+              got[static_cast<size_t>(t)])
+        << "transaction " << t;
+  }
+}
+
+TEST(Varint, RoundTripsEveryWidth) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             0xFFFFFFFFu,
+                             uint64_t{1} << 56,
+                             ~uint64_t{0}};
+  for (const uint64_t value : values) {
+    std::string bytes;
+    AppendVarint(bytes, value);
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(ReadVarint(bytes, &pos, &decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(pos, bytes.size()) << value;
+  }
+}
+
+TEST(Varint, RejectsNonMinimalTruncatedAndOverlong) {
+  size_t pos = 0;
+  uint64_t value = 0;
+  // 0 encoded in two bytes: final group is zero -> non-minimal.
+  EXPECT_FALSE(ReadVarint(std::string("\x80\x00", 2), &pos, &value));
+  // 1 encoded in two bytes.
+  pos = 0;
+  EXPECT_FALSE(ReadVarint(std::string("\x81\x00", 2), &pos, &value));
+  // Truncated continuation.
+  pos = 0;
+  EXPECT_FALSE(ReadVarint(std::string("\x80", 1), &pos, &value));
+  pos = 0;
+  EXPECT_FALSE(ReadVarint(std::string(), &pos, &value));
+  // Eleven continuation bytes overflow uint64.
+  pos = 0;
+  EXPECT_FALSE(ReadVarint(std::string(11, '\x80'), &pos, &value));
+}
+
+TEST(Crc32, SeedChainsIncrementalComputation) {
+  const std::string a = "The quick brown fox ";
+  const std::string b = "jumps over the lazy dog";
+  const std::string ab = a + b;
+  EXPECT_EQ(Crc32(ab.data(), ab.size()),
+            Crc32(b.data(), b.size(), Crc32(a.data(), a.size())));
+  // Known IEEE vector.
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check.data(), check.size()), 0xCBF43926u);
+}
+
+TEST(BlockFile, WriterReaderRoundTripPreservesStructure) {
+  const std::vector<std::string> payloads = {"alpha", "bb",
+                                             std::string(1000, 'x')};
+  const std::vector<uint64_t> metas = {3, 0, ~uint64_t{0}};
+  std::ostringstream out;
+  BlockFileWriter writer(out, kBlockKindScratch);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    writer.AppendBlock(payloads[i], metas[i]);
+  }
+  const std::vector<uint64_t> file_meta = {7, 9, 11};
+  writer.Finish(file_meta);
+  EXPECT_EQ(writer.num_blocks(), 3);
+
+  std::string error;
+  auto reader = BlockFileReader::Open(
+      std::make_unique<std::istringstream>(std::move(out).str()),
+      kBlockKindScratch, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  EXPECT_EQ(reader->kind(), kBlockKindScratch);
+  ASSERT_EQ(reader->num_blocks(), 3);
+  ASSERT_EQ(reader->file_meta().size(), file_meta.size());
+  for (size_t i = 0; i < file_meta.size(); ++i) {
+    EXPECT_EQ(reader->file_meta()[i], file_meta[i]);
+  }
+  int64_t total = 0;
+  for (int64_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(reader->block_meta(b), metas[static_cast<size_t>(b)]);
+    EXPECT_EQ(reader->block_size_bytes(b),
+              static_cast<int64_t>(payloads[static_cast<size_t>(b)].size()));
+    std::string payload;
+    ASSERT_TRUE(reader->ReadBlock(b, &payload, &error)) << error;
+    EXPECT_EQ(payload, payloads[static_cast<size_t>(b)]);
+    total += static_cast<int64_t>(payload.size());
+  }
+  EXPECT_EQ(reader->total_payload_bytes(), total);
+}
+
+TEST(BlockFile, WrongKindIsRejected) {
+  std::ostringstream out;
+  BlockFileWriter writer(out, kBlockKindScratch);
+  writer.AppendBlock("payload", 0);
+  writer.Finish({});
+  std::string error;
+  auto reader = BlockFileReader::Open(
+      std::make_unique<std::istringstream>(std::move(out).str()),
+      kBlockKindTransactions, &error);
+  EXPECT_EQ(reader, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BlockFile, HostileImagesFailCleanly) {
+  const TransactionDb db = MakeDb(200, 60, 7);
+  const std::string good = WriteBlockBytes(db, 512);
+  std::string error;
+  ASSERT_NE(OpenBytes(good, {}, &error), nullptr) << error;
+
+  // Garbage magic.
+  std::string bad = good;
+  bad[0] ^= 0x5A;
+  error.clear();
+  EXPECT_EQ(OpenBytes(bad, {}, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+
+  // A flipped payload byte (offset 20 is inside the first payload block,
+  // which starts right after the 16-byte file header).
+  bad = good;
+  bad[20] ^= 0x01;
+  error.clear();
+  EXPECT_EQ(OpenBytes(bad, {}, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+
+  // Truncations at every region: mid-payload, mid-directory, mid-footer.
+  for (const size_t keep :
+       {size_t{0}, size_t{8}, size_t{40}, good.size() - 20, good.size() - 1}) {
+    error.clear();
+    EXPECT_EQ(OpenBytes(good.substr(0, keep), {}, &error), nullptr)
+        << "keep=" << keep;
+    EXPECT_FALSE(error.empty()) << "keep=" << keep;
+  }
+
+  // Trailing junk breaks the byte-exact length check.
+  error.clear();
+  EXPECT_EQ(OpenBytes(good + "x", {}, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BlockTxnDb, RoundTripMatchesInMemoryAcrossBlockSizes) {
+  const TransactionDb db = MakeDb(500, 80, 11);
+  for (const int64_t block_size : {int64_t{256}, int64_t{4096}, int64_t{1}
+                                                                    << 20}) {
+    std::string error;
+    auto block_db = OpenBytes(WriteBlockBytes(db, block_size), {}, &error);
+    ASSERT_NE(block_db, nullptr) << error;
+    if (block_size == 256) EXPECT_GT(block_db->num_blocks(), 1);
+    ExpectSameTransactions(db, *block_db);
+  }
+}
+
+TEST(BlockTxnDb, DirectoryLookupsAreConsistent) {
+  const TransactionDb db = MakeDb(400, 60, 13);
+  std::string error;
+  auto block_db = OpenBytes(WriteBlockBytes(db, 512), {}, &error);
+  ASSERT_NE(block_db, nullptr) << error;
+  ASSERT_GT(block_db->num_blocks(), 2);
+
+  EXPECT_EQ(block_db->BlockFirstTransaction(0), 0);
+  int64_t covered = 0;
+  for (int64_t b = 0; b < block_db->num_blocks(); ++b) {
+    EXPECT_EQ(block_db->BlockFirstTransaction(b), covered);
+    const int64_t n = block_db->BlockNumTransactions(b);
+    EXPECT_GT(n, 0);
+    EXPECT_EQ(n, block_db->Block(b)->num_transactions());
+    covered += n;
+  }
+  EXPECT_EQ(covered, block_db->num_transactions());
+  for (int64_t t = 0; t < block_db->num_transactions(); ++t) {
+    const int64_t b = block_db->BlockContaining(t);
+    EXPECT_LE(block_db->BlockFirstTransaction(b), t);
+    EXPECT_LT(t,
+              block_db->BlockFirstTransaction(b) +
+                  block_db->BlockNumTransactions(b));
+  }
+}
+
+TEST(BlockTxnDb, SaveLoadSaveIsByteFixedPoint) {
+  const TransactionDb db = MakeDb(300, 50, 17);
+  for (const int64_t block_size : {int64_t{256}, int64_t{1} << 20}) {
+    const std::string bytes = WriteBlockBytes(db, block_size);
+    std::string error;
+    auto block_db = OpenBytes(bytes, {}, &error);
+    ASSERT_NE(block_db, nullptr) << error;
+    std::ostringstream resaved;
+    block_db->SaveTo(resaved);
+    EXPECT_EQ(std::move(resaved).str(), bytes) << "block_size=" << block_size;
+  }
+}
+
+TEST(BlockTxnDb, OversizedTransactionGetsItsOwnBlock) {
+  TransactionDb db(2000);
+  std::vector<int32_t> huge;
+  for (int32_t i = 0; i < 1500; ++i) huge.push_back(i);
+  const std::vector<int32_t> small = {1, 2, 3};
+  const std::vector<int32_t> tail = {7, 9};
+  db.AddTransaction(small);
+  db.AddTransaction(huge);
+  db.AddTransaction(tail);
+
+  const std::string bytes = WriteBlockBytes(db, 64);
+  std::string error;
+  auto block_db = OpenBytes(bytes, {}, &error);
+  ASSERT_NE(block_db, nullptr) << error;
+  ExpectSameTransactions(db, *block_db);
+
+  const int64_t huge_block = block_db->BlockContaining(1);
+  EXPECT_EQ(block_db->BlockNumTransactions(huge_block), 1);
+
+  std::ostringstream resaved;
+  block_db->SaveTo(resaved);
+  EXPECT_EQ(std::move(resaved).str(), bytes);
+}
+
+TEST(BlockTxnDb, EmptyDatabaseRoundTrips) {
+  const TransactionDb db(42);
+  const std::string bytes = WriteBlockBytes(db, 512);
+  std::string error;
+  auto block_db = OpenBytes(bytes, {}, &error);
+  ASSERT_NE(block_db, nullptr) << error;
+  EXPECT_EQ(block_db->num_items(), 42);
+  EXPECT_EQ(block_db->num_transactions(), 0);
+  EXPECT_EQ(block_db->num_blocks(), 0);
+  std::ostringstream resaved;
+  block_db->SaveTo(resaved);
+  EXPECT_EQ(std::move(resaved).str(), bytes);
+}
+
+TEST(BlockTxnDb, WriterSortsDedupesLikeTransactionDb) {
+  std::ostringstream out;
+  BlockTransactionDbWriter writer(out, 100);
+  const std::vector<int32_t> messy = {5, 1, 5, 3, 1};
+  writer.Add(messy);
+  writer.Finish();
+  std::string error;
+  auto block_db = OpenBytes(std::move(out).str(), {}, &error);
+  ASSERT_NE(block_db, nullptr) << error;
+  const std::vector<std::vector<int32_t>> got = AllTransactions(*block_db);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (std::vector<int32_t>{1, 3, 5}));
+}
+
+TEST(BlockTxnDb, CacheEvictsUnderBudgetButPinsStayValid) {
+  const TransactionDb db = MakeDb(600, 60, 19);
+  BlockStoreOptions options;
+  options.cache_budget_bytes = 1;  // every Put evicts the previous block
+  std::string error;
+  auto block_db = OpenBytes(WriteBlockBytes(db, 256), options, &error);
+  ASSERT_NE(block_db, nullptr) << error;
+  ASSERT_GT(block_db->num_blocks(), 4);
+
+  // Pin every block while the cache churns underneath.
+  std::vector<std::shared_ptr<const TransactionDb>> pins;
+  for (int64_t b = 0; b < block_db->num_blocks(); ++b) {
+    pins.push_back(block_db->Block(b));
+  }
+  EXPECT_GT(block_db->cache_evictions(), 0);
+
+  // Evicted blocks stay readable through their pins, and re-reads decode
+  // fresh copies that agree with the pinned ones.
+  for (int64_t b = 0; b < block_db->num_blocks(); ++b) {
+    const auto& pinned = *pins[static_cast<size_t>(b)];
+    const auto reread = block_db->Block(b);
+    ASSERT_EQ(pinned.num_transactions(), reread->num_transactions());
+    for (int64_t t = 0; t < pinned.num_transactions(); ++t) {
+      const std::span<const int32_t> a = pinned.Transaction(t);
+      const std::span<const int32_t> c = reread->Transaction(t);
+      ASSERT_EQ(std::vector<int32_t>(a.begin(), a.end()),
+                std::vector<int32_t>(c.begin(), c.end()));
+    }
+  }
+  EXPECT_GT(block_db->cache_misses(), block_db->num_blocks());
+}
+
+TEST(BlockTxnDb, GenerousBudgetCachesEveryBlock) {
+  const TransactionDb db = MakeDb(400, 60, 23);
+  std::string error;
+  auto block_db = OpenBytes(WriteBlockBytes(db, 512), {}, &error);
+  ASSERT_NE(block_db, nullptr) << error;
+  for (int pass = 0; pass < 3; ++pass) {
+    block_db->ForEachBlock([](int64_t, const TransactionDb&) {});
+  }
+  EXPECT_EQ(block_db->cache_evictions(), 0);
+  EXPECT_GT(block_db->cache_hits(), 0);
+  // Passes after the first hit the cache for every block.
+  EXPECT_EQ(block_db->cache_misses(), block_db->num_blocks());
+}
+
+TEST(BlockTxnDb, PrefetchShutdownRaceIsClean) {
+  const TransactionDb db = MakeDb(800, 60, 29);
+  const std::string bytes = WriteBlockBytes(db, 256);
+  common::ThreadPool pool(4);
+  BlockStoreOptions options;
+  options.pool = &pool;
+  options.readahead_blocks = 4;
+  options.cache_budget_bytes = 1 << 12;  // churn during the race
+  for (int iter = 0; iter < 25; ++iter) {
+    std::string error;
+    auto block_db = OpenBytes(bytes, options, &error);
+    ASSERT_NE(block_db, nullptr) << error;
+    for (int64_t b = 0; b < block_db->num_blocks(); ++b) {
+      block_db->Prefetch(b);
+    }
+    // Destructor must drain in-flight decodes before the file goes away.
+  }
+}
+
+TEST(BlockTxnDb, ReadAheadScanMatchesSerialScan) {
+  const TransactionDb db = MakeDb(700, 60, 31);
+  const std::string bytes = WriteBlockBytes(db, 256);
+  common::ThreadPool pool(4);
+  BlockStoreOptions options;
+  options.pool = &pool;
+  options.readahead_blocks = 3;
+  std::string error;
+  auto block_db = OpenBytes(bytes, options, &error);
+  ASSERT_NE(block_db, nullptr) << error;
+  ExpectSameTransactions(db, *block_db);
+}
+
+TEST(BlockTxnDb, ConvertTextSpoolMatchesLoader) {
+  const TransactionDb db = MakeDb(250, 50, 37);
+  std::ostringstream text;
+  io::SaveTransactionDb(db, text);
+  const std::string snapshot = std::move(text).str();
+
+  std::istringstream in(snapshot);
+  std::ostringstream blocks;
+  std::string error;
+  ASSERT_TRUE(io::ConvertTransactionTextToBlocks(in, blocks, 512, &error))
+      << error;
+  auto block_db = OpenBytes(std::move(blocks).str(), {}, &error);
+  ASSERT_NE(block_db, nullptr) << error;
+  ExpectSameTransactions(db, *block_db);
+
+  // Malformed text is rejected by BOTH paths (equally strict validation).
+  const std::string corrupt = snapshot + "not a transaction line\n";
+  std::istringstream corrupt_text(corrupt);
+  EXPECT_FALSE(io::LoadTransactionDb(corrupt_text, &error).has_value());
+  std::istringstream corrupt_again(corrupt);
+  std::ostringstream discard;
+  error.clear();
+  EXPECT_FALSE(
+      io::ConvertTransactionTextToBlocks(corrupt_again, discard, 512, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace focus::data
