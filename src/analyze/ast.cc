@@ -1,0 +1,272 @@
+#include "analyze/ast.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace focus::analyze {
+namespace {
+
+bool IsOpenBracket(const std::string& t) {
+  return t == "(" || t == "[" || t == "{";
+}
+bool IsCloseBracket(const std::string& t) {
+  return t == ")" || t == "]" || t == "}";
+}
+
+// Keywords that look like `ident (` but never start a function definition.
+const std::unordered_set<std::string>& NonFunctionKeywords() {
+  static const std::unordered_set<std::string> kSet = {
+      "if",     "for",    "while",  "switch",   "catch",  "return",
+      "sizeof", "alignof", "decltype", "new",   "delete", "else",
+      "do",     "case",   "throw",  "typeid",   "void",   "int",
+      "static_assert",
+  };
+  return kSet;
+}
+
+// Tokens allowed between a signature's closing ')' and the body '{':
+// cv-qualifiers, ref-qualifiers, trailing return types, capability
+// annotations, and constructor initializer lists.
+bool QualifierToken(const std::string& t) {
+  return IsIdentToken(t) || t == "," || t == "&" || t == "*" || t == "<" ||
+         t == ">" || t == "-" || t == ":" || t == "[" || t == "]" ||
+         (!t.empty() && (t[0] >= '0' && t[0] <= '9'));
+}
+
+std::pair<Stmt, size_t> ParseOne(const std::vector<Token>& tokens, size_t i,
+                                 size_t end);
+
+std::vector<Stmt> ParseStmts(const std::vector<Token>& tokens, size_t begin,
+                             size_t end) {
+  std::vector<Stmt> out;
+  size_t i = begin;
+  while (i < end) {
+    if (IsCloseBracket(tokens[i].text)) {  // stray close: skip defensively
+      ++i;
+      continue;
+    }
+    auto [stmt, next] = ParseOne(tokens, i, end);
+    if (next <= i) {  // no progress: bail out of a malformed region
+      ++i;
+      continue;
+    }
+    out.push_back(std::move(stmt));
+    i = next;
+  }
+  return out;
+}
+
+// Parses exactly one statement starting at `i`; returns it plus the index
+// just past its end.
+std::pair<Stmt, size_t> ParseOne(const std::vector<Token>& tokens, size_t i,
+                                 size_t end) {
+  Stmt stmt;
+  stmt.line = tokens[i].line;
+  stmt.span_begin = i;
+  const std::string& t = tokens[i].text;
+
+  if (t == "{") {
+    const size_t close = MatchBracket(tokens, i);
+    stmt.kind = StmtKind::kBlock;
+    stmt.children = ParseStmts(tokens, i + 1, std::min(close, end));
+    const size_t next = std::min(close + 1, end);
+    stmt.span_end = next;
+    return {std::move(stmt), next};
+  }
+
+  if (t == "do") {
+    stmt.kind = StmtKind::kDoWhile;
+    size_t k = i + 1;
+    if (k < end && tokens[k].text == "{") {
+      const size_t close = MatchBracket(tokens, k);
+      stmt.children = ParseStmts(tokens, k + 1, std::min(close, end));
+      k = std::min(close + 1, end);
+    }
+    // Trailing `while ( ... ) ;`
+    if (k < end && tokens[k].text == "while" && k + 1 < end &&
+        tokens[k + 1].text == "(") {
+      const size_t close = MatchBracket(tokens, k + 1);
+      stmt.header_begin = k + 2;
+      stmt.header_end = std::min(close, end);
+      k = std::min(close + 1, end);
+      if (k < end && tokens[k].text == ";") ++k;
+    }
+    stmt.span_end = k;
+    return {std::move(stmt), k};
+  }
+
+  if (t == "if" || t == "for" || t == "while" || t == "switch") {
+    size_t j = i + 1;
+    if (j < end && tokens[j].text == "constexpr") ++j;
+    if (j >= end || tokens[j].text != "(") {
+      // Malformed; fall through to the simple-statement scan below.
+    } else {
+      const size_t close = MatchBracket(tokens, j);
+      stmt.header_begin = j + 1;
+      stmt.header_end = std::min(close, end);
+      if (t == "if") {
+        stmt.kind = StmtKind::kIf;
+      } else if (t == "while") {
+        stmt.kind = StmtKind::kWhile;
+      } else if (t == "switch") {
+        stmt.kind = StmtKind::kSwitch;
+      } else {
+        // Range-for: a ':' at header depth 0 and no top-level ';'.
+        bool colon = false, semicolon = false;
+        int depth = 0;
+        for (size_t k = stmt.header_begin; k < stmt.header_end; ++k) {
+          const std::string& h = tokens[k].text;
+          if (IsOpenBracket(h)) ++depth;
+          else if (IsCloseBracket(h)) --depth;
+          else if (depth == 0 && h == ":") colon = true;
+          else if (depth == 0 && h == ";") semicolon = true;
+        }
+        stmt.kind = (colon && !semicolon) ? StmtKind::kRangeFor
+                                          : StmtKind::kFor;
+      }
+      size_t k = std::min(close + 1, end);
+      if (k < end && tokens[k].text == "{") {
+        const size_t bclose = MatchBracket(tokens, k);
+        stmt.children = ParseStmts(tokens, k + 1, std::min(bclose, end));
+        k = std::min(bclose + 1, end);
+      } else if (k < end && tokens[k].text == ";") {
+        ++k;  // empty body
+      } else if (k < end) {
+        auto [child, next] = ParseOne(tokens, k, end);
+        stmt.children.push_back(std::move(child));
+        k = next;
+      }
+      if (stmt.kind == StmtKind::kIf && k < end && tokens[k].text == "else") {
+        ++k;
+        if (k < end) {
+          auto [child, next] = ParseOne(tokens, k, end);
+          stmt.children.push_back(std::move(child));
+          k = next;
+        }
+      }
+      stmt.span_end = k;
+      return {std::move(stmt), k};
+    }
+  }
+
+  // Simple statement: everything up to the first ';' at bracket depth 0.
+  stmt.kind = StmtKind::kSimple;
+  int depth = 0;
+  size_t j = i;
+  while (j < end) {
+    const std::string& s = tokens[j].text;
+    if (IsOpenBracket(s)) {
+      ++depth;
+    } else if (IsCloseBracket(s)) {
+      if (depth == 0) break;  // malformed: a close we do not own
+      --depth;
+    } else if (s == ";" && depth == 0) {
+      ++j;
+      break;
+    }
+    ++j;
+  }
+  stmt.header_begin = stmt.span_begin;
+  stmt.header_end = j;
+  stmt.span_end = j;
+  return {std::move(stmt), j};
+}
+
+}  // namespace
+
+std::string TailName(const Function& function) {
+  return Unqualified(function.name);
+}
+
+size_t MatchBracket(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (IsOpenBracket(t)) ++depth;
+    else if (IsCloseBracket(t)) {
+      if (--depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+std::vector<Function> ParseFunctions(const std::vector<Token>& tokens) {
+  std::vector<Function> out;
+  const size_t n = tokens.size();
+  size_t i = 0;
+  while (i + 1 < n) {
+    if (!IsIdentToken(tokens[i].text) || tokens[i + 1].text != "(" ||
+        NonFunctionKeywords().count(Unqualified(tokens[i].text)) != 0) {
+      ++i;
+      continue;
+    }
+    const size_t params_close = MatchBracket(tokens, i + 1);
+    if (params_close >= n) {
+      ++i;
+      continue;
+    }
+    // Scan the qualifier region for the body '{'. Anything outside the
+    // grammar of qualifiers / trailing return types / ctor-init lists
+    // (an operator, '=', ';') means this was a call or a declaration.
+    size_t j = params_close + 1;
+    bool in_init_list = false;
+    size_t body_open = n;
+    std::string prev = ")";
+    while (j < n) {
+      const std::string& q = tokens[j].text;
+      if (q == "{") {
+        if (in_init_list && (IsIdentToken(prev) || prev == ">")) {
+          // Member brace-init inside the ctor initializer list.
+          const size_t close = MatchBracket(tokens, j);
+          if (close >= n) break;
+          prev = "}";
+          j = close + 1;
+          continue;
+        }
+        body_open = j;
+        break;
+      }
+      if (q == "(") {  // annotation args, noexcept(...), member init
+        const size_t close = MatchBracket(tokens, j);
+        if (close >= n) break;
+        prev = ")";
+        j = close + 1;
+        continue;
+      }
+      if (q == ":") in_init_list = true;
+      if (!QualifierToken(q) && q != ":") break;  // '=', ';', '<<', ...
+      prev = q;
+      ++j;
+    }
+    if (body_open >= n) {
+      ++i;
+      continue;
+    }
+    const size_t body_close = MatchBracket(tokens, body_open);
+    if (body_close >= n) {
+      ++i;
+      continue;
+    }
+    Function fn;
+    fn.name = tokens[i].text;
+    fn.line = tokens[i].line;
+    fn.params_begin = i + 2;
+    fn.params_end = params_close;
+    fn.body_begin = body_open + 1;
+    fn.body_end = body_close;
+    for (size_t k = params_close + 1; k < body_open; ++k) {
+      const std::string tail = Unqualified(tokens[k].text);
+      if (tail == "REQUIRES" || tail == "ASSERT_CAPABILITY" ||
+          tail == "REQUIRES_SHARED" || tail == "ACQUIRE" ||
+          tail == "RELEASE") {
+        fn.has_requires = true;
+      }
+    }
+    fn.body = ParseStmts(tokens, fn.body_begin, fn.body_end);
+    out.push_back(std::move(fn));
+    i = body_close + 1;
+  }
+  return out;
+}
+
+}  // namespace focus::analyze

@@ -1,0 +1,84 @@
+#ifndef FOCUS_ANALYZE_AST_H_
+#define FOCUS_ANALYZE_AST_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.h"
+
+namespace focus::analyze {
+
+// Stage 3: a balanced-brace parse of the token stream into per-function
+// statement trees. This is deliberately not a C++ grammar — it recognizes
+// exactly the shapes the checkers reason about (function bodies, control
+// statements, range-for headers) and treats everything else as an opaque
+// "simple statement" token span. Token spans are [begin, end) indices
+// into the file's token vector.
+
+enum class StmtKind {
+  kSimple,    // anything ending in ';' (declarations, expressions, ...)
+  kBlock,     // bare { ... }
+  kIf,        // children: then-branch statements, then else-branch
+  kFor,       // classic for(;;)
+  kRangeFor,  // for (decl : container)
+  kWhile,
+  kDoWhile,
+  kSwitch,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kSimple;
+  int line = 0;
+  // kSimple: the whole statement. Control statements: the parenthesized
+  // header contents (without the parens). kBlock/kDoWhile: empty.
+  size_t header_begin = 0;
+  size_t header_end = 0;
+  // Full extent of the statement including any nested bodies.
+  size_t span_begin = 0;
+  size_t span_end = 0;
+  // Nested statements (control bodies, block contents, else branches).
+  std::vector<Stmt> children;
+};
+
+struct Function {
+  // Name as written at the definition ("LitsUpperBound",
+  // "ModelCache::InsertLocked", or a test macro like "TEST").
+  std::string name;
+  int line = 0;
+  size_t params_begin = 0;  // inside the signature parens
+  size_t params_end = 0;
+  size_t body_begin = 0;  // inside the braces
+  size_t body_end = 0;
+  // Capability annotations seen between the signature and the body
+  // (REQUIRES, ASSERT_CAPABILITY, ...): the lock is a precondition.
+  bool has_requires = false;
+  std::vector<Stmt> body;
+};
+
+// The unqualified tail of the function name ("ModelCache::InsertLocked"
+// -> "InsertLocked").
+std::string TailName(const Function& function);
+
+// Finds every function definition with a body and parses each body into
+// a statement tree. Tolerant by construction: unparseable regions simply
+// yield no functions, never errors.
+std::vector<Function> ParseFunctions(const std::vector<Token>& tokens);
+
+// Index of the matching closing bracket for the opener at `open`
+// (handles (), [], {} uniformly, counting all three kinds); returns
+// `tokens.size()` when unbalanced.
+size_t MatchBracket(const std::vector<Token>& tokens, size_t open);
+
+// Depth-first walk over a statement tree.
+template <typename Fn>
+void ForEachStmt(const std::vector<Stmt>& stmts, Fn&& fn) {
+  for (const Stmt& stmt : stmts) {
+    fn(stmt);
+    ForEachStmt(stmt.children, fn);
+  }
+}
+
+}  // namespace focus::analyze
+
+#endif  // FOCUS_ANALYZE_AST_H_

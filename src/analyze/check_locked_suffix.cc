@@ -1,0 +1,81 @@
+// locked-suffix: *Locked() helpers called without visible lock evidence.
+//
+// The repo's convention (common/mutex.h + clang thread-safety) is that a
+// method named …Locked() must only run with the owning mutex held. Clang
+// proves this via REQUIRES annotations; gcc builds compile the
+// annotations away. This checker is the gcc shadow of that analysis: a
+// call to X…Locked() is flagged unless, earlier in the same function
+// body, there is lock evidence — a common::MutexLock, an explicit
+// Lock()/TryLock() call, an AssertHeld(), or a capability assertion —
+// or the enclosing function itself is a …Locked() helper or carries a
+// REQUIRES annotation (the caller already owns the lock).
+//
+// Linear "evidence before call" is a conservative under-approximation of
+// scopes: it accepts some wrong code clang would reject (evidence in a
+// disjoint earlier block) but never flags correct code, which is the
+// right trade-off for a heuristic that runs with -Werror semantics in CI.
+
+#include "analyze/checks.h"
+
+namespace focus::analyze {
+namespace {
+
+bool SrcOnly(const std::string& rel_path) {
+  return PathHasPrefix(rel_path, "src/");
+}
+
+bool HasLockedSuffix(const std::string& name) {
+  static const std::string kSuffix = "Locked";
+  return name.size() >= kSuffix.size() &&
+         name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                      kSuffix) == 0;
+}
+
+bool IsEvidence(const std::vector<Token>& tokens, size_t i, size_t end) {
+  const std::string tail = Unqualified(tokens[i].text);
+  if (tail == "MutexLock" || tail == "AssertHeld" ||
+      tail == "ASSERT_CAPABILITY" || tail == "REQUIRES") {
+    return true;
+  }
+  if ((tail == "Lock" || tail == "TryLock") && i + 1 < end &&
+      tokens[i + 1].text == "(") {
+    return true;
+  }
+  return false;
+}
+
+void CheckLockedSuffix(CheckContext& ctx) {
+  const std::vector<Token>& tokens = ctx.tokens();
+  for (const Function& fn : ctx.file().functions) {
+    if (fn.has_requires || HasLockedSuffix(TailName(fn))) continue;
+    bool seen_evidence = false;
+    const size_t end = std::min(fn.body_end, tokens.size());
+    for (size_t i = fn.body_begin; i + 1 < end; ++i) {
+      if (IsEvidence(tokens, i, end)) {
+        seen_evidence = true;
+        continue;
+      }
+      if (seen_evidence) continue;
+      const std::string& t = tokens[i].text;
+      if (!IsIdentToken(t) || tokens[i + 1].text != "(") continue;
+      const std::string tail = Unqualified(t);
+      if (!HasLockedSuffix(tail)) continue;
+      ctx.Report(tokens[i].line, "locked-suffix",
+                 "'" + tail +
+                     "' called with no lock evidence in scope — …Locked() "
+                     "helpers require the owning mutex; take a "
+                     "common::MutexLock first (clang's thread-safety pass "
+                     "proves this; this keeps the gcc build honest)");
+    }
+  }
+}
+
+}  // namespace
+
+Checker MakeLockedSuffixChecker() {
+  return {"locked-suffix", "src/",
+          "*Locked() methods called without a MutexLock in scope",
+          SrcOnly, CheckLockedSuffix};
+}
+
+}  // namespace focus::analyze

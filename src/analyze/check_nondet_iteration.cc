@@ -1,0 +1,218 @@
+// nondet-iteration: hash-order iteration feeding order-sensitive sinks.
+//
+// std::unordered_map / unordered_set iteration order depends on the hash
+// function, libstdc++ version, and insertion history. FOCUS pins
+// bit-identical results across backends and shards (ROADMAP tier-1), so
+// anything order-sensitive fed from an unordered container is a
+// reproducibility bug:
+//
+//   * floating-point accumulation (+=, -=, *= on a double/float) — FP
+//     addition is not associative, so the fold value follows hash order;
+//   * appending to a container or string declared outside the loop —
+//     the element order follows hash order;
+//   * serialization or hashing calls (Put*/Append*/…Hash…) — the byte
+//     stream follows hash order.
+//
+// Order-insensitive uses (integer accumulation, map/set insertion,
+// max/min tracking) are fine and not flagged. Appends that are later
+// canonicalized — the target appears in a std::sort / std::stable_sort /
+// serve::AggregateSummary call in the same function — are blessed.
+
+#include <set>
+
+#include "analyze/checks.h"
+#include "analyze/dataflow.h"
+
+namespace focus::analyze {
+namespace {
+
+bool SrcOnly(const std::string& rel_path) {
+  return PathHasPrefix(rel_path, "src/");
+}
+
+bool TypeIsUnordered(const std::string& type) {
+  return type.find("unordered_") != std::string::npos;
+}
+
+bool TypeIsFloating(const std::string& type) {
+  return type.find("double") != std::string::npos ||
+         type.find("float") != std::string::npos;
+}
+
+bool TypeIsString(const std::string& type) {
+  return type.find("string") != std::string::npos;
+}
+
+// Names whose call canonicalizes its arguments' order.
+bool IsBlessingCall(const std::string& name) {
+  const std::string tail = Unqualified(name);
+  return tail == "sort" || tail == "stable_sort" ||
+         tail == "AggregateSummary";
+}
+
+// Identifiers passed to a sort/canonicalize call anywhere in `fn`.
+std::set<std::string> BlessedNames(const std::vector<Token>& tokens,
+                                   const Function& fn) {
+  std::set<std::string> blessed;
+  for (size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+    if (!IsIdentToken(tokens[i].text) || tokens[i + 1].text != "(") continue;
+    if (!IsBlessingCall(tokens[i].text)) continue;
+    const size_t close = MatchBracket(tokens, i + 1);
+    for (size_t k = i + 2; k < close && k < fn.body_end; ++k) {
+      if (IsIdentToken(tokens[k].text)) blessed.insert(tokens[k].text);
+    }
+  }
+  return blessed;
+}
+
+// Does the range-for header's container expression (after the top-level
+// ':') denote an unordered container?
+bool RangeIsUnordered(const CheckContext& ctx, const SymbolTable& fn_symbols,
+                      const Stmt& loop) {
+  const std::vector<Token>& tokens = ctx.tokens();
+  // Find the top-level ':'.
+  size_t colon = loop.header_end;
+  int depth = 0;
+  for (size_t i = loop.header_begin; i < loop.header_end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    else if (t == ")" || t == "]" || t == "}") --depth;
+    else if (t == ":" && depth == 0) {
+      colon = i;
+      break;
+    }
+  }
+  for (size_t i = colon + 1; i < loop.header_end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (!IsIdentToken(t)) continue;
+    if (TypeIsUnordered(t)) return true;  // spelled type / cast
+    const bool call =
+        i + 1 < loop.header_end && tokens[i + 1].text == "(";
+    if (call) {
+      if (ctx.index().unordered_methods.count(Unqualified(t)) != 0) {
+        return true;
+      }
+      if (TypeIsUnordered(ctx.ResolveCallType(fn_symbols, t))) return true;
+    } else {
+      if (TypeIsUnordered(ctx.ResolveVarType(fn_symbols, t))) return true;
+      if (TypeIsUnordered(ctx.ResolveCallType(fn_symbols, t))) return true;
+    }
+  }
+  return false;
+}
+
+// True when `line` falls inside [first, last] of the loop's own lines —
+// per-iteration temporaries are order-irrelevant.
+bool DeclaredInside(const std::vector<Token>& tokens, const Stmt& loop,
+                    int line) {
+  if (loop.span_begin >= tokens.size() || loop.span_end == 0) return false;
+  const int first = tokens[loop.span_begin].line;
+  const size_t last_index =
+      std::min(loop.span_end, tokens.size()) - 1;
+  const int last = tokens[last_index].line;
+  return line >= first && line <= last;
+}
+
+void ScanLoopBody(CheckContext& ctx, const SymbolTable& fn_symbols,
+                  const Stmt& loop, const std::set<std::string>& blessed) {
+  const std::vector<Token>& tokens = ctx.tokens();
+  for (const Stmt& child : loop.children) {
+    const size_t end = std::min(child.span_end, tokens.size());
+    for (size_t i = child.span_begin; i < end; ++i) {
+      const std::string& t = tokens[i].text;
+      if (!IsIdentToken(t)) continue;
+      const std::string n1 = i + 1 < end ? tokens[i + 1].text : "";
+      const std::string n2 = i + 2 < end ? tokens[i + 2].text : "";
+
+      // Compound assignment: ident op= …
+      const bool compound =
+          (n1 == "+" || n1 == "-" || n1 == "*") && n2 == "=";
+      if (compound) {
+        const std::string type = ctx.ResolveVarType(fn_symbols, t);
+        if (type.empty()) continue;
+        const auto decl = fn_symbols.vars.find(t);
+        const bool local_temp =
+            decl != fn_symbols.vars.end() &&
+            DeclaredInside(tokens, loop, decl->second.line);
+        if (local_temp) continue;
+        if (TypeIsFloating(type)) {
+          ctx.Report(tokens[i].line, "nondet-iteration",
+                     "floating-point accumulation into '" + t +
+                         "' while iterating an unordered container — FP "
+                         "addition is not associative, so the result "
+                         "follows the hash seed; collect, sort by key, "
+                         "then fold (see serve::AggregateSummary)");
+        } else if (n1 == "+" && TypeIsString(type) &&
+                   blessed.count(t) == 0) {
+          ctx.Report(tokens[i].line, "nondet-iteration",
+                     "appending to string '" + t +
+                         "' while iterating an unordered container — the "
+                         "byte order follows the hash seed; iterate keys "
+                         "in sorted order");
+        }
+        continue;
+      }
+
+      // Method-call sinks: recv.push_back(…) / recv.append(…).
+      if ((t == "push_back" || t == "emplace_back" || t == "append") &&
+          n1 == "(" && i >= 1 &&
+          (tokens[i - 1].text == "." || tokens[i - 1].text == ">")) {
+        // Receiver: the identifier before '.' or '->'.
+        const size_t recv_at = tokens[i - 1].text == "." ? i - 2 : i - 3;
+        if (recv_at >= i || !IsIdentToken(tokens[recv_at].text)) continue;
+        const std::string& recv = tokens[recv_at].text;
+        if (blessed.count(recv) != 0) continue;
+        const auto decl = fn_symbols.vars.find(recv);
+        if (decl != fn_symbols.vars.end() &&
+            DeclaredInside(tokens, loop, decl->second.line)) {
+          continue;  // per-iteration temporary
+        }
+        ctx.Report(tokens[i].line, "nondet-iteration",
+                   "appending to '" + recv +
+                       "' while iterating an unordered container — the "
+                       "element order follows the hash seed; sort the "
+                       "result before using it, or bless it via std::sort "
+                       "/ serve::AggregateSummary");
+        continue;
+      }
+
+      // Serialization / hashing calls.
+      if (n1 == "(") {
+        const std::string tail = Unqualified(t);
+        const bool serializes =
+            tail.rfind("Put", 0) == 0 || tail.rfind("Append", 0) == 0 ||
+            tail.find("Hash") != std::string::npos;
+        if (serializes) {
+          ctx.Report(tokens[i].line, "nondet-iteration",
+                     "'" + tail +
+                         "' called while iterating an unordered container "
+                         "— the emitted order follows the hash seed; "
+                         "iterate keys in canonical (sorted) order");
+        }
+      }
+    }
+  }
+}
+
+void CheckNondetIteration(CheckContext& ctx) {
+  const std::vector<Token>& tokens = ctx.tokens();
+  for (const Function& fn : ctx.file().functions) {
+    const SymbolTable fn_symbols = CollectFunctionSymbols(tokens, fn);
+    const std::set<std::string> blessed = BlessedNames(tokens, fn);
+    ForEachStmt(fn.body, [&](const Stmt& stmt) {
+      if (stmt.kind != StmtKind::kRangeFor) return;
+      if (!RangeIsUnordered(ctx, fn_symbols, stmt)) return;
+      ScanLoopBody(ctx, fn_symbols, stmt, blessed);
+    });
+  }
+}
+
+}  // namespace
+
+Checker MakeNondetIterationChecker() {
+  return {"nondet-iteration", "src/",
+          "unordered-container iteration feeding order-sensitive sinks",
+          SrcOnly, CheckNondetIteration};
+}
+
+}  // namespace focus::analyze

@@ -1,0 +1,102 @@
+// unchecked-status: discarded success/failure results.
+//
+// The io loaders, block-store readers, and socket helpers report failure
+// through their return value (bool or std::optional) rather than
+// exceptions. A bare call statement like `SaveDatasetToFile(ds, path);`
+// silently drops an ENOSPC or a short write. Flagged when the whole
+// statement is a call — possibly through a receiver chain — to a
+// must-check API and nothing consumes the result. `(void)call(…)` and
+// `if (!call(…))` naturally do not match.
+
+#include <unordered_set>
+
+#include "analyze/checks.h"
+
+namespace focus::analyze {
+namespace {
+
+bool SrcOnly(const std::string& rel_path) {
+  return PathHasPrefix(rel_path, "src/");
+}
+
+// Return-value-means-failure APIs: name prefixes and exact names.
+bool MustCheck(const std::string& tail) {
+  static const std::unordered_set<std::string> kExact = {
+      "Decode",       "ReadVarint", "ReadBlock",
+      "SetNonBlocking", "Submit",   "Consume",
+      "ConvertTransactionTextToBlocks", "ParseHashHex",
+  };
+  if (kExact.count(tail) != 0) return true;
+  return tail.rfind("Load", 0) == 0 || tail.rfind("Save", 0) == 0 ||
+         tail.rfind("Open", 0) == 0;
+}
+
+// Receiver-chain tokens allowed before the callee: `obj.`, `ptr->`,
+// qualified names (already merged by the lexer).
+bool ReceiverToken(const std::string& t) {
+  return IsIdentToken(t) || t == "." || t == "-" || t == ">";
+}
+
+void CheckUncheckedStatus(CheckContext& ctx) {
+  const std::vector<Token>& tokens = ctx.tokens();
+  for (const Function& fn : ctx.file().functions) {
+    ForEachStmt(fn.body, [&](const Stmt& stmt) {
+      if (stmt.kind != StmtKind::kSimple) return;
+      const size_t begin = stmt.header_begin;
+      const size_t end = std::min(stmt.header_end, tokens.size());
+      if (end - begin < 4) return;  // name ( ) ;
+      if (tokens[end - 1].text != ";" || tokens[end - 2].text != ")") return;
+      // Find the callee: the identifier before the first '(' — everything
+      // before it must be a plain receiver chain.
+      size_t open = end;
+      for (size_t i = begin; i < end; ++i) {
+        if (tokens[i].text == "(") {
+          open = i;
+          break;
+        }
+        if (!ReceiverToken(tokens[i].text)) return;  // cast, =, return, …
+      }
+      if (open == end || open == begin) return;
+      const std::string& callee = tokens[open - 1].text;
+      if (!IsIdentToken(callee)) return;
+      // Keywords that may masquerade as a receiver chain.
+      for (size_t i = begin; i < open; ++i) {
+        const std::string& t = tokens[i].text;
+        if (t == "return" || t == "co_return" || t == "throw" ||
+            t == "delete" || t == "co_await") {
+          return;
+        }
+      }
+      const std::string tail = Unqualified(callee);
+      if (!MustCheck(tail)) return;
+      // The call must be the whole statement: `)` `;` right at the end.
+      const size_t close = MatchBracket(tokens, open);
+      if (close != end - 2) return;  // chained call or trailing operators
+      // A callee that resolvably returns void has nothing to discard —
+      // e.g. the stream-based Save*(ostream&) serializers, whose error
+      // state lives in the stream and is checked by the *ToFile wrapper.
+      static const SymbolTable kNoLocals;
+      std::string ret = ctx.ResolveCallType(kNoLocals, callee);
+      if (ret.empty() && callee != tail) {
+        ret = ctx.ResolveCallType(kNoLocals, tail);
+      }
+      if (ret.find("void") != std::string::npos) return;
+      if (ret.empty() && ctx.index().void_functions.count(tail) != 0) return;
+      ctx.Report(tokens[open - 1].line, "unchecked-status",
+                 "result of '" + tail +
+                     "' discarded — it reports failure through its return "
+                     "value; branch on it, or cast to (void) with a "
+                     "comment saying why failure is fine here");
+    });
+  }
+}
+
+}  // namespace
+
+Checker MakeUncheckedStatusChecker() {
+  return {"unchecked-status", "src/",
+          "discarded bool/optional results from io, block, socket APIs",
+          SrcOnly, CheckUncheckedStatus};
+}
+
+}  // namespace focus::analyze

@@ -1,0 +1,187 @@
+// untrusted-length-alloc: wire-derived sizes reaching allocation without
+// a bound check.
+//
+// Lengths decoded from the network or from on-disk blocks (PayloadReader
+// Get* out-params, ReadVarint out-params, ReadLe* return values) are
+// attacker-controlled. Passing one to resize/reserve/new[] without first
+// comparing it against a bound lets a 4-byte frame request gigabytes.
+//
+// Taint flows forward through the function's linearized statements:
+// decoder out-params and Le-read assignments seed it, plain assignments
+// propagate it, and a taint dies when the variable is mentioned in a
+// condition (if/while/FOCUS_CHECK) containing a relational operator, or
+// is handed to a validation call inside a condition. Within one
+// statement, seeding precedes sanitizing — so the repo's combined
+//   if (!in.GetU32(&count) || count * 8 > remaining()) return false;
+// counts as checked, while a bare `if (!in.GetU32(&count))` does not.
+// std::min/std::max/Clamp in the sink's own argument list also count as
+// bounding.
+
+#include "analyze/checks.h"
+#include "analyze/dataflow.h"
+
+namespace focus::analyze {
+namespace {
+
+bool SrcOnly(const std::string& rel_path) {
+  return PathHasPrefix(rel_path, "src/");
+}
+
+// Decoder calls whose &out parameters become tainted.
+bool IsOutParamSource(const std::string& tail) {
+  return tail == "GetU8" || tail == "GetU16" || tail == "GetU32" ||
+         tail == "GetU64" || tail == "GetI64" || tail == "ReadVarint";
+}
+
+// Decoder calls whose return value is tainted.
+bool IsValueSource(const std::string& tail) {
+  return tail == "ReadLe32" || tail == "ReadLe64" || tail == "ReadLe16";
+}
+
+void SeedTaint(const std::vector<Token>& tokens, const FlowUnit& unit,
+               TaintSet* taint) {
+  const size_t end = std::min(unit.end, tokens.size());
+  for (size_t i = unit.begin; i + 1 < end; ++i) {
+    if (!IsIdentToken(tokens[i].text) || tokens[i + 1].text != "(") continue;
+    const std::string tail = Unqualified(tokens[i].text);
+    if (IsOutParamSource(tail)) {
+      const size_t close = MatchBracket(tokens, i + 1);
+      for (size_t k = i + 2; k < close && k + 1 < end; ++k) {
+        if (tokens[k].text == "&" && IsIdentToken(tokens[k + 1].text)) {
+          taint->insert(tokens[k + 1].text);
+        }
+      }
+    } else if (IsValueSource(tail)) {
+      // `n = ReadLe32(p)` or `uint32_t n = ReadLe32(p)`.
+      if (i >= 2 && tokens[i - 1].text == "=" &&
+          IsIdentToken(tokens[i - 2].text)) {
+        taint->insert(tokens[i - 2].text);
+      }
+    }
+  }
+}
+
+bool IsCheckMacroUnit(const std::vector<Token>& tokens, const FlowUnit& unit) {
+  const size_t end = std::min(unit.end, tokens.size());
+  for (size_t i = unit.begin; i < end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t.rfind("FOCUS_CHECK", 0) == 0 || t.rfind("CHECK", 0) == 0 ||
+        t == "assert") {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Sanitize(const std::vector<Token>& tokens, const FlowUnit& unit,
+              TaintSet* taint) {
+  if (taint->empty()) return;
+  if (!unit.is_condition && !IsCheckMacroUnit(tokens, unit)) return;
+  const size_t end = std::min(unit.end, tokens.size());
+  const bool relational = HasRelationalOp(tokens, unit.begin, end);
+  std::vector<std::string> cleared;
+  for (size_t i = unit.begin; i < end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (taint->count(t) == 0) continue;
+    if (relational) {
+      cleared.push_back(t);
+      continue;
+    }
+    // A tainted value handed to a (non-decoder) call inside a condition
+    // is treated as validated: `if (!ValidateCount(n)) return;`
+    for (size_t k = i; k > unit.begin; --k) {
+      if (tokens[k - 1].text == "(") {
+        if (k >= 2 && IsIdentToken(tokens[k - 2].text)) {
+          const std::string tail = Unqualified(tokens[k - 2].text);
+          if (!IsOutParamSource(tail) && !IsValueSource(tail)) {
+            cleared.push_back(t);
+          }
+        }
+        break;
+      }
+      if (tokens[k - 1].text == ")") break;  // left a nested group
+    }
+  }
+  for (const std::string& name : cleared) taint->erase(name);
+}
+
+bool GroupClampsOrChecks(const std::vector<Token>& tokens, size_t open,
+                         size_t close) {
+  for (size_t i = open; i < close && i < tokens.size(); ++i) {
+    const std::string tail = Unqualified(tokens[i].text);
+    if (tail == "min" || tail == "max" || tail == "Clamp" ||
+        tail == "clamp") {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ScanSinks(CheckContext& ctx, const FlowUnit& unit,
+               const TaintSet& taint) {
+  const std::vector<Token>& tokens = ctx.tokens();
+  const size_t end = std::min(unit.end, tokens.size());
+  for (size_t i = unit.begin; i + 1 < end; ++i) {
+    const std::string& t = tokens[i].text;
+    // resize/reserve with a tainted (or directly decoded) extent.
+    if ((t == "resize" || t == "reserve") && tokens[i + 1].text == "(") {
+      const size_t close = MatchBracket(tokens, i + 1);
+      if (GroupClampsOrChecks(tokens, i + 2, close)) continue;
+      bool hit = AnyTaintedIn(tokens, i + 2, std::min(close, end), taint);
+      std::string via;
+      for (size_t k = i + 2; !hit && k < close && k + 1 < end; ++k) {
+        if (IsValueSource(Unqualified(tokens[k].text)) &&
+            tokens[k + 1].text == "(") {
+          hit = true;
+          via = Unqualified(tokens[k].text) + "(…) result";
+        }
+      }
+      if (!hit) continue;
+      ctx.Report(tokens[i].line, "untrusted-length-alloc",
+                 t + "() sized by " +
+                     (via.empty() ? std::string("a decoded length")
+                                  : via) +
+                     " with no bound check — a hostile frame can request "
+                     "an arbitrary allocation; compare against a limit "
+                     "(max_payload_bytes / remaining()) first");
+      continue;
+    }
+    // new T[n] with a tainted extent.
+    if (t == "new") {
+      for (size_t k = i + 1; k < end && tokens[k].text != ";"; ++k) {
+        if (tokens[k].text != "[") continue;
+        const size_t close = MatchBracket(tokens, k);
+        if (AnyTaintedIn(tokens, k + 1, std::min(close, end), taint)) {
+          ctx.Report(tokens[i].line, "untrusted-length-alloc",
+                     "new[] sized by a decoded length with no bound check "
+                     "— a hostile frame can request an arbitrary "
+                     "allocation; compare against a limit first");
+        }
+        break;
+      }
+    }
+  }
+}
+
+void CheckUntrustedLength(CheckContext& ctx) {
+  const std::vector<Token>& tokens = ctx.tokens();
+  for (const Function& fn : ctx.file().functions) {
+    TaintSet taint;
+    for (const FlowUnit& unit : LinearFlow(fn.body)) {
+      SeedTaint(tokens, unit, &taint);
+      PropagateTaint(tokens, unit, &taint);
+      Sanitize(tokens, unit, &taint);
+      ScanSinks(ctx, unit, taint);
+    }
+  }
+}
+
+}  // namespace
+
+Checker MakeUntrustedLengthChecker() {
+  return {"untrusted-length-alloc", "src/",
+          "wire-decoded sizes reaching resize/reserve/new[] unchecked",
+          SrcOnly, CheckUntrustedLength};
+}
+
+}  // namespace focus::analyze

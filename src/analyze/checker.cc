@@ -1,0 +1,58 @@
+#include "analyze/checker.h"
+
+#include "analyze/checks.h"
+
+namespace focus::analyze {
+
+std::string CheckContext::ResolveVarType(const SymbolTable& fn_symbols,
+                                         const std::string& name) const {
+  auto it = fn_symbols.vars.find(name);
+  if (it != fn_symbols.vars.end()) return it->second.type;
+  it = file_.scope.vars.find(name);
+  if (it != file_.scope.vars.end()) return it->second.type;
+  if (paired_ != nullptr) {
+    it = paired_->scope.vars.find(name);
+    if (it != paired_->scope.vars.end()) return it->second.type;
+  }
+  return "";
+}
+
+std::string CheckContext::ResolveCallType(const SymbolTable& fn_symbols,
+                                          const std::string& name) const {
+  auto it = fn_symbols.functions.find(name);
+  if (it != fn_symbols.functions.end()) return it->second.type;
+  it = file_.scope.functions.find(name);
+  if (it != file_.scope.functions.end()) return it->second.type;
+  if (paired_ != nullptr) {
+    it = paired_->scope.functions.find(name);
+    if (it != paired_->scope.functions.end()) return it->second.type;
+  }
+  return "";
+}
+
+void CheckContext::Report(int line, const std::string& checker,
+                          const std::string& message) {
+  const auto it = file_.allowed.find(line);
+  if (it != file_.allowed.end() && it->second.count(checker) != 0) return;
+  out_->push_back({file_.display_path, line, checker, message});
+}
+
+bool PathHasPrefix(const std::string& path, const std::string& prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+const std::vector<Checker>& Registry() {
+  static const std::vector<Checker> kCheckers = {
+      MakeRawMutexChecker(),
+      MakeNakedMt19937Checker(),
+      MakeStdFunctionHotLoopChecker(),
+      MakeUncheckedStrtolChecker(),
+      MakeNondetIterationChecker(),
+      MakeUntrustedLengthChecker(),
+      MakeUncheckedStatusChecker(),
+      MakeLockedSuffixChecker(),
+  };
+  return kCheckers;
+}
+
+}  // namespace focus::analyze

@@ -1,0 +1,104 @@
+#ifndef FOCUS_ANALYZE_CHECKER_H_
+#define FOCUS_ANALYZE_CHECKER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/ast.h"
+#include "analyze/lexer.h"
+#include "analyze/source.h"
+#include "analyze/symbols.h"
+
+namespace focus::analyze {
+
+// Stage 6: the checker registry. Each checker owns one invariant and
+// reports `file:line: [checker] message` diagnostics through the
+// CheckContext, which applies per-site allow() escapes before anything
+// reaches the caller.
+
+struct Diagnostic {
+  std::string file;  // display path
+  int line = 0;
+  std::string checker;
+  std::string message;
+};
+
+// Everything the pipeline knows about one file after stages 1-4.
+struct FileModel {
+  std::string display_path;  // as printed in diagnostics
+  std::string rel_path;      // relative to --root, '/'-separated
+  StrippedSource stripped;
+  std::vector<Token> tokens;
+  std::vector<Function> functions;
+  // File/class-scope declarations: members, globals, and method
+  // declarations (with return types) outside any function body.
+  SymbolTable scope;
+  std::map<int, std::set<std::string>> allowed;
+};
+
+// Cross-file facts gathered in pass 1, before any checker runs.
+struct GlobalIndex {
+  // Callables whose declared return type mentions an unordered
+  // container ("supports" -> std::unordered_map<...>&).
+  std::set<std::string> unordered_methods;
+  // Callables declared with a void return type anywhere in the scanned
+  // set — they have no result to discard.
+  std::set<std::string> void_functions;
+};
+
+class CheckContext {
+ public:
+  CheckContext(const FileModel& file, const FileModel* paired,
+               const GlobalIndex& index, std::vector<Diagnostic>* out)
+      : file_(file), paired_(paired), index_(index), out_(out) {}
+
+  const FileModel& file() const { return file_; }
+  const std::vector<Token>& tokens() const { return file_.tokens; }
+  const GlobalIndex& index() const { return index_; }
+
+  // The paired header's model (x.cc -> x.h in the same directory), for
+  // resolving member types; null when there is none.
+  const FileModel* paired() const { return paired_; }
+
+  // Declared type of `name`: function locals/params first, then file
+  // scope, then the paired header's file scope. Empty when unknown.
+  std::string ResolveVarType(const SymbolTable& fn_symbols,
+                             const std::string& name) const;
+
+  // Declared return type of callable `name`, same resolution order.
+  // Also answers for constructor-style locals ("PayloadReader in(x)")
+  // which the heuristic records as callables.
+  std::string ResolveCallType(const SymbolTable& fn_symbols,
+                              const std::string& name) const;
+
+  // Emits a diagnostic unless an allow(checker) directive covers `line`.
+  void Report(int line, const std::string& checker,
+              const std::string& message);
+
+ private:
+  const FileModel& file_;
+  const FileModel* paired_;
+  const GlobalIndex& index_;
+  std::vector<Diagnostic>* out_;
+};
+
+struct Checker {
+  std::string name;
+  std::string scope;    // human-readable applicability, for --list-checkers
+  std::string summary;  // one-line description
+  // Decides from the repo-relative path whether the checker applies.
+  bool (*in_scope)(const std::string& rel_path);
+  void (*check)(CheckContext& ctx);
+};
+
+// All registered checkers, in listing order.
+const std::vector<Checker>& Registry();
+
+// True when `path` starts with `prefix` ('/'-separated relative path).
+bool PathHasPrefix(const std::string& path, const std::string& prefix);
+
+}  // namespace focus::analyze
+
+#endif  // FOCUS_ANALYZE_CHECKER_H_

@@ -1,0 +1,23 @@
+#ifndef FOCUS_ANALYZE_CHECKS_H_
+#define FOCUS_ANALYZE_CHECKS_H_
+
+#include "analyze/checker.h"
+
+namespace focus::analyze {
+
+// Checker factories. The first four are direct ports of the focus_lint
+// rules onto the registry; the last four are the flow-aware domain
+// checkers built on the statement trees and symbol tables.
+
+Checker MakeRawMutexChecker();            // checks_ported.cc
+Checker MakeNakedMt19937Checker();        // checks_ported.cc
+Checker MakeStdFunctionHotLoopChecker();  // checks_ported.cc
+Checker MakeUncheckedStrtolChecker();     // checks_ported.cc
+Checker MakeNondetIterationChecker();     // check_nondet_iteration.cc
+Checker MakeUntrustedLengthChecker();     // check_untrusted_length.cc
+Checker MakeUncheckedStatusChecker();     // check_unchecked_status.cc
+Checker MakeLockedSuffixChecker();        // check_locked_suffix.cc
+
+}  // namespace focus::analyze
+
+#endif  // FOCUS_ANALYZE_CHECKS_H_

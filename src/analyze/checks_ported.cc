@@ -1,0 +1,197 @@
+// The four focus_lint rules, ported onto the analyzer registry. Messages
+// and scoping are unchanged so existing allow() sites keep working; the
+// hot-loop rule now finds loops through the statement tree instead of
+// the old hand-rolled brace tracker.
+
+#include <unordered_set>
+
+#include "analyze/checks.h"
+
+namespace focus::analyze {
+namespace {
+
+bool EverywhereButCommon(const std::string& rel_path) {
+  return !PathHasPrefix(rel_path, "src/common/");
+}
+
+void CheckRawMutex(CheckContext& ctx) {
+  static const std::unordered_set<std::string> kBanned = {
+      "std::mutex",          "std::timed_mutex",
+      "std::recursive_mutex", "std::recursive_timed_mutex",
+      "std::shared_mutex",   "std::shared_timed_mutex",
+      "std::lock_guard",     "std::unique_lock",
+      "std::scoped_lock",    "std::shared_lock",
+      "std::condition_variable", "std::condition_variable_any",
+  };
+  for (const Token& token : ctx.tokens()) {
+    if (kBanned.count(token.text) == 0) continue;
+    ctx.Report(token.line, "raw-mutex",
+               token.text +
+                   " outside src/common/ — use common::Mutex / "
+                   "common::MutexLock / common::CondVar (common/mutex.h) "
+                   "so thread-safety annotations keep working");
+  }
+}
+
+bool EverywhereButStats(const std::string& rel_path) {
+  return !PathHasPrefix(rel_path, "src/stats/");  // MakeRng's home
+}
+
+bool IsEngineName(const std::string& text) {
+  return text == "mt19937" || text == "mt19937_64" ||
+         text == "std::mt19937" || text == "std::mt19937_64";
+}
+
+void CheckNakedMt19937(CheckContext& ctx) {
+  const std::vector<Token>& tokens = ctx.tokens();
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsEngineName(tokens[i].text)) continue;
+    size_t ctor = 0;  // index of the '(' / '{' opening a construction
+    if (i + 1 < tokens.size() &&
+        (tokens[i + 1].text == "(" || tokens[i + 1].text == "{")) {
+      ctor = i + 1;  // temporary: std::mt19937_64(seed)
+    } else if (i + 2 < tokens.size() && IsIdentToken(tokens[i + 1].text) &&
+               (tokens[i + 2].text == "(" || tokens[i + 2].text == "{")) {
+      ctor = i + 2;  // named variable: std::mt19937_64 rng(seed)
+    } else {
+      continue;  // reference/param declaration, template argument, …
+    }
+    // Initialization through the sanctioned factory is fine:
+    //   std::mt19937_64 rng = stats::MakeRng(seed);  (no direct ctor)
+    //   std::mt19937_64 rng(stats::MakeRng(seed));   (copy from factory)
+    bool via_factory = false;
+    for (size_t j = ctor; j < tokens.size() && tokens[j].text != ";"; ++j) {
+      if (tokens[j].text.find("MakeRng") != std::string::npos) {
+        via_factory = true;
+        break;
+      }
+    }
+    if (via_factory) continue;
+    ctx.Report(tokens[i].line, "naked-mt19937",
+               tokens[i].text +
+                   " constructed directly — seed RNGs via stats::MakeRng "
+                   "so runs replay deterministically");
+  }
+}
+
+bool HotLoopDirs(const std::string& rel_path) {
+  return PathHasPrefix(rel_path, "src/core/") ||
+         PathHasPrefix(rel_path, "src/itemsets/") ||
+         PathHasPrefix(rel_path, "src/tree/");
+}
+
+bool IsLoop(const Stmt& stmt) {
+  return stmt.kind == StmtKind::kFor || stmt.kind == StmtKind::kRangeFor ||
+         stmt.kind == StmtKind::kWhile || stmt.kind == StmtKind::kDoWhile;
+}
+
+void CheckStdFunctionInHotLoop(CheckContext& ctx) {
+  const std::vector<Token>& tokens = ctx.tokens();
+  for (const Function& fn : ctx.file().functions) {
+    ForEachStmt(fn.body, [&](const Stmt& stmt) {
+      if (!IsLoop(stmt)) return;
+      // Loop bodies only — the children's spans, not the header.
+      for (const Stmt& child : stmt.children) {
+        for (size_t i = child.span_begin; i < child.span_end; ++i) {
+          if (tokens[i].text != "std::function") continue;
+          ctx.Report(tokens[i].line, "std-function-in-hot-loop",
+                     "std::function inside a loop body in a scan-kernel "
+                     "directory — type-erased calls defeat inlining; take "
+                     "the body as a template parameter (see "
+                     "core/parallel_count.h)");
+        }
+      }
+    });
+  }
+}
+
+bool IoOnly(const std::string& rel_path) {
+  return PathHasPrefix(rel_path, "src/io/");
+}
+
+void CheckUncheckedStrtol(CheckContext& ctx) {
+  static const std::unordered_set<std::string> kStrto = {
+      "strtol",       "strtoul",      "strtoll",       "strtoull",
+      "strtod",       "strtof",       "strtold",       "std::strtol",
+      "std::strtoul", "std::strtoll", "std::strtoull", "std::strtod",
+      "std::strtof",  "std::strtold",
+  };
+  static const std::unordered_set<std::string> kNoErrors = {
+      "atoi", "atol", "atoll", "atof", "std::atoi", "std::atol",
+      "std::atoll", "std::atof",
+  };
+  const std::vector<Token>& tokens = ctx.tokens();
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i + 1].text != "(") continue;
+    if (kNoErrors.count(tokens[i].text) != 0) {
+      ctx.Report(tokens[i].line, "unchecked-strtol",
+                 tokens[i].text +
+                     " cannot report conversion errors — io loaders must "
+                     "reject malformed numbers (use strtol with a checked "
+                     "end pointer)");
+      continue;
+    }
+    if (kStrto.count(tokens[i].text) == 0) continue;
+    // Extract the second top-level argument.
+    int depth = 0;
+    int arg = 0;
+    std::vector<std::string> second_arg;
+    for (size_t j = i + 1; j < tokens.size(); ++j) {
+      const std::string& t = tokens[j].text;
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+        if (depth > 1 && arg == 1) second_arg.push_back(t);
+        continue;
+      }
+      if (t == ")" || t == "]" || t == "}") {
+        --depth;
+        if (depth == 0) break;
+        if (arg == 1) second_arg.push_back(t);
+        continue;
+      }
+      if (t == "," && depth == 1) {
+        ++arg;
+        continue;
+      }
+      if (arg == 1) second_arg.push_back(t);
+    }
+    const bool null_endptr =
+        second_arg.size() == 1 &&
+        (second_arg[0] == "nullptr" || second_arg[0] == "NULL" ||
+         second_arg[0] == "0");
+    if (null_endptr) {
+      ctx.Report(tokens[i].line, "unchecked-strtol",
+                 tokens[i].text +
+                     " with a null end pointer silently accepts trailing "
+                     "garbage — pass an end pointer and check it");
+    }
+  }
+}
+
+}  // namespace
+
+Checker MakeRawMutexChecker() {
+  return {"raw-mutex", "everywhere except src/common/",
+          "std synchronization primitives bypass common::Mutex annotations",
+          EverywhereButCommon, CheckRawMutex};
+}
+
+Checker MakeNakedMt19937Checker() {
+  return {"naked-mt19937", "everywhere except src/stats/",
+          "RNG engines constructed without stats::MakeRng break replay",
+          EverywhereButStats, CheckNakedMt19937};
+}
+
+Checker MakeStdFunctionHotLoopChecker() {
+  return {"std-function-in-hot-loop", "src/core/, src/itemsets/, src/tree/",
+          "type-erased calls inside scan-kernel loops defeat inlining",
+          HotLoopDirs, CheckStdFunctionInHotLoop};
+}
+
+Checker MakeUncheckedStrtolChecker() {
+  return {"unchecked-strtol", "src/io/",
+          "number parsing that cannot reject malformed input",
+          IoOnly, CheckUncheckedStrtol};
+}
+
+}  // namespace focus::analyze

@@ -1,0 +1,105 @@
+#include "analyze/dataflow.h"
+
+#include "analyze/symbols.h"
+
+namespace focus::analyze {
+namespace {
+
+void Linearize(const std::vector<Stmt>& stmts, std::vector<FlowUnit>* out) {
+  for (const Stmt& stmt : stmts) {
+    switch (stmt.kind) {
+      case StmtKind::kSimple:
+        out->push_back({&stmt, false, stmt.header_begin, stmt.header_end});
+        break;
+      case StmtKind::kIf:
+      case StmtKind::kFor:
+      case StmtKind::kRangeFor:
+      case StmtKind::kWhile:
+      case StmtKind::kSwitch:
+        out->push_back({&stmt, true, stmt.header_begin, stmt.header_end});
+        Linearize(stmt.children, out);
+        break;
+      case StmtKind::kDoWhile:
+        // Body first, then the trailing while-condition.
+        Linearize(stmt.children, out);
+        if (stmt.header_end > stmt.header_begin) {
+          out->push_back({&stmt, true, stmt.header_begin, stmt.header_end});
+        }
+        break;
+      case StmtKind::kBlock:
+        Linearize(stmt.children, out);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FlowUnit> LinearFlow(const std::vector<Stmt>& body) {
+  std::vector<FlowUnit> out;
+  Linearize(body, &out);
+  return out;
+}
+
+bool AnyTaintedIn(const std::vector<Token>& tokens, size_t begin, size_t end,
+                  const TaintSet& taint) {
+  if (taint.empty()) return false;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (taint.count(tokens[i].text) != 0) return true;
+  }
+  return false;
+}
+
+void PropagateTaint(const std::vector<Token>& tokens, const FlowUnit& unit,
+                    TaintSet* taint) {
+  if (taint->empty()) return;
+  // Find a top-level `=` (not ==, !=, <=, >=, +=, ...). Tokens are single
+  // characters for punctuation, so `==` appears as two adjacent `=` tokens
+  // and `<=` as `<` then `=`.
+  const size_t begin = unit.begin;
+  const size_t end = std::min(unit.end, tokens.size());
+  int depth = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    else if (t == ")" || t == "]" || t == "}") --depth;
+    if (depth != 0 || t != "=") continue;
+    const std::string prev = i > begin ? tokens[i - 1].text : "";
+    const std::string next = i + 1 < end ? tokens[i + 1].text : "";
+    if (next == "=") {  // `==`: skip both
+      ++i;
+      continue;
+    }
+    if (prev == "=" || prev == "!" || prev == "<" || prev == ">") continue;
+    const bool compound = prev == "+" || prev == "-" || prev == "*" ||
+                          prev == "/" || prev == "%" || prev == "|" ||
+                          prev == "&" || prev == "^";
+    // LHS name: the identifier just before `=` (or before the compound
+    // operator char).
+    const size_t back = compound ? 2 : 1;
+    if (i < begin + back) return;
+    const size_t name_at = i - back;
+    if (!IsIdentToken(tokens[name_at].text)) return;
+    if (AnyTaintedIn(tokens, i + 1, end, *taint)) {
+      taint->insert(tokens[name_at].text);
+    }
+    return;
+  }
+}
+
+bool HasRelationalOp(const std::vector<Token>& tokens, size_t begin,
+                     size_t end) {
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t != "<" && t != ">") continue;
+    const std::string next = i + 1 < end ? tokens[i + 1].text : "";
+    if (next == t) {  // << or >>
+      ++i;
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace focus::analyze

@@ -1,0 +1,54 @@
+#ifndef FOCUS_ANALYZE_DATAFLOW_H_
+#define FOCUS_ANALYZE_DATAFLOW_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/ast.h"
+#include "analyze/lexer.h"
+
+namespace focus::analyze {
+
+// Stage 5: intra-procedural def-use plumbing shared by the flow-aware
+// checkers. Flow is approximated as the pre-order linearization of the
+// statement tree: control headers are evaluated before their bodies, and
+// a fact established at statement k holds for statements > k. That is
+// exact for straight-line code and conservative for branches — good
+// enough for the two invariants built on it (taint reaching a sink,
+// evidence preceding a use).
+
+struct FlowUnit {
+  const Stmt* stmt = nullptr;
+  bool is_condition = false;  // an if/while/for/switch header
+  size_t begin = 0;           // token span to scan
+  size_t end = 0;
+};
+
+// Pre-order linearization of a statement tree.
+std::vector<FlowUnit> LinearFlow(const std::vector<Stmt>& body);
+
+// Identifier taint set.
+using TaintSet = std::set<std::string>;
+
+// True when any identifier token in [begin, end) is tainted.
+bool AnyTaintedIn(const std::vector<Token>& tokens, size_t begin, size_t end,
+                  const TaintSet& taint);
+
+// If the unit assigns or initializes variables from an expression that
+// mentions a tainted identifier, taints the assigned names. Handles
+// `x = expr`, `T x = expr`, and compound assignment; an explicit cast
+// does not launder taint.
+void PropagateTaint(const std::vector<Token>& tokens, const FlowUnit& unit,
+                    TaintSet* taint);
+
+// True when [begin, end) contains a standalone relational operator
+// (< > <= >=), excluding << and >> and template-argument angles (which
+// the heuristic cannot always tell apart; a stray match errs on the
+// side of "checked", i.e. fewer diagnostics).
+bool HasRelationalOp(const std::vector<Token>& tokens, size_t begin,
+                     size_t end);
+
+}  // namespace focus::analyze
+
+#endif  // FOCUS_ANALYZE_DATAFLOW_H_

@@ -1,0 +1,87 @@
+#include "analyze/lexer.h"
+
+#include <cctype>
+
+namespace focus::analyze {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentToken(const std::string& text) {
+  return !text.empty() && IsIdentStart(text[0]);
+}
+
+std::string Unqualified(const std::string& text) {
+  const size_t at = text.rfind("::");
+  return at == std::string::npos ? text : text.substr(at + 2);
+}
+
+std::vector<Token> Lex(const StrippedSource& stripped) {
+  std::vector<Token> tokens;
+  for (size_t row = 0; row < stripped.code.size(); ++row) {
+    const std::string& line = stripped.code[row];
+    const int line_no = static_cast<int>(row) + 1;
+    size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        size_t j = i + 1;
+        while (j < line.size() && IsIdentChar(line[j])) ++j;
+        tokens.push_back({line.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        // Numbers lex as one token (including 0x1F, 1e9, 1.5f, 16u);
+        // checkers only ever test the leading digit.
+        size_t j = i + 1;
+        while (j < line.size() &&
+               (IsIdentChar(line[j]) || line[j] == '.' || line[j] == '\'')) {
+          ++j;
+        }
+        tokens.push_back({line.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        tokens.push_back({"::", line_no});
+        i += 2;
+        continue;
+      }
+      tokens.push_back({std::string(1, c), line_no});
+      ++i;
+    }
+  }
+  // Merge qualified names: id :: id (:: id)* — the line number of the
+  // first component wins.
+  std::vector<Token> merged;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    if (IsIdentToken(tokens[i].text)) {
+      Token qualified = tokens[i];
+      size_t j = i + 1;
+      while (j + 1 < tokens.size() && tokens[j].text == "::" &&
+             IsIdentToken(tokens[j + 1].text)) {
+        qualified.text += "::" + tokens[j + 1].text;
+        j += 2;
+      }
+      merged.push_back(std::move(qualified));
+      i = j;
+      continue;
+    }
+    merged.push_back(tokens[i]);
+    ++i;
+  }
+  return merged;
+}
+
+}  // namespace focus::analyze

@@ -1,0 +1,34 @@
+#ifndef FOCUS_ANALYZE_LEXER_H_
+#define FOCUS_ANALYZE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/source.h"
+
+namespace focus::analyze {
+
+// Stage 2: tokens over the code view. Identifiers, numbers, "::", and
+// single punctuation characters; qualified names are merged so
+// "std :: unordered_map" is one token "std::unordered_map" carrying the
+// line of its first component.
+struct Token {
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+bool IsIdentStart(char c);
+bool IsIdentChar(char c);
+
+// True when `text` starts with an identifier character (an identifier or
+// a qualified name; never punctuation or a number).
+bool IsIdentToken(const std::string& text);
+
+// The unqualified tail of a possibly qualified name: "a::b::c" -> "c".
+std::string Unqualified(const std::string& text);
+
+std::vector<Token> Lex(const StrippedSource& stripped);
+
+}  // namespace focus::analyze
+
+#endif  // FOCUS_ANALYZE_LEXER_H_

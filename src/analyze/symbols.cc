@@ -1,0 +1,208 @@
+#include "analyze/symbols.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace focus::analyze {
+namespace {
+
+const std::unordered_set<std::string>& LeadingSpecifiers() {
+  static const std::unordered_set<std::string> kSet = {
+      "static", "constexpr", "const",  "inline",       "mutable",
+      "extern", "volatile",  "friend", "thread_local", "register",
+      "virtual", "explicit",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string>& NeverStartsDecl() {
+  static const std::unordered_set<std::string> kSet = {
+      "return", "delete",  "throw",   "goto",    "break",   "continue",
+      "case",   "default", "using",   "typedef", "template", "public",
+      "private", "protected", "if",   "else",    "for",     "while",
+      "do",     "switch",  "new",     "sizeof",  "operator", "namespace",
+      "class",  "enum",    "union",
+  };
+  return kSet;
+}
+
+// Builtin type keywords that may repeat ("unsigned long long").
+const std::unordered_set<std::string>& TypeKeywords() {
+  static const std::unordered_set<std::string> kSet = {
+      "const",  "unsigned", "signed", "long", "short", "struct",
+      "typename", "auto",   "volatile",
+  };
+  return kSet;
+}
+
+bool AllCapsMacro(const std::string& text) {
+  if (text.empty() || !IsIdentToken(text)) return false;
+  bool has_alpha = false;
+  for (char c : text) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+// Appends a balanced <...> template-argument group to `type`, returning
+// the index past the closing '>'. Returns `begin` when unbalanced.
+size_t AppendAngleGroup(const std::vector<Token>& tokens, size_t begin,
+                        size_t end, std::string* type) {
+  int depth = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "<") ++depth;
+    else if (t == ">" && --depth == 0) {
+      for (size_t k = begin; k <= i; ++k) {
+        type->append(tokens[k].text);
+        type->push_back(' ');
+      }
+      return i + 1;
+    } else if (t == ";" || t == "{") {
+      break;  // never a template argument list
+    }
+  }
+  return begin;
+}
+
+}  // namespace
+
+bool TryParseDecl(const std::vector<Token>& tokens, size_t begin, size_t end,
+                  SymbolTable* out) {
+  size_t i = begin;
+  std::string type;
+  // Leading specifiers join the type text (so "const double" answers the
+  // is-floating-point question) but do not count as the required base.
+  bool saw_base = false;
+  while (i < end && LeadingSpecifiers().count(tokens[i].text) != 0) {
+    type += tokens[i].text + " ";
+    ++i;
+  }
+  if (i >= end) return false;
+  if (NeverStartsDecl().count(Unqualified(tokens[i].text)) != 0) return false;
+  while (i < end) {
+    const std::string& t = tokens[i].text;
+    if (t == "*" || t == "&") {
+      type += t + " ";
+      ++i;
+      continue;
+    }
+    if (t == "<") {
+      const size_t next = AppendAngleGroup(tokens, i, end, &type);
+      if (next == i) return false;
+      i = next;
+      continue;
+    }
+    if (t == "[" && saw_base) {
+      // Structured binding: auto& [a, b] — every name gets the type.
+      bool any = false;
+      for (size_t k = i + 1; k < end && tokens[k].text != "]"; ++k) {
+        if (IsIdentToken(tokens[k].text)) {
+          out->vars[tokens[k].text] = {tokens[k].text, type, tokens[k].line};
+          any = true;
+        }
+      }
+      return any;
+    }
+    if (!IsIdentToken(t)) return false;
+    if (TypeKeywords().count(t) != 0) {
+      type += t + " ";
+      saw_base = saw_base || t == "auto";
+      ++i;
+      continue;
+    }
+    // `t` is either part of the type or the declared name — decide by
+    // what follows.
+    const std::string next = i + 1 < end ? tokens[i + 1].text : "";
+    const bool name_position =
+        i + 1 >= end || next == "=" || next == ";" || next == "{" ||
+        next == "," || next == ":" || next == ")" || next == "[" ||
+        AllCapsMacro(next);
+    if (name_position && saw_base) {
+      out->vars[t] = {t, type, tokens[i].line};
+      return true;
+    }
+    if (next == "(" && saw_base) {
+      // A callable: record its return type (method declarations in
+      // headers, free-function declarations).
+      out->functions[t] = {t, type, tokens[i].line};
+      return true;
+    }
+    if (name_position || next == "(") return false;  // no type before it
+    type += t + " ";
+    saw_base = true;
+    ++i;
+  }
+  return false;
+}
+
+void CollectDeclsLinear(const std::vector<Token>& tokens, size_t begin,
+                        size_t end, SymbolTable* out) {
+  size_t piece = begin;
+  for (size_t i = begin; i <= end; ++i) {
+    const bool boundary = i == end || tokens[i].text == ";" ||
+                          tokens[i].text == "{" || tokens[i].text == "}";
+    if (!boundary) continue;
+    if (i > piece) TryParseDecl(tokens, piece, i, out);
+    piece = i + 1;
+  }
+}
+
+void CollectParamDecls(const std::vector<Token>& tokens, size_t begin,
+                       size_t end, SymbolTable* out) {
+  size_t piece = begin;
+  int depth = 0;
+  for (size_t i = begin; i <= end; ++i) {
+    if (i < end) {
+      const std::string& t = tokens[i].text;
+      if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+      else if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+    }
+    const bool boundary = i == end || (tokens[i].text == "," && depth == 0);
+    if (!boundary) continue;
+    if (i > piece) TryParseDecl(tokens, piece, i, out);
+    piece = i + 1;
+  }
+}
+
+SymbolTable CollectFunctionSymbols(const std::vector<Token>& tokens,
+                                   const Function& function) {
+  SymbolTable out;
+  CollectParamDecls(tokens, function.params_begin, function.params_end, &out);
+  ForEachStmt(function.body, [&](const Stmt& stmt) {
+    if (stmt.kind == StmtKind::kSimple) {
+      TryParseDecl(tokens, stmt.header_begin, stmt.header_end, &out);
+      return;
+    }
+    if (stmt.kind == StmtKind::kFor || stmt.kind == StmtKind::kIf ||
+        stmt.kind == StmtKind::kWhile || stmt.kind == StmtKind::kSwitch) {
+      // for-init clauses and if-with-initializer declarations; harmless
+      // when the header is a plain condition (TryParseDecl just fails).
+      size_t piece = stmt.header_begin;
+      for (size_t i = stmt.header_begin; i <= stmt.header_end; ++i) {
+        const bool boundary = i == stmt.header_end || tokens[i].text == ";";
+        if (!boundary) continue;
+        if (i > piece) TryParseDecl(tokens, piece, i, &out);
+        piece = i + 1;
+      }
+      return;
+    }
+    if (stmt.kind == StmtKind::kRangeFor) {
+      // The declaration part before the top-level ':'.
+      int depth = 0;
+      for (size_t i = stmt.header_begin; i < stmt.header_end; ++i) {
+        const std::string& t = tokens[i].text;
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        else if (t == ")" || t == "]" || t == "}") --depth;
+        else if (t == ":" && depth == 0) {
+          TryParseDecl(tokens, stmt.header_begin, i, &out);
+          break;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace focus::analyze

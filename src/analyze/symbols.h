@@ -1,0 +1,58 @@
+#ifndef FOCUS_ANALYZE_SYMBOLS_H_
+#define FOCUS_ANALYZE_SYMBOLS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/ast.h"
+#include "analyze/lexer.h"
+
+namespace focus::analyze {
+
+// Stage 4: heuristic symbol tables. A declaration is recognized as
+// "type tokens, then a name, then one of = ; { ( , : ] or an ALL_CAPS
+// annotation macro" — enough to answer the two questions the checkers
+// ask: what is this variable's declared type, and does this callable
+// return an unordered container. Structured bindings record every bound
+// name with the binding's type text.
+
+struct VarDecl {
+  std::string name;
+  std::string type;  // declaration tokens joined with spaces
+  int line = 0;
+};
+
+struct SymbolTable {
+  std::map<std::string, VarDecl> vars;
+  // Callables seen with a recognizable return type: name -> declaration
+  // (the type is the return type).
+  std::map<std::string, VarDecl> functions;
+};
+
+// Attempts to parse one declaration at the start of [begin, end).
+// On success appends to `out` (several entries for structured bindings)
+// and returns true.
+bool TryParseDecl(const std::vector<Token>& tokens, size_t begin, size_t end,
+                  SymbolTable* out);
+
+// Scans a token span linearly, splitting at ; { } and trying each piece
+// as a declaration. Right for file / class scope (members, globals,
+// method declarations in headers).
+void CollectDeclsLinear(const std::vector<Token>& tokens, size_t begin,
+                        size_t end, SymbolTable* out);
+
+// Splits [begin, end) at top-level commas and tries each piece as a
+// parameter declaration.
+void CollectParamDecls(const std::vector<Token>& tokens, size_t begin,
+                       size_t end, SymbolTable* out);
+
+// Parameters plus every local declaration in the function body
+// (simple statements, for-init clauses, range-for loop variables).
+SymbolTable CollectFunctionSymbols(const std::vector<Token>& tokens,
+                                   const Function& function);
+
+}  // namespace focus::analyze
+
+#endif  // FOCUS_ANALYZE_SYMBOLS_H_

@@ -1,6 +1,8 @@
 #include "core/lits_upper_bound.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "core/lits_deviation.h"
@@ -9,21 +11,30 @@ namespace focus::core {
 
 double LitsUpperBound(const lits::LitsModel& m1, const lits::LitsModel& m2,
                       AggregateKind g) {
-  std::vector<double> diffs;
+  // Per-region differences keyed by itemset so the fold order can be
+  // made canonical: supports() is an unordered_map, and for g_sum the
+  // FP fold value would otherwise follow the hash seed (tier-1 pins
+  // bit-identical deltas across backends and shards).
+  std::vector<std::pair<lits::Itemset, double>> diffs;
   diffs.reserve(m1.size() + m2.size());
   // Regions frequent in M1 (covers the "both" and "only M1" cases of
   // Definition 4.1: a miss in M2 contributes support 0).
   for (const auto& [itemset, support1] : m1.supports()) {
     const double support2 = m2.SupportOr(itemset, 0.0);
-    diffs.push_back(std::fabs(support1 - support2));
+    diffs.emplace_back(itemset, std::fabs(support1 - support2));
   }
   // Regions frequent only in M2.
   for (const auto& [itemset, support2] : m2.supports()) {
     if (!m1.Contains(itemset)) {
-      diffs.push_back(support2);
+      diffs.emplace_back(itemset, support2);
     }
   }
-  return AggregateValues(g, diffs);
+  std::sort(diffs.begin(), diffs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<double> values;
+  values.reserve(diffs.size());
+  for (const auto& [itemset, diff] : diffs) values.push_back(diff);
+  return AggregateValues(g, values);
 }
 
 }  // namespace focus::core

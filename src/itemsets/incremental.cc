@@ -36,6 +36,9 @@ void IncrementalMiner::Append(const data::TransactionDb& block) {
   std::vector<Itemset> tracked;
   tracked.reserve(counts_.size());
   for (const auto& [itemset, count] : counts_) tracked.push_back(itemset);
+  // counts_ iterates in hash order; sort so every scan batch (and any
+  // instrumentation keyed on it) sees the same canonical order.
+  std::sort(tracked.begin(), tracked.end());
   if (!tracked.empty()) {
     const SupportCounter counter(tracked, block.num_items());
     const std::vector<int64_t> block_counts = counter.CountAbsolute(block);
@@ -61,6 +64,7 @@ void IncrementalMiner::Append(const data::TransactionDb& block) {
     if (counts_.count(itemset)) continue;  // already tracked
     candidates.push_back(itemset);
   }
+  std::sort(candidates.begin(), candidates.end());  // canonical scan order
 
   // (3) Exact accumulated counts for the candidates: one scan of the
   // grown database, only when there are candidates at all.

@@ -48,8 +48,13 @@ bool HttpServer::Start(std::string* error) {
   }
   wake_read_.Reset(pipe_fds[0]);
   wake_write_.Reset(pipe_fds[1]);
-  SetNonBlocking(wake_read_.get());
-  SetNonBlocking(wake_write_.get());
+  // A blocking wake pipe would hang the event loop when it drains the
+  // self-pipe, so failing to configure it is a startup failure.
+  if (!SetNonBlocking(wake_read_.get()) ||
+      !SetNonBlocking(wake_write_.get())) {
+    if (error != nullptr) *error = "cannot set wake pipe non-blocking";
+    return false;
+  }
   poller_.Add(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false);
   poller_.Add(wake_read_.get(), /*want_read=*/true, /*want_write=*/false);
   started_.store(true);
@@ -140,6 +145,7 @@ void HttpServer::Loop() {
       std::vector<Connection*> idle;
       for (auto& [fd, conn] : connections_) {
         if (conn->parser.idle() && conn->out.empty()) {
+          // focus-analyze: allow(nondet-iteration) — close order is irrelevant
           idle.push_back(conn.get());
         }
       }
@@ -153,6 +159,7 @@ void HttpServer::Loop() {
   // Shutdown: drop everything still open.
   std::vector<Connection*> remaining;
   remaining.reserve(connections_.size());
+  // focus-analyze: allow(nondet-iteration) — close order is irrelevant
   for (auto& [fd, conn] : connections_) remaining.push_back(conn.get());
   for (Connection* conn : remaining) CloseConnection(conn);
   if (listen_fd_.valid()) {
@@ -325,6 +332,7 @@ void HttpServer::CloseExpired(std::chrono::steady_clock::time_point now) {
   const auto deadline = std::chrono::milliseconds(options_.read_deadline_ms);
   std::vector<Connection*> expired;
   for (auto& [fd, conn] : connections_) {
+    // focus-analyze: allow(nondet-iteration) — close order is irrelevant
     if (now - conn->last_activity > deadline) expired.push_back(conn.get());
   }
   for (Connection* conn : expired) {

@@ -107,6 +107,8 @@ int Poller::Wait(int timeout_ms, std::vector<Event>* events) {
     p.fd = fd;
     if (want.read) p.events |= POLLIN;
     if (want.write) p.events |= POLLOUT;
+    // poll(2) treats the pollfd array as a set; readiness is per-fd.
+    // focus-analyze: allow(nondet-iteration) — pollfd order is irrelevant
     fds.push_back(p);
   }
   int n;

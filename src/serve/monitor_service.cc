@@ -213,7 +213,10 @@ void MonitorService::Route(Snapshot snapshot) {
     stream->draining = true;
   }
   // One drain job per stream at a time: per-stream order is preserved
-  // while distinct streams run concurrently on the pool.
+  // while distinct streams run concurrently on the pool. Fire-and-forget:
+  // ThreadPool::Submit's future carries no value, and the drain job's
+  // outcome is reported through the event sink, not the return.
+  // focus-analyze: allow(unchecked-status)
   pool_->Submit([this, stream]() { DrainStream(stream); });
 }
 

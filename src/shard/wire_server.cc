@@ -40,8 +40,13 @@ bool WireServer::Start(std::string* error) {
   }
   wake_read_.Reset(pipe_fds[0]);
   wake_write_.Reset(pipe_fds[1]);
-  net::SetNonBlocking(wake_read_.get());
-  net::SetNonBlocking(wake_write_.get());
+  // A blocking wake pipe would hang the event loop when it drains the
+  // self-pipe, so failing to configure it is a startup failure.
+  if (!net::SetNonBlocking(wake_read_.get()) ||
+      !net::SetNonBlocking(wake_write_.get())) {
+    if (error != nullptr) *error = "cannot set wake pipe non-blocking";
+    return false;
+  }
   poller_.Add(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false);
   poller_.Add(wake_read_.get(), /*want_read=*/true, /*want_write=*/false);
   started_.store(true);
@@ -128,6 +133,7 @@ void WireServer::Loop() {
       std::vector<Connection*> idle;
       for (auto& [fd, conn] : connections_) {
         if (conn->decoder.idle() && conn->out.empty()) {
+          // focus-analyze: allow(nondet-iteration) — close order is irrelevant
           idle.push_back(conn.get());
         }
       }
@@ -140,6 +146,7 @@ void WireServer::Loop() {
   }
   std::vector<Connection*> remaining;
   remaining.reserve(connections_.size());
+  // focus-analyze: allow(nondet-iteration) — close order is irrelevant
   for (auto& [fd, conn] : connections_) remaining.push_back(conn.get());
   for (Connection* conn : remaining) CloseConnection(conn);
   if (listen_fd_.valid()) {
@@ -269,6 +276,7 @@ void WireServer::CloseExpired(std::chrono::steady_clock::time_point now) {
   const auto deadline = std::chrono::milliseconds(options_.read_deadline_ms);
   std::vector<Connection*> expired;
   for (auto& [fd, conn] : connections_) {
+    // focus-analyze: allow(nondet-iteration) — close order is irrelevant
     if (now - conn->last_activity > deadline) expired.push_back(conn.get());
   }
   for (Connection* conn : expired) CloseConnection(conn);

@@ -1,0 +1,11 @@
+// Fixture: src/common/ is where the wrapper lives — exempt from raw-mutex.
+#include <mutex>
+
+namespace focus::common {
+
+class Mutex {
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace focus::common

@@ -1,0 +1,16 @@
+// Fixture: std::function inside a for-loop body in a scan-kernel dir.
+#include <functional>
+#include <vector>
+
+namespace focus::core {
+
+int Fold(const std::vector<int>& v) {
+  int acc = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    std::function<int(int, int)> step = [](int a, int b) { return a + b; };
+    acc = step(acc, v[i]);
+  }
+  return acc;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,17 @@
+// Fixture: std::function built once before the loop is fine — only the
+// per-iteration construction defeats inlining.
+#include <functional>
+#include <vector>
+
+namespace focus::core {
+
+int Apply(const std::vector<int>& v) {
+  std::function<int(int)> f = [](int x) { return x; };
+  int acc = 0;
+  for (int x : v) {
+    acc += f(x);
+  }
+  return acc;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,21 @@
+// Fixture: a *Locked() call through a member object, still unguarded.
+namespace focus::core {
+
+class Cache {
+ public:
+  void RebuildLocked();
+};
+
+class Engine {
+ public:
+  void Refresh();
+
+ private:
+  Cache cache_;
+};
+
+void Engine::Refresh() {
+  cache_.RebuildLocked();
+}
+
+}  // namespace focus::core

@@ -1,0 +1,17 @@
+// Fixture: a *Locked() helper calling a sibling *Locked() helper — the
+// caller already owns the mutex by its own contract.
+namespace focus::core {
+
+class Engine {
+ public:
+  void RebuildLocked();
+
+ private:
+  void EvictLocked();
+};
+
+void Engine::RebuildLocked() {
+  EvictLocked();
+}
+
+}  // namespace focus::core

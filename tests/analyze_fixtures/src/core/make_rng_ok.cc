@@ -1,0 +1,11 @@
+// Fixture: engines initialized through stats::MakeRng are sanctioned.
+#include <random>
+
+namespace focus::core {
+
+unsigned long Draw(unsigned seed) {
+  std::mt19937_64 rng(stats::MakeRng(seed));
+  return rng();
+}
+
+}  // namespace focus::core

@@ -1,0 +1,11 @@
+// Fixture: direct std::mt19937 construction trips naked-mt19937.
+#include <random>
+
+namespace focus::core {
+
+int Draw(unsigned seed) {
+  std::mt19937 rng(seed);
+  return static_cast<int>(rng());
+}
+
+}  // namespace focus::core

@@ -1,0 +1,14 @@
+// Fixture: floating-point fold in hash-iteration order.
+#include <unordered_map>
+
+namespace focus::core {
+
+double TotalSupport(const std::unordered_map<int, double>& counts) {
+  double total = 0.0;
+  for (const auto& [item, support] : counts) {
+    total += support;
+  }
+  return total;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,18 @@
+// Fixture: collect-then-sort is the sanctioned canonicalization — the
+// append target appears in a std::sort call, so it is blessed.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace focus::core {
+
+std::vector<int> SortedKeys(const std::unordered_map<int, double>& counts) {
+  std::vector<int> keys;
+  for (const auto& [item, support] : counts) {
+    keys.push_back(item);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace focus::core

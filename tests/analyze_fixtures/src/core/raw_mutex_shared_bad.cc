@@ -1,0 +1,11 @@
+// Fixture: std::shared_mutex outside src/common/ trips raw-mutex.
+#include <shared_mutex>
+
+namespace focus::core {
+
+class Table {
+ private:
+  std::shared_mutex mu_;
+};
+
+}  // namespace focus::core

@@ -1,0 +1,8 @@
+// Fixture: atoi cannot report conversion errors.
+#include <cstdlib>
+
+namespace focus::io {
+
+int ParseCount(const char* s) { return atoi(s); }
+
+}  // namespace focus::io

@@ -1,0 +1,14 @@
+// Fixture: branching on the result consumes it.
+#include <string>
+
+namespace focus::io {
+
+class Dataset;
+bool SaveDatasetToFile(const Dataset& ds, const std::string& path);
+
+bool Checkpoint(const Dataset& ds, const std::string& path) {
+  if (!SaveDatasetToFile(ds, path)) return false;
+  return true;
+}
+
+}  // namespace focus::io

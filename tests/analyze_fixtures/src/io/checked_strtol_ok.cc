@@ -1,0 +1,13 @@
+// Fixture: strtol with a real end pointer that gets checked is the
+// sanctioned pattern.
+#include <cstdlib>
+
+namespace focus::io {
+
+bool ParseCount(const char* s, long* out) {
+  char* end = nullptr;
+  *out = strtol(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+}  // namespace focus::io

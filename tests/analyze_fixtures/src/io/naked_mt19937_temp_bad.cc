@@ -1,0 +1,12 @@
+// Fixture: a temporary engine passed straight to an algorithm.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace focus::io {
+
+void Scramble(std::vector<int>* v, unsigned seed) {
+  std::shuffle(v->begin(), v->end(), std::mt19937(seed));
+}
+
+}  // namespace focus::io

@@ -1,0 +1,19 @@
+// Fixture: serializing while iterating an unordered container — the byte
+// stream follows the hash seed.
+#include <cstdint>
+#include <unordered_map>
+
+namespace focus::io {
+
+class Writer {
+ public:
+  void PutU32(uint32_t v);
+};
+
+void WriteCounts(Writer& w, const std::unordered_map<uint32_t, uint32_t>& m) {
+  for (const auto& [key, value] : m) {
+    w.PutU32(key);
+  }
+}
+
+}  // namespace focus::io

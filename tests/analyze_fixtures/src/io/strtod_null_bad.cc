@@ -1,0 +1,8 @@
+// Fixture: std::strtod with NULL end pointer accepts trailing garbage.
+#include <cstdlib>
+
+namespace focus::io {
+
+double ParseSupport(const char* s) { return std::strtod(s, NULL); }
+
+}  // namespace focus::io

@@ -1,0 +1,8 @@
+// Fixture: strtol with a null end pointer accepts trailing garbage.
+#include <cstdlib>
+
+namespace focus::io {
+
+long ParseOffset(const char* s) { return strtol(s, nullptr, 10); }
+
+}  // namespace focus::io

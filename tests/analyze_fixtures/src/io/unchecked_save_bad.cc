@@ -1,0 +1,13 @@
+// Fixture: a discarded Save* result silently drops ENOSPC.
+#include <string>
+
+namespace focus::io {
+
+class Dataset;
+bool SaveDatasetToFile(const Dataset& ds, const std::string& path);
+
+void Checkpoint(const Dataset& ds, const std::string& path) {
+  SaveDatasetToFile(ds, path);
+}
+
+}  // namespace focus::io

@@ -1,0 +1,22 @@
+// Fixture: the repo's combined decode-and-bound idiom — the relational
+// check in the same condition sanitizes the taint.
+#include <cstdint>
+#include <vector>
+
+namespace focus::io {
+
+class PayloadReader {
+ public:
+  bool GetU32(uint32_t* out);
+};
+
+constexpr uint32_t kMaxCount = 1u << 20;
+
+bool ReadList(PayloadReader& in, std::vector<uint32_t>* out) {
+  uint32_t count = 0;
+  if (!in.GetU32(&count) || count > kMaxCount) return false;
+  out->resize(count);
+  return true;
+}
+
+}  // namespace focus::io

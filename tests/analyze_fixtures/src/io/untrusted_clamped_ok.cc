@@ -1,0 +1,23 @@
+// Fixture: std::min in the sink's own argument list bounds the request.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace focus::io {
+
+class PayloadReader {
+ public:
+  bool GetU32(uint32_t* out);
+};
+
+constexpr size_t kMaxCount = 1u << 20;
+
+bool ReadList(PayloadReader& in, std::vector<uint32_t>* out) {
+  uint32_t count = 0;
+  if (!in.GetU32(&count)) return false;
+  out->resize(std::min<size_t>(count, kMaxCount));
+  return true;
+}
+
+}  // namespace focus::io

@@ -1,0 +1,19 @@
+// Fixture: a decoded out-param count reaches resize() unchecked.
+#include <cstdint>
+#include <vector>
+
+namespace focus::io {
+
+class PayloadReader {
+ public:
+  bool GetU32(uint32_t* out);
+};
+
+bool ReadList(PayloadReader& in, std::vector<uint32_t>* out) {
+  uint32_t count = 0;
+  if (!in.GetU32(&count)) return false;
+  out->resize(count);
+  return true;
+}
+
+}  // namespace focus::io

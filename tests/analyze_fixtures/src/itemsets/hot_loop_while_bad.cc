@@ -1,0 +1,18 @@
+// Fixture: std::function inside a while-loop body.
+#include <cstddef>
+#include <functional>
+
+namespace focus::itemsets {
+
+int Sum(const int* data, size_t n) {
+  int total = 0;
+  size_t i = 0;
+  while (i < n) {
+    std::function<int(int)> weigh = [](int x) { return x * 2; };
+    total += weigh(data[i]);
+    ++i;
+  }
+  return total;
+}
+
+}  // namespace focus::itemsets

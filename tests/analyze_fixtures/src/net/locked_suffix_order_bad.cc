@@ -1,0 +1,22 @@
+// Fixture: evidence must come BEFORE the call — the first DropLocked()
+// runs unguarded, the second is covered by the MutexLock.
+#include "common/mutex.h"
+
+namespace focus::net {
+
+class Registry {
+ public:
+  void Tidy();
+
+ private:
+  void DropLocked();
+  common::Mutex mu_;
+};
+
+void Registry::Tidy() {
+  DropLocked();
+  common::MutexLock lock(&mu_);
+  DropLocked();
+}
+
+}  // namespace focus::net

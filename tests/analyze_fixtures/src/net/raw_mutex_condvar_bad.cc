@@ -1,0 +1,11 @@
+// Fixture: std::condition_variable outside src/common/ trips raw-mutex.
+#include <condition_variable>
+
+namespace focus::net {
+
+class Waiter {
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace focus::net

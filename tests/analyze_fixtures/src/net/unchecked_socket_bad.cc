@@ -1,0 +1,11 @@
+// Fixture: a discarded SetNonBlocking result leaves a blocking fd in an
+// event loop.
+namespace focus::net {
+
+bool SetNonBlocking(int fd);
+
+void Prepare(int fd) {
+  SetNonBlocking(fd);
+}
+
+}  // namespace focus::net

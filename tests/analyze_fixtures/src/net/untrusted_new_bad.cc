@@ -1,0 +1,17 @@
+// Fixture: a decoded length reaches new[] unchecked.
+#include <cstdint>
+
+namespace focus::net {
+
+class WireDecoder {
+ public:
+  bool GetU64(uint64_t* out);
+};
+
+char* ReadBlob(WireDecoder& dec) {
+  uint64_t len = 0;
+  if (!dec.GetU64(&len)) return nullptr;
+  return new char[len];
+}
+
+}  // namespace focus::net

@@ -1,0 +1,17 @@
+// Fixture: src/serve/ is not a scan-kernel directory — out of scope for
+// std-function-in-hot-loop.
+#include <functional>
+#include <vector>
+
+namespace focus::serve {
+
+int Apply(const std::vector<int>& v) {
+  int acc = 0;
+  for (int x : v) {
+    std::function<int(int)> f = [](int y) { return y; };
+    acc += f(x);
+  }
+  return acc;
+}
+
+}  // namespace focus::serve

@@ -1,0 +1,16 @@
+// Fixture: a *Locked() helper called with no lock evidence in scope.
+namespace focus::serve {
+
+class Monitor {
+ public:
+  void Flush();
+
+ private:
+  void FlushLocked();
+};
+
+void Monitor::Flush() {
+  FlushLocked();
+}
+
+}  // namespace focus::serve

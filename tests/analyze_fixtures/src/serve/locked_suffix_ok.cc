@@ -1,0 +1,20 @@
+// Fixture: a MutexLock earlier in the body is lock evidence.
+#include "common/mutex.h"
+
+namespace focus::serve {
+
+class Monitor {
+ public:
+  void Flush();
+
+ private:
+  void FlushLocked();
+  common::Mutex mu_;
+};
+
+void Monitor::Flush() {
+  common::MutexLock lock(&mu_);
+  FlushLocked();
+}
+
+}  // namespace focus::serve

@@ -1,0 +1,11 @@
+// Fixture: brace-constructed std::mt19937_64 trips naked-mt19937.
+#include <random>
+
+namespace focus::serve {
+
+unsigned long Draw64() {
+  std::mt19937_64 rng{7};
+  return rng();
+}
+
+}  // namespace focus::serve

@@ -1,0 +1,18 @@
+// Fixture: allow() suppresses nondet-iteration at this site only.
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace focus::serve {
+
+std::vector<std::string> Snapshot(const std::unordered_set<std::string>& s) {
+  std::vector<std::string> out;
+  for (const std::string& name : s) {
+    // Order is re-established by the caller before use.
+    // focus-analyze: allow(nondet-iteration)
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace focus::serve

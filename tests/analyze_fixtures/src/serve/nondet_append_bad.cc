@@ -1,0 +1,17 @@
+// Fixture: appending to an outer vector in hash-iteration order with no
+// canonicalizing sort afterwards.
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace focus::serve {
+
+std::vector<std::string> Names(const std::unordered_set<std::string>& live) {
+  std::vector<std::string> out;
+  for (const std::string& name : live) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace focus::serve

@@ -1,0 +1,13 @@
+// Fixture: the legacy focus-lint allow() spelling still suppresses.
+#include <mutex>
+
+namespace focus::serve {
+
+class Legacy {
+ private:
+  // Interop with a vendored API that hands out std::unique_lock.
+  // focus-lint: allow(raw-mutex)
+  std::mutex vendored_mu_;
+};
+
+}  // namespace focus::serve

@@ -1,0 +1,11 @@
+// Fixture: std::mutex outside src/common/ trips raw-mutex.
+#include <mutex>
+
+namespace focus::serve {
+
+class Session {
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace focus::serve

@@ -1,0 +1,13 @@
+// Fixture: a void Save*(ostream&) serializer has nothing to discard —
+// its error state lives in the stream, checked by the *ToFile wrapper.
+#include <iosfwd>
+
+namespace focus::serve {
+
+void SaveSummary(std::ostream& out);
+
+void Emit(std::ostream& out) {
+  SaveSummary(out);
+}
+
+}  // namespace focus::serve

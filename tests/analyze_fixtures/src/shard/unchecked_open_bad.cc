@@ -1,0 +1,16 @@
+// Fixture: a discarded Open result through a member call.
+#include <string>
+
+namespace focus::shard {
+
+class BlockStore {
+ public:
+  bool Open(const std::string& path);
+  void Warm(const std::string& path);
+};
+
+void BlockStore::Warm(const std::string& path) {
+  Open(path);
+}
+
+}  // namespace focus::shard

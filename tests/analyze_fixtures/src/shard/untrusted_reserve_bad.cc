@@ -1,0 +1,14 @@
+// Fixture: a ReadLe32 return value reaches reserve() unchecked.
+#include <cstdint>
+#include <vector>
+
+namespace focus::shard {
+
+uint32_t ReadLe32(const uint8_t* p);
+
+void Grow(const uint8_t* p, std::vector<uint8_t>* buf) {
+  uint32_t n = ReadLe32(p);
+  buf->reserve(n);
+}
+
+}  // namespace focus::shard

@@ -1,0 +1,11 @@
+// Fixture: src/stats/ is MakeRng's home — exempt from naked-mt19937.
+#include <random>
+
+namespace focus::stats {
+
+std::mt19937_64 MakeRngFixture(unsigned seed) {
+  std::mt19937_64 rng(seed);
+  return rng;
+}
+
+}  // namespace focus::stats

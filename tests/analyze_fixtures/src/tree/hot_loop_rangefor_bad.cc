@@ -1,0 +1,16 @@
+// Fixture: std::function inside a range-for body.
+#include <functional>
+#include <vector>
+
+namespace focus::tree {
+
+int Walk(const std::vector<int>& nodes) {
+  int total = 0;
+  for (int node : nodes) {
+    std::function<int(int)> weigh = [](int x) { return x + 1; };
+    total += weigh(node);
+  }
+  return total;
+}
+
+}  // namespace focus::tree

@@ -108,5 +108,38 @@ TEST(LitsUpperBoundTest, EqualsExactWhenStructuresIdentical) {
   EXPECT_NEAR(LitsUpperBound(m1, m2, AggregateKind::kSum), 0.1, 1e-12);
 }
 
+TEST(LitsUpperBoundTest, FoldOrderIsCanonicalAcrossInsertionOrders) {
+  // Regression: the fold used to follow supports() hash-iteration order,
+  // so two models with identical content but different insertion
+  // histories could disagree in the last FP bits for g_sum (caught by
+  // focus_analyze's nondet-iteration checker). Supports with spread
+  // magnitudes make the sum rounding order-sensitive; the results must
+  // be bit-identical, not merely close.
+  const int kItemsets = 40;
+  std::vector<std::pair<Itemset, double>> content;
+  content.reserve(kItemsets);
+  for (int i = 0; i < kItemsets; ++i) {
+    // 1/3 scaled across ~12 binades: inexact mantissas at many scales.
+    content.emplace_back(Itemset({i}),
+                         (1.0 / 3.0) / static_cast<double>(1 << (i % 12)));
+  }
+  LitsModel forward(0.001, 1000, kItemsets);
+  for (const auto& [itemset, support] : content) {
+    forward.Add(itemset, support);
+  }
+  LitsModel reversed(0.001, 1000, kItemsets);
+  for (auto it = content.rbegin(); it != content.rend(); ++it) {
+    reversed.Add(it->first, it->second);
+  }
+  LitsModel other(0.001, 1000, kItemsets);
+  other.Add(Itemset({0}), 0.125);
+  for (const AggregateKind g : {AggregateKind::kSum, AggregateKind::kMax}) {
+    EXPECT_EQ(LitsUpperBound(forward, other, g),
+              LitsUpperBound(reversed, other, g));
+    EXPECT_EQ(LitsUpperBound(other, forward, g),
+              LitsUpperBound(other, reversed, g));
+  }
+}
+
 }  // namespace
 }  // namespace focus::core

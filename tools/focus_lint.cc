@@ -1,617 +1,16 @@
-// focus_lint — repo-specific static checks the compiler cannot express.
-//
-// Clang's thread-safety analysis proves lock discipline
-// (common/thread_annotations.h); this tool enforces the FOCUS-specific
-// invariants on top of it:
-//
-//   raw-mutex                std synchronization primitives outside
-//                            src/common/ (use common::Mutex / MutexLock /
-//                            CondVar so the annotations keep working)
-//   naked-mt19937            mt19937 engines constructed directly instead
-//                            of through stats::MakeRng (breaks
-//                            deterministic replay / seed derivation)
-//   std-function-in-hot-loop std::function inside a loop body in core/,
-//                            itemsets/, tree/ (type-erased calls defeat
-//                            inlining in the per-row scan kernels)
-//   unchecked-strtol         strto* with a null end pointer — or atoi
-//                            and friends, which cannot report errors —
-//                            in src/io/ (loaders must reject malformed
-//                            numbers, PR-2 contract)
-//
-// Matching runs on a "code view" of each file with comments and string
-// literals blanked out, so prose and patterns in strings never trip a
-// rule. Escape hatch, same line or the line above the construct:
-//
-//   // focus-lint: allow(rule-name)  — why it is fine here
-//
-// Usage: focus_lint [--root DIR] [--list-rules] [paths...]
-//   With no paths: scans src/ tools/ tests/ bench/ fuzz/ examples/ under
-//   --root (default "."), skipping build trees, fuzz corpora, and
-//   tests/lint_fixtures (the rules' own negative test data). Rule
-//   applicability is decided by each file's path relative to --root.
-// Exit status: 0 clean, 1 findings, 2 usage or I/O errors.
+// focus_lint — DEPRECATED shim. The four lint rules now live in the
+// focus_analyze checker registry (src/analyze/, docs/STATIC_ANALYSIS.md)
+// alongside the flow-aware checkers; this wrapper keeps old scripts and
+// muscle memory working. Behavior is identical to invoking
+// focus_analyze, plus a deprecation note on stderr.
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <set>
-#include <sstream>
-#include <string>
-#include <string_view>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
-namespace focus::lint {
-namespace {
+#include "analyze/driver.h"
 
-namespace fs = std::filesystem;
-
-struct Diagnostic {
-  std::string file;  // display path
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-// ---------------------------------------------------------------------------
-// Comment / string stripping.
-
-struct StrippedFile {
-  // Code with comments, string literals, and char literals replaced by
-  // spaces; line structure preserved.
-  std::vector<std::string> code;
-  // The text of comments on each line (for allow() directives).
-  std::vector<std::string> comments;
-};
-
-StrippedFile Strip(const std::string& text) {
-  StrippedFile out;
-  std::string code_line, comment_line;
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  const size_t n = text.size();
-  for (size_t i = 0; i < n; ++i) {
-    const char c = text[i];
-    const char next = i + 1 < n ? text[i + 1] : '\0';
-    if (c == '\n') {
-      out.code.push_back(code_line);
-      out.comments.push_back(comment_line);
-      code_line.clear();
-      comment_line.clear();
-      if (state == State::kLineComment) state = State::kCode;
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (code_line.empty() ||
-                    (!std::isalnum(static_cast<unsigned char>(
-                         code_line.back())) &&
-                     code_line.back() != '_'))) {
-          // Raw string literal: R"delim( ... )delim"
-          size_t j = i + 2;
-          raw_delim.clear();
-          while (j < n && text[j] != '(') raw_delim += text[j++];
-          state = State::kRawString;
-          code_line += ' ';
-          code_line.append(j - i, ' ');
-          i = j;  // at '('
-        } else if (c == '"') {
-          state = State::kString;
-          code_line += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line += ' ';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          code_line += "  ";
-          ++i;
-        } else {
-          comment_line += c;
-          code_line += ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          code_line += ' ';
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          code_line += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          code_line += ' ';
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kRawString: {
-        const std::string close = ")" + raw_delim + "\"";
-        if (text.compare(i, close.size(), close) == 0) {
-          state = State::kCode;
-          code_line.append(close.size(), ' ');
-          i += close.size() - 1;
-        } else {
-          code_line += ' ';
-        }
-        break;
-      }
-    }
-  }
-  out.code.push_back(code_line);
-  out.comments.push_back(comment_line);
-  return out;
+int main(int argc, char** argv) {
+  std::fprintf(stderr,
+               "focus_lint is deprecated: use focus_analyze (same flags; "
+               "--list-rules is now --list-checkers)\n");
+  return focus::analyze::AnalyzerMain(argc, argv, "focus_lint");
 }
-
-// ---------------------------------------------------------------------------
-// Tokenization (over the code view). Qualified identifiers are merged:
-// "std :: mutex" becomes one token "std::mutex".
-
-struct Token {
-  std::string text;
-  int line = 0;  // 1-based
-};
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::vector<Token> Tokenize(const StrippedFile& stripped) {
-  std::vector<Token> tokens;
-  for (size_t row = 0; row < stripped.code.size(); ++row) {
-    const std::string& line = stripped.code[row];
-    size_t i = 0;
-    while (i < line.size()) {
-      const char c = line[i];
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++i;
-        continue;
-      }
-      if (IsIdentStart(c)) {
-        size_t j = i + 1;
-        while (j < line.size() && IsIdentChar(line[j])) ++j;
-        tokens.push_back({line.substr(i, j - i), static_cast<int>(row) + 1});
-        i = j;
-        continue;
-      }
-      if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
-        tokens.push_back({"::", static_cast<int>(row) + 1});
-        i += 2;
-        continue;
-      }
-      tokens.push_back({std::string(1, c), static_cast<int>(row) + 1});
-      ++i;
-    }
-  }
-  // Merge qualified names: id :: id (:: id)* — line number of the first
-  // component wins.
-  std::vector<Token> merged;
-  size_t i = 0;
-  while (i < tokens.size()) {
-    if (IsIdentStart(tokens[i].text[0])) {
-      Token qualified = tokens[i];
-      size_t j = i + 1;
-      while (j + 1 < tokens.size() && tokens[j].text == "::" &&
-             IsIdentStart(tokens[j + 1].text[0])) {
-        qualified.text += "::" + tokens[j + 1].text;
-        j += 2;
-      }
-      merged.push_back(std::move(qualified));
-      i = j;
-      continue;
-    }
-    merged.push_back(tokens[i]);
-    ++i;
-  }
-  return merged;
-}
-
-// ---------------------------------------------------------------------------
-// allow() directives.
-
-// Rules suppressed on each line (1-based) via `focus-lint: allow(...)` on
-// that line or the line directly above.
-std::unordered_map<int, std::set<std::string>> AllowedRules(
-    const StrippedFile& stripped) {
-  std::unordered_map<int, std::set<std::string>> allowed;
-  for (size_t row = 0; row < stripped.comments.size(); ++row) {
-    const std::string& comment = stripped.comments[row];
-    const size_t at = comment.find("focus-lint:");
-    if (at == std::string::npos) continue;
-    const size_t open = comment.find("allow(", at);
-    if (open == std::string::npos) continue;
-    const size_t close = comment.find(')', open);
-    if (close == std::string::npos) continue;
-    std::string rules = comment.substr(open + 6, close - open - 6);
-    std::replace(rules.begin(), rules.end(), ',', ' ');
-    std::istringstream in(rules);
-    std::string rule;
-    const int line = static_cast<int>(row) + 1;
-    while (in >> rule) {
-      allowed[line].insert(rule);
-      allowed[line + 1].insert(rule);  // directive on its own line above
-    }
-  }
-  return allowed;
-}
-
-// ---------------------------------------------------------------------------
-// Rules.
-
-struct FileContext {
-  std::string display_path;  // as printed in diagnostics
-  std::string rel_path;      // relative to --root, '/'-separated
-  StrippedFile stripped;
-  std::vector<Token> tokens;
-};
-
-bool HasPrefix(const std::string& path, std::string_view prefix) {
-  return path.rfind(prefix, 0) == 0;
-}
-
-void CheckRawMutex(const FileContext& file, std::vector<Diagnostic>* out) {
-  if (HasPrefix(file.rel_path, "src/common/")) return;
-  static const std::unordered_set<std::string> kBanned = {
-      "std::mutex",          "std::timed_mutex",
-      "std::recursive_mutex", "std::recursive_timed_mutex",
-      "std::shared_mutex",   "std::shared_timed_mutex",
-      "std::lock_guard",     "std::unique_lock",
-      "std::scoped_lock",    "std::shared_lock",
-      "std::condition_variable", "std::condition_variable_any",
-  };
-  for (const Token& token : file.tokens) {
-    if (kBanned.count(token.text) == 0) continue;
-    out->push_back({file.display_path, token.line, "raw-mutex",
-                    token.text +
-                        " outside src/common/ — use common::Mutex / "
-                        "common::MutexLock / common::CondVar "
-                        "(common/mutex.h) so thread-safety annotations "
-                        "keep working"});
-  }
-}
-
-bool IsEngineName(const std::string& text) {
-  return text == "mt19937" || text == "mt19937_64" ||
-         text == "std::mt19937" || text == "std::mt19937_64";
-}
-
-void CheckNakedMt19937(const FileContext& file, std::vector<Diagnostic>* out) {
-  if (HasPrefix(file.rel_path, "src/stats/")) return;  // MakeRng's home
-  const std::vector<Token>& tokens = file.tokens;
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    if (!IsEngineName(tokens[i].text)) continue;
-    size_t ctor = 0;  // index of the '(' / '{' opening a construction
-    if (i + 1 < tokens.size() &&
-        (tokens[i + 1].text == "(" || tokens[i + 1].text == "{")) {
-      ctor = i + 1;  // temporary: std::mt19937_64(seed)
-    } else if (i + 2 < tokens.size() && IsIdentStart(tokens[i + 1].text[0]) &&
-               (tokens[i + 2].text == "(" || tokens[i + 2].text == "{")) {
-      ctor = i + 2;  // named variable: std::mt19937_64 rng(seed)
-    } else {
-      continue;  // reference/param declaration, template argument, …
-    }
-    // Initialization through the sanctioned factory is fine:
-    //   std::mt19937_64 rng = stats::MakeRng(seed);  (no direct ctor)
-    //   std::mt19937_64 rng(stats::MakeRng(seed));   (copy from factory)
-    bool via_factory = false;
-    for (size_t j = ctor; j < tokens.size() && tokens[j].text != ";"; ++j) {
-      if (tokens[j].text.find("MakeRng") != std::string::npos) {
-        via_factory = true;
-        break;
-      }
-    }
-    if (via_factory) continue;
-    out->push_back({file.display_path, tokens[i].line, "naked-mt19937",
-                    tokens[i].text +
-                        " constructed directly — seed RNGs via "
-                        "stats::MakeRng so runs replay deterministically"});
-  }
-}
-
-void CheckStdFunctionInHotLoop(const FileContext& file,
-                               std::vector<Diagnostic>* out) {
-  if (!HasPrefix(file.rel_path, "src/core/") &&
-      !HasPrefix(file.rel_path, "src/itemsets/") &&
-      !HasPrefix(file.rel_path, "src/tree/")) {
-    return;
-  }
-  const std::vector<Token>& tokens = file.tokens;
-  // Scope tracking: each '{' pushes whether it opens a loop body. A
-  // pending loop (for/while whose '(…)' just closed) claims the next '{'.
-  std::vector<bool> brace_is_loop;
-  int loop_depth = 0;
-  bool pending_loop = false;
-  int paren_depth = 0;
-  int pending_paren_depth = 0;
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    const std::string& t = tokens[i].text;
-    if (t == "for" || t == "while") {
-      pending_loop = true;
-      pending_paren_depth = paren_depth;
-      continue;
-    }
-    if (t == "(") {
-      ++paren_depth;
-      continue;
-    }
-    if (t == ")") {
-      --paren_depth;
-      continue;
-    }
-    if (t == "{") {
-      const bool is_loop = pending_loop && paren_depth == pending_paren_depth;
-      brace_is_loop.push_back(is_loop);
-      if (is_loop) {
-        ++loop_depth;
-        pending_loop = false;
-      }
-      continue;
-    }
-    if (t == "}") {
-      if (!brace_is_loop.empty()) {
-        if (brace_is_loop.back()) --loop_depth;
-        brace_is_loop.pop_back();
-      }
-      continue;
-    }
-    if (t == "std::function" && loop_depth > 0) {
-      out->push_back(
-          {file.display_path, tokens[i].line, "std-function-in-hot-loop",
-           "std::function inside a loop body in a scan-kernel directory — "
-           "type-erased calls defeat inlining; take the body as a template "
-           "parameter (see core/parallel_count.h)"});
-    }
-  }
-}
-
-void CheckUncheckedStrtol(const FileContext& file,
-                          std::vector<Diagnostic>* out) {
-  if (!HasPrefix(file.rel_path, "src/io/")) return;
-  static const std::unordered_set<std::string> kStrto = {
-      "strtol",       "strtoul",      "strtoll",       "strtoull",
-      "strtod",       "strtof",       "strtold",       "std::strtol",
-      "std::strtoul", "std::strtoll", "std::strtoull", "std::strtod",
-      "std::strtof",  "std::strtold",
-  };
-  static const std::unordered_set<std::string> kNoErrors = {
-      "atoi", "atol", "atoll", "atof", "std::atoi", "std::atol",
-      "std::atoll", "std::atof",
-  };
-  const std::vector<Token>& tokens = file.tokens;
-  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
-    if (tokens[i + 1].text != "(") continue;
-    if (kNoErrors.count(tokens[i].text) != 0) {
-      out->push_back({file.display_path, tokens[i].line, "unchecked-strtol",
-                      tokens[i].text +
-                          " cannot report conversion errors — io loaders "
-                          "must reject malformed numbers (use strtol with "
-                          "a checked end pointer)"});
-      continue;
-    }
-    if (kStrto.count(tokens[i].text) == 0) continue;
-    // Extract the second top-level argument.
-    int depth = 0;
-    int arg = 0;
-    std::vector<std::string> second_arg;
-    for (size_t j = i + 1; j < tokens.size(); ++j) {
-      const std::string& t = tokens[j].text;
-      if (t == "(" || t == "[" || t == "{") {
-        ++depth;
-        if (depth > 1 && arg == 1) second_arg.push_back(t);
-        continue;
-      }
-      if (t == ")" || t == "]" || t == "}") {
-        --depth;
-        if (depth == 0) break;
-        if (arg == 1) second_arg.push_back(t);
-        continue;
-      }
-      if (t == "," && depth == 1) {
-        ++arg;
-        continue;
-      }
-      if (arg == 1) second_arg.push_back(t);
-    }
-    const bool null_endptr =
-        second_arg.size() == 1 &&
-        (second_arg[0] == "nullptr" || second_arg[0] == "NULL" ||
-         second_arg[0] == "0");
-    if (null_endptr) {
-      out->push_back({file.display_path, tokens[i].line, "unchecked-strtol",
-                      tokens[i].text +
-                          " with a null end pointer silently accepts "
-                          "trailing garbage — pass an end pointer and "
-                          "check it"});
-    }
-  }
-}
-
-struct Rule {
-  const char* name;
-  const char* scope;
-  void (*check)(const FileContext&, std::vector<Diagnostic>*);
-};
-
-constexpr Rule kRules[] = {
-    {"raw-mutex", "everywhere except src/common/", CheckRawMutex},
-    {"naked-mt19937", "everywhere except src/stats/", CheckNakedMt19937},
-    {"std-function-in-hot-loop", "src/core/, src/itemsets/, src/tree/",
-     CheckStdFunctionInHotLoop},
-    {"unchecked-strtol", "src/io/", CheckUncheckedStrtol},
-};
-
-// ---------------------------------------------------------------------------
-// Driver.
-
-bool LintableExtension(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
-}
-
-bool SkippedDirectory(const std::string& name) {
-  return name == "lint_fixtures" || name == "corpus" || name == ".git" ||
-         name == "third_party" || HasPrefix(name, "build");
-}
-
-void CollectFiles(const fs::path& path, std::vector<fs::path>* files) {
-  std::error_code ec;
-  if (fs::is_regular_file(path, ec)) {
-    if (LintableExtension(path)) files->push_back(path);
-    return;
-  }
-  if (!fs::is_directory(path, ec)) return;
-  for (fs::directory_iterator it(path, ec), end; it != end && !ec;
-       it.increment(ec)) {
-    const fs::path& entry = it->path();
-    if (fs::is_directory(entry, ec)) {
-      if (!SkippedDirectory(entry.filename().string())) {
-        CollectFiles(entry, files);
-      }
-    } else if (LintableExtension(entry)) {
-      files->push_back(entry);
-    }
-  }
-}
-
-std::string RelativeTo(const fs::path& path, const fs::path& root) {
-  std::error_code ec;
-  fs::path rel = fs::relative(path, root, ec);
-  if (ec || rel.empty()) rel = path;
-  return rel.generic_string();
-}
-
-int LintFile(const fs::path& path, const fs::path& root,
-             std::vector<Diagnostic>* diagnostics) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "focus_lint: cannot read %s\n",
-                 path.string().c_str());
-    return 2;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  FileContext file;
-  file.rel_path = RelativeTo(path, root);
-  file.display_path = file.rel_path;
-  file.stripped = Strip(buffer.str());
-  file.tokens = Tokenize(file.stripped);
-  const auto allowed = AllowedRules(file.stripped);
-  std::vector<Diagnostic> found;
-  for (const Rule& rule : kRules) rule.check(file, &found);
-  for (Diagnostic& diag : found) {
-    const auto it = allowed.find(diag.line);
-    if (it != allowed.end() && it->second.count(diag.rule) != 0) continue;
-    diagnostics->push_back(std::move(diag));
-  }
-  return 0;
-}
-
-int Main(int argc, char** argv) {
-  fs::path root = ".";
-  std::vector<fs::path> inputs;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--root") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "focus_lint: --root needs a directory\n");
-        return 2;
-      }
-      root = argv[++i];
-    } else if (arg == "--list-rules") {
-      for (const Rule& rule : kRules) {
-        std::printf("%-26s %s\n", rule.name, rule.scope);
-      }
-      return 0;
-    } else if (arg == "--help") {
-      std::printf("usage: focus_lint [--root DIR] [--list-rules] "
-                  "[paths...]\n");
-      return 0;
-    } else if (HasPrefix(arg, "--")) {
-      std::fprintf(stderr, "focus_lint: unknown flag %s\n", arg.c_str());
-      return 2;
-    } else {
-      inputs.push_back(arg);
-    }
-  }
-  std::error_code ec;
-  if (!fs::is_directory(root, ec)) {
-    std::fprintf(stderr, "focus_lint: --root %s is not a directory\n",
-                 root.string().c_str());
-    return 2;
-  }
-  if (inputs.empty()) {
-    for (const char* dir :
-         {"src", "tools", "tests", "bench", "fuzz", "examples"}) {
-      const fs::path path = root / dir;
-      if (fs::exists(path, ec)) inputs.push_back(path);
-    }
-  }
-  std::vector<fs::path> files;
-  for (const fs::path& input : inputs) CollectFiles(input, &files);
-  std::sort(files.begin(), files.end());
-
-  std::vector<Diagnostic> diagnostics;
-  for (const fs::path& file : files) {
-    const int status = LintFile(file, root, &diagnostics);
-    if (status != 0) return status;
-  }
-  std::sort(diagnostics.begin(), diagnostics.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
-  for (const Diagnostic& diag : diagnostics) {
-    std::printf("%s:%d: [%s] %s\n", diag.file.c_str(), diag.line,
-                diag.rule.c_str(), diag.message.c_str());
-  }
-  if (!diagnostics.empty()) {
-    std::printf("focus_lint: %zu finding(s) in %zu file(s) scanned\n",
-                diagnostics.size(), files.size());
-    return 1;
-  }
-  return 0;
-}
-
-}  // namespace
-}  // namespace focus::lint
-
-int main(int argc, char** argv) { return focus::lint::Main(argc, argv); }
